@@ -1,0 +1,162 @@
+//! Brute-force optimal mapping for tiny instances.
+//!
+//! Process mapping is NP-hard (Díaz et al.); the solution space is
+//! `O(N^M)` and the paper emphasizes no efficient exact algorithm
+//! exists. For *tiny* instances, however, the optimum is enumerable and
+//! makes a valuable oracle: the tests compare every heuristic against
+//! it, and the Monte Carlo study (Fig. 9/10) needs to know where the
+//! true optimum lies.
+
+use geomap_core::{cost, Mapper, Mapping, MappingProblem};
+use geonet::SiteId;
+
+/// Exhaustive search over all feasible assignments.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveMapper {
+    /// Refuse instances whose search space exceeds this many leaves
+    /// (`M^(free processes)` bound). Default 10 million.
+    pub max_leaves: Option<u64>,
+}
+
+impl ExhaustiveMapper {
+    /// The optimum and its cost.
+    pub fn optimum(&self, problem: &MappingProblem) -> (Mapping, f64) {
+        let n = problem.num_processes();
+        let m = problem.num_sites();
+        let free_count = (0..n).filter(|&i| problem.constraints().pin_of(i).is_none()).count();
+        let cap = self.max_leaves.unwrap_or(10_000_000);
+        let leaves = (m as u64).checked_pow(free_count as u32).unwrap_or(u64::MAX);
+        assert!(
+            leaves <= cap,
+            "search space {m}^{free_count} exceeds the {cap}-leaf budget"
+        );
+
+        let mut assignment: Vec<Option<SiteId>> =
+            (0..n).map(|i| problem.constraints().pin_of(i)).collect();
+        let mut caps = problem.free_capacities();
+        let mut best: Option<(Vec<SiteId>, f64)> = None;
+        search(problem, 0, &mut assignment, &mut caps, &mut best);
+        let (assignment, c) = best.expect("capacity >= N guarantees a feasible mapping");
+        (Mapping::new(assignment), c)
+    }
+}
+
+fn search(
+    problem: &MappingProblem,
+    i: usize,
+    assignment: &mut Vec<Option<SiteId>>,
+    caps: &mut Vec<usize>,
+    best: &mut Option<(Vec<SiteId>, f64)>,
+) {
+    let n = problem.num_processes();
+    if i == n {
+        let full: Vec<SiteId> = assignment.iter().map(|a| a.unwrap()).collect();
+        let c = cost(problem, &Mapping::new(full.clone()));
+        if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+            *best = Some((full, c));
+        }
+        return;
+    }
+    if assignment[i].is_some() {
+        // Pinned by a constraint; its capacity was pre-deducted.
+        search(problem, i + 1, assignment, caps, best);
+        return;
+    }
+    for j in 0..problem.num_sites() {
+        if caps[j] == 0 {
+            continue;
+        }
+        caps[j] -= 1;
+        assignment[i] = Some(SiteId(j));
+        search(problem, i + 1, assignment, caps, best);
+        assignment[i] = None;
+        caps[j] += 1;
+    }
+}
+
+impl Mapper for ExhaustiveMapper {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    fn map(&self, problem: &MappingProblem) -> Mapping {
+        self.optimum(problem).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GreedyMapper, MpippMapper, RandomMapper};
+    use commgraph::apps::{RandomGraph, Ring, Workload};
+    use geomap_core::{ConstraintVector, GeoMapper};
+    use geonet::{presets, InstanceType};
+
+    fn tiny_problem(seed: u64) -> MappingProblem {
+        let net = presets::ec2_sites(&["us-east-1", "us-west-2", "ap-southeast-1"], 3);
+        let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig::default()).build(net);
+        let pat = RandomGraph { n: 8, degree: 3, max_bytes: 400_000, seed }.pattern();
+        MappingProblem::unconstrained(pat, net)
+    }
+
+    #[test]
+    fn optimum_beats_every_heuristic() {
+        for seed in 0..4 {
+            let p = tiny_problem(seed);
+            let (_, opt) = ExhaustiveMapper::default().optimum(&p);
+            for c in [
+                geomap_core::cost(&p, &RandomMapper::with_seed(seed).map(&p)),
+                geomap_core::cost(&p, &GreedyMapper.map(&p)),
+                geomap_core::cost(&p, &MpippMapper::with_seed(seed).map(&p)),
+                geomap_core::cost(&p, &GeoMapper::default().map(&p)),
+            ] {
+                assert!(opt <= c + 1e-9, "seed {seed}: optimum {opt} > heuristic {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn geo_is_near_optimal_on_tiny_instances() {
+        // The paper claims near-optimality (Fig. 9); on tiny instances
+        // Geo should be within 2x of the optimum (it usually matches).
+        for seed in 0..4 {
+            let p = tiny_problem(seed);
+            let (_, opt) = ExhaustiveMapper::default().optimum(&p);
+            let geo = geomap_core::cost(&p, &GeoMapper::default().map(&p));
+            assert!(geo <= 2.0 * opt, "seed {seed}: geo {geo} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn ring_optimum_is_contiguous_blocks() {
+        let net = presets::ec2_sites(&["us-east-1", "ap-southeast-1"], 3);
+        let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig::default()).build(net);
+        let pat = Ring { n: 6, iterations: 1, bytes: 1_000_000 }.pattern();
+        let p = MappingProblem::unconstrained(pat, net);
+        let (m, _) = ExhaustiveMapper::default().optimum(&p);
+        // Exactly two cross-site cuts on the ring.
+        let cuts = (0..6).filter(|&i| m.site_of(i) != m.site_of((i + 1) % 6)).count();
+        assert_eq!(cuts, 2);
+    }
+
+    #[test]
+    fn constraints_prune_the_space() {
+        let p = tiny_problem(1);
+        let mut c = ConstraintVector::none(8);
+        c.pin(0, geonet::SiteId(2));
+        let pc = p.with_constraints(c);
+        let (m, cost_constrained) = ExhaustiveMapper::default().optimum(&pc);
+        assert_eq!(m.site_of(0), geonet::SiteId(2));
+        let (_, cost_free) = ExhaustiveMapper::default().optimum(&p);
+        assert!(cost_free <= cost_constrained + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn refuses_large_instances() {
+        let net = presets::paper_ec2_network(16, InstanceType::M4Xlarge, 1);
+        let pat = RandomGraph { n: 64, degree: 3, max_bytes: 100, seed: 0 }.pattern();
+        let p = MappingProblem::unconstrained(pat, net);
+        ExhaustiveMapper::default().map(&p);
+    }
+}

@@ -1,0 +1,92 @@
+//! Baseline process-mapping algorithms (paper §5.1, "Comparisons").
+//!
+//! * [`RandomMapper`] — the paper's **Baseline**: uniformly random
+//!   feasible mapping, "running directly in the geo-distributed data
+//!   centers without any optimization".
+//! * [`GreedyMapper`] — **Greedy**, Hoefler & Snir's generic topology-
+//!   mapping heuristic for heterogeneous networks (ICS'11): bandwidth-
+//!   driven greedy growth from the heaviest task.
+//! * [`MpippMapper`] — **MPIPP** (Chen et al., ICS'06): randomized
+//!   pairwise-exchange local search with restarts.
+//! * [`ExhaustiveMapper`] — brute-force optimum for tiny instances; the
+//!   oracle the tests compare heuristics against.
+//! * [`MonteCarlo`] — best-of-K random sampling and cost-distribution
+//!   sampling for the paper's Figs. 9 and 10.
+//!
+//! Every mapper honours data-movement constraints and site capacities.
+
+#![warn(missing_docs)]
+
+mod exhaustive;
+mod greedy;
+mod monte_carlo;
+mod mpipp;
+mod random;
+
+pub use exhaustive::ExhaustiveMapper;
+pub use greedy::GreedyMapper;
+pub use monte_carlo::MonteCarlo;
+pub use mpipp::MpippMapper;
+pub use random::{random_mapping, RandomMapper};
+
+use geomap_core::{Mapper, MappingProblem};
+
+/// The paper's three comparison mappers plus the proposed one, in figure
+/// order: Greedy, MPIPP, Geo-distributed.
+pub fn paper_mappers(seed: u64) -> Vec<Box<dyn Mapper + Sync>> {
+    vec![
+        Box::new(GreedyMapper::default()),
+        Box::new(MpippMapper::with_seed(seed)),
+        Box::new(geomap_core::GeoMapper { seed, ..geomap_core::GeoMapper::default() }),
+    ]
+}
+
+/// Mean cost of `samples` Baseline (random) mappings — the normalization
+/// denominator of Figs. 5–7 ("normalized to the average of Baseline").
+pub fn baseline_mean_cost(problem: &MappingProblem, samples: usize, seed: u64) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let total: f64 = (0..samples)
+        .map(|i| {
+            let m = RandomMapper::with_seed(seed.wrapping_add(i as u64)).map(problem);
+            geomap_core::cost(problem, &m)
+        })
+        .sum();
+    total / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commgraph::apps::{RandomGraph, Workload};
+    use geomap_core::cost;
+    use geonet::{presets, InstanceType};
+
+    fn problem() -> MappingProblem {
+        let net = presets::paper_ec2_network(8, InstanceType::M4Xlarge, 1);
+        let pat = RandomGraph { n: 32, degree: 4, max_bytes: 500_000, seed: 2 }.pattern();
+        MappingProblem::unconstrained(pat, net)
+    }
+
+    #[test]
+    fn paper_mappers_are_three_and_feasible() {
+        let p = problem();
+        let mappers = paper_mappers(1);
+        assert_eq!(mappers.len(), 3);
+        assert_eq!(mappers[0].name(), "Greedy");
+        assert_eq!(mappers[1].name(), "MPIPP");
+        assert_eq!(mappers[2].name(), "Geo-distributed");
+        for m in &mappers {
+            m.map(&p).validate(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn baseline_mean_is_above_optimized_costs() {
+        let p = problem();
+        let mean = baseline_mean_cost(&p, 20, 3);
+        for mapper in paper_mappers(1) {
+            let c = cost(&p, &mapper.map(&p));
+            assert!(c < mean, "{} cost {c} not below baseline mean {mean}", mapper.name());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Monte Carlo mapping study (paper §5.4, Figs. 9 and 10).
+//!
+//! The paper samples random mappings (10⁷ draws) to obtain the cost
+//! distribution, showing that Geo-distributed lands in the < 1 % tail,
+//! and that best-of-K random search needs K ≈ 10⁴⁺ to approach it. This
+//! module provides both: distribution sampling (rayon-parallel) and a
+//! best-of-K mapper.
+
+use crate::random::random_mapping;
+use geomap_core::{cost, Mapper, Mapping, MappingProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Best-of-K random search, doubling as the Fig. 9/10 sampler.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    /// Number of random mappings drawn.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MonteCarlo {
+    /// Create a sampler.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        Self { samples, seed }
+    }
+
+    /// Draw all sample costs (unsorted), in parallel chunks. Sample `i`
+    /// is always generated from the same derived seed, so results are
+    /// independent of the parallel schedule.
+    pub fn sample_costs(&self, problem: &MappingProblem) -> Vec<f64> {
+        (0..self.samples)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+                cost(problem, &random_mapping(problem, &mut rng))
+            })
+            .collect()
+    }
+
+    /// Empirical CDF of the sampled costs: returns the sorted costs; the
+    /// CDF at `sorted[k]` is `(k+1)/len`.
+    pub fn cdf(&self, problem: &MappingProblem) -> Vec<f64> {
+        let mut costs = self.sample_costs(problem);
+        costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        costs
+    }
+
+    /// Fraction of random mappings strictly cheaper than `c` — the
+    /// paper's "probability that a random mapping beats X".
+    pub fn fraction_below(sorted_costs: &[f64], c: f64) -> f64 {
+        let k = sorted_costs.partition_point(|&x| x < c);
+        k as f64 / sorted_costs.len() as f64
+    }
+
+    /// Running best-of-K minima at the requested `ks` (each `k ≤
+    /// samples`), as Fig. 10 plots. Returns `(k, min_cost_of_first_k)`.
+    pub fn best_of_k_curve(&self, problem: &MappingProblem, ks: &[usize]) -> Vec<(usize, f64)> {
+        let costs = self.sample_costs(problem);
+        let mut out = Vec::with_capacity(ks.len());
+        let mut running = f64::INFINITY;
+        let mut upto = 0usize;
+        let mut sorted_ks: Vec<usize> = ks.to_vec();
+        sorted_ks.sort_unstable();
+        for k in sorted_ks {
+            assert!(k >= 1 && k <= costs.len(), "k={k} outside 1..={}", costs.len());
+            for &c in &costs[upto..k] {
+                running = running.min(c);
+            }
+            upto = k;
+            out.push((k, running));
+        }
+        out
+    }
+}
+
+impl Mapper for MonteCarlo {
+    fn name(&self) -> &'static str {
+        "MonteCarlo"
+    }
+
+    fn map(&self, problem: &MappingProblem) -> Mapping {
+        let best = (0..self.samples)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+                let m = random_mapping(problem, &mut rng);
+                (cost(problem, &m), i, m)
+            })
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+            .expect("samples > 0");
+        best.2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExhaustiveMapper;
+    use commgraph::apps::{RandomGraph, Workload};
+    use geonet::{presets, InstanceType};
+
+    fn problem() -> MappingProblem {
+        let net = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 1);
+        let pat = RandomGraph { n: 16, degree: 3, max_bytes: 300_000, seed: 3 }.pattern();
+        MappingProblem::unconstrained(pat, net)
+    }
+
+    #[test]
+    fn best_of_k_is_monotone_in_k() {
+        let p = problem();
+        let mc = MonteCarlo::new(256, 1);
+        let curve = mc.best_of_k_curve(&p, &[1, 4, 16, 64, 256]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1, "{curve:?}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_sorted_and_complete() {
+        let p = problem();
+        let cdf = MonteCarlo::new(128, 2).cdf(&p);
+        assert_eq!(cdf.len(), 128);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fraction_below_boundaries() {
+        let sorted = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(MonteCarlo::fraction_below(&sorted, 0.5), 0.0);
+        assert_eq!(MonteCarlo::fraction_below(&sorted, 2.5), 0.5);
+        assert_eq!(MonteCarlo::fraction_below(&sorted, 10.0), 1.0);
+    }
+
+    #[test]
+    fn map_returns_the_sample_minimum() {
+        let p = problem();
+        let mc = MonteCarlo::new(64, 5);
+        let best = geomap_core::cost(&p, &mc.map(&p));
+        let min = mc.sample_costs(&p).into_iter().fold(f64::INFINITY, f64::min);
+        assert!((best - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_beats_the_exhaustive_optimum() {
+        let net = presets::ec2_sites(&["us-east-1", "eu-west-1"], 4);
+        let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig::default()).build(net);
+        let pat = RandomGraph { n: 8, degree: 2, max_bytes: 100_000, seed: 9 }.pattern();
+        let p = MappingProblem::unconstrained(pat, net);
+        let (_, opt) = ExhaustiveMapper::default().optimum(&p);
+        let best = geomap_core::cost(&p, &MonteCarlo::new(2000, 3).map(&p));
+        assert!(best >= opt - 1e-9);
+        // ...and with 2000 samples over a 2^8=256-point space it finds it.
+        assert!(best <= opt + 1e-6 * opt.max(1.0), "best {best} vs opt {opt}");
+    }
+
+    #[test]
+    fn deterministic_regardless_of_parallelism() {
+        let p = problem();
+        let a = MonteCarlo::new(100, 7).map(&p);
+        let b = MonteCarlo::new(100, 7).map(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        MonteCarlo::new(0, 1);
+    }
+}

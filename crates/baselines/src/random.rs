@@ -1,0 +1,128 @@
+//! The Baseline: uniformly random feasible mapping.
+
+use geomap_core::{Mapper, Mapping, MappingProblem};
+use geonet::SiteId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random mapping ("Baseline" in the paper's figures): each free process
+/// gets a uniformly random free node slot; constrained processes go
+/// where their constraint says.
+#[derive(Debug, Clone)]
+pub struct RandomMapper {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomMapper {
+    /// Create with a seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Default for RandomMapper {
+    fn default() -> Self {
+        Self { seed: 0xBA5E }
+    }
+}
+
+impl Mapper for RandomMapper {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn map(&self, problem: &MappingProblem) -> Mapping {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        random_mapping(problem, &mut rng)
+    }
+}
+
+/// One uniformly random feasible mapping drawn from `rng` — shared by
+/// [`RandomMapper`] and the Monte Carlo sampler so both draw from the
+/// same distribution.
+pub fn random_mapping(problem: &MappingProblem, rng: &mut StdRng) -> Mapping {
+    let n = problem.num_processes();
+    // Expand the free capacities into a slot multiset and shuffle it.
+    let mut slots: Vec<SiteId> = Vec::with_capacity(problem.network().total_nodes());
+    for (j, cap) in problem.free_capacities().iter().enumerate() {
+        slots.extend(std::iter::repeat_n(SiteId(j), *cap));
+    }
+    for i in (1..slots.len()).rev() {
+        let j = rng.random_range(0..=i);
+        slots.swap(i, j);
+    }
+    let mut next = 0usize;
+    let assignment: Vec<SiteId> = (0..n)
+        .map(|i| {
+            problem.constraints().pin_of(i).unwrap_or_else(|| {
+                let s = slots[next];
+                next += 1;
+                s
+            })
+        })
+        .collect();
+    Mapping::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commgraph::apps::{Ring, Workload};
+    use geomap_core::ConstraintVector;
+    use geonet::{presets, InstanceType};
+
+    fn problem() -> MappingProblem {
+        let net = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 1);
+        let pat = Ring { n: 16, iterations: 1, bytes: 100 }.pattern();
+        MappingProblem::unconstrained(pat, net)
+    }
+
+    #[test]
+    fn mapping_is_feasible() {
+        let p = problem();
+        RandomMapper::default().map(&p).validate(&p).unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varied_across_seeds() {
+        let p = problem();
+        let a = RandomMapper::with_seed(1).map(&p);
+        let b = RandomMapper::with_seed(1).map(&p);
+        let c = RandomMapper::with_seed(2).map(&p);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn constraints_respected() {
+        let p = problem();
+        let c = ConstraintVector::random(16, 0.5, &p.capacities(), 5);
+        let p = p.with_constraints(c.clone());
+        for seed in 0..10 {
+            let m = RandomMapper::with_seed(seed).map(&p);
+            m.validate(&p).unwrap();
+            assert!(c.satisfied_by(m.as_slice()));
+        }
+    }
+
+    #[test]
+    fn spreads_across_sites() {
+        // With 16 processes over 4×4 slots, every site must be exactly
+        // full (capacity == N).
+        let p = problem();
+        let m = RandomMapper::with_seed(9).map(&p);
+        assert_eq!(m.site_counts(4), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        // Over many seeds, process 0 should visit every site.
+        let p = problem();
+        let mut seen = [false; 4];
+        for seed in 0..40 {
+            seen[RandomMapper::with_seed(seed).map(&p).site_of(0).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

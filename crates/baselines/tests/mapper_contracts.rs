@@ -1,0 +1,150 @@
+//! Contract tests every mapper must satisfy, plus head-to-head
+//! properties the paper's evaluation relies on.
+
+use baselines::{ExhaustiveMapper, GreedyMapper, MonteCarlo, MpippMapper, RandomMapper};
+use commgraph::apps::{AppKind, RandomGraph, UniformAll2All, Workload};
+use geomap_core::{cost, ConstraintVector, GeoMapper, Mapper, MappingProblem};
+use geonet::{presets, InstanceType, SquareMatrix};
+use proptest::prelude::*;
+
+fn mappers(seed: u64) -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(RandomMapper::with_seed(seed)),
+        Box::new(GreedyMapper),
+        Box::new(MpippMapper { restarts: 2, ..MpippMapper::with_seed(seed) }),
+        Box::new(GeoMapper { seed, ..GeoMapper::default() }),
+        Box::new(MonteCarlo::new(50, seed)),
+    ]
+}
+
+fn ec2_problem(n: usize, seed: u64, ratio: f64) -> MappingProblem {
+    let net = presets::paper_ec2_network(n / 4, InstanceType::M4Xlarge, seed);
+    let pattern = RandomGraph { n, degree: 4, max_bytes: 800_000, seed }.pattern();
+    let constraints = ConstraintVector::random(n, ratio, &net.capacities(), seed ^ 0xFF);
+    MappingProblem::new(pattern, net, constraints)
+}
+
+#[test]
+fn uniform_traffic_on_symmetric_network_is_mapping_invariant() {
+    // With a uniform all-to-all pattern and a symmetric network, every
+    // balanced mapping costs the same; optimizers can't win but must
+    // not crash or "lose" either.
+    let sites: Vec<geonet::Site> = (0..4)
+        .map(|i| geonet::Site::new(format!("s{i}"), geonet::GeoCoord::new(i as f64, 0.0), 4))
+        .collect();
+    let m = sites.len();
+    let lt = SquareMatrix::from_fn(m, |i, j| if i == j { 1e-4 } else { 1e-2 });
+    let bt = SquareMatrix::from_fn(m, |i, j| if i == j { 1e8 } else { 1e7 });
+    let net = geonet::SiteNetwork::new(sites, lt, bt);
+    let pattern = UniformAll2All { n: 16, bytes: 10_000 }.pattern();
+    let problem = MappingProblem::unconstrained(pattern, net);
+
+    let costs: Vec<f64> =
+        mappers(3).iter().map(|mp| cost(&problem, &mp.map(&problem))).collect();
+    let (min, max) = costs
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+    assert!(
+        (max - min) / max < 1e-9,
+        "costs differ on an invariant instance: {costs:?}"
+    );
+}
+
+#[test]
+fn optimizers_beat_random_on_every_real_app() {
+    let net = presets::paper_ec2_network(8, InstanceType::M4Xlarge, 11);
+    for app in AppKind::ALL {
+        let problem = MappingProblem::unconstrained(app.workload(32).pattern(), net.clone());
+        let random: f64 = (0..6)
+            .map(|s| cost(&problem, &RandomMapper::with_seed(s).map(&problem)))
+            .sum::<f64>()
+            / 6.0;
+        for mapper in [
+            Box::new(GreedyMapper) as Box<dyn Mapper>,
+            Box::new(MpippMapper::with_seed(1)),
+            Box::new(GeoMapper::default()),
+        ] {
+            let c = cost(&problem, &mapper.map(&problem));
+            assert!(c < random, "{} lost to random on {app}: {c} vs {random}", mapper.name());
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_with_enough_samples_beats_single_random() {
+    let problem = ec2_problem(16, 5, 0.0);
+    let one = cost(&problem, &RandomMapper::with_seed(123).map(&problem));
+    let best = cost(&problem, &MonteCarlo::new(500, 123).map(&problem));
+    assert!(best <= one);
+}
+
+#[test]
+fn exhaustive_certifies_geo_on_many_tiny_instances() {
+    let mut within_20pct = 0;
+    const CASES: u64 = 8;
+    for seed in 0..CASES {
+        let net_sites = presets::ec2_sites(&["us-east-1", "ap-southeast-1", "eu-west-1"], 2);
+        let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig {
+            seed,
+            ..geonet::SynthConfig::default()
+        })
+        .build(net_sites);
+        let pattern = RandomGraph { n: 6, degree: 2, max_bytes: 900_000, seed }.pattern();
+        let problem = MappingProblem::unconstrained(pattern, net);
+        let (_, opt) = ExhaustiveMapper::default().optimum(&problem);
+        let geo = cost(&problem, &GeoMapper { seed, ..GeoMapper::default() }.map(&problem));
+        assert!(geo >= opt - 1e-9);
+        if geo <= 1.2 * opt {
+            within_20pct += 1;
+        }
+    }
+    assert!(within_20pct >= 6, "Geo near-optimal on only {within_20pct}/{CASES} tiny instances");
+}
+
+#[test]
+fn all_mappers_handle_single_process() {
+    let net = presets::paper_ec2_network(1, InstanceType::M4Xlarge, 1);
+    let problem = MappingProblem::unconstrained(commgraph::CommPattern::empty(1), net);
+    for mapper in mappers(1) {
+        let m = mapper.map(&problem);
+        assert_eq!(m.len(), 1, "{}", mapper.name());
+        m.validate(&problem).unwrap();
+    }
+}
+
+#[test]
+fn all_mappers_handle_empty_pattern() {
+    let net = presets::paper_ec2_network(2, InstanceType::M4Xlarge, 1);
+    let problem = MappingProblem::unconstrained(commgraph::CommPattern::empty(8), net);
+    for mapper in mappers(2) {
+        let m = mapper.map(&problem);
+        m.validate(&problem).unwrap();
+        assert_eq!(cost(&problem, &m), 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_all_mappers_feasible_under_any_ratio(
+        seed in 0u64..200,
+        ratio in 0.0f64..1.0,
+    ) {
+        let problem = ec2_problem(16, seed, ratio);
+        for mapper in mappers(seed) {
+            let m = mapper.map(&problem);
+            prop_assert!(m.validate(&problem).is_ok(), "{} infeasible", mapper.name());
+        }
+    }
+
+    #[test]
+    fn prop_geo_dominates_random_in_expectation(seed in 0u64..100) {
+        let problem = ec2_problem(24, seed, 0.2);
+        let base: f64 = (0..4)
+            .map(|s| cost(&problem, &RandomMapper::with_seed(seed + s).map(&problem)))
+            .sum::<f64>() / 4.0;
+        let geo = cost(&problem, &GeoMapper { seed, ..GeoMapper::default() }.map(&problem));
+        prop_assert!(geo < base, "geo {geo} vs random mean {base}");
+    }
+}

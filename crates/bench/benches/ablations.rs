@@ -1,0 +1,41 @@
+//! Criterion timing of the Geo-distributed ablation knobs: grouping
+//! factor κ (order-search size), order-search strategy and rayon
+//! parallelism.
+
+use commgraph::apps::AppKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geomap_core::{GeoMapper, Mapper, MappingProblem, OrderSearch};
+use geonet::{presets, InstanceType};
+use std::hint::black_box;
+
+fn problem() -> MappingProblem {
+    let net = presets::paper_ec2_network(16, InstanceType::M4Xlarge, 1);
+    MappingProblem::unconstrained(AppKind::Lu.workload(64).pattern(), net)
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("geo_ablations");
+    for kappa in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("kappa", kappa), &kappa, |b, &k| {
+            let mapper = GeoMapper { kappa: k, ..GeoMapper::default() };
+            b.iter(|| black_box(mapper.map(&p)))
+        });
+    }
+    group.bench_function("order_first_only", |b| {
+        let mapper = GeoMapper { order_search: OrderSearch::FirstOnly, ..GeoMapper::default() };
+        b.iter(|| black_box(mapper.map(&p)))
+    });
+    group.bench_function("serial_orders", |b| {
+        let mapper = GeoMapper { parallel: false, ..GeoMapper::default() };
+        b.iter(|| black_box(mapper.map(&p)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion::Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion timing of the cost-function kernels: full Eq. 3 evaluation,
+//! incremental swap deltas and the aggregate replays.
+
+use commgraph::apps::AppKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geomap_core::{cost, cost::swap_delta, Mapping, MappingProblem};
+use geonet::{presets, InstanceType, SiteId};
+use simnet::{bottleneck_time, sum_cost};
+use std::hint::black_box;
+
+fn problem(n: usize) -> (MappingProblem, Mapping) {
+    let net = presets::paper_ec2_network(n / 4, InstanceType::M4Xlarge, 1);
+    let p = MappingProblem::unconstrained(AppKind::KMeans.workload(n).pattern(), net);
+    let m = Mapping::from((0..n).map(|i| i % 4).collect::<Vec<_>>());
+    (p, m)
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_eval");
+    for n in [64usize, 256, 1024] {
+        let (p, m) = problem(n);
+        group.bench_with_input(BenchmarkId::new("eq3_full", n), &n, |b, _| {
+            b.iter(|| black_box(cost(&p, &m)))
+        });
+        group.bench_with_input(BenchmarkId::new("swap_delta", n), &n, |b, _| {
+            b.iter(|| black_box(swap_delta(&p, &m, 0, n / 2)))
+        });
+        let assignment: Vec<SiteId> = m.as_slice().to_vec();
+        group.bench_with_input(BenchmarkId::new("replay_sum", n), &n, |b, _| {
+            b.iter(|| black_box(sum_cost(p.pattern(), p.network(), &assignment)))
+        });
+        group.bench_with_input(BenchmarkId::new("replay_bottleneck", n), &n, |b, _| {
+            b.iter(|| black_box(bottleneck_time(p.pattern(), p.network(), &assignment)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

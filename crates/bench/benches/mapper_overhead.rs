@@ -1,0 +1,50 @@
+//! Criterion timing of the mappers' optimization overhead (Fig. 4's
+//! quantity, measured precisely): Baseline, Greedy, MPIPP and
+//! Geo-distributed at the paper's scales.
+
+use baselines::{GreedyMapper, MpippMapper, RandomMapper};
+use commgraph::apps::AppKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geomap_core::{GeoMapper, Mapper, MappingProblem};
+use geonet::{presets, InstanceType};
+use std::hint::black_box;
+
+fn problem(sites: usize, processes: usize) -> MappingProblem {
+    let regions = ["us-east-1", "us-west-2", "ap-southeast-1", "eu-west-1"];
+    let net_sites = presets::ec2_sites(&regions[..sites], processes / sites);
+    let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig::ec2(InstanceType::M4Xlarge))
+        .build(net_sites);
+    MappingProblem::unconstrained(AppKind::Lu.workload(processes).pattern(), net)
+}
+
+fn bench_mappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper_overhead");
+    for (sites, processes) in [(1usize, 32usize), (2, 64), (4, 64), (4, 128), (4, 256)] {
+        let p = problem(sites, processes);
+        let scale = format!("{sites}s/{processes}p");
+        group.bench_with_input(BenchmarkId::new("baseline", &scale), &p, |b, p| {
+            b.iter(|| black_box(RandomMapper::with_seed(1).map(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", &scale), &p, |b, p| {
+            b.iter(|| black_box(GreedyMapper.map(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("geo", &scale), &p, |b, p| {
+            b.iter(|| black_box(GeoMapper::default().map(p)))
+        });
+        // MPIPP is O(N^3)-ish; keep it to the smaller scales so the suite
+        // stays runnable (the paper similarly drops it at scale).
+        if processes <= 64 {
+            group.bench_with_input(BenchmarkId::new("mpipp", &scale), &p, |b, p| {
+                b.iter(|| black_box(MpippMapper::with_seed(1).map(p)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mappers
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Re-render SVG figures from existing results CSVs without re-running
+//! the (expensive) experiments. Currently supports Fig. 7.
+//!
+//! ```text
+//! cargo run -p geomap-bench --release --bin render -- results/fig7_scales.csv results/
+//! ```
+
+use geomap_bench::svg;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [csv_path, out_dir] = args.as_slice() else {
+        eprintln!("usage: render <fig7_scales.csv> <out_dir>");
+        return ExitCode::FAILURE;
+    };
+    let csv = match std::fs::read_to_string(csv_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {csv_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // app -> (greedy points, geo points)
+    let mut apps: BTreeMap<String, (Vec<(f64, f64)>, Vec<(f64, f64)>)> = BTreeMap::new();
+    for line in csv.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 5 {
+            continue;
+        }
+        let (Ok(machines), Ok(greedy), Ok(geo)) =
+            (f[1].parse::<f64>(), f[2].parse::<f64>(), f[4].parse::<f64>())
+        else {
+            continue;
+        };
+        let entry = apps.entry(f[0].to_string()).or_default();
+        entry.0.push((machines, greedy));
+        entry.1.push((machines, geo));
+    }
+    for (app, (greedy, geo)) in apps {
+        let rendered = svg::lines(
+            &format!("Fig. 7 — {app}: improvement vs scale"),
+            &[("Greedy", greedy), ("Geo-distributed", geo)],
+            "machines",
+            "improvement over Baseline (%)",
+            true,
+        );
+        let name = format!("fig7_{}.svg", app.to_lowercase().replace('-', ""));
+        let path = std::path::Path::new(out_dir).join(&name);
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("cannot write {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,76 @@
+//! Reproduce the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>... [--quick] [--seed N] [--out DIR] [--no-csv]
+//! repro all [--quick]
+//! repro list
+//! ```
+
+use geomap_bench::experiments::{self, ALL_EXPERIMENTS};
+use geomap_bench::util::default_results_dir;
+use geomap_bench::ExpContext;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro <experiment>... [--quick] [--seed N] [--out DIR] [--no-csv]");
+    eprintln!("       repro all | list");
+    eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut ctx = ExpContext { quick: false, seed: 0x5C17, out_dir: Some(default_results_dir()) };
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => ctx.quick = true,
+            "--no-csv" => ctx.out_dir = None,
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return usage();
+                };
+                ctx.seed = v;
+            }
+            "--out" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--out needs a directory");
+                    return usage();
+                };
+                ctx.out_dir = Some(PathBuf::from(v));
+            }
+            "list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+
+    if ids.is_empty() {
+        return usage();
+    }
+
+    for id in &ids {
+        if !experiments::run(id, &ctx) {
+            eprintln!("unknown experiment {id:?}");
+            return usage();
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

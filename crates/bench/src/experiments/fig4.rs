@@ -1,0 +1,105 @@
+//! Figure 4: optimization overhead of the compared algorithms at
+//! different scales ("#sites/#processes"), normalized to Baseline.
+//!
+//! Scales match the paper: 1/32, 2/64, 4/64, 4/128, 4/256. Expected
+//! shape (§5.2): Baseline ≪ Greedy ≈ Geo ≪ MPIPP; Geo == Greedy at one
+//! site; Geo's overhead grows with the number of sites (the κ! factor)
+//! and MPIPP's grows fastest with N.
+
+use crate::util::{fmt_secs, timed, Csv, ExpContext};
+use baselines::{GreedyMapper, MpippMapper, RandomMapper};
+use commgraph::apps::AppKind;
+use geomap_core::{GeoMapper, Mapper, MappingProblem};
+use geonet::{presets, InstanceType};
+
+/// The paper's Fig. 4 scales as `(sites, processes)`.
+pub const SCALES: [(usize, usize); 5] = [(1, 32), (2, 64), (4, 64), (4, 128), (4, 256)];
+
+fn problem_at(sites: usize, processes: usize, seed: u64) -> MappingProblem {
+    let regions: Vec<&str> = ["us-east-1", "us-west-2", "ap-southeast-1", "eu-west-1"][..sites].to_vec();
+    let net_sites = presets::ec2_sites(&regions, processes / sites);
+    let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig {
+        seed,
+        ..geonet::SynthConfig::ec2(InstanceType::M4Xlarge)
+    })
+    .build(net_sites);
+    let pattern = AppKind::Lu.workload(processes).pattern();
+    MappingProblem::unconstrained(pattern, net)
+}
+
+/// Median-of-3 wall-clock of one mapper on one problem, in seconds.
+fn overhead_secs(mapper: &dyn Mapper, problem: &MappingProblem) -> f64 {
+    let mut times: Vec<f64> = (0..3)
+        .map(|_| {
+            let (m, t) = timed(|| mapper.map(problem));
+            m.validate(problem).unwrap();
+            t.as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[1]
+}
+
+/// Run the figure.
+pub fn run(ctx: &ExpContext) {
+    println!("== Fig. 4: optimization overhead (normalized to Baseline) ==");
+    let scales: Vec<(usize, usize)> =
+        if ctx.quick { vec![(1, 16), (2, 16), (4, 32)] } else { SCALES.to_vec() };
+    let mut csv = Csv::new(&[
+        "sites", "processes", "baseline_s", "greedy_s", "mpipp_s", "geo_s", "greedy_norm",
+        "mpipp_norm", "geo_norm",
+    ]);
+    println!(
+        "{:<10} {:>11} {:>11} {:>11} {:>11} | normalized G/M/Geo",
+        "scale", "Baseline", "Greedy", "MPIPP", "Geo"
+    );
+    for (sites, processes) in scales {
+        let problem = problem_at(sites, processes, ctx.seed);
+        let t_base = overhead_secs(&RandomMapper::with_seed(ctx.seed), &problem).max(1e-7);
+        let t_greedy = overhead_secs(&GreedyMapper, &problem);
+        let t_mpipp = overhead_secs(&MpippMapper::with_seed(ctx.seed), &problem);
+        let t_geo = overhead_secs(&GeoMapper { seed: ctx.seed, ..GeoMapper::default() }, &problem);
+        println!(
+            "{:<10} {:>11} {:>11} {:>11} {:>11} | {:.0}x / {:.0}x / {:.0}x",
+            format!("{sites}/{processes}"),
+            fmt_secs(t_base),
+            fmt_secs(t_greedy),
+            fmt_secs(t_mpipp),
+            fmt_secs(t_geo),
+            t_greedy / t_base,
+            t_mpipp / t_base,
+            t_geo / t_base,
+        );
+        csv.row(&[
+            sites.to_string(),
+            processes.to_string(),
+            format!("{t_base:.6}"),
+            format!("{t_greedy:.6}"),
+            format!("{t_mpipp:.6}"),
+            format!("{t_geo:.6}"),
+            format!("{:.1}", t_greedy / t_base),
+            format!("{:.1}", t_mpipp / t_base),
+            format!("{:.1}", t_geo / t_base),
+        ]);
+    }
+    ctx.write_csv("fig4_overhead.csv", &csv.finish());
+    println!("(expected shape: MPIPP >> Geo >= Greedy >> Baseline; Geo == Greedy trend at 1 site)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_in_smoke_mode() {
+        run(&ExpContext::smoke());
+    }
+
+    #[test]
+    fn mpipp_overhead_exceeds_greedy_at_64() {
+        let p = problem_at(4, 64, 1);
+        let g = overhead_secs(&GreedyMapper, &p);
+        let m = overhead_secs(&MpippMapper::with_seed(1), &p);
+        assert!(m > g, "MPIPP {m} not above Greedy {g}");
+    }
+}

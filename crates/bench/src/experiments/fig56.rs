@@ -1,0 +1,145 @@
+//! Figures 5 and 6: overall performance improvement of the five
+//! applications over Baseline, on the emulated EC2 deployment.
+//!
+//! * **Fig. 5** replays each application end-to-end on the simulated
+//!   message-passing runtime *including computation* (the paper's real
+//!   EC2 runs), so computation-bound apps (DNN) show small improvements.
+//! * **Fig. 6** zeroes computation (the paper's ns-2 simulation study),
+//!   isolating communication; improvements grow accordingly.
+//!
+//! Expected shape (§5.3/5.4): Geo wins everywhere (~50 % on average, up
+//! to 90 %); Greedy strong on BT/SP/LU but weak (< 10 %) on K-means and
+//! DNN; MPIPP a uniform 10–30 %.
+
+use crate::setup::app_problem;
+use crate::util::{improvement_pct, mean, std_error, Csv, ExpContext};
+use baselines::{paper_mappers, RandomMapper};
+use commgraph::apps::AppKind;
+use geomap_core::{Mapper, MappingProblem};
+use mpirt::RunConfig;
+
+/// Measured improvements of one app: `(name, greedy, mpipp, geo)` in %.
+pub struct AppRow {
+    /// Application name.
+    pub app: &'static str,
+    /// Improvement over Baseline per algorithm, in percent.
+    pub improvements: [f64; 3],
+    /// Standard error of the baseline makespans.
+    pub baseline_stderr: f64,
+}
+
+/// Execute one mapping and report the makespan.
+fn makespan(problem: &MappingProblem, mapping: &geomap_core::Mapping, cfg: &RunConfig, app: AppKind) -> f64 {
+    let workload = app.workload(problem.num_processes());
+    mpirt::execute_workload(workload.as_ref(), problem.network(), mapping.as_slice(), cfg).makespan
+}
+
+/// Shared driver for both figures.
+pub fn improvements(ctx: &ExpContext, cfg: &RunConfig) -> Vec<AppRow> {
+    let baseline_runs = ctx.scaled(10, 3);
+    let nodes_per_site = ctx.scaled(16, 4);
+    AppKind::ALL
+        .iter()
+        .map(|&app| {
+            let problem = app_problem(app, nodes_per_site, 0.2, ctx.seed);
+            let baselines: Vec<f64> = (0..baseline_runs)
+                .map(|i| {
+                    let m = RandomMapper::with_seed(ctx.seed.wrapping_add(i as u64)).map(&problem);
+                    makespan(&problem, &m, cfg, app)
+                })
+                .collect();
+            let base = mean(&baselines);
+            let mut improvements = [0.0; 3];
+            for (slot, mapper) in paper_mappers(ctx.seed).iter().enumerate() {
+                let m = mapper.map(&problem);
+                m.validate(&problem).unwrap();
+                improvements[slot] = improvement_pct(base, makespan(&problem, &m, cfg, app));
+            }
+            AppRow { app: app.name(), improvements, baseline_stderr: std_error(&baselines) }
+        })
+        .collect()
+}
+
+fn report(title: &str, file: &str, rows: &[AppRow], ctx: &ExpContext) {
+    println!("== {title} ==");
+    println!("{:<10} {:>8} {:>8} {:>8}   (improvement % over Baseline)", "app", "Greedy", "MPIPP", "Geo");
+    let mut csv = Csv::new(&["app", "greedy_pct", "mpipp_pct", "geo_pct", "baseline_stderr"]);
+    for r in rows {
+        println!(
+            "{:<10} {:>8.1} {:>8.1} {:>8.1}",
+            r.app, r.improvements[0], r.improvements[1], r.improvements[2]
+        );
+        csv.row(&[
+            r.app.into(),
+            format!("{:.2}", r.improvements[0]),
+            format!("{:.2}", r.improvements[1]),
+            format!("{:.2}", r.improvements[2]),
+            format!("{:.4}", r.baseline_stderr),
+        ]);
+    }
+    let geo_avg = mean(&rows.iter().map(|r| r.improvements[2]).collect::<Vec<_>>());
+    println!("Geo-distributed mean improvement: {geo_avg:.1}%");
+    ctx.write_csv(file, &csv.finish());
+
+    // Companion figure.
+    let categories: Vec<&str> = rows.iter().map(|r| r.app).collect();
+    let series: Vec<(&str, Vec<f64>)> = ["Greedy", "MPIPP", "Geo-distributed"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (*name, rows.iter().map(|r| r.improvements[i]).collect()))
+        .collect();
+    let svg = crate::svg::grouped_bars(title, &categories, &series, "improvement over Baseline (%)");
+    ctx.write_csv(&file.replace(".csv", ".svg"), &svg);
+}
+
+/// Fig. 5: total time (computation included).
+pub fn run_fig5(ctx: &ExpContext) {
+    let rows = improvements(ctx, &RunConfig::default());
+    report(
+        "Fig. 5: overall improvement on emulated EC2 (with computation)",
+        "fig5_ec2_improvement.csv",
+        &rows,
+        ctx,
+    );
+}
+
+/// Fig. 6: communication time only.
+pub fn run_fig6(ctx: &ExpContext) {
+    let rows = improvements(ctx, &RunConfig::comm_only());
+    report(
+        "Fig. 6: communication-only improvement (simulation)",
+        "fig6_sim_improvement.csv",
+        &rows,
+        ctx,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_wins_on_every_app_comm_only() {
+        let ctx = ExpContext::smoke();
+        let rows = improvements(&ctx, &RunConfig::comm_only());
+        for r in &rows {
+            let geo = r.improvements[2];
+            assert!(geo > 0.0, "{}: geo improvement {geo}", r.app);
+            if r.app == "DNN" {
+                // Known deviation (see EXPERIMENTS.md): on the synthetic
+                // network bandwidth and latency are strongly correlated,
+                // so bandwidth-greedy placement is accidentally good for
+                // the latency-bound DNN makespan. Geo must still clearly
+                // beat Baseline and stay competitive.
+                assert!(geo > 15.0, "DNN: geo only {geo}%");
+                continue;
+            }
+            assert!(
+                geo + 5.0 >= r.improvements[0] && geo + 5.0 >= r.improvements[1],
+                "{}: geo {geo} far below a baseline {:?}",
+                r.app,
+                r.improvements
+            );
+        }
+    }
+}

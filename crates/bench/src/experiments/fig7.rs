@@ -1,0 +1,93 @@
+//! Figure 7: performance improvement at different scales (64 … 8192
+//! machines) for LU, K-means and DNN.
+//!
+//! The paper's large-scale study simulates communication time only; we
+//! use the Eq. 2 cost replay (see `simnet::replay`) so the sweep stays
+//! tractable at 8192 processes. MPIPP is dropped beyond 256 processes,
+//! as the paper drops it beyond ~1000 for its runtime overhead.
+//!
+//! Expected shape (§5.4): improvements decline slowly with scale, Geo
+//! stays above 50 % even at 8192, Greedy holds on LU (> 30 %) but stays
+//! under ~10 % for K-means and DNN.
+
+use crate::setup::scale_problem;
+use crate::util::{improvement_pct, mean, Csv, ExpContext};
+use baselines::{GreedyMapper, MpippMapper, RandomMapper};
+use commgraph::apps::AppKind;
+use geomap_core::{cost, GeoMapper, Mapper};
+
+/// Machine counts of the full sweep.
+pub const FULL_SCALES: [usize; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Run the figure.
+pub fn run(ctx: &ExpContext) {
+    println!("== Fig. 7: improvement vs scale (communication cost model) ==");
+    let scales: Vec<usize> =
+        if ctx.quick { vec![64, 128, 256] } else { FULL_SCALES.to_vec() };
+    let apps = [AppKind::Lu, AppKind::KMeans, AppKind::Dnn];
+    let mut csv = Csv::new(&["app", "machines", "greedy_pct", "mpipp_pct", "geo_pct"]);
+    for app in apps {
+        println!("\n--- {app} ---");
+        println!("{:<9} {:>8} {:>8} {:>8}", "machines", "Greedy", "MPIPP", "Geo");
+        let mut greedy_pts = Vec::new();
+        let mut geo_pts = Vec::new();
+        for &machines in &scales {
+            let problem = scale_problem(app, machines, ctx.seed);
+            let baseline_samples = ctx.scaled(5, 3);
+            let base = mean(
+                &(0..baseline_samples)
+                    .map(|i| {
+                        cost(
+                            &problem,
+                            &RandomMapper::with_seed(ctx.seed.wrapping_add(i as u64)).map(&problem),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            let greedy = improvement_pct(base, cost(&problem, &GreedyMapper.map(&problem)));
+            let geo = improvement_pct(
+                base,
+                cost(&problem, &GeoMapper { seed: ctx.seed, ..GeoMapper::default() }.map(&problem)),
+            );
+            let mpipp = (machines <= 256).then(|| {
+                improvement_pct(base, cost(&problem, &MpippMapper::with_seed(ctx.seed).map(&problem)))
+            });
+            match mpipp {
+                Some(m) => println!("{machines:<9} {greedy:>8.1} {m:>8.1} {geo:>8.1}"),
+                None => println!("{machines:<9} {greedy:>8.1} {:>8} {geo:>8.1}", "-"),
+            }
+            csv.row(&[
+                app.name().into(),
+                machines.to_string(),
+                format!("{greedy:.2}"),
+                mpipp.map_or_else(|| "".into(), |m| format!("{m:.2}")),
+                format!("{geo:.2}"),
+            ]);
+            greedy_pts.push((machines as f64, greedy));
+            geo_pts.push((machines as f64, geo));
+        }
+        let svg = crate::svg::lines(
+            &format!("Fig. 7 — {app}: improvement vs scale"),
+            &[("Greedy", greedy_pts), ("Geo-distributed", geo_pts)],
+            "machines",
+            "improvement over Baseline (%)",
+            true,
+        );
+        ctx.write_csv(
+            &format!("fig7_{}.svg", app.name().to_lowercase().replace('-', "")),
+            &svg,
+        );
+    }
+    ctx.write_csv("fig7_scales.csv", &csv.finish());
+    println!("\n(expected: Geo > 50% throughout; Greedy good on LU only; slow decline with N)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_in_smoke_mode() {
+        run(&ExpContext::smoke());
+    }
+}

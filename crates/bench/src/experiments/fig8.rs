@@ -1,0 +1,84 @@
+//! Figure 8: performance improvement of Geo-distributed over Greedy at
+//! different data-movement constraint ratios (LU, K-means, DNN).
+//!
+//! Expected shape (§5.4): improvement shrinks as the ratio grows (less
+//! freedom to optimize) and vanishes at ratio 1.0 where the mapping is
+//! fully determined; LU and K-means decline concavely (slow at first),
+//! DNN roughly linearly.
+
+use crate::setup::app_problem;
+use crate::util::{improvement_pct, Csv, ExpContext};
+use baselines::GreedyMapper;
+use commgraph::apps::AppKind;
+use geomap_core::{cost, GeoMapper, Mapper};
+
+/// Constraint ratios of the sweep (paper's x-axis, 20 % … 100 %).
+pub const RATIOS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Improvement of Geo over Greedy for one app/ratio, averaged over a few
+/// random constraint draws.
+pub fn improvement_at(app: AppKind, ratio: f64, draws: usize, seed: u64) -> f64 {
+    improvement_at_scaled(app, ratio, draws, 16, seed)
+}
+
+/// Same, with an explicit per-site node count (quick mode shrinks it).
+pub fn improvement_at_scaled(app: AppKind, ratio: f64, draws: usize, nodes: usize, seed: u64) -> f64 {
+    let total: f64 = (0..draws)
+        .map(|d| {
+            let problem = app_problem(app, nodes, ratio, seed.wrapping_add(d as u64 * 131));
+            let greedy = cost(&problem, &GreedyMapper.map(&problem));
+            let geo = cost(&problem, &GeoMapper { seed, ..GeoMapper::default() }.map(&problem));
+            improvement_pct(greedy, geo)
+        })
+        .sum();
+    total / draws as f64
+}
+
+/// Run the figure.
+pub fn run(ctx: &ExpContext) {
+    println!("== Fig. 8: improvement over Greedy vs constraint ratio ==");
+    let draws = ctx.scaled(5, 2);
+    let nodes = ctx.scaled(16, 4);
+    let apps = [AppKind::Lu, AppKind::KMeans, AppKind::Dnn];
+    let mut csv = Csv::new(&["app", "ratio", "improvement_over_greedy_pct"]);
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> =
+        apps.iter().map(|a| (a.name(), Vec::new())).collect();
+    println!("{:<9} {}", "ratio", apps.map(|a| format!("{:>9}", a.name())).join(" "));
+    for ratio in RATIOS {
+        let mut cells = Vec::new();
+        for (ai, app) in apps.iter().enumerate() {
+            let imp = improvement_at_scaled(*app, ratio, draws, nodes, ctx.seed);
+            cells.push(format!("{imp:>9.1}"));
+            csv.row(&[app.name().into(), format!("{ratio:.1}"), format!("{imp:.2}")]);
+            series[ai].1.push((ratio * 100.0, imp));
+        }
+        println!("{ratio:<9.1} {}", cells.join(" "));
+    }
+    ctx.write_csv("fig8_constraints.csv", &csv.finish());
+    let svg = crate::svg::lines(
+        "Fig. 8 — improvement over Greedy vs constraint ratio",
+        &series,
+        "constraint ratio (%)",
+        "improvement over Greedy (%)",
+        false,
+    );
+    ctx.write_csv("fig8_constraints.svg", &svg);
+    println!("(expected: declines to ~0 at ratio 1.0; LU/K-means concave, DNN near-linear)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_constrained_gives_zero_improvement() {
+        // At ratio 1.0 both mappers emit the same (forced) mapping.
+        let imp = improvement_at(AppKind::Lu, 1.0, 1, 3);
+        assert!(imp.abs() < 1e-9, "got {imp}");
+    }
+
+    #[test]
+    fn runs_in_smoke_mode() {
+        run(&ExpContext::smoke());
+    }
+}

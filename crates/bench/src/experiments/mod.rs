@@ -1,0 +1,62 @@
+//! One module per paper artifact. See DESIGN.md §4 for the experiment
+//! index mapping each table/figure to workloads, modules and outputs.
+
+pub mod ablation;
+pub mod ext_clouds;
+pub mod fig3;
+pub mod fig4;
+pub mod fig56;
+pub mod fig7;
+pub mod fig8;
+pub mod fig910;
+pub mod robustness;
+pub mod tables;
+
+use crate::util::ExpContext;
+
+/// Every experiment id the `repro` binary accepts (besides `all`).
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "ablations", "azure", "multicloud", "robustness",
+];
+
+/// Dispatch one experiment by id. Returns `false` for unknown ids.
+pub fn run(id: &str, ctx: &ExpContext) -> bool {
+    match id {
+        "table1" => tables::table1(ctx),
+        "table2" => tables::table2(ctx),
+        "table3" => tables::table3(ctx),
+        "fig3" => fig3::run(ctx),
+        "fig4" => fig4::run(ctx),
+        "fig5" => fig56::run_fig5(ctx),
+        "fig6" => fig56::run_fig6(ctx),
+        "fig7" => fig7::run(ctx),
+        "fig8" => fig8::run(ctx),
+        "fig9" => fig910::run_fig9(ctx),
+        "fig10" => fig910::run_fig10(ctx),
+        "ablations" => ablation::run(ctx),
+        "azure" => ext_clouds::run_azure(ctx),
+        "multicloud" => ext_clouds::run_multicloud(ctx),
+        "robustness" => robustness::run(ctx),
+        _ => return false,
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_rejected() {
+        assert!(!run("fig99", &ExpContext::smoke()));
+    }
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids = ALL_EXPERIMENTS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_EXPERIMENTS.len());
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness reproducing every table and figure of the SC'17
+//! paper's evaluation (§2 and §5).
+//!
+//! Each experiment lives in [`experiments`] and is runnable through the
+//! `repro` binary:
+//!
+//! ```text
+//! cargo run -p geomap-bench --release --bin repro -- <experiment> [--quick] [--seed N]
+//! ```
+//!
+//! where `<experiment>` is one of `table1 table2 table3 fig3 fig4 fig5
+//! fig6 fig7 fig8 fig9 fig10 ablations all`. Results print to stdout and
+//! are also written as CSV into `results/` (override with
+//! `GEOMAP_RESULTS`). `--quick` shrinks sample counts and scale sweeps
+//! for smoke-testing; the defaults approach the paper's scales.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod setup;
+pub mod svg;
+pub mod util;
+
+pub use util::ExpContext;

@@ -1,0 +1,76 @@
+//! Shared experiment setups: networks, workloads and problems matching
+//! the paper's §5.1 configuration.
+
+use commgraph::apps::AppKind;
+use geomap_core::{ConstraintVector, MappingProblem};
+use geonet::{presets, InstanceType, SiteNetwork};
+
+/// The paper's EC2 deployment: 4 regions (US East, US West, Singapore,
+/// Ireland) × `nodes_per_site` m4.xlarge instances.
+pub fn ec2_network(nodes_per_site: usize, seed: u64) -> SiteNetwork {
+    presets::paper_ec2_network(nodes_per_site, InstanceType::M4Xlarge, seed)
+}
+
+/// The paper's default EC2 evaluation problem for one application:
+/// `n = 4 · nodes_per_site` processes, one per instance, constraint
+/// ratio 0.2 (§5.1) unless overridden.
+pub fn app_problem(
+    app: AppKind,
+    nodes_per_site: usize,
+    constraint_ratio: f64,
+    seed: u64,
+) -> MappingProblem {
+    let net = ec2_network(nodes_per_site, seed);
+    let n = 4 * nodes_per_site;
+    let pattern = app.workload(n).pattern();
+    let constraints = if constraint_ratio > 0.0 {
+        ConstraintVector::random(n, constraint_ratio, &net.capacities(), seed ^ 0xC0)
+    } else {
+        ConstraintVector::none(n)
+    };
+    MappingProblem::new(pattern, net, constraints)
+}
+
+/// The paper's default: 64 processes, constraint ratio 0.2.
+pub fn paper_default_problem(app: AppKind, seed: u64) -> MappingProblem {
+    app_problem(app, 16, 0.2, seed)
+}
+
+/// A simulation-scale problem: 4 regions, `machines` nodes evenly
+/// distributed, one process per node (Fig. 7's sweep).
+pub fn scale_problem(app: AppKind, machines: usize, seed: u64) -> MappingProblem {
+    assert!(machines.is_multiple_of(4), "machines must divide evenly over 4 regions");
+    app_problem(app, machines / 4, 0.2, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let p = paper_default_problem(AppKind::Lu, 1);
+        assert_eq!(p.num_processes(), 64);
+        assert_eq!(p.num_sites(), 4);
+        assert!((p.constraints().ratio() - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn scale_problem_distributes_evenly() {
+        let p = scale_problem(AppKind::KMeans, 128, 2);
+        assert_eq!(p.num_processes(), 128);
+        assert_eq!(p.capacities(), vec![32; 4]);
+    }
+
+    #[test]
+    fn zero_ratio_means_unconstrained() {
+        let p = app_problem(AppKind::Dnn, 4, 0.0, 1);
+        assert_eq!(p.constraints().num_pinned(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly")]
+    fn uneven_scale_rejected() {
+        scale_problem(AppKind::Lu, 65, 1);
+    }
+}

@@ -1,0 +1,312 @@
+//! Minimal self-contained SVG chart rendering.
+//!
+//! The harness's primary artifacts are CSVs, but a reproduction repo
+//! should also ship figures a reader can eyeball against the paper.
+//! This module renders the three chart shapes the paper uses — grouped
+//! bars (Figs. 4–6), multi-series lines (Figs. 7, 8, 10) and CDFs with
+//! markers (Fig. 9) — as plain SVG with no dependencies.
+//!
+//! Layout constants are deliberately simple: fixed canvas, linear or
+//! log-10 x, linear y, a legend strip at the top.
+
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 60.0;
+
+/// Series colours (colour-blind-safe-ish).
+const COLORS: [&str; 6] = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"];
+
+fn plot_w() -> f64 {
+    WIDTH - MARGIN_L - MARGIN_R
+}
+fn plot_h() -> f64 {
+    HEIGHT - MARGIN_T - MARGIN_B
+}
+
+fn header(title: &str) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"12\">\n\
+         <rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>\n\
+         <text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+        WIDTH / 2.0,
+        escape(title)
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn legend(names: &[&str]) -> String {
+    let mut out = String::new();
+    let mut x = MARGIN_L;
+    for (i, name) in names.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let _ = write!(
+            out,
+            "<rect x=\"{x}\" y=\"28\" width=\"12\" height=\"12\" fill=\"{color}\"/>\
+             <text x=\"{}\" y=\"38\">{}</text>\n",
+            x + 16.0,
+            escape(name)
+        );
+        x += 16.0 + 8.0 * name.len() as f64 + 24.0;
+    }
+    out
+}
+
+fn y_axis(max: f64, label: &str) -> String {
+    let mut out = String::new();
+    let ticks = 5usize;
+    for t in 0..=ticks {
+        let v = max * t as f64 / ticks as f64;
+        let y = MARGIN_T + plot_h() * (1.0 - t as f64 / ticks as f64);
+        let _ = write!(
+            out,
+            "<line x1=\"{MARGIN_L}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"#ddd\"/>\
+             <text x=\"{}\" y=\"{}\" text-anchor=\"end\">{v:.0}</text>\n",
+            WIDTH - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 4.0,
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"16\" y=\"{}\" transform=\"rotate(-90 16 {})\" text-anchor=\"middle\">{}</text>\n",
+        MARGIN_T + plot_h() / 2.0,
+        MARGIN_T + plot_h() / 2.0,
+        escape(label)
+    );
+    out
+}
+
+/// A grouped bar chart: one group per `categories` entry, one bar per
+/// series (Figs. 4–6 style).
+pub fn grouped_bars(
+    title: &str,
+    categories: &[&str],
+    series: &[(&str, Vec<f64>)],
+    y_label: &str,
+) -> String {
+    assert!(!categories.is_empty() && !series.is_empty());
+    for (name, vals) in series {
+        assert_eq!(vals.len(), categories.len(), "series {name} length mismatch");
+    }
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12)
+        * 1.1;
+
+    let mut out = header(title);
+    out.push_str(&legend(&series.iter().map(|(n, _)| *n).collect::<Vec<_>>()));
+    out.push_str(&y_axis(max, y_label));
+
+    let group_w = plot_w() / categories.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len() as f64;
+    for (ci, cat) in categories.iter().enumerate() {
+        let gx = MARGIN_L + group_w * ci as f64 + group_w * 0.1;
+        for (si, (_, vals)) in series.iter().enumerate() {
+            let v = vals[ci].max(0.0);
+            let h = plot_h() * v / max;
+            let x = gx + bar_w * si as f64;
+            let y = MARGIN_T + plot_h() - h;
+            let _ = write!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" fill=\"{}\"/>\n",
+                COLORS[si % COLORS.len()]
+            );
+        }
+        let _ = write!(
+            out,
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            gx + group_w * 0.4,
+            MARGIN_T + plot_h() + 18.0,
+            escape(cat)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A multi-series line chart. `log_x` plots x on a log-10 axis
+/// (Figs. 7 and 10 use machine counts / budgets in powers of two/ten).
+pub fn lines(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    x_label: &str,
+    y_label: &str,
+    log_x: bool,
+) -> String {
+    assert!(!series.is_empty());
+    let xs: Vec<f64> = series.iter().flat_map(|(_, pts)| pts.iter().map(|p| p.0)).collect();
+    let ys: Vec<f64> = series.iter().flat_map(|(_, pts)| pts.iter().map(|p| p.1)).collect();
+    assert!(!xs.is_empty(), "no points");
+    let tx = |x: f64| -> f64 {
+        let (lo, hi) = (
+            xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            xs.iter().cloned().fold(0.0f64, f64::max),
+        );
+        let (x, lo, hi) = if log_x { (x.log10(), lo.log10(), hi.log10()) } else { (x, lo, hi) };
+        MARGIN_L + plot_w() * ((x - lo) / (hi - lo).max(1e-12))
+    };
+    let max_y = ys.iter().cloned().fold(0.0f64, f64::max).max(1e-12) * 1.1;
+    let ty = |y: f64| MARGIN_T + plot_h() * (1.0 - y / max_y);
+
+    let mut out = header(title);
+    out.push_str(&legend(&series.iter().map(|(n, _)| *n).collect::<Vec<_>>()));
+    out.push_str(&y_axis(max_y, y_label));
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+        MARGIN_L + plot_w() / 2.0,
+        HEIGHT - 14.0,
+        escape(x_label)
+    );
+
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let mut d = String::new();
+        let mut sorted = pts.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (i, (x, y)) in sorted.iter().enumerate() {
+            let _ = write!(d, "{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, tx(*x), ty(*y));
+        }
+        let color = COLORS[si % COLORS.len()];
+        let _ = write!(out, "<path d=\"{d}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n");
+        for (x, y) in &sorted {
+            let _ = write!(
+                out,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+                tx(*x),
+                ty(*y)
+            );
+        }
+        // X tick labels from the first series only.
+        if si == 0 {
+            for (x, _) in &sorted {
+                let _ = write!(
+                    out,
+                    "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+                    tx(*x),
+                    MARGIN_T + plot_h() + 18.0,
+                    if *x >= 1000.0 { format!("{:.0}k", x / 1000.0) } else { format!("{x:.1}") }
+                );
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A CDF plot with vertical algorithm markers (Fig. 9 style). `cdf` is
+/// the sorted normalized costs; `markers` are `(label, normalized
+/// cost)` verticals.
+pub fn cdf_with_markers(title: &str, cdf: &[f64], markers: &[(&str, f64)]) -> String {
+    assert!(!cdf.is_empty());
+    let n = cdf.len();
+    let series: Vec<(f64, f64)> = cdf
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, (i + 1) as f64 / n as f64))
+        .collect();
+    let tx = |x: f64| MARGIN_L + plot_w() * x.clamp(0.0, 1.0);
+    let ty = |y: f64| MARGIN_T + plot_h() * (1.0 - y);
+
+    let mut out = header(title);
+    out.push_str(&y_axis(1.0, "cumulative fraction"));
+    let mut d = String::new();
+    // Down-sample the path to ~400 points.
+    let step = (n / 400).max(1);
+    for (i, (x, y)) in series.iter().step_by(step).enumerate() {
+        let _ = write!(d, "{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, tx(*x), ty(*y));
+    }
+    let _ = write!(out, "<path d=\"{d}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\"/>\n", COLORS[0]);
+    for (i, (label, x)) in markers.iter().enumerate() {
+        let color = COLORS[(i + 1) % COLORS.len()];
+        let _ = write!(
+            out,
+            "<line x1=\"{0:.1}\" y1=\"{MARGIN_T}\" x2=\"{0:.1}\" y2=\"{1}\" stroke=\"{color}\" \
+             stroke-dasharray=\"4 3\" stroke-width=\"2\"/>\
+             <text x=\"{0:.1}\" y=\"{2}\" text-anchor=\"middle\" fill=\"{color}\">{3}</text>\n",
+            tx(*x),
+            MARGIN_T + plot_h(),
+            MARGIN_T - 6.0,
+            escape(label)
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">normalized communication time</text>\n",
+        MARGIN_L + plot_w() / 2.0,
+        HEIGHT - 14.0
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_render_every_rect() {
+        let svg = grouped_bars(
+            "Fig 5",
+            &["BT", "SP", "LU"],
+            &[("Greedy", vec![40.0, 45.0, 39.0]), ("Geo", vec![55.0, 56.0, 60.0])],
+            "improvement %",
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // 3 categories x 2 series bars + white background + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 1 + 2 + 6);
+        assert!(svg.contains("BT"));
+    }
+
+    #[test]
+    fn lines_render_paths_and_points() {
+        let svg = lines(
+            "Fig 7",
+            &[("Geo", vec![(64.0, 55.0), (256.0, 53.0), (1024.0, 52.0)])],
+            "machines",
+            "improvement %",
+            true,
+        );
+        assert_eq!(svg.matches("<path").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("1k")); // log-x tick label
+    }
+
+    #[test]
+    fn cdf_renders_markers() {
+        let cdf: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let svg = cdf_with_markers("Fig 9", &cdf, &[("Geo", 0.2), ("Greedy", 0.5)]);
+        assert_eq!(svg.matches("stroke-dasharray").count(), 2);
+        assert!(svg.contains("Geo") && svg.contains("Greedy"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = grouped_bars("a < b & c", &["x"], &[("s", vec![1.0])], "y");
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bars_validate_lengths() {
+        grouped_bars("t", &["a", "b"], &[("s", vec![1.0])], "y");
+    }
+
+    #[test]
+    fn flat_data_does_not_divide_by_zero() {
+        let svg = lines("flat", &[("s", vec![(1.0, 0.0), (2.0, 0.0)])], "x", "y", false);
+        assert!(!svg.contains("NaN"));
+    }
+}

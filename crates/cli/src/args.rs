@@ -1,0 +1,118 @@
+//! Minimal `--flag value` argument parsing (no external crates).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs plus boolean switches.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: [&str; 2] = ["heatmap", "simulate"];
+
+impl Args {
+    /// Parse an argument list of the form `--key value ... --switch ...`.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got {arg:?}"));
+            };
+            if SWITCHES.contains(&key) {
+                out.switches.push(key.to_string());
+            } else {
+                i += 1;
+                let value = argv
+                    .get(i)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                out.values.insert(key.to_string(), value.clone());
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse::<T>().map_err(|e| format!("--{key} {v:?}: {e}")),
+        }
+    }
+
+    /// A required parsed flag.
+    pub fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let v = self.required(key)?;
+        v.parse::<T>().map_err(|e| format!("--{key} {v:?}: {e}"))
+    }
+
+    /// Is the boolean switch present?
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = Args::parse(&argv("--app lu --ranks 64 --heatmap")).unwrap();
+        assert_eq!(a.required("app").unwrap(), "lu");
+        assert_eq!(a.parsed::<usize>("ranks").unwrap(), 64);
+        assert!(a.switch("heatmap"));
+        assert!(!a.switch("simulate"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv("--app")).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn bare_word_is_an_error() {
+        assert!(Args::parse(&argv("lu")).unwrap_err().contains("--flag"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv("")).unwrap();
+        assert_eq!(a.parsed_or("seed", 7u64).unwrap(), 7);
+        assert!(a.optional("out").is_none());
+        assert!(a.required("network").unwrap_err().contains("required"));
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let a = Args::parse(&argv("--ranks abc")).unwrap();
+        assert!(a.parsed::<usize>("ranks").unwrap_err().contains("abc"));
+    }
+}

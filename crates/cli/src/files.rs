@@ -1,0 +1,144 @@
+//! CSV interchange for constraints and mappings, plus file helpers.
+
+use geomap_core::{ConstraintVector, Mapping};
+use geonet::SiteId;
+
+/// Serialize a mapping as `process,site` rows.
+pub fn mapping_to_csv(mapping: &Mapping) -> String {
+    let mut s = String::from("process,site\n");
+    for (i, site) in mapping.as_slice().iter().enumerate() {
+        s.push_str(&format!("{},{}\n", i, site.index()));
+    }
+    s
+}
+
+/// Parse a mapping over `n` processes from `process,site` rows. Every
+/// process must appear exactly once.
+pub fn mapping_from_csv(n: usize, csv: &str) -> Result<Mapping, String> {
+    let pairs = process_site_pairs(csv)?;
+    let mut assignment: Vec<Option<SiteId>> = vec![None; n];
+    for (lineno, (process, site)) in pairs {
+        if process >= n {
+            return Err(format!("line {lineno}: process {process} out of range for n={n}"));
+        }
+        if assignment[process].is_some() {
+            return Err(format!("line {lineno}: process {process} assigned twice"));
+        }
+        assignment[process] = Some(SiteId(site));
+    }
+    let full: Option<Vec<SiteId>> = assignment.into_iter().collect();
+    full.map(Mapping::new).ok_or_else(|| "not every process is assigned".to_string())
+}
+
+/// Serialize a constraint vector as `process,site` rows (pinned
+/// processes only).
+pub fn constraints_to_csv(constraints: &ConstraintVector) -> String {
+    let mut s = String::from("process,site\n");
+    for (i, pin) in constraints.iter().enumerate() {
+        if let Some(site) = pin {
+            s.push_str(&format!("{},{}\n", i, site.index()));
+        }
+    }
+    s
+}
+
+/// Parse a constraint vector over `n` processes (absent processes are
+/// unconstrained).
+pub fn constraints_from_csv(n: usize, csv: &str) -> Result<ConstraintVector, String> {
+    let pairs = process_site_pairs(csv)?;
+    let mut c = ConstraintVector::none(n);
+    for (lineno, (process, site)) in pairs {
+        if process >= n {
+            return Err(format!("line {lineno}: process {process} out of range for n={n}"));
+        }
+        c.pin(process, SiteId(site));
+    }
+    Ok(c)
+}
+
+/// Shared `process,site` parser: returns `(line, (process, site))`.
+fn process_site_pairs(csv: &str) -> Result<Vec<(usize, (usize, usize))>, String> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty input")?;
+    if header.trim() != "process,site" {
+        return Err(format!("bad header {header:?}, expected \"process,site\""));
+    }
+    let mut out = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 2 {
+            return Err(format!("line {}: expected 2 fields, got {}", lineno + 1, f.len()));
+        }
+        let parse = |s: &str, what: &str| -> Result<usize, String> {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("line {}: bad {what} {s:?}: {e}", lineno + 1))
+        };
+        out.push((lineno + 1, (parse(f[0], "process")?, parse(f[1], "site")?)));
+    }
+    Ok(out)
+}
+
+/// Read a whole file with a friendly error.
+pub fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))
+}
+
+/// Write a file (creating parent directories) with a friendly error.
+pub fn write(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("cannot create {parent:?}: {e}"))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_roundtrip() {
+        let m = Mapping::from(vec![0usize, 2, 1, 2]);
+        let csv = mapping_to_csv(&m);
+        assert_eq!(mapping_from_csv(4, &csv).unwrap(), m);
+    }
+
+    #[test]
+    fn mapping_must_be_total() {
+        let csv = "process,site\n0,1\n2,0\n";
+        assert!(mapping_from_csv(3, csv).unwrap_err().contains("not every process"));
+    }
+
+    #[test]
+    fn mapping_duplicates_rejected() {
+        let csv = "process,site\n0,1\n0,2\n";
+        assert!(mapping_from_csv(1, csv).unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn constraints_roundtrip() {
+        let mut c = ConstraintVector::none(5);
+        c.pin(1, SiteId(3));
+        c.pin(4, SiteId(0));
+        let csv = constraints_to_csv(&c);
+        assert_eq!(constraints_from_csv(5, &csv).unwrap(), c);
+    }
+
+    #[test]
+    fn header_checked() {
+        assert!(mapping_from_csv(1, "a,b\n").unwrap_err().contains("bad header"));
+        assert!(constraints_from_csv(1, "").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(constraints_from_csv(2, "process,site\n9,0\n")
+            .unwrap_err()
+            .contains("out of range"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Additional NPB kernels beyond the paper's evaluation set.
+//!
+//! The paper evaluates BT, SP and LU; **CG** (Conjugate Gradient) and
+//! **FT** (3-D FFT) complete the classic NPB communication spectrum —
+//! CG mixes row-wise reductions with transpose exchanges (mid-range
+//! locality), and FT is a repeated global transpose (all-to-all), the
+//! worst case for any locality-seeking mapper. Useful for stress tests
+//! and for users whose workloads look nothing like a stencil.
+
+use super::{grid_dims, Workload};
+use crate::collectives::{allreduce, alltoall};
+use crate::program::{Program, ProgramBuilder};
+
+/// NPB CG (Conjugate Gradient) communication generator.
+///
+/// Ranks form a `rows × cols` grid; each CG iteration does a
+/// recursive-doubling allreduce along every grid row (the distributed
+/// dot products / `q = A·p` row sums) followed by an exchange with the
+/// transpose partner (moving between row and column distributions).
+#[derive(Debug, Clone)]
+pub struct Cg {
+    n: usize,
+    /// CG iterations.
+    pub iterations: usize,
+    /// Bytes per row-reduction element block.
+    pub reduce_bytes: u64,
+    /// Bytes of the transpose exchange.
+    pub transpose_bytes: u64,
+    /// Per-rank computation per iteration, seconds.
+    pub compute_per_iter: f64,
+}
+
+impl Cg {
+    /// CLASS C-flavoured defaults at `n` ranks.
+    pub fn class_c(n: usize) -> Self {
+        assert!(n > 0);
+        Self {
+            n,
+            iterations: 15,
+            reduce_bytes: 16_000,
+            transpose_bytes: 70_000,
+            compute_per_iter: 0.008,
+        }
+    }
+}
+
+impl Workload for Cg {
+    fn name(&self) -> &'static str {
+        "CG"
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn program(&self) -> Program {
+        let (rows, cols) = grid_dims(self.n);
+        let mut b = ProgramBuilder::new(self.n);
+        for _ in 0..self.iterations {
+            b.compute_all(self.compute_per_iter);
+            // Row-wise reductions.
+            for r in 0..rows {
+                let row: Vec<usize> = (0..cols).map(|c| r * cols + c).collect();
+                allreduce(&mut b, &row, self.reduce_bytes);
+            }
+            // Transpose exchange (only meaningful on square-ish grids;
+            // off-square partners fall back to the reversed index).
+            for i in 0..self.n {
+                let (r, c) = (i / cols, i % cols);
+                let partner = if rows == cols { c * cols + r } else { self.n - 1 - i };
+                if partner > i {
+                    b.transfer(i, partner, self.transpose_bytes);
+                    b.transfer(partner, i, self.transpose_bytes);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// NPB FT (3-D FFT) communication generator: per iteration one global
+/// transpose, i.e. a personalized all-to-all with `volume / n` bytes per
+/// ordered pair.
+#[derive(Debug, Clone)]
+pub struct Ft {
+    n: usize,
+    /// FFT iterations (inverse-transform steps).
+    pub iterations: usize,
+    /// Total per-rank volume exchanged in one transpose.
+    pub per_rank_bytes: u64,
+    /// Per-rank computation per iteration, seconds.
+    pub compute_per_iter: f64,
+}
+
+impl Ft {
+    /// CLASS C-flavoured defaults at `n` ranks.
+    pub fn class_c(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n, iterations: 6, per_rank_bytes: 4_000_000, compute_per_iter: 0.05 }
+    }
+}
+
+impl Workload for Ft {
+    fn name(&self) -> &'static str {
+        "FT"
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn program(&self) -> Program {
+        let all: Vec<usize> = (0..self.n).collect();
+        let per_pair = (self.per_rank_bytes / self.n.max(1) as u64).max(1);
+        let mut b = ProgramBuilder::new(self.n);
+        for _ in 0..self.iterations {
+            b.compute_all(self.compute_per_iter);
+            alltoall(&mut b, &all, per_pair);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cg_is_matched_and_has_row_structure() {
+        let cg = Cg::class_c(16);
+        cg.program().check_matched().unwrap();
+        let pat = cg.pattern();
+        // Rank 0's partners: its XOR row peers (1 and 2 — recursive
+        // doubling never pairs 0 with 3 directly) — the transpose partner
+        // of (0,0) is itself.
+        let peers: Vec<usize> = pat.out_edges(0).iter().map(|e| e.dst).collect();
+        assert_eq!(peers, vec![1, 2]);
+        // An off-diagonal rank also exchanges with its transpose.
+        let peers5: Vec<usize> = pat.out_edges(5).iter().map(|e| e.dst).collect();
+        assert!(peers5.contains(&4) || peers5.contains(&7), "row peers missing: {peers5:?}");
+    }
+
+    #[test]
+    fn cg_transpose_partners_present_on_square_grids() {
+        let pat = Cg::class_c(16).pattern();
+        // (0,1) = rank 1 <-> (1,0) = rank 4.
+        assert!(pat.bytes(1, 4) >= Cg::class_c(16).transpose_bytes as f64);
+        assert!(pat.bytes(4, 1) >= Cg::class_c(16).transpose_bytes as f64);
+    }
+
+    #[test]
+    fn ft_is_dense_all_to_all() {
+        let pat = Ft::class_c(8).pattern();
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    assert!(pat.msgs(i, j) >= 6.0, "({i},{j}) missing traffic");
+                }
+            }
+        }
+        // Zero locality to exploit.
+        assert!(pat.diagonal_locality(1) < 0.5);
+    }
+
+    #[test]
+    fn ft_volume_matches_spec() {
+        let ft = Ft::class_c(8);
+        let pat = ft.pattern();
+        let expect = ft.iterations as f64 * 8.0 * 7.0 * (ft.per_rank_bytes / 8) as f64;
+        assert!((pat.total_bytes() - expect).abs() < 1e-6, "{} vs {expect}", pat.total_bytes());
+    }
+
+    #[test]
+    fn both_run_on_odd_rank_counts() {
+        Cg::class_c(12).program().check_matched().unwrap();
+        Ft::class_c(9).program().check_matched().unwrap();
+        Cg::class_c(7).program().check_matched().unwrap();
+    }
+}

@@ -1,0 +1,251 @@
+//! Machine-learning workloads: parallel K-means and DNN.
+//!
+//! The paper evaluates parallel K-means clustering (Kanungo et al.) and a
+//! DNN trained with parallelized stochastic gradient descent (Zinkevich
+//! et al.). Fig. 3 characterizes them by their communication matrices:
+//! K-means is "complex" — traffic spread far off the diagonal, requiring
+//! a mapping algorithm that looks beyond neighbour locality — while DNN
+//! moves little data relative to its computation.
+
+use super::Workload;
+use crate::collectives::{allreduce, broadcast, reduce};
+use crate::program::{Program, ProgramBuilder};
+
+/// Deterministic hash → `[0, 1)` for the migration pattern.
+fn unit_hash(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(c.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Parallel K-means clustering.
+///
+/// Each Lloyd iteration: local assignment (compute), a recursive-doubling
+/// allreduce of the centroid sums (the hypercube edges of Fig. 3), and a
+/// *point-migration* phase — observations whose nearest centroid is owned
+/// by another rank are shipped there. Migration partners depend on the
+/// data, i.e. they look pseudo-random from the network's point of view;
+/// the migrated volume decays as the clustering converges.
+#[derive(Debug, Clone)]
+pub struct KMeansApp {
+    n: usize,
+    /// Lloyd iterations.
+    pub iterations: usize,
+    /// Number of clusters `k`.
+    pub clusters: usize,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Base bytes migrated to one partner in the first iteration.
+    pub migration_bytes: u64,
+    /// Migration partners per rank per iteration.
+    pub partners_per_rank: usize,
+    /// Per-iteration decay of migrated volume (convergence).
+    pub migration_decay: f64,
+    /// Per-rank assignment computation per iteration, seconds.
+    pub compute_per_iter: f64,
+    /// Seed of the data-dependent migration pattern.
+    pub seed: u64,
+}
+
+impl KMeansApp {
+    /// Defaults matching the paper's n-body dataset run at `n` ranks.
+    pub fn standard(n: usize) -> Self {
+        assert!(n > 0);
+        Self {
+            n,
+            iterations: 10,
+            clusters: 16,
+            dim: 16,
+            migration_bytes: 40_000,
+            partners_per_rank: 5,
+            migration_decay: 0.8,
+            compute_per_iter: 0.012,
+            seed: Self::DEFAULT_SEED,
+        }
+    }
+
+    /// The default migration seed.
+    pub const DEFAULT_SEED: u64 = 0x5EED_00C5;
+}
+
+impl Workload for KMeansApp {
+    fn name(&self) -> &'static str {
+        "K-means"
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn program(&self) -> Program {
+        let all: Vec<usize> = (0..self.n).collect();
+        let centroid_bytes = (self.clusters * self.dim * 8) as u64;
+        let mut b = ProgramBuilder::new(self.n);
+        // Initial centroids to everyone.
+        broadcast(&mut b, &all, 0, centroid_bytes);
+        let mut volume = self.migration_bytes as f64;
+        for it in 0..self.iterations {
+            b.compute_all(self.compute_per_iter);
+            // Centroid sums.
+            allreduce(&mut b, &all, centroid_bytes);
+            // Data-dependent point migration. Partitioned datasets are
+            // spatially correlated: most points migrate to ranks owning
+            // nearby partitions, a few to far ones (log-uniform offsets),
+            // and some reassignments look arbitrary — a complex but
+            // structured matrix, as in the paper's Fig. 3.
+            for r in 0..self.n {
+                for p in 0..self.partners_per_rank {
+                    let h = unit_hash(self.seed, it as u64, r as u64, p as u64);
+                    let dst = if p % 2 == 0 {
+                        // Log-uniform offset in [1, n/2].
+                        let max_off = (self.n / 2).max(1) as f64;
+                        let off = max_off.powf(h).round() as usize;
+                        let sign = unit_hash(self.seed ^ 0x51, it as u64, r as u64, p as u64) < 0.5;
+                        if sign {
+                            (r + off) % self.n
+                        } else {
+                            (r + self.n - off % self.n) % self.n
+                        }
+                    } else {
+                        (h * self.n as f64) as usize % self.n
+                    };
+                    if dst == r {
+                        continue;
+                    }
+                    let size_scale =
+                        0.5 + unit_hash(self.seed ^ 0xF00D, it as u64, r as u64, p as u64);
+                    let bytes = (volume * size_scale) as u64;
+                    if bytes > 0 {
+                        b.transfer(r, dst, bytes);
+                    }
+                }
+            }
+            volume *= self.migration_decay;
+        }
+        b.build()
+    }
+}
+
+/// DNN trained with parallelized SGD.
+///
+/// Parameters are broadcast once, each epoch is dominated by local
+/// gradient computation with a small periodic model synchronization
+/// (recursive-doubling allreduce), and the final model is reduced to
+/// rank 0. Total traffic is small — the paper notes DNN is
+/// computation-intensive and sees the smallest mapping benefit.
+#[derive(Debug, Clone)]
+pub struct Dnn {
+    n: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Full model size in bytes (broadcast/reduce).
+    pub param_bytes: u64,
+    /// Per-epoch synchronization payload in bytes.
+    pub sync_bytes: u64,
+    /// Per-rank computation per epoch, seconds.
+    pub compute_per_epoch: f64,
+}
+
+impl Dnn {
+    /// Defaults matching the paper's ResNet/CIFAR-10 setup at `n` ranks.
+    pub fn standard(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n, epochs: 6, param_bytes: 131_072, sync_bytes: 4_096, compute_per_epoch: 0.4 }
+    }
+}
+
+impl Workload for Dnn {
+    fn name(&self) -> &'static str {
+        "DNN"
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn program(&self) -> Program {
+        let all: Vec<usize> = (0..self.n).collect();
+        let mut b = ProgramBuilder::new(self.n);
+        broadcast(&mut b, &all, 0, self.param_bytes);
+        for _ in 0..self.epochs {
+            b.compute_all(self.compute_per_epoch);
+            allreduce(&mut b, &all, self.sync_bytes);
+        }
+        reduce(&mut b, &all, 0, self.param_bytes);
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_pattern_is_complex() {
+        let pat = KMeansApp::standard(64).pattern();
+        // Spread: many distinct partners per rank (hypercube log2(64)=6
+        // plus migration partners).
+        let avg_degree =
+            (0..64).map(|r| pat.out_edges(r).len()).sum::<usize>() as f64 / 64.0;
+        assert!(avg_degree > 8.0, "avg degree {avg_degree}");
+        assert!(pat.diagonal_locality(9) < 0.6);
+    }
+
+    #[test]
+    fn kmeans_migration_decays() {
+        let mut early = KMeansApp::standard(16);
+        early.iterations = 1;
+        let one = early.pattern().total_bytes();
+        let mut later = KMeansApp::standard(16);
+        later.iterations = 10;
+        let ten = later.pattern().total_bytes();
+        // Ten iterations carry less than 10x the first iteration's bytes
+        // because migration decays geometrically.
+        assert!(ten < 10.0 * one, "{ten} vs {one}");
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_in_seed() {
+        let a = KMeansApp::standard(16).pattern();
+        let b = KMeansApp::standard(16).pattern();
+        assert_eq!(a, b);
+        let mut other = KMeansApp::standard(16);
+        other.seed = 123;
+        assert_ne!(a, other.pattern());
+    }
+
+    #[test]
+    fn dnn_compute_dominates() {
+        let prog = Dnn::standard(64).program();
+        let comm_secs_at_intra = prog.total_send_bytes() / 100e6;
+        assert!(prog.total_compute_secs() > 20.0 * comm_secs_at_intra);
+    }
+
+    #[test]
+    fn dnn_traffic_counts() {
+        let d = Dnn::standard(8);
+        let pat = d.pattern();
+        // bcast: 7 msgs; 6 allreduce on 8 ranks: 8*3 msgs each; reduce: 7.
+        assert_eq!(pat.total_msgs(), 7.0 + 6.0 * 24.0 + 7.0);
+    }
+
+    #[test]
+    fn both_programs_terminate_check() {
+        KMeansApp::standard(32).program().check_matched().unwrap();
+        Dnn::standard(32).program().check_matched().unwrap();
+    }
+
+    #[test]
+    fn unit_hash_in_range() {
+        for a in 0..50u64 {
+            let v = unit_hash(1, a, 2, 3);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

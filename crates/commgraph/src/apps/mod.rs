@@ -1,0 +1,205 @@
+//! The paper's evaluation workloads.
+//!
+//! §5.1 of the paper evaluates five applications: the NPB pseudo-
+//! applications **BT**, **SP** and **LU** (CLASS C, 64 ranks), parallel
+//! **K-means** clustering and **DNN** (parallel SGD). Figure 3 shows
+//! their 64-rank communication matrices: near-diagonal for the NPB
+//! kernels (two message sizes — 43 KB and 83 KB — for LU), a complex
+//! spread-out pattern for K-means, and very little traffic for DNN.
+//!
+//! We cannot run the original MPI binaries; each generator here emits a
+//! per-rank [`Program`] whose *communication structure* reproduces the
+//! published characterization, and whose computation blocks give the
+//! runtime simulator a computation/communication ratio consistent with
+//! the paper's observations (e.g. DNN is computation-bound).
+
+mod extra;
+mod ml;
+mod npb;
+mod synthetic;
+
+pub use extra::{Cg, Ft};
+pub use ml::{Dnn, KMeansApp};
+pub use npb::{Bt, Lu, Sp};
+pub use synthetic::{RandomGraph, Ring, Stencil2D, UniformAll2All};
+
+use crate::pattern::CommPattern;
+use crate::program::Program;
+
+/// A runnable evaluation workload.
+pub trait Workload {
+    /// Display name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Number of parallel processes `N`.
+    fn num_ranks(&self) -> usize;
+
+    /// The per-rank program (communication + computation).
+    fn program(&self) -> Program;
+
+    /// The profiled communication pattern (`CG`/`AG`), i.e. the offline
+    /// CYPRESS step.
+    fn pattern(&self) -> CommPattern {
+        self.program().profile()
+    }
+}
+
+/// The five applications of the paper's evaluation.
+///
+/// ```
+/// use commgraph::apps::{AppKind, Workload};
+/// let lu = AppKind::Lu.workload(16);
+/// let pattern = lu.pattern();
+/// assert_eq!(pattern.n(), 16);
+/// assert!(pattern.diagonal_locality(5) > 0.5); // near-diagonal kernel
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// NPB Block Tri-diagonal solver.
+    Bt,
+    /// NPB Scalar Penta-diagonal solver.
+    Sp,
+    /// NPB Lower-Upper Gauss-Seidel solver.
+    Lu,
+    /// Parallel K-means clustering.
+    KMeans,
+    /// Deep neural network (parallel SGD).
+    Dnn,
+}
+
+impl AppKind {
+    /// All five, in the order of the paper's figures.
+    pub const ALL: [AppKind; 5] = [AppKind::Bt, AppKind::Sp, AppKind::Lu, AppKind::KMeans, AppKind::Dnn];
+
+    /// Paper display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::Bt => "BT",
+            AppKind::Sp => "SP",
+            AppKind::Lu => "LU",
+            AppKind::KMeans => "K-means",
+            AppKind::Dnn => "DNN",
+        }
+    }
+
+    /// Parse a (case-insensitive) name.
+    pub fn parse(s: &str) -> Option<AppKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "bt" => Some(AppKind::Bt),
+            "sp" => Some(AppKind::Sp),
+            "lu" => Some(AppKind::Lu),
+            "kmeans" | "k-means" => Some(AppKind::KMeans),
+            "dnn" => Some(AppKind::Dnn),
+            _ => None,
+        }
+    }
+
+    /// Construct the workload with the paper's default parameters at `n`
+    /// ranks.
+    pub fn workload(&self, n: usize) -> Box<dyn Workload> {
+        match self {
+            AppKind::Bt => Box::new(Bt::class_c(n)),
+            AppKind::Sp => Box::new(Sp::class_c(n)),
+            AppKind::Lu => Box::new(Lu::class_c(n)),
+            AppKind::KMeans => Box::new(KMeansApp::standard(n)),
+            AppKind::Dnn => Box::new(Dnn::standard(n)),
+        }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Closest-to-square factorization of `n` into `(rows, cols)` with
+/// `rows ≤ cols`, used to lay ranks out on 2-D process grids.
+pub(crate) fn grid_dims(n: usize) -> (usize, usize) {
+    assert!(n > 0, "cannot factor zero ranks");
+    let mut rows = (n as f64).sqrt() as usize;
+    while rows > 1 && !n.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    (rows.max(1), n / rows.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dims_square() {
+        assert_eq!(grid_dims(64), (8, 8));
+        assert_eq!(grid_dims(16), (4, 4));
+    }
+
+    #[test]
+    fn grid_dims_rect_and_degenerate() {
+        assert_eq!(grid_dims(12), (3, 4));
+        assert_eq!(grid_dims(2), (1, 2));
+        assert_eq!(grid_dims(1), (1, 1));
+        assert_eq!(grid_dims(13), (1, 13)); // prime
+    }
+
+    #[test]
+    fn appkind_parse_roundtrip() {
+        for k in AppKind::ALL {
+            assert_eq!(AppKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(AppKind::parse("K-MEANS"), Some(AppKind::KMeans));
+        assert_eq!(AppKind::parse("ep"), None);
+    }
+
+    #[test]
+    fn workloads_constructible_at_64() {
+        for k in AppKind::ALL {
+            let w = k.workload(64);
+            assert_eq!(w.num_ranks(), 64);
+            let p = w.pattern();
+            assert_eq!(p.n(), 64);
+            assert!(p.total_msgs() > 0.0, "{k} has no traffic");
+        }
+    }
+
+    #[test]
+    fn programs_are_matched() {
+        for k in AppKind::ALL {
+            let w = k.workload(16);
+            w.program().check_matched().unwrap_or_else(|e| panic!("{k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn fig3_npb_kernels_are_near_diagonal_kmeans_is_not() {
+        let band = 9; // one grid row on an 8x8 layout
+        for k in [AppKind::Bt, AppKind::Sp, AppKind::Lu] {
+            let loc = k.workload(64).pattern().diagonal_locality(band);
+            assert!(loc > 0.6, "{k} locality {loc}");
+        }
+        let km = AppKind::KMeans.workload(64).pattern().diagonal_locality(band);
+        assert!(km < 0.6, "K-means locality {km}");
+    }
+
+    #[test]
+    fn fig3_dnn_traffic_is_small() {
+        let dnn = AppKind::Dnn.workload(64).pattern();
+        let lu = AppKind::Lu.workload(64).pattern();
+        assert!(
+            dnn.total_bytes() < 0.1 * lu.total_bytes(),
+            "DNN {} vs LU {}",
+            dnn.total_bytes(),
+            lu.total_bytes()
+        );
+    }
+
+    #[test]
+    fn dnn_is_computation_bound() {
+        let w = AppKind::Dnn.workload(16);
+        let prog = w.program();
+        // Communication at intra-site speed would take far less time than
+        // the computation blocks.
+        let comm_at_100mbps = prog.total_send_bytes() / 100e6;
+        assert!(prog.total_compute_secs() > 10.0 * comm_at_100mbps);
+    }
+}

@@ -1,0 +1,366 @@
+//! NPB-style pseudo-applications: LU, BT and SP.
+//!
+//! The paper runs NPB 2.4 CLASS C on 64 ranks. The generators here
+//! reproduce each kernel's *communication structure* on a 2-D process
+//! grid:
+//!
+//! * **LU** — SSOR wavefront pipeline: two sweeps per iteration (lower
+//!   and upper triangular), nearest-neighbour only, with the two message
+//!   sizes the paper reports in Fig. 3 (43 KB east–west, 83 KB
+//!   north–south), plus a periodic residual allreduce.
+//! * **BT** — multi-partition scheme: per iteration a boundary
+//!   (`copy_faces`) exchange and three directional solves; the x/y solves
+//!   exchange along grid rows/columns and the z solve with a diagonally
+//!   shifted partner, yielding the banded near-diagonal matrix of Fig. 3.
+//! * **SP** — same skeleton as BT with smaller, more frequent messages
+//!   (the scalar penta-diagonal solver communicates more often per
+//!   sweep).
+
+use super::{grid_dims, Workload};
+use crate::collectives::allreduce;
+use crate::program::{Program, ProgramBuilder};
+
+/// Position helpers on a `rows × cols` grid (row-major ranks).
+#[derive(Debug, Clone, Copy)]
+struct Grid {
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid {
+    fn new(n: usize) -> Self {
+        let (rows, cols) = grid_dims(n);
+        Self { rows, cols }
+    }
+    fn n(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn row(&self, r: usize) -> usize {
+        r / self.cols
+    }
+    fn col(&self, r: usize) -> usize {
+        r % self.cols
+    }
+    /// Non-wrapping neighbours (LU's pipeline does not wrap).
+    fn east(&self, r: usize) -> Option<usize> {
+        (self.col(r) + 1 < self.cols).then_some(r + 1)
+    }
+    fn west(&self, r: usize) -> Option<usize> {
+        (self.col(r) > 0).then(|| r - 1)
+    }
+    fn south(&self, r: usize) -> Option<usize> {
+        (self.row(r) + 1 < self.rows).then_some(r + self.cols)
+    }
+    fn north(&self, r: usize) -> Option<usize> {
+        (self.row(r) > 0).then(|| r - self.cols)
+    }
+    /// Wrapping (torus) neighbours for BT/SP's cyclic sweeps.
+    fn east_wrap(&self, r: usize) -> usize {
+        self.row(r) * self.cols + (self.col(r) + 1) % self.cols
+    }
+    fn west_wrap(&self, r: usize) -> usize {
+        self.row(r) * self.cols + (self.col(r) + self.cols - 1) % self.cols
+    }
+    fn south_wrap(&self, r: usize) -> usize {
+        ((self.row(r) + 1) % self.rows) * self.cols + self.col(r)
+    }
+    fn north_wrap(&self, r: usize) -> usize {
+        ((self.row(r) + self.rows - 1) % self.rows) * self.cols + self.col(r)
+    }
+    /// The BT/SP "z" partner: a diagonal shift, wrapping.
+    fn diag_wrap(&self, r: usize) -> usize {
+        ((self.row(r) + 1) % self.rows) * self.cols + (self.col(r) + 1) % self.cols
+    }
+}
+
+/// Exchange `bytes` in one direction `dir(r)` for every rank (each
+/// ordered pair appears exactly once).
+fn shift_exchange(b: &mut ProgramBuilder, g: &Grid, bytes: u64, dir: impl Fn(&Grid, usize) -> usize) {
+    for r in 0..g.n() {
+        let peer = dir(g, r);
+        if peer != r {
+            b.transfer(r, peer, bytes);
+        }
+    }
+}
+
+/// NPB LU (Lower-Upper Gauss–Seidel) communication generator.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    /// SSOR iterations.
+    pub iterations: usize,
+    /// East–west message size (paper: 43 KB at CLASS C / 64 ranks).
+    pub msg_x: u64,
+    /// North–south message size (paper: 83 KB).
+    pub msg_y: u64,
+    /// Per-rank computation seconds per sweep.
+    pub compute_per_sweep: f64,
+    /// Iterations between residual allreduces.
+    pub residual_every: usize,
+}
+
+impl Lu {
+    /// CLASS C defaults at `n` ranks.
+    pub fn class_c(n: usize) -> Self {
+        assert!(n > 0);
+        Self {
+            n,
+            iterations: 25,
+            msg_x: 43_000,
+            msg_y: 83_000,
+            compute_per_sweep: 0.004,
+            residual_every: 5,
+        }
+    }
+}
+
+impl Workload for Lu {
+    fn name(&self) -> &'static str {
+        "LU"
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    fn program(&self) -> Program {
+        let g = Grid::new(self.n);
+        let all: Vec<usize> = (0..self.n).collect();
+        let mut b = ProgramBuilder::new(self.n);
+        for it in 0..self.iterations {
+            // Lower-triangular sweep: the wavefront moves from the
+            // north-west corner; each rank waits for north and west,
+            // computes, then feeds east and south.
+            for r in 0..self.n {
+                if let Some(p) = g.north(r) {
+                    b.recv(r, p);
+                }
+                if let Some(p) = g.west(r) {
+                    b.recv(r, p);
+                }
+                b.compute(r, self.compute_per_sweep);
+                if let Some(p) = g.east(r) {
+                    b.send(r, p, self.msg_x);
+                }
+                if let Some(p) = g.south(r) {
+                    b.send(r, p, self.msg_y);
+                }
+            }
+            // Upper-triangular sweep: reversed.
+            for r in 0..self.n {
+                if let Some(p) = g.south(r) {
+                    b.recv(r, p);
+                }
+                if let Some(p) = g.east(r) {
+                    b.recv(r, p);
+                }
+                b.compute(r, self.compute_per_sweep);
+                if let Some(p) = g.west(r) {
+                    b.send(r, p, self.msg_x);
+                }
+                if let Some(p) = g.north(r) {
+                    b.send(r, p, self.msg_y);
+                }
+            }
+            if self.residual_every > 0 && it % self.residual_every == 0 {
+                allreduce(&mut b, &all, 40);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Shared skeleton of the BT and SP multi-partition solvers.
+#[derive(Debug, Clone)]
+struct AdiSolver {
+    n: usize,
+    iterations: usize,
+    face_bytes: u64,
+    solve_bytes: u64,
+    diag_bytes: u64,
+    compute_per_stage: f64,
+    /// Sub-exchanges per directional solve (SP communicates more often
+    /// with smaller messages).
+    sub_stages: usize,
+}
+
+impl AdiSolver {
+    fn program(&self) -> Program {
+        let g = Grid::new(self.n);
+        let mut b = ProgramBuilder::new(self.n);
+        for _ in 0..self.iterations {
+            // copy_faces: full halo exchange (torus).
+            shift_exchange(&mut b, &g, self.face_bytes, Grid::east_wrap);
+            shift_exchange(&mut b, &g, self.face_bytes, Grid::west_wrap);
+            shift_exchange(&mut b, &g, self.face_bytes, Grid::south_wrap);
+            shift_exchange(&mut b, &g, self.face_bytes, Grid::north_wrap);
+            b.compute_all(self.compute_per_stage);
+            for _ in 0..self.sub_stages {
+                // x_solve: along grid rows.
+                shift_exchange(&mut b, &g, self.solve_bytes, Grid::east_wrap);
+                shift_exchange(&mut b, &g, self.solve_bytes, Grid::west_wrap);
+                b.compute_all(self.compute_per_stage);
+                // y_solve: along grid columns.
+                shift_exchange(&mut b, &g, self.solve_bytes, Grid::south_wrap);
+                shift_exchange(&mut b, &g, self.solve_bytes, Grid::north_wrap);
+                b.compute_all(self.compute_per_stage);
+                // z_solve: the multi-partition diagonal shift.
+                shift_exchange(&mut b, &g, self.diag_bytes, Grid::diag_wrap);
+                b.compute_all(self.compute_per_stage);
+            }
+        }
+        b.build()
+    }
+}
+
+/// NPB BT (Block Tri-diagonal) communication generator.
+#[derive(Debug, Clone)]
+pub struct Bt(AdiSolver);
+
+impl Bt {
+    /// CLASS C defaults at `n` ranks.
+    pub fn class_c(n: usize) -> Self {
+        assert!(n > 0);
+        Self(AdiSolver {
+            n,
+            iterations: 20,
+            face_bytes: 40_000,
+            solve_bytes: 120_000,
+            diag_bytes: 60_000,
+            compute_per_stage: 0.006,
+            sub_stages: 1,
+        })
+    }
+}
+
+impl Workload for Bt {
+    fn name(&self) -> &'static str {
+        "BT"
+    }
+    fn num_ranks(&self) -> usize {
+        self.0.n
+    }
+    fn program(&self) -> Program {
+        self.0.program()
+    }
+}
+
+/// NPB SP (Scalar Penta-diagonal) communication generator.
+#[derive(Debug, Clone)]
+pub struct Sp(AdiSolver);
+
+impl Sp {
+    /// CLASS C defaults at `n` ranks.
+    pub fn class_c(n: usize) -> Self {
+        assert!(n > 0);
+        Self(AdiSolver {
+            n,
+            iterations: 20,
+            face_bytes: 25_000,
+            solve_bytes: 55_000,
+            diag_bytes: 28_000,
+            compute_per_stage: 0.003,
+            sub_stages: 2,
+        })
+    }
+}
+
+impl Workload for Sp {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+    fn num_ranks(&self) -> usize {
+        self.0.n
+    }
+    fn program(&self) -> Program {
+        self.0.program()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_corner_rank_has_two_partners() {
+        // Paper: on 64 ranks, "process 1 only communicates with processes
+        // 2 and 8" (1-indexed) — i.e. rank 0 with ranks 1 and 8. The tiny
+        // residual allreduce is disabled to look at the sweeps alone.
+        let pat = Lu { residual_every: 0, ..Lu::class_c(64) }.pattern();
+        let peers: Vec<usize> = pat.out_edges(0).iter().map(|e| e.dst).collect();
+        assert_eq!(peers, vec![1, 8]);
+    }
+
+    #[test]
+    fn lu_has_exactly_two_point_to_point_sizes() {
+        // Ignore the tiny residual allreduce; the sweep messages must be
+        // exactly 43 KB or 83 KB.
+        let lu = Lu { residual_every: 0, ..Lu::class_c(64) };
+        let prog = lu.program();
+        let mut sizes = std::collections::BTreeSet::new();
+        for r in 0..64 {
+            for op in prog.rank_ops(r) {
+                if let crate::program::RankOp::Send { bytes, .. } = op {
+                    sizes.insert(*bytes);
+                }
+            }
+        }
+        assert_eq!(sizes.into_iter().collect::<Vec<_>>(), vec![43_000, 83_000]);
+    }
+
+    #[test]
+    fn lu_interior_rank_has_four_partners() {
+        let lu = Lu { residual_every: 0, ..Lu::class_c(64) };
+        let pat = lu.pattern();
+        // Rank 9 = (1,1) on the 8x8 grid: neighbours 8, 10, 1, 17.
+        let peers: Vec<usize> = pat.out_edges(9).iter().map(|e| e.dst).collect();
+        assert_eq!(peers, vec![1, 8, 10, 17]);
+    }
+
+    #[test]
+    fn lu_sweeps_are_symmetric_in_volume() {
+        let lu = Lu { residual_every: 0, ..Lu::class_c(64) };
+        let pat = lu.pattern();
+        // Lower sends east, upper sends west the same bytes: symmetric.
+        assert!(pat.to_dense_cg().is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn bt_is_banded_torus() {
+        let pat = Bt::class_c(64).pattern();
+        // Every rank talks to east/west/north/south/diag (wrapped):
+        // 5 outgoing partners... diag + 4, but east of r and west-wrap
+        // partner coincide only on 2-wide grids.
+        for r in 0..64 {
+            let deg = pat.out_edges(r).len();
+            assert!((4..=6).contains(&deg), "rank {r} degree {deg}");
+        }
+    }
+
+    #[test]
+    fn sp_communicates_more_often_than_bt_with_smaller_messages() {
+        let bt = Bt::class_c(64).pattern();
+        let sp = Sp::class_c(64).pattern();
+        assert!(sp.total_msgs() > bt.total_msgs());
+        let bt_avg = bt.total_bytes() / bt.total_msgs();
+        let sp_avg = sp.total_bytes() / sp.total_msgs();
+        assert!(sp_avg < bt_avg, "SP avg {sp_avg} vs BT avg {bt_avg}");
+    }
+
+    #[test]
+    fn npb_programs_run_on_non_square_counts() {
+        for n in [12usize, 32, 48] {
+            Lu::class_c(n).program().check_matched().unwrap();
+            Bt::class_c(n).program().check_matched().unwrap();
+            Sp::class_c(n).program().check_matched().unwrap();
+        }
+    }
+
+    #[test]
+    fn bt_volume_scales_linearly_with_iterations() {
+        let one = Bt(AdiSolver { iterations: 1, ..Bt::class_c(16).0 }).pattern();
+        let ten = Bt(AdiSolver { iterations: 10, ..Bt::class_c(16).0 }).pattern();
+        assert!((ten.total_bytes() - 10.0 * one.total_bytes()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,221 @@
+//! Synthetic communication families.
+//!
+//! Controlled patterns for tests, property checks and ablation benches:
+//! a ring, a 2-D stencil, a uniform all-to-all and a seeded random graph.
+//! They span the locality spectrum the five paper applications cover
+//! (ring/stencil ≈ LU/BT/SP, random ≈ K-means, all-to-all is the
+//! worst case for any locality-driven mapper).
+
+use super::{grid_dims, Workload};
+use crate::program::{Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A unidirectional ring: rank `i` sends to `(i+1) mod n` each iteration.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Ranks.
+    pub n: usize,
+    /// Iterations.
+    pub iterations: usize,
+    /// Bytes per message.
+    pub bytes: u64,
+}
+
+impl Workload for Ring {
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+    fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new(self.n);
+        for _ in 0..self.iterations {
+            for i in 0..self.n {
+                b.send(i, (i + 1) % self.n, self.bytes);
+            }
+            for i in 0..self.n {
+                b.recv(i, (i + self.n - 1) % self.n);
+            }
+        }
+        b.build()
+    }
+}
+
+/// A 5-point 2-D stencil halo exchange (torus).
+#[derive(Debug, Clone)]
+pub struct Stencil2D {
+    /// Ranks.
+    pub n: usize,
+    /// Iterations.
+    pub iterations: usize,
+    /// Bytes per halo face.
+    pub bytes: u64,
+}
+
+impl Workload for Stencil2D {
+    fn name(&self) -> &'static str {
+        "stencil2d"
+    }
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+    fn program(&self) -> Program {
+        let (rows, cols) = grid_dims(self.n);
+        let mut b = ProgramBuilder::new(self.n);
+        for _ in 0..self.iterations {
+            for r in 0..self.n {
+                let (row, col) = (r / cols, r % cols);
+                let peers = [
+                    row * cols + (col + 1) % cols,
+                    row * cols + (col + cols - 1) % cols,
+                    ((row + 1) % rows) * cols + col,
+                    ((row + rows - 1) % rows) * cols + col,
+                ];
+                for p in peers {
+                    if p != r {
+                        b.transfer(r, p, self.bytes);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Uniform all-to-all: every ordered pair exchanges the same volume.
+///
+/// Under a uniform pattern every feasible mapping has identical cost on a
+/// symmetric network — a useful identity for property tests.
+#[derive(Debug, Clone)]
+pub struct UniformAll2All {
+    /// Ranks.
+    pub n: usize,
+    /// Bytes per ordered pair.
+    pub bytes: u64,
+}
+
+impl Workload for UniformAll2All {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+    fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new(self.n);
+        for shift in 1..self.n {
+            for i in 0..self.n {
+                b.send(i, (i + shift) % self.n, self.bytes);
+            }
+            for i in 0..self.n {
+                b.recv(i, (i + self.n - shift) % self.n);
+            }
+        }
+        b.build()
+    }
+}
+
+/// A seeded random sparse communication graph.
+#[derive(Debug, Clone)]
+pub struct RandomGraph {
+    /// Ranks.
+    pub n: usize,
+    /// Outgoing edges per rank.
+    pub degree: usize,
+    /// Maximum bytes per edge (sizes are uniform in `1..=max_bytes`).
+    pub max_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Workload for RandomGraph {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+    fn num_ranks(&self) -> usize {
+        self.n
+    }
+    fn program(&self) -> Program {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = ProgramBuilder::new(self.n);
+        for i in 0..self.n {
+            for _ in 0..self.degree {
+                let mut j = rng.random_range(0..self.n);
+                if j == i {
+                    j = (j + 1) % self.n;
+                }
+                if self.n > 1 {
+                    let bytes = rng.random_range(1..=self.max_bytes);
+                    b.transfer(i, j, bytes);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_edges() {
+        let pat = Ring { n: 5, iterations: 3, bytes: 10 }.pattern();
+        assert_eq!(pat.num_edges(), 5);
+        for i in 0..5usize {
+            assert_eq!(pat.bytes(i, (i + 1) % 5), 30.0);
+            assert_eq!(pat.msgs(i, (i + 1) % 5), 3.0);
+        }
+    }
+
+    #[test]
+    fn stencil_degree_is_four_on_big_grids() {
+        let pat = Stencil2D { n: 16, iterations: 1, bytes: 10 }.pattern();
+        for r in 0..16 {
+            assert_eq!(pat.out_edges(r).len(), 4, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn uniform_covers_all_ordered_pairs_equally() {
+        let pat = UniformAll2All { n: 6, bytes: 7 }.pattern();
+        for i in 0..6usize {
+            for j in 0..6usize {
+                if i != j {
+                    assert_eq!(pat.bytes(i, j), 7.0);
+                }
+            }
+        }
+        assert_eq!(pat.num_edges(), 30);
+    }
+
+    #[test]
+    fn random_graph_is_seeded() {
+        let a = RandomGraph { n: 20, degree: 3, max_bytes: 100, seed: 9 }.pattern();
+        let b = RandomGraph { n: 20, degree: 3, max_bytes: 100, seed: 9 }.pattern();
+        let c = RandomGraph { n: 20, degree: 3, max_bytes: 100, seed: 10 }.pattern();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_graph_has_no_self_edges() {
+        let pat = RandomGraph { n: 10, degree: 5, max_bytes: 50, seed: 4 }.pattern();
+        for i in 0..10 {
+            assert!(pat.out_edges(i).iter().all(|e| e.dst != i));
+        }
+    }
+
+    #[test]
+    fn all_synthetic_programs_are_matched() {
+        Ring { n: 7, iterations: 2, bytes: 5 }.program().check_matched().unwrap();
+        Stencil2D { n: 12, iterations: 2, bytes: 5 }.program().check_matched().unwrap();
+        UniformAll2All { n: 5, bytes: 5 }.program().check_matched().unwrap();
+        RandomGraph { n: 9, degree: 2, max_bytes: 9, seed: 1 }
+            .program()
+            .check_matched()
+            .unwrap();
+    }
+}

@@ -1,0 +1,302 @@
+//! Point-to-point expansions of collective operations.
+//!
+//! MPI applications are dominated by collectives; our simulated runtime
+//! executes only point-to-point sends and receives, so the classic
+//! collective algorithms are expanded at program-construction time:
+//!
+//! * broadcast / reduce — binomial tree, `⌈log₂ n⌉` rounds;
+//! * allreduce — recursive doubling (hypercube exchange), the pattern
+//!   responsible for K-means's "complex" matrix in the paper's Fig. 3;
+//! * allgather — ring, `n−1` rounds;
+//! * all-to-all — pairwise XOR exchange (power-of-two) / linear shifts;
+//! * barrier — dissemination, `⌈log₂ n⌉` rounds of 1-byte tokens.
+//!
+//! All expansions operate over an arbitrary contiguous `group` of ranks
+//! so applications can run collectives on sub-communicators.
+
+use crate::program::ProgramBuilder;
+
+/// Append a binomial-tree broadcast of `bytes` from `group[root_idx]` to
+/// every rank in `group`.
+pub fn broadcast(b: &mut ProgramBuilder, group: &[usize], root_idx: usize, bytes: u64) {
+    let n = group.len();
+    assert!(root_idx < n, "root {root_idx} outside group of {n}");
+    if n <= 1 {
+        return;
+    }
+    // Relative numbering where the root is 0.
+    let rel = |v: usize| group[(v + root_idx) % n];
+    let mut dist = 1;
+    while dist < n {
+        for src in 0..dist.min(n) {
+            let dst = src + dist;
+            if dst < n {
+                b.transfer(rel(src), rel(dst), bytes);
+            }
+        }
+        dist *= 2;
+    }
+}
+
+/// Append a binomial-tree reduction of `bytes` from every rank in `group`
+/// to `group[root_idx]`.
+pub fn reduce(b: &mut ProgramBuilder, group: &[usize], root_idx: usize, bytes: u64) {
+    let n = group.len();
+    assert!(root_idx < n, "root {root_idx} outside group of {n}");
+    if n <= 1 {
+        return;
+    }
+    let rel = |v: usize| group[(v + root_idx) % n];
+    // Mirror of broadcast: largest stride first, children send to parents.
+    let mut dist = 1usize;
+    while dist * 2 < n {
+        dist *= 2;
+    }
+    while dist >= 1 {
+        for src in 0..dist.min(n) {
+            let dst = src + dist;
+            if dst < n {
+                b.transfer(rel(dst), rel(src), bytes);
+            }
+        }
+        if dist == 1 {
+            break;
+        }
+        dist /= 2;
+    }
+}
+
+/// Append a recursive-doubling allreduce of `bytes` across `group`.
+///
+/// For power-of-two groups this is the textbook hypercube exchange in
+/// `log₂ n` rounds. Non-power-of-two groups first fold the excess ranks
+/// into the largest power-of-two subset, run the hypercube, then unfold.
+pub fn allreduce(b: &mut ProgramBuilder, group: &[usize], bytes: u64) {
+    let n = group.len();
+    if n <= 1 {
+        return;
+    }
+    let p2 = 1usize << (usize::BITS - 1 - n.leading_zeros()); // largest power of two <= n
+    let excess = n - p2;
+    // Fold: ranks [p2, n) send their contribution to [0, excess).
+    for i in 0..excess {
+        b.transfer(group[p2 + i], group[i], bytes);
+    }
+    // Hypercube on [0, p2).
+    let mut dist = 1;
+    while dist < p2 {
+        for i in 0..p2 {
+            let peer = i ^ dist;
+            if peer > i {
+                // Symmetric exchange.
+                b.transfer(group[i], group[peer], bytes);
+                b.transfer(group[peer], group[i], bytes);
+            }
+        }
+        dist *= 2;
+    }
+    // Unfold: results go back to the excess ranks.
+    for i in 0..excess {
+        b.transfer(group[i], group[p2 + i], bytes);
+    }
+}
+
+/// Append a ring allgather: each rank contributes `bytes`, and after
+/// `n−1` rounds every rank holds every contribution.
+pub fn allgather_ring(b: &mut ProgramBuilder, group: &[usize], bytes: u64) {
+    let n = group.len();
+    if n <= 1 {
+        return;
+    }
+    for _round in 0..n - 1 {
+        for i in 0..n {
+            b.send(group[i], group[(i + 1) % n], bytes);
+        }
+        for i in 0..n {
+            b.recv(group[i], group[(i + n - 1) % n]);
+        }
+    }
+}
+
+/// Append a pairwise all-to-all: every rank sends `bytes` to every other
+/// rank. Power-of-two groups use XOR pairing (contention-free rounds);
+/// otherwise linear shifts.
+pub fn alltoall(b: &mut ProgramBuilder, group: &[usize], bytes: u64) {
+    let n = group.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        for round in 1..n {
+            for i in 0..n {
+                let peer = i ^ round;
+                if peer > i {
+                    b.transfer(group[i], group[peer], bytes);
+                    b.transfer(group[peer], group[i], bytes);
+                }
+            }
+        }
+    } else {
+        for shift in 1..n {
+            for i in 0..n {
+                b.send(group[i], group[(i + shift) % n], bytes);
+            }
+            for i in 0..n {
+                b.recv(group[i], group[(i + n - shift) % n]);
+            }
+        }
+    }
+}
+
+/// Append a dissemination barrier (1-byte tokens, `⌈log₂ n⌉` rounds).
+pub fn barrier(b: &mut ProgramBuilder, group: &[usize]) {
+    let n = group.len();
+    if n <= 1 {
+        return;
+    }
+    let mut dist = 1;
+    while dist < n {
+        for i in 0..n {
+            b.send(group[i], group[(i + dist) % n], 1);
+        }
+        for i in 0..n {
+            b.recv(group[i], group[(i + n - dist) % n]);
+        }
+        dist *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Program, ProgramBuilder};
+
+    fn build(n: usize, f: impl FnOnce(&mut ProgramBuilder, &[usize])) -> Program {
+        let group: Vec<usize> = (0..n).collect();
+        let mut b = ProgramBuilder::new(n);
+        f(&mut b, &group);
+        b.build() // panics if unmatched
+    }
+
+    #[test]
+    fn broadcast_message_count_is_n_minus_1() {
+        for n in [1usize, 2, 3, 4, 7, 8, 16, 33] {
+            let p = build(n, |b, g| broadcast(b, g, 0, 100));
+            assert_eq!(p.profile().total_msgs(), (n - 1) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_rank() {
+        let p = build(16, |b, g| broadcast(b, g, 3, 8));
+        let pat = p.profile();
+        for r in 0..16usize {
+            if r == 3 {
+                continue;
+            }
+            // Every non-root receives exactly once.
+            let received: f64 = (0..16).map(|s| pat.msgs(s, r)).sum();
+            assert_eq!(received, 1.0, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn reduce_message_count_is_n_minus_1() {
+        for n in [2usize, 4, 5, 8, 13] {
+            let p = build(n, |b, g| reduce(b, g, 0, 64));
+            assert_eq!(p.profile().total_msgs(), (n - 1) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn reduce_root_gets_everything_transitively() {
+        // In a tree reduction the root receives log2(n) messages directly.
+        let p = build(8, |b, g| reduce(b, g, 0, 64));
+        let pat = p.profile();
+        let direct: f64 = (0..8).map(|s| pat.msgs(s, 0)).sum();
+        assert_eq!(direct, 3.0);
+    }
+
+    #[test]
+    fn allreduce_pow2_is_hypercube() {
+        let p = build(8, |b, g| allreduce(b, g, 100));
+        let pat = p.profile();
+        // Each rank exchanges with exactly log2(8)=3 XOR partners.
+        for i in 0..8usize {
+            let peers: Vec<usize> =
+                pat.out_edges(i).iter().map(|e| e.dst).collect();
+            let expect: Vec<usize> = {
+                let mut v: Vec<usize> = [1usize, 2, 4].iter().map(|d| i ^ d).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(peers, expect, "rank {i}");
+        }
+        // 2 directed messages per edge per round: 8 ranks * 3 rounds.
+        assert_eq!(pat.total_msgs(), 24.0);
+    }
+
+    #[test]
+    fn allreduce_non_pow2_folds() {
+        let p = build(6, |b, g| allreduce(b, g, 10));
+        // fold 2 + hypercube(4): 4*2 + unfold 2 = 12 messages
+        assert_eq!(p.profile().total_msgs(), 12.0);
+    }
+
+    #[test]
+    fn allgather_ring_is_neighbor_only() {
+        let p = build(5, |b, g| allgather_ring(b, g, 10));
+        let pat = p.profile();
+        assert_eq!(pat.total_msgs(), (5 * 4) as f64);
+        for i in 0..5usize {
+            for e in pat.out_edges(i) {
+                assert_eq!(e.dst, (i + 1) % 5, "ring violated at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_covers_all_pairs() {
+        for n in [4usize, 6, 8] {
+            let pat = build(n, |b, g| alltoall(b, g, 7)).profile();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        assert_eq!(pat.msgs(i, j), 1.0, "({i},{j}) n={n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_has_log_rounds() {
+        let pat = build(8, |b, g| barrier(b, g)).profile();
+        assert_eq!(pat.total_msgs(), (8 * 3) as f64);
+        assert_eq!(pat.total_bytes(), (8 * 3) as f64);
+    }
+
+    #[test]
+    fn collectives_on_subgroup_leave_others_silent() {
+        let group = [2usize, 3, 4, 5];
+        let mut b = ProgramBuilder::new(8);
+        allreduce(&mut b, &group, 50);
+        let pat = b.build().profile();
+        for outside in [0usize, 1, 6, 7] {
+            assert!(pat.out_edges(outside).is_empty());
+            assert_eq!(pat.comm_quantity(outside), 0.0);
+        }
+    }
+
+    #[test]
+    fn trivial_groups_are_no_ops() {
+        let mut b = ProgramBuilder::new(4);
+        broadcast(&mut b, &[1], 0, 9);
+        reduce(&mut b, &[2], 0, 9);
+        allreduce(&mut b, &[3], 9);
+        barrier(&mut b, &[0]);
+        alltoall(&mut b, &[1], 9);
+        allgather_ring(&mut b, &[2], 9);
+        assert_eq!(b.build().total_ops(), 0);
+    }
+}

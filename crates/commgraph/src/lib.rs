@@ -1,0 +1,34 @@
+//! Application communication substrate.
+//!
+//! The SC'17 paper characterizes an application by two `N×N` matrices —
+//! the communication-volume matrix `CG` and the message-count matrix `AG`
+//! (Table 4) — obtained by profiling with CYPRESS. This crate provides:
+//!
+//! * [`pattern::CommPattern`] — a sparse-first representation of `CG`/`AG`
+//!   that scales to the paper's 8192-process simulations, with dense
+//!   export for display and the dense-matrix baselines;
+//! * [`trace`] — a message-trace recorder and a CYPRESS-style
+//!   loop-compression pass (static structure + run-length of repeated
+//!   communication phases);
+//! * [`program`] — per-rank message-passing programs (send/recv/compute)
+//!   that the `mpirt` runtime executes and the tracer profiles;
+//! * [`collectives`] — point-to-point expansions of the collective
+//!   operations (binomial broadcast/reduce, recursive-doubling allreduce,
+//!   ring allgather, pairwise all-to-all, dissemination barrier);
+//! * [`apps`] — generators reproducing the five evaluation workloads:
+//!   NPB **LU**, **BT**, **SP** (near-diagonal patterns, Fig. 3a),
+//!   **K-means** (complex pattern) and **DNN** (computation-bound,
+//!   little traffic) (Fig. 3b), plus synthetic families for testing.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod collectives;
+pub mod pattern;
+pub mod program;
+pub mod trace;
+
+pub use apps::{AppKind, Workload};
+pub use pattern::{CommPattern, Edge};
+pub use program::{Program, ProgramBuilder, RankOp};
+pub use trace::{CompressedTrace, Trace, TraceEvent};

@@ -1,0 +1,522 @@
+//! The communication pattern: the paper's `CG` (volume) and `AG` (count)
+//! matrices.
+//!
+//! The representation is sparse-first: each process keeps a sorted edge
+//! list of the peers it sends to. Real HPC patterns are sparse (LU talks
+//! to ≤ 4 neighbours; recursive doubling to log₂N partners), and the
+//! paper simulates up to 8192 processes, where dense `N×N` matrices would
+//! cost gigabytes. Dense `CG`/`AG` exports are available for small `N`
+//! (display, MPIPP's dense partitioner).
+
+use geonet::SquareMatrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One directed communication edge: everything process `src` sends to
+/// `dst` over the whole execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Destination process.
+    pub dst: usize,
+    /// Total bytes sent (`CG(src, dst)`).
+    pub bytes: f64,
+    /// Number of messages (`AG(src, dst)`).
+    pub msgs: f64,
+}
+
+/// Undirected view of the traffic between two processes, used by the
+/// greedy mappers ("communication quantity between i and j").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partner {
+    /// The peer process.
+    pub peer: usize,
+    /// `CG(i,peer) + CG(peer,i)`.
+    pub bytes: f64,
+    /// `AG(i,peer) + AG(peer,i)`.
+    pub msgs: f64,
+}
+
+/// A communication pattern over `n` processes: sparse `CG`/`AG`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommPattern {
+    n: usize,
+    /// Out-edges per source, sorted by destination.
+    out: Vec<Vec<Edge>>,
+    total_bytes: f64,
+    total_msgs: f64,
+}
+
+/// Incremental builder accumulating traffic before freezing into a
+/// [`CommPattern`].
+#[derive(Debug, Clone)]
+pub struct PatternBuilder {
+    n: usize,
+    rows: Vec<BTreeMap<usize, (f64, f64)>>,
+}
+
+impl PatternBuilder {
+    /// Start a builder for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Self { n, rows: vec![BTreeMap::new(); n] }
+    }
+
+    /// Record one message of `bytes` bytes from `src` to `dst`.
+    ///
+    /// Self-messages are ignored (local copies are free in the paper's
+    /// model — the diagonal of Fig. 3 is empty).
+    pub fn record(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.record_many(src, dst, bytes, 1);
+    }
+
+    /// Record `count` messages of `bytes` bytes each from `src` to `dst`.
+    pub fn record_many(&mut self, src: usize, dst: usize, bytes: u64, count: u64) {
+        assert!(src < self.n && dst < self.n, "rank out of range ({src},{dst}) for n={}", self.n);
+        if src == dst || count == 0 {
+            return;
+        }
+        let e = self.rows[src].entry(dst).or_insert((0.0, 0.0));
+        e.0 += (bytes * count) as f64;
+        e.1 += count as f64;
+    }
+
+    /// Freeze into an immutable pattern.
+    pub fn build(self) -> CommPattern {
+        let mut total_bytes = 0.0;
+        let mut total_msgs = 0.0;
+        let out: Vec<Vec<Edge>> = self
+            .rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|(dst, (bytes, msgs))| {
+                        total_bytes += bytes;
+                        total_msgs += msgs;
+                        Edge { dst, bytes, msgs }
+                    })
+                    .collect()
+            })
+            .collect();
+        CommPattern { n: self.n, out, total_bytes, total_msgs }
+    }
+}
+
+impl CommPattern {
+    /// An empty pattern over `n` processes.
+    pub fn empty(n: usize) -> Self {
+        PatternBuilder::new(n).build()
+    }
+
+    /// Build a pattern from dense `CG` (bytes) and `AG` (counts) matrices.
+    ///
+    /// # Panics
+    /// Panics if the matrices disagree in size or an element is negative,
+    /// or if volume and count disagree about an edge existing.
+    pub fn from_dense(cg: &SquareMatrix, ag: &SquareMatrix) -> Self {
+        assert_eq!(cg.n(), ag.n(), "CG and AG must agree in size");
+        let n = cg.n();
+        let mut b = PatternBuilder::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (v, c) = (cg.get(i, j), ag.get(i, j));
+                assert!(v >= 0.0 && c >= 0.0, "negative traffic at ({i},{j})");
+                assert!(
+                    (v > 0.0) == (c > 0.0),
+                    "CG and AG disagree about edge ({i},{j}): volume {v}, count {c}"
+                );
+                if c > 0.0 {
+                    b.rows[i].insert(j, (v, c));
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Number of processes `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Out-edges of process `i`, sorted by destination.
+    #[inline]
+    pub fn out_edges(&self, i: usize) -> &[Edge] {
+        &self.out[i]
+    }
+
+    /// Volume `CG(i, j)` in bytes (0 if no edge).
+    pub fn bytes(&self, i: usize, j: usize) -> f64 {
+        self.find(i, j).map_or(0.0, |e| e.bytes)
+    }
+
+    /// Message count `AG(i, j)` (0 if no edge).
+    pub fn msgs(&self, i: usize, j: usize) -> f64 {
+        self.find(i, j).map_or(0.0, |e| e.msgs)
+    }
+
+    fn find(&self, i: usize, j: usize) -> Option<&Edge> {
+        let row = &self.out[i];
+        row.binary_search_by_key(&j, |e| e.dst).ok().map(|idx| &row[idx])
+    }
+
+    /// Total traffic volume in bytes (`Σ CG`).
+    #[inline]
+    pub fn total_bytes(&self) -> f64 {
+        self.total_bytes
+    }
+
+    /// Total number of messages (`Σ AG`).
+    #[inline]
+    pub fn total_msgs(&self) -> f64 {
+        self.total_msgs
+    }
+
+    /// Number of directed non-zero edges.
+    pub fn num_edges(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// The "communication quantity" of process `i`: all bytes it sends
+    /// plus all bytes it receives (Algorithm 1's selection key).
+    pub fn comm_quantity(&self, i: usize) -> f64 {
+        let sent: f64 = self.out[i].iter().map(|e| e.bytes).sum();
+        let recv: f64 = self
+            .out
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, row)| row.binary_search_by_key(&i, |e| e.dst).ok().map_or(0.0, |k| row[k].bytes))
+            .sum();
+        sent + recv
+    }
+
+    /// Undirected partner lists: for each `i`, the peers it exchanges any
+    /// traffic with, with summed bidirectional volume/count. Computed in
+    /// one O(E) pass; the mappers call this once and reuse it.
+    pub fn partners(&self) -> Vec<Vec<Partner>> {
+        let mut acc: Vec<BTreeMap<usize, (f64, f64)>> = vec![BTreeMap::new(); self.n];
+        for (src, row) in self.out.iter().enumerate() {
+            for e in row {
+                let a = acc[src].entry(e.dst).or_insert((0.0, 0.0));
+                a.0 += e.bytes;
+                a.1 += e.msgs;
+                let b = acc[e.dst].entry(src).or_insert((0.0, 0.0));
+                b.0 += e.bytes;
+                b.1 += e.msgs;
+            }
+        }
+        acc.into_iter()
+            .map(|m| {
+                m.into_iter()
+                    .map(|(peer, (bytes, msgs))| Partner { peer, bytes, msgs })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Dense `CG` export (bytes). Intended for small `N` (display, MPIPP).
+    pub fn to_dense_cg(&self) -> SquareMatrix {
+        let mut m = SquareMatrix::zeros(self.n);
+        for (src, row) in self.out.iter().enumerate() {
+            for e in row {
+                m.set(src, e.dst, e.bytes);
+            }
+        }
+        m
+    }
+
+    /// Dense `AG` export (counts).
+    pub fn to_dense_ag(&self) -> SquareMatrix {
+        let mut m = SquareMatrix::zeros(self.n);
+        for (src, row) in self.out.iter().enumerate() {
+            for e in row {
+                m.set(src, e.dst, e.msgs);
+            }
+        }
+        m
+    }
+
+    /// Fraction of traffic volume on edges with `|i−j| ≤ band`.
+    ///
+    /// The paper observes (Fig. 3) that LU/BT/SP have "near diagonal"
+    /// matrices — high locality under this metric — while K-means is
+    /// complex and spread out.
+    pub fn diagonal_locality(&self, band: usize) -> f64 {
+        if self.total_bytes == 0.0 {
+            return 1.0;
+        }
+        let mut near = 0.0;
+        for (src, row) in self.out.iter().enumerate() {
+            for e in row {
+                if src.abs_diff(e.dst) <= band {
+                    near += e.bytes;
+                }
+            }
+        }
+        near / self.total_bytes
+    }
+
+    /// ASCII heatmap of `CG` (log-scaled), for Fig. 3-style display.
+    pub fn ascii_heatmap(&self, cell: usize) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let n = self.n;
+        let buckets = n.div_ceil(cell.max(1));
+        let mut grid = vec![0.0f64; buckets * buckets];
+        for (src, row) in self.out.iter().enumerate() {
+            for e in row {
+                grid[(src / cell) * buckets + e.dst / cell] += e.bytes;
+            }
+        }
+        let max = grid.iter().cloned().fold(0.0f64, f64::max);
+        let mut s = String::with_capacity(buckets * (buckets + 1));
+        for r in 0..buckets {
+            for c in 0..buckets {
+                let v = grid[r * buckets + c];
+                let idx = if v <= 0.0 || max <= 0.0 {
+                    0
+                } else {
+                    let t = (1.0 + v).ln() / (1.0 + max).ln();
+                    1 + ((t * (SHADES.len() - 2) as f64).round() as usize).min(SHADES.len() - 2)
+                };
+                s.push(SHADES[idx] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// CSV of the non-zero edges: `src,dst,bytes,msgs`.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("src,dst,bytes,msgs\n");
+        for (src, row) in self.out.iter().enumerate() {
+            for e in row {
+                s.push_str(&format!("{},{},{},{}\n", src, e.dst, e.bytes, e.msgs));
+            }
+        }
+        s
+    }
+
+    /// Parse a pattern from the [`CommPattern::to_csv`] edge-list format
+    /// over `n` processes (e.g. a CYPRESS dump converted by the user).
+    /// Repeated `src,dst` rows accumulate.
+    pub fn from_csv(n: usize, csv: &str) -> Result<CommPattern, String> {
+        let mut lines = csv.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty input")?;
+        if header.trim() != "src,dst,bytes,msgs" {
+            return Err(format!("bad header {header:?}, expected \"src,dst,bytes,msgs\""));
+        }
+        let mut b = PatternBuilder::new(n);
+        for (lineno, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != 4 {
+                return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, f.len()));
+            }
+            let parse = |s: &str, what: &str| -> Result<f64, String> {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {}: bad {what} {s:?}: {e}", lineno + 1))
+            };
+            let src = parse(f[0], "src")? as usize;
+            let dst = parse(f[1], "dst")? as usize;
+            let bytes = parse(f[2], "bytes")?;
+            let msgs = parse(f[3], "msgs")?;
+            if src >= n || dst >= n {
+                return Err(format!("line {}: rank out of range for n={n}", lineno + 1));
+            }
+            if bytes < 0.0 || msgs <= 0.0 {
+                return Err(format!("line {}: non-positive traffic", lineno + 1));
+            }
+            // Preserve fractional aggregates by scaling into the builder.
+            let row = b.rows.get_mut(src).expect("bounds checked");
+            if src != dst {
+                let e = row.entry(dst).or_insert((0.0, 0.0));
+                e.0 += bytes;
+                e.1 += msgs;
+            }
+        }
+        Ok(b.build())
+    }
+
+    /// Scale all volumes and counts by a factor (e.g. the paper's "run
+    /// each application 100 times back-to-back").
+    pub fn scaled(&self, factor: f64) -> CommPattern {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let out: Vec<Vec<Edge>> = self
+            .out
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|e| Edge { dst: e.dst, bytes: e.bytes * factor, msgs: e.msgs * factor })
+                    .collect()
+            })
+            .collect();
+        CommPattern {
+            n: self.n,
+            out,
+            total_bytes: self.total_bytes * factor,
+            total_msgs: self.total_msgs * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CommPattern {
+        let mut b = PatternBuilder::new(4);
+        b.record(0, 1, 100);
+        b.record(0, 1, 100);
+        b.record(1, 0, 50);
+        b.record(2, 3, 75);
+        b.build()
+    }
+
+    #[test]
+    fn accumulation() {
+        let p = small();
+        assert_eq!(p.bytes(0, 1), 200.0);
+        assert_eq!(p.msgs(0, 1), 2.0);
+        assert_eq!(p.bytes(1, 0), 50.0);
+        assert_eq!(p.bytes(3, 2), 0.0);
+        assert_eq!(p.total_bytes(), 325.0);
+        assert_eq!(p.total_msgs(), 4.0);
+        assert_eq!(p.num_edges(), 3);
+    }
+
+    #[test]
+    fn self_messages_ignored() {
+        let mut b = PatternBuilder::new(2);
+        b.record(0, 0, 1000);
+        let p = b.build();
+        assert_eq!(p.total_bytes(), 0.0);
+    }
+
+    #[test]
+    fn comm_quantity_counts_both_directions() {
+        let p = small();
+        assert_eq!(p.comm_quantity(0), 250.0);
+        assert_eq!(p.comm_quantity(1), 250.0);
+        assert_eq!(p.comm_quantity(2), 75.0);
+    }
+
+    #[test]
+    fn partners_merge_directions() {
+        let p = small();
+        let parts = p.partners();
+        assert_eq!(parts[0].len(), 1);
+        assert_eq!(parts[0][0].peer, 1);
+        assert_eq!(parts[0][0].bytes, 250.0);
+        assert_eq!(parts[0][0].msgs, 3.0);
+        assert_eq!(parts[3][0].peer, 2);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let p = small();
+        let cg = p.to_dense_cg();
+        let ag = p.to_dense_ag();
+        let p2 = CommPattern::from_dense(&cg, &ag);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn diagonal_locality_metric() {
+        let mut b = PatternBuilder::new(10);
+        b.record(0, 1, 100);
+        b.record(5, 6, 100);
+        b.record(0, 9, 100);
+        let p = b.build();
+        assert!((p.diagonal_locality(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.diagonal_locality(9), 1.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let p = small().scaled(100.0);
+        assert_eq!(p.bytes(0, 1), 20_000.0);
+        assert_eq!(p.msgs(0, 1), 200.0);
+        assert_eq!(p.total_msgs(), 400.0);
+    }
+
+    #[test]
+    fn heatmap_has_expected_shape() {
+        let p = small();
+        let map = p.ascii_heatmap(1);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Heaviest cell gets the darkest shade.
+        assert_eq!(lines[0].as_bytes()[1], b'@');
+        // Empty cell is blank.
+        assert_eq!(lines[3].as_bytes()[3], b' ');
+    }
+
+    #[test]
+    fn csv_lists_all_edges() {
+        let csv = small().to_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 edges
+        assert!(csv.contains("0,1,200,2"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = small();
+        let back = CommPattern::from_csv(4, &p.to_csv()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn csv_accumulates_duplicate_rows() {
+        let csv = "src,dst,bytes,msgs\n0,1,100,1\n0,1,50,2\n";
+        let p = CommPattern::from_csv(3, csv).unwrap();
+        assert_eq!(p.bytes(0, 1), 150.0);
+        assert_eq!(p.msgs(0, 1), 3.0);
+    }
+
+    #[test]
+    fn csv_errors_are_descriptive() {
+        assert!(CommPattern::from_csv(2, "").unwrap_err().contains("empty"));
+        assert!(CommPattern::from_csv(2, "x,y\n").unwrap_err().contains("bad header"));
+        assert!(CommPattern::from_csv(2, "src,dst,bytes,msgs\n0,1,5\n")
+            .unwrap_err()
+            .contains("4 fields"));
+        assert!(CommPattern::from_csv(2, "src,dst,bytes,msgs\n0,9,5,1\n")
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(CommPattern::from_csv(2, "src,dst,bytes,msgs\n0,1,5,0\n")
+            .unwrap_err()
+            .contains("non-positive"));
+        assert!(CommPattern::from_csv(2, "src,dst,bytes,msgs\n0,zz,5,1\n")
+            .unwrap_err()
+            .contains("bad dst"));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn record_checks_bounds() {
+        PatternBuilder::new(2).record(0, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn from_dense_checks_consistency() {
+        let mut cg = SquareMatrix::zeros(2);
+        cg.set(0, 1, 10.0);
+        let ag = SquareMatrix::zeros(2);
+        CommPattern::from_dense(&cg, &ag);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let p = CommPattern::empty(3);
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.num_edges(), 0);
+        assert_eq!(p.diagonal_locality(0), 1.0);
+    }
+}

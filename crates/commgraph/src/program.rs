@@ -1,0 +1,286 @@
+//! Per-rank message-passing programs.
+//!
+//! The paper runs MPI applications (NPB kernels, K-means, DNN); we cannot
+//! bind MPI, so applications are expressed as one operation list per rank
+//! — blocking receives, eager sends and computation blocks — which the
+//! `mpirt` crate executes on the discrete-event simulator and the
+//! [`crate::trace`] profiler turns into `CG`/`AG` matrices.
+
+use crate::pattern::{CommPattern, PatternBuilder};
+use serde::{Deserialize, Serialize};
+
+/// One operation in a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RankOp {
+    /// Send `bytes` to rank `to`. Sends are eager: the sender deposits the
+    /// message on the network and continues (MPI_Send with buffering).
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Message size in bytes.
+        bytes: u64,
+    },
+    /// Block until a message from rank `from` arrives. Matching is FIFO
+    /// per (source, destination) pair, as in MPI's non-overtaking rule.
+    Recv {
+        /// Source rank.
+        from: usize,
+    },
+    /// Local computation taking `secs` of virtual time.
+    Compute {
+        /// Duration in seconds.
+        secs: f64,
+    },
+}
+
+/// A complete program: one operation list per rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    ops: Vec<Vec<RankOp>>,
+}
+
+impl Program {
+    /// Number of ranks.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operation list of one rank.
+    #[inline]
+    pub fn rank_ops(&self, rank: usize) -> &[RankOp] {
+        &self.ops[rank]
+    }
+
+    /// Total number of operations across ranks.
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(Vec::len).sum()
+    }
+
+    /// Total bytes sent by all ranks.
+    pub fn total_send_bytes(&self) -> f64 {
+        self.ops
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                RankOp::Send { bytes, .. } => *bytes as f64,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total computation seconds across ranks.
+    pub fn total_compute_secs(&self) -> f64 {
+        self.ops
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                RankOp::Compute { secs } => *secs,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Profile the program into a [`CommPattern`] — the offline CYPRESS
+    /// step of the paper's pipeline (every `Send` becomes one `AG` count
+    /// and `bytes` of `CG` volume).
+    pub fn profile(&self) -> CommPattern {
+        let mut b = PatternBuilder::new(self.num_ranks());
+        for (rank, ops) in self.ops.iter().enumerate() {
+            for op in ops {
+                if let RankOp::Send { to, bytes } = op {
+                    b.record(rank, *to, *bytes);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Check send/recv pairing: every `Send` has a matching `Recv` on the
+    /// destination and vice versa. Returns an error message describing
+    /// the first mismatch. A deadlock-free execution needs this (plus
+    /// acyclicity, which the simulator detects at run time).
+    pub fn check_matched(&self) -> Result<(), String> {
+        let n = self.num_ranks();
+        // sends[(src, dst)] vs recvs[(src, dst)]
+        let mut balance = std::collections::BTreeMap::<(usize, usize), i64>::new();
+        for (rank, ops) in self.ops.iter().enumerate() {
+            for op in ops {
+                match op {
+                    RankOp::Send { to, .. } => {
+                        if *to >= n {
+                            return Err(format!("rank {rank} sends to out-of-range rank {to}"));
+                        }
+                        if *to == rank {
+                            return Err(format!("rank {rank} sends to itself"));
+                        }
+                        *balance.entry((rank, *to)).or_default() += 1;
+                    }
+                    RankOp::Recv { from } => {
+                        if *from >= n {
+                            return Err(format!("rank {rank} receives from out-of-range rank {from}"));
+                        }
+                        *balance.entry((*from, rank)).or_default() -= 1;
+                    }
+                    RankOp::Compute { secs } => {
+                        if !secs.is_finite() || *secs < 0.0 {
+                            return Err(format!("rank {rank} has invalid compute duration {secs}"));
+                        }
+                    }
+                }
+            }
+        }
+        for ((src, dst), bal) in balance {
+            if bal != 0 {
+                return Err(format!(
+                    "unmatched traffic {src}->{dst}: {} more {}",
+                    bal.abs(),
+                    if bal > 0 { "sends than recvs" } else { "recvs than sends" }
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder assembling a [`Program`] rank by rank or phase by phase.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    ops: Vec<Vec<RankOp>>,
+}
+
+impl ProgramBuilder {
+    /// Start a program over `n` ranks.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a program needs at least one rank");
+        Self { ops: vec![Vec::new(); n] }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Append a send on `from`.
+    pub fn send(&mut self, from: usize, to: usize, bytes: u64) -> &mut Self {
+        self.ops[from].push(RankOp::Send { to, bytes });
+        self
+    }
+
+    /// Append a receive on `on`.
+    pub fn recv(&mut self, on: usize, from: usize) -> &mut Self {
+        self.ops[on].push(RankOp::Recv { from });
+        self
+    }
+
+    /// Append a matched send/recv pair (a point-to-point transfer).
+    pub fn transfer(&mut self, from: usize, to: usize, bytes: u64) -> &mut Self {
+        self.send(from, to, bytes).recv(to, from)
+    }
+
+    /// Append computation on `rank`.
+    pub fn compute(&mut self, rank: usize, secs: f64) -> &mut Self {
+        self.ops[rank].push(RankOp::Compute { secs });
+        self
+    }
+
+    /// Append the same computation on every rank.
+    pub fn compute_all(&mut self, secs: f64) -> &mut Self {
+        for r in 0..self.ops.len() {
+            self.compute(r, secs);
+        }
+        self
+    }
+
+    /// Finish, validating matched sends/recvs.
+    ///
+    /// # Panics
+    /// Panics if the program has unmatched or out-of-range traffic; use
+    /// [`ProgramBuilder::build_unchecked`] to skip validation.
+    pub fn build(self) -> Program {
+        let p = Program { ops: self.ops };
+        if let Err(e) = p.check_matched() {
+            panic!("invalid program: {e}");
+        }
+        p
+    }
+
+    /// Finish without validating (for tests constructing bad programs).
+    pub fn build_unchecked(self) -> Program {
+        Program { ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = ProgramBuilder::new(2);
+        b.transfer(0, 1, 100).compute(1, 0.5);
+        let p = b.build();
+        assert_eq!(p.num_ranks(), 2);
+        assert_eq!(p.rank_ops(0), &[RankOp::Send { to: 1, bytes: 100 }]);
+        assert_eq!(
+            p.rank_ops(1),
+            &[RankOp::Recv { from: 0 }, RankOp::Compute { secs: 0.5 }]
+        );
+        assert_eq!(p.total_ops(), 3);
+        assert_eq!(p.total_send_bytes(), 100.0);
+        assert_eq!(p.total_compute_secs(), 0.5);
+    }
+
+    #[test]
+    fn profile_counts_sends() {
+        let mut b = ProgramBuilder::new(3);
+        b.transfer(0, 1, 10).transfer(0, 1, 30).transfer(2, 0, 5);
+        let pat = b.build().profile();
+        assert_eq!(pat.bytes(0, 1), 40.0);
+        assert_eq!(pat.msgs(0, 1), 2.0);
+        assert_eq!(pat.bytes(2, 0), 5.0);
+        assert_eq!(pat.total_msgs(), 3.0);
+    }
+
+    #[test]
+    fn unmatched_send_detected() {
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 1, 10);
+        assert!(b.build_unchecked().check_matched().unwrap_err().contains("unmatched"));
+    }
+
+    #[test]
+    fn self_send_detected() {
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 0, 10);
+        assert!(b.build_unchecked().check_matched().unwrap_err().contains("itself"));
+    }
+
+    #[test]
+    fn out_of_range_recv_detected() {
+        let mut b = ProgramBuilder::new(2);
+        b.recv(0, 7);
+        assert!(b.build_unchecked().check_matched().unwrap_err().contains("out-of-range"));
+    }
+
+    #[test]
+    fn negative_compute_detected() {
+        let mut b = ProgramBuilder::new(1);
+        b.compute(0, -1.0);
+        assert!(b.build_unchecked().check_matched().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid program")]
+    fn build_panics_on_bad_program() {
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 1, 1);
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        ProgramBuilder::new(0);
+    }
+}

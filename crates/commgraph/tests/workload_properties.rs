@@ -1,0 +1,113 @@
+//! Cross-module workload properties: every generated application, at a
+//! range of rank counts, produces matched programs whose profiles have
+//! the structure the paper's Fig. 3 documents.
+
+use commgraph::apps::{AppKind, Workload};
+use commgraph::RankOp;
+use proptest::prelude::*;
+
+fn rank_counts() -> Vec<usize> {
+    vec![4, 8, 9, 12, 16, 25, 36, 64]
+}
+
+#[test]
+fn all_apps_at_all_counts_are_matched_and_nonempty() {
+    for kind in AppKind::ALL {
+        for n in rank_counts() {
+            let w = kind.workload(n);
+            assert_eq!(w.num_ranks(), n);
+            let prog = w.program();
+            prog.check_matched().unwrap_or_else(|e| panic!("{kind}@{n}: {e}"));
+            assert!(prog.total_send_bytes() > 0.0, "{kind}@{n} sends nothing");
+        }
+    }
+}
+
+#[test]
+fn profiles_are_deterministic() {
+    for kind in AppKind::ALL {
+        let a = kind.workload(16).pattern();
+        let b = kind.workload(16).pattern();
+        assert_eq!(a, b, "{kind}");
+    }
+}
+
+#[test]
+fn pattern_matches_program_profile() {
+    for kind in AppKind::ALL {
+        let w = kind.workload(25);
+        assert_eq!(w.pattern(), w.program().profile(), "{kind}");
+    }
+}
+
+#[test]
+fn npb_kernels_have_bounded_degree() {
+    // Near-diagonal structure: every rank talks to a handful of peers.
+    for kind in [AppKind::Bt, AppKind::Sp, AppKind::Lu] {
+        let pat = kind.workload(64).pattern();
+        for r in 0..64 {
+            let deg = pat.out_edges(r).len();
+            assert!(deg <= 10, "{kind} rank {r} degree {deg}");
+        }
+    }
+}
+
+#[test]
+fn kmeans_total_traffic_grows_sublinearly_in_iterations() {
+    // Migration decays, so doubling iterations less than doubles bytes.
+    use commgraph::apps::KMeansApp;
+    let mut short = KMeansApp::standard(16);
+    short.iterations = 5;
+    let mut long = KMeansApp::standard(16);
+    long.iterations = 10;
+    let a = short.pattern().total_bytes();
+    let b = long.pattern().total_bytes();
+    assert!(b < 2.0 * a, "no decay: {a} -> {b}");
+    assert!(b > a, "traffic must still grow: {a} -> {b}");
+}
+
+#[test]
+fn dnn_message_count_scales_n_log_n() {
+    use commgraph::apps::Dnn;
+    // Allreduce dominates message count: ~ epochs * n * log2(n).
+    let msgs = |n: usize| Dnn::standard(n).pattern().total_msgs();
+    let m16 = msgs(16);
+    let m64 = msgs(64);
+    // n log n ratio between 16 and 64: (64*6)/(16*4) = 6.
+    let ratio = m64 / m16;
+    assert!((4.0..8.0).contains(&ratio), "ratio {ratio}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_total_ops_consistency(n in 4usize..40, app_idx in 0usize..5) {
+        let kind = AppKind::ALL[app_idx];
+        let prog = kind.workload(n).program();
+        // Sends == recvs across the program.
+        let mut sends = 0usize;
+        let mut recvs = 0usize;
+        for r in 0..n {
+            for op in prog.rank_ops(r) {
+                match op {
+                    RankOp::Send { .. } => sends += 1,
+                    RankOp::Recv { .. } => recvs += 1,
+                    RankOp::Compute { .. } => {}
+                }
+            }
+        }
+        prop_assert_eq!(sends, recvs);
+        // Profile message count equals the send count.
+        prop_assert_eq!(prog.profile().total_msgs() as usize, sends);
+    }
+
+    #[test]
+    fn prop_scaled_pattern_is_linear(n in 4usize..24, factor in 1.0f64..50.0) {
+        let pat = AppKind::Lu.workload(n).pattern();
+        let scaled = pat.scaled(factor);
+        prop_assert!((scaled.total_bytes() - factor * pat.total_bytes()).abs()
+            < 1e-6 * scaled.total_bytes().max(1.0));
+        prop_assert_eq!(scaled.num_edges(), pat.num_edges());
+    }
+}

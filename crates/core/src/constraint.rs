@@ -1,0 +1,194 @@
+//! Data-movement constraints (paper §3.1, "constraint vector" `C`).
+//!
+//! Regulations (data residency, privacy law) or sheer transfer cost pin
+//! some processes to the site holding their data. The paper encodes this
+//! as an `N`-vector `C` where `C_i = 0` means free and `C_i = j > 0` pins
+//! process `i` to site `j`; we use `Option<SiteId>` instead of the
+//! 0-sentinel. The evaluation's *constraint ratio* (§5.1) is the fraction
+//! of pinned processes: 0 leaves the mapper free, 1 determines the whole
+//! mapping.
+
+use geonet::SiteId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The constraint vector `C`: per-process optional pinned site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintVector {
+    pins: Vec<Option<SiteId>>,
+}
+
+impl ConstraintVector {
+    /// No constraints on any of `n` processes (ratio 0).
+    pub fn none(n: usize) -> Self {
+        Self { pins: vec![None; n] }
+    }
+
+    /// Build from an explicit vector.
+    pub fn from_pins(pins: Vec<Option<SiteId>>) -> Self {
+        Self { pins }
+    }
+
+    /// Randomly pin `ratio·N` processes to sites, respecting `caps`
+    /// (never pinning more processes to a site than it has nodes), as the
+    /// paper does: "Given a constraint ratio, we randomly choose the
+    /// constrained processes and their mapped sites."
+    ///
+    /// # Panics
+    /// Panics if `ratio` is outside `[0, 1]` or the capacities cannot
+    /// hold `ratio·N` processes.
+    pub fn random(n: usize, ratio: f64, caps: &[usize], seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "ratio {ratio} outside [0,1]");
+        let want = (ratio * n as f64).round() as usize;
+        let total: usize = caps.iter().sum();
+        assert!(total >= want, "capacities {total} cannot hold {want} pinned processes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Choose which processes are pinned (Fisher–Yates prefix).
+        let mut procs: Vec<usize> = (0..n).collect();
+        for i in 0..want {
+            let j = rng.random_range(i..n);
+            procs.swap(i, j);
+        }
+        // Assign each pinned process a site with remaining room.
+        let mut remaining = caps.to_vec();
+        let mut pins = vec![None; n];
+        for &p in &procs[..want] {
+            loop {
+                let s = rng.random_range(0..caps.len());
+                if remaining[s] > 0 {
+                    remaining[s] -= 1;
+                    pins[p] = Some(SiteId(s));
+                    break;
+                }
+            }
+        }
+        Self { pins }
+    }
+
+    /// Number of processes `N`.
+    pub fn len(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// True if there are zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty()
+    }
+
+    /// The pin of process `i` (`None` = free).
+    #[inline]
+    pub fn pin_of(&self, i: usize) -> Option<SiteId> {
+        self.pins[i]
+    }
+
+    /// Pin process `i` to `site`.
+    pub fn pin(&mut self, i: usize, site: SiteId) {
+        self.pins[i] = Some(site);
+    }
+
+    /// Release process `i`.
+    pub fn unpin(&mut self, i: usize) {
+        self.pins[i] = None;
+    }
+
+    /// Iterate over all pins.
+    pub fn iter(&self) -> impl Iterator<Item = &Option<SiteId>> {
+        self.pins.iter()
+    }
+
+    /// Number of pinned processes.
+    pub fn num_pinned(&self) -> usize {
+        self.pins.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// The constraint ratio: pinned / N (0 if N = 0).
+    pub fn ratio(&self) -> f64 {
+        if self.pins.is_empty() {
+            return 0.0;
+        }
+        self.num_pinned() as f64 / self.pins.len() as f64
+    }
+
+    /// Check a mapping against the constraints — Eq. 5's
+    /// `(P − C) ∘ C = 0`: wherever `C` pins, `P` must equal it.
+    pub fn satisfied_by(&self, mapping: &[SiteId]) -> bool {
+        self.pins.len() == mapping.len()
+            && self
+                .pins
+                .iter()
+                .zip(mapping)
+                .all(|(pin, &m)| pin.is_none_or(|p| p == m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_ratio_zero() {
+        let c = ConstraintVector::none(10);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.num_pinned(), 0);
+        assert_eq!(c.ratio(), 0.0);
+    }
+
+    #[test]
+    fn pin_unpin_roundtrip() {
+        let mut c = ConstraintVector::none(4);
+        c.pin(2, SiteId(1));
+        assert_eq!(c.pin_of(2), Some(SiteId(1)));
+        assert_eq!(c.ratio(), 0.25);
+        c.unpin(2);
+        assert_eq!(c.pin_of(2), None);
+    }
+
+    #[test]
+    fn random_hits_requested_ratio() {
+        let caps = vec![16, 16, 16, 16];
+        for ratio in [0.0, 0.2, 0.5, 1.0] {
+            let c = ConstraintVector::random(64, ratio, &caps, 7);
+            assert_eq!(c.num_pinned(), (ratio * 64.0).round() as usize, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn random_respects_capacities() {
+        let caps = vec![2, 30];
+        let c = ConstraintVector::random(32, 1.0, &caps, 3);
+        let in_site0 = c.iter().flatten().filter(|s| s.index() == 0).count();
+        assert!(in_site0 <= 2);
+        assert_eq!(c.num_pinned(), 32);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let caps = vec![8, 8];
+        let a = ConstraintVector::random(16, 0.5, &caps, 42);
+        let b = ConstraintVector::random(16, 0.5, &caps, 42);
+        assert_eq!(a, b);
+        let c = ConstraintVector::random(16, 0.5, &caps, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn satisfaction_check() {
+        let mut c = ConstraintVector::none(3);
+        c.pin(1, SiteId(2));
+        assert!(c.satisfied_by(&[SiteId(0), SiteId(2), SiteId(1)]));
+        assert!(!c.satisfied_by(&[SiteId(0), SiteId(1), SiteId(2)]));
+        assert!(!c.satisfied_by(&[SiteId(0)])); // wrong length
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_ratio_rejected() {
+        ConstraintVector::random(4, 1.5, &[4], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn overfull_rejected() {
+        ConstraintVector::random(10, 1.0, &[4], 0);
+    }
+}

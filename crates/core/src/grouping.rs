@@ -1,0 +1,102 @@
+//! The grouping optimization (paper §4.2).
+//!
+//! Enumerating all `M!` site orders explodes for large `M`; motivated by
+//! Observation 2 (network performance tracks geographic distance), the
+//! paper first clusters nearby sites into `κ` groups with K-means over
+//! the sites' physical coordinates (Forgy initialisation, Euclidean
+//! distance) and enumerates only the `κ!` group orders.
+
+use geo_kmeans::{kmeans, KMeansConfig};
+use geonet::{SiteId, SiteNetwork};
+
+/// Cluster the sites of `net` into at most `kappa` groups by geographic
+/// proximity. Returns non-empty groups of site ids; the union is exactly
+/// the site set. `kappa` is clamped to `M`; `kappa == 0` is rejected.
+///
+/// K-means is restarted over a few seeds (derived from `seed`) and the
+/// lowest-inertia clustering wins, keeping the grouping stable and
+/// sensible even with unlucky Forgy draws.
+pub fn group_sites(net: &SiteNetwork, kappa: usize, seed: u64) -> Vec<Vec<SiteId>> {
+    assert!(kappa > 0, "kappa must be positive");
+    let m = net.num_sites();
+    if m == 0 {
+        return Vec::new();
+    }
+    let points: Vec<Vec<f64>> = net.sites().iter().map(|s| s.coord.as_array().to_vec()).collect();
+    let k = kappa.min(m);
+    let best = (0..4)
+        .map(|r| kmeans(&points, &KMeansConfig::forgy(k, seed.wrapping_add(r))))
+        .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).unwrap())
+        .expect("at least one restart");
+    best.groups()
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| g.into_iter().map(SiteId).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geonet::presets::{ec2_sites, paper_ec2_network};
+    use geonet::synth::{SynthConfig, SynthNetworkBuilder};
+    use geonet::InstanceType;
+
+    fn global_net() -> SiteNetwork {
+        let names: Vec<&str> = geonet::presets::EC2_REGIONS.iter().map(|r| r.name).collect();
+        SynthNetworkBuilder::new(SynthConfig::default()).build(ec2_sites(&names, 4))
+    }
+
+    #[test]
+    fn groups_partition_sites() {
+        let net = global_net();
+        let groups = group_sites(&net, 4, 1);
+        let mut all: Vec<usize> = groups.iter().flatten().map(|s| s.index()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+        assert!(groups.len() <= 4);
+        assert!(groups.iter().all(|g| !g.is_empty()));
+    }
+
+    #[test]
+    fn geographically_close_regions_group_together() {
+        let net = global_net();
+        let groups = group_sites(&net, 4, 1);
+        // us-east-1 (0), us-west-1 (1), us-west-2 (2) are one continent;
+        // ap-southeast-1 (5) is Singapore. The two US-west regions must
+        // land in the same group, and Singapore must not join the US
+        // group that contains us-west-1.
+        let find = |site: usize| groups.iter().position(|g| g.contains(&SiteId(site))).unwrap();
+        assert_eq!(find(1), find(2), "us-west-1 and us-west-2 split: {groups:?}");
+        assert_ne!(find(1), find(5), "Singapore grouped with US west: {groups:?}");
+    }
+
+    #[test]
+    fn kappa_one_is_a_single_group() {
+        let net = paper_ec2_network(4, InstanceType::M4Xlarge, 1);
+        let groups = group_sites(&net, 1, 0);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 4);
+    }
+
+    #[test]
+    fn kappa_clamped_to_m() {
+        let net = paper_ec2_network(4, InstanceType::M4Xlarge, 1);
+        let groups = group_sites(&net, 10, 0);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        assert!(groups.len() <= 4);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let net = global_net();
+        assert_eq!(group_sites(&net, 3, 9), group_sites(&net, 3, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa")]
+    fn zero_kappa_rejected() {
+        group_sites(&paper_ec2_network(1, InstanceType::M4Xlarge, 1), 0, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The SC'17 geo-distributed process-mapping contribution.
+//!
+//! This crate implements the paper's core: the constrained-optimization
+//! formulation of geo-distributed process mapping (§3) and the
+//! Geo-distributed mapping algorithm (§4, Algorithm 1).
+//!
+//! * [`problem::MappingProblem`] — `N` processes with a communication
+//!   pattern (`CG`/`AG`), `M` sites with `LT`/`BT` matrices and node
+//!   capacities `I`, and a data-movement [`constraint::ConstraintVector`]
+//!   `C` pinning some processes to sites.
+//! * [`mapping::Mapping`] — the decision vector `P` (process → site) with
+//!   feasibility checking against both constraints (Eq. 5's
+//!   `(P − C) ∘ C = 0`) and capacities (`count(j, P) ≤ I_j`).
+//! * [`cost`] — the α–β cost function of Eq. 3:
+//!   `Σ_{i,j} AG(i,j)·LT(P_i,P_j) + CG(i,j)/BT(P_i,P_j)`.
+//! * [`grouping`] — the K-means grouping optimization over site
+//!   coordinates that bounds the order search to `O(κ!)`.
+//! * [`geo`] — Algorithm 1: for every order of the groups, greedily seed
+//!   each site with the heaviest-communicating unmapped process and pack
+//!   the site with its heaviest partners; keep the cheapest order.
+//! * [`pipeline`] — the end-to-end flow of Fig. 2: application profiling
+//!   → network calibration → grouping → mapping optimization.
+
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod cost;
+pub mod geo;
+pub mod grouping;
+pub mod mapping;
+pub mod pipeline;
+pub mod multisite;
+pub mod problem;
+
+pub use constraint::ConstraintVector;
+pub use cost::{cost, cost_with_model, pair_cost, CostModel};
+pub use geo::{GeoMapper, OrderSearch, Seeding};
+pub use grouping::group_sites;
+pub use mapping::Mapping;
+pub use multisite::{AllowedSites, GeoMapperMulti};
+pub use problem::MappingProblem;
+
+/// A process-mapping algorithm: produces a feasible [`Mapping`] for a
+/// [`MappingProblem`]. Implemented by [`GeoMapper`] here and by the
+/// baselines crate (Random, Greedy, MPIPP, exhaustive, Monte Carlo).
+pub trait Mapper {
+    /// Display name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Compute a mapping. Implementations must return a feasible mapping
+    /// (constraints honoured, capacities respected) for any valid
+    /// problem.
+    fn map(&self, problem: &MappingProblem) -> Mapping;
+}

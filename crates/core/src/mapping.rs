@@ -1,0 +1,182 @@
+//! The mapping decision vector `P` (paper §3.2).
+
+use crate::problem::MappingProblem;
+use geonet::SiteId;
+
+/// A process→site assignment: element `i` is the site process `i` runs
+/// in (the paper's `P`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    assignment: Vec<SiteId>,
+}
+
+impl Mapping {
+    /// Wrap an assignment vector.
+    pub fn new(assignment: Vec<SiteId>) -> Self {
+        Self { assignment }
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True for a zero-process mapping.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Site of process `i`.
+    #[inline]
+    pub fn site_of(&self, i: usize) -> SiteId {
+        self.assignment[i]
+    }
+
+    /// The raw assignment slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[SiteId] {
+        &self.assignment
+    }
+
+    /// Processes mapped to each site: `counts[j] = count(j, P)`.
+    pub fn site_counts(&self, num_sites: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_sites];
+        for s in &self.assignment {
+            counts[s.index()] += 1;
+        }
+        counts
+    }
+
+    /// Processes mapped to site `j`.
+    pub fn processes_in(&self, site: SiteId) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (s == site).then_some(i))
+            .collect()
+    }
+
+    /// Swap the sites of two processes (the MPIPP exchange move).
+    pub fn swap(&mut self, i: usize, j: usize) {
+        self.assignment.swap(i, j);
+    }
+
+    /// Validate feasibility against a problem: correct length, every site
+    /// in range, capacities respected (`count(j,P) ≤ I_j`), constraints
+    /// honoured (`(P−C)∘C = 0`). Returns a description of the first
+    /// violation.
+    pub fn validate(&self, problem: &MappingProblem) -> Result<(), String> {
+        if self.len() != problem.num_processes() {
+            return Err(format!(
+                "mapping has {} entries for {} processes",
+                self.len(),
+                problem.num_processes()
+            ));
+        }
+        let m = problem.num_sites();
+        for (i, s) in self.assignment.iter().enumerate() {
+            if s.index() >= m {
+                return Err(format!("process {i} mapped to out-of-range {s}"));
+            }
+        }
+        let caps = problem.capacities();
+        for (j, (&used, &cap)) in self.site_counts(m).iter().zip(&caps).enumerate() {
+            if used > cap {
+                return Err(format!("site {j} holds {used} processes but has {cap} nodes"));
+            }
+        }
+        if !problem.constraints().satisfied_by(&self.assignment) {
+            return Err("data-movement constraints violated".into());
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<usize>> for Mapping {
+    fn from(v: Vec<usize>) -> Self {
+        Mapping::new(v.into_iter().map(SiteId).collect())
+    }
+}
+
+impl std::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", s.index())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintVector;
+    use crate::problem::MappingProblem;
+    use commgraph::apps::{Ring, Workload};
+    use geonet::{presets, InstanceType};
+
+    fn problem() -> MappingProblem {
+        let net = presets::paper_ec2_network(2, InstanceType::M4Xlarge, 1);
+        let pat = Ring { n: 8, iterations: 1, bytes: 10 }.pattern();
+        MappingProblem::unconstrained(pat, net)
+    }
+
+    fn balanced() -> Mapping {
+        Mapping::from(vec![0, 0, 1, 1, 2, 2, 3, 3])
+    }
+
+    #[test]
+    fn accessors() {
+        let m = balanced();
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.site_of(4), SiteId(2));
+        assert_eq!(m.site_counts(4), vec![2, 2, 2, 2]);
+        assert_eq!(m.processes_in(SiteId(1)), vec![2, 3]);
+        assert_eq!(m.to_string(), "[0 0 1 1 2 2 3 3]");
+    }
+
+    #[test]
+    fn valid_mapping_passes() {
+        balanced().validate(&problem()).unwrap();
+    }
+
+    #[test]
+    fn overfull_site_fails() {
+        let m = Mapping::from(vec![0, 0, 0, 1, 2, 2, 3, 3]);
+        let err = m.validate(&problem()).unwrap_err();
+        assert!(err.contains("site 0"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_site_fails() {
+        let m = Mapping::from(vec![0, 0, 1, 1, 2, 2, 3, 9]);
+        assert!(m.validate(&problem()).unwrap_err().contains("out-of-range"));
+    }
+
+    #[test]
+    fn wrong_length_fails() {
+        let m = Mapping::from(vec![0, 1]);
+        assert!(m.validate(&problem()).unwrap_err().contains("entries"));
+    }
+
+    #[test]
+    fn constraint_violation_fails() {
+        let mut c = ConstraintVector::none(8);
+        c.pin(0, SiteId(3));
+        let p = problem().with_constraints(c);
+        assert!(balanced().validate(&p).unwrap_err().contains("constraints"));
+    }
+
+    #[test]
+    fn swap_exchanges_assignments() {
+        let mut m = balanced();
+        m.swap(0, 7);
+        assert_eq!(m.site_of(0), SiteId(3));
+        assert_eq!(m.site_of(7), SiteId(0));
+    }
+}

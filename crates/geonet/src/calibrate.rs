@@ -1,0 +1,239 @@
+//! Simulated network calibration (the paper's SKaMPI component).
+//!
+//! The paper calibrates one instance pair per site pair with SKaMPI's
+//! `Pingpong_Send_Recv`: the latency `LT(k,l)` is the elapsed time of a
+//! one-byte message and the bandwidth `BT(k,l)` is derived from an 8 MB
+//! transfer; measurements repeat over several days and are averaged, and
+//! the observed variation is below ~5 % (§4.2). This module reproduces
+//! that procedure against a synthetic ground-truth [`SiteNetwork`],
+//! returning the *estimated* network the optimizer consumes plus a report
+//! on measurement variation and calibration cost.
+
+use crate::matrix::SquareMatrix;
+use crate::network::SiteNetwork;
+use crate::site::SiteId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Default large-message size the paper derives bandwidth from (8 MB).
+pub const BANDWIDTH_PROBE_BYTES: u64 = 8_000_000;
+
+/// Configuration of the calibration campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationConfig {
+    /// Number of simulated days the campaign runs ("We keep measuring …
+    /// for several days").
+    pub days: usize,
+    /// Probes per site pair per day.
+    pub probes_per_day: usize,
+    /// Message size of the latency probe.
+    pub small_bytes: u64,
+    /// Message size of the bandwidth probe.
+    pub large_bytes: u64,
+    /// Coefficient of variation of inter-site measurements (paper: < 5 %).
+    pub inter_noise_cv: f64,
+    /// Coefficient of variation of intra-site measurements — the paper
+    /// notes intra-site variation is *larger* (but matters little since
+    /// intra performance is high).
+    pub intra_noise_cv: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self {
+            days: 3,
+            probes_per_day: 10,
+            small_bytes: 1,
+            large_bytes: BANDWIDTH_PROBE_BYTES,
+            inter_noise_cv: 0.02,
+            intra_noise_cv: 0.05,
+            seed: 0xCA11,
+        }
+    }
+}
+
+/// Outcome of a calibration campaign.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// The estimated network (sites copied from the ground truth, `LT`/`BT`
+    /// from measurements). This is what the optimizer sees.
+    pub estimated: SiteNetwork,
+    /// Per-site-pair coefficient of variation of the bandwidth samples.
+    pub bandwidth_cv: SquareMatrix,
+    /// Total number of ping-pong probes issued.
+    pub probes: usize,
+}
+
+impl CalibrationReport {
+    /// Largest observed bandwidth variation across inter-site pairs.
+    pub fn max_inter_site_cv(&self) -> f64 {
+        let m = self.bandwidth_cv.n();
+        let mut max = 0.0f64;
+        for k in 0..m {
+            for l in 0..m {
+                if k != l {
+                    max = max.max(self.bandwidth_cv.get(k, l));
+                }
+            }
+        }
+        max
+    }
+}
+
+/// Simulated SKaMPI-style calibrator.
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    config: CalibrationConfig,
+}
+
+impl Calibrator {
+    /// Create a calibrator.
+    pub fn new(config: CalibrationConfig) -> Self {
+        assert!(config.days > 0 && config.probes_per_day > 0, "need at least one probe");
+        assert!(config.large_bytes > config.small_bytes, "bandwidth probe must exceed latency probe");
+        Self { config }
+    }
+
+    /// One simulated ping-pong elapsed time (one direction) for `bytes`
+    /// over the ground-truth link `(k, l)`, with multiplicative noise.
+    fn probe(&self, truth: &SiteNetwork, k: SiteId, l: SiteId, bytes: u64, rng: &mut StdRng) -> f64 {
+        let ab = truth.alpha_beta(k, l);
+        let cv = if k == l { self.config.intra_noise_cv } else { self.config.inter_noise_cv };
+        let noise = 1.0 + cv * standard_normal(rng);
+        ab.transfer_time(bytes) * noise.max(0.2)
+    }
+
+    /// Run the campaign against the ground truth and estimate `LT`/`BT`.
+    pub fn calibrate(&self, truth: &SiteNetwork) -> CalibrationReport {
+        let m = truth.num_sites();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let samples = self.config.days * self.config.probes_per_day;
+        let mut lt = SquareMatrix::zeros(m);
+        let mut bt = SquareMatrix::zeros(m);
+        let mut cv = SquareMatrix::zeros(m);
+        let mut probes = 0usize;
+
+        for k in 0..m {
+            for l in 0..m {
+                let (sk, sl) = (SiteId(k), SiteId(l));
+                let mut lat_sum = 0.0;
+                let mut bw_samples = Vec::with_capacity(samples);
+                for _ in 0..samples {
+                    let t_small = self.probe(truth, sk, sl, self.config.small_bytes, &mut rng);
+                    let t_large = self.probe(truth, sk, sl, self.config.large_bytes, &mut rng);
+                    probes += 2;
+                    lat_sum += t_small;
+                    // Subtract the measured latency so the estimate is the
+                    // pure serialization rate; guard against noise making
+                    // the difference non-positive.
+                    let ser = (t_large - t_small).max(1e-9);
+                    bw_samples.push(self.config.large_bytes as f64 / ser);
+                }
+                let lat = lat_sum / samples as f64;
+                let mean_bw = bw_samples.iter().sum::<f64>() / samples as f64;
+                let var = bw_samples.iter().map(|b| (b - mean_bw).powi(2)).sum::<f64>()
+                    / samples as f64;
+                lt.set(k, l, lat);
+                bt.set(k, l, mean_bw);
+                cv.set(k, l, var.sqrt() / mean_bw);
+            }
+        }
+
+        CalibrationReport {
+            estimated: SiteNetwork::new(truth.sites().to_vec(), lt, bt),
+            bandwidth_cv: cv,
+            probes,
+        }
+    }
+}
+
+/// A standard normal deviate via Box–Muller (rand ships no distributions).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0f64);
+    let u2: f64 = rng.random_range(0.0..1.0f64);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Calibration cost model (paper §4.2's example): probing every *node*
+/// pair takes `n·(n-1)` probes vs `m·(m-1)` for site pairs. Returns
+/// `(site_pair_minutes, node_pair_minutes)` given one minute per probe.
+pub fn calibration_cost_minutes(m_sites: usize, n_nodes: usize) -> (f64, f64) {
+    let site = (m_sites * m_sites.saturating_sub(1)) as f64;
+    let node = (n_nodes * n_nodes.saturating_sub(1)) as f64;
+    (site, node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceType;
+    use crate::presets::paper_ec2_network;
+
+    #[test]
+    fn estimates_converge_to_truth() {
+        let truth = paper_ec2_network(16, InstanceType::M4Xlarge, 42);
+        let report = Calibrator::new(CalibrationConfig {
+            days: 10,
+            probes_per_day: 20,
+            ..CalibrationConfig::default()
+        })
+        .calibrate(&truth);
+        let bt_err = report.estimated.bt().rel_l1_diff(truth.bt());
+        let lt_err = report.estimated.lt().rel_l1_diff(truth.lt());
+        assert!(bt_err < 0.05, "bandwidth error {bt_err}");
+        assert!(lt_err < 0.05, "latency error {lt_err}");
+    }
+
+    #[test]
+    fn variation_is_small_as_paper_reports() {
+        let truth = paper_ec2_network(16, InstanceType::M4Xlarge, 42);
+        let report = Calibrator::new(CalibrationConfig::default()).calibrate(&truth);
+        // Paper §4.2: inter-site variation generally below 5%.
+        assert!(report.max_inter_site_cv() < 0.08, "cv {}", report.max_inter_site_cv());
+    }
+
+    #[test]
+    fn probe_count_scales_with_m_squared() {
+        let truth = paper_ec2_network(16, InstanceType::M4Xlarge, 42);
+        let cfg = CalibrationConfig::default();
+        let report = Calibrator::new(cfg.clone()).calibrate(&truth);
+        assert_eq!(report.probes, 4 * 4 * cfg.days * cfg.probes_per_day * 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let truth = paper_ec2_network(8, InstanceType::M4Xlarge, 1);
+        let a = Calibrator::new(CalibrationConfig::default()).calibrate(&truth);
+        let b = Calibrator::new(CalibrationConfig::default()).calibrate(&truth);
+        assert_eq!(a.estimated, b.estimated);
+    }
+
+    #[test]
+    fn papers_cost_example() {
+        // Paper: 4 sites, 128 nodes per site, 1 minute per pair probe:
+        // all-node-pairs ≈ 180+ days, site-pairs ≈ 12 minutes.
+        let (site_min, node_min) = calibration_cost_minutes(4, 4 * 128);
+        assert_eq!(site_min, 12.0);
+        assert!(node_min / (60.0 * 24.0) > 180.0, "node days {}", node_min / 1440.0);
+    }
+
+    #[test]
+    fn latency_estimate_positive_everywhere() {
+        let truth = paper_ec2_network(4, InstanceType::M1Small, 5);
+        let report = Calibrator::new(CalibrationConfig::default()).calibrate(&truth);
+        for k in 0..4 {
+            for l in 0..4 {
+                assert!(report.estimated.lt().get(k, l) > 0.0);
+                assert!(report.estimated.bt().get(k, l) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn zero_days_rejected() {
+        Calibrator::new(CalibrationConfig { days: 0, ..CalibrationConfig::default() });
+    }
+}

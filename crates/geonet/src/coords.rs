@@ -1,0 +1,153 @@
+//! Geographic coordinates and great-circle distances.
+//!
+//! The paper's grouping optimization clusters sites by "physical distance"
+//! using the latitude/longitude published by the cloud provider (paper
+//! §4.2, notation `PC`). This module provides the coordinate type and the
+//! haversine great-circle distance used both for grouping and for the
+//! synthetic network's distance-derived cross-region performance.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A point on the Earth's surface, in degrees.
+///
+/// This is the paper's `PC_i` — a two-dimensional vector of latitude and
+/// longitude for site `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoCoord {
+    /// Latitude in degrees, positive north, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, positive east, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoCoord {
+    /// Create a coordinate from latitude/longitude in degrees.
+    ///
+    /// # Panics
+    /// Panics if the latitude is outside `[-90, 90]`, the longitude is
+    /// outside `[-180, 180]`, or either value is not finite.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!(
+            lat.is_finite() && (-90.0..=90.0).contains(&lat),
+            "latitude {lat} out of range [-90, 90]"
+        );
+        assert!(
+            lon.is_finite() && (-180.0..=180.0).contains(&lon),
+            "longitude {lon} out of range [-180, 180]"
+        );
+        Self { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    ///
+    /// ```
+    /// use geonet::GeoCoord;
+    /// let virginia = GeoCoord::new(38.95, -77.45);
+    /// let oregon = GeoCoord::new(45.84, -119.70);
+    /// let d = virginia.distance_km(&oregon);
+    /// assert!((3500.0..4100.0).contains(&d), "got {d}");
+    /// ```
+    pub fn distance_km(&self, other: &GeoCoord) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Squared Euclidean distance in the raw (lat, lon) degree plane.
+    ///
+    /// The paper's K-means grouping uses "the physical coordinates PC and
+    /// the Euclidean distance"; this is that metric (cheap, and adequate
+    /// for clustering sites that are continents apart).
+    pub fn euclidean_sq(&self, other: &GeoCoord) -> f64 {
+        let dlat = self.lat - other.lat;
+        // Wrap longitude difference into [-180, 180] so that e.g. Tokyo and
+        // California are close in the +180/-180 seam sense.
+        let mut dlon = (self.lon - other.lon).abs() % 360.0;
+        if dlon > 180.0 {
+            dlon = 360.0 - dlon;
+        }
+        dlat * dlat + dlon * dlon
+    }
+
+    /// Coordinates as a fixed-size array, for clustering interfaces.
+    pub fn as_array(&self) -> [f64; 2] {
+        [self.lat, self.lon]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let c = GeoCoord::new(1.29, 103.85); // Singapore
+        assert_eq!(c.distance_km(&c), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoCoord::new(38.95, -77.45);
+        let b = GeoCoord::new(53.41, -8.24);
+        assert!(approx(a.distance_km(&b), b.distance_km(&a), 1e-9));
+    }
+
+    #[test]
+    fn known_distances() {
+        // US East (N. Virginia) to Ireland: roughly 5,450 km.
+        let use_ = GeoCoord::new(38.95, -77.45);
+        let irl = GeoCoord::new(53.41, -8.24);
+        let d = use_.distance_km(&irl);
+        assert!((5200.0..5800.0).contains(&d), "got {d}");
+
+        // US East to Singapore: roughly 15,500 km.
+        let sgp = GeoCoord::new(1.29, 103.85);
+        let d = use_.distance_km(&sgp);
+        assert!((15000.0..16100.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = GeoCoord::new(0.0, 0.0);
+        let b = GeoCoord::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        assert!(approx(d, std::f64::consts::PI * EARTH_RADIUS_KM, 1.0), "got {d}");
+    }
+
+    #[test]
+    fn euclidean_wraps_longitude_seam() {
+        let a = GeoCoord::new(0.0, 179.0);
+        let b = GeoCoord::new(0.0, -179.0);
+        assert!(approx(a.euclidean_sq(&b), 4.0, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn rejects_bad_latitude() {
+        GeoCoord::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude")]
+    fn rejects_bad_longitude() {
+        GeoCoord::new(0.0, 181.0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_sample() {
+        let a = GeoCoord::new(38.95, -77.45);
+        let b = GeoCoord::new(53.41, -8.24);
+        let c = GeoCoord::new(1.29, 103.85);
+        assert!(a.distance_km(&c) <= a.distance_km(&b) + b.distance_km(&c) + 1e-6);
+    }
+}

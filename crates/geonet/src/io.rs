@@ -1,0 +1,211 @@
+//! CSV persistence for calibrated networks.
+//!
+//! The paper's artifact uses "real traces of network performance in
+//! different regions calibrated in March 2016"; this module lets users
+//! save a calibrated [`SiteNetwork`] and reload it later (or import
+//! measurements taken with their own SKaMPI runs) without any binary
+//! format dependencies.
+//!
+//! Format — one header line then one row per directed site pair:
+//!
+//! ```csv
+//! from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps
+//! us-east-1,ap-southeast-1,38.95,-77.45,16,0.0961,6600000
+//! ```
+//!
+//! Site metadata (coordinates, node count) is carried redundantly on
+//! every `from` row and must be consistent; sites are ordered by first
+//! appearance.
+
+use crate::coords::GeoCoord;
+use crate::matrix::SquareMatrix;
+use crate::network::SiteNetwork;
+use crate::site::Site;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serialize a network to the CSV format above.
+pub fn to_csv(net: &SiteNetwork) -> String {
+    let mut out = String::from("from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps\n");
+    for (k, from) in net.sites().iter().enumerate() {
+        for (l, to) in net.sites().iter().enumerate() {
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                from.name,
+                to.name,
+                from.coord.lat,
+                from.coord.lon,
+                from.nodes,
+                net.lt().get(k, l),
+                net.bt().get(k, l),
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
+    out
+}
+
+/// Parse a network from the CSV format above.
+///
+/// Returns a descriptive error for malformed input: wrong column count,
+/// unparsable numbers, inconsistent site metadata, missing pairs, or
+/// unknown `to` sites.
+pub fn from_csv(csv: &str) -> Result<SiteNetwork, String> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty input")?;
+    let expect_header = "from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps";
+    if header.trim() != expect_header {
+        return Err(format!("bad header {header:?}, expected {expect_header:?}"));
+    }
+
+    struct Row {
+        from: String,
+        to: String,
+        lat: f64,
+        lon: f64,
+        nodes: usize,
+        latency: f64,
+        bandwidth: f64,
+    }
+
+    let mut rows = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 7 {
+            return Err(format!("line {}: expected 7 fields, got {}", lineno + 1, f.len()));
+        }
+        let num = |s: &str, what: &str| -> Result<f64, String> {
+            s.trim().parse::<f64>().map_err(|e| format!("line {}: bad {what} {s:?}: {e}", lineno + 1))
+        };
+        rows.push(Row {
+            from: f[0].trim().to_string(),
+            to: f[1].trim().to_string(),
+            lat: num(f[2], "latitude")?,
+            lon: num(f[3], "longitude")?,
+            nodes: num(f[4], "node count")? as usize,
+            latency: num(f[5], "latency")?,
+            bandwidth: num(f[6], "bandwidth")?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("no data rows".into());
+    }
+
+    // Collect sites in order of first appearance as a `from`.
+    let mut order: Vec<String> = Vec::new();
+    let mut meta: BTreeMap<String, (f64, f64, usize)> = BTreeMap::new();
+    for r in &rows {
+        match meta.get(&r.from) {
+            None => {
+                order.push(r.from.clone());
+                meta.insert(r.from.clone(), (r.lat, r.lon, r.nodes));
+            }
+            Some(&(lat, lon, nodes)) => {
+                if lat != r.lat || lon != r.lon || nodes != r.nodes {
+                    return Err(format!("inconsistent metadata for site {:?}", r.from));
+                }
+            }
+        }
+    }
+    let index: BTreeMap<&str, usize> =
+        order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let m = order.len();
+
+    let mut lt = SquareMatrix::filled(m, f64::NAN);
+    let mut bt = SquareMatrix::filled(m, f64::NAN);
+    for r in &rows {
+        let k = index[r.from.as_str()];
+        let l = *index
+            .get(r.to.as_str())
+            .ok_or_else(|| format!("destination site {:?} never appears as a source", r.to))?;
+        lt.set(k, l, r.latency);
+        bt.set(k, l, r.bandwidth);
+    }
+    for k in 0..m {
+        for l in 0..m {
+            if lt.get(k, l).is_nan() || bt.get(k, l).is_nan() {
+                return Err(format!("missing pair {:?} -> {:?}", order[k], order[l]));
+            }
+        }
+    }
+
+    let sites: Vec<Site> = order
+        .iter()
+        .map(|name| {
+            let (lat, lon, nodes) = meta[name];
+            Site::new(name.clone(), GeoCoord::new(lat, lon), nodes)
+        })
+        .collect();
+    Ok(SiteNetwork::new(sites, lt, bt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceType;
+    use crate::presets::paper_ec2_network;
+
+    #[test]
+    fn roundtrip_preserves_network() {
+        let net = paper_ec2_network(16, InstanceType::M4Xlarge, 42);
+        let csv = to_csv(&net);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        assert!(from_csv("a,b,c\n").unwrap_err().contains("bad header"));
+        assert!(from_csv("").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn field_count_is_validated() {
+        let csv = "from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps\nx,y,1\n";
+        assert!(from_csv(csv).unwrap_err().contains("expected 7 fields"));
+    }
+
+    #[test]
+    fn numbers_are_validated() {
+        let csv = "from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps\n\
+                   a,a,0,0,1,zzz,1e8\n";
+        assert!(from_csv(csv).unwrap_err().contains("bad latency"));
+    }
+
+    #[test]
+    fn missing_pairs_detected() {
+        let csv = "from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps\n\
+                   a,a,0,0,1,1e-4,1e8\n\
+                   b,b,1,1,1,1e-4,1e8\n\
+                   a,b,0,0,1,1e-2,1e7\n";
+        assert!(from_csv(csv).unwrap_err().contains("missing pair"));
+    }
+
+    #[test]
+    fn unknown_destination_detected() {
+        let csv = "from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps\n\
+                   a,a,0,0,1,1e-4,1e8\n\
+                   a,ghost,0,0,1,1e-2,1e7\n";
+        assert!(from_csv(csv).unwrap_err().contains("ghost"));
+    }
+
+    #[test]
+    fn inconsistent_metadata_detected() {
+        let csv = "from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps\n\
+                   a,a,0,0,1,1e-4,1e8\n\
+                   a,a,5,0,1,1e-4,1e8\n";
+        assert!(from_csv(csv).unwrap_err().contains("inconsistent"));
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let net = paper_ec2_network(2, InstanceType::M1Small, 7);
+        let mut csv = to_csv(&net);
+        csv.push_str("\n\n");
+        assert_eq!(from_csv(&csv).unwrap(), net);
+    }
+}

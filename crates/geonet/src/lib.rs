@@ -1,0 +1,64 @@
+//! Geo-distributed cloud network substrate.
+//!
+//! This crate models the networking environment the SC'17 paper
+//! *"Efficient Process Mapping in Geo-Distributed Cloud Data Centers"*
+//! measures on Amazon EC2 and Windows Azure:
+//!
+//! * geographic **sites** (cloud regions) with physical coordinates
+//!   ([`Site`], [`coords::GeoCoord`]),
+//! * the **α–β transfer-time model** ([`link::AlphaBeta`]),
+//! * asymmetric per-site-pair **latency and bandwidth matrices**
+//!   `LT, BT ∈ R^{M×M}` ([`network::SiteNetwork`]),
+//! * **synthetic ground-truth clouds** whose heterogeneity reproduces the
+//!   paper's Observations 1 and 2 — intra-region bandwidth is an order of
+//!   magnitude above cross-region bandwidth, and cross-region performance
+//!   degrades with geographic distance ([`synth`], [`presets`]),
+//! * **simulated SKaMPI-style calibration** — ping-pong probes with noise,
+//!   averaged over several simulated days ([`calibrate`]).
+//!
+//! The real paper measured EC2/Azure directly; we cannot, so [`synth`]
+//! builds a ground-truth network from instance-type specifications
+//! (calibrated against the paper's Tables 1–3) and [`calibrate`] recovers
+//! the `LT`/`BT` estimates the mapping algorithm actually consumes, exactly
+//! as the paper's network-calibration component does.
+//!
+//! Unit conventions: latency in **seconds**, bandwidth in **bytes/second**,
+//! message sizes in **bytes**, distances in **kilometres**. Helper
+//! constructors accept the paper's units (ms, MB/s).
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod coords;
+pub mod instance;
+pub mod io;
+pub mod link;
+pub mod matrix;
+pub mod network;
+pub mod presets;
+pub mod site;
+pub mod synth;
+
+pub use calibrate::{calibration_cost_minutes, CalibrationConfig, CalibrationReport, Calibrator};
+pub use coords::GeoCoord;
+pub use instance::InstanceType;
+pub use link::AlphaBeta;
+pub use matrix::SquareMatrix;
+pub use network::SiteNetwork;
+pub use site::{Site, SiteId};
+pub use synth::{SynthConfig, SynthNetworkBuilder};
+
+/// One megabyte in bytes, as used throughout the paper's tables (MB/sec).
+pub const MB: f64 = 1_000_000.0;
+
+/// Convert MB/s (the unit of the paper's tables) to bytes/s.
+#[inline]
+pub fn mbps(v: f64) -> f64 {
+    v * MB
+}
+
+/// Convert milliseconds to seconds.
+#[inline]
+pub fn ms(v: f64) -> f64 {
+    v * 1e-3
+}

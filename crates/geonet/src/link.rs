@@ -1,0 +1,132 @@
+//! The α–β point-to-point communication model.
+//!
+//! The paper adopts the α–β model (Thakur & Rabenseifner): transferring
+//! `n` bytes over a link with latency `α` and bandwidth `β` takes
+//! `α + n/β`. More elaborate models (LogP, LogGP) exist but need more
+//! calibration; the paper argues α–β is sufficient given per-site-pair
+//! calibration, and every cost computation in this workspace goes through
+//! this type.
+
+use serde::{Deserialize, Serialize};
+
+/// α–β parameters of one (directed) link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaBeta {
+    /// Latency `α` in seconds.
+    pub latency_s: f64,
+    /// Bandwidth `β` in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl AlphaBeta {
+    /// Create a link model from latency (seconds) and bandwidth (bytes/s).
+    ///
+    /// # Panics
+    /// Panics if the latency is negative or the bandwidth is not strictly
+    /// positive (a zero-bandwidth link would make every transfer infinite).
+    pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
+        assert!(latency_s >= 0.0 && latency_s.is_finite(), "latency must be finite and >= 0, got {latency_s}");
+        assert!(
+            bandwidth_bps > 0.0 && bandwidth_bps.is_finite(),
+            "bandwidth must be finite and > 0, got {bandwidth_bps}"
+        );
+        Self { latency_s, bandwidth_bps }
+    }
+
+    /// Create a link from the paper's table units: milliseconds and MB/s.
+    pub fn from_ms_mbps(latency_ms: f64, bandwidth_mbps: f64) -> Self {
+        Self::new(latency_ms * 1e-3, bandwidth_mbps * crate::MB)
+    }
+
+    /// Time in seconds to transfer a single message of `bytes` bytes:
+    /// `α + n/β`.
+    #[inline]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Time for `count` messages totalling `total_bytes`:
+    /// `count·α + total/β` — the closed form of the paper's Eq. 3 for one
+    /// process pair mapped onto this link.
+    #[inline]
+    pub fn batch_time(&self, count: f64, total_bytes: f64) -> f64 {
+        count * self.latency_s + total_bytes / self.bandwidth_bps
+    }
+
+    /// Pure serialization time `n/β` (no latency term) — the duration the
+    /// link itself is occupied, used by the discrete-event simulator's
+    /// FIFO link queues.
+    #[inline]
+    pub fn serialization_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Latency in milliseconds (paper table units).
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_s * 1e3
+    }
+
+    /// Bandwidth in MB/s (paper table units).
+    pub fn bandwidth_mbps(&self) -> f64 {
+        self.bandwidth_bps / crate::MB
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_byte_is_dominated_by_latency() {
+        let l = AlphaBeta::from_ms_mbps(10.0, 100.0);
+        let t = l.transfer_time(1);
+        assert!((t - 0.01).abs() < 1e-6, "got {t}");
+    }
+
+    #[test]
+    fn large_message_is_dominated_by_bandwidth() {
+        // 8 MB at 8 MB/s should take ~1s regardless of the 0.1ms latency.
+        let l = AlphaBeta::from_ms_mbps(0.1, 8.0);
+        let t = l.transfer_time(8_000_000);
+        assert!((t - 1.0001).abs() < 1e-9, "got {t}");
+    }
+
+    #[test]
+    fn batch_time_matches_sum_of_singles() {
+        let l = AlphaBeta::from_ms_mbps(2.0, 50.0);
+        let singles: f64 = (0..10).map(|_| l.transfer_time(123_456)).sum();
+        let batch = l.batch_time(10.0, 10.0 * 123_456.0);
+        assert!((singles - batch).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_size() {
+        let l = AlphaBeta::from_ms_mbps(1.0, 10.0);
+        assert!(l.transfer_time(100) < l.transfer_time(101));
+    }
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        let l = AlphaBeta::from_ms_mbps(42.0, 6.6);
+        assert!((l.latency_ms() - 42.0).abs() < 1e-12);
+        assert!((l.bandwidth_mbps() - 6.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_latency_allowed() {
+        let l = AlphaBeta::new(0.0, 1.0);
+        assert_eq!(l.transfer_time(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        AlphaBeta::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn negative_latency_rejected() {
+        AlphaBeta::new(-1.0, 1.0);
+    }
+}

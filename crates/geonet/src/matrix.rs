@@ -1,0 +1,263 @@
+//! Dense square matrices for the paper's `LT`, `BT`, `CG` and `AG`
+//! structures.
+//!
+//! All of the paper's matrix notation (Table 4) is square and dense: the
+//! inter/intra-site latency and bandwidth matrices are `M×M`, and the
+//! communication pattern / count matrices are `N×N`. A plain row-major
+//! `Vec<f64>` with bounds-checked indexing is the right representation —
+//! these matrices are small (`M ≤ 20`) or moderately sized (`N ≤ 8192`)
+//! and are scanned linearly by every algorithm.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `n×n` matrix of `f64`.
+///
+/// Indexing is `m[(row, col)]`. The matrix is *not* assumed symmetric:
+/// the paper notes that both `LT` and `BT` are asymmetric because of
+/// network heterogeneity (§3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// Create an `n×n` matrix filled with zeros.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Create an `n×n` matrix filled with `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Self { n, data: vec![value; n * n] }
+    }
+
+    /// Create a matrix from a row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n`.
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "expected {} elements, got {}", n * n, data.len());
+        Self { n, data }
+    }
+
+    /// Build a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Matrix dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Unchecked-by-assertion element access, useful in hot loops where the
+    /// indices are loop variables already bounded by `n`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// Set element `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest element (0.0 for an empty matrix).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    }
+
+    /// Sum of row `i` plus column `i`, excluding the diagonal twice.
+    ///
+    /// For a communication matrix this is the total traffic process `i`
+    /// participates in — the "communication quantity" of Algorithm 1.
+    pub fn row_col_sum(&self, i: usize) -> f64 {
+        let mut s = 0.0;
+        for j in 0..self.n {
+            s += self.get(i, j) + self.get(j, i);
+        }
+        s - self.get(i, i)
+    }
+
+    /// True if `m[(i,j)] == m[(j,i)]` for all pairs, within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self { n: self.n, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Iterate over `(row, col, value)` of all non-zero elements.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.data.iter().enumerate().filter_map(move |(idx, &v)| {
+            (v != 0.0).then(|| (idx / self.n, idx % self.n, v))
+        })
+    }
+
+    /// Frobenius-style relative difference `‖a−b‖₁ / max(‖a‖₁, ε)`, used by
+    /// calibration accuracy tests.
+    pub fn rel_l1_diff(&self, other: &SquareMatrix) -> f64 {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let num: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let den: f64 = self.data.iter().map(|a| a.abs()).sum::<f64>().max(1e-300);
+        num / den
+    }
+}
+
+impl Index<(usize, usize)> for SquareMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds for {}x{} matrix", self.n, self.n);
+        &self.data[i * self.n + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for SquareMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds for {}x{} matrix", self.n, self.n);
+        &mut self.data[i * self.n + j]
+    }
+}
+
+impl fmt::Display for SquareMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>10.3e}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_dims() {
+        let m = SquareMatrix::zeros(4);
+        assert_eq!(m.n(), 4);
+        assert_eq!(m.sum(), 0.0);
+        assert_eq!(m[(3, 3)], 0.0);
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = SquareMatrix::from_fn(3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = SquareMatrix::zeros(2);
+        m.set(0, 1, 5.5);
+        m[(1, 0)] = -2.0;
+        assert_eq!(m.get(0, 1), 5.5);
+        assert_eq!(m[(1, 0)], -2.0);
+        assert_eq!(m.sum(), 3.5);
+    }
+
+    #[test]
+    fn row_col_sum_excludes_diagonal_once() {
+        // [[1, 2], [3, 4]] -> for i=0: row(1+2) + col(1+3) - diag(1) = 6
+        let m = SquareMatrix::from_vec(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row_col_sum(0), 6.0);
+        assert_eq!(m.row_col_sum(1), 3.0 + 4.0 + 2.0 + 4.0 - 4.0);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = SquareMatrix::from_vec(2, vec![0.0, 1.0, 1.0, 0.0]);
+        let asym = SquareMatrix::from_vec(2, vec![0.0, 1.0, 2.0, 0.0]);
+        assert!(sym.is_symmetric(0.0));
+        assert!(!asym.is_symmetric(0.5));
+        assert!(asym.is_symmetric(1.5));
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let mut m = SquareMatrix::zeros(3);
+        m.set(0, 2, 7.0);
+        m.set(2, 1, 3.0);
+        let v: Vec<_> = m.iter_nonzero().collect();
+        assert_eq!(v, vec![(0, 2, 7.0), (2, 1, 3.0)]);
+    }
+
+    #[test]
+    fn rel_diff_zero_for_identical() {
+        let m = SquareMatrix::from_fn(5, |i, j| (i + j) as f64);
+        assert_eq!(m.rel_l1_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn max_of_empty_is_zero() {
+        assert_eq!(SquareMatrix::zeros(0).max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = SquareMatrix::zeros(2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 elements")]
+    fn from_vec_checks_len() {
+        SquareMatrix::from_vec(2, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,250 @@
+//! The geo-distributed network abstraction: sites plus `LT`/`BT` matrices.
+//!
+//! This is the paper's replacement for the traditional all-link
+//! interconnection graph `T`: instead of `O(N²)` node-pair measurements it
+//! keeps two `M×M` matrices of inter/intra-site latency and bandwidth
+//! (§3.1), asymmetric in general.
+
+use crate::link::AlphaBeta;
+use crate::matrix::SquareMatrix;
+use crate::site::{Site, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// A geo-distributed cloud environment: `M` sites with per-site-pair
+/// latency (`LT`, seconds) and bandwidth (`BT`, bytes/s) matrices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteNetwork {
+    sites: Vec<Site>,
+    /// `LT[k][l]`: latency from site `k` to site `l`, seconds.
+    lt: SquareMatrix,
+    /// `BT[k][l]`: bandwidth from site `k` to site `l`, bytes/s.
+    bt: SquareMatrix,
+}
+
+impl SiteNetwork {
+    /// Assemble a network from sites and matrices.
+    ///
+    /// # Panics
+    /// Panics if matrix dimensions don't match the number of sites, if any
+    /// latency is negative/non-finite, or any bandwidth is non-positive.
+    pub fn new(sites: Vec<Site>, lt: SquareMatrix, bt: SquareMatrix) -> Self {
+        let m = sites.len();
+        assert_eq!(lt.n(), m, "LT must be {m}x{m}");
+        assert_eq!(bt.n(), m, "BT must be {m}x{m}");
+        for i in 0..m {
+            for j in 0..m {
+                let l = lt.get(i, j);
+                let b = bt.get(i, j);
+                assert!(l >= 0.0 && l.is_finite(), "LT[{i}][{j}] = {l} invalid");
+                assert!(b > 0.0 && b.is_finite(), "BT[{i}][{j}] = {b} invalid");
+            }
+        }
+        Self { sites, lt, bt }
+    }
+
+    /// Build a trivial single-site "cluster" network — useful for tests and
+    /// for demonstrating that Geo-distributed degenerates to Greedy when
+    /// `M == 1` (paper §5.2).
+    pub fn single_site(site: Site, intra: AlphaBeta) -> Self {
+        let lt = SquareMatrix::filled(1, intra.latency_s);
+        let bt = SquareMatrix::filled(1, intra.bandwidth_bps);
+        Self::new(vec![site], lt, bt)
+    }
+
+    /// Number of sites `M`.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// All sites.
+    #[inline]
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// One site by id.
+    #[inline]
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0]
+    }
+
+    /// Total physical nodes across all sites (`Σ I_j`).
+    pub fn total_nodes(&self) -> usize {
+        self.sites.iter().map(|s| s.nodes).sum()
+    }
+
+    /// Node capacities per site, the paper's vector `I`.
+    pub fn capacities(&self) -> Vec<usize> {
+        self.sites.iter().map(|s| s.nodes).collect()
+    }
+
+    /// Latency from site `k` to site `l` in seconds (`LT(k,l)`).
+    #[inline(always)]
+    pub fn latency(&self, k: SiteId, l: SiteId) -> f64 {
+        self.lt.get(k.0, l.0)
+    }
+
+    /// Bandwidth from site `k` to site `l` in bytes/s (`BT(k,l)`).
+    #[inline(always)]
+    pub fn bandwidth(&self, k: SiteId, l: SiteId) -> f64 {
+        self.bt.get(k.0, l.0)
+    }
+
+    /// The α–β parameters of the directed site pair `(k, l)`.
+    #[inline]
+    pub fn alpha_beta(&self, k: SiteId, l: SiteId) -> AlphaBeta {
+        AlphaBeta { latency_s: self.latency(k, l), bandwidth_bps: self.bandwidth(k, l) }
+    }
+
+    /// The raw latency matrix (seconds).
+    pub fn lt(&self) -> &SquareMatrix {
+        &self.lt
+    }
+
+    /// The raw bandwidth matrix (bytes/s).
+    pub fn bt(&self) -> &SquareMatrix {
+        &self.bt
+    }
+
+    /// Heterogeneity ratio: mean intra-site bandwidth over mean inter-site
+    /// bandwidth. The paper's Observation 1 is that this exceeds ~10 on
+    /// EC2.
+    pub fn intra_inter_bandwidth_ratio(&self) -> f64 {
+        let m = self.num_sites();
+        if m < 2 {
+            return 1.0;
+        }
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        for k in 0..m {
+            for l in 0..m {
+                if k == l {
+                    intra += self.bt.get(k, l);
+                } else {
+                    inter += self.bt.get(k, l);
+                }
+            }
+        }
+        (intra / m as f64) / (inter / (m * m - m) as f64)
+    }
+
+    /// Restrict the network to a subset of sites (preserving order),
+    /// re-indexing `SiteId`s to `0..subset.len()`.
+    ///
+    /// # Panics
+    /// Panics if `subset` contains an out-of-range or duplicate site.
+    pub fn subnetwork(&self, subset: &[SiteId]) -> SiteNetwork {
+        let mut seen = vec![false; self.num_sites()];
+        for s in subset {
+            assert!(s.0 < self.num_sites(), "{s} out of range");
+            assert!(!seen[s.0], "duplicate {s} in subset");
+            seen[s.0] = true;
+        }
+        let sites = subset.iter().map(|s| self.sites[s.0].clone()).collect();
+        let lt = SquareMatrix::from_fn(subset.len(), |i, j| self.lt.get(subset[i].0, subset[j].0));
+        let bt = SquareMatrix::from_fn(subset.len(), |i, j| self.bt.get(subset[i].0, subset[j].0));
+        SiteNetwork::new(sites, lt, bt)
+    }
+
+    /// Pretty one-line summary, used by example binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sites, {} nodes, intra/inter bandwidth ratio {:.1}x",
+            self.num_sites(),
+            self.total_nodes(),
+            self.intra_inter_bandwidth_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::GeoCoord;
+
+    fn two_site_net() -> SiteNetwork {
+        let sites = vec![
+            Site::new("a", GeoCoord::new(0.0, 0.0), 2),
+            Site::new("b", GeoCoord::new(10.0, 10.0), 3),
+        ];
+        // asymmetric on purpose
+        let lt = SquareMatrix::from_vec(2, vec![1e-4, 40e-3, 42e-3, 2e-4]);
+        let bt = SquareMatrix::from_vec(2, vec![100e6, 6e6, 5e6, 120e6]);
+        SiteNetwork::new(sites, lt, bt)
+    }
+
+    #[test]
+    fn accessors() {
+        let net = two_site_net();
+        assert_eq!(net.num_sites(), 2);
+        assert_eq!(net.total_nodes(), 5);
+        assert_eq!(net.capacities(), vec![2, 3]);
+        assert_eq!(net.latency(SiteId(0), SiteId(1)), 40e-3);
+        assert_eq!(net.bandwidth(SiteId(1), SiteId(0)), 5e6);
+        let ab = net.alpha_beta(SiteId(0), SiteId(0));
+        assert_eq!(ab.latency_s, 1e-4);
+        assert_eq!(ab.bandwidth_bps, 100e6);
+    }
+
+    #[test]
+    fn asymmetry_is_preserved() {
+        let net = two_site_net();
+        assert_ne!(net.latency(SiteId(0), SiteId(1)), net.latency(SiteId(1), SiteId(0)));
+        assert!(!net.lt().is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn heterogeneity_ratio() {
+        let net = two_site_net();
+        // intra mean = 110e6, inter mean = 5.5e6 -> ratio 20
+        let r = net.intra_inter_bandwidth_ratio();
+        assert!((r - 20.0).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn single_site_ratio_is_one() {
+        let net = SiteNetwork::single_site(
+            Site::new("only", GeoCoord::new(0.0, 0.0), 8),
+            AlphaBeta::from_ms_mbps(0.1, 100.0),
+        );
+        assert_eq!(net.intra_inter_bandwidth_ratio(), 1.0);
+        assert_eq!(net.num_sites(), 1);
+    }
+
+    #[test]
+    fn subnetwork_reindexes() {
+        let net = two_site_net();
+        let sub = net.subnetwork(&[SiteId(1)]);
+        assert_eq!(sub.num_sites(), 1);
+        assert_eq!(sub.site(SiteId(0)).name, "b");
+        assert_eq!(sub.bandwidth(SiteId(0), SiteId(0)), 120e6);
+    }
+
+    #[test]
+    fn subnetwork_preserves_cross_terms() {
+        let net = two_site_net();
+        let sub = net.subnetwork(&[SiteId(1), SiteId(0)]);
+        assert_eq!(sub.latency(SiteId(0), SiteId(1)), net.latency(SiteId(1), SiteId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn subnetwork_rejects_duplicates() {
+        two_site_net().subnetwork(&[SiteId(0), SiteId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "BT")]
+    fn new_checks_dims() {
+        let sites = vec![Site::new("a", GeoCoord::new(0.0, 0.0), 1)];
+        SiteNetwork::new(sites, SquareMatrix::zeros(1), SquareMatrix::zeros(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn new_rejects_zero_bandwidth() {
+        let sites = vec![Site::new("a", GeoCoord::new(0.0, 0.0), 1)];
+        SiteNetwork::new(sites, SquareMatrix::zeros(1), SquareMatrix::zeros(1));
+    }
+}

@@ -1,0 +1,319 @@
+//! Cloud provider presets: the region catalogues the paper works with.
+//!
+//! Figure 1 of the paper shows the 11 Amazon EC2 regions as of Nov 2015;
+//! the evaluation deploys across four of them (US East, US West, Ireland,
+//! Singapore) with 16 × m4.xlarge each, and Tables 3 validates the
+//! observations on Windows Azure. This module provides those catalogues
+//! with real data-center coordinates plus convenience constructors for the
+//! exact evaluation setups.
+
+use crate::coords::GeoCoord;
+use crate::instance::InstanceType;
+use crate::network::SiteNetwork;
+use crate::site::Site;
+use crate::synth::{SynthConfig, SynthNetworkBuilder};
+
+/// An entry in a provider's region catalogue.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionInfo {
+    /// Provider region code / display name.
+    pub name: &'static str,
+    /// Approximate data-center coordinates.
+    pub lat: f64,
+    /// Longitude, degrees east.
+    pub lon: f64,
+}
+
+/// The 11 Amazon EC2 regions of Nov 2015 (paper Fig. 1).
+pub const EC2_REGIONS: [RegionInfo; 11] = [
+    RegionInfo { name: "us-east-1", lat: 38.95, lon: -77.45 },        // N. Virginia
+    RegionInfo { name: "us-west-1", lat: 37.35, lon: -121.96 },       // N. California
+    RegionInfo { name: "us-west-2", lat: 45.84, lon: -119.70 },       // Oregon
+    RegionInfo { name: "eu-west-1", lat: 53.41, lon: -8.24 },         // Ireland
+    RegionInfo { name: "eu-central-1", lat: 50.11, lon: 8.68 },       // Frankfurt
+    RegionInfo { name: "ap-southeast-1", lat: 1.29, lon: 103.85 },    // Singapore
+    RegionInfo { name: "ap-southeast-2", lat: -33.86, lon: 151.21 },  // Sydney
+    RegionInfo { name: "ap-northeast-1", lat: 35.68, lon: 139.77 },   // Tokyo
+    RegionInfo { name: "ap-northeast-2", lat: 37.56, lon: 126.97 },   // Seoul
+    RegionInfo { name: "sa-east-1", lat: -23.55, lon: -46.63 },       // São Paulo
+    RegionInfo { name: "cn-north-1", lat: 39.90, lon: 116.40 },       // Beijing
+];
+
+/// Windows Azure regions used by Table 3, plus a broader sample of the
+/// "20 regions" the paper mentions.
+pub const AZURE_REGIONS: [RegionInfo; 10] = [
+    RegionInfo { name: "East US", lat: 36.67, lon: -78.39 },
+    RegionInfo { name: "West US", lat: 37.78, lon: -122.42 },
+    RegionInfo { name: "North Europe", lat: 53.35, lon: -6.26 },
+    RegionInfo { name: "West Europe", lat: 52.37, lon: 4.89 },
+    RegionInfo { name: "Japan East", lat: 35.68, lon: 139.77 },
+    RegionInfo { name: "Japan West", lat: 34.69, lon: 135.50 },
+    RegionInfo { name: "Southeast Asia", lat: 1.29, lon: 103.85 },
+    RegionInfo { name: "East Asia", lat: 22.32, lon: 114.17 },
+    RegionInfo { name: "Brazil South", lat: -23.55, lon: -46.63 },
+    RegionInfo { name: "Australia East", lat: -33.86, lon: 151.21 },
+];
+
+/// Look up an EC2 region by name.
+///
+/// # Panics
+/// Panics if the region is not in [`EC2_REGIONS`].
+pub fn ec2_region(name: &str) -> RegionInfo {
+    *EC2_REGIONS
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("unknown EC2 region {name:?}"))
+}
+
+/// Build [`Site`]s for the named EC2 regions, `nodes` physical nodes each.
+pub fn ec2_sites(names: &[&str], nodes: usize) -> Vec<Site> {
+    names
+        .iter()
+        .map(|n| {
+            let r = ec2_region(n);
+            Site::new(r.name, GeoCoord::new(r.lat, r.lon), nodes)
+        })
+        .collect()
+}
+
+/// The paper's EC2 evaluation deployment (§5.1): US East, US West,
+/// Singapore and Ireland, `nodes` instances per region.
+///
+/// ```
+/// let sites = geonet::presets::paper_ec2_sites(16);
+/// assert_eq!(sites.len(), 4);
+/// assert_eq!(sites.iter().map(|s| s.nodes).sum::<usize>(), 64);
+/// ```
+pub fn paper_ec2_sites(nodes: usize) -> Vec<Site> {
+    ec2_sites(&["us-east-1", "us-west-2", "ap-southeast-1", "eu-west-1"], nodes)
+}
+
+/// Ground-truth network over the paper's four EC2 regions with `nodes`
+/// instances of `instance` per region.
+pub fn paper_ec2_network(nodes: usize, instance: InstanceType, seed: u64) -> SiteNetwork {
+    let cfg = SynthConfig { seed, ..SynthConfig::ec2(instance) };
+    SynthNetworkBuilder::new(cfg).build(paper_ec2_sites(nodes))
+}
+
+/// Ground-truth network over all 11 EC2 regions.
+pub fn ec2_global_network(nodes: usize, instance: InstanceType, seed: u64) -> SiteNetwork {
+    let names: Vec<&str> = EC2_REGIONS.iter().map(|r| r.name).collect();
+    let cfg = SynthConfig { seed, ..SynthConfig::ec2(instance) };
+    SynthNetworkBuilder::new(cfg).build(ec2_sites(&names, nodes))
+}
+
+/// Ground-truth Azure network over the named regions (or all of
+/// [`AZURE_REGIONS`] if `names` is empty), `nodes` nodes per region.
+pub fn azure_network(names: &[&str], nodes: usize, seed: u64) -> SiteNetwork {
+    let sites: Vec<Site> = AZURE_REGIONS
+        .iter()
+        .filter(|r| names.is_empty() || names.contains(&r.name))
+        .map(|r| Site::new(r.name, GeoCoord::new(r.lat, r.lon), nodes))
+        .collect();
+    assert!(!sites.is_empty(), "no matching Azure regions");
+    let cfg = SynthConfig { seed, ..SynthConfig::azure() };
+    SynthNetworkBuilder::new(cfg).build(sites)
+}
+
+/// A multi-provider deployment — the paper's second piece of future work
+/// ("later consider the problem in the more complicated geo-distributed
+/// environment with multiple cloud providers").
+///
+/// Sites from both catalogues are combined into one network. Same-
+/// provider pairs use that provider's synthetic profile; cross-provider
+/// pairs take the *worse* of the two profiles and pay an extra peering
+/// penalty (traffic leaves the provider's backbone for the public
+/// internet), which is the qualitative behaviour measured between real
+/// clouds.
+#[derive(Debug, Clone)]
+pub struct MultiCloud {
+    /// EC2 region names to include.
+    pub ec2_regions: Vec<&'static str>,
+    /// Azure region names to include.
+    pub azure_regions: Vec<&'static str>,
+    /// Nodes per site.
+    pub nodes: usize,
+    /// Bandwidth multiplier on cross-provider links (default 0.6).
+    pub peering_bandwidth_factor: f64,
+    /// Extra one-way latency on cross-provider links, seconds
+    /// (default 4 ms).
+    pub peering_latency_s: f64,
+    /// Seed shared by both provider profiles.
+    pub seed: u64,
+}
+
+impl Default for MultiCloud {
+    fn default() -> Self {
+        Self {
+            ec2_regions: vec!["us-east-1", "eu-west-1", "ap-southeast-1"],
+            azure_regions: vec!["West US", "West Europe", "Japan East"],
+            nodes: 8,
+            peering_bandwidth_factor: 0.6,
+            peering_latency_s: 4e-3,
+            seed: 0x5C17,
+        }
+    }
+}
+
+impl MultiCloud {
+    /// Build the combined network. EC2 sites come first, then Azure
+    /// sites; site names keep their provider-native spelling.
+    pub fn build(&self) -> SiteNetwork {
+        use crate::link::AlphaBeta;
+        use crate::matrix::SquareMatrix;
+
+        let mut sites = ec2_sites(&self.ec2_regions, self.nodes);
+        let ec2_count = sites.len();
+        for r in AZURE_REGIONS.iter().filter(|r| self.azure_regions.contains(&r.name)) {
+            sites.push(Site::new(r.name, GeoCoord::new(r.lat, r.lon), self.nodes));
+        }
+        assert!(sites.len() > ec2_count, "no Azure regions matched");
+
+        let ec2 = SynthNetworkBuilder::new(SynthConfig {
+            seed: self.seed,
+            ..SynthConfig::ec2(InstanceType::M4Xlarge)
+        });
+        let azure = SynthNetworkBuilder::new(SynthConfig { seed: self.seed, ..SynthConfig::azure() });
+
+        let m = sites.len();
+        let mut lt = SquareMatrix::zeros(m);
+        let mut bt = SquareMatrix::zeros(m);
+        for k in 0..m {
+            for l in 0..m {
+                let (k_ec2, l_ec2) = (k < ec2_count, l < ec2_count);
+                let ab = if k_ec2 && l_ec2 {
+                    ec2.link(&sites, k, l)
+                } else if !k_ec2 && !l_ec2 {
+                    azure.link(&sites, k, l)
+                } else {
+                    // Cross-provider: worse of the two profiles + the
+                    // peering penalty.
+                    let a = ec2.link(&sites, k, l);
+                    let b = azure.link(&sites, k, l);
+                    AlphaBeta::new(
+                        a.latency_s.max(b.latency_s) + self.peering_latency_s,
+                        a.bandwidth_bps.min(b.bandwidth_bps) * self.peering_bandwidth_factor,
+                    )
+                };
+                lt.set(k, l, ab.latency_s);
+                bt.set(k, l, ab.bandwidth_bps);
+            }
+        }
+        SiteNetwork::new(sites, lt, bt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteId;
+
+    #[test]
+    fn eleven_ec2_regions_as_in_fig1() {
+        assert_eq!(EC2_REGIONS.len(), 11);
+        // Distinct names.
+        let mut names: Vec<_> = EC2_REGIONS.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn paper_deployment_has_four_regions() {
+        let sites = paper_ec2_sites(16);
+        assert_eq!(sites.len(), 4);
+        assert_eq!(sites.iter().map(|s| s.nodes).sum::<usize>(), 64);
+        assert_eq!(sites[0].name, "us-east-1");
+    }
+
+    #[test]
+    fn paper_network_is_heterogeneous() {
+        let net = paper_ec2_network(16, InstanceType::M4Xlarge, 1);
+        assert!(net.intra_inter_bandwidth_ratio() > 8.0);
+        assert_eq!(net.total_nodes(), 64);
+    }
+
+    #[test]
+    fn global_network_covers_all_regions() {
+        let net = ec2_global_network(4, InstanceType::M1Medium, 7);
+        assert_eq!(net.num_sites(), 11);
+    }
+
+    #[test]
+    fn azure_subset_selection() {
+        let net = azure_network(&["East US", "West Europe", "Japan East"], 8, 3);
+        assert_eq!(net.num_sites(), 3);
+        assert_eq!(net.site(SiteId(0)).name, "East US");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown EC2 region")]
+    fn unknown_region_panics() {
+        ec2_region("mars-north-1");
+    }
+
+    #[test]
+    fn multicloud_combines_providers() {
+        let net = MultiCloud::default().build();
+        assert_eq!(net.num_sites(), 6);
+        assert_eq!(net.site(SiteId(0)).name, "us-east-1");
+        assert_eq!(net.site(SiteId(3)).name, "West US");
+        assert!(net.intra_inter_bandwidth_ratio() > 5.0);
+    }
+
+    #[test]
+    fn multicloud_peering_penalty_applies() {
+        // us-east-1 (EC2) <-> West Europe (Azure) must be worse than both
+        // same-provider profiles for a comparable pair.
+        let mc = MultiCloud::default();
+        let net = mc.build();
+        let ec2_only = paper_ec2_network(8, InstanceType::M4Xlarge, mc.seed);
+        // us-east-1 -> eu-west-1 on pure EC2 vs us-east-1 -> West Europe
+        // cross-provider: nearly the same distance, so the penalty must
+        // dominate.
+        let pure = ec2_only.bandwidth(SiteId(0), SiteId(3));
+        let cross = net.bandwidth(SiteId(0), SiteId(4));
+        assert!(
+            cross < pure,
+            "cross-provider {} not below same-provider {}",
+            cross,
+            pure
+        );
+        // Latency gets the peering adder.
+        let d_pure = ec2_only.latency(SiteId(0), SiteId(3));
+        let d_cross = net.latency(SiteId(0), SiteId(4));
+        assert!(d_cross > d_pure);
+    }
+
+    #[test]
+    fn multicloud_same_provider_links_match_profiles() {
+        let mc = MultiCloud::default();
+        let net = mc.build();
+        // EC2 block uses the EC2 profile verbatim.
+        let sites = ec2_sites(&mc.ec2_regions, mc.nodes);
+        let ec2 = crate::synth::SynthNetworkBuilder::new(crate::synth::SynthConfig {
+            seed: mc.seed,
+            ..crate::synth::SynthConfig::ec2(InstanceType::M4Xlarge)
+        })
+        .build(sites);
+        for k in 0..3 {
+            for l in 0..3 {
+                assert_eq!(net.bandwidth(SiteId(k), SiteId(l)), ec2.bandwidth(SiteId(k), SiteId(l)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no Azure regions")]
+    fn multicloud_requires_azure_match() {
+        MultiCloud { azure_regions: vec!["Atlantis"], ..MultiCloud::default() }.build();
+    }
+
+    #[test]
+    fn regions_have_valid_coordinates() {
+        for r in EC2_REGIONS.iter().chain(AZURE_REGIONS.iter()) {
+            // GeoCoord::new panics on invalid values.
+            let _ = GeoCoord::new(r.lat, r.lon);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Sites (cloud regions) and site identifiers.
+
+use crate::coords::GeoCoord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a site within a [`crate::SiteNetwork`].
+///
+/// The paper's mapping result `P` is a vector of these — element `i` names
+/// the site process `i` runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub usize);
+
+impl SiteId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+impl From<usize> for SiteId {
+    fn from(v: usize) -> Self {
+        SiteId(v)
+    }
+}
+
+/// One geo-distributed data center ("site"/"region" in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Human-readable name, e.g. `"us-east-1"`.
+    pub name: String,
+    /// Physical coordinates of the data center (`PC_i` in the paper).
+    pub coord: GeoCoord,
+    /// Number of physical nodes available in this site (`I_i`).
+    pub nodes: usize,
+}
+
+impl Site {
+    /// Create a site.
+    pub fn new(name: impl Into<String>, coord: GeoCoord, nodes: usize) -> Self {
+        Self { name: name.into(), coord, nodes }
+    }
+
+    /// Great-circle distance in km to another site.
+    pub fn distance_km(&self, other: &Site) -> f64 {
+        self.coord.distance_km(&other.coord)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_id_display_and_index() {
+        let id = SiteId(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "site#3");
+        assert_eq!(SiteId::from(7), SiteId(7));
+    }
+
+    #[test]
+    fn site_distance_delegates_to_coord() {
+        let a = Site::new("a", GeoCoord::new(0.0, 0.0), 4);
+        let b = Site::new("b", GeoCoord::new(0.0, 1.0), 4);
+        let d = a.distance_km(&b);
+        // One degree of longitude at the equator is ~111 km.
+        assert!((110.0..113.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn site_ids_order_like_indices() {
+        assert!(SiteId(1) < SiteId(2));
+    }
+}

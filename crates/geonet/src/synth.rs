@@ -1,0 +1,296 @@
+//! Synthetic ground-truth clouds.
+//!
+//! The paper measures its networks on live EC2/Azure; we cannot, so this
+//! module *generates* a ground-truth [`SiteNetwork`] whose statistics are
+//! calibrated against the paper's Tables 1–3:
+//!
+//! * **Intra-site**: bandwidth from the instance type's measured envelope
+//!   ([`InstanceType::intra_bandwidth_mbps`]) with a per-region factor;
+//!   sub-millisecond latency.
+//! * **Inter-site bandwidth**: a distance power law anchored at a measured
+//!   pair — `bw(d) = anchor_bw · (anchor_km / d)^γ` — reproducing
+//!   Observation 2 (cross-region performance degrades with distance) and
+//!   the ~10–20× intra/inter gap of Observation 1.
+//! * **Inter-site latency**: speed-of-light-in-fibre with a routing
+//!   inflation factor, `lat(d) = intra_lat + d/200 km·ms⁻¹ · fibre`.
+//!   (This reproduces Azure's Table 3 latencies to within ~10 %.)
+//! * **Asymmetry & persistent deviation**: deterministic per-ordered-pair
+//!   multiplicative factors, seeded, so `BT(k,l) ≠ BT(l,k)` as the paper
+//!   observes, while the network stays reproducible for a given seed.
+
+use crate::instance::InstanceType;
+use crate::link::AlphaBeta;
+use crate::matrix::SquareMatrix;
+use crate::network::SiteNetwork;
+use crate::site::Site;
+use serde::{Deserialize, Serialize};
+
+/// Kilometres light travels per millisecond in fibre (≈ 2/3 c).
+const FIBRE_KM_PER_MS: f64 = 200.0;
+
+/// Parameters of the synthetic ground-truth generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Instance type every node runs on (the paper evaluates homogeneous
+    /// instance types, §3.1).
+    pub instance: InstanceType,
+    /// Distance-decay exponent γ of the cross-region bandwidth power law.
+    /// Fitted to paper Table 2 (EC2: ≈ 0.85) or Table 3 (Azure: ≈ 1.45).
+    pub gamma: f64,
+    /// Distance (km) of the anchor pair the cross-region bandwidth is
+    /// pinned at. Default: US East ↔ Singapore ≈ 15,300 km.
+    pub anchor_km: f64,
+    /// Bandwidth (MB/s) at the anchor distance. `None` uses the instance
+    /// type's Table 1 cross-region figure.
+    pub anchor_cross_mbps: Option<f64>,
+    /// Routing inflation over great-circle fibre latency (≈ 1.25).
+    pub fibre_factor: f64,
+    /// Floor on cross-region bandwidth (MB/s), so antipodal pairs stay
+    /// usable as the real WAN does.
+    pub min_cross_mbps: f64,
+    /// Relative magnitude of the deterministic directional asymmetry
+    /// (e.g. 0.03 ⇒ up to ±3 % between `(k,l)` and `(l,k)`).
+    pub asymmetry: f64,
+    /// Relative magnitude of the persistent per-pair deviation from the
+    /// smooth distance model (real links deviate from any fit).
+    pub persistent_noise: f64,
+    /// Seed for the deterministic deviations.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            instance: InstanceType::M4Xlarge,
+            gamma: 0.85,
+            anchor_km: 15_300.0,
+            anchor_cross_mbps: None,
+            fibre_factor: 1.25,
+            min_cross_mbps: 0.8,
+            asymmetry: 0.03,
+            persistent_noise: 0.04,
+            seed: 0x5C17,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// EC2-flavoured defaults for a given instance type.
+    pub fn ec2(instance: InstanceType) -> Self {
+        Self { instance, ..Self::default() }
+    }
+
+    /// Azure-flavoured defaults (Table 3 fit: steeper distance decay,
+    /// anchored at East US ↔ Japan East ≈ 10,900 km @ 1.3 MB/s).
+    pub fn azure() -> Self {
+        Self {
+            instance: InstanceType::StandardD2,
+            gamma: 1.45,
+            anchor_km: 10_900.0,
+            anchor_cross_mbps: Some(1.3),
+            min_cross_mbps: 0.3,
+            ..Self::default()
+        }
+    }
+}
+
+/// Builds ground-truth [`SiteNetwork`]s from a [`SynthConfig`].
+#[derive(Debug, Clone)]
+pub struct SynthNetworkBuilder {
+    config: SynthConfig,
+}
+
+impl SynthNetworkBuilder {
+    /// Create a builder.
+    pub fn new(config: SynthConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// Ground-truth α–β parameters for the directed pair `(k, l)` of the
+    /// given site list.
+    pub fn link(&self, sites: &[Site], k: usize, l: usize) -> AlphaBeta {
+        let c = &self.config;
+        if k == l {
+            let region_factor = c.instance.region_factor(&sites[k].name);
+            let bw = c.instance.intra_bandwidth_mbps() * region_factor;
+            return AlphaBeta::from_ms_mbps(c.instance.intra_latency_ms(), bw);
+        }
+        let d = sites[k].distance_km(&sites[l]).max(1.0);
+        let anchor = c.anchor_cross_mbps.unwrap_or_else(|| c.instance.cross_bandwidth_mbps());
+        let mut bw = anchor * (c.anchor_km / d).powf(c.gamma);
+        // Persistent deviation + asymmetry, deterministic in (seed, k, l).
+        let dev = pair_unit(c.seed, k as u64, l as u64);
+        let sym_dev = pair_unit(c.seed ^ 0xABCD, k.min(l) as u64, k.max(l) as u64);
+        bw *= 1.0 + c.persistent_noise * sym_dev + c.asymmetry * dev;
+        // Cross-region bandwidth can never reach intra levels.
+        let intra_cap = 0.5 * c.instance.intra_bandwidth_mbps();
+        bw = bw.clamp(c.min_cross_mbps, intra_cap);
+
+        let mut lat_ms = c.instance.intra_latency_ms() + d / FIBRE_KM_PER_MS * c.fibre_factor;
+        lat_ms *= 1.0 + 0.5 * c.persistent_noise * sym_dev + 0.5 * c.asymmetry * dev;
+        AlphaBeta::from_ms_mbps(lat_ms, bw)
+    }
+
+    /// Build the full network over `sites`.
+    pub fn build(&self, sites: Vec<Site>) -> SiteNetwork {
+        let m = sites.len();
+        let mut lt = SquareMatrix::zeros(m);
+        let mut bt = SquareMatrix::zeros(m);
+        for k in 0..m {
+            for l in 0..m {
+                let ab = self.link(&sites, k, l);
+                lt.set(k, l, ab.latency_s);
+                bt.set(k, l, ab.bandwidth_bps);
+            }
+        }
+        SiteNetwork::new(sites, lt, bt)
+    }
+}
+
+/// Deterministic value in `[-1, 1]` from `(seed, a, b)` via SplitMix64.
+fn pair_unit(seed: u64, a: u64, b: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // Map to [-1, 1].
+    (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::GeoCoord;
+    use crate::site::SiteId;
+
+    fn paper_four_sites() -> Vec<Site> {
+        vec![
+            Site::new("us-east-1", GeoCoord::new(38.95, -77.45), 16),
+            Site::new("us-west-2", GeoCoord::new(45.84, -119.70), 16),
+            Site::new("eu-west-1", GeoCoord::new(53.41, -8.24), 16),
+            Site::new("ap-southeast-1", GeoCoord::new(1.29, 103.85), 16),
+        ]
+    }
+
+    #[test]
+    fn observation1_intra_much_faster_than_inter() {
+        let net = SynthNetworkBuilder::new(SynthConfig::ec2(InstanceType::C38xlarge))
+            .build(paper_four_sites());
+        assert!(
+            net.intra_inter_bandwidth_ratio() > 10.0,
+            "ratio {}",
+            net.intra_inter_bandwidth_ratio()
+        );
+    }
+
+    #[test]
+    fn observation2_bandwidth_decreases_with_distance() {
+        let net = SynthNetworkBuilder::new(SynthConfig::ec2(InstanceType::C38xlarge))
+            .build(paper_four_sites());
+        let (use_, usw, irl, sgp) = (SiteId(0), SiteId(1), SiteId(2), SiteId(3));
+        let short = net.bandwidth(use_, usw);
+        let medium = net.bandwidth(use_, irl);
+        let long = net.bandwidth(use_, sgp);
+        assert!(short > medium && medium > long, "{short} {medium} {long}");
+        // Latency ordering is the reverse.
+        assert!(net.latency(use_, usw) < net.latency(use_, irl));
+        assert!(net.latency(use_, irl) < net.latency(use_, sgp));
+    }
+
+    #[test]
+    fn table2_magnitudes_roughly_match() {
+        let net = SynthNetworkBuilder::new(SynthConfig::ec2(InstanceType::C38xlarge))
+            .build(paper_four_sites());
+        // Paper Table 2: USE->USW 21 MB/s, USE->IRL 19 MB/s, USE->SGP 6.6 MB/s.
+        let short = net.bandwidth(SiteId(0), SiteId(1)) / crate::MB;
+        let medium = net.bandwidth(SiteId(0), SiteId(2)) / crate::MB;
+        let long = net.bandwidth(SiteId(0), SiteId(3)) / crate::MB;
+        assert!((14.0..32.0).contains(&short), "short-haul {short}");
+        assert!((10.0..28.0).contains(&medium), "medium-haul {medium}");
+        assert!((4.5..9.0).contains(&long), "long-haul {long}");
+    }
+
+    #[test]
+    fn links_are_asymmetric_but_close() {
+        let sites = paper_four_sites();
+        let b = SynthNetworkBuilder::new(SynthConfig::default());
+        let ab = b.link(&sites, 0, 3);
+        let ba = b.link(&sites, 3, 0);
+        assert_ne!(ab.bandwidth_bps, ba.bandwidth_bps);
+        let rel = (ab.bandwidth_bps - ba.bandwidth_bps).abs() / ab.bandwidth_bps;
+        assert!(rel < 0.15, "asymmetry too large: {rel}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let sites = paper_four_sites();
+        let n1 = SynthNetworkBuilder::new(SynthConfig::default()).build(sites.clone());
+        let n2 = SynthNetworkBuilder::new(SynthConfig::default()).build(sites);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let sites = paper_four_sites();
+        let n1 = SynthNetworkBuilder::new(SynthConfig::default()).build(sites.clone());
+        let n2 = SynthNetworkBuilder::new(SynthConfig { seed: 99, ..SynthConfig::default() })
+            .build(sites);
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn azure_profile_matches_table3_shape() {
+        let sites = vec![
+            Site::new("East US", GeoCoord::new(36.67, -78.39), 8),
+            Site::new("West Europe", GeoCoord::new(52.37, 4.89), 8),
+            Site::new("Japan East", GeoCoord::new(35.68, 139.77), 8),
+        ];
+        let net = SynthNetworkBuilder::new(SynthConfig::azure()).build(sites);
+        let intra = net.bandwidth(SiteId(0), SiteId(0)) / crate::MB;
+        let we = net.bandwidth(SiteId(0), SiteId(1)) / crate::MB;
+        let jp = net.bandwidth(SiteId(0), SiteId(2)) / crate::MB;
+        // Paper Table 3: 62 / 2.9 / 1.3 MB/s.
+        assert_eq!(intra, 62.0);
+        assert!((1.8..4.5).contains(&we), "West Europe {we}");
+        assert!((0.9..1.9).contains(&jp), "Japan {jp}");
+        // Latency: paper 0.82 / 42 / 77 ms.
+        let lat_we = net.latency(SiteId(0), SiteId(1)) * 1e3;
+        let lat_jp = net.latency(SiteId(0), SiteId(2)) * 1e3;
+        assert!((30.0..55.0).contains(&lat_we), "lat WE {lat_we}");
+        assert!((60.0..95.0).contains(&lat_jp), "lat JP {lat_jp}");
+    }
+
+    #[test]
+    fn pair_unit_in_range_and_deterministic() {
+        for a in 0..20u64 {
+            for b in 0..20u64 {
+                let v = pair_unit(42, a, b);
+                assert!((-1.0..=1.0).contains(&v));
+                assert_eq!(v, pair_unit(42, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn cross_bandwidth_clamped_below_intra() {
+        // Two sites 1 km apart: the power law would explode; clamp holds.
+        let sites = vec![
+            Site::new("a", GeoCoord::new(0.0, 0.0), 2),
+            Site::new("b", GeoCoord::new(0.01, 0.0), 2),
+        ];
+        let cfg = SynthConfig::ec2(InstanceType::C38xlarge);
+        let net = SynthNetworkBuilder::new(cfg).build(sites);
+        assert!(
+            net.bandwidth(SiteId(0), SiteId(1))
+                <= 0.5 * InstanceType::C38xlarge.intra_bandwidth_mbps() * crate::MB
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! K-means clustering.
+//!
+//! The paper uses K-means twice: (1) the grouping optimization clusters
+//! nearby *sites* by their physical coordinates to bound the `O(κ!)`
+//! order search (§4.2, with Forgy initialisation), and (2) parallel
+//! K-means over observations is one of the five evaluation workloads.
+//! This crate is the shared implementation: Lloyd iterations with Forgy
+//! or k-means++ initialisation over points of arbitrary dimensionality.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Initialisation strategy for the centroids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Forgy: `k` distinct input points chosen uniformly at random — the
+    /// method the paper selects (§4.2, citing Hamerly & Elkan).
+    Forgy,
+    /// k-means++ seeding (D² sampling): usually better spread, used by
+    /// the ablation benches.
+    PlusPlus,
+}
+
+/// Configuration of one clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters `κ`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on total centroid movement (squared).
+    pub tol: f64,
+    /// Initialisation strategy.
+    pub init: Init,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// The paper's configuration: Forgy initialisation, `k` groups.
+    pub fn forgy(k: usize, seed: u64) -> Self {
+        Self { k, max_iter: 100, tol: 1e-9, init: Init::Forgy, seed }
+    }
+
+    /// k-means++ configuration.
+    pub fn plus_plus(k: usize, seed: u64) -> Self {
+        Self { init: Init::PlusPlus, ..Self::forgy(k, seed) }
+    }
+}
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster centroids, `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster label of each input point.
+    pub labels: Vec<usize>,
+    /// Sum of squared distances of points to their assigned centroid.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Members of cluster `c`, as point indices.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == c).then_some(i))
+            .collect()
+    }
+
+    /// Point indices grouped by cluster: `result[c]` lists the members of
+    /// cluster `c`. Empty clusters yield empty lists.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut g = vec![Vec::new(); self.k()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            g[l].push(i);
+        }
+        g
+    }
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, cent) in centroids.iter().enumerate() {
+        let d = dist_sq(point, cent);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// Run K-means over `points` (each a `dim`-vector).
+///
+/// `k` is clamped to the number of points (the grouping optimization may
+/// ask for more groups than sites).
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, or points disagree in
+/// dimensionality.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Clustering {
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    assert!(config.k > 0, "k must be positive");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensionality");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let k = config.k.min(points.len());
+    let mut centroids = match config.init {
+        Init::Forgy => init_forgy(points, k, &mut rng),
+        Init::PlusPlus => init_plus_plus(points, k, &mut rng),
+    };
+
+    let mut labels = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..config.max_iter.max(1) {
+        iterations = it + 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            labels[i] = nearest(p, &centroids).0;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, v) in sums[l].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster on the point farthest from its
+                // assigned centroid (standard Lloyd repair).
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        nearest(a, &centroids)
+                            .1
+                            .partial_cmp(&nearest(b, &centroids).1)
+                            .unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap();
+                movement += dist_sq(&centroids[c], &points[far]);
+                centroids[c] = points[far].clone();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += dist_sq(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= config.tol {
+            break;
+        }
+    }
+    // Final assignment against the converged centroids.
+    let mut inertia = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let (l, d) = nearest(p, &centroids);
+        labels[i] = l;
+        inertia += d;
+    }
+    Clustering { centroids, labels, inertia, iterations }
+}
+
+fn init_forgy(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    // Sample k distinct indices (Fisher–Yates prefix).
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    idx[..k].iter().map(|&i| points[i].clone()).collect()
+}
+
+fn init_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let weights: Vec<f64> = points.iter().map(|p| nearest(p, &centroids).1).collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // All remaining points coincide with centroids; pick any.
+            centroids.push(points[rng.random_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.random_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        // Three well-separated 2-D blobs of 5 points each.
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0)] {
+            for i in 0..5 {
+                pts.push(vec![cx + (i as f64) * 0.1, cy - (i as f64) * 0.1]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn separated_blobs_are_found() {
+        // Lloyd can get stuck in a local optimum for an unlucky Forgy
+        // init; take the best of a few seeds as any practical user would.
+        let c = (0..8)
+            .map(|s| kmeans(&blobs(), &KMeansConfig::forgy(3, s)))
+            .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).unwrap())
+            .unwrap();
+        assert_eq!(c.k(), 3);
+        // All points of one blob share a label, and blobs differ.
+        for blob in 0..3 {
+            let first = c.labels[blob * 5];
+            for i in 0..5 {
+                assert_eq!(c.labels[blob * 5 + i], first);
+            }
+        }
+        let mut distinct: Vec<usize> = c.labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+        assert!(c.inertia < 1.0, "inertia {}", c.inertia);
+    }
+
+    #[test]
+    fn labels_are_argmin_of_centroids() {
+        let pts = blobs();
+        let c = kmeans(&pts, &KMeansConfig::plus_plus(3, 7));
+        for (p, &l) in pts.iter().zip(&c.labels) {
+            assert_eq!(l, nearest(p, &c.centroids).0);
+        }
+    }
+
+    #[test]
+    fn k1_centroid_is_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let c = kmeans(&pts, &KMeansConfig::forgy(1, 3));
+        assert!((c.centroids[0][0] - 1.0).abs() < 1e-9);
+        assert!((c.centroids[0][1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_ge_n_gives_zero_inertia_on_distinct_points() {
+        let pts = blobs();
+        let c = kmeans(&pts, &KMeansConfig::forgy(50, 5));
+        assert_eq!(c.k(), 15);
+        assert!(c.inertia < 1e-9, "inertia {}", c.inertia);
+    }
+
+    #[test]
+    fn groups_partition_the_input() {
+        let pts = blobs();
+        let c = kmeans(&pts, &KMeansConfig::forgy(3, 11));
+        let groups = c.groups();
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..15).collect::<Vec<_>>());
+        for (ci, g) in groups.iter().enumerate() {
+            assert_eq!(&c.members(ci), g);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = blobs();
+        let a = kmeans(&pts, &KMeansConfig::forgy(3, 42));
+        let b = kmeans(&pts, &KMeansConfig::forgy(3, 42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_points_zero_inertia() {
+        let pts = vec![vec![5.0, 5.0]; 8];
+        let c = kmeans(&pts, &KMeansConfig::plus_plus(3, 2));
+        assert_eq!(c.inertia, 0.0);
+    }
+
+    #[test]
+    fn inertia_never_increases_with_k() {
+        let pts = blobs();
+        let mut last = f64::INFINITY;
+        for k in 1..=6 {
+            // Best of a few seeds to smooth out init luck.
+            let best = (0..5)
+                .map(|s| kmeans(&pts, &KMeansConfig::plus_plus(k, s)).inertia)
+                .fold(f64::INFINITY, f64::min);
+            assert!(best <= last + 1e-9, "k={k}: {best} > {last}");
+            last = best;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn empty_input_panics() {
+        kmeans(&[], &KMeansConfig::forgy(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        kmeans(&[vec![1.0]], &KMeansConfig::forgy(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn mixed_dims_panic() {
+        kmeans(&[vec![1.0], vec![1.0, 2.0]], &KMeansConfig::forgy(1, 0));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_invariants(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(-1000.0f64..1000.0, 2), 1..40),
+            k in 1usize..6,
+            seed in 0u64..50,
+        ) {
+            let c = kmeans(&raw, &KMeansConfig::forgy(k, seed));
+            // Every label is a valid cluster.
+            proptest::prop_assert!(c.labels.iter().all(|&l| l < c.k()));
+            // Inertia is non-negative and finite.
+            proptest::prop_assert!(c.inertia.is_finite() && c.inertia >= 0.0);
+            // Labels are the argmin of the final centroids.
+            for (p, &l) in raw.iter().zip(&c.labels) {
+                let (best, _) = super::nearest(p, &c.centroids);
+                let d_l = super::dist_sq(p, &c.centroids[l]);
+                let d_b = super::dist_sq(p, &c.centroids[best]);
+                proptest::prop_assert!(d_l <= d_b + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Discrete-event network simulator (the paper's ns-2 substitute).
+//!
+//! The paper's simulation study replays applications on an ns-2 model of
+//! the calibrated geo-distributed network. This crate provides the
+//! equivalent machinery over the α–β abstraction:
+//!
+//! * [`queue::EventQueue`] — a deterministic time-ordered event queue;
+//! * [`links::LinkState`] — per-directed-site-pair link occupancy with
+//!   FIFO serialization on the scarce WAN links (intra-site transfers
+//!   don't contend — each VM has its own NIC);
+//! * [`stats::LinkStats`] — per-site-pair traffic and busy-time
+//!   accounting;
+//! * [`replay`] — closed-form aggregate replays of a communication
+//!   pattern under a mapping (sum-cost and bottleneck-link time).
+//!
+//! The `mpirt` crate drives this simulator with per-rank programs to
+//! produce end-to-end execution times.
+
+#![warn(missing_docs)]
+
+pub mod links;
+pub mod queue;
+pub mod replay;
+pub mod stats;
+
+pub use links::{LinkConfig, LinkState};
+pub use queue::EventQueue;
+pub use replay::{bottleneck_time, sum_cost};
+pub use stats::LinkStats;

@@ -1,0 +1,223 @@
+//! Link occupancy and transfer-time computation.
+//!
+//! Inter-site (WAN) capacity is the scarce resource in a geo-distributed
+//! cloud, so by default every directed site pair is one shared FIFO
+//! link: a message occupies it for its serialization time `n/β` and
+//! later messages queue behind it. Intra-site messages ride each VM's
+//! own NIC and do not contend. Both behaviours are switchable through
+//! [`LinkConfig`] for ablation runs.
+
+use crate::stats::LinkStats;
+use geonet::{SiteId, SiteNetwork};
+
+/// Contention configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Serialize messages on shared directed inter-site links.
+    pub shared_wan: bool,
+    /// Also serialize intra-site messages on one shared link per site
+    /// (off by default — each VM has its own NIC).
+    pub shared_intra: bool,
+    /// Additionally serialize all *outgoing* inter-site traffic of a
+    /// site on one shared egress uplink (off by default). Models the
+    /// case where a site's WAN uplink, not the per-destination path, is
+    /// the bottleneck.
+    pub shared_egress: bool,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self { shared_wan: true, shared_intra: false, shared_egress: false }
+    }
+}
+
+/// Mutable link state of one simulation run.
+#[derive(Debug, Clone)]
+pub struct LinkState {
+    net: SiteNetwork,
+    config: LinkConfig,
+    /// `free[k*m + l]`: earliest time the directed link (k,l) is free.
+    free: Vec<f64>,
+    /// `egress[k]`: earliest time site k's shared uplink is free (only
+    /// used with [`LinkConfig::shared_egress`]).
+    egress: Vec<f64>,
+    stats: LinkStats,
+}
+
+impl LinkState {
+    /// Fresh link state over `net`.
+    pub fn new(net: SiteNetwork, config: LinkConfig) -> Self {
+        let m = net.num_sites();
+        Self { net, config, free: vec![0.0; m * m], egress: vec![0.0; m], stats: LinkStats::new(m) }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &SiteNetwork {
+        &self.net
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Transfer `bytes` from a node in `from` to a node in `to`,
+    /// departing at `depart`. Returns the arrival time and updates link
+    /// occupancy and statistics.
+    pub fn send(&mut self, from: SiteId, to: SiteId, bytes: u64, depart: f64) -> f64 {
+        debug_assert!(depart.is_finite() && depart >= 0.0);
+        let ab = self.net.alpha_beta(from, to);
+        let ser = ab.serialization_time(bytes);
+        let shared = if from == to { self.config.shared_intra } else { self.config.shared_wan };
+        let arrival = if shared {
+            let idx = from.index() * self.net.num_sites() + to.index();
+            let mut start = depart.max(self.free[idx]);
+            if self.config.shared_egress && from != to {
+                start = start.max(self.egress[from.index()]);
+                self.egress[from.index()] = start + ser;
+            }
+            self.free[idx] = start + ser;
+            self.stats.record(from, to, bytes, ser, start - depart);
+            start + ser + ab.latency_s
+        } else {
+            self.stats.record(from, to, bytes, ser, 0.0);
+            depart + ser + ab.latency_s
+        };
+        debug_assert!(arrival >= depart);
+        arrival
+    }
+
+    /// Earliest time the directed link `(from, to)` is free.
+    pub fn free_at(&self, from: SiteId, to: SiteId) -> f64 {
+        self.free[from.index() * self.net.num_sites() + to.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geonet::{presets, InstanceType};
+
+    fn net() -> SiteNetwork {
+        presets::paper_ec2_network(4, InstanceType::M4Xlarge, 1)
+    }
+
+    #[test]
+    fn arrival_includes_latency_and_serialization() {
+        let net = net();
+        let (a, b) = (SiteId(0), SiteId(1));
+        let ab = net.alpha_beta(a, b);
+        let mut links = LinkState::new(net, LinkConfig::default());
+        let arrival = links.send(a, b, 1_000_000, 2.0);
+        let expect = 2.0 + ab.serialization_time(1_000_000) + ab.latency_s;
+        assert!((arrival - expect).abs() < 1e-12, "{arrival} vs {expect}");
+    }
+
+    #[test]
+    fn shared_wan_serializes_concurrent_sends() {
+        let net = net();
+        let (a, b) = (SiteId(0), SiteId(3));
+        let ab = net.alpha_beta(a, b);
+        let mut links = LinkState::new(net, LinkConfig::default());
+        let first = links.send(a, b, 8_000_000, 0.0);
+        let second = links.send(a, b, 8_000_000, 0.0);
+        let ser = ab.serialization_time(8_000_000);
+        assert!((second - first - ser).abs() < 1e-9, "not serialized: {first} then {second}");
+        assert!((links.free_at(a, b) - 2.0 * ser).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        let net = net();
+        let (a, b) = (SiteId(0), SiteId(3));
+        let mut links = LinkState::new(net, LinkConfig::default());
+        let t1 = links.send(a, b, 8_000_000, 0.0);
+        let before = links.free_at(b, a);
+        assert_eq!(before, 0.0);
+        let t2 = links.send(b, a, 8_000_000, 0.0);
+        // Each is an un-queued first transfer on its own directed link.
+        assert!(t1 > 0.0 && t2 > 0.0);
+    }
+
+    #[test]
+    fn intra_site_does_not_contend_by_default() {
+        let net = net();
+        let a = SiteId(1);
+        let mut links = LinkState::new(net, LinkConfig::default());
+        let t1 = links.send(a, a, 4_000_000, 0.0);
+        let t2 = links.send(a, a, 4_000_000, 0.0);
+        assert!((t1 - t2).abs() < 1e-12, "intra contended: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn shared_egress_serializes_across_destinations() {
+        let net = net();
+        let cfg = LinkConfig { shared_egress: true, ..LinkConfig::default() };
+        let mut links = LinkState::new(net.clone(), cfg);
+        // Two messages from site 0 to two different destinations: the
+        // second waits for the first's egress serialization.
+        let t1 = links.send(SiteId(0), SiteId(1), 8_000_000, 0.0);
+        let t2 = links.send(SiteId(0), SiteId(2), 8_000_000, 0.0);
+        let ser1 = net.alpha_beta(SiteId(0), SiteId(1)).serialization_time(8_000_000);
+        let expect2 = ser1
+            + net.alpha_beta(SiteId(0), SiteId(2)).serialization_time(8_000_000)
+            + net.latency(SiteId(0), SiteId(2));
+        assert!((t2 - expect2).abs() < 1e-9, "t2 {t2} vs {expect2}");
+        assert!(t1 < t2);
+        // Without egress sharing, distinct destinations don't contend.
+        let mut free = LinkState::new(net.clone(), LinkConfig::default());
+        free.send(SiteId(0), SiteId(1), 8_000_000, 0.0);
+        let t2_free = free.send(SiteId(0), SiteId(2), 8_000_000, 0.0);
+        assert!(t2_free < t2);
+    }
+
+    #[test]
+    fn shared_egress_leaves_intra_alone() {
+        let net = net();
+        let cfg = LinkConfig { shared_egress: true, ..LinkConfig::default() };
+        let mut links = LinkState::new(net, cfg);
+        links.send(SiteId(0), SiteId(1), 8_000_000, 0.0); // occupy egress
+        let a = links.send(SiteId(0), SiteId(0), 1_000, 0.0);
+        let b = links.send(SiteId(0), SiteId(0), 1_000, 0.0);
+        assert!((a - b).abs() < 1e-12, "intra traffic blocked by egress");
+    }
+
+    #[test]
+    fn unshared_wan_removes_queueing() {
+        let net = net();
+        let (a, b) = (SiteId(0), SiteId(2));
+        let cfg = LinkConfig { shared_wan: false, shared_intra: false, shared_egress: false };
+        let mut links = LinkState::new(net, cfg);
+        let t1 = links.send(a, b, 8_000_000, 0.0);
+        let t2 = links.send(a, b, 8_000_000, 0.0);
+        assert!((t1 - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_departures_never_arrive_before_earlier_on_shared_link() {
+        let net = net();
+        let (a, b) = (SiteId(2), SiteId(0));
+        let mut links = LinkState::new(net, LinkConfig::default());
+        let mut last = 0.0;
+        for i in 0..10u64 {
+            let arr = links.send(a, b, 100_000 + i * 10_000, i as f64 * 1e-4);
+            assert!(arr >= last, "FIFO violated at {i}");
+            last = arr;
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let net = net();
+        let mut links = LinkState::new(net, LinkConfig::default());
+        links.send(SiteId(0), SiteId(1), 1000, 0.0);
+        links.send(SiteId(0), SiteId(1), 2000, 0.0);
+        links.send(SiteId(2), SiteId(2), 500, 0.0);
+        let s = links.stats();
+        assert_eq!(s.messages(SiteId(0), SiteId(1)), 2);
+        assert_eq!(s.bytes(SiteId(0), SiteId(1)), 3000);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.inter_site_bytes(), 3000);
+        assert_eq!(s.intra_site_bytes(), 500);
+    }
+}

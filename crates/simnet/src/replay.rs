@@ -1,0 +1,124 @@
+//! Closed-form pattern replays.
+//!
+//! Two aggregate estimates of a mapping's communication time that need
+//! no per-rank program, used by the large-scale simulation sweeps
+//! (Fig. 7, up to 8192 processes) where replaying full programs through
+//! the event loop would be needlessly slow:
+//!
+//! * [`sum_cost`] — the paper's Eq. 2/3 objective: total α–β time summed
+//!   over all process pairs;
+//! * [`bottleneck_time`] — aggregate each directed site pair's traffic
+//!   onto its shared link and take the busiest link's completion time (a
+//!   makespan estimate under full overlap).
+
+use commgraph::CommPattern;
+use geonet::{SiteId, SiteNetwork};
+
+/// Eq. 2 over a raw assignment slice: `Σ AG·LT + CG/BT`.
+pub fn sum_cost(pattern: &CommPattern, net: &SiteNetwork, assignment: &[SiteId]) -> f64 {
+    assert_eq!(pattern.n(), assignment.len(), "assignment length mismatch");
+    let mut total = 0.0;
+    for src in 0..pattern.n() {
+        let from = assignment[src];
+        for e in pattern.out_edges(src) {
+            let to = assignment[e.dst];
+            total += e.msgs * net.latency(from, to) + e.bytes / net.bandwidth(from, to);
+        }
+    }
+    total
+}
+
+/// Makespan estimate: aggregate traffic per directed site pair, compute
+/// each link's `msgs·α + bytes/β`, and return the maximum.
+pub fn bottleneck_time(pattern: &CommPattern, net: &SiteNetwork, assignment: &[SiteId]) -> f64 {
+    assert_eq!(pattern.n(), assignment.len(), "assignment length mismatch");
+    let m = net.num_sites();
+    let mut msgs = vec![0.0f64; m * m];
+    let mut bytes = vec![0.0f64; m * m];
+    for src in 0..pattern.n() {
+        let from = assignment[src];
+        for e in pattern.out_edges(src) {
+            let to = assignment[e.dst];
+            let idx = from.index() * m + to.index();
+            msgs[idx] += e.msgs;
+            bytes[idx] += e.bytes;
+        }
+    }
+    let mut worst = 0.0f64;
+    for k in 0..m {
+        for l in 0..m {
+            let idx = k * m + l;
+            if msgs[idx] == 0.0 {
+                continue;
+            }
+            let ab = net.alpha_beta(SiteId(k), SiteId(l));
+            worst = worst.max(ab.batch_time(msgs[idx], bytes[idx]));
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commgraph::apps::{Ring, Workload};
+    use commgraph::pattern::PatternBuilder;
+    use geonet::{presets, InstanceType};
+
+    fn net() -> SiteNetwork {
+        presets::paper_ec2_network(4, InstanceType::M4Xlarge, 1)
+    }
+
+    #[test]
+    fn bottleneck_le_sum() {
+        let net = net();
+        let pat = Ring { n: 16, iterations: 3, bytes: 500_000 }.pattern();
+        let assignment: Vec<SiteId> = (0..16).map(|i| SiteId(i % 4)).collect();
+        let b = bottleneck_time(&pat, &net, &assignment);
+        let s = sum_cost(&pat, &net, &assignment);
+        assert!(b <= s, "bottleneck {b} > sum {s}");
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn single_edge_bottleneck_equals_its_cost() {
+        let net = net();
+        let mut b = PatternBuilder::new(2);
+        b.record_many(0, 1, 1_000_000, 4);
+        let pat = b.build();
+        let assignment = vec![SiteId(0), SiteId(3)];
+        let ab = net.alpha_beta(SiteId(0), SiteId(3));
+        let expect = ab.batch_time(4.0, 4_000_000.0);
+        assert!((bottleneck_time(&pat, &net, &assignment) - expect).abs() < 1e-12);
+        assert!((sum_cost(&pat, &net, &assignment) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colocating_heavy_edges_lowers_both_metrics() {
+        let net = net();
+        let pat = Ring { n: 8, iterations: 2, bytes: 2_000_000 }.pattern();
+        let packed: Vec<SiteId> = (0..8).map(|i| SiteId(i / 2)).collect();
+        let spread: Vec<SiteId> = (0..8).map(|i| SiteId(i % 4)).collect();
+        assert!(sum_cost(&pat, &net, &packed) < sum_cost(&pat, &net, &spread));
+        assert!(bottleneck_time(&pat, &net, &packed) < bottleneck_time(&pat, &net, &spread));
+    }
+
+    #[test]
+    fn all_intra_has_no_wan_bottleneck() {
+        let net = net();
+        let pat = Ring { n: 4, iterations: 1, bytes: 1000 }.pattern();
+        let assignment = vec![SiteId(2); 4];
+        let b = bottleneck_time(&pat, &net, &assignment);
+        let intra = net.alpha_beta(SiteId(2), SiteId(2));
+        // Bottleneck is the intra-site aggregate of 4 messages.
+        assert!((b - intra.batch_time(4.0, 4000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn checks_assignment_length() {
+        let net = net();
+        let pat = Ring { n: 4, iterations: 1, bytes: 10 }.pattern();
+        sum_cost(&pat, &net, &[SiteId(0)]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-site-pair traffic accounting.
+
+use geonet::SiteId;
+
+/// Traffic statistics accumulated during a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    m: usize,
+    msgs: Vec<u64>,
+    bytes: Vec<u64>,
+    busy: Vec<f64>,
+    queue_wait: Vec<f64>,
+}
+
+impl LinkStats {
+    /// Fresh statistics for `m` sites.
+    pub fn new(m: usize) -> Self {
+        Self {
+            m,
+            msgs: vec![0; m * m],
+            bytes: vec![0; m * m],
+            busy: vec![0.0; m * m],
+            queue_wait: vec![0.0; m * m],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, from: SiteId, to: SiteId) -> usize {
+        from.index() * self.m + to.index()
+    }
+
+    /// Record one transfer.
+    pub(crate) fn record(&mut self, from: SiteId, to: SiteId, bytes: u64, ser: f64, wait: f64) {
+        let i = self.idx(from, to);
+        self.msgs[i] += 1;
+        self.bytes[i] += bytes;
+        self.busy[i] += ser;
+        self.queue_wait[i] += wait;
+    }
+
+    /// Messages sent from `from` to `to`.
+    pub fn messages(&self, from: SiteId, to: SiteId) -> u64 {
+        self.msgs[self.idx(from, to)]
+    }
+
+    /// Bytes sent from `from` to `to`.
+    pub fn bytes(&self, from: SiteId, to: SiteId) -> u64 {
+        self.bytes[self.idx(from, to)]
+    }
+
+    /// Serialization (busy) time of the directed link.
+    pub fn busy_time(&self, from: SiteId, to: SiteId) -> f64 {
+        self.busy[self.idx(from, to)]
+    }
+
+    /// Total queueing delay suffered on the directed link.
+    pub fn queue_wait(&self, from: SiteId, to: SiteId) -> f64 {
+        self.queue_wait[self.idx(from, to)]
+    }
+
+    /// All messages.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// All bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes that crossed site boundaries (the scarce WAN traffic).
+    pub fn inter_site_bytes(&self) -> u64 {
+        let mut t = 0;
+        for k in 0..self.m {
+            for l in 0..self.m {
+                if k != l {
+                    t += self.bytes[k * self.m + l];
+                }
+            }
+        }
+        t
+    }
+
+    /// Bytes that stayed within a site.
+    pub fn intra_site_bytes(&self) -> u64 {
+        (0..self.m).map(|k| self.bytes[k * self.m + k]).sum()
+    }
+
+    /// Fraction of traffic that crossed sites (0 when nothing was sent).
+    pub fn wan_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.inter_site_bytes() as f64 / total as f64
+    }
+
+    /// The busiest directed inter-site link: `(from, to, busy_time)`.
+    pub fn bottleneck(&self) -> Option<(SiteId, SiteId, f64)> {
+        let mut best: Option<(SiteId, SiteId, f64)> = None;
+        for k in 0..self.m {
+            for l in 0..self.m {
+                if k == l {
+                    continue;
+                }
+                let b = self.busy[k * self.m + l];
+                if b > 0.0 && best.is_none_or(|(_, _, bb)| b > bb) {
+                    best = Some((SiteId(k), SiteId(l), b));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut s = LinkStats::new(3);
+        s.record(SiteId(0), SiteId(1), 100, 0.5, 0.1);
+        s.record(SiteId(0), SiteId(1), 200, 1.0, 0.0);
+        s.record(SiteId(2), SiteId(2), 50, 0.1, 0.0);
+        assert_eq!(s.messages(SiteId(0), SiteId(1)), 2);
+        assert_eq!(s.bytes(SiteId(0), SiteId(1)), 300);
+        assert!((s.busy_time(SiteId(0), SiteId(1)) - 1.5).abs() < 1e-12);
+        assert!((s.queue_wait(SiteId(0), SiteId(1)) - 0.1).abs() < 1e-12);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 350);
+    }
+
+    #[test]
+    fn wan_fraction() {
+        let mut s = LinkStats::new(2);
+        s.record(SiteId(0), SiteId(0), 75, 0.0, 0.0);
+        s.record(SiteId(0), SiteId(1), 25, 0.0, 0.0);
+        assert!((s.wan_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wan_fraction_of_nothing_is_zero() {
+        assert_eq!(LinkStats::new(2).wan_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bottleneck_finds_busiest_inter_link() {
+        let mut s = LinkStats::new(3);
+        s.record(SiteId(0), SiteId(0), 1, 99.0, 0.0); // intra: ignored
+        s.record(SiteId(0), SiteId(1), 1, 2.0, 0.0);
+        s.record(SiteId(1), SiteId(2), 1, 5.0, 0.0);
+        let (f, t, b) = s.bottleneck().unwrap();
+        assert_eq!((f, t), (SiteId(1), SiteId(2)));
+        assert_eq!(b, 5.0);
+    }
+
+    #[test]
+    fn bottleneck_none_when_silent() {
+        assert!(LinkStats::new(2).bottleneck().is_none());
+    }
+}

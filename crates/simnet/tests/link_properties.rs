@@ -1,0 +1,92 @@
+//! Property tests of the link model over randomized traffic schedules.
+
+use geonet::{presets, InstanceType, SiteId};
+use proptest::prelude::*;
+use simnet::{LinkConfig, LinkState};
+
+fn net() -> geonet::SiteNetwork {
+    presets::paper_ec2_network(4, InstanceType::M4Xlarge, 11)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arrivals on one shared directed link are FIFO regardless of the
+    /// (nondecreasing) departure schedule and message sizes.
+    #[test]
+    fn prop_shared_link_is_fifo(
+        msgs in prop::collection::vec((1u64..10_000_000, 0.0f64..0.01), 1..40),
+    ) {
+        let net = net();
+        let mut links = LinkState::new(net, LinkConfig::default());
+        let mut t = 0.0;
+        let mut last_arrival = 0.0;
+        for (bytes, gap) in msgs {
+            t += gap;
+            let arrival = links.send(SiteId(0), SiteId(3), bytes, t);
+            prop_assert!(arrival >= last_arrival, "overtaking: {arrival} < {last_arrival}");
+            prop_assert!(arrival > t, "arrival not after departure");
+            last_arrival = arrival;
+        }
+    }
+
+    /// Total busy time equals total bytes over bandwidth, exactly,
+    /// independent of schedule.
+    #[test]
+    fn prop_busy_time_is_schedule_independent(
+        msgs in prop::collection::vec((1u64..1_000_000, 0.0f64..0.5), 1..30),
+    ) {
+        let net = net();
+        let bw = net.bandwidth(SiteId(1), SiteId(2));
+        let mut links = LinkState::new(net, LinkConfig::default());
+        let mut t = 0.0;
+        let mut total_bytes = 0u64;
+        for (bytes, gap) in &msgs {
+            t += gap;
+            links.send(SiteId(1), SiteId(2), *bytes, t);
+            total_bytes += bytes;
+        }
+        let busy = links.stats().busy_time(SiteId(1), SiteId(2));
+        let expect = total_bytes as f64 / bw;
+        prop_assert!((busy - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+
+    /// Contention can only delay: with the same schedule, shared-WAN
+    /// arrivals are >= unshared arrivals, message by message.
+    #[test]
+    fn prop_contention_only_delays(
+        msgs in prop::collection::vec((1u64..4_000_000, 0.0f64..0.05, 0usize..3), 1..30),
+    ) {
+        let net = net();
+        let mut shared = LinkState::new(net.clone(), LinkConfig::default());
+        let unshared_cfg = LinkConfig { shared_wan: false, shared_intra: false, shared_egress: false };
+        let mut unshared = LinkState::new(net, unshared_cfg);
+        let mut t = 0.0;
+        for (bytes, gap, dst) in msgs {
+            t += gap;
+            let to = SiteId(1 + dst); // sites 1..3, from site 0
+            let a_shared = shared.send(SiteId(0), to, bytes, t);
+            let a_unshared = unshared.send(SiteId(0), to, bytes, t);
+            prop_assert!(a_shared >= a_unshared - 1e-12);
+        }
+    }
+
+    /// Egress sharing delays at least as much as per-pair sharing alone.
+    #[test]
+    fn prop_egress_dominates_pairwise(
+        msgs in prop::collection::vec((1u64..4_000_000, 0.0f64..0.05, 0usize..3), 1..30),
+    ) {
+        let net = net();
+        let mut pairwise = LinkState::new(net.clone(), LinkConfig::default());
+        let egress_cfg = LinkConfig { shared_egress: true, ..LinkConfig::default() };
+        let mut egress = LinkState::new(net, egress_cfg);
+        let mut t = 0.0;
+        for (bytes, gap, dst) in msgs {
+            t += gap;
+            let to = SiteId(1 + dst);
+            let a_pair = pairwise.send(SiteId(0), to, bytes, t);
+            let a_egr = egress.send(SiteId(0), to, bytes, t);
+            prop_assert!(a_egr >= a_pair - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Scenario tests of the link model under realistic traffic shapes.
+
+use geonet::{presets, InstanceType, SiteId};
+use simnet::{LinkConfig, LinkState};
+
+fn net() -> geonet::SiteNetwork {
+    presets::paper_ec2_network(4, InstanceType::M4Xlarge, 7)
+}
+
+#[test]
+fn burst_queueing_grows_linearly() {
+    // k back-to-back 8 MB messages on one WAN link: the i-th arrival is
+    // i serialization slots after the first start.
+    let net = net();
+    let (a, b) = (SiteId(0), SiteId(2));
+    let ser = net.alpha_beta(a, b).serialization_time(8_000_000);
+    let lat = net.alpha_beta(a, b).latency_s;
+    let mut links = LinkState::new(net, LinkConfig::default());
+    for i in 1..=10u32 {
+        let arrival = links.send(a, b, 8_000_000, 0.0);
+        let expect = i as f64 * ser + lat;
+        assert!((arrival - expect).abs() < 1e-9, "message {i}: {arrival} vs {expect}");
+    }
+}
+
+#[test]
+fn queueing_drains_when_departures_are_spaced() {
+    // If messages depart slower than the serialization rate, no queueing
+    // at all.
+    let net = net();
+    let (a, b) = (SiteId(1), SiteId(3));
+    let ab = net.alpha_beta(a, b);
+    let ser = ab.serialization_time(1_000_000);
+    let mut links = LinkState::new(net, LinkConfig::default());
+    for i in 0..5 {
+        let depart = i as f64 * (ser * 2.0);
+        let arrival = links.send(a, b, 1_000_000, depart);
+        assert!((arrival - (depart + ser + ab.latency_s)).abs() < 1e-9, "message {i} queued");
+    }
+    let s = links.stats();
+    assert_eq!(s.queue_wait(a, b), 0.0);
+}
+
+#[test]
+fn distinct_site_pairs_are_independent() {
+    let net = net();
+    let mut links = LinkState::new(net.clone(), LinkConfig::default());
+    // Saturate 0->1.
+    for _ in 0..20 {
+        links.send(SiteId(0), SiteId(1), 8_000_000, 0.0);
+    }
+    // 0->2 and 2->1 are unaffected.
+    let t02 = links.send(SiteId(0), SiteId(2), 1_000, 0.0);
+    let t21 = links.send(SiteId(2), SiteId(1), 1_000, 0.0);
+    assert!((t02 - net.alpha_beta(SiteId(0), SiteId(2)).transfer_time(1_000)).abs() < 1e-12);
+    assert!((t21 - net.alpha_beta(SiteId(2), SiteId(1)).transfer_time(1_000)).abs() < 1e-12);
+}
+
+#[test]
+fn shared_intra_option_serializes_local_traffic() {
+    let net = net();
+    let cfg = LinkConfig { shared_wan: true, shared_intra: true, shared_egress: false };
+    let mut links = LinkState::new(net.clone(), cfg);
+    let a = SiteId(0);
+    let first = links.send(a, a, 4_000_000, 0.0);
+    let second = links.send(a, a, 4_000_000, 0.0);
+    let ser = net.alpha_beta(a, a).serialization_time(4_000_000);
+    assert!((second - first - ser).abs() < 1e-9);
+}
+
+#[test]
+fn stats_busy_time_matches_bytes_over_bandwidth() {
+    let net = net();
+    let (a, b) = (SiteId(3), SiteId(0));
+    let mut links = LinkState::new(net.clone(), LinkConfig::default());
+    links.send(a, b, 2_000_000, 0.0);
+    links.send(a, b, 3_000_000, 0.0);
+    let expect = 5_000_000.0 / net.bandwidth(a, b);
+    assert!((links.stats().busy_time(a, b) - expect).abs() < 1e-9);
+    assert_eq!(links.stats().bottleneck().unwrap().0, a);
+}

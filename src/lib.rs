@@ -1,0 +1,53 @@
+//! Geo-distributed process mapping — a reproduction of *"Efficient
+//! Process Mapping in Geo-Distributed Cloud Data Centers"* (Zhou, Gong,
+//! He, Zhai — SC'17).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`net`] | `geonet` | sites, `LT`/`BT` matrices, α–β model, synthetic clouds, calibration |
+//! | [`comm`] | `commgraph` | `CG`/`AG` patterns, traces, CYPRESS-style compression, the five workloads |
+//! | [`clustering`] | `geo-kmeans` | K-means (site grouping + workload core) |
+//! | [`sim`] | `simnet` | discrete-event network simulator |
+//! | [`runtime`] | `mpirt` | simulated message-passing runtime |
+//! | [`mapping`] | `geomap-core` | problem formulation, Eq. 3 cost, Algorithm 1 (GeoMapper) |
+//! | [`baselines`] | `geomap-baselines` | Random, Greedy, MPIPP, exhaustive, Monte Carlo |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use geo_process_mapping::prelude::*;
+//!
+//! // The paper's deployment: 4 EC2 regions x 16 nodes.
+//! let network = net::presets::paper_ec2_network(16, net::InstanceType::M4Xlarge, 42);
+//! // Profile the LU kernel at 64 ranks.
+//! let pattern = comm::apps::AppKind::Lu.workload(64).pattern();
+//! let problem = MappingProblem::unconstrained(pattern, network);
+//!
+//! let geo = GeoMapper::default().map(&problem);
+//! let random = baselines::RandomMapper::default().map(&problem);
+//! assert!(cost(&problem, &geo) < cost(&problem, &random));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use commgraph as comm;
+pub use geo_kmeans as clustering;
+pub use ::baselines;
+pub use geomap_core as mapping;
+pub use geonet as net;
+pub use mpirt as runtime;
+pub use simnet as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ::baselines;
+    pub use crate::comm;
+    pub use crate::mapping::{
+        cost, ConstraintVector, GeoMapper, Mapper, Mapping, MappingProblem,
+    };
+    pub use crate::net;
+    pub use crate::runtime;
+    pub use crate::sim;
+}

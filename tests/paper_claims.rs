@@ -1,0 +1,190 @@
+//! The paper's qualitative claims, checked as executable assertions.
+//! Each test cites the section it reproduces.
+
+use geo_process_mapping::prelude::*;
+use geomap_core::cost as eq3_cost;
+use geonet::SiteId;
+
+/// §2.1 Observation 1: intra-region bandwidth is ~10x+ the cross-region
+/// bandwidth, for every instance type.
+#[test]
+fn observation1_intra_inter_gap() {
+    for ty in net::InstanceType::TABLE1 {
+        let sites = net::presets::ec2_sites(&["us-east-1", "ap-southeast-1"], 2);
+        let network =
+            net::SynthNetworkBuilder::new(net::SynthConfig::ec2(ty)).build(sites);
+        let ratio = network.intra_inter_bandwidth_ratio();
+        assert!(ratio > 2.0, "{ty}: ratio {ratio}");
+    }
+    // And for the big instance the paper measures in Table 1 it's >10x.
+    let sites = net::presets::ec2_sites(&["us-east-1", "ap-southeast-1"], 2);
+    let network = net::SynthNetworkBuilder::new(net::SynthConfig::ec2(
+        net::InstanceType::C38xlarge,
+    ))
+    .build(sites);
+    assert!(network.intra_inter_bandwidth_ratio() > 10.0);
+}
+
+/// §2.1 Observation 2: cross-region performance tracks geographic
+/// distance, on both EC2 and Azure profiles.
+#[test]
+fn observation2_distance_correlation() {
+    let network = net::presets::ec2_global_network(2, net::InstanceType::C38xlarge, 3);
+    // Collect (distance, bandwidth) for all inter-site pairs and check
+    // rank correlation is strongly negative.
+    let m = network.num_sites();
+    let mut pairs = Vec::new();
+    for k in 0..m {
+        for l in 0..m {
+            if k != l {
+                let d = network.site(SiteId(k)).distance_km(network.site(SiteId(l)));
+                pairs.push((d, network.bandwidth(SiteId(k), SiteId(l))));
+            }
+        }
+    }
+    // Spearman-ish check: count concordant vs discordant pairs.
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..pairs.len() {
+        for j in (i + 1)..pairs.len() {
+            let d = (pairs[i].0 - pairs[j].0) * (pairs[i].1 - pairs[j].1);
+            if d < 0.0 {
+                concordant += 1; // farther => slower
+            } else if d > 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let tau = (concordant - discordant) as f64 / (concordant + discordant) as f64;
+    assert!(tau > 0.6, "distance/bandwidth anticorrelation too weak: tau {tau}");
+}
+
+/// §4.2: site-pair calibration is O(M²) probes, not O(N²) — the paper's
+/// 12-minutes-vs-180-days example.
+#[test]
+fn calibration_cost_reduction() {
+    let (site_minutes, node_minutes) = net::calibration_cost_minutes(4, 512);
+    assert_eq!(site_minutes, 12.0);
+    assert!(node_minutes / site_minutes > 20_000.0);
+}
+
+/// §4.2: calibrated inter-site variation is small (<5%-ish) and the
+/// estimates are accurate enough to drive optimization.
+#[test]
+fn calibration_variation_is_small() {
+    let truth = net::presets::paper_ec2_network(8, net::InstanceType::M4Xlarge, 11);
+    let report = net::Calibrator::new(net::CalibrationConfig::default()).calibrate(&truth);
+    assert!(report.max_inter_site_cv() < 0.08);
+    assert!(report.estimated.bt().rel_l1_diff(truth.bt()) < 0.06);
+}
+
+/// §5.2: optimization overhead ordering — MPIPP is by far the heaviest;
+/// Geo and Greedy are comparable at small site counts.
+#[test]
+fn overhead_ordering() {
+    let network = net::presets::paper_ec2_network(16, net::InstanceType::M4Xlarge, 1);
+    let pattern = comm::apps::AppKind::Lu.workload(64).pattern();
+    let problem = MappingProblem::unconstrained(pattern, network);
+    let time = |f: &dyn Fn() -> Mapping| {
+        // median of 3
+        let mut ts: Vec<f64> = (0..3)
+            .map(|_| {
+                let s = std::time::Instant::now();
+                std::hint::black_box(f());
+                s.elapsed().as_secs_f64()
+            })
+            .collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts[1]
+    };
+    let t_greedy = time(&|| baselines::GreedyMapper.map(&problem));
+    let t_mpipp = time(&|| baselines::MpippMapper::with_seed(1).map(&problem));
+    assert!(
+        t_mpipp > 3.0 * t_greedy,
+        "MPIPP ({t_mpipp}s) should dwarf Greedy ({t_greedy}s)"
+    );
+}
+
+/// §5.3 (Fig. 5 discussion): Greedy shines on diagonal patterns but is
+/// weak on K-means, where Geo keeps a clear margin.
+#[test]
+fn greedy_strong_on_lu_weak_on_kmeans() {
+    let network = net::presets::paper_ec2_network(16, net::InstanceType::M4Xlarge, 5);
+    let improvement = |app: comm::apps::AppKind, mapper: &dyn Mapper| {
+        let problem = MappingProblem::unconstrained(app.workload(64).pattern(), network.clone());
+        let base: f64 = (0..5)
+            .map(|s| eq3_cost(&problem, &baselines::RandomMapper::with_seed(s).map(&problem)))
+            .sum::<f64>()
+            / 5.0;
+        (base - eq3_cost(&problem, &mapper.map(&problem))) / base * 100.0
+    };
+    let greedy_lu = improvement(comm::apps::AppKind::Lu, &baselines::GreedyMapper);
+    let greedy_km = improvement(comm::apps::AppKind::KMeans, &baselines::GreedyMapper);
+    let geo_km = improvement(comm::apps::AppKind::KMeans, &GeoMapper::default());
+    assert!(greedy_lu > 40.0, "Greedy on LU only {greedy_lu}%");
+    assert!(geo_km > greedy_km, "Geo ({geo_km}%) must beat Greedy ({greedy_km}%) on K-means");
+}
+
+/// §5.4 (Fig. 8): improvement over Greedy decreases with the constraint
+/// ratio and vanishes at ratio 1.0.
+#[test]
+fn constraint_ratio_monotonicity_at_the_ends() {
+    let network = net::presets::paper_ec2_network(8, net::InstanceType::M4Xlarge, 7);
+    let pattern = comm::apps::AppKind::KMeans.workload(32).pattern();
+    let imp = |ratio: f64| {
+        // Average over constraint draws for stability.
+        let runs = 3;
+        (0..runs)
+            .map(|d| {
+                let c = if ratio == 0.0 {
+                    ConstraintVector::none(32)
+                } else {
+                    ConstraintVector::random(32, ratio, &network.capacities(), 31 + d)
+                };
+                let problem = MappingProblem::new(pattern.clone(), network.clone(), c);
+                let greedy = eq3_cost(&problem, &baselines::GreedyMapper.map(&problem));
+                let geo = eq3_cost(&problem, &GeoMapper::default().map(&problem));
+                (greedy - geo) / greedy * 100.0
+            })
+            .sum::<f64>()
+            / runs as f64
+    };
+    let at_zero = imp(0.0);
+    let at_full = imp(1.0);
+    assert!(at_full.abs() < 1e-9, "no freedom left at ratio 1.0, got {at_full}%");
+    assert!(at_zero > at_full, "freedom must help: {at_zero}% vs {at_full}%");
+}
+
+/// §5.4 (Fig. 9): the probability that a random mapping beats
+/// Geo-distributed is tiny.
+#[test]
+fn monte_carlo_tail_probability() {
+    let network = net::presets::paper_ec2_network(8, net::InstanceType::M4Xlarge, 9);
+    let pattern = comm::apps::AppKind::Lu.workload(32).pattern();
+    let problem = MappingProblem::unconstrained(pattern, network);
+    let geo = eq3_cost(&problem, &GeoMapper::default().map(&problem));
+    let mc = baselines::MonteCarlo::new(3000, 17);
+    let sorted = mc.cdf(&problem);
+    let frac = baselines::MonteCarlo::fraction_below(&sorted, geo);
+    assert!(frac < 0.02, "P(random < geo) = {frac}");
+}
+
+/// §5.4 (Fig. 10): best-of-K random search improves roughly
+/// logarithmically — each 16x budget increase keeps helping, slowly.
+#[test]
+fn best_of_k_improves_slowly() {
+    let network = net::presets::paper_ec2_network(8, net::InstanceType::M4Xlarge, 13);
+    let pattern = comm::apps::AppKind::KMeans.workload(32).pattern();
+    let problem = MappingProblem::unconstrained(pattern, network);
+    let mc = baselines::MonteCarlo::new(4096, 23);
+    let curve = mc.best_of_k_curve(&problem, &[1, 16, 256, 4096]);
+    // Monotone decreasing...
+    for w in curve.windows(2) {
+        assert!(w[1].1 <= w[0].1);
+    }
+    // ...but with diminishing returns: the last 16x step gains less than
+    // the total gain of the first two steps combined.
+    let total_gain = curve[0].1 - curve[3].1;
+    let last_gain = curve[2].1 - curve[3].1;
+    assert!(last_gain <= 0.8 * total_gain, "no diminishing returns: {curve:?}");
+}

@@ -23,9 +23,13 @@ impl ExhaustiveMapper {
     pub fn optimum(&self, problem: &MappingProblem) -> (Mapping, f64) {
         let n = problem.num_processes();
         let m = problem.num_sites();
-        let free_count = (0..n).filter(|&i| problem.constraints().pin_of(i).is_none()).count();
+        let free_count = (0..n)
+            .filter(|&i| problem.constraints().pin_of(i).is_none())
+            .count();
         let cap = self.max_leaves.unwrap_or(10_000_000);
-        let leaves = (m as u64).checked_pow(free_count as u32).unwrap_or(u64::MAX);
+        let leaves = (m as u64)
+            .checked_pow(free_count as u32)
+            .unwrap_or(u64::MAX);
         assert!(
             leaves <= cap,
             "search space {m}^{free_count} exceeds the {cap}-leaf budget"
@@ -95,7 +99,13 @@ mod tests {
     fn tiny_problem(seed: u64) -> MappingProblem {
         let net = presets::ec2_sites(&["us-east-1", "us-west-2", "ap-southeast-1"], 3);
         let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig::default()).build(net);
-        let pat = RandomGraph { n: 8, degree: 3, max_bytes: 400_000, seed }.pattern();
+        let pat = RandomGraph {
+            n: 8,
+            degree: 3,
+            max_bytes: 400_000,
+            seed,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 
@@ -110,7 +120,10 @@ mod tests {
                 geomap_core::cost(&p, &MpippMapper::with_seed(seed).map(&p)),
                 geomap_core::cost(&p, &GeoMapper::default().map(&p)),
             ] {
-                assert!(opt <= c + 1e-9, "seed {seed}: optimum {opt} > heuristic {c}");
+                assert!(
+                    opt <= c + 1e-9,
+                    "seed {seed}: optimum {opt} > heuristic {c}"
+                );
             }
         }
     }
@@ -131,11 +144,18 @@ mod tests {
     fn ring_optimum_is_contiguous_blocks() {
         let net = presets::ec2_sites(&["us-east-1", "ap-southeast-1"], 3);
         let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig::default()).build(net);
-        let pat = Ring { n: 6, iterations: 1, bytes: 1_000_000 }.pattern();
+        let pat = Ring {
+            n: 6,
+            iterations: 1,
+            bytes: 1_000_000,
+        }
+        .pattern();
         let p = MappingProblem::unconstrained(pat, net);
         let (m, _) = ExhaustiveMapper::default().optimum(&p);
         // Exactly two cross-site cuts on the ring.
-        let cuts = (0..6).filter(|&i| m.site_of(i) != m.site_of((i + 1) % 6)).count();
+        let cuts = (0..6)
+            .filter(|&i| m.site_of(i) != m.site_of((i + 1) % 6))
+            .count();
         assert_eq!(cuts, 2);
     }
 
@@ -155,7 +175,13 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn refuses_large_instances() {
         let net = presets::paper_ec2_network(16, InstanceType::M4Xlarge, 1);
-        let pat = RandomGraph { n: 64, degree: 3, max_bytes: 100, seed: 0 }.pattern();
+        let pat = RandomGraph {
+            n: 64,
+            degree: 3,
+            max_bytes: 100,
+            seed: 0,
+        }
+        .pattern();
         let p = MappingProblem::unconstrained(pat, net);
         ExhaustiveMapper::default().map(&p);
     }

@@ -13,8 +13,12 @@
 //! degrades on complex patterns like K-means (< 5–10 % improvement in
 //! the paper) — exactly the behaviour the evaluation harness checks.
 
-use geomap_core::{Mapper, Mapping, MappingProblem};
+use geomap_core::delta::CostTables;
+use geomap_core::{CostModel, Mapper, Mapping, MappingProblem};
 use geonet::SiteId;
+
+/// Relative window within which two site scores count as tied.
+const TIE_REL: f64 = 1e-12;
 
 /// The Greedy baseline.
 #[derive(Debug, Clone, Default)]
@@ -30,8 +34,10 @@ impl Mapper for GreedyMapper {
         let net = problem.network();
         let m = problem.num_sites();
         let partners = problem.partners();
+        let tables = CostTables::build(problem, CostModel::Full);
 
-        let mut assignment: Vec<Option<SiteId>> = (0..n).map(|i| problem.constraints().pin_of(i)).collect();
+        let mut assignment: Vec<Option<SiteId>> =
+            (0..n).map(|i| problem.constraints().pin_of(i)).collect();
         let mut free = problem.free_capacities();
 
         // Symmetrized bandwidth between two sites.
@@ -48,8 +54,10 @@ impl Mapper for GreedyMapper {
             }
         }
 
-        let quantities: Vec<f64> =
-            partners.iter().map(|ps| ps.iter().map(|p| p.bytes).sum()).collect();
+        let quantities: Vec<f64> = partners
+            .iter()
+            .map(|ps| ps.iter().map(|p| p.bytes).sum())
+            .collect();
 
         let mut unmapped: usize = assignment.iter().filter(|a| a.is_none()).count();
         while unmapped > 0 {
@@ -70,9 +78,9 @@ impl Mapper for GreedyMapper {
             // mapped partners; when the task has no mapped partners yet,
             // fall back to the site with the highest total bandwidth
             // (Hoefler & Snir's seeding rule).
-            let mut best: Option<(SiteId, f64)> = None;
-            for j in 0..m {
-                if free[j] == 0 {
+            let mut scores: Vec<(SiteId, f64)> = Vec::with_capacity(m);
+            for (j, &slots) in free.iter().enumerate().take(m) {
+                if slots == 0 {
                     continue;
                 }
                 let site = SiteId(j);
@@ -88,11 +96,24 @@ impl Mapper for GreedyMapper {
                     // Total outgoing bandwidth of the site.
                     score = (0..m).map(|l| bw(site, SiteId(l))).sum();
                 }
-                if best.is_none_or(|(_, s)| score > s) {
-                    best = Some((site, score));
-                }
+                scores.push((site, score));
             }
-            let (site, _) = best.expect("capacity >= N guarantees a free site");
+            let best_score = scores
+                .iter()
+                .map(|&(_, s)| s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            // The bandwidth score ignores latency and is frequently tied
+            // (uniform intra-site bandwidth). Break score ties by the
+            // exact Eq. 3 attachment cost from the Δ-engine tables —
+            // earliest site on exact ties, matching the old first-max
+            // rule when nothing distinguishes the candidates.
+            let site = scores
+                .iter()
+                .filter(|&&(_, s)| s >= best_score - TIE_REL * best_score.abs())
+                .map(|&(site, _)| (site, tables.placement_cost(&assignment, t, site)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                .map(|(site, _)| site)
+                .expect("capacity >= N guarantees a free site");
             assignment[t] = Some(site);
             free[site.index()] -= 1;
             unmapped -= 1;
@@ -101,7 +122,12 @@ impl Mapper for GreedyMapper {
             }
         }
 
-        Mapping::new(assignment.into_iter().map(|a| a.expect("all mapped")).collect())
+        Mapping::new(
+            assignment
+                .into_iter()
+                .map(|a| a.expect("all mapped"))
+                .collect(),
+        )
     }
 }
 
@@ -128,7 +154,15 @@ mod tests {
 
     #[test]
     fn packs_a_ring_contiguously() {
-        let p = ec2_problem(Ring { n: 16, iterations: 5, bytes: 1_000_000 }.pattern(), 4);
+        let p = ec2_problem(
+            Ring {
+                n: 16,
+                iterations: 5,
+                bytes: 1_000_000,
+            }
+            .pattern(),
+            4,
+        );
         let m = GreedyMapper.map(&p);
         // A ring has 16 edges; an optimal 4-way split cuts exactly 4.
         // Greedy growth from the heaviest vertex yields a near-optimal

@@ -35,9 +35,12 @@ use geomap_core::{Mapper, MappingProblem};
 /// order: Greedy, MPIPP, Geo-distributed.
 pub fn paper_mappers(seed: u64) -> Vec<Box<dyn Mapper + Sync>> {
     vec![
-        Box::new(GreedyMapper::default()),
+        Box::new(GreedyMapper),
         Box::new(MpippMapper::with_seed(seed)),
-        Box::new(geomap_core::GeoMapper { seed, ..geomap_core::GeoMapper::default() }),
+        Box::new(geomap_core::GeoMapper {
+            seed,
+            ..geomap_core::GeoMapper::default()
+        }),
     ]
 }
 
@@ -63,7 +66,13 @@ mod tests {
 
     fn problem() -> MappingProblem {
         let net = presets::paper_ec2_network(8, InstanceType::M4Xlarge, 1);
-        let pat = RandomGraph { n: 32, degree: 4, max_bytes: 500_000, seed: 2 }.pattern();
+        let pat = RandomGraph {
+            n: 32,
+            degree: 4,
+            max_bytes: 500_000,
+            seed: 2,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 
@@ -86,7 +95,11 @@ mod tests {
         let mean = baseline_mean_cost(&p, 20, 3);
         for mapper in paper_mappers(1) {
             let c = cost(&p, &mapper.map(&p));
-            assert!(c < mean, "{} cost {c} not below baseline mean {mean}", mapper.name());
+            assert!(
+                c < mean,
+                "{} cost {c} not below baseline mean {mean}",
+                mapper.name()
+            );
         }
     }
 }

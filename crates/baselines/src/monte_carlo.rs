@@ -7,7 +7,8 @@
 //! best-of-K mapper.
 
 use crate::random::random_mapping;
-use geomap_core::{cost, Mapper, Mapping, MappingProblem};
+use geomap_core::delta::{polish, Evaluation};
+use geomap_core::{cost, CostModel, Mapper, Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -19,13 +20,23 @@ pub struct MonteCarlo {
     pub samples: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Swap hill-climb passes applied to the best sample before
+    /// returning it (0 = plain best-of-K, the paper's Fig. 10 setting).
+    pub polish_passes: usize,
+    /// Δ-cost engine for the polish sweeps.
+    pub evaluation: Evaluation,
 }
 
 impl MonteCarlo {
-    /// Create a sampler.
+    /// Create a sampler (plain best-of-K; no polish).
     pub fn new(samples: usize, seed: u64) -> Self {
         assert!(samples > 0, "need at least one sample");
-        Self { samples, seed }
+        Self {
+            samples,
+            seed,
+            polish_passes: 0,
+            evaluation: Evaluation::Incremental,
+        }
     }
 
     /// Draw all sample costs (unsorted), in parallel chunks. Sample `i`
@@ -66,7 +77,11 @@ impl MonteCarlo {
         let mut sorted_ks: Vec<usize> = ks.to_vec();
         sorted_ks.sort_unstable();
         for k in sorted_ks {
-            assert!(k >= 1 && k <= costs.len(), "k={k} outside 1..={}", costs.len());
+            assert!(
+                k >= 1 && k <= costs.len(),
+                "k={k} outside 1..={}",
+                costs.len()
+            );
             for &c in &costs[upto..k] {
                 running = running.min(c);
             }
@@ -92,7 +107,20 @@ impl Mapper for MonteCarlo {
             })
             .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
             .expect("samples > 0");
-        best.2
+        let mut m = best.2;
+        if self.polish_passes > 0 {
+            let constraints = problem.constraints();
+            let movable = |i: usize| constraints.pin_of(i).is_none();
+            polish(
+                problem,
+                &mut m,
+                self.polish_passes,
+                CostModel::Full,
+                self.evaluation,
+                &movable,
+            );
+        }
+        m
     }
 }
 
@@ -105,7 +133,13 @@ mod tests {
 
     fn problem() -> MappingProblem {
         let net = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 1);
-        let pat = RandomGraph { n: 16, degree: 3, max_bytes: 300_000, seed: 3 }.pattern();
+        let pat = RandomGraph {
+            n: 16,
+            degree: 3,
+            max_bytes: 300_000,
+            seed: 3,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 
@@ -140,7 +174,10 @@ mod tests {
         let p = problem();
         let mc = MonteCarlo::new(64, 5);
         let best = geomap_core::cost(&p, &mc.map(&p));
-        let min = mc.sample_costs(&p).into_iter().fold(f64::INFINITY, f64::min);
+        let min = mc
+            .sample_costs(&p)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
         assert!((best - min).abs() < 1e-12);
     }
 
@@ -148,13 +185,22 @@ mod tests {
     fn never_beats_the_exhaustive_optimum() {
         let net = presets::ec2_sites(&["us-east-1", "eu-west-1"], 4);
         let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig::default()).build(net);
-        let pat = RandomGraph { n: 8, degree: 2, max_bytes: 100_000, seed: 9 }.pattern();
+        let pat = RandomGraph {
+            n: 8,
+            degree: 2,
+            max_bytes: 100_000,
+            seed: 9,
+        }
+        .pattern();
         let p = MappingProblem::unconstrained(pat, net);
         let (_, opt) = ExhaustiveMapper::default().optimum(&p);
         let best = geomap_core::cost(&p, &MonteCarlo::new(2000, 3).map(&p));
         assert!(best >= opt - 1e-9);
         // ...and with 2000 samples over a 2^8=256-point space it finds it.
-        assert!(best <= opt + 1e-6 * opt.max(1.0), "best {best} vs opt {opt}");
+        assert!(
+            best <= opt + 1e-6 * opt.max(1.0),
+            "best {best} vs opt {opt}"
+        );
     }
 
     #[test]
@@ -169,5 +215,23 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_rejected() {
         MonteCarlo::new(0, 1);
+    }
+
+    #[test]
+    fn polish_never_hurts_and_engines_agree() {
+        let p = problem();
+        let plain = geomap_core::cost(&p, &MonteCarlo::new(64, 5).map(&p));
+        let polished = MonteCarlo {
+            polish_passes: 20,
+            ..MonteCarlo::new(64, 5)
+        };
+        let inc = polished.map(&p);
+        assert!(geomap_core::cost(&p, &inc) <= plain + 1e-12);
+        let oracle = MonteCarlo {
+            evaluation: geomap_core::Evaluation::FullRecompute,
+            ..polished.clone()
+        }
+        .map(&p);
+        assert_eq!(inc, oracle, "polish diverged between engines");
     }
 }

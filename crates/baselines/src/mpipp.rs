@@ -11,10 +11,13 @@
 //! processes.
 
 use crate::random::random_mapping;
-use geomap_core::cost::{self, swap_delta};
-use geomap_core::{Mapper, Mapping, MappingProblem};
+use geomap_core::delta::{best_improving_swap, CostTables, Evaluation};
+use geomap_core::{cost, Mapper, Mapping, MappingProblem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Best-swap acceptance threshold (strictly improving, FP-noise-proof).
+const SWAP_EPS: f64 = -1e-15;
 
 /// The MPIPP baseline.
 #[derive(Debug, Clone)]
@@ -25,52 +28,64 @@ pub struct MpippMapper {
     pub max_rounds: usize,
     /// RNG seed for the initial placements.
     pub seed: u64,
+    /// Δ-cost engine for the exchange rounds: the incremental default
+    /// answers each candidate pair in `O(deg)`; the full-recompute
+    /// oracle re-walks the pattern per pair (the seed's original
+    /// behaviour, kept for verification).
+    pub evaluation: Evaluation,
 }
 
 impl MpippMapper {
     /// Default configuration with an explicit seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
 impl Default for MpippMapper {
     fn default() -> Self {
-        Self { restarts: 4, max_rounds: 1000, seed: 0x3B1B }
+        Self {
+            restarts: 4,
+            max_rounds: 1000,
+            seed: 0x3B1B,
+            evaluation: Evaluation::Incremental,
+        }
     }
 }
 
 impl MpippMapper {
     /// One local search from a random feasible start.
-    fn local_search(&self, problem: &MappingProblem, rng: &mut StdRng) -> (Mapping, f64) {
+    fn local_search(
+        &self,
+        problem: &MappingProblem,
+        tables: &CostTables,
+        rng: &mut StdRng,
+    ) -> (Mapping, f64) {
         let n = problem.num_processes();
         let constraints = problem.constraints();
-        let mut mapping = random_mapping(problem, rng);
-        let mut current = cost::cost(problem, &mapping);
+        let mapping = random_mapping(problem, rng);
 
         // Constrained processes never move (their site is fixed by C).
-        let movable: Vec<usize> = (0..n).filter(|&i| constraints.pin_of(i).is_none()).collect();
+        let movable: Vec<usize> = (0..n)
+            .filter(|&i| constraints.pin_of(i).is_none())
+            .collect();
 
+        let mut eval = self
+            .evaluation
+            .evaluator(tables, mapping.as_slice().to_vec());
         for _ in 0..self.max_rounds {
-            let mut best: Option<(usize, usize, f64)> = None;
-            for (ai, &a) in movable.iter().enumerate() {
-                for &b in &movable[ai + 1..] {
-                    if mapping.site_of(a) == mapping.site_of(b) {
-                        continue;
-                    }
-                    let d = swap_delta(problem, &mapping, a, b);
-                    if d < -1e-15 && best.is_none_or(|(_, _, bd)| d < bd) {
-                        best = Some((a, b, d));
-                    }
-                }
-            }
-            let Some((a, b, d)) = best else { break };
-            mapping.swap(a, b);
-            current += d;
+            let Some((a, b, _)) = best_improving_swap(eval.as_ref(), &movable, SWAP_EPS) else {
+                break;
+            };
+            eval.apply_swap(a, b);
         }
+        let mapping = Mapping::new(eval.sites().to_vec());
         // Guard against drift in the incremental deltas.
         let exact = cost::cost(problem, &mapping);
-        debug_assert!((exact - current).abs() <= 1e-6 * exact.max(1.0));
+        debug_assert!((exact - eval.total()).abs() <= 1e-6 * exact.max(1.0));
         (mapping, exact)
     }
 }
@@ -81,10 +96,11 @@ impl Mapper for MpippMapper {
     }
 
     fn map(&self, problem: &MappingProblem) -> Mapping {
+        let tables = CostTables::build(problem, geomap_core::CostModel::Full);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(Mapping, f64)> = None;
         for _ in 0..self.restarts.max(1) {
-            let (m, c) = self.local_search(problem, &mut rng);
+            let (m, c) = self.local_search(problem, &tables, &mut rng);
             if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
                 best = Some((m, c));
             }
@@ -103,7 +119,13 @@ mod tests {
 
     fn problem(n: usize) -> MappingProblem {
         let net = presets::paper_ec2_network(n / 4, InstanceType::M4Xlarge, 1);
-        let pat = RandomGraph { n, degree: 4, max_bytes: 500_000, seed: 8 }.pattern();
+        let pat = RandomGraph {
+            n,
+            degree: 4,
+            max_bytes: 500_000,
+            seed: 8,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 
@@ -130,7 +152,11 @@ mod tests {
     #[test]
     fn local_optimum_has_no_improving_swap() {
         let p = problem(16);
-        let m = MpippMapper { restarts: 1, ..MpippMapper::with_seed(2) }.map(&p);
+        let m = MpippMapper {
+            restarts: 1,
+            ..MpippMapper::with_seed(2)
+        }
+        .map(&p);
         for a in 0..16 {
             for b in (a + 1)..16 {
                 if m.site_of(a) != m.site_of(b) {
@@ -155,10 +181,48 @@ mod tests {
     }
 
     #[test]
+    fn identical_on_both_engines_fig5_mini() {
+        // Oracle regression on the Fig. 5 mini-setup (4 sites × 16
+        // nodes, N = 64): the incremental Δ-engine must drive MPIPP's
+        // best-swap rounds to bit-identical mappings as the
+        // full-recompute oracle, for all five paper workloads.
+        use geomap_core::delta::Evaluation;
+        let net = presets::paper_ec2_network(16, InstanceType::M4Xlarge, 3);
+        for &app in AppKind::ALL.iter() {
+            let p = MappingProblem::unconstrained(app.workload(64).pattern(), net.clone());
+            let inc = MpippMapper {
+                evaluation: Evaluation::Incremental,
+                ..MpippMapper::default()
+            }
+            .map(&p);
+            let full = MpippMapper {
+                evaluation: Evaluation::FullRecompute,
+                ..MpippMapper::default()
+            }
+            .map(&p);
+            assert_eq!(inc, full, "{}: engines diverged", app.name());
+        }
+    }
+
+    #[test]
     fn more_restarts_never_worse() {
         let p = problem(20);
-        let one = cost(&p, &MpippMapper { restarts: 1, ..MpippMapper::with_seed(9) }.map(&p));
-        let four = cost(&p, &MpippMapper { restarts: 4, ..MpippMapper::with_seed(9) }.map(&p));
+        let one = cost(
+            &p,
+            &MpippMapper {
+                restarts: 1,
+                ..MpippMapper::with_seed(9)
+            }
+            .map(&p),
+        );
+        let four = cost(
+            &p,
+            &MpippMapper {
+                restarts: 4,
+                ..MpippMapper::with_seed(9)
+            }
+            .map(&p),
+        );
         assert!(four <= one + 1e-9);
     }
 }

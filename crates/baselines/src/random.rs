@@ -74,7 +74,12 @@ mod tests {
 
     fn problem() -> MappingProblem {
         let net = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 1);
-        let pat = Ring { n: 16, iterations: 1, bytes: 100 }.pattern();
+        let pat = Ring {
+            n: 16,
+            iterations: 1,
+            bytes: 100,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 

@@ -11,15 +11,27 @@ fn mappers(seed: u64) -> Vec<Box<dyn Mapper>> {
     vec![
         Box::new(RandomMapper::with_seed(seed)),
         Box::new(GreedyMapper),
-        Box::new(MpippMapper { restarts: 2, ..MpippMapper::with_seed(seed) }),
-        Box::new(GeoMapper { seed, ..GeoMapper::default() }),
+        Box::new(MpippMapper {
+            restarts: 2,
+            ..MpippMapper::with_seed(seed)
+        }),
+        Box::new(GeoMapper {
+            seed,
+            ..GeoMapper::default()
+        }),
         Box::new(MonteCarlo::new(50, seed)),
     ]
 }
 
 fn ec2_problem(n: usize, seed: u64, ratio: f64) -> MappingProblem {
     let net = presets::paper_ec2_network(n / 4, InstanceType::M4Xlarge, seed);
-    let pattern = RandomGraph { n, degree: 4, max_bytes: 800_000, seed }.pattern();
+    let pattern = RandomGraph {
+        n,
+        degree: 4,
+        max_bytes: 800_000,
+        seed,
+    }
+    .pattern();
     let constraints = ConstraintVector::random(n, ratio, &net.capacities(), seed ^ 0xFF);
     MappingProblem::new(pattern, net, constraints)
 }
@@ -36,14 +48,20 @@ fn uniform_traffic_on_symmetric_network_is_mapping_invariant() {
     let lt = SquareMatrix::from_fn(m, |i, j| if i == j { 1e-4 } else { 1e-2 });
     let bt = SquareMatrix::from_fn(m, |i, j| if i == j { 1e8 } else { 1e7 });
     let net = geonet::SiteNetwork::new(sites, lt, bt);
-    let pattern = UniformAll2All { n: 16, bytes: 10_000 }.pattern();
+    let pattern = UniformAll2All {
+        n: 16,
+        bytes: 10_000,
+    }
+    .pattern();
     let problem = MappingProblem::unconstrained(pattern, net);
 
-    let costs: Vec<f64> =
-        mappers(3).iter().map(|mp| cost(&problem, &mp.map(&problem))).collect();
-    let (min, max) = costs
+    let costs: Vec<f64> = mappers(3)
         .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        .map(|mp| cost(&problem, &mp.map(&problem)))
+        .collect();
+    let (min, max) = costs.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| {
+        (lo.min(c), hi.max(c))
+    });
     assert!(
         (max - min) / max < 1e-9,
         "costs differ on an invariant instance: {costs:?}"
@@ -65,7 +83,11 @@ fn optimizers_beat_random_on_every_real_app() {
             Box::new(GeoMapper::default()),
         ] {
             let c = cost(&problem, &mapper.map(&problem));
-            assert!(c < random, "{} lost to random on {app}: {c} vs {random}", mapper.name());
+            assert!(
+                c < random,
+                "{} lost to random on {app}: {c} vs {random}",
+                mapper.name()
+            );
         }
     }
 }
@@ -89,16 +111,32 @@ fn exhaustive_certifies_geo_on_many_tiny_instances() {
             ..geonet::SynthConfig::default()
         })
         .build(net_sites);
-        let pattern = RandomGraph { n: 6, degree: 2, max_bytes: 900_000, seed }.pattern();
+        let pattern = RandomGraph {
+            n: 6,
+            degree: 2,
+            max_bytes: 900_000,
+            seed,
+        }
+        .pattern();
         let problem = MappingProblem::unconstrained(pattern, net);
         let (_, opt) = ExhaustiveMapper::default().optimum(&problem);
-        let geo = cost(&problem, &GeoMapper { seed, ..GeoMapper::default() }.map(&problem));
+        let geo = cost(
+            &problem,
+            &GeoMapper {
+                seed,
+                ..GeoMapper::default()
+            }
+            .map(&problem),
+        );
         assert!(geo >= opt - 1e-9);
         if geo <= 1.2 * opt {
             within_20pct += 1;
         }
     }
-    assert!(within_20pct >= 6, "Geo near-optimal on only {within_20pct}/{CASES} tiny instances");
+    assert!(
+        within_20pct >= 6,
+        "Geo near-optimal on only {within_20pct}/{CASES} tiny instances"
+    );
 }
 
 #[test]

@@ -18,16 +18,25 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("geo_ablations");
     for kappa in [1usize, 2, 3, 4] {
         group.bench_with_input(BenchmarkId::new("kappa", kappa), &kappa, |b, &k| {
-            let mapper = GeoMapper { kappa: k, ..GeoMapper::default() };
+            let mapper = GeoMapper {
+                kappa: k,
+                ..GeoMapper::default()
+            };
             b.iter(|| black_box(mapper.map(&p)))
         });
     }
     group.bench_function("order_first_only", |b| {
-        let mapper = GeoMapper { order_search: OrderSearch::FirstOnly, ..GeoMapper::default() };
+        let mapper = GeoMapper {
+            order_search: OrderSearch::FirstOnly,
+            ..GeoMapper::default()
+        };
         b.iter(|| black_box(mapper.map(&p)))
     });
     group.bench_function("serial_orders", |b| {
-        let mapper = GeoMapper { parallel: false, ..GeoMapper::default() };
+        let mapper = GeoMapper {
+            parallel: false,
+            ..GeoMapper::default()
+        };
         b.iter(|| black_box(mapper.map(&p)))
     });
     group.finish();

@@ -31,6 +31,21 @@ fn bench_mappers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("geo", &scale), &p, |b, p| {
             b.iter(|| black_box(GeoMapper::default().map(p)))
         });
+        // Same mapper on the full-recompute oracle engine: the gap to
+        // "geo" is the end-to-end payoff of incremental Δ evaluation.
+        group.bench_with_input(
+            BenchmarkId::new("geo_full_recompute", &scale),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let mapper = GeoMapper {
+                        evaluation: geomap_core::Evaluation::FullRecompute,
+                        ..GeoMapper::default()
+                    };
+                    black_box(mapper.map(p))
+                })
+            },
+        );
         // MPIPP is O(N^3)-ish; keep it to the smaller scales so the suite
         // stays runnable (the paper similarly drops it at scale).
         if processes <= 64 {

@@ -14,9 +14,20 @@ fn bench_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     for kind in [AppKind::Lu, AppKind::KMeans, AppKind::Dnn] {
         let program = kind.workload(64).program();
-        group.bench_with_input(BenchmarkId::new("des_execute", kind.name()), &program, |b, prog| {
-            b.iter(|| black_box(mpirt::execute(prog, &net, &assignment, &RunConfig::comm_only())))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("des_execute", kind.name()),
+            &program,
+            |b, prog| {
+                b.iter(|| {
+                    black_box(mpirt::execute(
+                        prog,
+                        &net,
+                        &assignment,
+                        &RunConfig::comm_only(),
+                    ))
+                })
+            },
+        );
     }
     group.bench_function("profile_lu64", |b| {
         let w = AppKind::Lu.workload(64);

@@ -23,15 +23,18 @@ fn main() -> ExitCode {
         }
     };
     // app -> (greedy points, geo points)
-    let mut apps: BTreeMap<String, (Vec<(f64, f64)>, Vec<(f64, f64)>)> = BTreeMap::new();
+    type Series = (Vec<(f64, f64)>, Vec<(f64, f64)>);
+    let mut apps: BTreeMap<String, Series> = BTreeMap::new();
     for line in csv.lines().skip(1) {
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 5 {
             continue;
         }
-        let (Ok(machines), Ok(greedy), Ok(geo)) =
-            (f[1].parse::<f64>(), f[2].parse::<f64>(), f[4].parse::<f64>())
-        else {
+        let (Ok(machines), Ok(greedy), Ok(geo)) = (
+            f[1].parse::<f64>(),
+            f[2].parse::<f64>(),
+            f[4].parse::<f64>(),
+        ) else {
             continue;
         };
         let entry = apps.entry(f[0].to_string()).or_default();

@@ -22,7 +22,11 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
-    let mut ctx = ExpContext { quick: false, seed: 0x5C17, out_dir: Some(default_results_dir()) };
+    let mut ctx = ExpContext {
+        quick: false,
+        seed: 0x5C17,
+        out_dir: Some(default_results_dir()),
+    };
 
     let mut i = 0;
     while i < args.len() {

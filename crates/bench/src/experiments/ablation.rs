@@ -15,24 +15,54 @@ struct Variant {
 }
 
 fn variants(seed: u64) -> Vec<(&'static str, Vec<Variant>)> {
-    let base = GeoMapper { seed, ..GeoMapper::default() };
+    let base = GeoMapper {
+        seed,
+        ..GeoMapper::default()
+    };
     vec![
         (
             "grouping (kappa)",
             vec![
-                Variant { label: "kappa=1", mapper: GeoMapper { kappa: 1, ..base.clone() } },
-                Variant { label: "kappa=2", mapper: GeoMapper { kappa: 2, ..base.clone() } },
-                Variant { label: "kappa=3", mapper: GeoMapper { kappa: 3, ..base.clone() } },
-                Variant { label: "kappa=4 (paper)", mapper: base.clone() },
+                Variant {
+                    label: "kappa=1",
+                    mapper: GeoMapper {
+                        kappa: 1,
+                        ..base.clone()
+                    },
+                },
+                Variant {
+                    label: "kappa=2",
+                    mapper: GeoMapper {
+                        kappa: 2,
+                        ..base.clone()
+                    },
+                },
+                Variant {
+                    label: "kappa=3",
+                    mapper: GeoMapper {
+                        kappa: 3,
+                        ..base.clone()
+                    },
+                },
+                Variant {
+                    label: "kappa=4 (paper)",
+                    mapper: base.clone(),
+                },
             ],
         ),
         (
             "order search",
             vec![
-                Variant { label: "exhaustive (paper)", mapper: base.clone() },
+                Variant {
+                    label: "exhaustive (paper)",
+                    mapper: base.clone(),
+                },
                 Variant {
                     label: "first-order only",
-                    mapper: GeoMapper { order_search: OrderSearch::FirstOnly, ..base.clone() },
+                    mapper: GeoMapper {
+                        order_search: OrderSearch::FirstOnly,
+                        ..base.clone()
+                    },
                 },
                 Variant {
                     label: "random-4 orders",
@@ -46,34 +76,55 @@ fn variants(seed: u64) -> Vec<(&'static str, Vec<Variant>)> {
         (
             "objective terms",
             vec![
-                Variant { label: "alpha-beta (paper)", mapper: base.clone() },
+                Variant {
+                    label: "alpha-beta (paper)",
+                    mapper: base.clone(),
+                },
                 Variant {
                     label: "latency-only",
-                    mapper: GeoMapper { cost_model: CostModel::LatencyOnly, ..base.clone() },
+                    mapper: GeoMapper {
+                        cost_model: CostModel::LatencyOnly,
+                        ..base.clone()
+                    },
                 },
                 Variant {
                     label: "bandwidth-only",
-                    mapper: GeoMapper { cost_model: CostModel::BandwidthOnly, ..base.clone() },
+                    mapper: GeoMapper {
+                        cost_model: CostModel::BandwidthOnly,
+                        ..base.clone()
+                    },
                 },
             ],
         ),
         (
             "refinement",
             vec![
-                Variant { label: "hill-climb on (paper cfg)", mapper: base.clone() },
+                Variant {
+                    label: "hill-climb on (paper cfg)",
+                    mapper: base.clone(),
+                },
                 Variant {
                     label: "construction only",
-                    mapper: GeoMapper { refine: false, ..base.clone() },
+                    mapper: GeoMapper {
+                        refine: false,
+                        ..base.clone()
+                    },
                 },
             ],
         ),
         (
             "site seeding",
             vec![
-                Variant { label: "heaviest (paper)", mapper: base.clone() },
+                Variant {
+                    label: "heaviest (paper)",
+                    mapper: base.clone(),
+                },
                 Variant {
                     label: "random seed proc",
-                    mapper: GeoMapper { seeding: Seeding::Random, ..base },
+                    mapper: GeoMapper {
+                        seeding: Seeding::Random,
+                        ..base
+                    },
                 },
             ],
         ),
@@ -89,20 +140,40 @@ fn evaluate(mapper: &GeoMapper, problem: &MappingProblem) -> (f64, f64) {
 /// Run all ablations.
 pub fn run(ctx: &ExpContext) {
     println!("== Ablations of the Geo-distributed design choices ==");
-    let apps = if ctx.quick { vec![AppKind::Lu] } else { vec![AppKind::Lu, AppKind::KMeans] };
-    let mut csv = Csv::new(&["ablation", "variant", "app", "cost_norm_to_paper", "seconds"]);
+    let apps = if ctx.quick {
+        vec![AppKind::Lu]
+    } else {
+        vec![AppKind::Lu, AppKind::KMeans]
+    };
+    let mut csv = Csv::new(&[
+        "ablation",
+        "variant",
+        "app",
+        "cost_norm_to_paper",
+        "seconds",
+    ]);
     let nodes = ctx.scaled(16, 4);
     for app in apps {
         let problem = app_problem(app, nodes, 0.2, ctx.seed);
         println!("\n--- workload {app} ---");
         for (ablation, vs) in variants(ctx.seed) {
-            let (paper_cost, _) =
-                evaluate(&GeoMapper { seed: ctx.seed, ..GeoMapper::default() }, &problem);
+            let (paper_cost, _) = evaluate(
+                &GeoMapper {
+                    seed: ctx.seed,
+                    ..GeoMapper::default()
+                },
+                &problem,
+            );
             println!("[{ablation}]");
             for v in vs {
                 let (c, secs) = evaluate(&v.mapper, &problem);
                 let norm = c / paper_cost;
-                println!("  {:<20} cost x{:.3}  time {}", v.label, norm, fmt_secs(secs));
+                println!(
+                    "  {:<20} cost x{:.3}  time {}",
+                    v.label,
+                    norm,
+                    fmt_secs(secs)
+                );
                 csv.row(&[
                     ablation.into(),
                     v.label.into(),
@@ -124,10 +195,16 @@ mod tests {
     #[test]
     fn paper_config_is_never_beaten_by_first_only() {
         let problem = paper_default_problem(AppKind::KMeans, 7);
-        let base = GeoMapper { seed: 7, ..GeoMapper::default() };
+        let base = GeoMapper {
+            seed: 7,
+            ..GeoMapper::default()
+        };
         let (paper_cost, _) = evaluate(&base, &problem);
         let (first_cost, _) = evaluate(
-            &GeoMapper { order_search: OrderSearch::FirstOnly, ..base },
+            &GeoMapper {
+                order_search: OrderSearch::FirstOnly,
+                ..base
+            },
             &problem,
         );
         assert!(paper_cost <= first_cost + 1e-9);

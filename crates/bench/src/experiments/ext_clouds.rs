@@ -18,16 +18,14 @@ use geomap_core::{cost, AllowedSites, ConstraintVector, GeoMapperMulti, Mapper, 
 use geonet::presets::MultiCloud;
 use geonet::SiteId;
 
-fn improvement_table(
-    title: &str,
-    file: &str,
-    network: &geonet::SiteNetwork,
-    ctx: &ExpContext,
-) {
+fn improvement_table(title: &str, file: &str, network: &geonet::SiteNetwork, ctx: &ExpContext) {
     println!("== {title} ==");
     let n = network.total_nodes();
     println!("network: {}", network.summary());
-    println!("{:<10} {:>8} {:>8} {:>8}   (improvement % over Baseline, Eq. 3 cost)", "app", "Greedy", "MPIPP", "Geo");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}   (improvement % over Baseline, Eq. 3 cost)",
+        "app", "Greedy", "MPIPP", "Geo"
+    );
     let mut csv = Csv::new(&["app", "greedy_pct", "mpipp_pct", "geo_pct"]);
     for app in AppKind::ALL {
         let pattern = app.workload(n).pattern();
@@ -36,7 +34,10 @@ fn improvement_table(
         let base = mean(
             &(0..samples)
                 .map(|i| {
-                    cost(&problem, &RandomMapper::with_seed(ctx.seed + i as u64).map(&problem))
+                    cost(
+                        &problem,
+                        &RandomMapper::with_seed(ctx.seed + i as u64).map(&problem),
+                    )
                 })
                 .collect::<Vec<_>>(),
         );
@@ -45,7 +46,13 @@ fn improvement_table(
             let imp = improvement_pct(base, cost(&problem, &mapper.map(&problem)));
             row.push(imp);
         }
-        println!("{:<10} {:>8.1} {:>8.1} {:>8.1}", app.name(), row[0], row[1], row[2]);
+        println!(
+            "{:<10} {:>8.1} {:>8.1} {:>8.1}",
+            app.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
         csv.row(&[
             app.name().into(),
             format!("{:.2}", row[0]),
@@ -75,7 +82,11 @@ pub fn run_azure(ctx: &ExpContext) {
 /// Multi-provider run, including allowed-set constraints.
 pub fn run_multicloud(ctx: &ExpContext) {
     let nodes = ctx.scaled(8, 4);
-    let mc = MultiCloud { nodes, seed: ctx.seed, ..MultiCloud::default() };
+    let mc = MultiCloud {
+        nodes,
+        seed: ctx.seed,
+        ..MultiCloud::default()
+    };
     let network = mc.build();
     improvement_table(
         "Extension: improvement on a combined EC2+Azure deployment (future work #2)",
@@ -96,7 +107,11 @@ pub fn run_multicloud(ctx: &ExpContext) {
         .filter(|(_, s)| s.name == "eu-west-1" || s.name == "West Europe")
         .map(|(i, _)| SiteId(i))
         .collect();
-    assert_eq!(eu_sites.len(), 2, "default MultiCloud must include two EU regions");
+    assert_eq!(
+        eu_sites.len(),
+        2,
+        "default MultiCloud must include two EU regions"
+    );
     let pattern = AppKind::KMeans.workload(n).pattern();
     let problem = MappingProblem::new(pattern, network, ConstraintVector::none(n));
     let mut allowed = AllowedSites::unrestricted(n);

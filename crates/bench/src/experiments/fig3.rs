@@ -13,7 +13,13 @@ use commgraph::apps::AppKind;
 pub fn run(ctx: &ExpContext) {
     let n = ctx.scaled(64, 16);
     println!("== Fig. 3: communication pattern matrices ({n} processes) ==");
-    let mut summary = Csv::new(&["app", "total_mb", "total_msgs", "edges", "diagonal_locality"]);
+    let mut summary = Csv::new(&[
+        "app",
+        "total_mb",
+        "total_msgs",
+        "edges",
+        "diagonal_locality",
+    ]);
     for kind in AppKind::ALL {
         let pattern = kind.workload(n).pattern();
         let band = (n as f64).sqrt() as usize + 1;
@@ -33,7 +39,10 @@ pub fn run(ctx: &ExpContext) {
             format!("{locality:.4}"),
         ]);
         ctx.write_csv(
-            &format!("fig3_{}_edges.csv", kind.name().to_lowercase().replace('-', "")),
+            &format!(
+                "fig3_{}_edges.csv",
+                kind.name().to_lowercase().replace('-', "")
+            ),
             &pattern.to_csv(),
         );
     }

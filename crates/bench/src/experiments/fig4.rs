@@ -16,7 +16,8 @@ use geonet::{presets, InstanceType};
 pub const SCALES: [(usize, usize); 5] = [(1, 32), (2, 64), (4, 64), (4, 128), (4, 256)];
 
 fn problem_at(sites: usize, processes: usize, seed: u64) -> MappingProblem {
-    let regions: Vec<&str> = ["us-east-1", "us-west-2", "ap-southeast-1", "eu-west-1"][..sites].to_vec();
+    let regions: Vec<&str> =
+        ["us-east-1", "us-west-2", "ap-southeast-1", "eu-west-1"][..sites].to_vec();
     let net_sites = presets::ec2_sites(&regions, processes / sites);
     let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig {
         seed,
@@ -43,11 +44,21 @@ fn overhead_secs(mapper: &dyn Mapper, problem: &MappingProblem) -> f64 {
 /// Run the figure.
 pub fn run(ctx: &ExpContext) {
     println!("== Fig. 4: optimization overhead (normalized to Baseline) ==");
-    let scales: Vec<(usize, usize)> =
-        if ctx.quick { vec![(1, 16), (2, 16), (4, 32)] } else { SCALES.to_vec() };
+    let scales: Vec<(usize, usize)> = if ctx.quick {
+        vec![(1, 16), (2, 16), (4, 32)]
+    } else {
+        SCALES.to_vec()
+    };
     let mut csv = Csv::new(&[
-        "sites", "processes", "baseline_s", "greedy_s", "mpipp_s", "geo_s", "greedy_norm",
-        "mpipp_norm", "geo_norm",
+        "sites",
+        "processes",
+        "baseline_s",
+        "greedy_s",
+        "mpipp_s",
+        "geo_s",
+        "greedy_norm",
+        "mpipp_norm",
+        "geo_norm",
     ]);
     println!(
         "{:<10} {:>11} {:>11} {:>11} {:>11} | normalized G/M/Geo",
@@ -58,7 +69,13 @@ pub fn run(ctx: &ExpContext) {
         let t_base = overhead_secs(&RandomMapper::with_seed(ctx.seed), &problem).max(1e-7);
         let t_greedy = overhead_secs(&GreedyMapper, &problem);
         let t_mpipp = overhead_secs(&MpippMapper::with_seed(ctx.seed), &problem);
-        let t_geo = overhead_secs(&GeoMapper { seed: ctx.seed, ..GeoMapper::default() }, &problem);
+        let t_geo = overhead_secs(
+            &GeoMapper {
+                seed: ctx.seed,
+                ..GeoMapper::default()
+            },
+            &problem,
+        );
         println!(
             "{:<10} {:>11} {:>11} {:>11} {:>11} | {:.0}x / {:.0}x / {:.0}x",
             format!("{sites}/{processes}"),

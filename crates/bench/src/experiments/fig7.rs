@@ -22,13 +22,19 @@ pub const FULL_SCALES: [usize; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
 /// Run the figure.
 pub fn run(ctx: &ExpContext) {
     println!("== Fig. 7: improvement vs scale (communication cost model) ==");
-    let scales: Vec<usize> =
-        if ctx.quick { vec![64, 128, 256] } else { FULL_SCALES.to_vec() };
+    let scales: Vec<usize> = if ctx.quick {
+        vec![64, 128, 256]
+    } else {
+        FULL_SCALES.to_vec()
+    };
     let apps = [AppKind::Lu, AppKind::KMeans, AppKind::Dnn];
     let mut csv = Csv::new(&["app", "machines", "greedy_pct", "mpipp_pct", "geo_pct"]);
     for app in apps {
         println!("\n--- {app} ---");
-        println!("{:<9} {:>8} {:>8} {:>8}", "machines", "Greedy", "MPIPP", "Geo");
+        println!(
+            "{:<9} {:>8} {:>8} {:>8}",
+            "machines", "Greedy", "MPIPP", "Geo"
+        );
         let mut greedy_pts = Vec::new();
         let mut geo_pts = Vec::new();
         for &machines in &scales {
@@ -47,10 +53,20 @@ pub fn run(ctx: &ExpContext) {
             let greedy = improvement_pct(base, cost(&problem, &GreedyMapper.map(&problem)));
             let geo = improvement_pct(
                 base,
-                cost(&problem, &GeoMapper { seed: ctx.seed, ..GeoMapper::default() }.map(&problem)),
+                cost(
+                    &problem,
+                    &GeoMapper {
+                        seed: ctx.seed,
+                        ..GeoMapper::default()
+                    }
+                    .map(&problem),
+                ),
             );
             let mpipp = (machines <= 256).then(|| {
-                improvement_pct(base, cost(&problem, &MpippMapper::with_seed(ctx.seed).map(&problem)))
+                improvement_pct(
+                    base,
+                    cost(&problem, &MpippMapper::with_seed(ctx.seed).map(&problem)),
+                )
             });
             match mpipp {
                 Some(m) => println!("{machines:<9} {greedy:>8.1} {m:>8.1} {geo:>8.1}"),

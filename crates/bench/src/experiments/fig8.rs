@@ -22,12 +22,25 @@ pub fn improvement_at(app: AppKind, ratio: f64, draws: usize, seed: u64) -> f64 
 }
 
 /// Same, with an explicit per-site node count (quick mode shrinks it).
-pub fn improvement_at_scaled(app: AppKind, ratio: f64, draws: usize, nodes: usize, seed: u64) -> f64 {
+pub fn improvement_at_scaled(
+    app: AppKind,
+    ratio: f64,
+    draws: usize,
+    nodes: usize,
+    seed: u64,
+) -> f64 {
     let total: f64 = (0..draws)
         .map(|d| {
             let problem = app_problem(app, nodes, ratio, seed.wrapping_add(d as u64 * 131));
             let greedy = cost(&problem, &GreedyMapper.map(&problem));
-            let geo = cost(&problem, &GeoMapper { seed, ..GeoMapper::default() }.map(&problem));
+            let geo = cost(
+                &problem,
+                &GeoMapper {
+                    seed,
+                    ..GeoMapper::default()
+                }
+                .map(&problem),
+            );
             improvement_pct(greedy, geo)
         })
         .sum();
@@ -43,13 +56,21 @@ pub fn run(ctx: &ExpContext) {
     let mut csv = Csv::new(&["app", "ratio", "improvement_over_greedy_pct"]);
     let mut series: Vec<(&str, Vec<(f64, f64)>)> =
         apps.iter().map(|a| (a.name(), Vec::new())).collect();
-    println!("{:<9} {}", "ratio", apps.map(|a| format!("{:>9}", a.name())).join(" "));
+    println!(
+        "{:<9} {}",
+        "ratio",
+        apps.map(|a| format!("{:>9}", a.name())).join(" ")
+    );
     for ratio in RATIOS {
         let mut cells = Vec::new();
         for (ai, app) in apps.iter().enumerate() {
             let imp = improvement_at_scaled(*app, ratio, draws, nodes, ctx.seed);
             cells.push(format!("{imp:>9.1}"));
-            csv.row(&[app.name().into(), format!("{ratio:.1}"), format!("{imp:.2}")]);
+            csv.row(&[
+                app.name().into(),
+                format!("{ratio:.1}"),
+                format!("{imp:.2}"),
+            ]);
             series[ai].1.push((ratio * 100.0, imp));
         }
         println!("{ratio:<9.1} {}", cells.join(" "));

@@ -25,7 +25,12 @@ pub fn run_fig9(ctx: &ExpContext) {
     println!("== Fig. 9: CDF of normalized communication time (Monte Carlo) ==");
     let samples = ctx.scaled(100_000, 2_000);
     let mut csv = Csv::new(&["app", "quantile", "normalized_cost"]);
-    let mut markers = Csv::new(&["app", "algorithm", "normalized_cost", "fraction_of_random_below"]);
+    let mut markers = Csv::new(&[
+        "app",
+        "algorithm",
+        "normalized_cost",
+        "fraction_of_random_below",
+    ]);
     for app in APPS {
         let problem = app_problem(app, ctx.scaled(16, 4), 0.2, ctx.seed);
         let mc = MonteCarlo::new(samples, ctx.seed);
@@ -47,15 +52,29 @@ pub fn run_fig9(ctx: &ExpContext) {
         let mut marker_points: Vec<(&str, f64)> = Vec::new();
         let algos: Vec<(&str, f64)> = vec![
             ("Greedy", cost(&problem, &GreedyMapper.map(&problem))),
-            ("MPIPP", cost(&problem, &MpippMapper::with_seed(ctx.seed).map(&problem))),
+            (
+                "MPIPP",
+                cost(&problem, &MpippMapper::with_seed(ctx.seed).map(&problem)),
+            ),
             (
                 "Geo-distributed",
-                cost(&problem, &GeoMapper { seed: ctx.seed, ..GeoMapper::default() }.map(&problem)),
+                cost(
+                    &problem,
+                    &GeoMapper {
+                        seed: ctx.seed,
+                        ..GeoMapper::default()
+                    }
+                    .map(&problem),
+                ),
             ),
         ];
         for (name, c) in algos {
             let frac = MonteCarlo::fraction_below(&sorted, c);
-            println!("  {name:<16} normalized {:.3}, P(random beats it) = {:.4}", c / max, frac);
+            println!(
+                "  {name:<16} normalized {:.3}, P(random beats it) = {:.4}",
+                c / max,
+                frac
+            );
             markers.row(&[
                 app.name().into(),
                 name.into(),
@@ -70,7 +89,10 @@ pub fn run_fig9(ctx: &ExpContext) {
             &normalized,
             &marker_points,
         );
-        ctx.write_csv(&format!("fig9_{}.svg", app.name().to_lowercase().replace('-', "")), &svg);
+        ctx.write_csv(
+            &format!("fig9_{}.svg", app.name().to_lowercase().replace('-', "")),
+            &svg,
+        );
     }
     ctx.write_csv("fig9_cdf.csv", &csv.finish());
     ctx.write_csv("fig9_markers.csv", &markers.finish());
@@ -99,8 +121,14 @@ pub fn run_fig10(ctx: &ExpContext) {
         let mc = MonteCarlo::new(max_k, ctx.seed);
         let curve = mc.best_of_k_curve(&problem, &ks);
         let norm = curve[0].1; // K=1: a single random draw
-        let geo =
-            cost(&problem, &GeoMapper { seed: ctx.seed, ..GeoMapper::default() }.map(&problem));
+        let geo = cost(
+            &problem,
+            &GeoMapper {
+                seed: ctx.seed,
+                ..GeoMapper::default()
+            }
+            .map(&problem),
+        );
         println!("\n--- {app} (Geo at {:.3} of K=1 cost) ---", geo / norm);
         println!("{:<10} {:>12}", "K", "min/K1");
         for (k, c) in &curve {
@@ -119,16 +147,21 @@ pub fn run_fig10(ctx: &ExpContext) {
             geo / norm
         );
         let pts: Vec<(f64, f64)> = curve.iter().map(|(k, c)| (*k as f64, c / norm)).collect();
-        let geo_line: Vec<(f64, f64)> =
-            vec![(1.0, geo / norm), (max_k as f64, geo / norm)];
+        let geo_line: Vec<(f64, f64)> = vec![(1.0, geo / norm), (max_k as f64, geo / norm)];
         let svg = crate::svg::lines(
             &format!("Fig. 10 — {app}: best-of-K random search"),
-            &[("best of K random", pts), ("Geo-distributed (one run)", geo_line)],
+            &[
+                ("best of K random", pts),
+                ("Geo-distributed (one run)", geo_line),
+            ],
             "K (random mappings tried)",
             "normalized minimal cost",
             true,
         );
-        ctx.write_csv(&format!("fig10_{}.svg", app.name().to_lowercase().replace('-', "")), &svg);
+        ctx.write_csv(
+            &format!("fig10_{}.svg", app.name().to_lowercase().replace('-', "")),
+            &svg,
+        );
     }
     ctx.write_csv("fig10_best_of_k.csv", &csv.finish());
     println!("\n(expected: ~log(K) decline; Geo comparable to the best Monte Carlo result)");

@@ -16,8 +16,21 @@ use crate::util::ExpContext;
 
 /// Every experiment id the `repro` binary accepts (besides `all`).
 pub const ALL_EXPERIMENTS: [&str; 15] = [
-    "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "ablations", "azure", "multicloud", "robustness",
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablations",
+    "azure",
+    "multicloud",
+    "robustness",
 ];
 
 /// Dispatch one experiment by id. Returns `false` for unknown ids.

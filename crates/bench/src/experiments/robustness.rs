@@ -46,14 +46,21 @@ pub fn improvement_under_noise(
         calibrated.estimated,
         ConstraintVector::none(n),
     );
-    let mapping = GeoMapper { seed, ..GeoMapper::default() }.map(&estimated_problem);
+    let mapping = GeoMapper {
+        seed,
+        ..GeoMapper::default()
+    }
+    .map(&estimated_problem);
 
     // Evaluate on the truth.
     let true_problem = MappingProblem::unconstrained(pattern, truth);
     let base = mean(
         &(0..5)
             .map(|i| {
-                cost(&true_problem, &RandomMapper::with_seed(seed + i).map(&true_problem))
+                cost(
+                    &true_problem,
+                    &RandomMapper::with_seed(seed + i).map(&true_problem),
+                )
             })
             .collect::<Vec<_>>(),
     );
@@ -67,7 +74,11 @@ pub fn run(ctx: &ExpContext) {
     let probes = ctx.scaled(10, 4);
     let apps = [AppKind::Lu, AppKind::KMeans];
     let mut csv = Csv::new(&["app", "noise_cv", "improvement_pct"]);
-    println!("{:<10} {}", "noise cv", apps.map(|a| format!("{:>9}", a.name())).join(" "));
+    println!(
+        "{:<10} {}",
+        "noise cv",
+        apps.map(|a| format!("{:>9}", a.name())).join(" ")
+    );
     for cv in NOISE_LEVELS {
         let mut cells = Vec::new();
         for app in apps {

@@ -10,26 +10,53 @@ use geonet::synth::{SynthConfig, SynthNetworkBuilder};
 use geonet::{presets, CalibrationConfig, Calibrator, InstanceType, SiteId, MB};
 
 fn calibrated(net: &geonet::SiteNetwork, seed: u64) -> geonet::SiteNetwork {
-    Calibrator::new(CalibrationConfig { seed, ..CalibrationConfig::default() })
-        .calibrate(net)
-        .estimated
+    Calibrator::new(CalibrationConfig {
+        seed,
+        ..CalibrationConfig::default()
+    })
+    .calibrate(net)
+    .estimated
 }
 
 /// Table 1: average network bandwidth (MB/s) of five instance types
 /// within US East, within Singapore, and across the two regions.
 pub fn table1(ctx: &ExpContext) {
     println!("== Table 1: bandwidth (MB/s) by instance type ==");
-    println!("{:<12} {:>9} {:>10} {:>13} | paper (USE/SGP/cross)", "type", "US East", "Singapore", "cross-region");
-    let paper = [(15.0, 22.0, 5.4), (80.0, 78.0, 6.3), (84.0, 82.0, 6.3), (102.0, 103.0, 6.4), (148.0, 204.0, 6.6)];
-    let mut csv = Csv::new(&["instance", "us_east_mbps", "singapore_mbps", "cross_mbps", "paper_us_east", "paper_singapore", "paper_cross"]);
+    println!(
+        "{:<12} {:>9} {:>10} {:>13} | paper (USE/SGP/cross)",
+        "type", "US East", "Singapore", "cross-region"
+    );
+    let paper = [
+        (15.0, 22.0, 5.4),
+        (80.0, 78.0, 6.3),
+        (84.0, 82.0, 6.3),
+        (102.0, 103.0, 6.4),
+        (148.0, 204.0, 6.6),
+    ];
+    let mut csv = Csv::new(&[
+        "instance",
+        "us_east_mbps",
+        "singapore_mbps",
+        "cross_mbps",
+        "paper_us_east",
+        "paper_singapore",
+        "paper_cross",
+    ]);
     for (ty, (p_use, p_sgp, p_x)) in InstanceType::TABLE1.iter().zip(paper) {
         let sites = presets::ec2_sites(&["us-east-1", "ap-southeast-1"], 2);
-        let net = SynthNetworkBuilder::new(SynthConfig { seed: ctx.seed, ..SynthConfig::ec2(*ty) }).build(sites);
+        let net = SynthNetworkBuilder::new(SynthConfig {
+            seed: ctx.seed,
+            ..SynthConfig::ec2(*ty)
+        })
+        .build(sites);
         let est = calibrated(&net, ctx.seed);
         let use_ = est.bandwidth(SiteId(0), SiteId(0)) / MB;
         let sgp = est.bandwidth(SiteId(1), SiteId(1)) / MB;
         let cross = est.bandwidth(SiteId(0), SiteId(1)) / MB;
-        println!("{:<12} {use_:>9.1} {sgp:>10.1} {cross:>13.1} | {p_use}/{p_sgp}/{p_x}", ty.name());
+        println!(
+            "{:<12} {use_:>9.1} {sgp:>10.1} {cross:>13.1} | {p_use}/{p_sgp}/{p_x}",
+            ty.name()
+        );
         csv.row(&[
             ty.name().into(),
             format!("{use_:.2}"),
@@ -47,18 +74,41 @@ pub fn table1(ctx: &ExpContext) {
 /// Ireland and Singapore (distance ordering).
 pub fn table2(ctx: &ExpContext) {
     println!("\n== Table 2: EC2 cross-region performance vs distance (c3.8xlarge) ==");
-    let sites = presets::ec2_sites(&["us-east-1", "us-west-2", "eu-west-1", "ap-southeast-1"], 2);
-    let net = SynthNetworkBuilder::new(SynthConfig { seed: ctx.seed, ..SynthConfig::ec2(InstanceType::C38xlarge) })
-        .build(sites);
+    let sites = presets::ec2_sites(
+        &["us-east-1", "us-west-2", "eu-west-1", "ap-southeast-1"],
+        2,
+    );
+    let net = SynthNetworkBuilder::new(SynthConfig {
+        seed: ctx.seed,
+        ..SynthConfig::ec2(InstanceType::C38xlarge)
+    })
+    .build(sites);
     let est = calibrated(&net, ctx.seed);
-    let mut csv = Csv::new(&["pair", "distance_km", "bandwidth_mbps", "latency_ms", "paper_bandwidth_mbps", "paper_distance"]);
-    println!("{:<24} {:>9} {:>10} {:>9} | paper bw / distance", "pair", "dist km", "bw MB/s", "lat ms");
-    let rows = [(1usize, "US West", 21.0, "Short"), (2, "Ireland", 19.0, "Medium"), (3, "Singapore", 6.6, "Long")];
+    let mut csv = Csv::new(&[
+        "pair",
+        "distance_km",
+        "bandwidth_mbps",
+        "latency_ms",
+        "paper_bandwidth_mbps",
+        "paper_distance",
+    ]);
+    println!(
+        "{:<24} {:>9} {:>10} {:>9} | paper bw / distance",
+        "pair", "dist km", "bw MB/s", "lat ms"
+    );
+    let rows = [
+        (1usize, "US West", 21.0, "Short"),
+        (2, "Ireland", 19.0, "Medium"),
+        (3, "Singapore", 6.6, "Long"),
+    ];
     for (idx, name, paper_bw, paper_dist) in rows {
         let d = est.site(SiteId(0)).distance_km(est.site(SiteId(idx)));
         let bw = est.bandwidth(SiteId(0), SiteId(idx)) / MB;
         let lat = est.latency(SiteId(0), SiteId(idx)) * 1e3;
-        println!("{:<24} {d:>9.0} {bw:>10.1} {lat:>9.1} | {paper_bw} / {paper_dist}", format!("US East -> {name}"));
+        println!(
+            "{:<24} {d:>9.0} {bw:>10.1} {lat:>9.1} | {paper_bw} / {paper_dist}",
+            format!("US East -> {name}")
+        );
         csv.row(&[
             format!("us-east-1->{name}"),
             format!("{d:.0}"),
@@ -78,9 +128,22 @@ pub fn table3(ctx: &ExpContext) {
     println!("\n== Table 3: Azure cross-region performance (Standard D2) ==");
     let net = presets::azure_network(&["East US", "West Europe", "Japan East"], 2, ctx.seed);
     let est = calibrated(&net, ctx.seed);
-    let mut csv = Csv::new(&["pair", "bandwidth_mbps", "latency_ms", "paper_bandwidth_mbps", "paper_latency_ms"]);
-    println!("{:<26} {:>10} {:>9} | paper bw / lat", "pair", "bw MB/s", "lat ms");
-    let rows = [(0usize, "East US (intra)", 62.0, 0.82), (1, "West Europe", 2.9, 42.0), (2, "Japan East", 1.3, 77.0)];
+    let mut csv = Csv::new(&[
+        "pair",
+        "bandwidth_mbps",
+        "latency_ms",
+        "paper_bandwidth_mbps",
+        "paper_latency_ms",
+    ]);
+    println!(
+        "{:<26} {:>10} {:>9} | paper bw / lat",
+        "pair", "bw MB/s", "lat ms"
+    );
+    let rows = [
+        (0usize, "East US (intra)", 62.0, 0.82),
+        (1, "West Europe", 2.9, 42.0),
+        (2, "Japan East", 1.3, 77.0),
+    ];
     for (idx, name, p_bw, p_lat) in rows {
         let bw = est.bandwidth(SiteId(0), SiteId(idx)) / MB;
         let lat = est.latency(SiteId(0), SiteId(idx)) * 1e3;

@@ -39,7 +39,10 @@ pub fn paper_default_problem(app: AppKind, seed: u64) -> MappingProblem {
 /// A simulation-scale problem: 4 regions, `machines` nodes evenly
 /// distributed, one process per node (Fig. 7's sweep).
 pub fn scale_problem(app: AppKind, machines: usize, seed: u64) -> MappingProblem {
-    assert!(machines.is_multiple_of(4), "machines must divide evenly over 4 regions");
+    assert!(
+        machines.is_multiple_of(4),
+        "machines must divide evenly over 4 regions"
+    );
     app_problem(app, machines / 4, 0.2, seed)
 }
 

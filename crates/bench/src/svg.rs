@@ -19,7 +19,9 @@ const MARGIN_T: f64 = 50.0;
 const MARGIN_B: f64 = 60.0;
 
 /// Series colours (colour-blind-safe-ish).
-const COLORS: [&str; 6] = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"];
+const COLORS: [&str; 6] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+];
 
 fn plot_w() -> f64 {
     WIDTH - MARGIN_L - MARGIN_R
@@ -40,7 +42,9 @@ fn header(title: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn legend(names: &[&str]) -> String {
@@ -48,10 +52,10 @@ fn legend(names: &[&str]) -> String {
     let mut x = MARGIN_L;
     for (i, name) in names.iter().enumerate() {
         let color = COLORS[i % COLORS.len()];
-        let _ = write!(
+        let _ = writeln!(
             out,
             "<rect x=\"{x}\" y=\"28\" width=\"12\" height=\"12\" fill=\"{color}\"/>\
-             <text x=\"{}\" y=\"38\">{}</text>\n",
+             <text x=\"{}\" y=\"38\">{}</text>",
             x + 16.0,
             escape(name)
         );
@@ -66,18 +70,18 @@ fn y_axis(max: f64, label: &str) -> String {
     for t in 0..=ticks {
         let v = max * t as f64 / ticks as f64;
         let y = MARGIN_T + plot_h() * (1.0 - t as f64 / ticks as f64);
-        let _ = write!(
+        let _ = writeln!(
             out,
             "<line x1=\"{MARGIN_L}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"#ddd\"/>\
-             <text x=\"{}\" y=\"{}\" text-anchor=\"end\">{v:.0}</text>\n",
+             <text x=\"{}\" y=\"{}\" text-anchor=\"end\">{v:.0}</text>",
             WIDTH - MARGIN_R,
             MARGIN_L - 6.0,
             y + 4.0,
         );
     }
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "<text x=\"16\" y=\"{}\" transform=\"rotate(-90 16 {})\" text-anchor=\"middle\">{}</text>\n",
+        "<text x=\"16\" y=\"{}\" transform=\"rotate(-90 16 {})\" text-anchor=\"middle\">{}</text>",
         MARGIN_T + plot_h() / 2.0,
         MARGIN_T + plot_h() / 2.0,
         escape(label)
@@ -95,7 +99,11 @@ pub fn grouped_bars(
 ) -> String {
     assert!(!categories.is_empty() && !series.is_empty());
     for (name, vals) in series {
-        assert_eq!(vals.len(), categories.len(), "series {name} length mismatch");
+        assert_eq!(
+            vals.len(),
+            categories.len(),
+            "series {name} length mismatch"
+        );
     }
     let max = series
         .iter()
@@ -118,15 +126,15 @@ pub fn grouped_bars(
             let h = plot_h() * v / max;
             let x = gx + bar_w * si as f64;
             let y = MARGIN_T + plot_h() - h;
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" fill=\"{}\"/>\n",
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" fill=\"{}\"/>",
                 COLORS[si % COLORS.len()]
             );
         }
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
             gx + group_w * 0.4,
             MARGIN_T + plot_h() + 18.0,
             escape(cat)
@@ -146,15 +154,25 @@ pub fn lines(
     log_x: bool,
 ) -> String {
     assert!(!series.is_empty());
-    let xs: Vec<f64> = series.iter().flat_map(|(_, pts)| pts.iter().map(|p| p.0)).collect();
-    let ys: Vec<f64> = series.iter().flat_map(|(_, pts)| pts.iter().map(|p| p.1)).collect();
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.1))
+        .collect();
     assert!(!xs.is_empty(), "no points");
     let tx = |x: f64| -> f64 {
         let (lo, hi) = (
             xs.iter().cloned().fold(f64::INFINITY, f64::min),
             xs.iter().cloned().fold(0.0f64, f64::max),
         );
-        let (x, lo, hi) = if log_x { (x.log10(), lo.log10(), hi.log10()) } else { (x, lo, hi) };
+        let (x, lo, hi) = if log_x {
+            (x.log10(), lo.log10(), hi.log10())
+        } else {
+            (x, lo, hi)
+        };
         MARGIN_L + plot_w() * ((x - lo) / (hi - lo).max(1e-12))
     };
     let max_y = ys.iter().cloned().fold(0.0f64, f64::max).max(1e-12) * 1.1;
@@ -163,9 +181,9 @@ pub fn lines(
     let mut out = header(title);
     out.push_str(&legend(&series.iter().map(|(n, _)| *n).collect::<Vec<_>>()));
     out.push_str(&y_axis(max_y, y_label));
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
         MARGIN_L + plot_w() / 2.0,
         HEIGHT - 14.0,
         escape(x_label)
@@ -176,14 +194,23 @@ pub fn lines(
         let mut sorted = pts.clone();
         sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for (i, (x, y)) in sorted.iter().enumerate() {
-            let _ = write!(d, "{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, tx(*x), ty(*y));
+            let _ = write!(
+                d,
+                "{}{:.1},{:.1} ",
+                if i == 0 { "M" } else { "L" },
+                tx(*x),
+                ty(*y)
+            );
         }
         let color = COLORS[si % COLORS.len()];
-        let _ = write!(out, "<path d=\"{d}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n");
+        let _ = writeln!(
+            out,
+            "<path d=\"{d}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>"
+        );
         for (x, y) in &sorted {
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>",
                 tx(*x),
                 ty(*y)
             );
@@ -191,12 +218,16 @@ pub fn lines(
         // X tick labels from the first series only.
         if si == 0 {
             for (x, _) in &sorted {
-                let _ = write!(
+                let _ = writeln!(
                     out,
-                    "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+                    "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
                     tx(*x),
                     MARGIN_T + plot_h() + 18.0,
-                    if *x >= 1000.0 { format!("{:.0}k", x / 1000.0) } else { format!("{x:.1}") }
+                    if *x >= 1000.0 {
+                        format!("{:.0}k", x / 1000.0)
+                    } else {
+                        format!("{x:.1}")
+                    }
                 );
             }
         }
@@ -225,25 +256,35 @@ pub fn cdf_with_markers(title: &str, cdf: &[f64], markers: &[(&str, f64)]) -> St
     // Down-sample the path to ~400 points.
     let step = (n / 400).max(1);
     for (i, (x, y)) in series.iter().step_by(step).enumerate() {
-        let _ = write!(d, "{}{:.1},{:.1} ", if i == 0 { "M" } else { "L" }, tx(*x), ty(*y));
+        let _ = write!(
+            d,
+            "{}{:.1},{:.1} ",
+            if i == 0 { "M" } else { "L" },
+            tx(*x),
+            ty(*y)
+        );
     }
-    let _ = write!(out, "<path d=\"{d}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\"/>\n", COLORS[0]);
+    let _ = writeln!(
+        out,
+        "<path d=\"{d}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\"/>",
+        COLORS[0]
+    );
     for (i, (label, x)) in markers.iter().enumerate() {
         let color = COLORS[(i + 1) % COLORS.len()];
-        let _ = write!(
+        let _ = writeln!(
             out,
             "<line x1=\"{0:.1}\" y1=\"{MARGIN_T}\" x2=\"{0:.1}\" y2=\"{1}\" stroke=\"{color}\" \
              stroke-dasharray=\"4 3\" stroke-width=\"2\"/>\
-             <text x=\"{0:.1}\" y=\"{2}\" text-anchor=\"middle\" fill=\"{color}\">{3}</text>\n",
+             <text x=\"{0:.1}\" y=\"{2}\" text-anchor=\"middle\" fill=\"{color}\">{3}</text>",
             tx(*x),
             MARGIN_T + plot_h(),
             MARGIN_T - 6.0,
             escape(label)
         );
     }
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">normalized communication time</text>\n",
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">normalized communication time</text>",
         MARGIN_L + plot_w() / 2.0,
         HEIGHT - 14.0
     );
@@ -260,7 +301,10 @@ mod tests {
         let svg = grouped_bars(
             "Fig 5",
             &["BT", "SP", "LU"],
-            &[("Greedy", vec![40.0, 45.0, 39.0]), ("Geo", vec![55.0, 56.0, 60.0])],
+            &[
+                ("Greedy", vec![40.0, 45.0, 39.0]),
+                ("Geo", vec![55.0, 56.0, 60.0]),
+            ],
             "improvement %",
         );
         assert!(svg.starts_with("<svg"));
@@ -306,7 +350,13 @@ mod tests {
 
     #[test]
     fn flat_data_does_not_divide_by_zero() {
-        let svg = lines("flat", &[("s", vec![(1.0, 0.0), (2.0, 0.0)])], "x", "y", false);
+        let svg = lines(
+            "flat",
+            &[("s", vec![(1.0, 0.0), (2.0, 0.0)])],
+            "x",
+            "y",
+            false,
+        );
         assert!(!svg.contains("NaN"));
     }
 }

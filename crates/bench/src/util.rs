@@ -17,14 +17,22 @@ pub struct ExpContext {
 
 impl Default for ExpContext {
     fn default() -> Self {
-        Self { quick: false, seed: 0x5C17, out_dir: Some(default_results_dir()) }
+        Self {
+            quick: false,
+            seed: 0x5C17,
+            out_dir: Some(default_results_dir()),
+        }
     }
 }
 
 impl ExpContext {
     /// Quick-mode context writing nowhere (for tests).
     pub fn smoke() -> Self {
-        Self { quick: true, seed: 0x5C17, out_dir: None }
+        Self {
+            quick: true,
+            seed: 0x5C17,
+            out_dir: None,
+        }
     }
 
     /// Pick `full` normally, `quick` under `--quick`.
@@ -77,7 +85,10 @@ impl Csv {
     pub fn new(header: &[&str]) -> Self {
         let mut buf = String::new();
         writeln!(buf, "{}", header.join(",")).unwrap();
-        Self { buf, cols: header.len() }
+        Self {
+            buf,
+            cols: header.len(),
+        }
     }
 
     /// Append a row.

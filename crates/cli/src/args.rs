@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        assert!(Args::parse(&argv("--app")).unwrap_err().contains("needs a value"));
+        assert!(Args::parse(&argv("--app"))
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn network(args: &Args) -> Result<String, String> {
     let net: SiteNetwork = match provider {
         "ec2" => {
             let default_regions = "us-east-1,us-west-2,ap-southeast-1,eu-west-1".to_string();
-            let regions = args.optional("regions").unwrap_or(&default_regions).to_string();
+            let regions = args
+                .optional("regions")
+                .unwrap_or(&default_regions)
+                .to_string();
             let names: Vec<&str> = regions.split(',').map(str::trim).collect();
             let sites = geonet::presets::ec2_sites(&names, nodes);
             geonet::SynthNetworkBuilder::new(geonet::SynthConfig {
@@ -55,11 +58,20 @@ pub fn network(args: &Args) -> Result<String, String> {
                 .unwrap_or_default();
             geonet::presets::azure_network(&names, nodes, seed)
         }
-        "multicloud" => MultiCloud { nodes, seed, ..MultiCloud::default() }.build(),
+        "multicloud" => MultiCloud {
+            nodes,
+            seed,
+            ..MultiCloud::default()
+        }
+        .build(),
         other => return Err(format!("unknown provider {other:?} (ec2|azure|multicloud)")),
     };
     let csv = netio::to_csv(&net);
-    Ok(format!("{}\n{}", net.summary(), emit(args, &csv, "network CSV")?))
+    Ok(format!(
+        "{}\n{}",
+        net.summary(),
+        emit(args, &csv, "network CSV")?
+    ))
 }
 
 /// `geomap calibrate` — SKaMPI-style probing of a network file.
@@ -80,7 +92,14 @@ pub fn calibrate(args: &Args) -> Result<String, String> {
         report.probes,
         report.max_inter_site_cv() * 100.0
     );
-    Ok(format!("{summary}{}", emit(args, &netio::to_csv(&report.estimated), "measured network CSV")?))
+    Ok(format!(
+        "{summary}{}",
+        emit(
+            args,
+            &netio::to_csv(&report.estimated),
+            "measured network CSV"
+        )?
+    ))
 }
 
 /// `geomap profile` — generate a workload and emit its CG/AG edges.
@@ -101,7 +120,10 @@ pub fn profile(args: &Args) -> Result<String, String> {
     if args.switch("heatmap") {
         summary.push_str(&pattern.ascii_heatmap(ranks.div_ceil(32).max(1)));
     }
-    Ok(format!("{summary}{}", emit(args, &pattern.to_csv(), "pattern CSV")?))
+    Ok(format!(
+        "{summary}{}",
+        emit(args, &pattern.to_csv(), "pattern CSV")?
+    ))
 }
 
 /// Build the problem shared by `map` and `evaluate`.
@@ -144,7 +166,9 @@ pub fn map(args: &Args) -> Result<String, String> {
     let start = std::time::Instant::now();
     let mapping = mapper.map(&problem);
     let elapsed = start.elapsed();
-    mapping.validate(&problem).map_err(|e| format!("internal: infeasible mapping: {e}"))?;
+    mapping
+        .validate(&problem)
+        .map_err(|e| format!("internal: infeasible mapping: {e}"))?;
     let c = cost(&problem, &mapping);
     let summary = format!(
         "{} mapped {} processes onto {} sites in {elapsed:?}; Eq.3 cost {c:.3}s\nsite loads: {:?}\n",
@@ -153,15 +177,22 @@ pub fn map(args: &Args) -> Result<String, String> {
         problem.num_sites(),
         mapping.site_counts(problem.num_sites()),
     );
-    Ok(format!("{summary}{}", emit(args, &files::mapping_to_csv(&mapping), "mapping CSV")?))
+    Ok(format!(
+        "{summary}{}",
+        emit(args, &files::mapping_to_csv(&mapping), "mapping CSV")?
+    ))
 }
 
 /// `geomap evaluate` — score a mapping file against a network+pattern.
 pub fn evaluate(args: &Args) -> Result<String, String> {
     let problem = load_problem(args)?;
-    let mapping =
-        files::mapping_from_csv(problem.num_processes(), &files::read(args.required("mapping")?)?)?;
-    mapping.validate(&problem).map_err(|e| format!("mapping is infeasible: {e}"))?;
+    let mapping = files::mapping_from_csv(
+        problem.num_processes(),
+        &files::read(args.required("mapping")?)?,
+    )?;
+    mapping
+        .validate(&problem)
+        .map_err(|e| format!("mapping is infeasible: {e}"))?;
     let seed: u64 = args.parsed_or("seed", 0x5C17)?;
     let samples: usize = args.parsed_or("baseline-samples", 10)?;
     let c = cost(&problem, &mapping);
@@ -172,8 +203,7 @@ pub fn evaluate(args: &Args) -> Result<String, String> {
     );
     if args.switch("simulate") {
         let app_name = args.required("app")?;
-        let app =
-            AppKind::parse(app_name).ok_or_else(|| format!("unknown app {app_name:?}"))?;
+        let app = AppKind::parse(app_name).ok_or_else(|| format!("unknown app {app_name:?}"))?;
         let workload = app.workload(problem.num_processes());
         let r = mpirt::execute_workload(
             workload.as_ref(),
@@ -214,8 +244,10 @@ mod tests {
         let out = network(&argv(&format!("--provider ec2 --nodes 4 --out {net_path}"))).unwrap();
         assert!(out.contains("4 sites"));
 
-        let out = calibrate(&argv(&format!("--network {net_path} --days 1 --probes 3 --out {meas_path}")))
-            .unwrap();
+        let out = calibrate(&argv(&format!(
+            "--network {net_path} --days 1 --probes 3 --out {meas_path}"
+        )))
+        .unwrap();
         assert!(out.contains("calibrated"));
 
         let out = profile(&argv(&format!("--app lu --ranks 16 --out {pat_path}"))).unwrap();
@@ -238,7 +270,13 @@ mod tests {
         let imp: f64 = out
             .lines()
             .find(|l| l.starts_with("improvement:"))
-            .and_then(|l| l.trim_start_matches("improvement:").trim_end_matches('%').trim().parse().ok())
+            .and_then(|l| {
+                l.trim_start_matches("improvement:")
+                    .trim_end_matches('%')
+                    .trim()
+                    .parse()
+                    .ok()
+            })
             .unwrap();
         assert!(imp > 0.0, "improvement {imp}");
     }
@@ -269,7 +307,11 @@ mod tests {
         )))
         .unwrap();
         // Read the printed mapping and check the pins.
-        let body: String = out.lines().skip_while(|l| !l.starts_with("process,site")).collect::<Vec<_>>().join("\n");
+        let body: String = out
+            .lines()
+            .skip_while(|l| !l.starts_with("process,site"))
+            .collect::<Vec<_>>()
+            .join("\n");
         let m = files::mapping_from_csv(8, &body).unwrap();
         assert_eq!(m.site_of(0).index(), 3);
         assert_eq!(m.site_of(5).index(), 1);
@@ -277,9 +319,15 @@ mod tests {
 
     #[test]
     fn errors_are_user_friendly() {
-        assert!(profile(&argv("--app nope --ranks 4")).unwrap_err().contains("unknown app"));
-        assert!(network(&argv("--provider gcp")).unwrap_err().contains("unknown provider"));
-        assert!(map(&argv("--pattern x.csv")).unwrap_err().contains("--network"));
+        assert!(profile(&argv("--app nope --ranks 4"))
+            .unwrap_err()
+            .contains("unknown app"));
+        assert!(network(&argv("--provider gcp"))
+            .unwrap_err()
+            .contains("unknown provider"));
+        assert!(map(&argv("--pattern x.csv"))
+            .unwrap_err()
+            .contains("--network"));
         let e = calibrate(&argv("--network /no/such/file.csv")).unwrap_err();
         assert!(e.contains("cannot read"), "{e}");
     }

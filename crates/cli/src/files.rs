@@ -19,7 +19,9 @@ pub fn mapping_from_csv(n: usize, csv: &str) -> Result<Mapping, String> {
     let mut assignment: Vec<Option<SiteId>> = vec![None; n];
     for (lineno, (process, site)) in pairs {
         if process >= n {
-            return Err(format!("line {lineno}: process {process} out of range for n={n}"));
+            return Err(format!(
+                "line {lineno}: process {process} out of range for n={n}"
+            ));
         }
         if assignment[process].is_some() {
             return Err(format!("line {lineno}: process {process} assigned twice"));
@@ -27,7 +29,8 @@ pub fn mapping_from_csv(n: usize, csv: &str) -> Result<Mapping, String> {
         assignment[process] = Some(SiteId(site));
     }
     let full: Option<Vec<SiteId>> = assignment.into_iter().collect();
-    full.map(Mapping::new).ok_or_else(|| "not every process is assigned".to_string())
+    full.map(Mapping::new)
+        .ok_or_else(|| "not every process is assigned".to_string())
 }
 
 /// Serialize a constraint vector as `process,site` rows (pinned
@@ -49,15 +52,20 @@ pub fn constraints_from_csv(n: usize, csv: &str) -> Result<ConstraintVector, Str
     let mut c = ConstraintVector::none(n);
     for (lineno, (process, site)) in pairs {
         if process >= n {
-            return Err(format!("line {lineno}: process {process} out of range for n={n}"));
+            return Err(format!(
+                "line {lineno}: process {process} out of range for n={n}"
+            ));
         }
         c.pin(process, SiteId(site));
     }
     Ok(c)
 }
 
+/// One parsed `process,site` row, tagged with its source line number.
+type PinRow = (usize, (usize, usize));
+
 /// Shared `process,site` parser: returns `(line, (process, site))`.
-fn process_site_pairs(csv: &str) -> Result<Vec<(usize, (usize, usize))>, String> {
+fn process_site_pairs(csv: &str) -> Result<Vec<PinRow>, String> {
     let mut lines = csv.lines().enumerate();
     let (_, header) = lines.next().ok_or("empty input")?;
     if header.trim() != "process,site" {
@@ -70,7 +78,11 @@ fn process_site_pairs(csv: &str) -> Result<Vec<(usize, (usize, usize))>, String>
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 2 {
-            return Err(format!("line {}: expected 2 fields, got {}", lineno + 1, f.len()));
+            return Err(format!(
+                "line {}: expected 2 fields, got {}",
+                lineno + 1,
+                f.len()
+            ));
         }
         let parse = |s: &str, what: &str| -> Result<usize, String> {
             s.trim()
@@ -91,7 +103,8 @@ pub fn read(path: &str) -> Result<String, String> {
 pub fn write(path: &str, contents: &str) -> Result<(), String> {
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).map_err(|e| format!("cannot create {parent:?}: {e}"))?;
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {parent:?}: {e}"))?;
         }
     }
     std::fs::write(path, contents).map_err(|e| format!("cannot write {path:?}: {e}"))
@@ -111,7 +124,9 @@ mod tests {
     #[test]
     fn mapping_must_be_total() {
         let csv = "process,site\n0,1\n2,0\n";
-        assert!(mapping_from_csv(3, csv).unwrap_err().contains("not every process"));
+        assert!(mapping_from_csv(3, csv)
+            .unwrap_err()
+            .contains("not every process"));
     }
 
     #[test]
@@ -131,7 +146,9 @@ mod tests {
 
     #[test]
     fn header_checked() {
-        assert!(mapping_from_csv(1, "a,b\n").unwrap_err().contains("bad header"));
+        assert!(mapping_from_csv(1, "a,b\n")
+            .unwrap_err()
+            .contains("bad header"));
         assert!(constraints_from_csv(1, "").unwrap_err().contains("empty"));
     }
 

@@ -67,7 +67,11 @@ impl Workload for Cg {
             // off-square partners fall back to the reversed index).
             for i in 0..self.n {
                 let (r, c) = (i / cols, i % cols);
-                let partner = if rows == cols { c * cols + r } else { self.n - 1 - i };
+                let partner = if rows == cols {
+                    c * cols + r
+                } else {
+                    self.n - 1 - i
+                };
                 if partner > i {
                     b.transfer(i, partner, self.transpose_bytes);
                     b.transfer(partner, i, self.transpose_bytes);
@@ -96,7 +100,12 @@ impl Ft {
     /// CLASS C-flavoured defaults at `n` ranks.
     pub fn class_c(n: usize) -> Self {
         assert!(n > 0);
-        Self { n, iterations: 6, per_rank_bytes: 4_000_000, compute_per_iter: 0.05 }
+        Self {
+            n,
+            iterations: 6,
+            per_rank_bytes: 4_000_000,
+            compute_per_iter: 0.05,
+        }
     }
 }
 
@@ -137,7 +146,10 @@ mod tests {
         assert_eq!(peers, vec![1, 2]);
         // An off-diagonal rank also exchanges with its transpose.
         let peers5: Vec<usize> = pat.out_edges(5).iter().map(|e| e.dst).collect();
-        assert!(peers5.contains(&4) || peers5.contains(&7), "row peers missing: {peers5:?}");
+        assert!(
+            peers5.contains(&4) || peers5.contains(&7),
+            "row peers missing: {peers5:?}"
+        );
     }
 
     #[test]
@@ -167,7 +179,11 @@ mod tests {
         let ft = Ft::class_c(8);
         let pat = ft.pattern();
         let expect = ft.iterations as f64 * 8.0 * 7.0 * (ft.per_rank_bytes / 8) as f64;
-        assert!((pat.total_bytes() - expect).abs() < 1e-6, "{} vs {expect}", pat.total_bytes());
+        assert!(
+            (pat.total_bytes() - expect).abs() < 1e-6,
+            "{} vs {expect}",
+            pat.total_bytes()
+        );
     }
 
     #[test]

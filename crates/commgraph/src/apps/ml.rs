@@ -156,7 +156,13 @@ impl Dnn {
     /// Defaults matching the paper's ResNet/CIFAR-10 setup at `n` ranks.
     pub fn standard(n: usize) -> Self {
         assert!(n > 0);
-        Self { n, epochs: 6, param_bytes: 131_072, sync_bytes: 4_096, compute_per_epoch: 0.4 }
+        Self {
+            n,
+            epochs: 6,
+            param_bytes: 131_072,
+            sync_bytes: 4_096,
+            compute_per_epoch: 0.4,
+        }
     }
 }
 
@@ -191,8 +197,7 @@ mod tests {
         let pat = KMeansApp::standard(64).pattern();
         // Spread: many distinct partners per rank (hypercube log2(64)=6
         // plus migration partners).
-        let avg_degree =
-            (0..64).map(|r| pat.out_edges(r).len()).sum::<usize>() as f64 / 64.0;
+        let avg_degree = (0..64).map(|r| pat.out_edges(r).len()).sum::<usize>() as f64 / 64.0;
         assert!(avg_degree > 8.0, "avg degree {avg_degree}");
         assert!(pat.diagonal_locality(9) < 0.6);
     }

@@ -69,7 +69,13 @@ pub enum AppKind {
 
 impl AppKind {
     /// All five, in the order of the paper's figures.
-    pub const ALL: [AppKind; 5] = [AppKind::Bt, AppKind::Sp, AppKind::Lu, AppKind::KMeans, AppKind::Dnn];
+    pub const ALL: [AppKind; 5] = [
+        AppKind::Bt,
+        AppKind::Sp,
+        AppKind::Lu,
+        AppKind::KMeans,
+        AppKind::Dnn,
+    ];
 
     /// Paper display name.
     pub fn name(&self) -> &'static str {
@@ -166,7 +172,9 @@ mod tests {
     fn programs_are_matched() {
         for k in AppKind::ALL {
             let w = k.workload(16);
-            w.program().check_matched().unwrap_or_else(|e| panic!("{k}: {e}"));
+            w.program()
+                .check_matched()
+                .unwrap_or_else(|e| panic!("{k}: {e}"));
         }
     }
 
@@ -177,7 +185,10 @@ mod tests {
             let loc = k.workload(64).pattern().diagonal_locality(band);
             assert!(loc > 0.6, "{k} locality {loc}");
         }
-        let km = AppKind::KMeans.workload(64).pattern().diagonal_locality(band);
+        let km = AppKind::KMeans
+            .workload(64)
+            .pattern()
+            .diagonal_locality(band);
         assert!(km < 0.6, "K-means locality {km}");
     }
 

@@ -75,7 +75,12 @@ impl Grid {
 
 /// Exchange `bytes` in one direction `dir(r)` for every rank (each
 /// ordered pair appears exactly once).
-fn shift_exchange(b: &mut ProgramBuilder, g: &Grid, bytes: u64, dir: impl Fn(&Grid, usize) -> usize) {
+fn shift_exchange(
+    b: &mut ProgramBuilder,
+    g: &Grid,
+    bytes: u64,
+    dir: impl Fn(&Grid, usize) -> usize,
+) {
     for r in 0..g.n() {
         let peer = dir(g, r);
         if peer != r {
@@ -287,7 +292,11 @@ mod tests {
         // Paper: on 64 ranks, "process 1 only communicates with processes
         // 2 and 8" (1-indexed) — i.e. rank 0 with ranks 1 and 8. The tiny
         // residual allreduce is disabled to look at the sweeps alone.
-        let pat = Lu { residual_every: 0, ..Lu::class_c(64) }.pattern();
+        let pat = Lu {
+            residual_every: 0,
+            ..Lu::class_c(64)
+        }
+        .pattern();
         let peers: Vec<usize> = pat.out_edges(0).iter().map(|e| e.dst).collect();
         assert_eq!(peers, vec![1, 8]);
     }
@@ -296,7 +305,10 @@ mod tests {
     fn lu_has_exactly_two_point_to_point_sizes() {
         // Ignore the tiny residual allreduce; the sweep messages must be
         // exactly 43 KB or 83 KB.
-        let lu = Lu { residual_every: 0, ..Lu::class_c(64) };
+        let lu = Lu {
+            residual_every: 0,
+            ..Lu::class_c(64)
+        };
         let prog = lu.program();
         let mut sizes = std::collections::BTreeSet::new();
         for r in 0..64 {
@@ -311,7 +323,10 @@ mod tests {
 
     #[test]
     fn lu_interior_rank_has_four_partners() {
-        let lu = Lu { residual_every: 0, ..Lu::class_c(64) };
+        let lu = Lu {
+            residual_every: 0,
+            ..Lu::class_c(64)
+        };
         let pat = lu.pattern();
         // Rank 9 = (1,1) on the 8x8 grid: neighbours 8, 10, 1, 17.
         let peers: Vec<usize> = pat.out_edges(9).iter().map(|e| e.dst).collect();
@@ -320,7 +335,10 @@ mod tests {
 
     #[test]
     fn lu_sweeps_are_symmetric_in_volume() {
-        let lu = Lu { residual_every: 0, ..Lu::class_c(64) };
+        let lu = Lu {
+            residual_every: 0,
+            ..Lu::class_c(64)
+        };
         let pat = lu.pattern();
         // Lower sends east, upper sends west the same bytes: symmetric.
         assert!(pat.to_dense_cg().is_symmetric(1e-9));
@@ -359,8 +377,16 @@ mod tests {
 
     #[test]
     fn bt_volume_scales_linearly_with_iterations() {
-        let one = Bt(AdiSolver { iterations: 1, ..Bt::class_c(16).0 }).pattern();
-        let ten = Bt(AdiSolver { iterations: 10, ..Bt::class_c(16).0 }).pattern();
+        let one = Bt(AdiSolver {
+            iterations: 1,
+            ..Bt::class_c(16).0
+        })
+        .pattern();
+        let ten = Bt(AdiSolver {
+            iterations: 10,
+            ..Bt::class_c(16).0
+        })
+        .pattern();
         assert!((ten.total_bytes() - 10.0 * one.total_bytes()).abs() < 1e-6);
     }
 }

@@ -162,7 +162,12 @@ mod tests {
 
     #[test]
     fn ring_edges() {
-        let pat = Ring { n: 5, iterations: 3, bytes: 10 }.pattern();
+        let pat = Ring {
+            n: 5,
+            iterations: 3,
+            bytes: 10,
+        }
+        .pattern();
         assert_eq!(pat.num_edges(), 5);
         for i in 0..5usize {
             assert_eq!(pat.bytes(i, (i + 1) % 5), 30.0);
@@ -172,7 +177,12 @@ mod tests {
 
     #[test]
     fn stencil_degree_is_four_on_big_grids() {
-        let pat = Stencil2D { n: 16, iterations: 1, bytes: 10 }.pattern();
+        let pat = Stencil2D {
+            n: 16,
+            iterations: 1,
+            bytes: 10,
+        }
+        .pattern();
         for r in 0..16 {
             assert_eq!(pat.out_edges(r).len(), 4, "rank {r}");
         }
@@ -193,16 +203,40 @@ mod tests {
 
     #[test]
     fn random_graph_is_seeded() {
-        let a = RandomGraph { n: 20, degree: 3, max_bytes: 100, seed: 9 }.pattern();
-        let b = RandomGraph { n: 20, degree: 3, max_bytes: 100, seed: 9 }.pattern();
-        let c = RandomGraph { n: 20, degree: 3, max_bytes: 100, seed: 10 }.pattern();
+        let a = RandomGraph {
+            n: 20,
+            degree: 3,
+            max_bytes: 100,
+            seed: 9,
+        }
+        .pattern();
+        let b = RandomGraph {
+            n: 20,
+            degree: 3,
+            max_bytes: 100,
+            seed: 9,
+        }
+        .pattern();
+        let c = RandomGraph {
+            n: 20,
+            degree: 3,
+            max_bytes: 100,
+            seed: 10,
+        }
+        .pattern();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
     fn random_graph_has_no_self_edges() {
-        let pat = RandomGraph { n: 10, degree: 5, max_bytes: 50, seed: 4 }.pattern();
+        let pat = RandomGraph {
+            n: 10,
+            degree: 5,
+            max_bytes: 50,
+            seed: 4,
+        }
+        .pattern();
         for i in 0..10 {
             assert!(pat.out_edges(i).iter().all(|e| e.dst != i));
         }
@@ -210,12 +244,34 @@ mod tests {
 
     #[test]
     fn all_synthetic_programs_are_matched() {
-        Ring { n: 7, iterations: 2, bytes: 5 }.program().check_matched().unwrap();
-        Stencil2D { n: 12, iterations: 2, bytes: 5 }.program().check_matched().unwrap();
-        UniformAll2All { n: 5, bytes: 5 }.program().check_matched().unwrap();
-        RandomGraph { n: 9, degree: 2, max_bytes: 9, seed: 1 }
+        Ring {
+            n: 7,
+            iterations: 2,
+            bytes: 5,
+        }
+        .program()
+        .check_matched()
+        .unwrap();
+        Stencil2D {
+            n: 12,
+            iterations: 2,
+            bytes: 5,
+        }
+        .program()
+        .check_matched()
+        .unwrap();
+        UniformAll2All { n: 5, bytes: 5 }
             .program()
             .check_matched()
             .unwrap();
+        RandomGraph {
+            n: 9,
+            degree: 2,
+            max_bytes: 9,
+            seed: 1,
+        }
+        .program()
+        .check_matched()
+        .unwrap();
     }
 }

@@ -223,8 +223,7 @@ mod tests {
         let pat = p.profile();
         // Each rank exchanges with exactly log2(8)=3 XOR partners.
         for i in 0..8usize {
-            let peers: Vec<usize> =
-                pat.out_edges(i).iter().map(|e| e.dst).collect();
+            let peers: Vec<usize> = pat.out_edges(i).iter().map(|e| e.dst).collect();
             let expect: Vec<usize> = {
                 let mut v: Vec<usize> = [1usize, 2, 4].iter().map(|d| i ^ d).collect();
                 v.sort_unstable();
@@ -271,7 +270,7 @@ mod tests {
 
     #[test]
     fn barrier_has_log_rounds() {
-        let pat = build(8, |b, g| barrier(b, g)).profile();
+        let pat = build(8, barrier).profile();
         assert_eq!(pat.total_msgs(), (8 * 3) as f64);
         assert_eq!(pat.total_bytes(), (8 * 3) as f64);
     }

@@ -57,7 +57,10 @@ pub struct PatternBuilder {
 impl PatternBuilder {
     /// Start a builder for `n` processes.
     pub fn new(n: usize) -> Self {
-        Self { n, rows: vec![BTreeMap::new(); n] }
+        Self {
+            n,
+            rows: vec![BTreeMap::new(); n],
+        }
     }
 
     /// Record one message of `bytes` bytes from `src` to `dst`.
@@ -70,7 +73,11 @@ impl PatternBuilder {
 
     /// Record `count` messages of `bytes` bytes each from `src` to `dst`.
     pub fn record_many(&mut self, src: usize, dst: usize, bytes: u64, count: u64) {
-        assert!(src < self.n && dst < self.n, "rank out of range ({src},{dst}) for n={}", self.n);
+        assert!(
+            src < self.n && dst < self.n,
+            "rank out of range ({src},{dst}) for n={}",
+            self.n
+        );
         if src == dst || count == 0 {
             return;
         }
@@ -96,7 +103,12 @@ impl PatternBuilder {
                     .collect()
             })
             .collect();
-        CommPattern { n: self.n, out, total_bytes, total_msgs }
+        CommPattern {
+            n: self.n,
+            out,
+            total_bytes,
+            total_msgs,
+        }
     }
 }
 
@@ -158,7 +170,9 @@ impl CommPattern {
 
     fn find(&self, i: usize, j: usize) -> Option<&Edge> {
         let row = &self.out[i];
-        row.binary_search_by_key(&j, |e| e.dst).ok().map(|idx| &row[idx])
+        row.binary_search_by_key(&j, |e| e.dst)
+            .ok()
+            .map(|idx| &row[idx])
     }
 
     /// Total traffic volume in bytes (`Σ CG`).
@@ -187,7 +201,11 @@ impl CommPattern {
             .iter()
             .enumerate()
             .filter(|(j, _)| *j != i)
-            .map(|(_, row)| row.binary_search_by_key(&i, |e| e.dst).ok().map_or(0.0, |k| row[k].bytes))
+            .map(|(_, row)| {
+                row.binary_search_by_key(&i, |e| e.dst)
+                    .ok()
+                    .map_or(0.0, |k| row[k].bytes)
+            })
             .sum();
         sent + recv
     }
@@ -305,7 +323,9 @@ impl CommPattern {
         let mut lines = csv.lines().enumerate();
         let (_, header) = lines.next().ok_or("empty input")?;
         if header.trim() != "src,dst,bytes,msgs" {
-            return Err(format!("bad header {header:?}, expected \"src,dst,bytes,msgs\""));
+            return Err(format!(
+                "bad header {header:?}, expected \"src,dst,bytes,msgs\""
+            ));
         }
         let mut b = PatternBuilder::new(n);
         for (lineno, line) in lines {
@@ -314,7 +334,11 @@ impl CommPattern {
             }
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != 4 {
-                return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, f.len()));
+                return Err(format!(
+                    "line {}: expected 4 fields, got {}",
+                    lineno + 1,
+                    f.len()
+                ));
             }
             let parse = |s: &str, what: &str| -> Result<f64, String> {
                 s.trim()
@@ -351,7 +375,11 @@ impl CommPattern {
             .iter()
             .map(|row| {
                 row.iter()
-                    .map(|e| Edge { dst: e.dst, bytes: e.bytes * factor, msgs: e.msgs * factor })
+                    .map(|e| Edge {
+                        dst: e.dst,
+                        bytes: e.bytes * factor,
+                        msgs: e.msgs * factor,
+                    })
                     .collect()
             })
             .collect();
@@ -482,7 +510,9 @@ mod tests {
     #[test]
     fn csv_errors_are_descriptive() {
         assert!(CommPattern::from_csv(2, "").unwrap_err().contains("empty"));
-        assert!(CommPattern::from_csv(2, "x,y\n").unwrap_err().contains("bad header"));
+        assert!(CommPattern::from_csv(2, "x,y\n")
+            .unwrap_err()
+            .contains("bad header"));
         assert!(CommPattern::from_csv(2, "src,dst,bytes,msgs\n0,1,5\n")
             .unwrap_err()
             .contains("4 fields"));

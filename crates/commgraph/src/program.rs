@@ -118,7 +118,9 @@ impl Program {
                     }
                     RankOp::Recv { from } => {
                         if *from >= n {
-                            return Err(format!("rank {rank} receives from out-of-range rank {from}"));
+                            return Err(format!(
+                                "rank {rank} receives from out-of-range rank {from}"
+                            ));
                         }
                         *balance.entry((*from, rank)).or_default() -= 1;
                     }
@@ -135,7 +137,11 @@ impl Program {
                 return Err(format!(
                     "unmatched traffic {src}->{dst}: {} more {}",
                     bal.abs(),
-                    if bal > 0 { "sends than recvs" } else { "recvs than sends" }
+                    if bal > 0 {
+                        "sends than recvs"
+                    } else {
+                        "recvs than sends"
+                    }
                 ));
             }
         }
@@ -153,7 +159,9 @@ impl ProgramBuilder {
     /// Start a program over `n` ranks.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a program needs at least one rank");
-        Self { ops: vec![Vec::new(); n] }
+        Self {
+            ops: vec![Vec::new(); n],
+        }
     }
 
     /// Number of ranks.
@@ -246,21 +254,33 @@ mod tests {
     fn unmatched_send_detected() {
         let mut b = ProgramBuilder::new(2);
         b.send(0, 1, 10);
-        assert!(b.build_unchecked().check_matched().unwrap_err().contains("unmatched"));
+        assert!(b
+            .build_unchecked()
+            .check_matched()
+            .unwrap_err()
+            .contains("unmatched"));
     }
 
     #[test]
     fn self_send_detected() {
         let mut b = ProgramBuilder::new(2);
         b.send(0, 0, 10);
-        assert!(b.build_unchecked().check_matched().unwrap_err().contains("itself"));
+        assert!(b
+            .build_unchecked()
+            .check_matched()
+            .unwrap_err()
+            .contains("itself"));
     }
 
     #[test]
     fn out_of_range_recv_detected() {
         let mut b = ProgramBuilder::new(2);
         b.recv(0, 7);
-        assert!(b.build_unchecked().check_matched().unwrap_err().contains("out-of-range"));
+        assert!(b
+            .build_unchecked()
+            .check_matched()
+            .unwrap_err()
+            .contains("out-of-range"));
     }
 
     #[test]

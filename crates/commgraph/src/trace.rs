@@ -123,18 +123,27 @@ impl CompressedTrace {
                 }
             }
             if best_reps > 1 {
-                segments.push(Segment { body: ev[i..i + best_p].to_vec(), repeats: best_reps });
+                segments.push(Segment {
+                    body: ev[i..i + best_p].to_vec(),
+                    repeats: best_reps,
+                });
                 i += best_p * best_reps;
             } else {
                 // No repetition here; extend (or start) a literal segment.
                 match segments.last_mut() {
                     Some(seg) if seg.repeats == 1 => seg.body.push(ev[i]),
-                    _ => segments.push(Segment { body: vec![ev[i]], repeats: 1 }),
+                    _ => segments.push(Segment {
+                        body: vec![ev[i]],
+                        repeats: 1,
+                    }),
                 }
                 i += 1;
             }
         }
-        Self { segments, original_len: ev.len() }
+        Self {
+            segments,
+            original_len: ev.len(),
+        }
     }
 
     /// The segments.

@@ -17,7 +17,8 @@ fn all_apps_at_all_counts_are_matched_and_nonempty() {
             let w = kind.workload(n);
             assert_eq!(w.num_ranks(), n);
             let prog = w.program();
-            prog.check_matched().unwrap_or_else(|e| panic!("{kind}@{n}: {e}"));
+            prog.check_matched()
+                .unwrap_or_else(|e| panic!("{kind}@{n}: {e}"));
             assert!(prog.total_send_bytes() > 0.0, "{kind}@{n} sends nothing");
         }
     }

@@ -21,7 +21,9 @@ pub struct ConstraintVector {
 impl ConstraintVector {
     /// No constraints on any of `n` processes (ratio 0).
     pub fn none(n: usize) -> Self {
-        Self { pins: vec![None; n] }
+        Self {
+            pins: vec![None; n],
+        }
     }
 
     /// Build from an explicit vector.
@@ -41,7 +43,10 @@ impl ConstraintVector {
         assert!((0.0..=1.0).contains(&ratio), "ratio {ratio} outside [0,1]");
         let want = (ratio * n as f64).round() as usize;
         let total: usize = caps.iter().sum();
-        assert!(total >= want, "capacities {total} cannot hold {want} pinned processes");
+        assert!(
+            total >= want,
+            "capacities {total} cannot hold {want} pinned processes"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         // Choose which processes are pinned (Fisher–Yates prefix).
         let mut procs: Vec<usize> = (0..n).collect();
@@ -148,7 +153,11 @@ mod tests {
         let caps = vec![16, 16, 16, 16];
         for ratio in [0.0, 0.2, 0.5, 1.0] {
             let c = ConstraintVector::random(64, ratio, &caps, 7);
-            assert_eq!(c.num_pinned(), (ratio * 64.0).round() as usize, "ratio {ratio}");
+            assert_eq!(
+                c.num_pinned(),
+                (ratio * 64.0).round() as usize,
+                "ratio {ratio}"
+            );
         }
     }
 

@@ -33,6 +33,20 @@ pub fn pair_cost(net: &SiteNetwork, msgs: f64, bytes: f64, from: SiteId, to: Sit
     msgs * net.latency(from, to) + bytes / net.bandwidth(from, to)
 }
 
+/// Fold a [`CostModel`] into raw `(msgs, bytes)` edge components: the
+/// latency-only model zeroes the bytes, the bandwidth-only model the
+/// messages, so downstream evaluation is always the full two-term
+/// kernel. Used by [`crate::delta::CostTables`] to bake the model into
+/// its flat storage once at build time.
+#[inline]
+pub fn model_components(model: CostModel, msgs: f64, bytes: f64) -> (f64, f64) {
+    match model {
+        CostModel::Full => (msgs, bytes),
+        CostModel::LatencyOnly => (msgs, 0.0),
+        CostModel::BandwidthOnly => (0.0, bytes),
+    }
+}
+
 /// Total cost of `mapping` under the paper's full model (Eq. 2/4).
 pub fn cost(problem: &MappingProblem, mapping: &Mapping) -> f64 {
     cost_with_model(problem, mapping, CostModel::Full)
@@ -104,8 +118,7 @@ pub fn swap_delta(problem: &MappingProblem, mapping: &Mapping, a: usize, b: usiz
     };
     let before = incident_cost_with(problem, a, &plain) + incident_cost_with(problem, b, &plain)
         - ab_cost_with(problem, a, b, &plain);
-    let after = incident_cost_with(problem, a, &swapped)
-        + incident_cost_with(problem, b, &swapped)
+    let after = incident_cost_with(problem, a, &swapped) + incident_cost_with(problem, b, &swapped)
         - ab_cost_with(problem, a, b, &swapped);
     after - before
 }
@@ -184,7 +197,13 @@ mod tests {
 
     fn problem(n: usize) -> MappingProblem {
         let net = presets::paper_ec2_network(n / 4, InstanceType::M4Xlarge, 1);
-        let pat = RandomGraph { n, degree: 4, max_bytes: 100_000, seed: 5 }.pattern();
+        let pat = RandomGraph {
+            n,
+            degree: 4,
+            max_bytes: 100_000,
+            seed: 5,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 
@@ -204,7 +223,12 @@ mod tests {
     #[test]
     fn colocated_is_cheaper_than_spread_for_a_ring() {
         let net = presets::paper_ec2_network(2, InstanceType::M4Xlarge, 1);
-        let pat = Ring { n: 8, iterations: 1, bytes: 1_000_000 }.pattern();
+        let pat = Ring {
+            n: 8,
+            iterations: 1,
+            bytes: 1_000_000,
+        }
+        .pattern();
         let p = MappingProblem::unconstrained(pat, net);
         let packed = Mapping::from(vec![0, 0, 1, 1, 2, 2, 3, 3]);
         let spread = Mapping::from(vec![0, 1, 2, 3, 0, 1, 2, 3]);

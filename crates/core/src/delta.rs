@@ -1,0 +1,992 @@
+//! Incremental Δ-cost evaluation for swap-based local search.
+//!
+//! Every swap-based mapper in this workspace (MPIPP's best-swap rounds,
+//! the Geo-distributed hill-climb polish, Monte-Carlo polish) repeatedly
+//! asks the same question: *how much does the Eq. 3 cost change if I
+//! swap processes `a` and `b` (or move `i` to site `s`)?* Answering it
+//! by re-walking the pattern is `O(E)` per candidate; even the seed's
+//! `cost::swap_delta` shortcut re-derives both endpoints' incident costs
+//! from scratch, paying two binary searches per partner edge.
+//!
+//! [`CostEvaluator`] answers it in `O(deg(a) + deg(b))` flat array
+//! reads: [`CostTables`] stores the pattern as a directed-split CSR and
+//! the network as flat row-major `LT`/`1/BT` matrices, and the evaluator
+//! caches each process's incident cost so a candidate only re-evaluates
+//! the *post-swap* side. Applied moves update the caches in `O(deg)` and
+//! push an undo frame; [`CostEval::revert`] restores the exact pre-apply
+//! state bitwise (frames save the touched cache entries, not recomputed
+//! values).
+//!
+//! The seed's ground truth stays available behind the same trait:
+//! [`FullRecomputeEval`] evaluates every candidate by a full `O(E)`
+//! re-walk. [`Evaluation`] selects between the two at mapper-config
+//! level, and the equivalence harness in `tests/delta_equivalence.rs`
+//! plus the oracle regression tests pin the two implementations to
+//! identical mapper decisions.
+
+use crate::cost::{model_components, CostModel};
+use crate::mapping::Mapping;
+use crate::problem::MappingProblem;
+use geonet::SiteId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which Δ-cost implementation a mapper's local search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Evaluation {
+    /// Cached incremental deltas (`O(deg)` per candidate) — the default.
+    #[default]
+    Incremental,
+    /// Full `O(E)` recomputation per candidate — the ground-truth oracle
+    /// the incremental engine is verified against. Orders of magnitude
+    /// slower; useful for tests and debugging only.
+    FullRecompute,
+}
+
+impl Evaluation {
+    /// Construct the chosen evaluator over `tables`, starting from the
+    /// assignment in `sites`.
+    pub fn evaluator<'t>(
+        self,
+        tables: &'t CostTables,
+        sites: Vec<SiteId>,
+    ) -> Box<dyn CostEval + 't> {
+        match self {
+            Evaluation::Incremental => Box::new(CostEvaluator::new(tables, sites)),
+            Evaluation::FullRecompute => Box::new(FullRecomputeEval::new(tables, sites)),
+        }
+    }
+}
+
+/// Immutable, model-folded flat tables for one `(problem, cost model)`
+/// pair: the communication pattern as a directed-split CSR over
+/// undirected partner edges, and the network as row-major `LT` and
+/// `1/BT` matrices. Build once per `map()` call, share freely across
+/// threads.
+#[derive(Debug, Clone)]
+pub struct CostTables {
+    n: usize,
+    m: usize,
+    /// CSR row offsets into the four parallel component arrays.
+    row_ptr: Vec<u32>,
+    /// Partner process of each CSR entry.
+    peer: Vec<u32>,
+    /// `AG(i, peer)` — messages `i` sends to the partner.
+    out_m: Vec<f64>,
+    /// `CG(i, peer)` — bytes `i` sends to the partner.
+    out_b: Vec<f64>,
+    /// `AG(peer, i)` — messages the partner sends to `i`.
+    in_m: Vec<f64>,
+    /// `CG(peer, i)` — bytes the partner sends to `i`.
+    in_b: Vec<f64>,
+    /// Row-major `LT(k, l)`.
+    lt: Vec<f64>,
+    /// Row-major `1 / BT(k, l)` (division folded into a multiply).
+    inv_bt: Vec<f64>,
+}
+
+impl CostTables {
+    /// Flatten `problem` under `model`. The model is folded into the
+    /// stored `CG`/`AG` components (latency-only zeroes the bytes,
+    /// bandwidth-only the messages), so every downstream evaluation is
+    /// the same two-term α–β kernel.
+    pub fn build(problem: &MappingProblem, model: CostModel) -> Self {
+        let n = problem.num_processes();
+        let m = problem.num_sites();
+        let pattern = problem.pattern();
+        let partners = problem.partners();
+
+        let entries: usize = partners.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut peer = Vec::with_capacity(entries);
+        let mut out_m = Vec::with_capacity(entries);
+        let mut out_b = Vec::with_capacity(entries);
+        let mut in_m = Vec::with_capacity(entries);
+        let mut in_b = Vec::with_capacity(entries);
+        row_ptr.push(0u32);
+        for (i, ps) in partners.iter().enumerate() {
+            for p in ps {
+                let ob = pattern.bytes(i, p.peer);
+                let om = pattern.msgs(i, p.peer);
+                let (fom, fob) = model_components(model, om, ob);
+                let (fim, fib) = model_components(model, p.msgs - om, p.bytes - ob);
+                peer.push(p.peer as u32);
+                out_m.push(fom);
+                out_b.push(fob);
+                in_m.push(fim);
+                in_b.push(fib);
+            }
+            row_ptr.push(peer.len() as u32);
+        }
+
+        let net = problem.network();
+        let mut lt = Vec::with_capacity(m * m);
+        let mut inv_bt = Vec::with_capacity(m * m);
+        for k in 0..m {
+            for l in 0..m {
+                lt.push(net.latency(SiteId(k), SiteId(l)));
+                inv_bt.push(1.0 / net.bandwidth(SiteId(k), SiteId(l)));
+            }
+        }
+
+        Self {
+            n,
+            m,
+            row_ptr,
+            peer,
+            out_m,
+            out_b,
+            in_m,
+            in_b,
+            lt,
+            inv_bt,
+        }
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.m
+    }
+
+    /// Number of directed CSR entries (twice the undirected edge count).
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.peer.len()
+    }
+
+    /// CSR entry range of process `i`.
+    #[inline]
+    fn row(&self, i: usize) -> core::ops::Range<usize> {
+        self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize
+    }
+
+    /// One α–β term: `msgs·LT(from,to) + bytes/BT(from,to)`.
+    #[inline]
+    fn term(&self, msgs: f64, bytes: f64, from: SiteId, to: SiteId) -> f64 {
+        let at = from.index() * self.m + to.index();
+        msgs * self.lt[at] + bytes * self.inv_bt[at]
+    }
+
+    /// Total Eq. 3 cost of `sites` — `O(E)` over the out components only
+    /// (each directed edge is stored twice, once per endpoint).
+    pub fn total(&self, sites: &[SiteId]) -> f64 {
+        debug_assert_eq!(sites.len(), self.n);
+        let mut sum = 0.0;
+        for i in 0..self.n {
+            let si = sites[i];
+            for k in self.row(i) {
+                sum += self.term(
+                    self.out_m[k],
+                    self.out_b[k],
+                    si,
+                    sites[self.peer[k] as usize],
+                );
+            }
+        }
+        sum
+    }
+
+    /// Incident cost of process `i` (both directions of every partner
+    /// edge) under `sites`.
+    fn incident(&self, sites: &[SiteId], i: usize) -> f64 {
+        let si = sites[i];
+        let mut sum = 0.0;
+        for k in self.row(i) {
+            let sp = sites[self.peer[k] as usize];
+            sum += self.term(self.out_m[k], self.out_b[k], si, sp)
+                + self.term(self.in_m[k], self.in_b[k], sp, si);
+        }
+        sum
+    }
+
+    /// Eq. 3 cost of attaching unplaced process `i` at `site` to its
+    /// already-placed partners — the greedy mappers' tie-break score.
+    /// Unplaced partners contribute nothing. `O(deg(i))`.
+    pub fn placement_cost(&self, placed: &[Option<SiteId>], i: usize, site: SiteId) -> f64 {
+        let mut sum = 0.0;
+        for k in self.row(i) {
+            if let Some(sp) = placed[self.peer[k] as usize] {
+                sum += self.term(self.out_m[k], self.out_b[k], site, sp)
+                    + self.term(self.in_m[k], self.in_b[k], sp, site);
+            }
+        }
+        sum
+    }
+}
+
+/// Δ-cost evaluation over a mutable assignment: candidate queries,
+/// applied moves with cache maintenance, and bitwise-exact undo.
+///
+/// `swap_delta`/`move_delta` are `&self` and thread-safe, so a sweep can
+/// fan candidate evaluation out with rayon; `apply_*`/`revert` mutate.
+pub trait CostEval: Sync {
+    /// Current total Eq. 3 cost (maintained incrementally; see
+    /// `tests/delta_equivalence.rs` for the drift bound).
+    fn total(&self) -> f64;
+
+    /// The current assignment.
+    fn sites(&self) -> &[SiteId];
+
+    /// Exact cost change of swapping the sites of `a` and `b`; `0.0`
+    /// when `a == b` or they share a site.
+    fn swap_delta(&self, a: usize, b: usize) -> f64;
+
+    /// Exact cost change of moving `i` to `to`; `0.0` when already there.
+    /// (Capacity bookkeeping is the caller's job.)
+    fn move_delta(&self, i: usize, to: SiteId) -> f64;
+
+    /// Apply the swap, update caches, push an undo frame; returns the
+    /// applied delta.
+    fn apply_swap(&mut self, a: usize, b: usize) -> f64;
+
+    /// Apply the move, update caches, push an undo frame; returns the
+    /// applied delta.
+    fn apply_move(&mut self, i: usize, to: SiteId) -> f64;
+
+    /// Undo the most recent un-reverted `apply_*`, restoring the exact
+    /// prior state (bitwise). Returns `false` when nothing is left.
+    fn revert(&mut self) -> bool;
+
+    /// α–β terms evaluated so far (one `pair_cost` = one term) — the
+    /// work metric behind the Fig. 4 FLOP comparisons.
+    fn terms(&self) -> u64;
+
+    /// Partner ids of `i` in CSR order (the communicating pairs a
+    /// partner-edge sweep considers).
+    fn peers(&self, i: usize) -> &[u32];
+}
+
+/// An applied operation, for the undo log.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Swap(u32, u32),
+    /// Process and the site it came *from*.
+    Move(u32, SiteId),
+}
+
+/// Undo frame: the operation, the pre-apply total, and every cache entry
+/// the apply touched with its pre-apply value.
+#[derive(Debug)]
+struct Frame {
+    op: Op,
+    total: f64,
+    saved: Vec<(u32, f64)>,
+}
+
+/// The incremental engine: cached per-process incident costs over
+/// [`CostTables`].
+pub struct CostEvaluator<'t> {
+    tables: &'t CostTables,
+    sites: Vec<SiteId>,
+    /// `incident[i]` = both-direction cost of all edges at `i`.
+    incident: Vec<f64>,
+    total: f64,
+    frames: Vec<Frame>,
+    terms: AtomicU64,
+}
+
+impl<'t> CostEvaluator<'t> {
+    /// Build the caches for `sites` (`O(E)` once).
+    pub fn new(tables: &'t CostTables, sites: Vec<SiteId>) -> Self {
+        assert_eq!(sites.len(), tables.n, "assignment length mismatch");
+        let incident: Vec<f64> = (0..tables.n).map(|i| tables.incident(&sites, i)).collect();
+        let total = tables.total(&sites);
+        Self {
+            tables,
+            sites,
+            incident,
+            total,
+            frames: Vec::new(),
+            terms: AtomicU64::new((3 * tables.num_entries()) as u64),
+        }
+    }
+
+    /// Post-move incident cost of `i` sitting at `si_new`, seeing one
+    /// peer (`other`) at `other_new`. Also returns the a↔b edge cost
+    /// after and before (0 if `other` is not a partner), which
+    /// `swap_delta` needs to un-double-count.
+    fn row_after(
+        &self,
+        i: usize,
+        si_new: SiteId,
+        other: usize,
+        other_new: SiteId,
+    ) -> (f64, f64, f64) {
+        let t = self.tables;
+        let (mut after, mut ab_after, mut ab_before) = (0.0, 0.0, 0.0);
+        for k in t.row(i) {
+            let p = t.peer[k] as usize;
+            let sp = if p == other { other_new } else { self.sites[p] };
+            let term = t.term(t.out_m[k], t.out_b[k], si_new, sp)
+                + t.term(t.in_m[k], t.in_b[k], sp, si_new);
+            after += term;
+            if p == other {
+                ab_after = term;
+                let (si, so) = (self.sites[i], self.sites[p]);
+                ab_before =
+                    t.term(t.out_m[k], t.out_b[k], si, so) + t.term(t.in_m[k], t.in_b[k], so, si);
+            }
+        }
+        (after, after - ab_after + ab_before, ab_after - ab_before)
+    }
+
+    /// Adjust the incident caches of `i`'s peers for `i` moving
+    /// `from → to` (skipping `skip`, whose cache is rebuilt wholesale).
+    fn shift_peer_caches(&mut self, i: usize, from: SiteId, to: SiteId, skip: usize) {
+        let t = self.tables;
+        for k in t.row(i) {
+            let p = t.peer[k] as usize;
+            if p == skip {
+                continue;
+            }
+            let sp = self.sites[p];
+            let old =
+                t.term(t.out_m[k], t.out_b[k], from, sp) + t.term(t.in_m[k], t.in_b[k], sp, from);
+            let new = t.term(t.out_m[k], t.out_b[k], to, sp) + t.term(t.in_m[k], t.in_b[k], sp, to);
+            self.incident[p] += new - old;
+        }
+    }
+
+    /// Snapshot the cache entries an apply on `who` will touch.
+    fn save_rows(&self, who: &[usize], saved: &mut Vec<(u32, f64)>) {
+        for &i in who {
+            saved.push((i as u32, self.incident[i]));
+            for k in self.tables.row(i) {
+                let p = self.tables.peer[k];
+                saved.push((p, self.incident[p as usize]));
+            }
+        }
+    }
+
+    #[inline]
+    fn count_terms(&self, n: u64) {
+        self.terms.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Degree of process `i` (CSR row length).
+    fn deg(&self, i: usize) -> u64 {
+        (self.tables.row_ptr[i + 1] - self.tables.row_ptr[i]) as u64
+    }
+}
+
+impl CostEval for CostEvaluator<'_> {
+    fn total(&self) -> f64 {
+        self.total
+    }
+
+    fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    fn swap_delta(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (sa, sb) = (self.sites[a], self.sites[b]);
+        if sa == sb {
+            return 0.0;
+        }
+        // Each row_after evaluates 2 terms per entry (+2 for the a↔b
+        // "before" correction when present).
+        self.count_terms(2 * (self.deg(a) + self.deg(b)) + 2);
+        let (after_a, _, ab_change) = self.row_after(a, sb, b, sa);
+        let (after_b, _, _) = self.row_after(b, sa, a, sb);
+        // The a↔b edge (both directions) appears in both rows: counted
+        // twice in the afters and twice in the cached befores, so its
+        // change is double-counted exactly once — subtract it.
+        (after_a - self.incident[a]) + (after_b - self.incident[b]) - ab_change
+    }
+
+    fn move_delta(&self, i: usize, to: SiteId) -> f64 {
+        if self.sites[i] == to {
+            return 0.0;
+        }
+        self.count_terms(2 * self.deg(i));
+        let (after, _, _) = self.row_after(i, to, usize::MAX, to);
+        after - self.incident[i]
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) -> f64 {
+        let delta = self.swap_delta(a, b);
+        let mut saved = Vec::with_capacity(2 * (self.deg(a) + self.deg(b)) as usize + 2);
+        self.save_rows(&[a, b], &mut saved);
+        self.frames.push(Frame {
+            op: Op::Swap(a as u32, b as u32),
+            total: self.total,
+            saved,
+        });
+        if a != b && self.sites[a] != self.sites[b] {
+            let (sa, sb) = (self.sites[a], self.sites[b]);
+            self.shift_peer_caches(a, sa, sb, b);
+            self.shift_peer_caches(b, sb, sa, a);
+            self.sites.swap(a, b);
+            self.incident[a] = self.tables.incident(&self.sites, a);
+            self.incident[b] = self.tables.incident(&self.sites, b);
+            self.count_terms(4 * (self.deg(a) + self.deg(b)));
+            self.total += delta;
+        }
+        delta
+    }
+
+    fn apply_move(&mut self, i: usize, to: SiteId) -> f64 {
+        let delta = self.move_delta(i, to);
+        let from = self.sites[i];
+        let mut saved = Vec::with_capacity(self.deg(i) as usize + 1);
+        self.save_rows(&[i], &mut saved);
+        self.frames.push(Frame {
+            op: Op::Move(i as u32, from),
+            total: self.total,
+            saved,
+        });
+        if self.sites[i] != to {
+            self.shift_peer_caches(i, from, to, usize::MAX);
+            self.sites[i] = to;
+            self.incident[i] = self.tables.incident(&self.sites, i);
+            self.count_terms(4 * self.deg(i));
+            self.total += delta;
+        }
+        delta
+    }
+
+    fn revert(&mut self) -> bool {
+        let Some(frame) = self.frames.pop() else {
+            return false;
+        };
+        match frame.op {
+            Op::Swap(a, b) => self.sites.swap(a as usize, b as usize),
+            Op::Move(i, from) => self.sites[i as usize] = from,
+        }
+        self.total = frame.total;
+        // Entries were snapshotted before any mutation, so restoring in
+        // any order (duplicates included) reproduces the exact state.
+        for (idx, v) in frame.saved {
+            self.incident[idx as usize] = v;
+        }
+        true
+    }
+
+    fn terms(&self) -> u64 {
+        self.terms.load(Ordering::Relaxed)
+    }
+
+    fn peers(&self, i: usize) -> &[u32] {
+        &self.tables.peer[self.tables.row(i)]
+    }
+}
+
+/// The ground-truth oracle: answers every query with a full `O(E)`
+/// re-walk of the pattern under the hypothetical assignment. Behind the
+/// same trait so any mapper can be flipped to it wholesale.
+pub struct FullRecomputeEval<'t> {
+    tables: &'t CostTables,
+    sites: Vec<SiteId>,
+    total: f64,
+    frames: Vec<(Op, f64)>,
+    terms: AtomicU64,
+}
+
+impl<'t> FullRecomputeEval<'t> {
+    /// Build the oracle for `sites`.
+    pub fn new(tables: &'t CostTables, sites: Vec<SiteId>) -> Self {
+        assert_eq!(sites.len(), tables.n, "assignment length mismatch");
+        let total = tables.total(&sites);
+        Self {
+            tables,
+            sites,
+            total,
+            frames: Vec::new(),
+            terms: AtomicU64::new(tables.num_entries() as u64),
+        }
+    }
+
+    /// Full total under a hypothetical process→site view.
+    fn total_with(&self, view: &dyn Fn(usize) -> SiteId) -> f64 {
+        let t = self.tables;
+        self.terms
+            .fetch_add(t.num_entries() as u64, Ordering::Relaxed);
+        let mut sum = 0.0;
+        for i in 0..t.n {
+            let si = view(i);
+            for k in t.row(i) {
+                sum += t.term(t.out_m[k], t.out_b[k], si, view(t.peer[k] as usize));
+            }
+        }
+        sum
+    }
+}
+
+impl CostEval for FullRecomputeEval<'_> {
+    fn total(&self) -> f64 {
+        self.total
+    }
+
+    fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    fn swap_delta(&self, a: usize, b: usize) -> f64 {
+        if a == b || self.sites[a] == self.sites[b] {
+            return 0.0;
+        }
+        let (sa, sb) = (self.sites[a], self.sites[b]);
+        let view = |p: usize| {
+            if p == a {
+                sb
+            } else if p == b {
+                sa
+            } else {
+                self.sites[p]
+            }
+        };
+        self.total_with(&view) - self.total
+    }
+
+    fn move_delta(&self, i: usize, to: SiteId) -> f64 {
+        if self.sites[i] == to {
+            return 0.0;
+        }
+        let view = |p: usize| if p == i { to } else { self.sites[p] };
+        self.total_with(&view) - self.total
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) -> f64 {
+        self.frames.push((Op::Swap(a as u32, b as u32), self.total));
+        let before = self.total;
+        self.sites.swap(a, b);
+        self.total = self.total_with(&|p| self.sites[p]);
+        self.total - before
+    }
+
+    fn apply_move(&mut self, i: usize, to: SiteId) -> f64 {
+        self.frames
+            .push((Op::Move(i as u32, self.sites[i]), self.total));
+        let before = self.total;
+        self.sites[i] = to;
+        self.total = self.total_with(&|p| self.sites[p]);
+        self.total - before
+    }
+
+    fn revert(&mut self) -> bool {
+        let Some((op, total)) = self.frames.pop() else {
+            return false;
+        };
+        match op {
+            Op::Swap(a, b) => self.sites.swap(a as usize, b as usize),
+            Op::Move(i, from) => self.sites[i as usize] = from,
+        }
+        self.total = total;
+        true
+    }
+
+    fn terms(&self) -> u64 {
+        self.terms.load(Ordering::Relaxed)
+    }
+
+    fn peers(&self, i: usize) -> &[u32] {
+        &self.tables.peer[self.tables.row(i)]
+    }
+}
+
+/// Below this process count a polish sweep considers every pair; above
+/// it, only communicating pairs (partner edges).
+pub(crate) const FULL_PAIR_LIMIT: usize = 256;
+
+/// First-improvement acceptance threshold shared by the polish sweeps.
+const IMPROVEMENT_EPS: f64 = -1e-12;
+
+/// Relative tie band of [`best_improving_swap`]: deltas within this
+/// fraction of the scan scale count as equal. Far above the ~1e-15
+/// cross-engine rounding noise of a Δ computation, far below any
+/// meaningful cost difference.
+const TIE_BAND_REL: f64 = 1e-12;
+
+/// Best improving swap among `movable` processes, strictly below
+/// `threshold`: the lexicographically first pair whose Δ lies within a
+/// noise band of the minimum Δ.
+///
+/// The band makes the selection invariant to which [`CostEval`]
+/// implementation computed the deltas — incremental and full-recompute
+/// evaluation round differently at the last few bits, and on symmetric
+/// patterns (SP/BT stencils) many candidate swaps are exact cost ties,
+/// so a strict argmin would flip between engines on `1e-16`-level noise.
+/// The min scan is batched over first-index rows and fanned out with
+/// rayon when the row count is worth it; the reduction is
+/// schedule-independent, so the result is deterministic either way.
+pub fn best_improving_swap(
+    eval: &dyn CostEval,
+    movable: &[usize],
+    threshold: f64,
+) -> Option<(usize, usize, f64)> {
+    let row_best = |ai: usize| -> Option<(usize, usize, f64)> {
+        let a = movable[ai];
+        let mut best: Option<(usize, usize, f64)> = None;
+        for &b in &movable[ai + 1..] {
+            let d = eval.swap_delta(a, b);
+            if d < threshold && best.is_none_or(|(_, _, bd)| d < bd) {
+                best = Some((a, b, d));
+            }
+        }
+        best
+    };
+    let per_row: Vec<Option<(usize, usize, f64)>> = if movable.len() >= 64 {
+        use rayon::prelude::*;
+        (0..movable.len()).into_par_iter().map(row_best).collect()
+    } else {
+        (0..movable.len()).map(row_best).collect()
+    };
+    let min = per_row
+        .iter()
+        .flatten()
+        .map(|&(_, _, d)| d)
+        .fold(f64::INFINITY, f64::min);
+    if min == f64::INFINITY {
+        return None;
+    }
+    // Second pass: earliest pair inside the tie band. A row whose own
+    // minimum lies above the band cannot contain one; the rest are
+    // re-scanned in order, short-circuiting at the first hit.
+    let band = min + TIE_BAND_REL * eval.total().abs().max(1.0);
+    for (ai, row) in per_row.iter().enumerate() {
+        let Some((_, _, rd)) = row else { continue };
+        if *rd > band {
+            continue;
+        }
+        let a = movable[ai];
+        for &b in &movable[ai + 1..] {
+            let d = eval.swap_delta(a, b);
+            if d < threshold && d <= band {
+                return Some((a, b, d));
+            }
+        }
+    }
+    unreachable!("the row containing the minimum is inside the band")
+}
+
+/// First-improvement swap hill-climb over an evaluator: up to `passes`
+/// sweeps; full-pair below [`FULL_PAIR_LIMIT`] processes, partner-edge
+/// above. `movable(i)` gates which processes may move and
+/// `permits(i, s)` whether `i` may sit on site `s` (multi-site
+/// constraints). Returns the number of applied swaps.
+pub fn sweep_hill_climb(
+    eval: &mut dyn CostEval,
+    passes: usize,
+    movable: &dyn Fn(usize) -> bool,
+    permits: &dyn Fn(usize, SiteId) -> bool,
+) -> usize {
+    let n = eval.sites().len();
+    let mut applied = 0;
+    for _ in 0..passes {
+        let mut improved = false;
+        for i in 0..n {
+            if !movable(i) {
+                continue;
+            }
+            if n <= FULL_PAIR_LIMIT {
+                for j in (i + 1)..n {
+                    if movable(j) && try_swap(eval, i, j, permits) {
+                        improved = true;
+                        applied += 1;
+                    }
+                }
+            } else {
+                // Partner-edge sweep: only communicating pairs.
+                let peers: Vec<usize> = eval.peers(i).iter().map(|&p| p as usize).collect();
+                for j in peers {
+                    if j > i && movable(j) && try_swap(eval, i, j, permits) {
+                        improved = true;
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    applied
+}
+
+/// One candidate: gate on `permits`, accept on Δ below the shared
+/// threshold.
+fn try_swap(
+    eval: &mut dyn CostEval,
+    i: usize,
+    j: usize,
+    permits: &dyn Fn(usize, SiteId) -> bool,
+) -> bool {
+    let (si, sj) = (eval.sites()[i], eval.sites()[j]);
+    if si == sj || !permits(i, sj) || !permits(j, si) {
+        return false;
+    }
+    if eval.swap_delta(i, j) < IMPROVEMENT_EPS {
+        eval.apply_swap(i, j);
+        return true;
+    }
+    false
+}
+
+/// Polish `mapping` in place with a swap hill-climb over fresh tables —
+/// the convenience entry point for mappers that don't hold tables
+/// themselves (Monte-Carlo polish, ad-hoc callers).
+pub fn polish(
+    problem: &MappingProblem,
+    mapping: &mut Mapping,
+    passes: usize,
+    model: CostModel,
+    evaluation: Evaluation,
+    movable: &dyn Fn(usize) -> bool,
+) -> usize {
+    let tables = CostTables::build(problem, model);
+    polish_with_tables(&tables, evaluation, mapping, passes, movable, &|_, _| true)
+}
+
+/// Polish `mapping` in place over prebuilt `tables` (the geo mappers
+/// build tables once per `map()` and share them across all candidate
+/// orders).
+pub fn polish_with_tables(
+    tables: &CostTables,
+    evaluation: Evaluation,
+    mapping: &mut Mapping,
+    passes: usize,
+    movable: &dyn Fn(usize) -> bool,
+    permits: &dyn Fn(usize, SiteId) -> bool,
+) -> usize {
+    let mut eval = evaluation.evaluator(tables, mapping.as_slice().to_vec());
+    let applied = sweep_hill_climb(eval.as_mut(), passes, movable, permits);
+    if applied > 0 {
+        *mapping = Mapping::new(eval.sites().to_vec());
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{cost, cost_with_model};
+    use commgraph::apps::{RandomGraph, Workload};
+    use geonet::{presets, InstanceType};
+
+    fn problem(n: usize, seed: u64) -> MappingProblem {
+        let net = presets::paper_ec2_network(n / 4, InstanceType::M4Xlarge, seed);
+        let pat = RandomGraph {
+            n,
+            degree: 4,
+            max_bytes: 400_000,
+            seed,
+        }
+        .pattern();
+        MappingProblem::unconstrained(pat, net)
+    }
+
+    fn round_robin(n: usize, m: usize) -> Vec<SiteId> {
+        (0..n).map(|i| SiteId(i % m)).collect()
+    }
+
+    #[test]
+    fn tables_total_matches_cost_with_model() {
+        let p = problem(24, 3);
+        let sites = round_robin(24, p.num_sites());
+        let mapping = Mapping::new(sites.clone());
+        for model in [
+            CostModel::Full,
+            CostModel::LatencyOnly,
+            CostModel::BandwidthOnly,
+        ] {
+            let t = CostTables::build(&p, model);
+            let reference = cost_with_model(&p, &mapping, model);
+            let flat = t.total(&sites);
+            assert!(
+                (flat - reference).abs() <= 1e-9 * reference.max(1.0),
+                "{model:?}: flat {flat} vs reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_delta_matches_brute_force_for_both_engines() {
+        let p = problem(16, 5);
+        let t = CostTables::build(&p, CostModel::Full);
+        let sites = round_robin(16, p.num_sites());
+        for evaluation in [Evaluation::Incremental, Evaluation::FullRecompute] {
+            let eval = evaluation.evaluator(&t, sites.clone());
+            for a in 0..16 {
+                for b in a..16 {
+                    let d = eval.swap_delta(a, b);
+                    let mut swapped = sites.clone();
+                    swapped.swap(a, b);
+                    let brute = t.total(&swapped) - t.total(&sites);
+                    assert!(
+                        (d - brute).abs() <= 1e-9 * t.total(&sites).max(1.0),
+                        "{evaluation:?} swap ({a},{b}): {d} vs {brute}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn move_delta_matches_brute_force_for_both_engines() {
+        let p = problem(16, 7);
+        let t = CostTables::build(&p, CostModel::Full);
+        let sites = round_robin(16, p.num_sites());
+        for evaluation in [Evaluation::Incremental, Evaluation::FullRecompute] {
+            let eval = evaluation.evaluator(&t, sites.clone());
+            for i in 0..16 {
+                for s in 0..p.num_sites() {
+                    let d = eval.move_delta(i, SiteId(s));
+                    let mut moved = sites.clone();
+                    moved[i] = SiteId(s);
+                    let brute = t.total(&moved) - t.total(&sites);
+                    assert!(
+                        (d - brute).abs() <= 1e-9 * t.total(&sites).max(1.0),
+                        "{evaluation:?} move ({i}→{s}): {d} vs {brute}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_updates_total_and_revert_restores_bitwise() {
+        let p = problem(16, 9);
+        let t = CostTables::build(&p, CostModel::Full);
+        let sites = round_robin(16, p.num_sites());
+        let mut eval = CostEvaluator::new(&t, sites.clone());
+        let (t0, inc0) = (eval.total, eval.incident.clone());
+        eval.apply_swap(0, 5);
+        eval.apply_move(3, SiteId(2));
+        eval.apply_swap(7, 12);
+        // Totals track the applied deltas against brute force.
+        let brute = t.total(eval.sites());
+        assert!((eval.total() - brute).abs() <= 1e-9 * brute.max(1.0));
+        assert!(eval.revert());
+        assert!(eval.revert());
+        assert!(eval.revert());
+        assert!(!eval.revert());
+        assert_eq!(eval.sites(), &sites[..]);
+        assert!(
+            eval.total().to_bits() == t0.to_bits(),
+            "total not restored bitwise"
+        );
+        for (i, (a, b)) in eval.incident.iter().zip(&inc0).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "incident[{i}] not restored bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn incident_caches_stay_exact_after_many_applies() {
+        let p = problem(20, 11);
+        let t = CostTables::build(&p, CostModel::Full);
+        let mut eval = CostEvaluator::new(&t, round_robin(20, p.num_sites()));
+        let ops = [(0usize, 7usize), (3, 12), (1, 19), (5, 9), (0, 3), (14, 2)];
+        for &(a, b) in &ops {
+            eval.apply_swap(a, b);
+            for i in 0..20 {
+                let fresh = t.incident(eval.sites(), i);
+                assert!(
+                    (eval.incident[i] - fresh).abs() <= 1e-9 * fresh.abs().max(1.0),
+                    "incident[{i}] drifted after swap ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polish_never_increases_cost_and_reaches_local_optimum() {
+        let p = problem(32, 13);
+        let mut m = Mapping::new(round_robin(32, p.num_sites()));
+        let before = cost(&p, &m);
+        let applied = polish(
+            &p,
+            &mut m,
+            50,
+            CostModel::Full,
+            Evaluation::Incremental,
+            &|_| true,
+        );
+        let after = cost(&p, &m);
+        assert!(applied > 0, "round-robin should be improvable");
+        assert!(after < before);
+        // No improving swap may remain at the shared threshold.
+        let t = CostTables::build(&p, CostModel::Full);
+        let eval = CostEvaluator::new(&t, m.as_slice().to_vec());
+        for a in 0..32 {
+            for b in (a + 1)..32 {
+                assert!(
+                    eval.swap_delta(a, b) >= -1e-9,
+                    "improving swap ({a},{b}) remains"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn best_improving_swap_is_deterministic_and_lexicographic() {
+        let p = problem(24, 17);
+        let t = CostTables::build(&p, CostModel::Full);
+        let movable: Vec<usize> = (0..24).collect();
+        let eval = CostEvaluator::new(&t, round_robin(24, p.num_sites()));
+        let expected = {
+            // Sequential reference scan of the tie-band rule: find the
+            // minimum Δ, then the lexicographically first pair within
+            // the band of it.
+            let mut min = f64::INFINITY;
+            for a in 0..24usize {
+                for b in (a + 1)..24 {
+                    let d = eval.swap_delta(a, b);
+                    if d < -1e-15 {
+                        min = min.min(d);
+                    }
+                }
+            }
+            let band = min + 1e-12 * eval.total().abs().max(1.0);
+            let mut first: Option<(usize, usize)> = None;
+            'outer: for a in 0..24usize {
+                for b in (a + 1)..24 {
+                    let d = eval.swap_delta(a, b);
+                    if d < -1e-15 && d <= band {
+                        first = Some((a, b));
+                        break 'outer;
+                    }
+                }
+            }
+            first
+        };
+        assert!(
+            expected.is_some(),
+            "round-robin start should have an improving swap"
+        );
+        let got = best_improving_swap(&eval, &movable, -1e-15);
+        assert_eq!(got.map(|(a, b, _)| (a, b)), expected);
+    }
+
+    #[test]
+    fn term_counters_reflect_work_asymmetry() {
+        let p = problem(64, 19);
+        let t = CostTables::build(&p, CostModel::Full);
+        let sites = round_robin(64, p.num_sites());
+        let inc = CostEvaluator::new(&t, sites.clone());
+        let full = FullRecomputeEval::new(&t, sites);
+        let (i0, f0) = (inc.terms(), full.terms());
+        for a in 0..64 {
+            for b in (a + 1)..64 {
+                inc.swap_delta(a, b);
+                full.swap_delta(a, b);
+            }
+        }
+        let (di, df) = (inc.terms() - i0, full.terms() - f0);
+        assert!(
+            df >= 10 * di,
+            "full recompute should cost ≥10× more terms: incremental {di}, full {df}"
+        );
+    }
+}

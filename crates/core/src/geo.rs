@@ -23,7 +23,8 @@
 //! are embarrassingly parallel and evaluated with rayon when `parallel`
 //! is set.
 
-use crate::cost::{cost_with_model, CostModel};
+use crate::cost::CostModel;
+use crate::delta::{polish_with_tables, CostTables, Evaluation};
 use crate::grouping::group_sites;
 use crate::mapping::Mapping;
 use crate::problem::MappingProblem;
@@ -93,6 +94,11 @@ pub struct GeoMapper {
     /// best-swap-to-convergence search (Fig. 4) while matching or
     /// beating its quality from the greedy packing's better basin.
     pub refine: bool,
+    /// Which Δ-cost engine the refinement sweeps use. The default
+    /// incremental engine answers each candidate in `O(deg)`;
+    /// [`Evaluation::FullRecompute`] is the `O(E)`-per-candidate oracle
+    /// it is verified against (`tests/delta_equivalence.rs`).
+    pub evaluation: Evaluation,
 }
 
 impl Default for GeoMapper {
@@ -105,6 +111,7 @@ impl Default for GeoMapper {
             seeding: Seeding::Heaviest,
             cost_model: CostModel::Full,
             refine: true,
+            evaluation: Evaluation::Incremental,
         }
     }
 }
@@ -112,7 +119,10 @@ impl Default for GeoMapper {
 impl GeoMapper {
     /// The paper's configuration with `κ` groups.
     pub fn with_kappa(kappa: usize) -> Self {
-        Self { kappa, ..Self::default() }
+        Self {
+            kappa,
+            ..Self::default()
+        }
     }
 
     /// All group orders to evaluate.
@@ -206,7 +216,14 @@ impl GeoMapper {
                     }
                 };
                 let Some(t0) = seed_proc else { break 'outer };
-                place(t0, site, &mut assignment, &mut selected, &mut free_caps, &mut remaining);
+                place(
+                    t0,
+                    site,
+                    &mut assignment,
+                    &mut selected,
+                    &mut free_caps,
+                    &mut remaining,
+                );
                 for p in &partners[t0] {
                     affinity[p.peer] += problem.edge_weight(p);
                 }
@@ -217,8 +234,17 @@ impl GeoMapper {
                 // 8192-process simulations.
                 heap.rebuild(&affinity, &selected);
                 while free_caps[site.index()] > 0 && remaining > 0 {
-                    let Some(t) = heap.pop_best(&affinity, &selected) else { break };
-                    place(t, site, &mut assignment, &mut selected, &mut free_caps, &mut remaining);
+                    let Some(t) = heap.pop_best(&affinity, &selected) else {
+                        break;
+                    };
+                    place(
+                        t,
+                        site,
+                        &mut assignment,
+                        &mut selected,
+                        &mut free_caps,
+                        &mut remaining,
+                    );
                     for p in &partners[t] {
                         if !selected[p.peer] {
                             affinity[p.peer] += problem.edge_weight(p);
@@ -230,7 +256,12 @@ impl GeoMapper {
         }
 
         debug_assert_eq!(remaining, 0, "capacity checked at problem construction");
-        Mapping::new(assignment.into_iter().map(|a| a.expect("all processes placed")).collect())
+        Mapping::new(
+            assignment
+                .into_iter()
+                .map(|a| a.expect("all processes placed"))
+                .collect(),
+        )
     }
 }
 
@@ -248,7 +279,9 @@ pub(crate) struct AffinityHeap {
 
 impl AffinityHeap {
     pub(crate) fn with_capacity(n: usize) -> Self {
-        Self { heap: std::collections::BinaryHeap::with_capacity(2 * n) }
+        Self {
+            heap: std::collections::BinaryHeap::with_capacity(2 * n),
+        }
     }
 
     /// Non-negative floats compare like their bit patterns.
@@ -340,13 +373,19 @@ impl Mapper for GeoMapper {
         };
         debug_assert_eq!(quantities.len(), pattern.n());
         by_quantity.sort_by(|&a, &b| {
-            quantities[b].partial_cmp(&quantities[a]).unwrap().then(a.cmp(&b))
+            quantities[b]
+                .partial_cmp(&quantities[a])
+                .unwrap()
+                .then(a.cmp(&b))
         });
 
         let constraints = problem.constraints();
+        // One flat table build serves the whole order search: ranking all
+        // κ! candidate packings and every refinement sweep below.
+        let tables = CostTables::build(problem, self.cost_model);
         let evaluate = |order: &Vec<usize>| {
             let m = self.map_order(problem, &groups, order, &by_quantity);
-            let c = cost_with_model(problem, &m, self.cost_model);
+            let c = tables.total(m.as_slice());
             (c, m)
         };
 
@@ -379,8 +418,8 @@ impl Mapper for GeoMapper {
         // refining all κ! packings.
         let movable = |i: usize| constraints.pin_of(i).is_none();
         let polish = |(idx, _, mut m): (usize, f64, Mapping)| {
-            refine_mapping(problem, &mut m, 50, &movable);
-            (idx, cost_with_model(problem, &m, self.cost_model), m)
+            polish_with_tables(&tables, self.evaluation, &mut m, 50, &movable, &|_, _| true);
+            (idx, tables.total(m.as_slice()), m)
         };
         let top = ranked.into_iter().take(REFINE_TOP);
         let best = if self.parallel {
@@ -389,59 +428,10 @@ impl Mapper for GeoMapper {
                 .map(polish)
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
         } else {
-            top.map(polish).min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            top.map(polish)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
         };
         best.expect("at least one order").2
-    }
-}
-
-/// Swap hill-climb polishing a constructed mapping: up to `passes`
-/// first-improvement sweeps. Below `FULL_PAIR_LIMIT` processes every
-/// pair is considered (`O(N²·deg)` per sweep — negligible at the paper's
-/// EC2 scale and far cheaper than MPIPP's best-swap-to-convergence with
-/// restarts); above it only communicating pairs are swept, keeping the
-/// large-scale sweeps (Fig. 7, up to 8192) linear in the pattern size.
-/// `movable(i)` gates which processes may move (pinned ones may not).
-pub(crate) fn refine_mapping(
-    problem: &MappingProblem,
-    mapping: &mut Mapping,
-    passes: usize,
-    movable: &dyn Fn(usize) -> bool,
-) {
-    const FULL_PAIR_LIMIT: usize = 256;
-    let n = problem.num_processes();
-    let partners = problem.partners();
-    for _ in 0..passes {
-        let mut improved = false;
-        let try_swap = |mapping: &mut Mapping, i: usize, j: usize, improved: &mut bool| {
-            if mapping.site_of(i) != mapping.site_of(j)
-                && crate::cost::swap_delta(problem, mapping, i, j) < -1e-12
-            {
-                mapping.swap(i, j);
-                *improved = true;
-            }
-        };
-        for i in 0..n {
-            if !movable(i) {
-                continue;
-            }
-            if n <= FULL_PAIR_LIMIT {
-                for j in (i + 1)..n {
-                    if movable(j) {
-                        try_swap(mapping, i, j, &mut improved);
-                    }
-                }
-            } else {
-                for p in &partners[i] {
-                    if p.peer > i && movable(p.peer) {
-                        try_swap(mapping, i, p.peer, &mut improved);
-                    }
-                }
-            }
-        }
-        if !improved {
-            break;
-        }
     }
 }
 
@@ -490,7 +480,13 @@ mod tests {
 
     fn problem_with(n: usize, nodes_per_site: usize, seed: u64) -> MappingProblem {
         let net = presets::paper_ec2_network(nodes_per_site, InstanceType::M4Xlarge, seed);
-        let pat = RandomGraph { n, degree: 4, max_bytes: 500_000, seed }.pattern();
+        let pat = RandomGraph {
+            n,
+            degree: 4,
+            max_bytes: 500_000,
+            seed,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 
@@ -517,9 +513,12 @@ mod tests {
                     heap.push(t, affinity[t]);
                 }
             }
-            let expect = (0..n)
-                .filter(|&t| !selected[t])
-                .max_by(|&a, &b| affinity[a].partial_cmp(&affinity[b]).unwrap().then(b.cmp(&a)));
+            let expect = (0..n).filter(|&t| !selected[t]).max_by(|&a, &b| {
+                affinity[a]
+                    .partial_cmp(&affinity[b])
+                    .unwrap()
+                    .then(b.cmp(&a))
+            });
             let got = heap.pop_best(&affinity, &selected);
             assert_eq!(got, expect, "round {round}");
             if let Some(t) = got {
@@ -590,7 +589,12 @@ mod tests {
         // A ring mapped in contiguous blocks is already decent; Geo must
         // be at least as good and never worse.
         let net = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 1);
-        let pat = Ring { n: 16, iterations: 10, bytes: 1_000_000 }.pattern();
+        let pat = Ring {
+            n: 16,
+            iterations: 10,
+            bytes: 1_000_000,
+        }
+        .pattern();
         let p = MappingProblem::unconstrained(pat, net);
         let geo = GeoMapper::default().map(&p);
         let blocks = Mapping::from((0..16).map(|i| i / 4).collect::<Vec<_>>());
@@ -600,8 +604,16 @@ mod tests {
     #[test]
     fn parallel_and_serial_agree() {
         let p = problem_with(24, 6, 9);
-        let a = GeoMapper { parallel: true, ..GeoMapper::default() }.map(&p);
-        let b = GeoMapper { parallel: false, ..GeoMapper::default() }.map(&p);
+        let a = GeoMapper {
+            parallel: true,
+            ..GeoMapper::default()
+        }
+        .map(&p);
+        let b = GeoMapper {
+            parallel: false,
+            ..GeoMapper::default()
+        }
+        .map(&p);
         assert_eq!(a, b);
     }
 
@@ -610,24 +622,44 @@ mod tests {
         for seed in 0..5 {
             let p = problem_with(32, 8, seed);
             let full = GeoMapper::default().map(&p);
-            let first =
-                GeoMapper { order_search: OrderSearch::FirstOnly, ..GeoMapper::default() }.map(&p);
+            let first = GeoMapper {
+                order_search: OrderSearch::FirstOnly,
+                ..GeoMapper::default()
+            }
+            .map(&p);
             assert!(cost(&p, &full) <= cost(&p, &first) + 1e-9, "seed {seed}");
         }
     }
 
     #[test]
     fn heaviest_seeding_no_worse_than_random_on_average() {
+        // Compares the paper's line-9 seeding rule against random seeding
+        // on the *raw* Algorithm 1 packing (refinement off): the claim is
+        // about the construction heuristic. With the hill-climb on, both
+        // variants converge to near-identical local optima and random
+        // seeding's more diverse multi-starts can edge ahead, which says
+        // nothing about the seeding rule itself.
         let mut wins = 0;
-        for seed in 0..6 {
+        for seed in 0..10 {
             let p = problem_with(32, 8, seed);
-            let h = GeoMapper::default().map(&p);
-            let r = GeoMapper { seeding: Seeding::Random, seed, ..GeoMapper::default() }.map(&p);
+            let h = GeoMapper {
+                seed,
+                refine: false,
+                ..GeoMapper::default()
+            }
+            .map(&p);
+            let r = GeoMapper {
+                seeding: Seeding::Random,
+                seed,
+                refine: false,
+                ..GeoMapper::default()
+            }
+            .map(&p);
             if cost(&p, &h) <= cost(&p, &r) + 1e-12 {
                 wins += 1;
             }
         }
-        assert!(wins >= 3, "heaviest seeding won only {wins}/6");
+        assert!(wins >= 6, "heaviest seeding won only {wins}/10");
     }
 
     #[test]
@@ -643,7 +675,12 @@ mod tests {
             Site::new("only", GeoCoord::new(0.0, 0.0), 16),
             AlphaBeta::from_ms_mbps(0.3, 100.0),
         );
-        let pat = Ring { n: 16, iterations: 1, bytes: 100 }.pattern();
+        let pat = Ring {
+            n: 16,
+            iterations: 1,
+            bytes: 100,
+        }
+        .pattern();
         let p = MappingProblem::unconstrained(pat, net);
         let m = GeoMapper::default().map(&p);
         assert!(m.as_slice().iter().all(|s| s.index() == 0));

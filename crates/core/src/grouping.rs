@@ -22,7 +22,11 @@ pub fn group_sites(net: &SiteNetwork, kappa: usize, seed: u64) -> Vec<Vec<SiteId
     if m == 0 {
         return Vec::new();
     }
-    let points: Vec<Vec<f64>> = net.sites().iter().map(|s| s.coord.as_array().to_vec()).collect();
+    let points: Vec<Vec<f64>> = net
+        .sites()
+        .iter()
+        .map(|s| s.coord.as_array().to_vec())
+        .collect();
     let k = kappa.min(m);
     let best = (0..4)
         .map(|r| kmeans(&points, &KMeansConfig::forgy(k, seed.wrapping_add(r))))
@@ -43,7 +47,10 @@ mod tests {
     use geonet::InstanceType;
 
     fn global_net() -> SiteNetwork {
-        let names: Vec<&str> = geonet::presets::EC2_REGIONS.iter().map(|r| r.name).collect();
+        let names: Vec<&str> = geonet::presets::EC2_REGIONS
+            .iter()
+            .map(|r| r.name)
+            .collect();
         SynthNetworkBuilder::new(SynthConfig::default()).build(ec2_sites(&names, 4))
     }
 
@@ -66,9 +73,22 @@ mod tests {
         // ap-southeast-1 (5) is Singapore. The two US-west regions must
         // land in the same group, and Singapore must not join the US
         // group that contains us-west-1.
-        let find = |site: usize| groups.iter().position(|g| g.contains(&SiteId(site))).unwrap();
-        assert_eq!(find(1), find(2), "us-west-1 and us-west-2 split: {groups:?}");
-        assert_ne!(find(1), find(5), "Singapore grouped with US west: {groups:?}");
+        let find = |site: usize| {
+            groups
+                .iter()
+                .position(|g| g.contains(&SiteId(site)))
+                .unwrap()
+        };
+        assert_eq!(
+            find(1),
+            find(2),
+            "us-west-1 and us-west-2 split: {groups:?}"
+        );
+        assert_ne!(
+            find(1),
+            find(5),
+            "Singapore grouped with US west: {groups:?}"
+        );
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   `(P − C) ∘ C = 0`) and capacities (`count(j, P) ≤ I_j`).
 //! * [`cost`] — the α–β cost function of Eq. 3:
 //!   `Σ_{i,j} AG(i,j)·LT(P_i,P_j) + CG(i,j)/BT(P_i,P_j)`.
+//! * [`delta`] — the incremental Δ-cost engine: flat [`delta::CostTables`]
+//!   plus cached evaluators answering swap/move deltas in `O(deg)`, with
+//!   a full-recompute oracle behind the same trait.
 //! * [`grouping`] — the K-means grouping optimization over site
 //!   coordinates that bounds the order search to `O(κ!)`.
 //! * [`geo`] — Algorithm 1: for every order of the groups, greedily seed
@@ -25,15 +28,20 @@
 
 pub mod constraint;
 pub mod cost;
+pub mod delta;
 pub mod geo;
 pub mod grouping;
 pub mod mapping;
-pub mod pipeline;
 pub mod multisite;
+pub mod pipeline;
 pub mod problem;
 
 pub use constraint::ConstraintVector;
-pub use cost::{cost, cost_with_model, pair_cost, CostModel};
+pub use cost::{cost, cost_with_model, model_components, pair_cost, CostModel};
+pub use delta::{
+    best_improving_swap, polish, polish_with_tables, sweep_hill_climb, CostEval, CostEvaluator,
+    CostTables, Evaluation, FullRecomputeEval,
+};
 pub use geo::{GeoMapper, OrderSearch, Seeding};
 pub use grouping::group_sites;
 pub use mapping::Mapping;

@@ -83,7 +83,9 @@ impl Mapping {
         let caps = problem.capacities();
         for (j, (&used, &cap)) in self.site_counts(m).iter().zip(&caps).enumerate() {
             if used > cap {
-                return Err(format!("site {j} holds {used} processes but has {cap} nodes"));
+                return Err(format!(
+                    "site {j} holds {used} processes but has {cap} nodes"
+                ));
             }
         }
         if !problem.constraints().satisfied_by(&self.assignment) {
@@ -122,7 +124,12 @@ mod tests {
 
     fn problem() -> MappingProblem {
         let net = presets::paper_ec2_network(2, InstanceType::M4Xlarge, 1);
-        let pat = Ring { n: 8, iterations: 1, bytes: 10 }.pattern();
+        let pat = Ring {
+            n: 8,
+            iterations: 1,
+            bytes: 10,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 

@@ -15,7 +15,7 @@
 //! and falls back to augmenting paths when a greedy placement would
 //! strand a process.
 
-use crate::cost::cost_with_model;
+use crate::delta::{polish_with_tables, CostTables};
 use crate::geo::{GeoMapper, Seeding};
 use crate::grouping::group_sites;
 use crate::mapping::Mapping;
@@ -34,7 +34,9 @@ pub struct AllowedSites {
 impl AllowedSites {
     /// No restrictions on any of `n` processes.
     pub fn unrestricted(n: usize) -> Self {
-        Self { allowed: vec![None; n] }
+        Self {
+            allowed: vec![None; n],
+        }
     }
 
     /// Build from explicit sets. Sets are deduplicated and sorted; an
@@ -212,7 +214,10 @@ pub struct GeoMapperMulti {
 impl GeoMapperMulti {
     /// Create with the paper-default base configuration.
     pub fn new(allowed: AllowedSites) -> Self {
-        Self { base: GeoMapper::default(), allowed }
+        Self {
+            base: GeoMapper::default(),
+            allowed,
+        }
     }
 
     /// Map `problem` honouring the allowed sets (single-site constraints
@@ -224,7 +229,11 @@ impl GeoMapperMulti {
     /// sets within capacities) or the set vector length mismatches.
     pub fn map(&self, problem: &MappingProblem) -> Mapping {
         let n = problem.num_processes();
-        assert_eq!(self.allowed.len(), n, "allowed sets must cover every process");
+        assert_eq!(
+            self.allowed.len(),
+            n,
+            "allowed sets must cover every process"
+        );
         // Merge single-site pins into the allowed sets.
         let mut allowed = self.allowed.clone();
         for i in 0..n {
@@ -250,29 +259,50 @@ impl GeoMapperMulti {
             .map(|ps| ps.iter().map(|p| problem.edge_weight(p)).sum::<f64>())
             .collect();
         let mut by_quantity: Vec<usize> = (0..n).collect();
-        by_quantity
-            .sort_by(|&a, &b| quantities[b].partial_cmp(&quantities[a]).unwrap().then(a.cmp(&b)));
+        by_quantity.sort_by(|&a, &b| {
+            quantities[b]
+                .partial_cmp(&quantities[a])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
 
         // Mirror GeoMapper::map exactly: rank all orders unrefined, then
         // polish the cheapest few (the order search doubles as a
         // multi-start for the hill-climb).
+        let tables = CostTables::build(problem, self.base.cost_model);
         let evaluate = |idx: usize, order: &Vec<usize>| {
             let m = self.map_order(problem, &allowed, &groups, order, &by_quantity);
-            let c = cost_with_model(problem, &m, self.base.cost_model);
+            let c = tables.total(m.as_slice());
             (idx, c, m)
         };
         let mut ranked: Vec<(usize, f64, Mapping)> = if self.base.parallel {
-            orders.par_iter().enumerate().map(|(i, o)| evaluate(i, o)).collect()
+            orders
+                .par_iter()
+                .enumerate()
+                .map(|(i, o)| evaluate(i, o))
+                .collect()
         } else {
-            orders.iter().enumerate().map(|(i, o)| evaluate(i, o)).collect()
+            orders
+                .iter()
+                .enumerate()
+                .map(|(i, o)| evaluate(i, o))
+                .collect()
         };
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         if !self.base.refine {
             return ranked.into_iter().next().expect("at least one order").2;
         }
         let polish = |(idx, _, mut m): (usize, f64, Mapping)| {
-            refine_multi(problem, &allowed, &mut m, 50);
-            (idx, cost_with_model(problem, &m, self.base.cost_model), m)
+            let permits = |i: usize, s: SiteId| allowed.permits(i, s);
+            polish_with_tables(
+                &tables,
+                self.base.evaluation,
+                &mut m,
+                50,
+                &|_| true,
+                &permits,
+            );
+            (idx, tables.total(m.as_slice()), m)
         };
         let top = ranked.into_iter().take(crate::geo::REFINE_TOP);
         let best = if self.base.parallel {
@@ -281,7 +311,8 @@ impl GeoMapperMulti {
                 .map(polish)
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
         } else {
-            top.map(polish).min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            top.map(polish)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
         };
         best.expect("at least one order").2
     }
@@ -322,12 +353,14 @@ impl GeoMapperMulti {
                 site_done[slot] = true;
 
                 affinity.iter_mut().for_each(|a| *a = 0.0);
-                let eligible = |t: usize, selected: &[bool]| !selected[t] && allowed.permits(t, site);
+                let eligible =
+                    |t: usize, selected: &[bool]| !selected[t] && allowed.permits(t, site);
 
                 let seed_proc = match self.base.seeding {
-                    Seeding::Heaviest => {
-                        by_quantity.iter().copied().find(|&t| eligible(t, &selected))
-                    }
+                    Seeding::Heaviest => by_quantity
+                        .iter()
+                        .copied()
+                        .find(|&t| eligible(t, &selected)),
                     Seeding::Random => {
                         let free: Vec<usize> = (0..n).filter(|&t| eligible(t, &selected)).collect();
                         (!free.is_empty()).then(|| free[rng.random_range(0..free.len())])
@@ -366,51 +399,12 @@ impl GeoMapperMulti {
             // paths seeded from the partial assignment.
             repair(&mut assignment, allowed, &problem.capacities());
         }
-        Mapping::new(assignment.into_iter().map(|a| a.expect("repair completes")).collect())
-    }
-}
-
-/// Partner-edge swap hill-climb honouring the allowed sets: a swap is
-/// taken only when both endpoints may stand on each other's site and the
-/// Eq. 3 cost strictly drops.
-fn refine_multi(
-    problem: &MappingProblem,
-    allowed: &AllowedSites,
-    mapping: &mut Mapping,
-    passes: usize,
-) {
-    const FULL_PAIR_LIMIT: usize = 256;
-    let n = problem.num_processes();
-    let partners = problem.partners();
-    for _ in 0..passes {
-        let mut improved = false;
-        let try_swap = |mapping: &mut Mapping, i: usize, j: usize, improved: &mut bool| {
-            let (si, sj) = (mapping.site_of(i), mapping.site_of(j));
-            if si != sj
-                && allowed.permits(i, sj)
-                && allowed.permits(j, si)
-                && crate::cost::swap_delta(problem, mapping, i, j) < -1e-12
-            {
-                mapping.swap(i, j);
-                *improved = true;
-            }
-        };
-        for i in 0..n {
-            if n <= FULL_PAIR_LIMIT {
-                for j in (i + 1)..n {
-                    try_swap(mapping, i, j, &mut improved);
-                }
-            } else {
-                for p in &partners[i] {
-                    if p.peer > i {
-                        try_swap(mapping, i, p.peer, &mut improved);
-                    }
-                }
-            }
-        }
-        if !improved {
-            break;
-        }
+        Mapping::new(
+            assignment
+                .into_iter()
+                .map(|a| a.expect("repair completes"))
+                .collect(),
+        )
     }
 }
 
@@ -423,7 +417,9 @@ fn repair(assignment: &mut [Option<SiteId>], allowed: &AllowedSites, caps: &[usi
             matcher.place(i, site.index());
         }
     }
-    let unplaced: Vec<usize> = (0..assignment.len()).filter(|&i| assignment[i].is_none()).collect();
+    let unplaced: Vec<usize> = (0..assignment.len())
+        .filter(|&i| assignment[i].is_none())
+        .collect();
     for i in unplaced {
         let mut visited = vec![false; caps.len()];
         let ok = matcher.augment(i, &mut visited);
@@ -444,7 +440,13 @@ mod tests {
 
     fn problem(n: usize, nodes: usize, seed: u64) -> MappingProblem {
         let net = presets::paper_ec2_network(nodes, InstanceType::M4Xlarge, seed);
-        let pat = RandomGraph { n, degree: 3, max_bytes: 400_000, seed }.pattern();
+        let pat = RandomGraph {
+            n,
+            degree: 3,
+            max_bytes: 400_000,
+            seed,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 
@@ -540,7 +542,10 @@ mod tests {
     fn restriction_costs_performance_monotonically() {
         // More freedom can only help the objective.
         let p = problem(16, 4, 6);
-        let free = cost(&p, &GeoMapperMulti::new(AllowedSites::unrestricted(16)).map(&p));
+        let free = cost(
+            &p,
+            &GeoMapperMulti::new(AllowedSites::unrestricted(16)).map(&p),
+        );
         let mut allowed = AllowedSites::unrestricted(16);
         for i in 0..8 {
             allowed.restrict(i, &[SiteId(i % 4)]);

@@ -84,7 +84,10 @@ pub fn run(
     }
     let (pattern, compression_ratio) = if config.compress_traces {
         let compressed = trace.compress();
-        (compressed.to_pattern(program.num_ranks()), compressed.compression_ratio())
+        (
+            compressed.to_pattern(program.num_ranks()),
+            compressed.compression_ratio(),
+        )
     } else {
         (trace.to_pattern(program.num_ranks()), 1.0)
     };
@@ -130,10 +133,19 @@ mod tests {
     fn pipeline_end_to_end_on_lu() {
         let truth = presets::paper_ec2_network(16, InstanceType::M4Xlarge, 7);
         let program = AppKind::Lu.workload(64).program();
-        let result = run(&program, &truth, ConstraintVector::none(64), &PipelineConfig::default());
+        let result = run(
+            &program,
+            &truth,
+            ConstraintVector::none(64),
+            &PipelineConfig::default(),
+        );
         result.mapping.validate(&result.problem).unwrap();
         // LU's iterative structure must compress well.
-        assert!(result.compression_ratio > 3.0, "ratio {}", result.compression_ratio);
+        assert!(
+            result.compression_ratio > 3.0,
+            "ratio {}",
+            result.compression_ratio
+        );
         assert!(result.estimated_cost > 0.0);
         // The mapping found on estimates must also be good on the truth:
         // compare against round-robin under the true network.
@@ -146,12 +158,20 @@ mod tests {
     fn compression_switch_changes_ratio_not_pattern() {
         let truth = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 7);
         let program = AppKind::Sp.workload(16).program();
-        let on = run(&program, &truth, ConstraintVector::none(16), &PipelineConfig::default());
+        let on = run(
+            &program,
+            &truth,
+            ConstraintVector::none(16),
+            &PipelineConfig::default(),
+        );
         let off = run(
             &program,
             &truth,
             ConstraintVector::none(16),
-            &PipelineConfig { compress_traces: false, ..PipelineConfig::default() },
+            &PipelineConfig {
+                compress_traces: false,
+                ..PipelineConfig::default()
+            },
         );
         assert_eq!(on.pattern, off.pattern);
         assert!(on.compression_ratio > off.compression_ratio);

@@ -32,7 +32,11 @@ impl MappingProblem {
     /// some site's capacity (no feasible mapping could exist).
     pub fn new(pattern: CommPattern, network: SiteNetwork, constraints: ConstraintVector) -> Self {
         let n = pattern.n();
-        assert_eq!(constraints.len(), n, "constraint vector must have one entry per process");
+        assert_eq!(
+            constraints.len(),
+            n,
+            "constraint vector must have one entry per process"
+        );
         assert!(
             network.total_nodes() >= n,
             "{} processes exceed {} total nodes",
@@ -43,7 +47,10 @@ impl MappingProblem {
         let mut used = vec![0usize; network.num_sites()];
         for (i, c) in constraints.iter().enumerate() {
             if let Some(site) = c {
-                assert!(site.index() < network.num_sites(), "process {i} constrained to unknown {site}");
+                assert!(
+                    site.index() < network.num_sites(),
+                    "process {i} constrained to unknown {site}"
+                );
                 used[site.index()] += 1;
                 assert!(
                     used[site.index()] <= caps[site.index()],
@@ -57,12 +64,18 @@ impl MappingProblem {
         let mut lat_eq_bytes = 0.0;
         for k in 0..m {
             for l in 0..m {
-                lat_eq_bytes += network.latency(SiteId(k), SiteId(l))
-                    * network.bandwidth(SiteId(k), SiteId(l));
+                lat_eq_bytes +=
+                    network.latency(SiteId(k), SiteId(l)) * network.bandwidth(SiteId(k), SiteId(l));
             }
         }
         lat_eq_bytes /= (m * m) as f64;
-        Self { pattern, network, constraints, partners, lat_eq_bytes }
+        Self {
+            pattern,
+            network,
+            constraints,
+            partners,
+            lat_eq_bytes,
+        }
     }
 
     /// Problem without any data-movement constraints.
@@ -167,7 +180,12 @@ mod tests {
 
     fn problem() -> MappingProblem {
         let net = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 1);
-        let pat = Ring { n: 16, iterations: 2, bytes: 1000 }.pattern();
+        let pat = Ring {
+            n: 16,
+            iterations: 2,
+            bytes: 1000,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net)
     }
 
@@ -202,7 +220,12 @@ mod tests {
     #[should_panic(expected = "exceed")]
     fn too_many_processes_rejected() {
         let net = presets::paper_ec2_network(2, InstanceType::M4Xlarge, 1);
-        let pat = Ring { n: 16, iterations: 1, bytes: 10 }.pattern();
+        let pat = Ring {
+            n: 16,
+            iterations: 1,
+            bytes: 10,
+        }
+        .pattern();
         MappingProblem::unconstrained(pat, net);
     }
 
@@ -210,7 +233,12 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn infeasible_constraints_rejected() {
         let net = presets::paper_ec2_network(1, InstanceType::M4Xlarge, 1);
-        let pat = Ring { n: 4, iterations: 1, bytes: 10 }.pattern();
+        let pat = Ring {
+            n: 4,
+            iterations: 1,
+            bytes: 10,
+        }
+        .pattern();
         let mut c = ConstraintVector::none(4);
         c.pin(0, SiteId(0));
         c.pin(1, SiteId(0));
@@ -221,7 +249,12 @@ mod tests {
     #[should_panic(expected = "one entry per process")]
     fn wrong_constraint_len_rejected() {
         let net = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 1);
-        let pat = Ring { n: 4, iterations: 1, bytes: 10 }.pattern();
+        let pat = Ring {
+            n: 4,
+            iterations: 1,
+            bytes: 10,
+        }
+        .pattern();
         MappingProblem::new(pat, net, ConstraintVector::none(5));
     }
 }

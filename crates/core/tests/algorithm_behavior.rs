@@ -17,7 +17,13 @@ fn eleven_region_mapping_with_grouping() {
     // The grouping optimization is motivated by large M: map onto all 11
     // EC2 regions with kappa=4 (11! orders would be infeasible).
     let net = presets::ec2_global_network(4, InstanceType::M4Xlarge, 2);
-    let pattern = RandomGraph { n: 44, degree: 4, max_bytes: 500_000, seed: 2 }.pattern();
+    let pattern = RandomGraph {
+        n: 44,
+        degree: 4,
+        max_bytes: 500_000,
+        seed: 2,
+    }
+    .pattern();
     let problem = MappingProblem::unconstrained(pattern, net);
     let mapper = GeoMapper::with_kappa(4);
     let m = mapper.map(&problem);
@@ -66,10 +72,22 @@ fn order_search_strictly_helps_on_asymmetric_rings() {
     let mut strict = 0;
     for seed in 0..8 {
         let net = ec2(8, seed);
-        let pattern = Ring { n: 32, iterations: 4, bytes: 2_000_000 }.pattern();
+        let pattern = Ring {
+            n: 32,
+            iterations: 4,
+            bytes: 2_000_000,
+        }
+        .pattern();
         let problem = MappingProblem::unconstrained(pattern, net);
-        let full = GeoMapper { seed, refine: false, ..GeoMapper::default() };
-        let first = GeoMapper { order_search: OrderSearch::FirstOnly, ..full.clone() };
+        let full = GeoMapper {
+            seed,
+            refine: false,
+            ..GeoMapper::default()
+        };
+        let first = GeoMapper {
+            order_search: OrderSearch::FirstOnly,
+            ..full.clone()
+        };
         let c_full = cost(&problem, &full.map(&problem));
         let c_first = cost(&problem, &first.map(&problem));
         assert!(c_full <= c_first + 1e-9, "seed {seed}");
@@ -79,7 +97,10 @@ fn order_search_strictly_helps_on_asymmetric_rings() {
         }
     }
     assert_eq!(wins, 8);
-    assert!(strict >= 3, "order search never strictly helped ({strict}/8)");
+    assert!(
+        strict >= 3,
+        "order search never strictly helped ({strict}/8)"
+    );
 }
 
 #[test]
@@ -93,11 +114,20 @@ fn refinement_never_hurts_and_often_helps() {
         let pattern = AppKind::KMeans.workload(32).pattern();
         let constraints = ConstraintVector::random(32, 0.2, &net.capacities(), seed);
         let problem = MappingProblem::new(pattern, net, constraints);
-        let with = GeoMapper { seed, ..GeoMapper::default() };
-        let without = GeoMapper { refine: false, ..with.clone() };
+        let with = GeoMapper {
+            seed,
+            ..GeoMapper::default()
+        };
+        let without = GeoMapper {
+            refine: false,
+            ..with.clone()
+        };
         let c_with = cost(&problem, &with.map(&problem));
         let c_without = cost(&problem, &without.map(&problem));
-        assert!(c_with <= c_without + 1e-9, "seed {seed}: {c_with} > {c_without}");
+        assert!(
+            c_with <= c_without + 1e-9,
+            "seed {seed}: {c_with} > {c_without}"
+        );
         if c_with < c_without - 1e-9 {
             helped += 1;
         }
@@ -110,7 +140,11 @@ fn stencil_blocks_map_to_contiguous_sites() {
     // A 2-D stencil on 4 sites: Geo should cut far fewer halo edges
     // than a random spread.
     let net = ec2(16, 4);
-    let w = Stencil2D { n: 64, iterations: 3, bytes: 1_000_000 };
+    let w = Stencil2D {
+        n: 64,
+        iterations: 3,
+        bytes: 1_000_000,
+    };
     let pattern = w.pattern();
     let problem = MappingProblem::unconstrained(pattern.clone(), net);
     let m = GeoMapper::default().map(&problem);
@@ -133,8 +167,11 @@ fn latency_only_objective_degrades_bandwidth_heavy_apps() {
     let pattern = AppKind::Bt.workload(64).pattern();
     let problem = MappingProblem::unconstrained(pattern, net);
     let full = GeoMapper::default().map(&problem);
-    let lat_only =
-        GeoMapper { cost_model: CostModel::LatencyOnly, ..GeoMapper::default() }.map(&problem);
+    let lat_only = GeoMapper {
+        cost_model: CostModel::LatencyOnly,
+        ..GeoMapper::default()
+    }
+    .map(&problem);
     assert!(cost(&problem, &full) <= cost(&problem, &lat_only) + 1e-9);
 }
 
@@ -146,7 +183,13 @@ fn unbalanced_capacities_are_respected() {
     sites[2].nodes = 4;
     sites[3].nodes = 25;
     let net = geonet::SynthNetworkBuilder::new(geonet::SynthConfig::default()).build(sites);
-    let pattern = RandomGraph { n: 32, degree: 3, max_bytes: 100_000, seed: 1 }.pattern();
+    let pattern = RandomGraph {
+        n: 32,
+        degree: 3,
+        max_bytes: 100_000,
+        seed: 1,
+    }
+    .pattern();
     let problem = MappingProblem::unconstrained(pattern, net);
     let m = GeoMapper::default().map(&problem);
     m.validate(&problem).unwrap();
@@ -159,7 +202,12 @@ fn unbalanced_capacities_are_respected() {
 fn spare_capacity_is_allowed() {
     // More nodes than processes: mapping simply leaves slots free.
     let net = ec2(16, 7); // 64 nodes
-    let pattern = Ring { n: 20, iterations: 1, bytes: 1000 }.pattern();
+    let pattern = Ring {
+        n: 20,
+        iterations: 1,
+        bytes: 1000,
+    }
+    .pattern();
     let problem = MappingProblem::unconstrained(pattern, net);
     let m = GeoMapper::default().map(&problem);
     m.validate(&problem).unwrap();

@@ -91,16 +91,33 @@ pub struct Calibrator {
 impl Calibrator {
     /// Create a calibrator.
     pub fn new(config: CalibrationConfig) -> Self {
-        assert!(config.days > 0 && config.probes_per_day > 0, "need at least one probe");
-        assert!(config.large_bytes > config.small_bytes, "bandwidth probe must exceed latency probe");
+        assert!(
+            config.days > 0 && config.probes_per_day > 0,
+            "need at least one probe"
+        );
+        assert!(
+            config.large_bytes > config.small_bytes,
+            "bandwidth probe must exceed latency probe"
+        );
         Self { config }
     }
 
     /// One simulated ping-pong elapsed time (one direction) for `bytes`
     /// over the ground-truth link `(k, l)`, with multiplicative noise.
-    fn probe(&self, truth: &SiteNetwork, k: SiteId, l: SiteId, bytes: u64, rng: &mut StdRng) -> f64 {
+    fn probe(
+        &self,
+        truth: &SiteNetwork,
+        k: SiteId,
+        l: SiteId,
+        bytes: u64,
+        rng: &mut StdRng,
+    ) -> f64 {
         let ab = truth.alpha_beta(k, l);
-        let cv = if k == l { self.config.intra_noise_cv } else { self.config.inter_noise_cv };
+        let cv = if k == l {
+            self.config.intra_noise_cv
+        } else {
+            self.config.inter_noise_cv
+        };
         let noise = 1.0 + cv * standard_normal(rng);
         ab.transfer_time(bytes) * noise.max(0.2)
     }
@@ -133,7 +150,10 @@ impl Calibrator {
                 }
                 let lat = lat_sum / samples as f64;
                 let mean_bw = bw_samples.iter().sum::<f64>() / samples as f64;
-                let var = bw_samples.iter().map(|b| (b - mean_bw).powi(2)).sum::<f64>()
+                let var = bw_samples
+                    .iter()
+                    .map(|b| (b - mean_bw).powi(2))
+                    .sum::<f64>()
                     / samples as f64;
                 lt.set(k, l, lat);
                 bt.set(k, l, mean_bw);
@@ -191,7 +211,11 @@ mod tests {
         let truth = paper_ec2_network(16, InstanceType::M4Xlarge, 42);
         let report = Calibrator::new(CalibrationConfig::default()).calibrate(&truth);
         // Paper §4.2: inter-site variation generally below 5%.
-        assert!(report.max_inter_site_cv() < 0.08, "cv {}", report.max_inter_site_cv());
+        assert!(
+            report.max_inter_site_cv() < 0.08,
+            "cv {}",
+            report.max_inter_site_cv()
+        );
     }
 
     #[test]
@@ -216,7 +240,11 @@ mod tests {
         // all-node-pairs ≈ 180+ days, site-pairs ≈ 12 minutes.
         let (site_min, node_min) = calibration_cost_minutes(4, 4 * 128);
         assert_eq!(site_min, 12.0);
-        assert!(node_min / (60.0 * 24.0) > 180.0, "node days {}", node_min / 1440.0);
+        assert!(
+            node_min / (60.0 * 24.0) > 180.0,
+            "node days {}",
+            node_min / 1440.0
+        );
     }
 
     #[test]
@@ -234,6 +262,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one probe")]
     fn zero_days_rejected() {
-        Calibrator::new(CalibrationConfig { days: 0, ..CalibrationConfig::default() });
+        Calibrator::new(CalibrationConfig {
+            days: 0,
+            ..CalibrationConfig::default()
+        });
     }
 }

@@ -121,7 +121,10 @@ mod tests {
         let a = GeoCoord::new(0.0, 0.0);
         let b = GeoCoord::new(0.0, 180.0);
         let d = a.distance_km(&b);
-        assert!(approx(d, std::f64::consts::PI * EARTH_RADIUS_KM, 1.0), "got {d}");
+        assert!(
+            approx(d, std::f64::consts::PI * EARTH_RADIUS_KM, 1.0),
+            "got {d}"
+        );
     }
 
     #[test]

@@ -146,9 +146,17 @@ mod tests {
     fn cross_region_bandwidth_nearly_flat_across_types() {
         // Observation 1: the WAN is the bottleneck — cross-region bandwidth
         // varies by < 25% across types while intra varies by ~10x.
-        let cross: Vec<f64> = InstanceType::TABLE1.iter().map(|t| t.cross_bandwidth_mbps()).collect();
-        let intra: Vec<f64> = InstanceType::TABLE1.iter().map(|t| t.intra_bandwidth_mbps()).collect();
-        let spread = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max) / v.iter().cloned().fold(f64::MAX, f64::min);
+        let cross: Vec<f64> = InstanceType::TABLE1
+            .iter()
+            .map(|t| t.cross_bandwidth_mbps())
+            .collect();
+        let intra: Vec<f64> = InstanceType::TABLE1
+            .iter()
+            .map(|t| t.intra_bandwidth_mbps())
+            .collect();
+        let spread = |v: &[f64]| {
+            v.iter().cloned().fold(f64::MIN, f64::max) / v.iter().cloned().fold(f64::MAX, f64::min)
+        };
         assert!(spread(&cross) < 1.25);
         assert!(spread(&intra) > 5.0);
     }
@@ -156,7 +164,10 @@ mod tests {
     #[test]
     fn intra_exceeds_cross_for_every_type() {
         for ty in InstanceType::TABLE1 {
-            assert!(ty.intra_bandwidth_mbps() > 2.0 * ty.cross_bandwidth_mbps(), "{ty}");
+            assert!(
+                ty.intra_bandwidth_mbps() > 2.0 * ty.cross_bandwidth_mbps(),
+                "{ty}"
+            );
         }
     }
 

@@ -76,10 +76,16 @@ pub fn from_csv(csv: &str) -> Result<SiteNetwork, String> {
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 7 {
-            return Err(format!("line {}: expected 7 fields, got {}", lineno + 1, f.len()));
+            return Err(format!(
+                "line {}: expected 7 fields, got {}",
+                lineno + 1,
+                f.len()
+            ));
         }
         let num = |s: &str, what: &str| -> Result<f64, String> {
-            s.trim().parse::<f64>().map_err(|e| format!("line {}: bad {what} {s:?}: {e}", lineno + 1))
+            s.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: bad {what} {s:?}: {e}", lineno + 1))
         };
         rows.push(Row {
             from: f[0].trim().to_string(),
@@ -111,8 +117,11 @@ pub fn from_csv(csv: &str) -> Result<SiteNetwork, String> {
             }
         }
     }
-    let index: BTreeMap<&str, usize> =
-        order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let index: BTreeMap<&str, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
     let m = order.len();
 
     let mut lt = SquareMatrix::filled(m, f64::NAN);

@@ -25,12 +25,18 @@ impl AlphaBeta {
     /// Panics if the latency is negative or the bandwidth is not strictly
     /// positive (a zero-bandwidth link would make every transfer infinite).
     pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
-        assert!(latency_s >= 0.0 && latency_s.is_finite(), "latency must be finite and >= 0, got {latency_s}");
+        assert!(
+            latency_s >= 0.0 && latency_s.is_finite(),
+            "latency must be finite and >= 0, got {latency_s}"
+        );
         assert!(
             bandwidth_bps > 0.0 && bandwidth_bps.is_finite(),
             "bandwidth must be finite and > 0, got {bandwidth_bps}"
         );
-        Self { latency_s, bandwidth_bps }
+        Self {
+            latency_s,
+            bandwidth_bps,
+        }
     }
 
     /// Create a link from the paper's table units: milliseconds and MB/s.

@@ -26,12 +26,18 @@ pub struct SquareMatrix {
 impl SquareMatrix {
     /// Create an `n×n` matrix filled with zeros.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Create an `n×n` matrix filled with `value`.
     pub fn filled(n: usize, value: f64) -> Self {
-        Self { n, data: vec![value; n * n] }
+        Self {
+            n,
+            data: vec![value; n * n],
+        }
     }
 
     /// Create a matrix from a row-major vector.
@@ -39,7 +45,13 @@ impl SquareMatrix {
     /// # Panics
     /// Panics if `data.len() != n * n`.
     pub fn from_vec(n: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), n * n, "expected {} elements, got {}", n * n, data.len());
+        assert_eq!(
+            data.len(),
+            n * n,
+            "expected {} elements, got {}",
+            n * n,
+            data.len()
+        );
         Self { n, data }
     }
 
@@ -94,7 +106,11 @@ impl SquareMatrix {
 
     /// Largest element (0.0 for an empty matrix).
     pub fn max(&self) -> f64 {
-        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+        self.data
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
     }
 
     /// Sum of row `i` plus column `i`, excluding the diagonal twice.
@@ -123,14 +139,19 @@ impl SquareMatrix {
 
     /// Element-wise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
-        Self { n: self.n, data: self.data.iter().map(|&v| f(v)).collect() }
+        Self {
+            n: self.n,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Iterate over `(row, col, value)` of all non-zero elements.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.data.iter().enumerate().filter_map(move |(idx, &v)| {
-            (v != 0.0).then(|| (idx / self.n, idx % self.n, v))
-        })
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(move |(idx, &v)| (idx / self.n, idx % self.n, v))
     }
 
     /// Frobenius-style relative difference `‖a−b‖₁ / max(‖a‖₁, ε)`, used by
@@ -152,7 +173,12 @@ impl Index<(usize, usize)> for SquareMatrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds for {}x{} matrix", self.n, self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of bounds for {}x{} matrix",
+            self.n,
+            self.n
+        );
         &self.data[i * self.n + j]
     }
 }
@@ -160,7 +186,12 @@ impl Index<(usize, usize)> for SquareMatrix {
 impl IndexMut<(usize, usize)> for SquareMatrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.n && j < self.n, "index ({i},{j}) out of bounds for {}x{} matrix", self.n, self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of bounds for {}x{} matrix",
+            self.n,
+            self.n
+        );
         &mut self.data[i * self.n + j]
     }
 }

@@ -94,7 +94,10 @@ impl SiteNetwork {
     /// The α–β parameters of the directed site pair `(k, l)`.
     #[inline]
     pub fn alpha_beta(&self, k: SiteId, l: SiteId) -> AlphaBeta {
-        AlphaBeta { latency_s: self.latency(k, l), bandwidth_bps: self.bandwidth(k, l) }
+        AlphaBeta {
+            latency_s: self.latency(k, l),
+            bandwidth_bps: self.bandwidth(k, l),
+        }
     }
 
     /// The raw latency matrix (seconds).
@@ -190,7 +193,10 @@ mod tests {
     #[test]
     fn asymmetry_is_preserved() {
         let net = two_site_net();
-        assert_ne!(net.latency(SiteId(0), SiteId(1)), net.latency(SiteId(1), SiteId(0)));
+        assert_ne!(
+            net.latency(SiteId(0), SiteId(1)),
+            net.latency(SiteId(1), SiteId(0))
+        );
         assert!(!net.lt().is_symmetric(1e-9));
     }
 
@@ -225,7 +231,10 @@ mod tests {
     fn subnetwork_preserves_cross_terms() {
         let net = two_site_net();
         let sub = net.subnetwork(&[SiteId(1), SiteId(0)]);
-        assert_eq!(sub.latency(SiteId(0), SiteId(1)), net.latency(SiteId(1), SiteId(0)));
+        assert_eq!(
+            sub.latency(SiteId(0), SiteId(1)),
+            net.latency(SiteId(1), SiteId(0))
+        );
     }
 
     #[test]

@@ -26,32 +26,116 @@ pub struct RegionInfo {
 
 /// The 11 Amazon EC2 regions of Nov 2015 (paper Fig. 1).
 pub const EC2_REGIONS: [RegionInfo; 11] = [
-    RegionInfo { name: "us-east-1", lat: 38.95, lon: -77.45 },        // N. Virginia
-    RegionInfo { name: "us-west-1", lat: 37.35, lon: -121.96 },       // N. California
-    RegionInfo { name: "us-west-2", lat: 45.84, lon: -119.70 },       // Oregon
-    RegionInfo { name: "eu-west-1", lat: 53.41, lon: -8.24 },         // Ireland
-    RegionInfo { name: "eu-central-1", lat: 50.11, lon: 8.68 },       // Frankfurt
-    RegionInfo { name: "ap-southeast-1", lat: 1.29, lon: 103.85 },    // Singapore
-    RegionInfo { name: "ap-southeast-2", lat: -33.86, lon: 151.21 },  // Sydney
-    RegionInfo { name: "ap-northeast-1", lat: 35.68, lon: 139.77 },   // Tokyo
-    RegionInfo { name: "ap-northeast-2", lat: 37.56, lon: 126.97 },   // Seoul
-    RegionInfo { name: "sa-east-1", lat: -23.55, lon: -46.63 },       // São Paulo
-    RegionInfo { name: "cn-north-1", lat: 39.90, lon: 116.40 },       // Beijing
+    RegionInfo {
+        name: "us-east-1",
+        lat: 38.95,
+        lon: -77.45,
+    }, // N. Virginia
+    RegionInfo {
+        name: "us-west-1",
+        lat: 37.35,
+        lon: -121.96,
+    }, // N. California
+    RegionInfo {
+        name: "us-west-2",
+        lat: 45.84,
+        lon: -119.70,
+    }, // Oregon
+    RegionInfo {
+        name: "eu-west-1",
+        lat: 53.41,
+        lon: -8.24,
+    }, // Ireland
+    RegionInfo {
+        name: "eu-central-1",
+        lat: 50.11,
+        lon: 8.68,
+    }, // Frankfurt
+    RegionInfo {
+        name: "ap-southeast-1",
+        lat: 1.29,
+        lon: 103.85,
+    }, // Singapore
+    RegionInfo {
+        name: "ap-southeast-2",
+        lat: -33.86,
+        lon: 151.21,
+    }, // Sydney
+    RegionInfo {
+        name: "ap-northeast-1",
+        lat: 35.68,
+        lon: 139.77,
+    }, // Tokyo
+    RegionInfo {
+        name: "ap-northeast-2",
+        lat: 37.56,
+        lon: 126.97,
+    }, // Seoul
+    RegionInfo {
+        name: "sa-east-1",
+        lat: -23.55,
+        lon: -46.63,
+    }, // São Paulo
+    RegionInfo {
+        name: "cn-north-1",
+        lat: 39.90,
+        lon: 116.40,
+    }, // Beijing
 ];
 
 /// Windows Azure regions used by Table 3, plus a broader sample of the
 /// "20 regions" the paper mentions.
 pub const AZURE_REGIONS: [RegionInfo; 10] = [
-    RegionInfo { name: "East US", lat: 36.67, lon: -78.39 },
-    RegionInfo { name: "West US", lat: 37.78, lon: -122.42 },
-    RegionInfo { name: "North Europe", lat: 53.35, lon: -6.26 },
-    RegionInfo { name: "West Europe", lat: 52.37, lon: 4.89 },
-    RegionInfo { name: "Japan East", lat: 35.68, lon: 139.77 },
-    RegionInfo { name: "Japan West", lat: 34.69, lon: 135.50 },
-    RegionInfo { name: "Southeast Asia", lat: 1.29, lon: 103.85 },
-    RegionInfo { name: "East Asia", lat: 22.32, lon: 114.17 },
-    RegionInfo { name: "Brazil South", lat: -23.55, lon: -46.63 },
-    RegionInfo { name: "Australia East", lat: -33.86, lon: 151.21 },
+    RegionInfo {
+        name: "East US",
+        lat: 36.67,
+        lon: -78.39,
+    },
+    RegionInfo {
+        name: "West US",
+        lat: 37.78,
+        lon: -122.42,
+    },
+    RegionInfo {
+        name: "North Europe",
+        lat: 53.35,
+        lon: -6.26,
+    },
+    RegionInfo {
+        name: "West Europe",
+        lat: 52.37,
+        lon: 4.89,
+    },
+    RegionInfo {
+        name: "Japan East",
+        lat: 35.68,
+        lon: 139.77,
+    },
+    RegionInfo {
+        name: "Japan West",
+        lat: 34.69,
+        lon: 135.50,
+    },
+    RegionInfo {
+        name: "Southeast Asia",
+        lat: 1.29,
+        lon: 103.85,
+    },
+    RegionInfo {
+        name: "East Asia",
+        lat: 22.32,
+        lon: 114.17,
+    },
+    RegionInfo {
+        name: "Brazil South",
+        lat: -23.55,
+        lon: -46.63,
+    },
+    RegionInfo {
+        name: "Australia East",
+        lat: -33.86,
+        lon: 151.21,
+    },
 ];
 
 /// Look up an EC2 region by name.
@@ -85,20 +169,29 @@ pub fn ec2_sites(names: &[&str], nodes: usize) -> Vec<Site> {
 /// assert_eq!(sites.iter().map(|s| s.nodes).sum::<usize>(), 64);
 /// ```
 pub fn paper_ec2_sites(nodes: usize) -> Vec<Site> {
-    ec2_sites(&["us-east-1", "us-west-2", "ap-southeast-1", "eu-west-1"], nodes)
+    ec2_sites(
+        &["us-east-1", "us-west-2", "ap-southeast-1", "eu-west-1"],
+        nodes,
+    )
 }
 
 /// Ground-truth network over the paper's four EC2 regions with `nodes`
 /// instances of `instance` per region.
 pub fn paper_ec2_network(nodes: usize, instance: InstanceType, seed: u64) -> SiteNetwork {
-    let cfg = SynthConfig { seed, ..SynthConfig::ec2(instance) };
+    let cfg = SynthConfig {
+        seed,
+        ..SynthConfig::ec2(instance)
+    };
     SynthNetworkBuilder::new(cfg).build(paper_ec2_sites(nodes))
 }
 
 /// Ground-truth network over all 11 EC2 regions.
 pub fn ec2_global_network(nodes: usize, instance: InstanceType, seed: u64) -> SiteNetwork {
     let names: Vec<&str> = EC2_REGIONS.iter().map(|r| r.name).collect();
-    let cfg = SynthConfig { seed, ..SynthConfig::ec2(instance) };
+    let cfg = SynthConfig {
+        seed,
+        ..SynthConfig::ec2(instance)
+    };
     SynthNetworkBuilder::new(cfg).build(ec2_sites(&names, nodes))
 }
 
@@ -111,7 +204,10 @@ pub fn azure_network(names: &[&str], nodes: usize, seed: u64) -> SiteNetwork {
         .map(|r| Site::new(r.name, GeoCoord::new(r.lat, r.lon), nodes))
         .collect();
     assert!(!sites.is_empty(), "no matching Azure regions");
-    let cfg = SynthConfig { seed, ..SynthConfig::azure() };
+    let cfg = SynthConfig {
+        seed,
+        ..SynthConfig::azure()
+    };
     SynthNetworkBuilder::new(cfg).build(sites)
 }
 
@@ -164,7 +260,10 @@ impl MultiCloud {
 
         let mut sites = ec2_sites(&self.ec2_regions, self.nodes);
         let ec2_count = sites.len();
-        for r in AZURE_REGIONS.iter().filter(|r| self.azure_regions.contains(&r.name)) {
+        for r in AZURE_REGIONS
+            .iter()
+            .filter(|r| self.azure_regions.contains(&r.name))
+        {
             sites.push(Site::new(r.name, GeoCoord::new(r.lat, r.lon), self.nodes));
         }
         assert!(sites.len() > ec2_count, "no Azure regions matched");
@@ -173,7 +272,10 @@ impl MultiCloud {
             seed: self.seed,
             ..SynthConfig::ec2(InstanceType::M4Xlarge)
         });
-        let azure = SynthNetworkBuilder::new(SynthConfig { seed: self.seed, ..SynthConfig::azure() });
+        let azure = SynthNetworkBuilder::new(SynthConfig {
+            seed: self.seed,
+            ..SynthConfig::azure()
+        });
 
         let m = sites.len();
         let mut lt = SquareMatrix::zeros(m);
@@ -298,7 +400,10 @@ mod tests {
         .build(sites);
         for k in 0..3 {
             for l in 0..3 {
-                assert_eq!(net.bandwidth(SiteId(k), SiteId(l)), ec2.bandwidth(SiteId(k), SiteId(l)));
+                assert_eq!(
+                    net.bandwidth(SiteId(k), SiteId(l)),
+                    ec2.bandwidth(SiteId(k), SiteId(l))
+                );
             }
         }
     }
@@ -306,7 +411,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "no Azure regions")]
     fn multicloud_requires_azure_match() {
-        MultiCloud { azure_regions: vec!["Atlantis"], ..MultiCloud::default() }.build();
+        MultiCloud {
+            azure_regions: vec!["Atlantis"],
+            ..MultiCloud::default()
+        }
+        .build();
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub struct Site {
 impl Site {
     /// Create a site.
     pub fn new(name: impl Into<String>, coord: GeoCoord, nodes: usize) -> Self {
-        Self { name: name.into(), coord, nodes }
+        Self {
+            name: name.into(),
+            coord,
+            nodes,
+        }
     }
 
     /// Great-circle distance in km to another site.

@@ -77,7 +77,10 @@ impl Default for SynthConfig {
 impl SynthConfig {
     /// EC2-flavoured defaults for a given instance type.
     pub fn ec2(instance: InstanceType) -> Self {
-        Self { instance, ..Self::default() }
+        Self {
+            instance,
+            ..Self::default()
+        }
     }
 
     /// Azure-flavoured defaults (Table 3 fit: steeper distance decay,
@@ -121,7 +124,9 @@ impl SynthNetworkBuilder {
             return AlphaBeta::from_ms_mbps(c.instance.intra_latency_ms(), bw);
         }
         let d = sites[k].distance_km(&sites[l]).max(1.0);
-        let anchor = c.anchor_cross_mbps.unwrap_or_else(|| c.instance.cross_bandwidth_mbps());
+        let anchor = c
+            .anchor_cross_mbps
+            .unwrap_or_else(|| c.instance.cross_bandwidth_mbps());
         let mut bw = anchor * (c.anchor_km / d).powf(c.gamma);
         // Persistent deviation + asymmetry, deterministic in (seed, k, l).
         let dev = pair_unit(c.seed, k as u64, l as u64);
@@ -241,8 +246,11 @@ mod tests {
     fn different_seeds_differ() {
         let sites = paper_four_sites();
         let n1 = SynthNetworkBuilder::new(SynthConfig::default()).build(sites.clone());
-        let n2 = SynthNetworkBuilder::new(SynthConfig { seed: 99, ..SynthConfig::default() })
-            .build(sites);
+        let n2 = SynthNetworkBuilder::new(SynthConfig {
+            seed: 99,
+            ..SynthConfig::default()
+        })
+        .build(sites);
         assert_ne!(n1, n2);
     }
 

@@ -41,12 +41,21 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// The paper's configuration: Forgy initialisation, `k` groups.
     pub fn forgy(k: usize, seed: u64) -> Self {
-        Self { k, max_iter: 100, tol: 1e-9, init: Init::Forgy, seed }
+        Self {
+            k,
+            max_iter: 100,
+            tol: 1e-9,
+            init: Init::Forgy,
+            seed,
+        }
     }
 
     /// k-means++ configuration.
     pub fn plus_plus(k: usize, seed: u64) -> Self {
-        Self { init: Init::PlusPlus, ..Self::forgy(k, seed) }
+        Self {
+            init: Init::PlusPlus,
+            ..Self::forgy(k, seed)
+        }
     }
 }
 
@@ -116,7 +125,10 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Clustering {
     assert!(!points.is_empty(), "cannot cluster zero points");
     assert!(config.k > 0, "k must be positive");
     let dim = points[0].len();
-    assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensionality");
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent point dimensionality"
+    );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let k = config.k.min(points.len());
@@ -177,7 +189,12 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Clustering {
         labels[i] = l;
         inertia += d;
     }
-    Clustering { centroids, labels, inertia, iterations }
+    Clustering {
+        centroids,
+        labels,
+        inertia,
+        iterations,
+    }
 }
 
 fn init_forgy(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {

@@ -75,7 +75,10 @@ pub struct MessageRecord {
 impl RunConfig {
     /// Communication-only configuration (Fig. 6 / §5.4).
     pub fn comm_only() -> Self {
-        Self { zero_compute: true, ..Self::default() }
+        Self {
+            zero_compute: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -144,9 +147,9 @@ pub fn execute(
 
     let mut timeline: Vec<MessageRecord> = Vec::new();
     let mut ready: EventQueue<usize> = EventQueue::new();
-    for r in 0..n {
+    for (r, s) in state.iter_mut().enumerate() {
         if program.rank_ops(r).is_empty() {
-            state[r] = RankState::Done;
+            *s = RankState::Done;
         } else {
             ready.push(0.0, r);
         }
@@ -175,7 +178,13 @@ pub fn execute(
                 let arrival = arrival.max(last_arrival[slot]);
                 last_arrival[slot] = arrival;
                 if config.record_timeline {
-                    timeline.push(MessageRecord { src: r, dst: to, bytes, depart: clock[r], arrival });
+                    timeline.push(MessageRecord {
+                        src: r,
+                        dst: to,
+                        bytes,
+                        depart: clock[r],
+                        arrival,
+                    });
                 }
                 mailbox[slot].push_back(arrival);
                 pc[r] += 1;
@@ -184,7 +193,9 @@ pub fn execute(
                     let a = mailbox[slot].pop_front().expect("just pushed");
                     clock[to] = clock[to].max(a);
                     pc[to] += 1;
-                    advance(to, program, &mut pc, &mut state, &mut clock, &mut ready, &mut done);
+                    advance(
+                        to, program, &mut pc, &mut state, &mut clock, &mut ready, &mut done,
+                    );
                 }
             }
             RankOp::Recv { from } => {
@@ -198,16 +209,24 @@ pub fn execute(
                 }
             }
         }
-        advance(r, program, &mut pc, &mut state, &mut clock, &mut ready, &mut done);
+        advance(
+            r, program, &mut pc, &mut state, &mut clock, &mut ready, &mut done,
+        );
     }
 
     assert_eq!(
-        done, n,
+        done,
+        n,
         "deadlock: {} ranks blocked with no messages in flight",
         n - done
     );
     let makespan = clock.iter().copied().fold(0.0, f64::max);
-    RunResult { makespan, rank_finish: clock, stats: links.stats().clone(), timeline }
+    RunResult {
+        makespan,
+        rank_finish: clock,
+        stats: links.stats().clone(),
+        timeline,
+    }
 }
 
 /// Re-enqueue rank `r` (or mark it done) after executing an op.
@@ -263,10 +282,19 @@ mod tests {
         b.transfer(0, 1, 1_000_000);
         let prog = b.build();
         let assignment = vec![SiteId(0), SiteId(3)];
-        let cfg = RunConfig { send_overhead: 0.0, ..RunConfig::default() };
+        let cfg = RunConfig {
+            send_overhead: 0.0,
+            ..RunConfig::default()
+        };
         let r = execute(&prog, &net, &assignment, &cfg);
-        let expect = net.alpha_beta(SiteId(0), SiteId(3)).transfer_time(1_000_000);
-        assert!((r.makespan - expect).abs() < 1e-9, "{} vs {expect}", r.makespan);
+        let expect = net
+            .alpha_beta(SiteId(0), SiteId(3))
+            .transfer_time(1_000_000);
+        assert!(
+            (r.makespan - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -286,7 +314,12 @@ mod tests {
         b.compute_all(10.0);
         b.transfer(0, 1, 1000);
         let full = execute(&b.clone_build(), &net, &all_in(1, 2), &RunConfig::default());
-        let comm = execute(&b.clone_build(), &net, &all_in(1, 2), &RunConfig::comm_only());
+        let comm = execute(
+            &b.clone_build(),
+            &net,
+            &all_in(1, 2),
+            &RunConfig::comm_only(),
+        );
         assert!(full.makespan > 10.0);
         assert!(comm.makespan < 0.1);
     }
@@ -310,7 +343,11 @@ mod tests {
         b.send(1, 0, 1000);
         b.recv(0, 1);
         let r = execute(&b.build(), &net, &all_in(2, 2), &RunConfig::default());
-        assert!(r.rank_finish[0] >= 5.0, "receiver finished at {}", r.rank_finish[0]);
+        assert!(
+            r.rank_finish[0] >= 5.0,
+            "receiver finished at {}",
+            r.rank_finish[0]
+        );
     }
 
     #[test]
@@ -325,7 +362,10 @@ mod tests {
         b.send(2, 3, 1000);
         b.recv(3, 2);
         let assignment: Vec<SiteId> = (0..4).map(SiteId).collect();
-        let cfg = RunConfig { send_overhead: 0.0, ..RunConfig::default() };
+        let cfg = RunConfig {
+            send_overhead: 0.0,
+            ..RunConfig::default()
+        };
         let r = execute(&b.build(), &net, &assignment, &cfg);
         let hop = |a: usize, c: usize| net.alpha_beta(SiteId(a), SiteId(c)).transfer_time(1000);
         let expect = hop(0, 1) + hop(1, 2) + hop(2, 3);
@@ -345,11 +385,17 @@ mod tests {
         b.recv(1, 0);
         let cfg = RunConfig {
             send_overhead: 0.0,
-            links: LinkConfig { shared_wan: false, shared_intra: false, shared_egress: false },
+            links: LinkConfig {
+                shared_wan: false,
+                shared_intra: false,
+                shared_egress: false,
+            },
             ..RunConfig::default()
         };
         let r = execute(&b.build(), &net, &[SiteId(0), SiteId(3)], &cfg);
-        let big = net.alpha_beta(SiteId(0), SiteId(3)).transfer_time(8_000_000);
+        let big = net
+            .alpha_beta(SiteId(0), SiteId(3))
+            .transfer_time(8_000_000);
         assert!(r.rank_finish[1] >= big);
     }
 

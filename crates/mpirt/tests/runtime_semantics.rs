@@ -16,7 +16,10 @@ fn single_site(n: usize) -> (SiteNetwork, Vec<SiteId>) {
 }
 
 fn no_overhead() -> RunConfig {
-    RunConfig { send_overhead: 0.0, ..RunConfig::comm_only() }
+    RunConfig {
+        send_overhead: 0.0,
+        ..RunConfig::comm_only()
+    }
 }
 
 #[test]
@@ -67,10 +70,16 @@ fn barrier_synchronizes_everyone() {
     let mut b = ProgramBuilder::new(n);
     b.compute(3, 1.0);
     barrier(&mut b, &(0..n).collect::<Vec<_>>());
-    let cfg = RunConfig { zero_compute: false, ..no_overhead() };
+    let cfg = RunConfig {
+        zero_compute: false,
+        ..no_overhead()
+    };
     let r = execute(&b.build(), &net, &assignment, &cfg);
     for (rank, t) in r.rank_finish.iter().enumerate() {
-        assert!(*t >= 1.0, "rank {rank} finished at {t} before the slow rank");
+        assert!(
+            *t >= 1.0,
+            "rank {rank} finished at {t} before the slow rank"
+        );
     }
 }
 
@@ -92,7 +101,11 @@ fn shared_wan_is_never_faster_than_unshared() {
     let prog = b.build();
     let shared = execute(&prog, &net, &assignment, &no_overhead());
     let unshared_cfg = RunConfig {
-        links: LinkConfig { shared_wan: false, shared_intra: false, shared_egress: false },
+        links: LinkConfig {
+            shared_wan: false,
+            shared_intra: false,
+            shared_egress: false,
+        },
         ..no_overhead()
     };
     let unshared = execute(&prog, &net, &assignment, &unshared_cfg);
@@ -143,9 +156,16 @@ fn compute_overlaps_with_other_ranks_communication() {
     let mut b = ProgramBuilder::new(3);
     b.compute(2, 1.0);
     b.transfer(0, 1, 50_000_000); // 0.5s at 100 MB/s
-    let cfg = RunConfig { zero_compute: false, ..no_overhead() };
+    let cfg = RunConfig {
+        zero_compute: false,
+        ..no_overhead()
+    };
     let r = execute(&b.build(), &net, &assignment, &cfg);
-    assert!((r.makespan - 1.0).abs() < 0.01, "no overlap: {}", r.makespan);
+    assert!(
+        (r.makespan - 1.0).abs() < 0.01,
+        "no overlap: {}",
+        r.makespan
+    );
 }
 
 #[test]
@@ -158,9 +178,16 @@ fn send_overhead_accumulates_on_the_sender() {
     for _ in 0..100 {
         b.recv(1, 0);
     }
-    let cfg = RunConfig { send_overhead: 1e-3, ..RunConfig::comm_only() };
+    let cfg = RunConfig {
+        send_overhead: 1e-3,
+        ..RunConfig::comm_only()
+    };
     let r = execute(&b.build(), &net, &assignment, &cfg);
-    assert!(r.rank_finish[0] >= 0.1 - 1e-9, "sender overhead missing: {}", r.rank_finish[0]);
+    assert!(
+        r.rank_finish[0] >= 0.1 - 1e-9,
+        "sender overhead missing: {}",
+        r.rank_finish[0]
+    );
 }
 
 #[test]
@@ -169,7 +196,10 @@ fn timeline_records_every_message() {
     use commgraph::apps::AppKind;
     let w = AppKind::Sp.workload(16);
     let a: Vec<SiteId> = (0..16).map(|i| SiteId(i % 4)).collect();
-    let cfg = RunConfig { record_timeline: true, ..RunConfig::comm_only() };
+    let cfg = RunConfig {
+        record_timeline: true,
+        ..RunConfig::comm_only()
+    };
     let r = mpirt::execute_workload(w.as_ref(), &net, &a, &cfg);
     assert_eq!(r.timeline.len() as u64, r.stats.total_messages());
     for m in &r.timeline {

@@ -27,7 +27,11 @@ pub struct LinkConfig {
 
 impl Default for LinkConfig {
     fn default() -> Self {
-        Self { shared_wan: true, shared_intra: false, shared_egress: false }
+        Self {
+            shared_wan: true,
+            shared_intra: false,
+            shared_egress: false,
+        }
     }
 }
 
@@ -48,7 +52,13 @@ impl LinkState {
     /// Fresh link state over `net`.
     pub fn new(net: SiteNetwork, config: LinkConfig) -> Self {
         let m = net.num_sites();
-        Self { net, config, free: vec![0.0; m * m], egress: vec![0.0; m], stats: LinkStats::new(m) }
+        Self {
+            net,
+            config,
+            free: vec![0.0; m * m],
+            egress: vec![0.0; m],
+            stats: LinkStats::new(m),
+        }
     }
 
     /// The underlying network.
@@ -68,7 +78,11 @@ impl LinkState {
         debug_assert!(depart.is_finite() && depart >= 0.0);
         let ab = self.net.alpha_beta(from, to);
         let ser = ab.serialization_time(bytes);
-        let shared = if from == to { self.config.shared_intra } else { self.config.shared_wan };
+        let shared = if from == to {
+            self.config.shared_intra
+        } else {
+            self.config.shared_wan
+        };
         let arrival = if shared {
             let idx = from.index() * self.net.num_sites() + to.index();
             let mut start = depart.max(self.free[idx]);
@@ -122,7 +136,10 @@ mod tests {
         let first = links.send(a, b, 8_000_000, 0.0);
         let second = links.send(a, b, 8_000_000, 0.0);
         let ser = ab.serialization_time(8_000_000);
-        assert!((second - first - ser).abs() < 1e-9, "not serialized: {first} then {second}");
+        assert!(
+            (second - first - ser).abs() < 1e-9,
+            "not serialized: {first} then {second}"
+        );
         assert!((links.free_at(a, b) - 2.0 * ser).abs() < 1e-9);
     }
 
@@ -152,15 +169,22 @@ mod tests {
     #[test]
     fn shared_egress_serializes_across_destinations() {
         let net = net();
-        let cfg = LinkConfig { shared_egress: true, ..LinkConfig::default() };
+        let cfg = LinkConfig {
+            shared_egress: true,
+            ..LinkConfig::default()
+        };
         let mut links = LinkState::new(net.clone(), cfg);
         // Two messages from site 0 to two different destinations: the
         // second waits for the first's egress serialization.
         let t1 = links.send(SiteId(0), SiteId(1), 8_000_000, 0.0);
         let t2 = links.send(SiteId(0), SiteId(2), 8_000_000, 0.0);
-        let ser1 = net.alpha_beta(SiteId(0), SiteId(1)).serialization_time(8_000_000);
+        let ser1 = net
+            .alpha_beta(SiteId(0), SiteId(1))
+            .serialization_time(8_000_000);
         let expect2 = ser1
-            + net.alpha_beta(SiteId(0), SiteId(2)).serialization_time(8_000_000)
+            + net
+                .alpha_beta(SiteId(0), SiteId(2))
+                .serialization_time(8_000_000)
             + net.latency(SiteId(0), SiteId(2));
         assert!((t2 - expect2).abs() < 1e-9, "t2 {t2} vs {expect2}");
         assert!(t1 < t2);
@@ -174,7 +198,10 @@ mod tests {
     #[test]
     fn shared_egress_leaves_intra_alone() {
         let net = net();
-        let cfg = LinkConfig { shared_egress: true, ..LinkConfig::default() };
+        let cfg = LinkConfig {
+            shared_egress: true,
+            ..LinkConfig::default()
+        };
         let mut links = LinkState::new(net, cfg);
         links.send(SiteId(0), SiteId(1), 8_000_000, 0.0); // occupy egress
         let a = links.send(SiteId(0), SiteId(0), 1_000, 0.0);
@@ -186,7 +213,11 @@ mod tests {
     fn unshared_wan_removes_queueing() {
         let net = net();
         let (a, b) = (SiteId(0), SiteId(2));
-        let cfg = LinkConfig { shared_wan: false, shared_intra: false, shared_egress: false };
+        let cfg = LinkConfig {
+            shared_wan: false,
+            shared_intra: false,
+            shared_egress: false,
+        };
         let mut links = LinkState::new(net, cfg);
         let t1 = links.send(a, b, 8_000_000, 0.0);
         let t2 = links.send(a, b, 8_000_000, 0.0);

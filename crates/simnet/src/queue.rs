@@ -51,7 +51,10 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedule `payload` at `time`.
@@ -60,7 +63,11 @@ impl<T> EventQueue<T> {
     /// Panics if `time` is NaN or infinite.
     pub fn push(&mut self, time: f64, payload: T) {
         assert!(time.is_finite(), "event time must be finite, got {time}");
-        self.heap.push(Entry { time, seq: self.seq, payload });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

@@ -72,7 +72,12 @@ mod tests {
     #[test]
     fn bottleneck_le_sum() {
         let net = net();
-        let pat = Ring { n: 16, iterations: 3, bytes: 500_000 }.pattern();
+        let pat = Ring {
+            n: 16,
+            iterations: 3,
+            bytes: 500_000,
+        }
+        .pattern();
         let assignment: Vec<SiteId> = (0..16).map(|i| SiteId(i % 4)).collect();
         let b = bottleneck_time(&pat, &net, &assignment);
         let s = sum_cost(&pat, &net, &assignment);
@@ -96,7 +101,12 @@ mod tests {
     #[test]
     fn colocating_heavy_edges_lowers_both_metrics() {
         let net = net();
-        let pat = Ring { n: 8, iterations: 2, bytes: 2_000_000 }.pattern();
+        let pat = Ring {
+            n: 8,
+            iterations: 2,
+            bytes: 2_000_000,
+        }
+        .pattern();
         let packed: Vec<SiteId> = (0..8).map(|i| SiteId(i / 2)).collect();
         let spread: Vec<SiteId> = (0..8).map(|i| SiteId(i % 4)).collect();
         assert!(sum_cost(&pat, &net, &packed) < sum_cost(&pat, &net, &spread));
@@ -106,7 +116,12 @@ mod tests {
     #[test]
     fn all_intra_has_no_wan_bottleneck() {
         let net = net();
-        let pat = Ring { n: 4, iterations: 1, bytes: 1000 }.pattern();
+        let pat = Ring {
+            n: 4,
+            iterations: 1,
+            bytes: 1000,
+        }
+        .pattern();
         let assignment = vec![SiteId(2); 4];
         let b = bottleneck_time(&pat, &net, &assignment);
         let intra = net.alpha_beta(SiteId(2), SiteId(2));
@@ -118,7 +133,12 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn checks_assignment_length() {
         let net = net();
-        let pat = Ring { n: 4, iterations: 1, bytes: 10 }.pattern();
+        let pat = Ring {
+            n: 4,
+            iterations: 1,
+            bytes: 10,
+        }
+        .pattern();
         sum_cost(&pat, &net, &[SiteId(0)]);
     }
 }

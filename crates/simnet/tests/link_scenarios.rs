@@ -19,7 +19,10 @@ fn burst_queueing_grows_linearly() {
     for i in 1..=10u32 {
         let arrival = links.send(a, b, 8_000_000, 0.0);
         let expect = i as f64 * ser + lat;
-        assert!((arrival - expect).abs() < 1e-9, "message {i}: {arrival} vs {expect}");
+        assert!(
+            (arrival - expect).abs() < 1e-9,
+            "message {i}: {arrival} vs {expect}"
+        );
     }
 }
 
@@ -35,7 +38,10 @@ fn queueing_drains_when_departures_are_spaced() {
     for i in 0..5 {
         let depart = i as f64 * (ser * 2.0);
         let arrival = links.send(a, b, 1_000_000, depart);
-        assert!((arrival - (depart + ser + ab.latency_s)).abs() < 1e-9, "message {i} queued");
+        assert!(
+            (arrival - (depart + ser + ab.latency_s)).abs() < 1e-9,
+            "message {i} queued"
+        );
     }
     let s = links.stats();
     assert_eq!(s.queue_wait(a, b), 0.0);
@@ -59,7 +65,11 @@ fn distinct_site_pairs_are_independent() {
 #[test]
 fn shared_intra_option_serializes_local_traffic() {
     let net = net();
-    let cfg = LinkConfig { shared_wan: true, shared_intra: true, shared_egress: false };
+    let cfg = LinkConfig {
+        shared_wan: true,
+        shared_intra: true,
+        shared_egress: false,
+    };
     let mut links = LinkState::new(net.clone(), cfg);
     let a = SiteId(0);
     let first = links.send(a, a, 4_000_000, 0.0);

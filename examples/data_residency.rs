@@ -24,7 +24,11 @@ fn main() {
         .map(SiteId)
         .expect("paper deployment includes Ireland");
     println!("network: {}", network.summary());
-    println!("regulated site: {} ({})", ireland, network.site(ireland).name);
+    println!(
+        "regulated site: {} ({})",
+        ireland,
+        network.site(ireland).name
+    );
 
     let pattern = comm::apps::AppKind::KMeans.workload(64).pattern();
 
@@ -39,8 +43,7 @@ fn main() {
         for i in 0..eu_processes {
             constraints.pin(i, ireland);
         }
-        let problem =
-            MappingProblem::new(pattern.clone(), network.clone(), constraints.clone());
+        let problem = MappingProblem::new(pattern.clone(), network.clone(), constraints.clone());
 
         let baseline = eq3_cost(&problem, &baselines::RandomMapper::default().map(&problem));
         let geo_mapping = GeoMapper::default().map(&problem);

@@ -49,13 +49,17 @@ fn main() {
 
     println!("\n== stage 5: verify against the ground truth ==");
     let cfg = runtime::RunConfig::comm_only();
-    let optimized =
-        runtime::execute(&program, &truth, result.mapping.as_slice(), &cfg).makespan;
-    let random_mapping =
-        baselines::RandomMapper::default().map(&result.problem);
+    let optimized = runtime::execute(&program, &truth, result.mapping.as_slice(), &cfg).makespan;
+    let random_mapping = baselines::RandomMapper::default().map(&result.problem);
     let random = runtime::execute(&program, &truth, random_mapping.as_slice(), &cfg).makespan;
     println!("random placement:     {random:>8.2}s communication time");
     println!("pipeline's placement: {optimized:>8.2}s communication time");
-    println!("improvement:          {:>8.1}%", (random - optimized) / random * 100.0);
-    assert!(optimized < random, "the optimized mapping must beat random on the real network");
+    println!(
+        "improvement:          {:>8.1}%",
+        (random - optimized) / random * 100.0
+    );
+    assert!(
+        optimized < random,
+        "the optimized mapping must beat random on the real network"
+    );
 }

@@ -23,8 +23,15 @@ fn main() {
     let network = deployment.build();
     println!("multi-cloud network: {}", network.summary());
     for (i, site) in network.sites().iter().enumerate() {
-        let provider = if i < deployment.ec2_regions.len() { "EC2" } else { "Azure" };
-        println!("  site {i}: {:<16} ({provider}, {} nodes)", site.name, site.nodes);
+        let provider = if i < deployment.ec2_regions.len() {
+            "EC2"
+        } else {
+            "Azure"
+        };
+        println!(
+            "  site {i}: {:<16} ({provider}, {} nodes)",
+            site.name, site.nodes
+        );
     }
 
     let n = network.total_nodes();
@@ -48,7 +55,10 @@ fn main() {
     println!(
         "\npolicy: processes 0..{} restricted to {:?}",
         n / 4,
-        eu_sites.iter().map(|s| &network.site(*s).name).collect::<Vec<_>>()
+        eu_sites
+            .iter()
+            .map(|s| &network.site(*s).name)
+            .collect::<Vec<_>>()
     );
 
     let mapping = GeoMapperMulti::new(allowed.clone()).map(&problem);
@@ -57,7 +67,10 @@ fn main() {
     let random = eq3_cost(&problem, &baselines::RandomMapper::default().map(&problem));
     let multi = eq3_cost(&problem, &mapping);
     println!("\nrandom placement cost:      {random:>8.1}s");
-    println!("policy-aware Geo cost:      {multi:>8.1}s  ({:.1}% better)", (random - multi) / random * 100.0);
+    println!(
+        "policy-aware Geo cost:      {multi:>8.1}s  ({:.1}% better)",
+        (random - multi) / random * 100.0
+    );
 
     // Where did the EU processes land?
     let mut eu_counts = vec![0usize; network.num_sites()];

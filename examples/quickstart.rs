@@ -40,11 +40,16 @@ fn main() {
     ];
 
     // 4. Compare: model cost (Eq. 3) and simulated communication time.
-    println!("\n{:<16} {:>12} {:>14}", "mapper", "Eq.3 cost", "simulated time");
+    println!(
+        "\n{:<16} {:>12} {:>14}",
+        "mapper", "Eq.3 cost", "simulated time"
+    );
     let mut baseline_time = None;
     for mapper in &mappers {
         let mapping = mapper.map(&problem);
-        mapping.validate(&problem).expect("mappers must emit feasible mappings");
+        mapping
+            .validate(&problem)
+            .expect("mappers must emit feasible mappings");
         let c = eq3_cost(&problem, &mapping);
         let t = runtime::execute_workload(
             workload.as_ref(),

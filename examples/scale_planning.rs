@@ -36,7 +36,10 @@ fn main() {
 
             let baseline: f64 = (0..3)
                 .map(|s| {
-                    eq3_cost(&problem, &baselines::RandomMapper::with_seed(s).map(&problem))
+                    eq3_cost(
+                        &problem,
+                        &baselines::RandomMapper::with_seed(s).map(&problem),
+                    )
                 })
                 .sum::<f64>()
                 / 3.0;
@@ -55,5 +58,7 @@ fn main() {
         }
         println!();
     }
-    println!("(the optimizer stays sub-minute while savings remain >50% — the paper's Fig. 7 story)");
+    println!(
+        "(the optimizer stays sub-minute while savings remain >50% — the paper's Fig. 7 story)"
+    );
 }

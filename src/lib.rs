@@ -32,9 +32,9 @@
 
 #![warn(missing_docs)]
 
+pub use ::baselines;
 pub use commgraph as comm;
 pub use geo_kmeans as clustering;
-pub use ::baselines;
 pub use geomap_core as mapping;
 pub use geonet as net;
 pub use mpirt as runtime;
@@ -42,12 +42,10 @@ pub use simnet as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use ::baselines;
     pub use crate::comm;
-    pub use crate::mapping::{
-        cost, ConstraintVector, GeoMapper, Mapper, Mapping, MappingProblem,
-    };
+    pub use crate::mapping::{cost, ConstraintVector, GeoMapper, Mapper, Mapping, MappingProblem};
     pub use crate::net;
     pub use crate::runtime;
     pub use crate::sim;
+    pub use ::baselines;
 }

@@ -14,7 +14,10 @@ fn all_mappers(seed: u64) -> Vec<Box<dyn Mapper>> {
         Box::new(baselines::RandomMapper::with_seed(seed)),
         Box::new(baselines::GreedyMapper),
         Box::new(baselines::MpippMapper::with_seed(seed)),
-        Box::new(GeoMapper { seed, ..GeoMapper::default() }),
+        Box::new(GeoMapper {
+            seed,
+            ..GeoMapper::default()
+        }),
     ]
 }
 
@@ -40,7 +43,12 @@ fn geo_beats_baseline_on_every_app_in_model_cost() {
         let pattern = app.workload(32).pattern();
         let problem = MappingProblem::unconstrained(pattern, network.clone());
         let base: f64 = (0..5)
-            .map(|s| eq3_cost(&problem, &baselines::RandomMapper::with_seed(s).map(&problem)))
+            .map(|s| {
+                eq3_cost(
+                    &problem,
+                    &baselines::RandomMapper::with_seed(s).map(&problem),
+                )
+            })
             .sum::<f64>()
             / 5.0;
         let geo = eq3_cost(&problem, &GeoMapper::default().map(&problem));
@@ -61,7 +69,9 @@ fn geo_beats_baseline_in_simulated_execution() {
         let base = runtime::execute_workload(
             workload.as_ref(),
             &network,
-            baselines::RandomMapper::with_seed(9).map(&problem).as_slice(),
+            baselines::RandomMapper::with_seed(9)
+                .map(&problem)
+                .as_slice(),
             &cfg,
         )
         .makespan;
@@ -85,7 +95,9 @@ fn optimized_mappings_cut_wan_traffic() {
     let random = runtime::execute_workload(
         workload.as_ref(),
         &network,
-        baselines::RandomMapper::with_seed(1).map(&problem).as_slice(),
+        baselines::RandomMapper::with_seed(1)
+            .map(&problem)
+            .as_slice(),
         &cfg,
     );
     let geo = runtime::execute_workload(
@@ -113,7 +125,12 @@ fn full_constraints_force_identical_mappings_across_mappers() {
     let problem = MappingProblem::new(pattern, network, constraints);
     let reference = baselines::RandomMapper::with_seed(0).map(&problem);
     for mapper in all_mappers(3) {
-        assert_eq!(mapper.map(&problem), reference, "{} deviated", mapper.name());
+        assert_eq!(
+            mapper.map(&problem),
+            reference,
+            "{} deviated",
+            mapper.name()
+        );
     }
 }
 
@@ -121,7 +138,12 @@ fn full_constraints_force_identical_mappings_across_mappers() {
 fn tiny_instance_heuristics_bounded_by_exhaustive_optimum() {
     let sites = net::presets::ec2_sites(&["us-east-1", "ap-southeast-1", "eu-west-1"], 2);
     let network = net::SynthNetworkBuilder::new(net::SynthConfig::default()).build(sites);
-    let pattern = comm::apps::Ring { n: 6, iterations: 3, bytes: 500_000 }.pattern();
+    let pattern = comm::apps::Ring {
+        n: 6,
+        iterations: 3,
+        bytes: 500_000,
+    }
+    .pattern();
     let problem = MappingProblem::unconstrained(pattern, network);
     let (_, optimum) = baselines::ExhaustiveMapper::default().optimum(&problem);
     for mapper in all_mappers(7) {
@@ -129,7 +151,10 @@ fn tiny_instance_heuristics_bounded_by_exhaustive_optimum() {
         assert!(c >= optimum - 1e-9, "{} beat the optimum?!", mapper.name());
     }
     let geo = eq3_cost(&problem, &GeoMapper::default().map(&problem));
-    assert!(geo <= 1.5 * optimum, "geo {geo} too far from optimum {optimum}");
+    assert!(
+        geo <= 1.5 * optimum,
+        "geo {geo} too far from optimum {optimum}"
+    );
 }
 
 #[test]
@@ -137,12 +162,18 @@ fn calibrated_estimates_produce_mappings_good_on_ground_truth() {
     use geomap_core::pipeline::{self, PipelineConfig};
     let truth = deployment(8, 6);
     let program = comm::apps::AppKind::KMeans.workload(32).program();
-    let result =
-        pipeline::run(&program, &truth, ConstraintVector::none(32), &PipelineConfig::default());
+    let result = pipeline::run(
+        &program,
+        &truth,
+        ConstraintVector::none(32),
+        &PipelineConfig::default(),
+    );
     // Evaluate the pipeline's mapping against ground truth.
     let true_problem = MappingProblem::unconstrained(result.pattern.clone(), truth);
     let geo_on_truth = eq3_cost(&true_problem, &result.mapping);
-    let base_on_truth =
-        eq3_cost(&true_problem, &baselines::RandomMapper::with_seed(2).map(&true_problem));
+    let base_on_truth = eq3_cost(
+        &true_problem,
+        &baselines::RandomMapper::with_seed(2).map(&true_problem),
+    );
     assert!(geo_on_truth < base_on_truth);
 }

@@ -15,9 +15,7 @@ fn multicloud_network_keeps_observations() {
     // Cross-provider EU pair (eu-west-1 <-> West Europe, ~1000 km) still
     // beats the transpacific same-provider pair (us-east-1 <-> Japan
     // East is not present; use ap-southeast-1 <-> West US).
-    let site = |name: &str| {
-        SiteId(network.sites().iter().position(|s| s.name == name).unwrap())
-    };
+    let site = |name: &str| SiteId(network.sites().iter().position(|s| s.name == name).unwrap());
     let eu_pair = network.bandwidth(site("eu-west-1"), site("West Europe"));
     let transpacific = network.bandwidth(site("ap-southeast-1"), site("West US"));
     assert!(
@@ -73,7 +71,11 @@ fn allowed_sets_tighten_monotonically() {
         eq3_cost(&problem, &GeoMapperMulti::new(allowed).map(&problem))
     };
     let free = eq3_cost(&problem, &GeoMapper::default().map(&problem));
-    let loose = cost_with(&[vec![site("eu-west-1"), site("West Europe"), site("us-east-1")]]);
+    let loose = cost_with(&[vec![
+        site("eu-west-1"),
+        site("West Europe"),
+        site("us-east-1"),
+    ]]);
     let tight = cost_with(&[vec![site("West Europe")]]);
     assert!(free <= loose + 1e-9, "unrestricted {free} vs loose {loose}");
     assert!(loose <= tight + 1e-9, "loose {loose} vs tight {tight}");
@@ -90,7 +92,12 @@ fn geo_still_wins_on_azure_profile() {
     let pattern = comm::apps::AppKind::Lu.workload(32).pattern();
     let problem = MappingProblem::unconstrained(pattern, network);
     let base: f64 = (0..5)
-        .map(|s| eq3_cost(&problem, &baselines::RandomMapper::with_seed(s).map(&problem)))
+        .map(|s| {
+            eq3_cost(
+                &problem,
+                &baselines::RandomMapper::with_seed(s).map(&problem),
+            )
+        })
         .sum::<f64>()
         / 5.0;
     let geo = eq3_cost(&problem, &GeoMapper::default().map(&problem));

@@ -11,17 +11,15 @@ use geonet::SiteId;
 fn observation1_intra_inter_gap() {
     for ty in net::InstanceType::TABLE1 {
         let sites = net::presets::ec2_sites(&["us-east-1", "ap-southeast-1"], 2);
-        let network =
-            net::SynthNetworkBuilder::new(net::SynthConfig::ec2(ty)).build(sites);
+        let network = net::SynthNetworkBuilder::new(net::SynthConfig::ec2(ty)).build(sites);
         let ratio = network.intra_inter_bandwidth_ratio();
         assert!(ratio > 2.0, "{ty}: ratio {ratio}");
     }
     // And for the big instance the paper measures in Table 1 it's >10x.
     let sites = net::presets::ec2_sites(&["us-east-1", "ap-southeast-1"], 2);
-    let network = net::SynthNetworkBuilder::new(net::SynthConfig::ec2(
-        net::InstanceType::C38xlarge,
-    ))
-    .build(sites);
+    let network =
+        net::SynthNetworkBuilder::new(net::SynthConfig::ec2(net::InstanceType::C38xlarge))
+            .build(sites);
     assert!(network.intra_inter_bandwidth_ratio() > 10.0);
 }
 
@@ -56,7 +54,10 @@ fn observation2_distance_correlation() {
         }
     }
     let tau = (concordant - discordant) as f64 / (concordant + discordant) as f64;
-    assert!(tau > 0.6, "distance/bandwidth anticorrelation too weak: tau {tau}");
+    assert!(
+        tau > 0.6,
+        "distance/bandwidth anticorrelation too weak: tau {tau}"
+    );
 }
 
 /// §4.2: site-pair calibration is O(M²) probes, not O(N²) — the paper's
@@ -113,7 +114,12 @@ fn greedy_strong_on_lu_weak_on_kmeans() {
     let improvement = |app: comm::apps::AppKind, mapper: &dyn Mapper| {
         let problem = MappingProblem::unconstrained(app.workload(64).pattern(), network.clone());
         let base: f64 = (0..5)
-            .map(|s| eq3_cost(&problem, &baselines::RandomMapper::with_seed(s).map(&problem)))
+            .map(|s| {
+                eq3_cost(
+                    &problem,
+                    &baselines::RandomMapper::with_seed(s).map(&problem),
+                )
+            })
             .sum::<f64>()
             / 5.0;
         (base - eq3_cost(&problem, &mapper.map(&problem))) / base * 100.0
@@ -122,7 +128,10 @@ fn greedy_strong_on_lu_weak_on_kmeans() {
     let greedy_km = improvement(comm::apps::AppKind::KMeans, &baselines::GreedyMapper);
     let geo_km = improvement(comm::apps::AppKind::KMeans, &GeoMapper::default());
     assert!(greedy_lu > 40.0, "Greedy on LU only {greedy_lu}%");
-    assert!(geo_km > greedy_km, "Geo ({geo_km}%) must beat Greedy ({greedy_km}%) on K-means");
+    assert!(
+        geo_km > greedy_km,
+        "Geo ({geo_km}%) must beat Greedy ({greedy_km}%) on K-means"
+    );
 }
 
 /// §5.4 (Fig. 8): improvement over Greedy decreases with the constraint
@@ -151,8 +160,14 @@ fn constraint_ratio_monotonicity_at_the_ends() {
     };
     let at_zero = imp(0.0);
     let at_full = imp(1.0);
-    assert!(at_full.abs() < 1e-9, "no freedom left at ratio 1.0, got {at_full}%");
-    assert!(at_zero > at_full, "freedom must help: {at_zero}% vs {at_full}%");
+    assert!(
+        at_full.abs() < 1e-9,
+        "no freedom left at ratio 1.0, got {at_full}%"
+    );
+    assert!(
+        at_zero > at_full,
+        "freedom must help: {at_zero}% vs {at_full}%"
+    );
 }
 
 /// §5.4 (Fig. 9): the probability that a random mapping beats
@@ -186,5 +201,8 @@ fn best_of_k_improves_slowly() {
     // the total gain of the first two steps combined.
     let total_gain = curve[0].1 - curve[3].1;
     let last_gain = curve[2].1 - curve[3].1;
-    assert!(last_gain <= 0.8 * total_gain, "no diminishing returns: {curve:?}");
+    assert!(
+        last_gain <= 0.8 * total_gain,
+        "no diminishing returns: {curve:?}"
+    );
 }

@@ -1,0 +1,222 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Each benchmark is warmed up, then timed over `sample_size` samples;
+//! every sample runs the closure in a loop sized so the sample lasts at
+//! least ~2 ms (so sub-microsecond kernels are still resolvable with a
+//! monotonic clock). Reported numbers are mean / min / max nanoseconds
+//! per iteration — no statistical analysis, plots or state on disk, but
+//! plenty for the relative orderings EXPERIMENTS.md tracks.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark driver, holding the run configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the group's config.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f`, passing it `input` alongside the [`Bencher`].
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+    }
+
+    /// Benchmark `f` with no separate input value.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// End the group (upstream flushes reports here; ours already printed).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label a benchmark as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean, min, max nanoseconds per iteration of the last `iter` call.
+    stats: Option<(f64, f64, f64)>,
+}
+
+/// Minimum duration of one timed sample; loops the closure until met.
+const MIN_SAMPLE_NANOS: u128 = 2_000_000;
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            stats: None,
+        }
+    }
+
+    /// Time `f`, discarding its output via an opaque sink.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size the per-sample loop so each sample is long
+        // enough for the clock to resolve.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let nanos = t.elapsed().as_nanos();
+            if nanos >= MIN_SAMPLE_NANOS {
+                break;
+            }
+            iters_per_sample = iters_per_sample
+                .saturating_mul(if nanos == 0 { 16 } else { 2 })
+                .min(1 << 40);
+        }
+
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        self.stats = Some((mean, min, max));
+    }
+
+    fn report(&self, label: &str) {
+        match self.stats {
+            Some((mean, min, max)) => println!(
+                "{label:<48} time: [{} {} {}]",
+                fmt_nanos(min),
+                fmt_nanos(mean),
+                fmt_nanos(max)
+            ),
+            None => println!("{label:<48} time: [no iter() call]"),
+        }
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work. Same contract as `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark harness function running `targets` under a config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = named_form;
+        config = Criterion::default().sample_size(3);
+        targets = targets
+    }
+
+    criterion_group!(short_form, targets);
+
+    #[test]
+    fn both_group_forms_run() {
+        named_form();
+        short_form();
+    }
+}

@@ -1,0 +1,46 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use rand::{RngExt, StdRng};
+
+/// Lengths a generated collection may take: either a half-open range or
+/// an exact count (upstream supports more forms; these are the ones
+/// used in-tree).
+#[derive(Debug, Clone)]
+pub struct SizeRange(core::ops::Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange(exact..exact + 1)
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange(r)
+    }
+}
+
+/// Strategy for a `Vec` whose length is drawn from `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.0.clone());
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

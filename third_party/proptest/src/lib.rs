@@ -1,0 +1,179 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses:
+//! the `proptest!` test macro, `prop_assert*`/`prop_assume!`, range and
+//! tuple strategies, `collection::vec`, `sample::select` and
+//! `Strategy::prop_map`.
+//!
+//! Differences from upstream, by design: no shrinking (a failure
+//! reports the assertion message and case number only) and a fixed
+//! deterministic seed per test derived from its module path, so every
+//! failure reproduces exactly on re-run.
+
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it does not count toward
+    /// the configured number of cases.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Define property tests. Mirrors upstream's grammar for the forms used
+/// in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in collection::vec(0u64..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &strategy,
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test; failure fails only the current case
+/// (with the formatted message) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a `{:?}` report of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!(a != b)` with a `{:?}` report of both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Discard the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 2usize..=9, y in -1.5f64..1.5, z in 0u64..3) {
+            prop_assert!((2..=9).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&y), "y={y}");
+            prop_assert!(z < 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        /// Doc comments and assume/select/vec all work.
+        #[test]
+        fn vec_select_assume(
+            v in prop::collection::vec((0usize..5, 0.0f64..1.0), 1..8),
+            pick in prop::sample::select(vec![8usize, 12, 16]),
+        ) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(pick % 4, 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let strat = (1usize..4, 1usize..4).prop_map(|(a, b)| a * b);
+        let mut rng = crate::test_runner::rng_for("prop_map_composes");
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((1..16).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        let config = crate::test_runner::Config::with_cases(5);
+        crate::test_runner::run(&config, "failing", &(0usize..10,), |(x,)| {
+            crate::prop_assert!(x > 100, "x={x}");
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,8 @@
+//! The glob-import surface (`use proptest::prelude::*`), mirroring the
+//! names upstream's prelude provides.
+
+pub use crate as prop;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::TestCaseError;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,22 @@
+//! Sampling strategies over explicit value sets (`select`).
+
+use crate::strategy::Strategy;
+use rand::{RngExt, StdRng};
+
+/// Strategy yielding a uniformly chosen clone of one of `options`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "cannot select from no options");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.options[rng.random_range(0..self.options.len())].clone()
+    }
+}

@@ -1,0 +1,80 @@
+//! The case-generation loop behind `proptest!`.
+
+use crate::strategy::Strategy;
+use crate::TestCaseError;
+use rand::{SeedableRng, StdRng};
+
+/// How a property test runs. Upstream calls this `Config` and re-exports
+/// it as `ProptestConfig` from the prelude; we do the same.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+    /// Abort with an error after this many `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases with the default reject budget.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Deterministic generator for a test: seeded from a stable string hash
+/// of the test's full path, so reruns generate identical cases.
+pub fn rng_for(test_name: &str) -> StdRng {
+    // FNV-1a over the name; any stable 64-bit hash would do.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Run `test` against `config.cases` generated values, panicking (so the
+/// surrounding `#[test]` fails) on the first falsified case.
+pub fn run<S, F>(config: &Config, test_name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = rng_for(test_name);
+    let mut accepted: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut case: u64 = 0;
+    while accepted < config.cases {
+        case += 1;
+        let value = strategy.new_value(&mut rng);
+        match test(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "{test_name}: too many prop_assume! rejections \
+                     ({rejected} rejects for {accepted} accepted cases)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property falsified at case {case} \
+                     (deterministic seed; rerun reproduces): {msg}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! [`ParIter`] materialises its source eagerly; only [`ParIter::map`]
+//! actually fans out, running the closure on scoped `std::thread`s fed
+//! from a shared work queue. A global token pool bounds the *total*
+//! number of extra threads across nested parallel calls to
+//! `available_parallelism() - 1`, so a parallel map inside a parallel
+//! map degrades to sequential instead of oversubscribing.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Global budget of extra worker threads (the calling thread is free).
+fn token_pool() -> &'static AtomicIsize {
+    static POOL: OnceLock<AtomicIsize> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let n = std::thread::available_parallelism().map_or(1, |p| p.get());
+        AtomicIsize::new(n as isize - 1)
+    })
+}
+
+/// Try to take up to `want` worker tokens; returns how many were taken.
+fn acquire_tokens(want: usize) -> usize {
+    let pool = token_pool();
+    let mut got = 0;
+    while got < want {
+        let cur = pool.load(Ordering::Relaxed);
+        if cur <= 0 {
+            break;
+        }
+        if pool
+            .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            got += 1;
+        }
+    }
+    got
+}
+
+fn release_tokens(n: usize) {
+    token_pool().fetch_add(n as isize, Ordering::Relaxed);
+}
+
+/// An eagerly materialised "parallel" iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion of an owned collection into a [`ParIter`].
+pub trait IntoParallelIterator {
+    /// Element type produced.
+    type Item;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Borrowing conversion, mirroring `rayon`'s `par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type produced.
+    type Item: 'a;
+    /// Iterate `&self` in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T> ParIter<T> {
+    /// Pair each item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Apply `f` to every item, fanning out over worker threads when the
+    /// global budget allows. Item order is preserved.
+    pub fn map<O, F>(self, f: F) -> ParIter<O>
+    where
+        T: Send,
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        let n = self.items.len();
+        if n <= 1 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+        let workers = acquire_tokens(n - 1);
+        if workers == 0 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+
+        let queue = Mutex::new(self.items.into_iter().enumerate());
+        let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let results = Mutex::new(out);
+        let f = &f;
+        let run = || loop {
+            // Hold the queue lock only for the pop, not the closure call.
+            let next = queue.lock().unwrap().next();
+            match next {
+                Some((i, item)) => {
+                    let v = f(item);
+                    results.lock().unwrap()[i] = Some(v);
+                }
+                None => break,
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(run);
+            }
+            run();
+        });
+        release_tokens(workers);
+        let items = results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|v| v.expect("every queue slot was processed"))
+            .collect();
+        ParIter { items }
+    }
+
+    /// Gather all items into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Minimum item under `cmp`, or `None` when empty. Ties resolve to
+    /// the earliest item, matching `rayon`'s documented behaviour.
+    pub fn min_by<F>(self, mut cmp: F) -> Option<T>
+    where
+        F: FnMut(&T, &T) -> core::cmp::Ordering,
+    {
+        let mut it = self.items.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, |best, x| {
+            if cmp(&x, &best) == core::cmp::Ordering::Less {
+                x
+            } else {
+                best
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_enumerate_map() {
+        let v = vec![10, 20, 30];
+        let out: Vec<(usize, i32)> = v.par_iter().enumerate().map(|(i, &x)| (i, x + 1)).collect();
+        assert_eq!(out, vec![(0, 11), (1, 21), (2, 31)]);
+    }
+
+    #[test]
+    fn min_by_prefers_earliest_tie() {
+        let v = vec![(1.0, 'a'), (0.5, 'b'), (0.5, 'c')];
+        let m = v
+            .into_par_iter()
+            .min_by(|x, y| x.0.partial_cmp(&y.0).unwrap())
+            .unwrap();
+        assert_eq!(m.1, 'b');
+    }
+
+    #[test]
+    fn nested_maps_do_not_deadlock() {
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..8usize).into_par_iter().map(|j| i * j).collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        assert_eq!(out[2], (0..8).map(|j| 2 * j).sum());
+    }
+
+    #[test]
+    fn empty_and_singleton_sources() {
+        let e: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(e.is_empty());
+        let s: Vec<i32> = vec![7].into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(s, vec![21]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Nothing in-tree actually serializes through serde yet (the CSV
+//! emitters are hand-rolled), so the traits are pure markers and the
+//! derives emit empty impls. The moment real (de)serialization is
+//! needed, this crate must grow methods or be swapped for upstream
+//! serde — see third_party/README.md.
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

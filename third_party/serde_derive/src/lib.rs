@@ -1,0 +1,55 @@
+//! Derive backend for the vendored `serde` stand-in: emits the empty
+//! marker impls for `#[derive(Serialize, Deserialize)]`. No `syn`
+//! dependency — the item name is recovered with a hand-rolled token
+//! scan, which is all the marker impls need.
+//!
+//! Limitation (checked at expansion time): generic items are rejected,
+//! since emitting correct impls for them would require real parsing.
+//! Every derive site in this workspace is non-generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The identifier following `struct`/`enum`, skipping attributes,
+/// doc comments and visibility.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
+                        {
+                            panic!(
+                                "vendored serde_derive does not support generic items \
+                                 (deriving on `{name}`); see third_party/README.md"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected item name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("vendored serde_derive: no struct/enum found in derive input");
+}
+
+/// Derive the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derive the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

@@ -116,7 +116,7 @@ mod tests {
             let (_, opt) = ExhaustiveMapper::default().optimum(&p);
             for c in [
                 geomap_core::cost(&p, &RandomMapper::with_seed(seed).map(&p)),
-                geomap_core::cost(&p, &GreedyMapper.map(&p)),
+                geomap_core::cost(&p, &GreedyMapper::default().map(&p)),
                 geomap_core::cost(&p, &MpippMapper::with_seed(seed).map(&p)),
                 geomap_core::cost(&p, &GeoMapper::default().map(&p)),
             ] {

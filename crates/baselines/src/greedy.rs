@@ -14,7 +14,7 @@
 //! the paper) — exactly the behaviour the evaluation harness checks.
 
 use geomap_core::delta::CostTables;
-use geomap_core::{CostModel, Mapper, Mapping, MappingProblem};
+use geomap_core::{CostModel, Mapper, Mapping, MappingProblem, Metrics};
 use geonet::SiteId;
 
 /// Relative window within which two site scores count as tied.
@@ -22,7 +22,11 @@ const TIE_REL: f64 = 1e-12;
 
 /// The Greedy baseline.
 #[derive(Debug, Clone, Default)]
-pub struct GreedyMapper;
+pub struct GreedyMapper {
+    /// Observability handle (off by default): placement count, candidate
+    /// site scores evaluated, and the packing time.
+    pub metrics: Metrics,
+}
 
 impl Mapper for GreedyMapper {
     fn name(&self) -> &'static str {
@@ -30,6 +34,10 @@ impl Mapper for GreedyMapper {
     }
 
     fn map(&self, problem: &MappingProblem) -> Mapping {
+        let metrics = self.metrics.scoped(self.name());
+        let t_start = metrics.enabled().then(std::time::Instant::now);
+        let mut placements = 0u64;
+        let mut scores_evaluated = 0u64;
         let n = problem.num_processes();
         let net = problem.network();
         let m = problem.num_sites();
@@ -67,9 +75,8 @@ impl Mapper for GreedyMapper {
                 .filter(|&i| assignment[i].is_none())
                 .max_by(|&a, &b| {
                     attachment[a]
-                        .partial_cmp(&attachment[b])
-                        .unwrap()
-                        .then(quantities[a].partial_cmp(&quantities[b]).unwrap())
+                        .total_cmp(&attachment[b])
+                        .then(quantities[a].total_cmp(&quantities[b]))
                         .then(b.cmp(&a))
                 })
                 .expect("unmapped > 0");
@@ -111,9 +118,11 @@ impl Mapper for GreedyMapper {
                 .iter()
                 .filter(|&&(_, s)| s >= best_score - TIE_REL * best_score.abs())
                 .map(|&(site, _)| (site, tables.placement_cost(&assignment, t, site)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
                 .map(|(site, _)| site)
                 .expect("capacity >= N guarantees a free site");
+            placements += 1;
+            scores_evaluated += scores.len() as u64;
             assignment[t] = Some(site);
             free[site.index()] -= 1;
             unmapped -= 1;
@@ -122,6 +131,11 @@ impl Mapper for GreedyMapper {
             }
         }
 
+        if let Some(t0) = t_start {
+            metrics.timing("phase.packing", t0.elapsed().as_secs_f64());
+            metrics.counter("search.placements", placements);
+            metrics.counter("search.site_scores_evaluated", scores_evaluated);
+        }
         Mapping::new(
             assignment
                 .into_iter()
@@ -148,7 +162,7 @@ mod tests {
     fn feasible_on_all_apps() {
         for k in AppKind::ALL {
             let p = ec2_problem(k.workload(32).pattern(), 8);
-            GreedyMapper.map(&p).validate(&p).unwrap();
+            GreedyMapper::default().map(&p).validate(&p).unwrap();
         }
     }
 
@@ -163,7 +177,7 @@ mod tests {
             .pattern(),
             4,
         );
-        let m = GreedyMapper.map(&p);
+        let m = GreedyMapper::default().map(&p);
         // A ring has 16 edges; an optimal 4-way split cuts exactly 4.
         // Greedy growth from the heaviest vertex yields a near-optimal
         // packing: at most 6 cross-site edges.
@@ -176,7 +190,7 @@ mod tests {
     #[test]
     fn beats_baseline_on_local_patterns() {
         let p = ec2_problem(AppKind::Lu.workload(64).pattern(), 16);
-        let g = cost(&p, &GreedyMapper.map(&p));
+        let g = cost(&p, &GreedyMapper::default().map(&p));
         let r = cost(&p, &RandomMapper::with_seed(3).map(&p));
         assert!(g < 0.7 * r, "greedy {g} vs random {r}");
     }
@@ -187,7 +201,7 @@ mod tests {
         let pat = AppKind::KMeans.workload(32).pattern();
         let c = ConstraintVector::random(32, 0.4, &net.capacities(), 7);
         let p = MappingProblem::new(pat, net, c.clone());
-        let m = GreedyMapper.map(&p);
+        let m = GreedyMapper::default().map(&p);
         m.validate(&p).unwrap();
         assert!(c.satisfied_by(m.as_slice()));
     }
@@ -195,6 +209,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let p = ec2_problem(AppKind::Sp.workload(36).pattern(), 9);
-        assert_eq!(GreedyMapper.map(&p), GreedyMapper.map(&p));
+        assert_eq!(
+            GreedyMapper::default().map(&p),
+            GreedyMapper::default().map(&p)
+        );
     }
 }

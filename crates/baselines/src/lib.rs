@@ -29,16 +29,29 @@ pub use monte_carlo::MonteCarlo;
 pub use mpipp::MpippMapper;
 pub use random::{random_mapping, RandomMapper};
 
-use geomap_core::{Mapper, MappingProblem};
+use geomap_core::{Mapper, MappingProblem, Metrics};
 
 /// The paper's three comparison mappers plus the proposed one, in figure
 /// order: Greedy, MPIPP, Geo-distributed.
 pub fn paper_mappers(seed: u64) -> Vec<Box<dyn Mapper + Sync>> {
+    paper_mappers_with_metrics(seed, &Metrics::off())
+}
+
+/// [`paper_mappers`] with every mapper wired to `metrics` — each scopes
+/// itself under its own name, so one handle yields a comparable set of
+/// per-mapper search statistics.
+pub fn paper_mappers_with_metrics(seed: u64, metrics: &Metrics) -> Vec<Box<dyn Mapper + Sync>> {
     vec![
-        Box::new(GreedyMapper),
-        Box::new(MpippMapper::with_seed(seed)),
+        Box::new(GreedyMapper {
+            metrics: metrics.clone(),
+        }),
+        Box::new(MpippMapper {
+            metrics: metrics.clone(),
+            ..MpippMapper::with_seed(seed)
+        }),
         Box::new(geomap_core::GeoMapper {
             seed,
+            metrics: metrics.clone(),
             ..geomap_core::GeoMapper::default()
         }),
     ]

@@ -7,8 +7,8 @@
 //! best-of-K mapper.
 
 use crate::random::random_mapping;
-use geomap_core::delta::{polish, Evaluation};
-use geomap_core::{cost, CostModel, Mapper, Mapping, MappingProblem};
+use geomap_core::delta::{polish_stats, Evaluation};
+use geomap_core::{cost, CostModel, Mapper, Mapping, MappingProblem, Metrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -25,6 +25,9 @@ pub struct MonteCarlo {
     pub polish_passes: usize,
     /// Δ-cost engine for the polish sweeps.
     pub evaluation: Evaluation,
+    /// Observability handle (off by default): sample count, sampling
+    /// time, and — when polishing — refinement search stats.
+    pub metrics: Metrics,
 }
 
 impl MonteCarlo {
@@ -36,6 +39,7 @@ impl MonteCarlo {
             seed,
             polish_passes: 0,
             evaluation: Evaluation::Incremental,
+            metrics: Metrics::off(),
         }
     }
 
@@ -56,26 +60,38 @@ impl MonteCarlo {
     /// CDF at `sorted[k]` is `(k+1)/len`.
     pub fn cdf(&self, problem: &MappingProblem) -> Vec<f64> {
         let mut costs = self.sample_costs(problem);
-        costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        costs.sort_by(f64::total_cmp);
         costs
     }
 
     /// Fraction of random mappings strictly cheaper than `c` — the
     /// paper's "probability that a random mapping beats X".
+    ///
+    /// Convention: an empty `sorted_costs` slice yields `0.0` (no
+    /// evidence that anything beats `c`), never `NaN`.
     pub fn fraction_below(sorted_costs: &[f64], c: f64) -> f64 {
+        if sorted_costs.is_empty() {
+            return 0.0;
+        }
         let k = sorted_costs.partition_point(|&x| x < c);
         k as f64 / sorted_costs.len() as f64
     }
 
     /// Running best-of-K minima at the requested `ks` (each `k ≤
-    /// samples`), as Fig. 10 plots. Returns `(k, min_cost_of_first_k)`.
+    /// samples`), as Fig. 10 plots. Returns `(k, min_cost_of_first_k)`
+    /// pairs **in the caller's order** — duplicated and unsorted `ks`
+    /// are fine; each entry always describes its own `k`.
     pub fn best_of_k_curve(&self, problem: &MappingProblem, ks: &[usize]) -> Vec<(usize, f64)> {
         let costs = self.sample_costs(problem);
-        let mut out = Vec::with_capacity(ks.len());
-        let mut running = f64::INFINITY;
-        let mut upto = 0usize;
+        // Prefix minima are computed over the unique ks in ascending
+        // order (one pass over the samples), then reported back in the
+        // caller's order.
         let mut sorted_ks: Vec<usize> = ks.to_vec();
         sorted_ks.sort_unstable();
+        sorted_ks.dedup();
+        let mut running = f64::INFINITY;
+        let mut upto = 0usize;
+        let mut min_at = std::collections::HashMap::with_capacity(sorted_ks.len());
         for k in sorted_ks {
             assert!(
                 k >= 1 && k <= costs.len(),
@@ -86,9 +102,9 @@ impl MonteCarlo {
                 running = running.min(c);
             }
             upto = k;
-            out.push((k, running));
+            min_at.insert(k, running);
         }
-        out
+        ks.iter().map(|&k| (k, min_at[&k])).collect()
     }
 }
 
@@ -98,27 +114,39 @@ impl Mapper for MonteCarlo {
     }
 
     fn map(&self, problem: &MappingProblem) -> Mapping {
-        let best = (0..self.samples)
-            .into_par_iter()
-            .map(|i| {
-                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
-                let m = random_mapping(problem, &mut rng);
-                (cost(problem, &m), i, m)
-            })
-            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
-            .expect("samples > 0");
+        assert!(
+            self.samples > 0,
+            "MonteCarlo: `samples` must be > 0 (got 0) — best-of-K needs at \
+             least one draw; construct via MonteCarlo::new"
+        );
+        let metrics = self.metrics.scoped(self.name());
+        metrics.counter("search.samples", self.samples as u64);
+        let best = metrics.timed("phase.sampling", || {
+            (0..self.samples)
+                .into_par_iter()
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+                    let m = random_mapping(problem, &mut rng);
+                    (cost(problem, &m), i, m)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .expect("non-empty sample range")
+        });
         let mut m = best.2;
         if self.polish_passes > 0 {
             let constraints = problem.constraints();
             let movable = |i: usize| constraints.pin_of(i).is_none();
-            polish(
-                problem,
-                &mut m,
-                self.polish_passes,
-                CostModel::Full,
-                self.evaluation,
-                &movable,
-            );
+            let stats = metrics.timed("phase.refinement", || {
+                polish_stats(
+                    problem,
+                    &mut m,
+                    self.polish_passes,
+                    CostModel::Full,
+                    self.evaluation,
+                    &movable,
+                )
+            });
+            stats.emit(&metrics);
         }
         m
     }
@@ -167,6 +195,68 @@ mod tests {
         assert_eq!(MonteCarlo::fraction_below(&sorted, 0.5), 0.0);
         assert_eq!(MonteCarlo::fraction_below(&sorted, 2.5), 0.5);
         assert_eq!(MonteCarlo::fraction_below(&sorted, 10.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_below_empty_is_zero_not_nan() {
+        // Regression: 0/0 used to yield NaN; the convention is 0.0.
+        let f = MonteCarlo::fraction_below(&[], 1.0);
+        assert_eq!(f, 0.0);
+        assert!(!f.is_nan());
+    }
+
+    #[test]
+    fn best_of_k_curve_preserves_caller_order() {
+        // Regression: the curve used to come back silently sorted by k.
+        let p = problem();
+        let mc = MonteCarlo::new(64, 4);
+        let unsorted = mc.best_of_k_curve(&p, &[64, 1, 16, 16]);
+        assert_eq!(
+            unsorted.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![64, 1, 16, 16],
+            "caller's k order (duplicates included) must be preserved"
+        );
+        // Same minima as the sorted query, just reordered.
+        let sorted = mc.best_of_k_curve(&p, &[1, 16, 64]);
+        assert_eq!(unsorted[0], sorted[2]);
+        assert_eq!(unsorted[1], sorted[0]);
+        assert_eq!(unsorted[2], sorted[1]);
+        assert_eq!(unsorted[3], sorted[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "`samples` must be > 0")]
+    fn zero_samples_by_struct_literal_fails_clearly() {
+        // Regression: bypassing `new` via the pub fields used to die on a
+        // cryptic `expect("samples > 0")` inside the rayon reduction.
+        let p = problem();
+        let mc = MonteCarlo {
+            samples: 0,
+            ..MonteCarlo::new(1, 1)
+        };
+        mc.map(&p);
+    }
+
+    #[test]
+    fn emits_sampling_metrics() {
+        let sink = std::sync::Arc::new(geomap_core::MemorySink::new());
+        let p = problem();
+        let mc = MonteCarlo {
+            polish_passes: 4,
+            metrics: Metrics::new(sink.clone()),
+            ..MonteCarlo::new(32, 6)
+        };
+        let with = mc.map(&p);
+        assert_eq!(sink.sum("MonteCarlo", "search.samples"), 32.0);
+        assert!(sink.has("MonteCarlo", "phase.sampling"));
+        assert!(sink.has("MonteCarlo", "phase.refinement"));
+        // Instrumentation must not change the result.
+        let without = MonteCarlo {
+            polish_passes: 4,
+            ..MonteCarlo::new(32, 6)
+        }
+        .map(&p);
+        assert_eq!(with, without);
     }
 
     #[test]

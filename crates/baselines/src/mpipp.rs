@@ -11,8 +11,8 @@
 //! processes.
 
 use crate::random::random_mapping;
-use geomap_core::delta::{best_improving_swap, CostTables, Evaluation};
-use geomap_core::{cost, Mapper, Mapping, MappingProblem};
+use geomap_core::delta::{best_improving_swap_counted, CostTables, Evaluation, SearchStats};
+use geomap_core::{cost, Mapper, Mapping, MappingProblem, Metrics};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,6 +33,9 @@ pub struct MpippMapper {
     /// oracle re-walks the pattern per pair (the seed's original
     /// behaviour, kept for verification).
     pub evaluation: Evaluation,
+    /// Observability handle (off by default): restart count, exchange
+    /// rounds, swaps evaluated vs. accepted, Eq. 3 terms touched.
+    pub metrics: Metrics,
 }
 
 impl MpippMapper {
@@ -52,18 +55,20 @@ impl Default for MpippMapper {
             max_rounds: 1000,
             seed: 0x3B1B,
             evaluation: Evaluation::Incremental,
+            metrics: Metrics::off(),
         }
     }
 }
 
 impl MpippMapper {
-    /// One local search from a random feasible start.
+    /// One local search from a random feasible start. Returns the local
+    /// optimum, its exact cost, and the search counters of this restart.
     fn local_search(
         &self,
         problem: &MappingProblem,
         tables: &CostTables,
         rng: &mut StdRng,
-    ) -> (Mapping, f64) {
+    ) -> (Mapping, f64, SearchStats) {
         let n = problem.num_processes();
         let constraints = problem.constraints();
         let mapping = random_mapping(problem, rng);
@@ -73,20 +78,26 @@ impl MpippMapper {
             .filter(|&i| constraints.pin_of(i).is_none())
             .collect();
 
+        let mut stats = SearchStats::default();
         let mut eval = self
             .evaluation
             .evaluator(tables, mapping.as_slice().to_vec());
         for _ in 0..self.max_rounds {
-            let Some((a, b, _)) = best_improving_swap(eval.as_ref(), &movable, SWAP_EPS) else {
+            let (swap, evaluated) = best_improving_swap_counted(eval.as_ref(), &movable, SWAP_EPS);
+            stats.passes += 1;
+            stats.swaps_evaluated += evaluated;
+            let Some((a, b, _)) = swap else {
                 break;
             };
             eval.apply_swap(a, b);
+            stats.swaps_accepted += 1;
         }
+        stats.terms = eval.terms();
         let mapping = Mapping::new(eval.sites().to_vec());
         // Guard against drift in the incremental deltas.
         let exact = cost::cost(problem, &mapping);
         debug_assert!((exact - eval.total()).abs() <= 1e-6 * exact.max(1.0));
-        (mapping, exact)
+        (mapping, exact, stats)
     }
 }
 
@@ -96,14 +107,23 @@ impl Mapper for MpippMapper {
     }
 
     fn map(&self, problem: &MappingProblem) -> Mapping {
+        let metrics = self.metrics.scoped(self.name());
         let tables = CostTables::build(problem, geomap_core::CostModel::Full);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(Mapping, f64)> = None;
+        let mut total = SearchStats::default();
+        let t_start = metrics.enabled().then(std::time::Instant::now);
         for _ in 0..self.restarts.max(1) {
-            let (m, c) = self.local_search(problem, &tables, &mut rng);
+            let (m, c, stats) = self.local_search(problem, &tables, &mut rng);
+            total.absorb(stats);
+            total.restarts += 1;
             if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
                 best = Some((m, c));
             }
+        }
+        if let Some(t0) = t_start {
+            metrics.timing("phase.refinement", t0.elapsed().as_secs_f64());
+            total.emit(&metrics);
         }
         best.expect("at least one restart").0
     }

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 fn mappers(seed: u64) -> Vec<Box<dyn Mapper>> {
     vec![
         Box::new(RandomMapper::with_seed(seed)),
-        Box::new(GreedyMapper),
+        Box::new(GreedyMapper::default()),
         Box::new(MpippMapper {
             restarts: 2,
             ..MpippMapper::with_seed(seed)
@@ -78,7 +78,7 @@ fn optimizers_beat_random_on_every_real_app() {
             .sum::<f64>()
             / 6.0;
         for mapper in [
-            Box::new(GreedyMapper) as Box<dyn Mapper>,
+            Box::new(GreedyMapper::default()) as Box<dyn Mapper>,
             Box::new(MpippMapper::with_seed(1)),
             Box::new(GeoMapper::default()),
         ] {

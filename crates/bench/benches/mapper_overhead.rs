@@ -26,7 +26,7 @@ fn bench_mappers(c: &mut Criterion) {
             b.iter(|| black_box(RandomMapper::with_seed(1).map(p)))
         });
         group.bench_with_input(BenchmarkId::new("greedy", &scale), &p, |b, p| {
-            b.iter(|| black_box(GreedyMapper.map(p)))
+            b.iter(|| black_box(GreedyMapper::default().map(p)))
         });
         group.bench_with_input(BenchmarkId::new("geo", &scale), &p, |b, p| {
             b.iter(|| black_box(GeoMapper::default().map(p)))

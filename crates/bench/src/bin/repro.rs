@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment>... [--quick] [--seed N] [--out DIR] [--no-csv]
+//!                       [--metrics FILE]
 //! repro all [--quick]
 //! repro list
 //! ```
@@ -9,11 +10,15 @@
 use geomap_bench::experiments::{self, ALL_EXPERIMENTS};
 use geomap_bench::util::default_results_dir;
 use geomap_bench::ExpContext;
+use geomap_core::{JsonLinesSink, Metrics};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <experiment>... [--quick] [--seed N] [--out DIR] [--no-csv]");
+    eprintln!(
+        "usage: repro <experiment>... [--quick] [--seed N] [--out DIR] [--no-csv] [--metrics FILE]"
+    );
     eprintln!("       repro all | list");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     ExitCode::FAILURE
@@ -26,6 +31,7 @@ fn main() -> ExitCode {
         quick: false,
         seed: 0x5C17,
         out_dir: Some(default_results_dir()),
+        metrics: Metrics::off(),
     };
 
     let mut i = 0;
@@ -48,6 +54,22 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 ctx.out_dir = Some(PathBuf::from(v));
+            }
+            "--metrics" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--metrics needs a file path");
+                    return usage();
+                };
+                let path = PathBuf::from(v);
+                let sink = match JsonLinesSink::create(&path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("--metrics: cannot create {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                ctx.metrics = Metrics::new(Arc::new(sink));
             }
             "list" => {
                 for id in ALL_EXPERIMENTS {
@@ -76,5 +98,6 @@ fn main() -> ExitCode {
         }
         println!();
     }
+    ctx.metrics.flush();
     ExitCode::SUCCESS
 }

@@ -37,7 +37,7 @@ fn overhead_secs(mapper: &dyn Mapper, problem: &MappingProblem) -> f64 {
             t.as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(f64::total_cmp);
     times[1]
 }
 
@@ -64,10 +64,12 @@ pub fn run(ctx: &ExpContext) {
         "{:<10} {:>11} {:>11} {:>11} {:>11} | normalized G/M/Geo",
         "scale", "Baseline", "Greedy", "MPIPP", "Geo"
     );
+    let fig_metrics = ctx.metrics.scoped("fig4");
     for (sites, processes) in scales {
+        let scale_metrics = fig_metrics.scoped(&format!("{sites}x{processes}"));
         let problem = problem_at(sites, processes, ctx.seed);
         let t_base = overhead_secs(&RandomMapper::with_seed(ctx.seed), &problem).max(1e-7);
-        let t_greedy = overhead_secs(&GreedyMapper, &problem);
+        let t_greedy = overhead_secs(&GreedyMapper::default(), &problem);
         let t_mpipp = overhead_secs(&MpippMapper::with_seed(ctx.seed), &problem);
         let t_geo = overhead_secs(
             &GeoMapper {
@@ -76,6 +78,14 @@ pub fn run(ctx: &ExpContext) {
             },
             &problem,
         );
+        for (name, t) in [
+            ("baseline", t_base),
+            ("greedy", t_greedy),
+            ("mpipp", t_mpipp),
+            ("geo", t_geo),
+        ] {
+            scale_metrics.timing(&format!("overhead.{name}"), t);
+        }
         println!(
             "{:<10} {:>11} {:>11} {:>11} {:>11} | {:.0}x / {:.0}x / {:.0}x",
             format!("{sites}/{processes}"),
@@ -115,7 +125,7 @@ mod tests {
     #[test]
     fn mpipp_overhead_exceeds_greedy_at_64() {
         let p = problem_at(4, 64, 1);
-        let g = overhead_secs(&GreedyMapper, &p);
+        let g = overhead_secs(&GreedyMapper::default(), &p);
         let m = overhead_secs(&MpippMapper::with_seed(1), &p);
         assert!(m > g, "MPIPP {m} not above Greedy {g}");
     }

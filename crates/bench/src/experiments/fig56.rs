@@ -13,9 +13,9 @@
 
 use crate::setup::app_problem;
 use crate::util::{improvement_pct, mean, std_error, Csv, ExpContext};
-use baselines::{paper_mappers, RandomMapper};
+use baselines::{paper_mappers_with_metrics, RandomMapper};
 use commgraph::apps::AppKind;
-use geomap_core::{Mapper, MappingProblem};
+use geomap_core::{Mapper, MappingProblem, Metrics};
 use mpirt::RunConfig;
 
 /// Measured improvements of one app: `(name, greedy, mpipp, geo)` in %.
@@ -28,43 +28,59 @@ pub struct AppRow {
     pub baseline_stderr: f64,
 }
 
-/// Execute one mapping and report the makespan.
+/// Execute one mapping and report the makespan. When `metrics` is
+/// enabled the run's full telemetry (per-link traffic, per-rank
+/// breakdowns) is exported through it.
 fn makespan(
     problem: &MappingProblem,
     mapping: &geomap_core::Mapping,
     cfg: &RunConfig,
     app: AppKind,
+    metrics: &Metrics,
 ) -> f64 {
     let workload = app.workload(problem.num_processes());
-    mpirt::execute_workload(
+    let result = mpirt::execute_workload(
         workload.as_ref(),
         problem.network(),
         mapping.as_slice(),
         cfg,
-    )
-    .makespan
+    );
+    result.emit_metrics(metrics);
+    result.makespan
 }
 
-/// Shared driver for both figures.
-pub fn improvements(ctx: &ExpContext, cfg: &RunConfig) -> Vec<AppRow> {
+/// Shared driver for both figures. `label` scopes the metrics stream
+/// (`"fig5"` / `"fig6"`), giving records like
+/// `fig5/LU/Geo-distributed/search.swaps_accepted` and
+/// `fig5/LU/Geo-distributed/runtime/makespan_s`.
+pub fn improvements(ctx: &ExpContext, cfg: &RunConfig, label: &str) -> Vec<AppRow> {
+    let fig_metrics = ctx.metrics.scoped(label);
     let baseline_runs = ctx.scaled(10, 3);
     let nodes_per_site = ctx.scaled(16, 4);
     AppKind::ALL
         .iter()
         .map(|&app| {
+            let app_metrics = fig_metrics.scoped(app.name());
             let problem = app_problem(app, nodes_per_site, 0.2, ctx.seed);
             let baselines: Vec<f64> = (0..baseline_runs)
                 .map(|i| {
                     let m = RandomMapper::with_seed(ctx.seed.wrapping_add(i as u64)).map(&problem);
-                    makespan(&problem, &m, cfg, app)
+                    makespan(&problem, &m, cfg, app, &Metrics::off())
                 })
                 .collect();
             let base = mean(&baselines);
+            app_metrics.gauge("baseline_makespan_s", base);
             let mut improvements = [0.0; 3];
-            for (slot, mapper) in paper_mappers(ctx.seed).iter().enumerate() {
+            for (slot, mapper) in paper_mappers_with_metrics(ctx.seed, &app_metrics)
+                .iter()
+                .enumerate()
+            {
                 let m = mapper.map(&problem);
                 m.validate(&problem).unwrap();
-                improvements[slot] = improvement_pct(base, makespan(&problem, &m, cfg, app));
+                let per_mapper = app_metrics.scoped(mapper.name());
+                let t = makespan(&problem, &m, cfg, app, &per_mapper.scoped("runtime"));
+                improvements[slot] = improvement_pct(base, t);
+                per_mapper.gauge("improvement_pct", improvements[slot]);
             }
             AppRow {
                 app: app.name(),
@@ -119,7 +135,7 @@ fn report(title: &str, file: &str, rows: &[AppRow], ctx: &ExpContext) {
 
 /// Fig. 5: total time (computation included).
 pub fn run_fig5(ctx: &ExpContext) {
-    let rows = improvements(ctx, &RunConfig::default());
+    let rows = improvements(ctx, &RunConfig::default(), "fig5");
     report(
         "Fig. 5: overall improvement on emulated EC2 (with computation)",
         "fig5_ec2_improvement.csv",
@@ -130,7 +146,7 @@ pub fn run_fig5(ctx: &ExpContext) {
 
 /// Fig. 6: communication time only.
 pub fn run_fig6(ctx: &ExpContext) {
-    let rows = improvements(ctx, &RunConfig::comm_only());
+    let rows = improvements(ctx, &RunConfig::comm_only(), "fig6");
     report(
         "Fig. 6: communication-only improvement (simulation)",
         "fig6_sim_improvement.csv",
@@ -146,7 +162,7 @@ mod tests {
     #[test]
     fn geo_wins_on_every_app_comm_only() {
         let ctx = ExpContext::smoke();
-        let rows = improvements(&ctx, &RunConfig::comm_only());
+        let rows = improvements(&ctx, &RunConfig::comm_only(), "fig6");
         for r in &rows {
             let geo = r.improvements[2];
             assert!(geo > 0.0, "{}: geo improvement {geo}", r.app);
@@ -175,6 +191,37 @@ mod tests {
     }
 
     #[test]
+    fn metrics_stream_covers_mappers_and_runtime() {
+        use geomap_core::MemorySink;
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let ctx = ExpContext {
+            metrics: Metrics::new(sink.clone()),
+            ..ExpContext::smoke()
+        };
+        improvements(&ctx, &RunConfig::comm_only(), "fig6");
+        for mapper in ["Greedy", "MPIPP", "Geo-distributed"] {
+            assert!(
+                sink.has(&format!("fig6/LU/{mapper}"), "improvement_pct"),
+                "no improvement gauge for {mapper}"
+            );
+            assert!(
+                sink.has(&format!("fig6/LU/{mapper}/runtime"), "makespan_s"),
+                "no runtime telemetry for {mapper}"
+            );
+        }
+        // The swap-based mappers report their search statistics through
+        // the same stream.
+        for mapper in ["MPIPP", "Geo-distributed"] {
+            assert!(
+                sink.has(&format!("fig6/LU/{mapper}"), "search.swaps_evaluated"),
+                "no search stats for {mapper}"
+            );
+        }
+        assert!(sink.has("fig6/LU", "baseline_makespan_s"));
+    }
+
+    #[test]
     fn geo_never_loses_the_modeled_objective() {
         // The §5.3 claim the optimizer actually controls: on every
         // workload, Geo's Eq. 3 cost is no worse than Greedy's or
@@ -183,7 +230,7 @@ mod tests {
         let ctx = ExpContext::smoke();
         for &app in commgraph::apps::AppKind::ALL.iter() {
             let problem = app_problem(app, ctx.scaled(16, 4), 0.2, ctx.seed);
-            let costs: Vec<(&'static str, f64)> = paper_mappers(ctx.seed)
+            let costs: Vec<(&'static str, f64)> = baselines::paper_mappers(ctx.seed)
                 .iter()
                 .map(|m| (m.name(), cost(&problem, &m.map(&problem))))
                 .collect();

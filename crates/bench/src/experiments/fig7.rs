@@ -50,7 +50,8 @@ pub fn run(ctx: &ExpContext) {
                     })
                     .collect::<Vec<_>>(),
             );
-            let greedy = improvement_pct(base, cost(&problem, &GreedyMapper.map(&problem)));
+            let greedy =
+                improvement_pct(base, cost(&problem, &GreedyMapper::default().map(&problem)));
             let geo = improvement_pct(
                 base,
                 cost(

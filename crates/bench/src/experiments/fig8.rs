@@ -32,7 +32,7 @@ pub fn improvement_at_scaled(
     let total: f64 = (0..draws)
         .map(|d| {
             let problem = app_problem(app, nodes, ratio, seed.wrapping_add(d as u64 * 131));
-            let greedy = cost(&problem, &GreedyMapper.map(&problem));
+            let greedy = cost(&problem, &GreedyMapper::default().map(&problem));
             let geo = cost(
                 &problem,
                 &GeoMapper {

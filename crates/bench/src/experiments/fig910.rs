@@ -51,7 +51,10 @@ pub fn run_fig9(ctx: &ExpContext) {
         println!("\n--- {app} ({samples} draws) ---");
         let mut marker_points: Vec<(&str, f64)> = Vec::new();
         let algos: Vec<(&str, f64)> = vec![
-            ("Greedy", cost(&problem, &GreedyMapper.map(&problem))),
+            (
+                "Greedy",
+                cost(&problem, &GreedyMapper::default().map(&problem)),
+            ),
             (
                 "MPIPP",
                 cost(&problem, &MpippMapper::with_seed(ctx.seed).map(&problem)),

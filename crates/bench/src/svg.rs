@@ -192,7 +192,7 @@ pub fn lines(
     for (si, (_, pts)) in series.iter().enumerate() {
         let mut d = String::new();
         let mut sorted = pts.clone();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (i, (x, y)) in sorted.iter().enumerate() {
             let _ = write!(
                 d,

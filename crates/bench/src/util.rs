@@ -1,5 +1,6 @@
 //! Shared harness utilities: experiment context, CSV output, metrics.
 
+use geomap_core::Metrics;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -13,6 +14,10 @@ pub struct ExpContext {
     pub seed: u64,
     /// Output directory for CSV artifacts (`None` = don't write).
     pub out_dir: Option<PathBuf>,
+    /// Observability handle; experiments scope it per figure/app/mapper
+    /// and thread it into the mappers and the simulated runtime.
+    /// Disabled by default (`repro --metrics <path>` turns it on).
+    pub metrics: Metrics,
 }
 
 impl Default for ExpContext {
@@ -21,6 +26,7 @@ impl Default for ExpContext {
             quick: false,
             seed: 0x5C17,
             out_dir: Some(default_results_dir()),
+            metrics: Metrics::off(),
         }
     }
 }
@@ -32,6 +38,7 @@ impl ExpContext {
             quick: true,
             seed: 0x5C17,
             out_dir: None,
+            metrics: Metrics::off(),
         }
     }
 

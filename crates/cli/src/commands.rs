@@ -153,7 +153,7 @@ pub fn map(args: &Args) -> Result<String, String> {
             kappa: args.parsed_or("kappa", 4)?,
             ..GeoMapper::default()
         }),
-        "greedy" => Box::new(GreedyMapper),
+        "greedy" => Box::new(GreedyMapper::default()),
         "mpipp" => Box::new(MpippMapper::with_seed(seed)),
         "random" => Box::new(RandomMapper::with_seed(seed)),
         "montecarlo" => Box::new(MonteCarlo::new(args.parsed_or("samples", 10_000)?, seed)),

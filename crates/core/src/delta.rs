@@ -26,9 +26,55 @@
 
 use crate::cost::{model_components, CostModel};
 use crate::mapping::Mapping;
+use crate::metrics::Metrics;
 use crate::problem::MappingProblem;
 use geonet::SiteId;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate statistics of one swap-search run — the per-mapper numbers
+/// the observability layer reports (generalizing [`CostEval::terms`]).
+/// Plain integers, accumulated locally by the search loops and emitted
+/// once per phase, so the hot path carries no sink calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Sweeps / exchange rounds run (including the final one that found
+    /// no improvement).
+    pub passes: u64,
+    /// Candidate swaps whose Δ was computed.
+    pub swaps_evaluated: u64,
+    /// Swaps actually applied.
+    pub swaps_accepted: u64,
+    /// Random restarts taken (0 for single-start searches).
+    pub restarts: u64,
+    /// α–β terms the evaluator computed ([`CostEval::terms`] at the end
+    /// of the search, including evaluator construction).
+    pub terms: u64,
+}
+
+impl SearchStats {
+    /// Field-wise accumulate `other` into `self` (merging restarts or
+    /// refinement candidates).
+    pub fn absorb(&mut self, other: SearchStats) {
+        self.passes += other.passes;
+        self.swaps_evaluated += other.swaps_evaluated;
+        self.swaps_accepted += other.swaps_accepted;
+        self.restarts += other.restarts;
+        self.terms += other.terms;
+    }
+
+    /// Emit the standard `search.*` counters to `metrics` (no-op when
+    /// the handle is off).
+    pub fn emit(&self, metrics: &Metrics) {
+        if !metrics.enabled() {
+            return;
+        }
+        metrics.counter("search.passes", self.passes);
+        metrics.counter("search.swaps_evaluated", self.swaps_evaluated);
+        metrics.counter("search.swaps_accepted", self.swaps_accepted);
+        metrics.counter("search.restarts", self.restarts);
+        metrics.counter("search.terms", self.terms);
+    }
+}
 
 /// Which Δ-cost implementation a mapper's local search uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,6 +135,12 @@ impl CostTables {
     /// stored `CG`/`AG` components (latency-only zeroes the bytes,
     /// bandwidth-only the messages), so every downstream evaluation is
     /// the same two-term α–β kernel.
+    ///
+    /// # Panics
+    /// Panics if any folded communication component or network entry is
+    /// non-finite. Rejecting here — once per `map()` — is what lets the
+    /// downstream comparators use plain `total_cmp` orderings without
+    /// NaN ever reaching a search decision.
     pub fn build(problem: &MappingProblem, model: CostModel) -> Self {
         let n = problem.num_processes();
         let m = problem.num_sites();
@@ -109,6 +161,13 @@ impl CostTables {
                 let om = pattern.msgs(i, p.peer);
                 let (fom, fob) = model_components(model, om, ob);
                 let (fim, fib) = model_components(model, p.msgs - om, p.bytes - ob);
+                assert!(
+                    fom.is_finite() && fob.is_finite() && fim.is_finite() && fib.is_finite(),
+                    "CostTables: non-finite communication component on edge \
+                     {i}↔{} (out msgs {fom}, out bytes {fob}, in msgs {fim}, \
+                     in bytes {fib}); reject bad profiles before mapping",
+                    p.peer
+                );
                 peer.push(p.peer as u32);
                 out_m.push(fom);
                 out_b.push(fob);
@@ -123,8 +182,19 @@ impl CostTables {
         let mut inv_bt = Vec::with_capacity(m * m);
         for k in 0..m {
             for l in 0..m {
-                lt.push(net.latency(SiteId(k), SiteId(l)));
-                inv_bt.push(1.0 / net.bandwidth(SiteId(k), SiteId(l)));
+                let l_kl = net.latency(SiteId(k), SiteId(l));
+                let b_kl = net.bandwidth(SiteId(k), SiteId(l));
+                let inv = 1.0 / b_kl;
+                assert!(
+                    l_kl.is_finite(),
+                    "CostTables: non-finite latency LT({k},{l}) = {l_kl}"
+                );
+                assert!(
+                    inv.is_finite(),
+                    "CostTables: non-finite 1/BT({k},{l}) (BT = {b_kl})"
+                );
+                lt.push(l_kl);
+                inv_bt.push(inv);
             }
         }
 
@@ -623,6 +693,17 @@ pub fn best_improving_swap(
     movable: &[usize],
     threshold: f64,
 ) -> Option<(usize, usize, f64)> {
+    best_improving_swap_counted(eval, movable, threshold).0
+}
+
+/// [`best_improving_swap`] plus the number of candidate Δ evaluations it
+/// performed (min scan + tie-band re-scan) — the `swaps_evaluated`
+/// feed of [`SearchStats`].
+pub fn best_improving_swap_counted(
+    eval: &dyn CostEval,
+    movable: &[usize],
+    threshold: f64,
+) -> (Option<(usize, usize, f64)>, u64) {
     let row_best = |ai: usize| -> Option<(usize, usize, f64)> {
         let a = movable[ai];
         let mut best: Option<(usize, usize, f64)> = None;
@@ -640,13 +721,16 @@ pub fn best_improving_swap(
     } else {
         (0..movable.len()).map(row_best).collect()
     };
+    // The min scan evaluates every unordered movable pair exactly once.
+    let len = movable.len() as u64;
+    let mut evaluated = len * len.saturating_sub(1) / 2;
     let min = per_row
         .iter()
         .flatten()
         .map(|&(_, _, d)| d)
         .fold(f64::INFINITY, f64::min);
     if min == f64::INFINITY {
-        return None;
+        return (None, evaluated);
     }
     // Second pass: earliest pair inside the tie band. A row whose own
     // minimum lies above the band cannot contain one; the rest are
@@ -659,9 +743,10 @@ pub fn best_improving_swap(
         }
         let a = movable[ai];
         for &b in &movable[ai + 1..] {
+            evaluated += 1;
             let d = eval.swap_delta(a, b);
             if d < threshold && d <= band {
-                return Some((a, b, d));
+                return (Some((a, b, d)), evaluated);
             }
         }
     }
@@ -679,9 +764,24 @@ pub fn sweep_hill_climb(
     movable: &dyn Fn(usize) -> bool,
     permits: &dyn Fn(usize, SiteId) -> bool,
 ) -> usize {
+    sweep_hill_climb_stats(eval, passes, movable, permits).swaps_accepted as usize
+}
+
+/// [`sweep_hill_climb`] returning the full [`SearchStats`] of the climb
+/// (passes run, candidates evaluated vs. accepted; `terms` is left for
+/// the caller, who owns the evaluator). The counters are plain local
+/// integer adds, so this *is* the hill-climb — the statless entry point
+/// is a wrapper.
+pub fn sweep_hill_climb_stats(
+    eval: &mut dyn CostEval,
+    passes: usize,
+    movable: &dyn Fn(usize) -> bool,
+    permits: &dyn Fn(usize, SiteId) -> bool,
+) -> SearchStats {
     let n = eval.sites().len();
-    let mut applied = 0;
+    let mut stats = SearchStats::default();
     for _ in 0..passes {
+        stats.passes += 1;
         let mut improved = false;
         for i in 0..n {
             if !movable(i) {
@@ -689,18 +789,16 @@ pub fn sweep_hill_climb(
             }
             if n <= FULL_PAIR_LIMIT {
                 for j in (i + 1)..n {
-                    if movable(j) && try_swap(eval, i, j, permits) {
+                    if movable(j) && try_swap(eval, i, j, permits, &mut stats) {
                         improved = true;
-                        applied += 1;
                     }
                 }
             } else {
                 // Partner-edge sweep: only communicating pairs.
                 let peers: Vec<usize> = eval.peers(i).iter().map(|&p| p as usize).collect();
                 for j in peers {
-                    if j > i && movable(j) && try_swap(eval, i, j, permits) {
+                    if j > i && movable(j) && try_swap(eval, i, j, permits, &mut stats) {
                         improved = true;
-                        applied += 1;
                     }
                 }
             }
@@ -709,7 +807,7 @@ pub fn sweep_hill_climb(
             break;
         }
     }
-    applied
+    stats
 }
 
 /// One candidate: gate on `permits`, accept on Δ below the shared
@@ -719,13 +817,16 @@ fn try_swap(
     i: usize,
     j: usize,
     permits: &dyn Fn(usize, SiteId) -> bool,
+    stats: &mut SearchStats,
 ) -> bool {
     let (si, sj) = (eval.sites()[i], eval.sites()[j]);
     if si == sj || !permits(i, sj) || !permits(j, si) {
         return false;
     }
+    stats.swaps_evaluated += 1;
     if eval.swap_delta(i, j) < IMPROVEMENT_EPS {
         eval.apply_swap(i, j);
+        stats.swaps_accepted += 1;
         return true;
     }
     false
@@ -742,8 +843,21 @@ pub fn polish(
     evaluation: Evaluation,
     movable: &dyn Fn(usize) -> bool,
 ) -> usize {
+    polish_stats(problem, mapping, passes, model, evaluation, movable).swaps_accepted as usize
+}
+
+/// [`polish`] returning the full [`SearchStats`] (including the
+/// evaluator's term count).
+pub fn polish_stats(
+    problem: &MappingProblem,
+    mapping: &mut Mapping,
+    passes: usize,
+    model: CostModel,
+    evaluation: Evaluation,
+    movable: &dyn Fn(usize) -> bool,
+) -> SearchStats {
     let tables = CostTables::build(problem, model);
-    polish_with_tables(&tables, evaluation, mapping, passes, movable, &|_, _| true)
+    polish_with_tables_stats(&tables, evaluation, mapping, passes, movable, &|_, _| true)
 }
 
 /// Polish `mapping` in place over prebuilt `tables` (the geo mappers
@@ -757,12 +871,29 @@ pub fn polish_with_tables(
     movable: &dyn Fn(usize) -> bool,
     permits: &dyn Fn(usize, SiteId) -> bool,
 ) -> usize {
+    polish_with_tables_stats(tables, evaluation, mapping, passes, movable, permits).swaps_accepted
+        as usize
+}
+
+/// [`polish_with_tables`] returning the full [`SearchStats`];
+/// `stats.terms` is [`CostEval::terms`] of the evaluator after the climb
+/// (construction included), so it is exactly the work metric Fig. 4
+/// compares.
+pub fn polish_with_tables_stats(
+    tables: &CostTables,
+    evaluation: Evaluation,
+    mapping: &mut Mapping,
+    passes: usize,
+    movable: &dyn Fn(usize) -> bool,
+    permits: &dyn Fn(usize, SiteId) -> bool,
+) -> SearchStats {
     let mut eval = evaluation.evaluator(tables, mapping.as_slice().to_vec());
-    let applied = sweep_hill_climb(eval.as_mut(), passes, movable, permits);
-    if applied > 0 {
+    let mut stats = sweep_hill_climb_stats(eval.as_mut(), passes, movable, permits);
+    stats.terms = eval.terms();
+    if stats.swaps_accepted > 0 {
         *mapping = Mapping::new(eval.sites().to_vec());
     }
-    applied
+    stats
 }
 
 #[cfg(test)]
@@ -988,5 +1119,141 @@ mod tests {
             df >= 10 * di,
             "full recompute should cost ≥10× more terms: incremental {di}, full {df}"
         );
+    }
+
+    #[test]
+    fn counted_swap_matches_plain_and_counts_all_pairs() {
+        let p = problem(24, 21);
+        let t = CostTables::build(&p, CostModel::Full);
+        let movable: Vec<usize> = (0..24).collect();
+        let eval = CostEvaluator::new(&t, round_robin(24, p.num_sites()));
+        let plain = best_improving_swap(&eval, &movable, -1e-15);
+        let (counted, evaluated) = best_improving_swap_counted(&eval, &movable, -1e-15);
+        assert_eq!(plain, counted);
+        // One full scan visits all C(24,2) pairs; the tie-band re-scan
+        // can only add.
+        assert!(evaluated >= 24 * 23 / 2, "evaluated {evaluated}");
+    }
+
+    #[test]
+    fn search_stats_are_internally_consistent() {
+        let p = problem(32, 23);
+        let mut m = Mapping::new(round_robin(32, p.num_sites()));
+        let stats = polish_stats(
+            &p,
+            &mut m,
+            50,
+            CostModel::Full,
+            Evaluation::Incremental,
+            &|_| true,
+        );
+        assert!(stats.passes >= 1);
+        assert!(stats.swaps_accepted > 0, "round-robin should improve");
+        assert!(
+            stats.swaps_accepted <= stats.swaps_evaluated,
+            "accepted {} > evaluated {}",
+            stats.swaps_accepted,
+            stats.swaps_evaluated
+        );
+        // The last pass finds nothing, so at least two passes ran.
+        assert!(stats.passes >= 2);
+        assert!(stats.terms > 0, "evaluator term count must be captured");
+    }
+
+    #[test]
+    fn stats_terms_match_an_independent_evaluator_run() {
+        // Replay the exact climb on a hand-held evaluator: the stats'
+        // term counter must equal CostEval::terms of that evaluator.
+        let p = problem(24, 29);
+        let t = CostTables::build(&p, CostModel::Full);
+        let start = round_robin(24, p.num_sites());
+        let mut m = Mapping::new(start.clone());
+        let stats = polish_with_tables_stats(
+            &t,
+            Evaluation::Incremental,
+            &mut m,
+            50,
+            &|_| true,
+            &|_, _| true,
+        );
+        let mut replay = CostEvaluator::new(&t, start);
+        let replay_stats = sweep_hill_climb_stats(&mut replay, 50, &|_| true, &|_, _| true);
+        assert_eq!(stats.swaps_accepted, replay_stats.swaps_accepted);
+        assert_eq!(stats.swaps_evaluated, replay_stats.swaps_evaluated);
+        assert_eq!(stats.terms, replay.terms());
+    }
+
+    #[test]
+    fn stats_wrappers_agree_with_plain_entry_points() {
+        let p = problem(32, 31);
+        let mut plain = Mapping::new(round_robin(32, p.num_sites()));
+        let mut with_stats = plain.clone();
+        let applied = polish(
+            &p,
+            &mut plain,
+            50,
+            CostModel::Full,
+            Evaluation::Incremental,
+            &|_| true,
+        );
+        let stats = polish_stats(
+            &p,
+            &mut with_stats,
+            50,
+            CostModel::Full,
+            Evaluation::Incremental,
+            &|_| true,
+        );
+        assert_eq!(plain, with_stats, "wrapper changed the search");
+        assert_eq!(applied as u64, stats.swaps_accepted);
+    }
+
+    #[test]
+    fn search_stats_absorb_adds_fieldwise() {
+        let mut a = SearchStats {
+            passes: 1,
+            swaps_evaluated: 10,
+            swaps_accepted: 2,
+            restarts: 1,
+            terms: 100,
+        };
+        let b = SearchStats {
+            passes: 2,
+            swaps_evaluated: 5,
+            swaps_accepted: 1,
+            restarts: 0,
+            terms: 50,
+        };
+        a.absorb(b);
+        assert_eq!(
+            a,
+            SearchStats {
+                passes: 3,
+                swaps_evaluated: 15,
+                swaps_accepted: 3,
+                restarts: 1,
+                terms: 150,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_communication_rejected_at_table_build() {
+        // An infinite byte volume passes CommPattern's `v >= 0` check but
+        // must be rejected once, at CostTables build time, with a
+        // descriptive error instead of poisoning every comparator
+        // downstream.
+        let n = 4;
+        let mut cg = geonet::SquareMatrix::zeros(n);
+        let mut ag = geonet::SquareMatrix::zeros(n);
+        cg.set(0, 1, f64::INFINITY);
+        ag.set(0, 1, 1.0);
+        cg.set(1, 0, 10.0);
+        ag.set(1, 0, 1.0);
+        let pat = commgraph::CommPattern::from_dense(&cg, &ag);
+        let net = presets::paper_ec2_network(2, InstanceType::M4Xlarge, 1);
+        let p = MappingProblem::unconstrained(pat, net);
+        CostTables::build(&p, CostModel::Full);
     }
 }

@@ -24,9 +24,10 @@
 //! is set.
 
 use crate::cost::CostModel;
-use crate::delta::{polish_with_tables, CostTables, Evaluation};
+use crate::delta::{polish_with_tables_stats, CostTables, Evaluation, SearchStats};
 use crate::grouping::group_sites;
 use crate::mapping::Mapping;
+use crate::metrics::Metrics;
 use crate::problem::MappingProblem;
 use crate::Mapper;
 use geonet::SiteId;
@@ -99,6 +100,12 @@ pub struct GeoMapper {
     /// [`Evaluation::FullRecompute`] is the `O(E)`-per-candidate oracle
     /// it is verified against (`tests/delta_equivalence.rs`).
     pub evaluation: Evaluation,
+    /// Observability handle. [`Metrics::off`] (the default) keeps the
+    /// search free of any instrumentation cost; an enabled handle
+    /// receives phase timings (`phase.grouping` / `phase.order_search` /
+    /// `phase.packing` / `phase.refinement`) and [`SearchStats`]
+    /// counters scoped under the mapper's name.
+    pub metrics: Metrics,
 }
 
 impl Default for GeoMapper {
@@ -112,6 +119,7 @@ impl Default for GeoMapper {
             cost_model: CostModel::Full,
             refine: true,
             evaluation: Evaluation::Incremental,
+            metrics: Metrics::off(),
         }
     }
 }
@@ -355,8 +363,13 @@ impl Mapper for GeoMapper {
     }
 
     fn map(&self, problem: &MappingProblem) -> Mapping {
-        let groups = group_sites(problem.network(), self.kappa, self.seed);
+        let metrics = self.metrics.scoped(self.name());
+        let groups = metrics.timed("phase.grouping", || {
+            group_sites(problem.network(), self.kappa, self.seed)
+        });
         let orders = self.orders(groups.len());
+        metrics.counter("search.groups", groups.len() as u64);
+        metrics.counter("search.orders_evaluated", orders.len() as u64);
 
         // Global heaviest-communication ordering (line 9's key), shared
         // by all orders.
@@ -372,23 +385,33 @@ impl Mapper for GeoMapper {
                 .collect()
         };
         debug_assert_eq!(quantities.len(), pattern.n());
-        by_quantity.sort_by(|&a, &b| {
-            quantities[b]
-                .partial_cmp(&quantities[a])
-                .unwrap()
-                .then(a.cmp(&b))
-        });
+        by_quantity.sort_by(|&a, &b| quantities[b].total_cmp(&quantities[a]).then(a.cmp(&b)));
 
         let constraints = problem.constraints();
         // One flat table build serves the whole order search: ranking all
         // κ! candidate packings and every refinement sweep below.
         let tables = CostTables::build(problem, self.cost_model);
+        // Packing time is accumulated across worker threads (CPU seconds,
+        // not wall) and only when metrics are on — the disabled path
+        // never reads the clock.
+        let packing_nanos = std::sync::atomic::AtomicU64::new(0);
         let evaluate = |order: &Vec<usize>| {
-            let m = self.map_order(problem, &groups, order, &by_quantity);
+            let m = if metrics.enabled() {
+                let t0 = std::time::Instant::now();
+                let m = self.map_order(problem, &groups, order, &by_quantity);
+                packing_nanos.fetch_add(
+                    t0.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                m
+            } else {
+                self.map_order(problem, &groups, order, &by_quantity)
+            };
             let c = tables.total(m.as_slice());
             (c, m)
         };
 
+        let search_t0 = metrics.enabled().then(std::time::Instant::now);
         let mut ranked: Vec<(usize, f64, Mapping)> = if self.parallel {
             orders
                 .par_iter()
@@ -408,7 +431,14 @@ impl Mapper for GeoMapper {
                 })
                 .collect()
         };
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        if let Some(t0) = search_t0 {
+            metrics.timing("phase.order_search", t0.elapsed().as_secs_f64());
+            metrics.timing(
+                "phase.packing",
+                packing_nanos.load(std::sync::atomic::Ordering::Relaxed) as f64 * 1e-9,
+            );
+        }
 
         if !self.refine {
             return ranked.into_iter().next().expect("at least one order").2;
@@ -418,20 +448,45 @@ impl Mapper for GeoMapper {
         // refining all κ! packings.
         let movable = |i: usize| constraints.pin_of(i).is_none();
         let polish = |(idx, _, mut m): (usize, f64, Mapping)| {
-            polish_with_tables(&tables, self.evaluation, &mut m, 50, &movable, &|_, _| true);
-            (idx, tables.total(m.as_slice()), m)
+            let stats = polish_with_tables_stats(
+                &tables,
+                self.evaluation,
+                &mut m,
+                50,
+                &movable,
+                &|_, _| true,
+            );
+            (idx, tables.total(m.as_slice()), m, stats)
         };
+        let refine_t0 = metrics.enabled().then(std::time::Instant::now);
         let top = ranked.into_iter().take(REFINE_TOP);
-        let best = if self.parallel {
+        let polished: Vec<(usize, f64, Mapping, SearchStats)> = if self.parallel {
             top.collect::<Vec<_>>()
                 .into_par_iter()
                 .map(polish)
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                .collect()
         } else {
-            top.map(polish)
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            top.map(polish).collect()
         };
-        best.expect("at least one order").2
+        if metrics.enabled() {
+            if let Some(t0) = refine_t0 {
+                metrics.timing("phase.refinement", t0.elapsed().as_secs_f64());
+            }
+            // Each polished order is one multi-start of the hill-climb.
+            let mut total = SearchStats {
+                restarts: polished.len() as u64,
+                ..SearchStats::default()
+            };
+            for (_, _, _, s) in &polished {
+                total.absorb(*s);
+            }
+            total.emit(&metrics);
+        }
+        polished
+            .into_iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .expect("at least one order")
+            .2
     }
 }
 
@@ -513,12 +568,9 @@ mod tests {
                     heap.push(t, affinity[t]);
                 }
             }
-            let expect = (0..n).filter(|&t| !selected[t]).max_by(|&a, &b| {
-                affinity[a]
-                    .partial_cmp(&affinity[b])
-                    .unwrap()
-                    .then(b.cmp(&a))
-            });
+            let expect = (0..n)
+                .filter(|&t| !selected[t])
+                .max_by(|&a, &b| affinity[a].total_cmp(&affinity[b]).then(b.cmp(&a)));
             let got = heap.pop_best(&affinity, &selected);
             assert_eq!(got, expect, "round {round}");
             if let Some(t) = got {

@@ -30,7 +30,7 @@ pub fn group_sites(net: &SiteNetwork, kappa: usize, seed: u64) -> Vec<Vec<SiteId
     let k = kappa.min(m);
     let best = (0..4)
         .map(|r| kmeans(&points, &KMeansConfig::forgy(k, seed.wrapping_add(r))))
-        .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).unwrap())
+        .min_by(|a, b| a.inertia.total_cmp(&b.inertia))
         .expect("at least one restart");
     best.groups()
         .into_iter()

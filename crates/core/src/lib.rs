@@ -32,6 +32,7 @@ pub mod delta;
 pub mod geo;
 pub mod grouping;
 pub mod mapping;
+pub mod metrics;
 pub mod multisite;
 pub mod pipeline;
 pub mod problem;
@@ -39,12 +40,16 @@ pub mod problem;
 pub use constraint::ConstraintVector;
 pub use cost::{cost, cost_with_model, model_components, pair_cost, CostModel};
 pub use delta::{
-    best_improving_swap, polish, polish_with_tables, sweep_hill_climb, CostEval, CostEvaluator,
-    CostTables, Evaluation, FullRecomputeEval,
+    best_improving_swap, best_improving_swap_counted, polish, polish_stats, polish_with_tables,
+    polish_with_tables_stats, sweep_hill_climb, sweep_hill_climb_stats, CostEval, CostEvaluator,
+    CostTables, Evaluation, FullRecomputeEval, SearchStats,
 };
 pub use geo::{GeoMapper, OrderSearch, Seeding};
 pub use grouping::group_sites;
 pub use mapping::Mapping;
+pub use metrics::{
+    JsonLinesSink, MemorySink, MetricKind, MetricRecord, Metrics, MetricsSink, NullSink,
+};
 pub use multisite::{AllowedSites, GeoMapperMulti};
 pub use problem::MappingProblem;
 

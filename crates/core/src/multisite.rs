@@ -15,7 +15,7 @@
 //! and falls back to augmenting paths when a greedy placement would
 //! strand a process.
 
-use crate::delta::{polish_with_tables, CostTables};
+use crate::delta::{polish_with_tables_stats, CostTables, SearchStats};
 use crate::geo::{GeoMapper, Seeding};
 use crate::grouping::group_sites;
 use crate::mapping::Mapping;
@@ -251,20 +251,22 @@ impl GeoMapperMulti {
             "infeasible multi-site constraint instance"
         );
 
-        let groups = group_sites(problem.network(), self.base.kappa, self.base.seed);
+        // Observability mirrors GeoMapper::map, under its own scope so a
+        // pipeline running both stays distinguishable.
+        let metrics = self.base.metrics.scoped("Geo-multi");
+        let groups = metrics.timed("phase.grouping", || {
+            group_sites(problem.network(), self.base.kappa, self.base.seed)
+        });
         let orders = crate::geo::permutations(groups.len());
+        metrics.counter("search.groups", groups.len() as u64);
+        metrics.counter("search.orders_evaluated", orders.len() as u64);
         let quantities: Vec<f64> = problem
             .partners()
             .iter()
             .map(|ps| ps.iter().map(|p| problem.edge_weight(p)).sum::<f64>())
             .collect();
         let mut by_quantity: Vec<usize> = (0..n).collect();
-        by_quantity.sort_by(|&a, &b| {
-            quantities[b]
-                .partial_cmp(&quantities[a])
-                .unwrap()
-                .then(a.cmp(&b))
-        });
+        by_quantity.sort_by(|&a, &b| quantities[b].total_cmp(&quantities[a]).then(a.cmp(&b)));
 
         // Mirror GeoMapper::map exactly: rank all orders unrefined, then
         // polish the cheapest few (the order search doubles as a
@@ -275,6 +277,7 @@ impl GeoMapperMulti {
             let c = tables.total(m.as_slice());
             (idx, c, m)
         };
+        let search_t0 = metrics.enabled().then(std::time::Instant::now);
         let mut ranked: Vec<(usize, f64, Mapping)> = if self.base.parallel {
             orders
                 .par_iter()
@@ -288,13 +291,16 @@ impl GeoMapperMulti {
                 .map(|(i, o)| evaluate(i, o))
                 .collect()
         };
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        if let Some(t0) = search_t0 {
+            metrics.timing("phase.order_search", t0.elapsed().as_secs_f64());
+        }
         if !self.base.refine {
             return ranked.into_iter().next().expect("at least one order").2;
         }
         let polish = |(idx, _, mut m): (usize, f64, Mapping)| {
             let permits = |i: usize, s: SiteId| allowed.permits(i, s);
-            polish_with_tables(
+            let stats = polish_with_tables_stats(
                 &tables,
                 self.base.evaluation,
                 &mut m,
@@ -302,19 +308,36 @@ impl GeoMapperMulti {
                 &|_| true,
                 &permits,
             );
-            (idx, tables.total(m.as_slice()), m)
+            (idx, tables.total(m.as_slice()), m, stats)
         };
+        let refine_t0 = metrics.enabled().then(std::time::Instant::now);
         let top = ranked.into_iter().take(crate::geo::REFINE_TOP);
-        let best = if self.base.parallel {
+        let polished: Vec<(usize, f64, Mapping, SearchStats)> = if self.base.parallel {
             top.collect::<Vec<_>>()
                 .into_par_iter()
                 .map(polish)
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                .collect()
         } else {
-            top.map(polish)
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+            top.map(polish).collect()
         };
-        best.expect("at least one order").2
+        if metrics.enabled() {
+            if let Some(t0) = refine_t0 {
+                metrics.timing("phase.refinement", t0.elapsed().as_secs_f64());
+            }
+            let mut total = SearchStats {
+                restarts: polished.len() as u64,
+                ..SearchStats::default()
+            };
+            for (_, _, _, s) in &polished {
+                total.absorb(*s);
+            }
+            total.emit(&metrics);
+        }
+        polished
+            .into_iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .expect("at least one order")
+            .2
     }
 
     fn map_order(

@@ -12,6 +12,7 @@ use crate::constraint::ConstraintVector;
 use crate::cost::cost;
 use crate::geo::GeoMapper;
 use crate::mapping::Mapping;
+use crate::metrics::Metrics;
 use crate::problem::MappingProblem;
 use crate::Mapper;
 use commgraph::{CommPattern, Program};
@@ -29,6 +30,12 @@ pub struct PipelineConfig {
     /// switch so the ablation bench can measure its effect on profiling
     /// volume).
     pub compress_traces: bool,
+    /// Observability handle for the pipeline phases. Phase timings are
+    /// emitted under the scope `pipeline` (`phase.profiling`,
+    /// `phase.calibration`, `phase.optimization`); a mapper whose own
+    /// handle is off inherits this one, so one enabled handle covers the
+    /// full Fig. 2 flow.
+    pub metrics: Metrics,
 }
 
 impl Default for PipelineConfig {
@@ -37,6 +44,7 @@ impl Default for PipelineConfig {
             calibration: CalibrationConfig::default(),
             mapper: GeoMapper::default(),
             compress_traces: true,
+            metrics: Metrics::off(),
         }
     }
 }
@@ -74,23 +82,26 @@ pub fn run(
     config: &PipelineConfig,
 ) -> PipelineResult {
     // 1. Application profiling.
-    let mut trace = commgraph::Trace::new();
-    for rank in 0..program.num_ranks() {
-        for op in program.rank_ops(rank) {
-            if let commgraph::RankOp::Send { to, bytes } = op {
-                trace.push(rank, *to, *bytes);
+    let metrics = config.metrics.scoped("pipeline");
+    let (pattern, compression_ratio) = metrics.timed("phase.profiling", || {
+        let mut trace = commgraph::Trace::new();
+        for rank in 0..program.num_ranks() {
+            for op in program.rank_ops(rank) {
+                if let commgraph::RankOp::Send { to, bytes } = op {
+                    trace.push(rank, *to, *bytes);
+                }
             }
         }
-    }
-    let (pattern, compression_ratio) = if config.compress_traces {
-        let compressed = trace.compress();
-        (
-            compressed.to_pattern(program.num_ranks()),
-            compressed.compression_ratio(),
-        )
-    } else {
-        (trace.to_pattern(program.num_ranks()), 1.0)
-    };
+        if config.compress_traces {
+            let compressed = trace.compress();
+            (
+                compressed.to_pattern(program.num_ranks()),
+                compressed.compression_ratio(),
+            )
+        } else {
+            (trace.to_pattern(program.num_ranks()), 1.0)
+        }
+    });
     run_with_pattern(pattern, compression_ratio, truth, constraints, config)
 }
 
@@ -103,13 +114,30 @@ pub fn run_with_pattern(
     config: &PipelineConfig,
 ) -> PipelineResult {
     // 2. Network calibration.
-    let calibration = Calibrator::new(config.calibration.clone()).calibrate(truth);
+    let metrics = config.metrics.scoped("pipeline");
+    let calibration = metrics.timed("phase.calibration", || {
+        Calibrator::new(config.calibration.clone()).calibrate(truth)
+    });
 
     // 3 + 4. Grouping + mapping optimization on the *estimated* network.
+    // A mapper without its own metrics handle inherits the pipeline's,
+    // so grouping/order-search/packing/refinement timings land in the
+    // same sink.
+    let inherited;
+    let mapper: &dyn Mapper = if metrics.enabled() && !config.mapper.metrics.enabled() {
+        inherited = GeoMapper {
+            metrics: config.metrics.clone(),
+            ..config.mapper.clone()
+        };
+        &inherited
+    } else {
+        &config.mapper
+    };
     let problem = MappingProblem::new(pattern.clone(), calibration.estimated.clone(), constraints);
     let start = Instant::now();
-    let mapping = config.mapper.map(&problem);
+    let mapping = mapper.map(&problem);
     let optimization_time = start.elapsed();
+    metrics.timing("phase.optimization", optimization_time.as_secs_f64());
     let estimated_cost = cost(&problem, &mapping);
 
     PipelineResult {

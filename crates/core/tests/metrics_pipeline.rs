@@ -1,0 +1,90 @@
+//! End-to-end observability: one enabled [`Metrics`] handle on the
+//! pipeline must yield populated, mutually consistent phase timers and
+//! search counters — and must not change any mapping decision.
+
+use commgraph::apps::AppKind;
+use geomap_core::pipeline::{run, PipelineConfig};
+use geomap_core::{ConstraintVector, MemorySink, Metrics};
+use geonet::{presets, InstanceType};
+use std::sync::Arc;
+
+fn run_with_sink() -> (Arc<MemorySink>, geomap_core::Mapping) {
+    let truth = presets::paper_ec2_network(8, InstanceType::M4Xlarge, 7);
+    let program = AppKind::Lu.workload(32).program();
+    let sink = Arc::new(MemorySink::new());
+    let config = PipelineConfig {
+        metrics: Metrics::new(sink.clone()),
+        ..PipelineConfig::default()
+    };
+    let result = run(&program, &truth, ConstraintVector::none(32), &config);
+    (sink, result.mapping)
+}
+
+#[test]
+fn pipeline_phases_are_all_timed() {
+    let (sink, _) = run_with_sink();
+    for phase in ["phase.profiling", "phase.calibration", "phase.optimization"] {
+        assert!(sink.has("pipeline", phase), "missing pipeline {phase}");
+    }
+    // The mapper inherited the pipeline's handle: Algorithm 1's own
+    // phases land under the mapper's scope.
+    for phase in [
+        "phase.grouping",
+        "phase.order_search",
+        "phase.packing",
+        "phase.refinement",
+    ] {
+        assert!(sink.has("Geo-distributed", phase), "missing mapper {phase}");
+    }
+    // Phase nesting: the optimization wall time must cover the mapper's
+    // wall-clock phases it contains (grouping + order search +
+    // refinement; packing is CPU time inside order_search and may
+    // exceed wall time on the rayon pool).
+    let optimization = sink.sum("pipeline", "phase.optimization");
+    let inner = sink.sum("Geo-distributed", "phase.grouping")
+        + sink.sum("Geo-distributed", "phase.order_search")
+        + sink.sum("Geo-distributed", "phase.refinement");
+    assert!(
+        inner <= optimization * 1.05 + 0.005,
+        "inner phases ({inner:.6}s) exceed the optimization wall ({optimization:.6}s)"
+    );
+}
+
+#[test]
+fn search_counters_are_populated_and_consistent() {
+    let (sink, _) = run_with_sink();
+    let evaluated = sink.sum("Geo-distributed", "search.swaps_evaluated");
+    let accepted = sink.sum("Geo-distributed", "search.swaps_accepted");
+    let terms = sink.sum("Geo-distributed", "search.terms");
+    let orders = sink.sum("Geo-distributed", "search.orders_evaluated");
+    let groups = sink.sum("Geo-distributed", "search.groups");
+    let restarts = sink.sum("Geo-distributed", "search.restarts");
+    let passes = sink.sum("Geo-distributed", "search.passes");
+    assert!(orders >= 1.0, "orders_evaluated {orders}");
+    assert!(groups >= 1.0, "groups {groups}");
+    assert!(evaluated > 0.0, "swaps_evaluated {evaluated}");
+    assert!(
+        accepted <= evaluated,
+        "accepted {accepted} > evaluated {evaluated}"
+    );
+    assert!(restarts >= 1.0, "refinement multi-starts {restarts}");
+    // Every restart runs at least one sweep.
+    assert!(passes >= restarts, "passes {passes} < restarts {restarts}");
+    // Each candidate Δ touches at least one α–β term, and the evaluator
+    // construction contributes on top.
+    assert!(terms >= evaluated, "terms {terms} < evaluated {evaluated}");
+}
+
+#[test]
+fn instrumentation_never_changes_the_mapping() {
+    let (_, instrumented) = run_with_sink();
+    let truth = presets::paper_ec2_network(8, InstanceType::M4Xlarge, 7);
+    let program = AppKind::Lu.workload(32).program();
+    let plain = run(
+        &program,
+        &truth,
+        ConstraintVector::none(32),
+        &PipelineConfig::default(),
+    );
+    assert_eq!(instrumented, plain.mapping);
+}

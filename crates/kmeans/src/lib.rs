@@ -165,8 +165,7 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> Clustering {
                     .max_by(|(_, a), (_, b)| {
                         nearest(a, &centroids)
                             .1
-                            .partial_cmp(&nearest(b, &centroids).1)
-                            .unwrap()
+                            .total_cmp(&nearest(b, &centroids).1)
                     })
                     .map(|(i, _)| i)
                     .unwrap();
@@ -253,7 +252,7 @@ mod tests {
         // init; take the best of a few seeds as any practical user would.
         let c = (0..8)
             .map(|s| kmeans(&blobs(), &KMeansConfig::forgy(3, s)))
-            .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).unwrap())
+            .min_by(|a, b| a.inertia.total_cmp(&b.inertia))
             .unwrap();
         assert_eq!(c.k(), 3);
         // All points of one blob share a label, and blobs differ.

@@ -82,6 +82,25 @@ impl RunConfig {
     }
 }
 
+/// Where one rank's simulated time went, split by activity.
+///
+/// The three components need not sum to the rank's finish time: queueing
+/// and serialization inside the network are attributed to the *receiver*
+/// as `recv_wait_s` only while it is actually blocked, and ranks may
+/// finish early and idle.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankBreakdown {
+    /// CPU time spent issuing eager sends ([`RunConfig::send_overhead`]
+    /// per send).
+    pub send_s: f64,
+    /// Time spent blocked in `Recv`, waiting for the matching message
+    /// to arrive.
+    pub recv_wait_s: f64,
+    /// Time spent in `Compute` ops (zero under
+    /// [`RunConfig::zero_compute`]).
+    pub compute_s: f64,
+}
+
 /// Outcome of one simulated execution.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -89,10 +108,54 @@ pub struct RunResult {
     pub makespan: f64,
     /// Per-rank finish times.
     pub rank_finish: Vec<f64>,
+    /// Per-rank time breakdown (send / receive-wait / compute).
+    pub rank_breakdown: Vec<RankBreakdown>,
     /// Network statistics of the run.
     pub stats: LinkStats,
     /// Message timeline (empty unless [`RunConfig::record_timeline`]).
     pub timeline: Vec<MessageRecord>,
+}
+
+impl RunResult {
+    /// Export the run's telemetry through a [`geomap_core::Metrics`]
+    /// handle: the makespan, per-link traffic/busy/queue-wait (quiet
+    /// links are skipped), per-rank breakdowns and aggregate totals.
+    /// A disabled handle makes this a no-op.
+    pub fn emit_metrics(&self, metrics: &geomap_core::Metrics) {
+        if !metrics.enabled() {
+            return;
+        }
+        metrics.gauge("makespan_s", self.makespan);
+        metrics.counter("total_messages", self.stats.total_messages());
+        metrics.counter("total_bytes", self.stats.total_bytes());
+        metrics.gauge("wan_fraction", self.stats.wan_fraction());
+        let m = self.stats.num_sites();
+        for f in 0..m {
+            for t in 0..m {
+                let (from, to) = (SiteId(f), SiteId(t));
+                let msgs = self.stats.messages(from, to);
+                if msgs == 0 {
+                    continue;
+                }
+                metrics.counter(&format!("link.{f}.{t}.msgs"), msgs);
+                metrics.counter(&format!("link.{f}.{t}.bytes"), self.stats.bytes(from, to));
+                metrics.gauge(
+                    &format!("link.{f}.{t}.busy_s"),
+                    self.stats.busy_time(from, to),
+                );
+                metrics.gauge(
+                    &format!("link.{f}.{t}.queue_wait_s"),
+                    self.stats.queue_wait(from, to),
+                );
+            }
+        }
+        for (r, bd) in self.rank_breakdown.iter().enumerate() {
+            metrics.gauge(&format!("rank.{r}.send_s"), bd.send_s);
+            metrics.gauge(&format!("rank.{r}.recv_wait_s"), bd.recv_wait_s);
+            metrics.gauge(&format!("rank.{r}.compute_s"), bd.compute_s);
+            metrics.gauge(&format!("rank.{r}.finish_s"), self.rank_finish[r]);
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -138,6 +201,7 @@ pub fn execute(
 
     let mut links = LinkState::new(net.clone(), config.links);
     let mut clock = vec![0.0f64; n];
+    let mut breakdown = vec![RankBreakdown::default(); n];
     let mut pc = vec![0usize; n];
     let mut state = vec![RankState::Ready; n];
     // mailbox[src * n + dst]: arrival times of undelivered messages, in
@@ -166,11 +230,13 @@ pub fn execute(
             RankOp::Compute { secs } => {
                 if !config.zero_compute {
                     clock[r] += secs;
+                    breakdown[r].compute_s += secs;
                 }
                 pc[r] += 1;
             }
             RankOp::Send { to, bytes } => {
                 clock[r] += config.send_overhead;
+                breakdown[r].send_s += config.send_overhead;
                 let arrival = links.send(assignment[r], assignment[to], bytes, clock[r]);
                 // MPI non-overtaking: a later send from r to `to` may not
                 // be received before an earlier one.
@@ -191,6 +257,7 @@ pub fn execute(
                 // If the destination is blocked on us, wake it.
                 if state[to] == RankState::Waiting(r) {
                     let a = mailbox[slot].pop_front().expect("just pushed");
+                    breakdown[to].recv_wait_s += (a - clock[to]).max(0.0);
                     clock[to] = clock[to].max(a);
                     pc[to] += 1;
                     advance(
@@ -201,6 +268,7 @@ pub fn execute(
             RankOp::Recv { from } => {
                 let slot = from * n + r;
                 if let Some(a) = mailbox[slot].pop_front() {
+                    breakdown[r].recv_wait_s += (a - clock[r]).max(0.0);
                     clock[r] = clock[r].max(a);
                     pc[r] += 1;
                 } else {
@@ -224,6 +292,7 @@ pub fn execute(
     RunResult {
         makespan,
         rank_finish: clock,
+        rank_breakdown: breakdown,
         stats: links.stats().clone(),
         timeline,
     }
@@ -455,6 +524,83 @@ mod tests {
         b.recv(1, 0);
         let prog = b.build_unchecked();
         execute(&prog, &net, &all_in(0, 2), &RunConfig::default());
+    }
+
+    #[test]
+    fn emitted_link_telemetry_sums_match_link_stats() {
+        use geomap_core::{MemorySink, Metrics};
+        use std::sync::Arc;
+
+        let net = net();
+        let w = AppKind::Lu.workload(16);
+        let a: Vec<SiteId> = (0..16).map(|i| SiteId(i % 4)).collect();
+        let r = execute_workload(w.as_ref(), &net, &a, &RunConfig::default());
+
+        let sink = Arc::new(MemorySink::new());
+        r.emit_metrics(&Metrics::new(sink.clone()).scoped("run"));
+
+        // Per-link counters must reconstruct the LinkStats aggregates.
+        let (mut msgs, mut bytes, mut busy, mut wait) = (0.0, 0.0, 0.0, 0.0);
+        for f in 0..r.stats.num_sites() {
+            for t in 0..r.stats.num_sites() {
+                msgs += sink.sum("run", &format!("link.{f}.{t}.msgs"));
+                bytes += sink.sum("run", &format!("link.{f}.{t}.bytes"));
+                busy += sink.sum("run", &format!("link.{f}.{t}.busy_s"));
+                wait += sink.sum("run", &format!("link.{f}.{t}.queue_wait_s"));
+            }
+        }
+        assert_eq!(msgs, r.stats.total_messages() as f64);
+        assert_eq!(bytes, r.stats.total_bytes() as f64);
+        let busy_total: f64 = (0..4)
+            .flat_map(|f| (0..4).map(move |t| (f, t)))
+            .map(|(f, t)| r.stats.busy_time(SiteId(f), SiteId(t)))
+            .sum();
+        assert!((busy - busy_total).abs() < 1e-9);
+        assert!(wait >= 0.0);
+        assert_eq!(sink.sum("run", "makespan_s"), r.makespan);
+        assert_eq!(sink.sum("run", "wan_fraction"), r.stats.wan_fraction());
+        // Per-rank gauges cover every rank.
+        for rank in 0..16 {
+            assert!(sink.has("run", &format!("rank.{rank}.finish_s")));
+            assert_eq!(
+                sink.sum("run", &format!("rank.{rank}.recv_wait_s")),
+                r.rank_breakdown[rank].recv_wait_s
+            );
+        }
+        // A disabled handle emits nothing and does not panic.
+        r.emit_metrics(&Metrics::off());
+    }
+
+    #[test]
+    fn rank_breakdown_accounts_for_sends_computes_and_waits() {
+        let net = net();
+        // Rank 1 computes 5s then sends; rank 0 blocks in recv the whole
+        // time. Rank 0's wait must be ≈ 5s (plus transfer), rank 1's
+        // compute exactly 5s and its send time one overhead.
+        let mut b = ProgramBuilder::new(2);
+        b.compute(1, 5.0);
+        b.send(1, 0, 1000);
+        b.recv(0, 1);
+        let cfg = RunConfig::default();
+        let r = execute(&b.build(), &net, &all_in(2, 2), &cfg);
+        let bd = &r.rank_breakdown;
+        assert_eq!(bd[1].compute_s, 5.0);
+        assert_eq!(bd[1].send_s, cfg.send_overhead);
+        assert_eq!(bd[1].recv_wait_s, 0.0);
+        assert_eq!(bd[0].send_s, 0.0);
+        assert_eq!(bd[0].compute_s, 0.0);
+        assert!(
+            bd[0].recv_wait_s >= 5.0 && bd[0].recv_wait_s <= r.makespan,
+            "receiver waited {}",
+            bd[0].recv_wait_s
+        );
+        // Under zero_compute the compute component disappears.
+        let mut b2 = ProgramBuilder::new(2);
+        b2.compute(1, 5.0);
+        b2.send(1, 0, 1000);
+        b2.recv(0, 1);
+        let rc = execute(&b2.build(), &net, &all_in(2, 2), &RunConfig::comm_only());
+        assert_eq!(rc.rank_breakdown[1].compute_s, 0.0);
     }
 
     #[test]

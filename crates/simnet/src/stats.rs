@@ -24,6 +24,12 @@ impl LinkStats {
         }
     }
 
+    /// Number of sites the statistics cover (the matrix is
+    /// `num_sites × num_sites`, directed).
+    pub fn num_sites(&self) -> usize {
+        self.m
+    }
+
     #[inline]
     fn idx(&self, from: SiteId, to: SiteId) -> usize {
         from.index() * self.m + to.index()

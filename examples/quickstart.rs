@@ -34,7 +34,7 @@ fn main() {
     let problem = MappingProblem::unconstrained(pattern, network.clone());
     let mappers: Vec<Box<dyn Mapper>> = vec![
         Box::new(baselines::RandomMapper::default()),
-        Box::new(baselines::GreedyMapper),
+        Box::new(baselines::GreedyMapper::default()),
         Box::new(baselines::MpippMapper::default()),
         Box::new(GeoMapper::default()),
     ];

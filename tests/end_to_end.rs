@@ -12,7 +12,7 @@ fn deployment(nodes_per_site: usize, seed: u64) -> net::SiteNetwork {
 fn all_mappers(seed: u64) -> Vec<Box<dyn Mapper>> {
     vec![
         Box::new(baselines::RandomMapper::with_seed(seed)),
-        Box::new(baselines::GreedyMapper),
+        Box::new(baselines::GreedyMapper::default()),
         Box::new(baselines::MpippMapper::with_seed(seed)),
         Box::new(GeoMapper {
             seed,

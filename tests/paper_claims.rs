@@ -98,7 +98,7 @@ fn overhead_ordering() {
         ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         ts[1]
     };
-    let t_greedy = time(&|| baselines::GreedyMapper.map(&problem));
+    let t_greedy = time(&|| baselines::GreedyMapper::default().map(&problem));
     let t_mpipp = time(&|| baselines::MpippMapper::with_seed(1).map(&problem));
     assert!(
         t_mpipp > 3.0 * t_greedy,
@@ -124,8 +124,11 @@ fn greedy_strong_on_lu_weak_on_kmeans() {
             / 5.0;
         (base - eq3_cost(&problem, &mapper.map(&problem))) / base * 100.0
     };
-    let greedy_lu = improvement(comm::apps::AppKind::Lu, &baselines::GreedyMapper);
-    let greedy_km = improvement(comm::apps::AppKind::KMeans, &baselines::GreedyMapper);
+    let greedy_lu = improvement(comm::apps::AppKind::Lu, &baselines::GreedyMapper::default());
+    let greedy_km = improvement(
+        comm::apps::AppKind::KMeans,
+        &baselines::GreedyMapper::default(),
+    );
     let geo_km = improvement(comm::apps::AppKind::KMeans, &GeoMapper::default());
     assert!(greedy_lu > 40.0, "Greedy on LU only {greedy_lu}%");
     assert!(
@@ -151,7 +154,7 @@ fn constraint_ratio_monotonicity_at_the_ends() {
                     ConstraintVector::random(32, ratio, &network.capacities(), 31 + d)
                 };
                 let problem = MappingProblem::new(pattern.clone(), network.clone(), c);
-                let greedy = eq3_cost(&problem, &baselines::GreedyMapper.map(&problem));
+                let greedy = eq3_cost(&problem, &baselines::GreedyMapper::default().map(&problem));
                 let geo = eq3_cost(&problem, &GeoMapper::default().map(&problem));
                 (greedy - geo) / greedy * 100.0
             })

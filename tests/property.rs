@@ -41,7 +41,7 @@ proptest! {
     fn every_mapper_is_always_feasible(problem in arb_problem(), seed in 0u64..100) {
         let mappers: Vec<Box<dyn Mapper>> = vec![
             Box::new(baselines::RandomMapper::with_seed(seed)),
-            Box::new(baselines::GreedyMapper),
+            Box::new(baselines::GreedyMapper::default()),
             Box::new(baselines::MpippMapper { restarts: 1, ..baselines::MpippMapper::with_seed(seed) }),
             Box::new(GeoMapper { seed, ..GeoMapper::default() }),
         ];

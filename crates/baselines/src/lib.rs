@@ -29,29 +29,44 @@ pub use monte_carlo::MonteCarlo;
 pub use mpipp::MpippMapper;
 pub use random::{random_mapping, RandomMapper};
 
-use geomap_core::{Mapper, MappingProblem, Metrics};
+use geomap_core::{Mapper, MappingProblem, Metrics, Trace};
 
 /// The paper's three comparison mappers plus the proposed one, in figure
 /// order: Greedy, MPIPP, Geo-distributed.
 pub fn paper_mappers(seed: u64) -> Vec<Box<dyn Mapper + Sync>> {
-    paper_mappers_with_metrics(seed, &Metrics::off())
+    paper_mappers_instrumented(seed, &Metrics::off(), &Trace::off())
 }
 
 /// [`paper_mappers`] with every mapper wired to `metrics` — each scopes
 /// itself under its own name, so one handle yields a comparable set of
 /// per-mapper search statistics.
 pub fn paper_mappers_with_metrics(seed: u64, metrics: &Metrics) -> Vec<Box<dyn Mapper + Sync>> {
+    paper_mappers_instrumented(seed, metrics, &Trace::off())
+}
+
+/// [`paper_mappers`] with every mapper wired to both observability
+/// handles: scoped `metrics` plus event-level `trace` — each mapper
+/// records its search phases on its own `"search"` track, so one trace
+/// file shows the three algorithms' timelines side by side.
+pub fn paper_mappers_instrumented(
+    seed: u64,
+    metrics: &Metrics,
+    trace: &Trace,
+) -> Vec<Box<dyn Mapper + Sync>> {
     vec![
         Box::new(GreedyMapper {
             metrics: metrics.clone(),
+            trace: trace.clone(),
         }),
         Box::new(MpippMapper {
             metrics: metrics.clone(),
+            trace: trace.clone(),
             ..MpippMapper::with_seed(seed)
         }),
         Box::new(geomap_core::GeoMapper {
             seed,
             metrics: metrics.clone(),
+            trace: trace.clone(),
             ..geomap_core::GeoMapper::default()
         }),
     ]
@@ -99,6 +114,52 @@ mod tests {
         assert_eq!(mappers[2].name(), "Geo-distributed");
         for m in &mappers {
             m.map(&p).validate(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn traced_mappers_match_untraced_and_cover_search_tracks() {
+        use geomap_core::{RingBufferSink, TraceEventKind};
+        let p = problem();
+        let sink = std::sync::Arc::new(RingBufferSink::new(1 << 16));
+        let trace = Trace::new(sink.clone());
+        let traced = paper_mappers_instrumented(1, &Metrics::off(), &trace);
+        let plain = paper_mappers(1);
+        for (t, u) in traced.iter().zip(&plain) {
+            assert_eq!(
+                t.map(&p),
+                u.map(&p),
+                "{}: tracing changed the result",
+                t.name()
+            );
+        }
+        let tracks = sink.tracks();
+        for name in ["Greedy", "MPIPP", "Geo-distributed"] {
+            assert!(
+                tracks
+                    .iter()
+                    .any(|t| t.process == "search" && t.name == name),
+                "missing search track for {name}"
+            );
+        }
+        let events = sink.snapshot();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == TraceEventKind::SpanBegin && e.name == "pass"));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == TraceEventKind::Instant && e.name == "swap"));
+        // Every span opened on a track is closed on it.
+        for t in &tracks {
+            let b = events
+                .iter()
+                .filter(|e| e.track == t.id && e.kind == TraceEventKind::SpanBegin)
+                .count();
+            let e = events
+                .iter()
+                .filter(|e| e.track == t.id && e.kind == TraceEventKind::SpanEnd)
+                .count();
+            assert_eq!(b, e, "unbalanced spans on {}", t.name);
         }
     }
 

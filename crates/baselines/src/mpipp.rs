@@ -12,7 +12,7 @@
 
 use crate::random::random_mapping;
 use geomap_core::delta::{best_improving_swap_counted, CostTables, Evaluation, SearchStats};
-use geomap_core::{cost, Mapper, Mapping, MappingProblem, Metrics};
+use geomap_core::{cost, Mapper, Mapping, MappingProblem, Metrics, Trace, TraceScope, TrackId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,6 +36,10 @@ pub struct MpippMapper {
     /// Observability handle (off by default): restart count, exchange
     /// rounds, swaps evaluated vs. accepted, Eq. 3 terms touched.
     pub metrics: Metrics,
+    /// Event-level tracing (off by default): `restart` and per-round
+    /// `pass` spans plus accepted-`swap` instants on a
+    /// `"search"/"MPIPP"` track.
+    pub trace: Trace,
 }
 
 impl MpippMapper {
@@ -56,6 +60,7 @@ impl Default for MpippMapper {
             seed: 0x3B1B,
             evaluation: Evaluation::Incremental,
             metrics: Metrics::off(),
+            trace: Trace::off(),
         }
     }
 }
@@ -68,6 +73,7 @@ impl MpippMapper {
         problem: &MappingProblem,
         tables: &CostTables,
         rng: &mut StdRng,
+        scope: TraceScope<'_>,
     ) -> (Mapping, f64, SearchStats) {
         let n = problem.num_processes();
         let constraints = problem.constraints();
@@ -83,14 +89,18 @@ impl MpippMapper {
             .evaluation
             .evaluator(tables, mapping.as_slice().to_vec());
         for _ in 0..self.max_rounds {
+            scope.span_begin("pass");
             let (swap, evaluated) = best_improving_swap_counted(eval.as_ref(), &movable, SWAP_EPS);
             stats.passes += 1;
             stats.swaps_evaluated += evaluated;
             let Some((a, b, _)) = swap else {
+                scope.span_end("pass");
                 break;
             };
             eval.apply_swap(a, b);
             stats.swaps_accepted += 1;
+            scope.instant("swap");
+            scope.span_end("pass");
         }
         stats.terms = eval.terms();
         let mapping = Mapping::new(eval.sites().to_vec());
@@ -110,21 +120,29 @@ impl Mapper for MpippMapper {
         let metrics = self.metrics.scoped(self.name());
         let tables = CostTables::build(problem, geomap_core::CostModel::Full);
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut best: Option<(Mapping, f64)> = None;
-        let mut total = SearchStats::default();
-        let t_start = metrics.enabled().then(std::time::Instant::now);
-        for _ in 0..self.restarts.max(1) {
-            let (m, c, stats) = self.local_search(problem, &tables, &mut rng);
-            total.absorb(stats);
-            total.restarts += 1;
-            if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
-                best = Some((m, c));
+        let trace = &self.trace;
+        let track = if trace.enabled() {
+            trace.track("search", self.name())
+        } else {
+            TrackId::DISABLED
+        };
+        let tscope = TraceScope::new(trace, track);
+        let (best, total) = metrics.timed("phase.refinement", || {
+            let mut best: Option<(Mapping, f64)> = None;
+            let mut total = SearchStats::default();
+            for _ in 0..self.restarts.max(1) {
+                tscope.span_begin("restart");
+                let (m, c, stats) = self.local_search(problem, &tables, &mut rng, tscope);
+                tscope.span_end("restart");
+                total.absorb(stats);
+                total.restarts += 1;
+                if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+                    best = Some((m, c));
+                }
             }
-        }
-        if let Some(t0) = t_start {
-            metrics.timing("phase.refinement", t0.elapsed().as_secs_f64());
-            total.emit(&metrics);
-        }
+            (best, total)
+        });
+        total.emit(&metrics);
         best.expect("at least one restart").0
     }
 }

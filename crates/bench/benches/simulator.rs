@@ -4,6 +4,7 @@
 
 use commgraph::apps::AppKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geomap_core::Trace;
 use geonet::{presets, CalibrationConfig, Calibrator, InstanceType, SiteId};
 use mpirt::RunConfig;
 use std::hint::black_box;
@@ -39,9 +40,60 @@ fn bench_runtime(c: &mut Criterion) {
     group.finish();
 }
 
+/// The contract behind `mpirt::execute_traced(..., &Trace::off())`: a
+/// disabled trace handle is a `None` check per event site and must not
+/// slow the discrete-event replay measurably (documented <1% — asserted
+/// at 15% to stay robust on noisy CI machines).
+fn bench_trace_off_overhead(c: &mut Criterion) {
+    let net = presets::paper_ec2_network(16, InstanceType::M4Xlarge, 1);
+    let assignment: Vec<SiteId> = (0..64).map(|i| SiteId(i / 16)).collect();
+    let program = AppKind::KMeans.workload(64).program();
+    let cfg = RunConfig::comm_only();
+    let plain = || black_box(mpirt::execute(&program, &net, &assignment, &cfg)).makespan;
+    let traced_off = || {
+        black_box(mpirt::execute_traced(
+            &program,
+            &net,
+            &assignment,
+            &cfg,
+            &Trace::off(),
+        ))
+        .makespan
+    };
+
+    let mut group = c.benchmark_group("simnet_trace_off");
+    group.bench_function("plain", |b| b.iter(plain));
+    group.bench_function("trace_off", |b| b.iter(traced_off));
+    group.finish();
+
+    // Best-of-trials wall-clock guard, independent of the criterion shim.
+    let best_of = |f: &dyn Fn() -> f64| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = std::time::Instant::now();
+            for _ in 0..10 {
+                black_box(f());
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    plain(); // warm up caches once before timing either variant
+    let t_plain = best_of(&plain);
+    let t_off = best_of(&traced_off);
+    assert!(
+        t_off <= t_plain * 1.15,
+        "disabled tracing slowed the replay: {t_off:.6}s vs {t_plain:.6}s"
+    );
+    println!(
+        "trace-off overhead: {:+.2}% (plain {t_plain:.6}s, traced-off {t_off:.6}s)",
+        (t_off / t_plain - 1.0) * 100.0
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_runtime
+    targets = bench_runtime, bench_trace_off_overhead
 }
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment>... [--quick] [--seed N] [--out DIR] [--no-csv]
-//!                       [--metrics FILE]
+//!                       [--metrics FILE|-] [--trace FILE|-]
 //! repro all [--quick]
 //! repro list
 //! ```
@@ -10,17 +10,31 @@
 use geomap_bench::experiments::{self, ALL_EXPERIMENTS};
 use geomap_bench::util::default_results_dir;
 use geomap_bench::ExpContext;
-use geomap_core::{JsonLinesSink, Metrics};
+use geomap_core::{JsonLinesSink, Metrics, RingBufferSink, Trace};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+/// Retained trace events before the ring starts evicting the oldest.
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// Where `--trace` writes the Chrome JSON when the run finishes. The
+/// file is created at argument-parse time so a bad path fails fast,
+/// before hours of experiments.
+enum TraceDest {
+    Stdout,
+    File(PathBuf, std::fs::File),
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <experiment>... [--quick] [--seed N] [--out DIR] [--no-csv] [--metrics FILE]"
+        "usage: repro <experiment>... [--quick] [--seed N] [--out DIR] [--no-csv] \
+         [--metrics FILE|-] [--trace FILE|-]"
     );
     eprintln!("       repro all | list");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+    eprintln!("`-` streams to stdout; --trace writes Chrome trace-event JSON (Perfetto)");
     ExitCode::FAILURE
 }
 
@@ -32,7 +46,9 @@ fn main() -> ExitCode {
         seed: 0x5C17,
         out_dir: Some(default_results_dir()),
         metrics: Metrics::off(),
+        trace: Trace::off(),
     };
+    let mut trace_out: Option<(Arc<RingBufferSink>, TraceDest)> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -58,18 +74,44 @@ fn main() -> ExitCode {
             "--metrics" => {
                 i += 1;
                 let Some(v) = args.get(i) else {
-                    eprintln!("--metrics needs a file path");
+                    eprintln!("--metrics needs a file path (or `-` for stdout)");
                     return usage();
                 };
-                let path = PathBuf::from(v);
-                let sink = match JsonLinesSink::create(&path) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("--metrics: cannot create {}: {e}", path.display());
-                        return ExitCode::FAILURE;
+                let sink = if v == "-" {
+                    JsonLinesSink::from_writer(std::io::stdout())
+                } else {
+                    let path = PathBuf::from(v);
+                    match JsonLinesSink::create(&path) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("--metrics: cannot create {}: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
                     }
                 };
                 ctx.metrics = Metrics::new(Arc::new(sink));
+            }
+            "--trace" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--trace needs a file path (or `-` for stdout)");
+                    return usage();
+                };
+                let dest = if v == "-" {
+                    TraceDest::Stdout
+                } else {
+                    let path = PathBuf::from(v);
+                    match std::fs::File::create(&path) {
+                        Ok(f) => TraceDest::File(path, f),
+                        Err(e) => {
+                            eprintln!("--trace: cannot create {v}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                };
+                let sink = Arc::new(RingBufferSink::new(TRACE_CAPACITY));
+                ctx.trace = Trace::new(sink.clone());
+                trace_out = Some((sink, dest));
             }
             "list" => {
                 for id in ALL_EXPERIMENTS {
@@ -99,5 +141,32 @@ fn main() -> ExitCode {
         println!();
     }
     ctx.metrics.flush();
+    if let Some((sink, dest)) = trace_out {
+        if sink.dropped() > 0 {
+            eprintln!(
+                "--trace: ring buffer full, dropped the oldest {} events",
+                sink.dropped()
+            );
+        }
+        let json = sink.to_chrome_json();
+        match dest {
+            TraceDest::Stdout => {
+                if let Err(e) = std::io::stdout().write_all(json.as_bytes()) {
+                    eprintln!("--trace: write to stdout failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            TraceDest::File(path, mut f) => {
+                if let Err(e) = f.write_all(json.as_bytes()) {
+                    eprintln!("--trace: write {} failed: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "  -> wrote {} (load in Perfetto / chrome://tracing)",
+                    path.display()
+                );
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -13,9 +13,9 @@
 
 use crate::setup::app_problem;
 use crate::util::{improvement_pct, mean, std_error, Csv, ExpContext};
-use baselines::{paper_mappers_with_metrics, RandomMapper};
+use baselines::{paper_mappers_instrumented, RandomMapper};
 use commgraph::apps::AppKind;
-use geomap_core::{Mapper, MappingProblem, Metrics};
+use geomap_core::{Mapper, MappingProblem, Metrics, Trace};
 use mpirt::RunConfig;
 
 /// Measured improvements of one app: `(name, greedy, mpipp, geo)` in %.
@@ -30,20 +30,23 @@ pub struct AppRow {
 
 /// Execute one mapping and report the makespan. When `metrics` is
 /// enabled the run's full telemetry (per-link traffic, per-rank
-/// breakdowns) is exported through it.
+/// breakdowns) is exported through it; when `trace` is enabled the
+/// replay records per-rank intervals and per-link message lifecycles.
 fn makespan(
     problem: &MappingProblem,
     mapping: &geomap_core::Mapping,
     cfg: &RunConfig,
     app: AppKind,
     metrics: &Metrics,
+    trace: &Trace,
 ) -> f64 {
     let workload = app.workload(problem.num_processes());
-    let result = mpirt::execute_workload(
+    let result = mpirt::execute_workload_traced(
         workload.as_ref(),
         problem.network(),
         mapping.as_slice(),
         cfg,
+        trace,
     );
     result.emit_metrics(metrics);
     result.makespan
@@ -65,20 +68,29 @@ pub fn improvements(ctx: &ExpContext, cfg: &RunConfig, label: &str) -> Vec<AppRo
             let baselines: Vec<f64> = (0..baseline_runs)
                 .map(|i| {
                     let m = RandomMapper::with_seed(ctx.seed.wrapping_add(i as u64)).map(&problem);
-                    makespan(&problem, &m, cfg, app, &Metrics::off())
+                    // Baseline replays stay untraced: ten random runs per
+                    // app would drown the optimized timelines.
+                    makespan(&problem, &m, cfg, app, &Metrics::off(), &Trace::off())
                 })
                 .collect();
             let base = mean(&baselines);
             app_metrics.gauge("baseline_makespan_s", base);
             let mut improvements = [0.0; 3];
-            for (slot, mapper) in paper_mappers_with_metrics(ctx.seed, &app_metrics)
+            for (slot, mapper) in paper_mappers_instrumented(ctx.seed, &app_metrics, &ctx.trace)
                 .iter()
                 .enumerate()
             {
                 let m = mapper.map(&problem);
                 m.validate(&problem).unwrap();
                 let per_mapper = app_metrics.scoped(mapper.name());
-                let t = makespan(&problem, &m, cfg, app, &per_mapper.scoped("runtime"));
+                let t = makespan(
+                    &problem,
+                    &m,
+                    cfg,
+                    app,
+                    &per_mapper.scoped("runtime"),
+                    &ctx.trace,
+                );
                 improvements[slot] = improvement_pct(base, t);
                 per_mapper.gauge("improvement_pct", improvements[slot]);
             }

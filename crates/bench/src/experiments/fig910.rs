@@ -14,7 +14,7 @@
 
 use crate::setup::app_problem;
 use crate::util::{Csv, ExpContext};
-use baselines::{GreedyMapper, MonteCarlo, MpippMapper};
+use baselines::{paper_mappers_instrumented, MonteCarlo};
 use commgraph::apps::AppKind;
 use geomap_core::{cost, GeoMapper, Mapper};
 
@@ -50,27 +50,37 @@ pub fn run_fig9(ctx: &ExpContext) {
 
         println!("\n--- {app} ({samples} draws) ---");
         let mut marker_points: Vec<(&str, f64)> = Vec::new();
-        let algos: Vec<(&str, f64)> = vec![
-            (
-                "Greedy",
-                cost(&problem, &GreedyMapper::default().map(&problem)),
-            ),
-            (
-                "MPIPP",
-                cost(&problem, &MpippMapper::with_seed(ctx.seed).map(&problem)),
-            ),
-            (
-                "Geo-distributed",
-                cost(
-                    &problem,
-                    &GeoMapper {
-                        seed: ctx.seed,
-                        ..GeoMapper::default()
+        let app_metrics = ctx.metrics.scoped("fig9").scoped(app.name());
+        let mut geo_mapping = None;
+        let algos: Vec<(&str, f64)> =
+            paper_mappers_instrumented(ctx.seed, &app_metrics, &ctx.trace)
+                .iter()
+                .map(|mapper| {
+                    let m = mapper.map(&problem);
+                    let c = cost(&problem, &m);
+                    if mapper.name() == "Geo-distributed" {
+                        geo_mapping = Some(m);
                     }
-                    .map(&problem),
-                ),
-            ),
-        ];
+                    (mapper.name(), c)
+                })
+                .collect();
+        // With tracing on, replay the winning mapping through the
+        // simulated runtime so the trace shows all three layers: search
+        // trajectories, mpirt rank intervals, simnet message timelines.
+        if ctx.trace.enabled() {
+            let workload = app.workload(problem.num_processes());
+            let result = mpirt::execute_workload_traced(
+                workload.as_ref(),
+                problem.network(),
+                geo_mapping.as_ref().expect("Geo mapper ran").as_slice(),
+                &mpirt::RunConfig::comm_only(),
+                &ctx.trace,
+            );
+            println!(
+                "  traced replay of Geo-distributed mapping: makespan {:.4}s",
+                result.makespan
+            );
+        }
         for (name, c) in algos {
             let frac = MonteCarlo::fraction_below(&sorted, c);
             println!(

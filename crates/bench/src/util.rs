@@ -1,6 +1,6 @@
 //! Shared harness utilities: experiment context, CSV output, metrics.
 
-use geomap_core::Metrics;
+use geomap_core::{Metrics, Trace};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -18,6 +18,11 @@ pub struct ExpContext {
     /// and thread it into the mappers and the simulated runtime.
     /// Disabled by default (`repro --metrics <path>` turns it on).
     pub metrics: Metrics,
+    /// Event-level trace handle; experiments thread it into the mappers
+    /// and the simulated runtime so one run yields a Perfetto-loadable
+    /// timeline. Disabled by default (`repro --trace <path>` turns it
+    /// on).
+    pub trace: Trace,
 }
 
 impl Default for ExpContext {
@@ -27,6 +32,7 @@ impl Default for ExpContext {
             seed: 0x5C17,
             out_dir: Some(default_results_dir()),
             metrics: Metrics::off(),
+            trace: Trace::off(),
         }
     }
 }
@@ -39,6 +45,7 @@ impl ExpContext {
             seed: 0x5C17,
             out_dir: None,
             metrics: Metrics::off(),
+            trace: Trace::off(),
         }
     }
 

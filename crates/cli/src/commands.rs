@@ -7,7 +7,7 @@ use crate::files;
 use baselines::{GreedyMapper, MonteCarlo, MpippMapper, RandomMapper};
 use commgraph::apps::AppKind;
 use commgraph::CommPattern;
-use geomap_core::{cost, ConstraintVector, GeoMapper, Mapper, MappingProblem};
+use geomap_core::{cost, ConstraintVector, GeoMapper, Mapper, MappingProblem, Trace};
 use geonet::presets::MultiCloud;
 use geonet::{io as netio, CalibrationConfig, Calibrator, InstanceType, SiteNetwork};
 
@@ -142,27 +142,43 @@ fn load_problem(args: &Args) -> Result<MappingProblem, String> {
     Ok(MappingProblem::new(pattern, net, constraints))
 }
 
-/// `geomap map` — compute a mapping.
-pub fn map(args: &Args) -> Result<String, String> {
-    let problem = load_problem(args)?;
-    let seed: u64 = args.parsed_or("seed", 0x5C17)?;
+/// Construct the `--algorithm` mapper with `trace` wired into it
+/// (pass [`Trace::off`] for an untraced run).
+fn mapper_from(args: &Args, seed: u64, trace: &Trace) -> Result<Box<dyn Mapper>, String> {
     let algorithm = args.optional("algorithm").unwrap_or("geo");
-    let mapper: Box<dyn Mapper> = match algorithm {
+    Ok(match algorithm {
         "geo" => Box::new(GeoMapper {
             seed,
             kappa: args.parsed_or("kappa", 4)?,
+            trace: trace.clone(),
             ..GeoMapper::default()
         }),
-        "greedy" => Box::new(GreedyMapper::default()),
-        "mpipp" => Box::new(MpippMapper::with_seed(seed)),
+        "greedy" => Box::new(GreedyMapper {
+            trace: trace.clone(),
+            ..GreedyMapper::default()
+        }),
+        "mpipp" => Box::new(MpippMapper {
+            trace: trace.clone(),
+            ..MpippMapper::with_seed(seed)
+        }),
         "random" => Box::new(RandomMapper::with_seed(seed)),
-        "montecarlo" => Box::new(MonteCarlo::new(args.parsed_or("samples", 10_000)?, seed)),
+        "montecarlo" => Box::new(MonteCarlo {
+            trace: trace.clone(),
+            ..MonteCarlo::new(args.parsed_or("samples", 10_000)?, seed)
+        }),
         other => {
             return Err(format!(
                 "unknown algorithm {other:?} (geo|greedy|mpipp|random|montecarlo)"
             ))
         }
-    };
+    })
+}
+
+/// `geomap map` — compute a mapping.
+pub fn map(args: &Args) -> Result<String, String> {
+    let problem = load_problem(args)?;
+    let seed: u64 = args.parsed_or("seed", 0x5C17)?;
+    let mapper = mapper_from(args, seed, &Trace::off())?;
     let start = std::time::Instant::now();
     let mapping = mapper.map(&problem);
     let elapsed = start.elapsed();
@@ -180,6 +196,62 @@ pub fn map(args: &Args) -> Result<String, String> {
     Ok(format!(
         "{summary}{}",
         emit(args, &files::mapping_to_csv(&mapping), "mapping CSV")?
+    ))
+}
+
+/// `geomap trace` — run a mapper (and optionally a simulated replay)
+/// with event-level tracing on, emitting Chrome trace-event JSON for
+/// Perfetto / `chrome://tracing`.
+pub fn trace(args: &Args) -> Result<String, String> {
+    use geomap_core::RingBufferSink;
+    use std::sync::Arc;
+
+    let problem = load_problem(args)?;
+    let seed: u64 = args.parsed_or("seed", 0x5C17)?;
+    let capacity: usize = args.parsed_or("events", 1 << 20)?;
+    let sink = Arc::new(RingBufferSink::new(capacity));
+    let trace = Trace::new(sink.clone());
+    let mapper = mapper_from(args, seed, &trace)?;
+    let mapping = mapper.map(&problem);
+    mapping
+        .validate(&problem)
+        .map_err(|e| format!("internal: infeasible mapping: {e}"))?;
+    let mut summary = format!(
+        "{} traced over {} processes / {} sites; Eq.3 cost {:.3}s\n",
+        mapper.name(),
+        problem.num_processes(),
+        problem.num_sites(),
+        cost(&problem, &mapping),
+    );
+    if let Some(app_name) = args.optional("app") {
+        let app = AppKind::parse(app_name).ok_or_else(|| format!("unknown app {app_name:?}"))?;
+        let workload = app.workload(problem.num_processes());
+        let r = mpirt::execute_workload_traced(
+            workload.as_ref(),
+            problem.network(),
+            mapping.as_slice(),
+            &mpirt::RunConfig::default(),
+            &trace,
+        );
+        summary.push_str(&format!(
+            "replayed {app} on the simulated runtime: makespan {:.3}s\n",
+            r.makespan
+        ));
+    }
+    if sink.dropped() > 0 {
+        summary.push_str(&format!(
+            "warning: ring full, dropped the oldest {} events (raise --events)\n",
+            sink.dropped()
+        ));
+    }
+    summary.push_str(&format!(
+        "{} events on {} tracks (load the JSON in Perfetto or chrome://tracing)\n",
+        sink.snapshot().len(),
+        sink.tracks().len(),
+    ));
+    Ok(format!(
+        "{summary}{}",
+        emit(args, &sink.to_chrome_json(), "Chrome trace JSON")?
     ))
 }
 
@@ -315,6 +387,29 @@ mod tests {
         let m = files::mapping_from_csv(8, &body).unwrap();
         assert_eq!(m.site_of(0).index(), 3);
         assert_eq!(m.site_of(5).index(), 1);
+    }
+
+    #[test]
+    fn trace_command_emits_all_three_layers() {
+        let net_path = tmp("net4.csv");
+        let pat_path = tmp("pat4.csv");
+        let trace_path = tmp("trace4.json");
+        network(&argv(&format!("--provider ec2 --nodes 2 --out {net_path}"))).unwrap();
+        profile(&argv(&format!("--app lu --ranks 8 --out {pat_path}"))).unwrap();
+        let out = trace(&argv(&format!(
+            "--network {net_path} --pattern {pat_path} --algorithm geo --app lu --out {trace_path}"
+        )))
+        .unwrap();
+        assert!(out.contains("events on"), "{out}");
+        assert!(out.contains("makespan"), "{out}");
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(json.trim_start().starts_with('['), "not a JSON array");
+        assert!(json.trim_end().ends_with(']'), "array not closed");
+        for layer in ["\"search\"", "\"mpirt\"", "\"simnet\""] {
+            assert!(json.contains(layer), "missing {layer} process in trace");
+        }
+        assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"C\""), "no counter samples");
     }
 
     #[test]

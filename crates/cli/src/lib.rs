@@ -39,6 +39,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "calibrate" => commands::calibrate(&args),
         "profile" => commands::profile(&args),
         "map" => commands::map(&args),
+        "trace" => commands::trace(&args),
         "evaluate" => commands::evaluate(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
@@ -62,6 +63,13 @@ commands:
             [--algorithm geo|greedy|mpipp|random|montecarlo]
             [--constraints FILE] [--kappa K] [--seed S] [--out FILE]
             compute a process mapping
+  trace     --network FILE --pattern FILE [--ranks N]
+            [--algorithm geo|greedy|mpipp|random|montecarlo]
+            [--constraints FILE] [--app NAME] [--events N] [--seed S]
+            [--out FILE]
+            map with event tracing on — plus, with --app, a traced replay
+            on the simulated runtime — and emit Chrome trace-event JSON
+            (Perfetto / chrome://tracing)
   evaluate  --network FILE --pattern FILE --mapping FILE [--ranks N]
             [--simulate --app NAME] [--baseline-samples K] [--seed S]
             report Eq.3 cost (and simulated makespan) vs random baseline

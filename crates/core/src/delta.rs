@@ -28,6 +28,7 @@ use crate::cost::{model_components, CostModel};
 use crate::mapping::Mapping;
 use crate::metrics::Metrics;
 use crate::problem::MappingProblem;
+use crate::trace::TraceScope;
 use geonet::SiteId;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -778,10 +779,27 @@ pub fn sweep_hill_climb_stats(
     movable: &dyn Fn(usize) -> bool,
     permits: &dyn Fn(usize, SiteId) -> bool,
 ) -> SearchStats {
+    sweep_hill_climb_traced(eval, passes, movable, permits, TraceScope::off())
+}
+
+/// [`sweep_hill_climb_stats`] with event-level tracing: one `pass` span
+/// per sweep and one `swap` instant per accepted swap on `scope`'s
+/// track, timestamped with wall-clock time — the search trajectory a
+/// Perfetto view of the run shows. A disabled scope makes this exactly
+/// [`sweep_hill_climb_stats`]: every trace call is a `None` check and no
+/// clock is read.
+pub fn sweep_hill_climb_traced(
+    eval: &mut dyn CostEval,
+    passes: usize,
+    movable: &dyn Fn(usize) -> bool,
+    permits: &dyn Fn(usize, SiteId) -> bool,
+    scope: TraceScope<'_>,
+) -> SearchStats {
     let n = eval.sites().len();
     let mut stats = SearchStats::default();
     for _ in 0..passes {
         stats.passes += 1;
+        scope.span_begin("pass");
         let mut improved = false;
         for i in 0..n {
             if !movable(i) {
@@ -789,7 +807,7 @@ pub fn sweep_hill_climb_stats(
             }
             if n <= FULL_PAIR_LIMIT {
                 for j in (i + 1)..n {
-                    if movable(j) && try_swap(eval, i, j, permits, &mut stats) {
+                    if movable(j) && try_swap(eval, i, j, permits, &mut stats, scope) {
                         improved = true;
                     }
                 }
@@ -797,12 +815,13 @@ pub fn sweep_hill_climb_stats(
                 // Partner-edge sweep: only communicating pairs.
                 let peers: Vec<usize> = eval.peers(i).iter().map(|&p| p as usize).collect();
                 for j in peers {
-                    if j > i && movable(j) && try_swap(eval, i, j, permits, &mut stats) {
+                    if j > i && movable(j) && try_swap(eval, i, j, permits, &mut stats, scope) {
                         improved = true;
                     }
                 }
             }
         }
+        scope.span_end("pass");
         if !improved {
             break;
         }
@@ -818,6 +837,7 @@ fn try_swap(
     j: usize,
     permits: &dyn Fn(usize, SiteId) -> bool,
     stats: &mut SearchStats,
+    scope: TraceScope<'_>,
 ) -> bool {
     let (si, sj) = (eval.sites()[i], eval.sites()[j]);
     if si == sj || !permits(i, sj) || !permits(j, si) {
@@ -827,6 +847,7 @@ fn try_swap(
     if eval.swap_delta(i, j) < IMPROVEMENT_EPS {
         eval.apply_swap(i, j);
         stats.swaps_accepted += 1;
+        scope.instant("swap");
         return true;
     }
     false
@@ -856,8 +877,38 @@ pub fn polish_stats(
     evaluation: Evaluation,
     movable: &dyn Fn(usize) -> bool,
 ) -> SearchStats {
+    polish_stats_traced(
+        problem,
+        mapping,
+        passes,
+        model,
+        evaluation,
+        movable,
+        TraceScope::off(),
+    )
+}
+
+/// [`polish_stats`] with event-level tracing on `scope` (see
+/// [`sweep_hill_climb_traced`]).
+pub fn polish_stats_traced(
+    problem: &MappingProblem,
+    mapping: &mut Mapping,
+    passes: usize,
+    model: CostModel,
+    evaluation: Evaluation,
+    movable: &dyn Fn(usize) -> bool,
+    scope: TraceScope<'_>,
+) -> SearchStats {
     let tables = CostTables::build(problem, model);
-    polish_with_tables_stats(&tables, evaluation, mapping, passes, movable, &|_, _| true)
+    polish_with_tables_traced(
+        &tables,
+        evaluation,
+        mapping,
+        passes,
+        movable,
+        &|_, _| true,
+        scope,
+    )
 }
 
 /// Polish `mapping` in place over prebuilt `tables` (the geo mappers
@@ -887,8 +938,30 @@ pub fn polish_with_tables_stats(
     movable: &dyn Fn(usize) -> bool,
     permits: &dyn Fn(usize, SiteId) -> bool,
 ) -> SearchStats {
+    polish_with_tables_traced(
+        tables,
+        evaluation,
+        mapping,
+        passes,
+        movable,
+        permits,
+        TraceScope::off(),
+    )
+}
+
+/// [`polish_with_tables_stats`] with event-level tracing on `scope`
+/// (see [`sweep_hill_climb_traced`]).
+pub fn polish_with_tables_traced(
+    tables: &CostTables,
+    evaluation: Evaluation,
+    mapping: &mut Mapping,
+    passes: usize,
+    movable: &dyn Fn(usize) -> bool,
+    permits: &dyn Fn(usize, SiteId) -> bool,
+    scope: TraceScope<'_>,
+) -> SearchStats {
     let mut eval = evaluation.evaluator(tables, mapping.as_slice().to_vec());
-    let mut stats = sweep_hill_climb_stats(eval.as_mut(), passes, movable, permits);
+    let mut stats = sweep_hill_climb_traced(eval.as_mut(), passes, movable, permits, scope);
     stats.terms = eval.terms();
     if stats.swaps_accepted > 0 {
         *mapping = Mapping::new(eval.sites().to_vec());

@@ -24,11 +24,12 @@
 //! is set.
 
 use crate::cost::CostModel;
-use crate::delta::{polish_with_tables_stats, CostTables, Evaluation, SearchStats};
+use crate::delta::{polish_with_tables_traced, CostTables, Evaluation, SearchStats};
 use crate::grouping::group_sites;
 use crate::mapping::Mapping;
 use crate::metrics::Metrics;
 use crate::problem::MappingProblem;
+use crate::trace::{Trace, TraceScope, TrackId};
 use crate::Mapper;
 use geonet::SiteId;
 use rand::rngs::StdRng;
@@ -106,6 +107,13 @@ pub struct GeoMapper {
     /// `phase.packing` / `phase.refinement`) and [`SearchStats`]
     /// counters scoped under the mapper's name.
     pub metrics: Metrics,
+    /// Event-level tracing handle. [`Trace::off`] (the default) adds no
+    /// instrumentation; an enabled handle records phase spans on a
+    /// `"search"/"Geo-distributed"` track and, per polished order, pass
+    /// spans and accepted-swap instants on its own
+    /// `"Geo-distributed refine[k]"` track (one track per order keeps
+    /// span nesting valid under rayon).
+    pub trace: Trace,
 }
 
 impl Default for GeoMapper {
@@ -120,6 +128,7 @@ impl Default for GeoMapper {
             refine: true,
             evaluation: Evaluation::Incremental,
             metrics: Metrics::off(),
+            trace: Trace::off(),
         }
     }
 }
@@ -364,9 +373,18 @@ impl Mapper for GeoMapper {
 
     fn map(&self, problem: &MappingProblem) -> Mapping {
         let metrics = self.metrics.scoped(self.name());
+        let trace = &self.trace;
+        let mapper_track = if trace.enabled() {
+            trace.track("search", self.name())
+        } else {
+            TrackId::DISABLED
+        };
+        let tscope = TraceScope::new(trace, mapper_track);
+        tscope.span_begin("grouping");
         let groups = metrics.timed("phase.grouping", || {
             group_sites(problem.network(), self.kappa, self.seed)
         });
+        tscope.span_end("grouping");
         let orders = self.orders(groups.len());
         metrics.counter("search.groups", groups.len() as u64);
         metrics.counter("search.orders_evaluated", orders.len() as u64);
@@ -412,6 +430,7 @@ impl Mapper for GeoMapper {
         };
 
         let search_t0 = metrics.enabled().then(std::time::Instant::now);
+        tscope.span_begin("order_search");
         let mut ranked: Vec<(usize, f64, Mapping)> = if self.parallel {
             orders
                 .par_iter()
@@ -432,6 +451,7 @@ impl Mapper for GeoMapper {
                 .collect()
         };
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        tscope.span_end("order_search");
         if let Some(t0) = search_t0 {
             metrics.timing("phase.order_search", t0.elapsed().as_secs_f64());
             metrics.timing(
@@ -448,17 +468,30 @@ impl Mapper for GeoMapper {
         // refining all κ! packings.
         let movable = |i: usize| constraints.pin_of(i).is_none();
         let polish = |(idx, _, mut m): (usize, f64, Mapping)| {
-            let stats = polish_with_tables_stats(
+            // One trace track per polished order: the polishes run under
+            // rayon, and interleaved spans on a shared track would break
+            // Chrome's begin/end pairing.
+            let scope = if trace.enabled() {
+                TraceScope::new(
+                    trace,
+                    trace.track("search", &format!("{} refine[{idx}]", self.name())),
+                )
+            } else {
+                TraceScope::off()
+            };
+            let stats = polish_with_tables_traced(
                 &tables,
                 self.evaluation,
                 &mut m,
                 50,
                 &movable,
                 &|_, _| true,
+                scope,
             );
             (idx, tables.total(m.as_slice()), m, stats)
         };
         let refine_t0 = metrics.enabled().then(std::time::Instant::now);
+        tscope.span_begin("refinement");
         let top = ranked.into_iter().take(REFINE_TOP);
         let polished: Vec<(usize, f64, Mapping, SearchStats)> = if self.parallel {
             top.collect::<Vec<_>>()
@@ -468,6 +501,7 @@ impl Mapper for GeoMapper {
         } else {
             top.map(polish).collect()
         };
+        tscope.span_end("refinement");
         if metrics.enabled() {
             if let Some(t0) = refine_t0 {
                 metrics.timing("phase.refinement", t0.elapsed().as_secs_f64());

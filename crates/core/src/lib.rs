@@ -36,13 +36,15 @@ pub mod metrics;
 pub mod multisite;
 pub mod pipeline;
 pub mod problem;
+pub mod trace;
 
 pub use constraint::ConstraintVector;
 pub use cost::{cost, cost_with_model, model_components, pair_cost, CostModel};
 pub use delta::{
-    best_improving_swap, best_improving_swap_counted, polish, polish_stats, polish_with_tables,
-    polish_with_tables_stats, sweep_hill_climb, sweep_hill_climb_stats, CostEval, CostEvaluator,
-    CostTables, Evaluation, FullRecomputeEval, SearchStats,
+    best_improving_swap, best_improving_swap_counted, polish, polish_stats, polish_stats_traced,
+    polish_with_tables, polish_with_tables_stats, polish_with_tables_traced, sweep_hill_climb,
+    sweep_hill_climb_stats, sweep_hill_climb_traced, CostEval, CostEvaluator, CostTables,
+    Evaluation, FullRecomputeEval, SearchStats,
 };
 pub use geo::{GeoMapper, OrderSearch, Seeding};
 pub use grouping::group_sites;
@@ -52,6 +54,10 @@ pub use metrics::{
 };
 pub use multisite::{AllowedSites, GeoMapperMulti};
 pub use problem::MappingProblem;
+pub use trace::{
+    NullTraceSink, RingBufferSink, StreamingSink, Trace, TraceEvent, TraceEventKind, TraceScope,
+    TraceSink, TraceTrack, TrackId,
+};
 
 /// A process-mapping algorithm: produces a feasible [`Mapping`] for a
 /// [`MappingProblem`]. Implemented by [`GeoMapper`] here and by the

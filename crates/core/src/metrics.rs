@@ -188,7 +188,8 @@ impl fmt::Debug for JsonLinesSink {
 }
 
 /// Minimal JSON string escaping: quotes, backslashes and control bytes.
-fn escape_json(s: &str, out: &mut String) {
+/// Shared with the trace exporter (`crate::trace`).
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

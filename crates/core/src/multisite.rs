@@ -15,7 +15,7 @@
 //! and falls back to augmenting paths when a greedy placement would
 //! strand a process.
 
-use crate::delta::{polish_with_tables_stats, CostTables, SearchStats};
+use crate::delta::{polish_with_tables_traced, CostTables, SearchStats};
 use crate::geo::{GeoMapper, Seeding};
 use crate::grouping::group_sites;
 use crate::mapping::Mapping;
@@ -298,15 +298,26 @@ impl GeoMapperMulti {
         if !self.base.refine {
             return ranked.into_iter().next().expect("at least one order").2;
         }
+        let trace = &self.base.trace;
         let polish = |(idx, _, mut m): (usize, f64, Mapping)| {
             let permits = |i: usize, s: SiteId| allowed.permits(i, s);
-            let stats = polish_with_tables_stats(
+            // One track per polished order, as in GeoMapper::map.
+            let scope = if trace.enabled() {
+                crate::trace::TraceScope::new(
+                    trace,
+                    trace.track("search", &format!("Geo-multi refine[{idx}]")),
+                )
+            } else {
+                crate::trace::TraceScope::off()
+            };
+            let stats = polish_with_tables_traced(
                 &tables,
                 self.base.evaluation,
                 &mut m,
                 50,
                 &|_| true,
                 &permits,
+                scope,
             );
             (idx, tables.total(m.as_slice()), m, stats)
         };

@@ -1,0 +1,743 @@
+//! Event-level tracing with Chrome trace-event / Perfetto export.
+//!
+//! The metrics layer ([`crate::metrics`]) answers *how much*; this module
+//! answers *why* by recording typed events on named tracks:
+//!
+//! * [`TraceSink`] — the backend trait: [`TraceSink::define_track`]
+//!   registers a `(process, track)` pair under a [`TrackId`],
+//!   [`TraceSink::record`] receives [`TraceEvent`]s.
+//! * [`NullTraceSink`] — discards everything (the default).
+//! * [`RingBufferSink`] — keeps the most recent `capacity` events in
+//!   memory (older ones are dropped and counted) and exports them as a
+//!   Chrome trace-event JSON array via
+//!   [`RingBufferSink::to_chrome_json`], loadable in Perfetto or
+//!   `chrome://tracing`.
+//! * [`StreamingSink`] — writes Chrome trace events to a writer as they
+//!   arrive. Unbounded and allocation-light, but the event stream is in
+//!   emission order, not timestamp order (viewers sort on load).
+//! * [`Trace`] — the cheap handle threaded through simnet, mpirt and the
+//!   mappers. Disabled (`Trace::off`, the `Default`) every method is a
+//!   `None` check and no clock is read — the same zero-cost-when-off
+//!   contract as [`crate::Metrics`], guarded by the `simnet_trace_off`
+//!   bench group in `geomap-bench`.
+//!
+//! Timestamps are `f64` seconds. Simulation layers (simnet, mpirt) pass
+//! *simulated* time directly; search layers use [`Trace::now`] (wall
+//! seconds since the handle was created). The exporter converts to the
+//! microseconds Chrome expects.
+//!
+//! Track naming scheme (see DESIGN.md §5f): process `"simnet"` holds one
+//! track per directed site pair (`"link s0->s1"`), process `"mpirt"` one
+//! track per rank (`"rank 3"`), process `"search"` one track per mapper
+//! phase (`"MPIPP"`, `"Geo-distributed refine[k]"`, ...).
+
+use crate::metrics::escape_json;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Identifies one track (timeline row). Allocated by [`Trace::track`];
+/// becomes the `tid` of the Chrome export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackId(pub u32);
+
+impl TrackId {
+    /// The id handed out by a disabled handle. Recording against it is
+    /// harmless (the disabled handle drops the event anyway).
+    pub const DISABLED: TrackId = TrackId(u32::MAX);
+}
+
+/// What one recorded event means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Start of a duration span (`ph:"B"`). Must be closed by a
+    /// [`TraceEventKind::SpanEnd`] on the same track; spans on one track
+    /// must nest.
+    SpanBegin,
+    /// End of the innermost open span on the track (`ph:"E"`).
+    SpanEnd,
+    /// A point event (`ph:"i"`, thread-scoped).
+    Instant,
+    /// A counter sample (`ph:"C"`); `value` is the sampled level.
+    Counter,
+}
+
+impl TraceEventKind {
+    /// The Chrome trace-event `ph` phase letter.
+    pub fn phase(self) -> &'static str {
+        match self {
+            TraceEventKind::SpanBegin => "B",
+            TraceEventKind::SpanEnd => "E",
+            TraceEventKind::Instant => "i",
+            TraceEventKind::Counter => "C",
+        }
+    }
+}
+
+/// One typed event. `name` is `&'static str` so the hot path never
+/// allocates — dynamic naming belongs in the track, not the event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// The track the event belongs to.
+    pub track: TrackId,
+    /// Event name (span/instant/counter name within the track).
+    pub name: &'static str,
+    /// Span begin/end, instant, or counter sample.
+    pub kind: TraceEventKind,
+    /// Timestamp in seconds (simulated or wall — per-track uniform).
+    pub ts: f64,
+    /// Counter value; 0.0 for other kinds.
+    pub value: f64,
+}
+
+/// A registered track: its process group and display name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTrack {
+    /// Track id (the Chrome `tid`).
+    pub id: TrackId,
+    /// Process group, e.g. `"simnet"` (the Chrome `pid` label).
+    pub process: String,
+    /// Track display name, e.g. `"link s0->s1"` or `"rank 3"`.
+    pub name: String,
+}
+
+/// A trace backend. `record` is called from hot simulation loops when
+/// tracing is enabled; implementations should be a buffer push.
+pub trait TraceSink: Send + Sync {
+    /// Register a track before events reference it.
+    fn define_track(&self, id: TrackId, process: &str, name: &str);
+
+    /// Record one event.
+    fn record(&self, event: TraceEvent);
+
+    /// Flush any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTraceSink;
+
+impl TraceSink for NullTraceSink {
+    fn define_track(&self, _id: TrackId, _process: &str, _name: &str) {}
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// Bounded in-memory sink: keeps the most recent `capacity` events,
+/// counts what it drops, and exports Chrome trace-event JSON.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    tracks: Mutex<Vec<TraceTrack>>,
+    dropped: AtomicU64,
+}
+
+impl RingBufferSink {
+    /// A sink keeping at most `capacity` events (> 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingBufferSink capacity must be > 0");
+        Self {
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            tracks: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// All retained events in emission order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("trace lock")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// All registered tracks in definition order.
+    pub fn tracks(&self) -> Vec<TraceTrack> {
+        self.tracks.lock().expect("trace lock").clone()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Export as one Chrome trace-event JSON array (strict JSON, no
+    /// trailing comma): metadata events naming every process/track,
+    /// then all retained events stable-sorted by timestamp, so each
+    /// track's timestamps are monotonically non-decreasing.
+    pub fn to_chrome_json(&self) -> String {
+        let tracks = self.tracks();
+        let mut events = self.snapshot();
+        events.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        let pids = ProcessIds::new(&tracks);
+        let mut out = String::with_capacity(64 * (events.len() + tracks.len()) + 2);
+        out.push_str("[\n");
+        let mut first = true;
+        for t in &tracks {
+            let pid = pids.pid_of(&t.process);
+            push_meta(&mut out, &mut first, "process_name", pid, 0, &t.process);
+            push_meta(&mut out, &mut first, "thread_name", pid, t.id.0, &t.name);
+        }
+        for e in &events {
+            let (pid, counter_prefix) = match tracks.iter().find(|t| t.id == e.track) {
+                Some(t) => (pids.pid_of(&t.process), t.name.as_str()),
+                // Events on undefined tracks still export (pid 0).
+                None => (0, ""),
+            };
+            push_event(&mut out, &mut first, e, pid, counter_prefix);
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn define_track(&self, id: TrackId, process: &str, name: &str) {
+        self.tracks.lock().expect("trace lock").push(TraceTrack {
+            id,
+            process: process.to_string(),
+            name: name.to_string(),
+        });
+    }
+
+    fn record(&self, event: TraceEvent) {
+        let mut q = self.events.lock().expect("trace lock");
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(event);
+    }
+}
+
+/// Streams Chrome trace events to a writer as they arrive. Events appear
+/// in emission order (Perfetto and `chrome://tracing` sort on load);
+/// call [`StreamingSink::finish`] (or drop the sink) to close the JSON
+/// array.
+pub struct StreamingSink {
+    state: Mutex<StreamState>,
+}
+
+struct StreamState {
+    out: Box<dyn Write + Send>,
+    tracks: Vec<TraceTrack>,
+    pids: Vec<String>,
+    first: bool,
+    finished: bool,
+}
+
+impl StreamingSink {
+    /// Stream to an arbitrary writer; writes the opening `[` eagerly.
+    pub fn from_writer(w: impl Write + Send + 'static) -> Self {
+        let mut out: Box<dyn Write + Send> = Box::new(w);
+        let _ = out.write_all(b"[\n");
+        Self {
+            state: Mutex::new(StreamState {
+                out,
+                tracks: Vec::new(),
+                pids: Vec::new(),
+                first: true,
+                finished: false,
+            }),
+        }
+    }
+
+    /// Create (truncate) `path` and stream to it.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::from_writer(io::BufWriter::new(file)))
+    }
+
+    /// Close the JSON array and flush. Idempotent.
+    pub fn finish(&self) {
+        let mut s = self.state.lock().expect("trace lock");
+        if !s.finished {
+            s.finished = true;
+            let _ = s.out.write_all(b"\n]\n");
+            let _ = s.out.flush();
+        }
+    }
+}
+
+impl fmt::Debug for StreamingSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StreamingSink")
+    }
+}
+
+impl Drop for StreamingSink {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl TraceSink for StreamingSink {
+    fn define_track(&self, id: TrackId, process: &str, name: &str) {
+        let mut s = self.state.lock().expect("trace lock");
+        if s.finished {
+            return;
+        }
+        let (pid, new_process) = match s.pids.iter().position(|p| p == process) {
+            Some(i) => (i as u32 + 1, false),
+            None => {
+                s.pids.push(process.to_string());
+                (s.pids.len() as u32, true)
+            }
+        };
+        let mut buf = String::with_capacity(128);
+        let mut first = s.first;
+        if new_process {
+            push_meta(&mut buf, &mut first, "process_name", pid, 0, process);
+        }
+        push_meta(&mut buf, &mut first, "thread_name", pid, id.0, name);
+        s.first = first;
+        s.tracks.push(TraceTrack {
+            id,
+            process: process.to_string(),
+            name: name.to_string(),
+        });
+        let _ = s.out.write_all(buf.as_bytes());
+    }
+
+    fn record(&self, event: TraceEvent) {
+        let mut s = self.state.lock().expect("trace lock");
+        if s.finished {
+            return;
+        }
+        let (pid, prefix) = match s.tracks.iter().find(|t| t.id == event.track) {
+            Some(t) => {
+                let pid = s.pids.iter().position(|p| *p == t.process).unwrap_or(0) as u32 + 1;
+                (pid, t.name.clone())
+            }
+            None => (0, String::new()),
+        };
+        let mut buf = String::with_capacity(128);
+        let mut first = s.first;
+        push_event(&mut buf, &mut first, &event, pid, &prefix);
+        s.first = first;
+        let _ = s.out.write_all(buf.as_bytes());
+    }
+
+    fn flush(&self) {
+        let mut s = self.state.lock().expect("trace lock");
+        let _ = s.out.flush();
+    }
+}
+
+/// Process-name → Chrome `pid` assignment (1-based, definition order).
+struct ProcessIds {
+    names: Vec<String>,
+}
+
+impl ProcessIds {
+    fn new(tracks: &[TraceTrack]) -> Self {
+        let mut names: Vec<String> = Vec::new();
+        for t in tracks {
+            if !names.contains(&t.process) {
+                names.push(t.process.clone());
+            }
+        }
+        Self { names }
+    }
+
+    fn pid_of(&self, process: &str) -> u32 {
+        self.names
+            .iter()
+            .position(|n| n == process)
+            .map_or(0, |i| i as u32 + 1)
+    }
+}
+
+/// Chrome wants microseconds; non-finite timestamps clamp to 0 so the
+/// output stays strict JSON. Rust's `f64` Display never prints exponent
+/// notation, so the plain form is valid JSON.
+fn push_ts_us(out: &mut String, ts_s: f64) {
+    let us = ts_s * 1e6;
+    if us.is_finite() {
+        out.push_str(&format!("{us}"));
+    } else {
+        out.push('0');
+    }
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+fn push_meta(out: &mut String, first: &mut bool, kind: &str, pid: u32, tid: u32, name: &str) {
+    push_sep(out, first);
+    out.push_str("{\"ph\":\"M\",\"name\":\"");
+    out.push_str(kind);
+    out.push_str(&format!(
+        "\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\""
+    ));
+    escape_json(name, out);
+    out.push_str("\"}}");
+}
+
+fn push_event(out: &mut String, first: &mut bool, e: &TraceEvent, pid: u32, counter_prefix: &str) {
+    push_sep(out, first);
+    out.push_str("{\"ph\":\"");
+    out.push_str(e.kind.phase());
+    out.push_str("\",\"name\":\"");
+    if e.kind == TraceEventKind::Counter && !counter_prefix.is_empty() {
+        // Chrome keys counters by (pid, name); prefixing the track name
+        // keeps one counter series per track instead of merging them.
+        escape_json(counter_prefix, out);
+        out.push(' ');
+    }
+    escape_json(e.name, out);
+    out.push_str(&format!("\",\"pid\":{pid},\"tid\":{},\"ts\":", e.track.0));
+    push_ts_us(out, e.ts);
+    match e.kind {
+        TraceEventKind::Instant => out.push_str(",\"s\":\"t\"}"),
+        TraceEventKind::Counter => {
+            out.push_str(",\"args\":{\"value\":");
+            if e.value.is_finite() {
+                out.push_str(&format!("{}", e.value));
+            } else {
+                out.push('0');
+            }
+            out.push_str("}}");
+        }
+        TraceEventKind::SpanBegin | TraceEventKind::SpanEnd => out.push('}'),
+    }
+}
+
+/// The handle threaded through simnet, mpirt and the mappers.
+///
+/// `Trace::off()` (the `Default`) carries no sink: every method is a
+/// `None` check, [`Trace::now`] returns 0.0 without reading a clock, and
+/// cloning is free. An enabled handle carries an `Arc<dyn TraceSink>`,
+/// the wall-clock epoch, and the track-id allocator; handles cloned from
+/// it share all three, so track ids stay unique across threads.
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<TraceInner>>,
+}
+
+struct TraceInner {
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+    next_track: AtomicU32,
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(_) => f.write_str("Trace(on)"),
+            None => f.write_str("Trace(off)"),
+        }
+    }
+}
+
+impl Trace {
+    /// The disabled handle (same as `Default`).
+    pub fn off() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle recording into `sink`; wall-clock timestamps
+    /// ([`Trace::now`]) are measured from this call.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self {
+            inner: Some(Arc::new(TraceInner {
+                sink,
+                epoch: Instant::now(),
+                next_track: AtomicU32::new(1),
+            })),
+        }
+    }
+
+    /// Whether events go anywhere. Gate any non-trivial preparation
+    /// (track bookkeeping, name formatting) on this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Allocate a track under `process` with display `name`. Disabled
+    /// handles return [`TrackId::DISABLED`] without formatting anything.
+    pub fn track(&self, process: &str, name: &str) -> TrackId {
+        match &self.inner {
+            None => TrackId::DISABLED,
+            Some(inner) => {
+                let id = TrackId(inner.next_track.fetch_add(1, Ordering::Relaxed));
+                inner.sink.define_track(id, process, name);
+                id
+            }
+        }
+    }
+
+    /// Wall seconds since the handle was created (0.0 when disabled —
+    /// no clock is read).
+    #[inline]
+    pub fn now(&self) -> f64 {
+        match &self.inner {
+            None => 0.0,
+            Some(inner) => inner.epoch.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Open a span at `ts` (seconds).
+    #[inline]
+    pub fn span_begin(&self, track: TrackId, name: &'static str, ts: f64) {
+        if let Some(inner) = &self.inner {
+            inner.sink.record(TraceEvent {
+                track,
+                name,
+                kind: TraceEventKind::SpanBegin,
+                ts,
+                value: 0.0,
+            });
+        }
+    }
+
+    /// Close the innermost open span on `track` at `ts`.
+    #[inline]
+    pub fn span_end(&self, track: TrackId, name: &'static str, ts: f64) {
+        if let Some(inner) = &self.inner {
+            inner.sink.record(TraceEvent {
+                track,
+                name,
+                kind: TraceEventKind::SpanEnd,
+                ts,
+                value: 0.0,
+            });
+        }
+    }
+
+    /// Record a point event at `ts`.
+    #[inline]
+    pub fn instant(&self, track: TrackId, name: &'static str, ts: f64) {
+        if let Some(inner) = &self.inner {
+            inner.sink.record(TraceEvent {
+                track,
+                name,
+                kind: TraceEventKind::Instant,
+                ts,
+                value: 0.0,
+            });
+        }
+    }
+
+    /// Record a counter sample at `ts`.
+    #[inline]
+    pub fn counter(&self, track: TrackId, name: &'static str, ts: f64, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.sink.record(TraceEvent {
+                track,
+                name,
+                kind: TraceEventKind::Counter,
+                ts,
+                value,
+            });
+        }
+    }
+
+    /// Run `f` inside a wall-clock span on `track`; when disabled the
+    /// clock is never read.
+    #[inline]
+    pub fn spanned<T>(&self, track: TrackId, name: &'static str, f: impl FnOnce() -> T) -> T {
+        match &self.inner {
+            None => f(),
+            Some(_) => {
+                self.span_begin(track, name, self.now());
+                let out = f();
+                self.span_end(track, name, self.now());
+                out
+            }
+        }
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+/// A statically-available disabled handle, so borrowing contexts
+/// ([`TraceScope::off`]) don't need an owned `Trace`.
+static TRACE_OFF: Trace = Trace { inner: None };
+
+/// A borrowed `(handle, track)` pair with wall-clock timestamps — the
+/// single argument search entry points take, so instrumenting a
+/// function adds one parameter. All methods are `None` checks when the
+/// underlying handle is off.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceScope<'a> {
+    /// The handle events go through.
+    pub trace: &'a Trace,
+    /// The track they land on.
+    pub track: TrackId,
+}
+
+impl<'a> TraceScope<'a> {
+    /// Scope recording on `track` of `trace`.
+    pub fn new(trace: &'a Trace, track: TrackId) -> Self {
+        Self { trace, track }
+    }
+
+    /// The disabled scope: no events, no clock reads.
+    pub fn off() -> TraceScope<'static> {
+        TraceScope {
+            trace: &TRACE_OFF,
+            track: TrackId::DISABLED,
+        }
+    }
+
+    /// Whether events go anywhere.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Open a span at the current wall clock.
+    #[inline]
+    pub fn span_begin(&self, name: &'static str) {
+        self.trace.span_begin(self.track, name, self.trace.now());
+    }
+
+    /// Close the innermost open span at the current wall clock.
+    #[inline]
+    pub fn span_end(&self, name: &'static str) {
+        self.trace.span_end(self.track, name, self.trace.now());
+    }
+
+    /// Record a point event at the current wall clock.
+    #[inline]
+    pub fn instant(&self, name: &'static str) {
+        self.trace.instant(self.track, name, self.trace.now());
+    }
+
+    /// Record a counter sample at the current wall clock.
+    #[inline]
+    pub fn counter(&self, name: &'static str, value: f64) {
+        self.trace
+            .counter(self.track, name, self.trace.now(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_is_inert() {
+        let t = Trace::off();
+        assert!(!t.enabled());
+        assert_eq!(t.track("p", "x"), TrackId::DISABLED);
+        assert_eq!(t.now(), 0.0);
+        t.span_begin(TrackId::DISABLED, "s", 1.0);
+        t.span_end(TrackId::DISABLED, "s", 2.0);
+        t.instant(TrackId::DISABLED, "i", 1.5);
+        t.counter(TrackId::DISABLED, "c", 1.5, 3.0);
+        assert_eq!(t.spanned(TrackId::DISABLED, "f", || 7), 7);
+        t.flush();
+        assert_eq!(format!("{t:?}"), "Trace(off)");
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent_and_counts_drops() {
+        let sink = Arc::new(RingBufferSink::new(3));
+        let t = Trace::new(sink.clone());
+        let tr = t.track("p", "t");
+        for i in 0..5 {
+            t.instant(tr, "e", i as f64);
+        }
+        assert_eq!(sink.dropped(), 2);
+        let ev = sink.snapshot();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].ts, 2.0);
+        assert_eq!(ev[2].ts, 4.0);
+    }
+
+    #[test]
+    fn track_ids_are_unique_across_clones() {
+        let sink = Arc::new(RingBufferSink::new(8));
+        let t = Trace::new(sink.clone());
+        let t2 = t.clone();
+        let a = t.track("p", "a");
+        let b = t2.track("q", "b");
+        assert_ne!(a, b);
+        assert_eq!(sink.tracks().len(), 2);
+    }
+
+    #[test]
+    fn chrome_export_sorts_by_timestamp() {
+        let sink = Arc::new(RingBufferSink::new(16));
+        let t = Trace::new(sink.clone());
+        let tr = t.track("simnet", "link s0->s1");
+        t.instant(tr, "late", 5.0);
+        t.span_begin(tr, "early", 1.0);
+        t.span_end(tr, "early", 2.0);
+        t.counter(tr, "queue_depth", 1.5, 2.0);
+        let json = sink.to_chrome_json();
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        let late = json.find("\"late\"").unwrap();
+        let early = json.find("\"early\"").unwrap();
+        assert!(early < late, "not sorted by ts:\n{json}");
+        // The counter name is prefixed by its track name.
+        assert!(json.contains("\"link s0->s1 queue_depth\""), "{json}");
+        // Metadata names both the process and the track.
+        assert!(json.contains("\"process_name\""), "{json}");
+        assert!(json.contains("\"thread_name\""), "{json}");
+    }
+
+    #[test]
+    fn streaming_sink_produces_closed_array() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = StreamingSink::from_writer(Shared(buf.clone()));
+        let t = Trace::new(Arc::new(NullTraceSink)); // allocator only
+        let id = t.track("p", "x");
+        sink.define_track(id, "mpirt", "rank 0");
+        sink.record(TraceEvent {
+            track: id,
+            name: "compute",
+            kind: TraceEventKind::SpanBegin,
+            ts: 0.25,
+            value: 0.0,
+        });
+        sink.record(TraceEvent {
+            track: id,
+            name: "compute",
+            kind: TraceEventKind::SpanEnd,
+            ts: 0.5,
+            value: 0.0,
+        });
+        sink.finish();
+        sink.finish(); // idempotent
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.starts_with("[\n"), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert!(text.contains("\"rank 0\""), "{text}");
+        assert!(text.contains("\"ph\":\"B\"") && text.contains("\"ph\":\"E\""));
+        // ts in microseconds.
+        assert!(text.contains("\"ts\":250000"), "{text}");
+    }
+}

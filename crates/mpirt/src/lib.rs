@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 use commgraph::{Program, RankOp};
+use geomap_core::{Trace, TrackId};
 use geonet::{SiteId, SiteNetwork};
 use simnet::{EventQueue, LinkConfig, LinkState, LinkStats};
 use std::collections::VecDeque;
@@ -147,6 +148,10 @@ impl RunResult {
                     &format!("link.{f}.{t}.queue_wait_s"),
                     self.stats.queue_wait(from, to),
                 );
+                metrics.counter(
+                    &format!("link.{f}.{t}.max_queue_depth"),
+                    self.stats.max_queue_depth(from, to) as u64,
+                );
             }
         }
         for (r, bd) in self.rank_breakdown.iter().enumerate() {
@@ -193,13 +198,37 @@ pub fn execute(
     assignment: &[SiteId],
     config: &RunConfig,
 ) -> RunResult {
+    execute_traced(program, net, assignment, config, &Trace::off())
+}
+
+/// [`execute`] with event-level tracing: per-rank `compute` / `send` /
+/// `recv_wait` spans on one `"mpirt"` track per rank, plus the simnet
+/// link tracks (message lifecycle + queue depth) via
+/// [`simnet::LinkState::with_trace`]. All timestamps are *simulated*
+/// seconds. With `Trace::off()` this is exactly [`execute`] — the
+/// schedule, makespan and statistics are bit-identical (the
+/// `simnet_trace_off` bench group guards the overhead).
+pub fn execute_traced(
+    program: &Program,
+    net: &SiteNetwork,
+    assignment: &[SiteId],
+    config: &RunConfig,
+    trace: &Trace,
+) -> RunResult {
     let n = program.num_ranks();
     assert_eq!(assignment.len(), n, "assignment must map every rank");
     for s in assignment {
         assert!(s.index() < net.num_sites(), "{s} out of range");
     }
 
-    let mut links = LinkState::new(net.clone(), config.links);
+    let tracks: Vec<TrackId> = if trace.enabled() {
+        (0..n)
+            .map(|r| trace.track("mpirt", &format!("rank {r}")))
+            .collect()
+    } else {
+        vec![TrackId::DISABLED; n]
+    };
+    let mut links = LinkState::with_trace(net.clone(), config.links, trace.clone());
     let mut clock = vec![0.0f64; n];
     let mut breakdown = vec![RankBreakdown::default(); n];
     let mut pc = vec![0usize; n];
@@ -229,13 +258,17 @@ pub fn execute(
         match ops[pc[r]] {
             RankOp::Compute { secs } => {
                 if !config.zero_compute {
+                    trace.span_begin(tracks[r], "compute", clock[r]);
                     clock[r] += secs;
+                    trace.span_end(tracks[r], "compute", clock[r]);
                     breakdown[r].compute_s += secs;
                 }
                 pc[r] += 1;
             }
             RankOp::Send { to, bytes } => {
+                trace.span_begin(tracks[r], "send", clock[r]);
                 clock[r] += config.send_overhead;
+                trace.span_end(tracks[r], "send", clock[r]);
                 breakdown[r].send_s += config.send_overhead;
                 let arrival = links.send(assignment[r], assignment[to], bytes, clock[r]);
                 // MPI non-overtaking: a later send from r to `to` may not
@@ -257,6 +290,10 @@ pub fn execute(
                 // If the destination is blocked on us, wake it.
                 if state[to] == RankState::Waiting(r) {
                     let a = mailbox[slot].pop_front().expect("just pushed");
+                    if a > clock[to] {
+                        trace.span_begin(tracks[to], "recv_wait", clock[to]);
+                        trace.span_end(tracks[to], "recv_wait", a);
+                    }
                     breakdown[to].recv_wait_s += (a - clock[to]).max(0.0);
                     clock[to] = clock[to].max(a);
                     pc[to] += 1;
@@ -268,6 +305,10 @@ pub fn execute(
             RankOp::Recv { from } => {
                 let slot = from * n + r;
                 if let Some(a) = mailbox[slot].pop_front() {
+                    if a > clock[r] {
+                        trace.span_begin(tracks[r], "recv_wait", clock[r]);
+                        trace.span_end(tracks[r], "recv_wait", a);
+                    }
                     breakdown[r].recv_wait_s += (a - clock[r]).max(0.0);
                     clock[r] = clock[r].max(a);
                     pc[r] += 1;
@@ -327,6 +368,17 @@ pub fn execute_workload(
     config: &RunConfig,
 ) -> RunResult {
     execute(&workload.program(), net, assignment, config)
+}
+
+/// [`execute_workload`] with event-level tracing (see [`execute_traced`]).
+pub fn execute_workload_traced(
+    workload: &dyn commgraph::apps::Workload,
+    net: &SiteNetwork,
+    assignment: &[SiteId],
+    config: &RunConfig,
+    trace: &Trace,
+) -> RunResult {
+    execute_traced(&workload.program(), net, assignment, config, trace)
 }
 
 #[cfg(test)]
@@ -601,6 +653,114 @@ mod tests {
         b2.recv(0, 1);
         let rc = execute(&b2.build(), &net, &all_in(2, 2), &RunConfig::comm_only());
         assert_eq!(rc.rank_breakdown[1].compute_s, 0.0);
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_to_plain() {
+        use geomap_core::{RingBufferSink, Trace};
+        use std::sync::Arc;
+        let net = net();
+        for kind in [AppKind::Lu, AppKind::KMeans] {
+            let w = kind.workload(16);
+            let a: Vec<SiteId> = (0..16).map(|i| SiteId(i % 4)).collect();
+            let plain = execute_workload(w.as_ref(), &net, &a, &RunConfig::default());
+            let sink = Arc::new(RingBufferSink::new(1 << 16));
+            let traced = execute_workload_traced(
+                w.as_ref(),
+                &net,
+                &a,
+                &RunConfig::default(),
+                &Trace::new(sink.clone()),
+            );
+            assert_eq!(plain.makespan, traced.makespan, "{kind}");
+            assert_eq!(plain.rank_finish, traced.rank_finish, "{kind}");
+            assert_eq!(plain.rank_breakdown, traced.rank_breakdown, "{kind}");
+            assert!(!sink.snapshot().is_empty(), "{kind}: no events recorded");
+            // And an off handle records nothing.
+            let off =
+                execute_workload_traced(w.as_ref(), &net, &a, &RunConfig::default(), &Trace::off());
+            assert_eq!(plain.makespan, off.makespan);
+        }
+    }
+
+    #[test]
+    fn traced_run_covers_rank_and_link_tracks() {
+        use geomap_core::{RingBufferSink, Trace, TraceEventKind};
+        use std::sync::Arc;
+        let net = net();
+        let w = AppKind::Lu.workload(16);
+        let a: Vec<SiteId> = (0..16).map(|i| SiteId(i % 4)).collect();
+        let sink = Arc::new(RingBufferSink::new(1 << 16));
+        execute_workload_traced(
+            w.as_ref(),
+            &net,
+            &a,
+            &RunConfig::default(),
+            &Trace::new(sink.clone()),
+        );
+        let tracks = sink.tracks();
+        let rank_tracks: Vec<_> = tracks.iter().filter(|t| t.process == "mpirt").collect();
+        assert_eq!(rank_tracks.len(), 16, "one track per rank");
+        assert!(
+            tracks.iter().any(|t| t.process == "simnet"),
+            "link tracks missing"
+        );
+        let ev = sink.snapshot();
+        let on_rank = |name: &str| {
+            ev.iter().any(|e| {
+                e.name == name
+                    && e.kind == TraceEventKind::SpanBegin
+                    && rank_tracks.iter().any(|t| t.id == e.track)
+            })
+        };
+        assert!(on_rank("compute"), "no compute spans");
+        assert!(on_rank("send"), "no send spans");
+        assert!(on_rank("recv_wait"), "no recv_wait spans");
+        assert!(
+            ev.iter().any(|e| e.kind == TraceEventKind::Counter),
+            "no queue-depth samples"
+        );
+        // Spans on each track pair up (every B has its E).
+        for t in &tracks {
+            let begins = ev
+                .iter()
+                .filter(|e| e.track == t.id && e.kind == TraceEventKind::SpanBegin)
+                .count();
+            let ends = ev
+                .iter()
+                .filter(|e| e.track == t.id && e.kind == TraceEventKind::SpanEnd)
+                .count();
+            assert_eq!(begins, ends, "unbalanced spans on {}", t.name);
+        }
+    }
+
+    #[test]
+    fn emitted_max_queue_depth_matches_stats() {
+        use geomap_core::{MemorySink, Metrics};
+        use std::sync::Arc;
+        let net = net();
+        let w = AppKind::KMeans.workload(16);
+        let a: Vec<SiteId> = (0..16).map(|i| SiteId(i % 4)).collect();
+        let r = execute_workload(w.as_ref(), &net, &a, &RunConfig::default());
+        let sink = Arc::new(MemorySink::new());
+        r.emit_metrics(&Metrics::new(sink.clone()).scoped("run"));
+        let mut saw_contention = false;
+        for f in 0..4 {
+            for t in 0..4 {
+                let (from, to) = (SiteId(f), SiteId(t));
+                if r.stats.messages(from, to) == 0 {
+                    continue;
+                }
+                let d = r.stats.max_queue_depth(from, to);
+                assert!(d >= 1, "active link with zero depth");
+                assert_eq!(
+                    sink.sum("run", &format!("link.{f}.{t}.max_queue_depth")),
+                    d as f64
+                );
+                saw_contention |= d > 1;
+            }
+        }
+        assert!(saw_contention, "expected at least one contended WAN link");
     }
 
     #[test]

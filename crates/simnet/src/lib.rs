@@ -8,13 +8,19 @@
 //! * [`links::LinkState`] — per-directed-site-pair link occupancy with
 //!   FIFO serialization on the scarce WAN links (intra-site transfers
 //!   don't contend — each VM has its own NIC);
-//! * [`stats::LinkStats`] — per-site-pair traffic and busy-time
-//!   accounting;
+//! * [`stats::LinkStats`] — per-site-pair traffic, busy-time and peak
+//!   queue-depth accounting;
 //! * [`replay`] — closed-form aggregate replays of a communication
 //!   pattern under a mapping (sum-cost and bottleneck-link time).
 //!
 //! The `mpirt` crate drives this simulator with per-rank programs to
 //! produce end-to-end execution times.
+//!
+//! Event-level tracing: [`links::LinkState::with_trace`] records each
+//! message's lifecycle (enqueue, serialize span, transit, deliver) plus
+//! queue-depth counter samples on one `geomap_core::Trace` track per
+//! directed site pair — export with `RingBufferSink::to_chrome_json`
+//! and open in Perfetto (see DESIGN.md §5f).
 
 #![warn(missing_docs)]
 

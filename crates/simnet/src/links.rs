@@ -8,7 +8,9 @@
 //! [`LinkConfig`] for ablation runs.
 
 use crate::stats::LinkStats;
+use geomap_core::{Trace, TrackId};
 use geonet::{SiteId, SiteNetwork};
+use std::collections::VecDeque;
 
 /// Contention configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,19 +47,39 @@ pub struct LinkState {
     /// `egress[k]`: earliest time site k's shared uplink is free (only
     /// used with [`LinkConfig::shared_egress`]).
     egress: Vec<f64>,
+    /// `queues[k*m + l]`: completion times of messages still occupying
+    /// the shared directed link (serializing or queued). Drained lazily
+    /// at each send; its length is the instantaneous queue depth.
+    queues: Vec<VecDeque<f64>>,
     stats: LinkStats,
+    /// Event-level tracing (off by default; see [`LinkState::with_trace`]).
+    trace: Trace,
+    /// Lazily-allocated per-directed-pair trace tracks.
+    tracks: Vec<Option<TrackId>>,
 }
 
 impl LinkState {
     /// Fresh link state over `net`.
     pub fn new(net: SiteNetwork, config: LinkConfig) -> Self {
+        Self::with_trace(net, config, Trace::off())
+    }
+
+    /// Fresh link state that records per-message lifecycle events
+    /// (enqueue / serialize / transit / deliver) and queue-depth counter
+    /// samples on one trace track per directed site pair, under the
+    /// `"simnet"` process. With `Trace::off()` this is exactly
+    /// [`LinkState::new`].
+    pub fn with_trace(net: SiteNetwork, config: LinkConfig, trace: Trace) -> Self {
         let m = net.num_sites();
         Self {
             net,
             config,
             free: vec![0.0; m * m],
             egress: vec![0.0; m],
+            queues: vec![VecDeque::new(); m * m],
             stats: LinkStats::new(m),
+            trace,
+            tracks: vec![None; m * m],
         }
     }
 
@@ -83,22 +105,65 @@ impl LinkState {
         } else {
             self.config.shared_wan
         };
+        let idx = from.index() * self.net.num_sites() + to.index();
+        // Clone is an Arc bump when tracing, free (None) when off; it
+        // releases the `&self` borrow so the queue can be borrowed
+        // mutably below.
+        let trace = self.trace.clone();
+        let track = if trace.enabled() {
+            self.track_for(idx, from, to)
+        } else {
+            TrackId::DISABLED
+        };
+        trace.instant(track, "enqueue", depart);
         let arrival = if shared {
-            let idx = from.index() * self.net.num_sites() + to.index();
+            let q = &mut self.queues[idx];
+            // Messages done by `depart` leave the link; sample the depth
+            // at each departure so spikes decay visibly in the trace.
+            while let Some(&done) = q.front() {
+                if done > depart {
+                    break;
+                }
+                q.pop_front();
+                trace.counter(track, "queue_depth", done, q.len() as f64);
+            }
             let mut start = depart.max(self.free[idx]);
             if self.config.shared_egress && from != to {
                 start = start.max(self.egress[from.index()]);
                 self.egress[from.index()] = start + ser;
             }
             self.free[idx] = start + ser;
-            self.stats.record(from, to, bytes, ser, start - depart);
+            q.push_back(start + ser);
+            let depth = q.len() as u32;
+            self.stats
+                .record(from, to, bytes, ser, start - depart, depth);
+            trace.counter(track, "queue_depth", depart, depth as f64);
+            trace.span_begin(track, "serialize", start);
+            trace.span_end(track, "serialize", start + ser);
+            trace.instant(track, "transit", start + ser);
+            trace.instant(track, "deliver", start + ser + ab.latency_s);
             start + ser + ab.latency_s
         } else {
-            self.stats.record(from, to, bytes, ser, 0.0);
+            self.stats.record(from, to, bytes, ser, 0.0, 1);
+            trace.instant(track, "transit", depart + ser);
+            trace.instant(track, "deliver", depart + ser + ab.latency_s);
             depart + ser + ab.latency_s
         };
         debug_assert!(arrival >= depart);
         arrival
+    }
+
+    /// The trace track for directed pair `idx`, allocated on first use.
+    fn track_for(&mut self, idx: usize, from: SiteId, to: SiteId) -> TrackId {
+        if let Some(t) = self.tracks[idx] {
+            return t;
+        }
+        let t = self.trace.track(
+            "simnet",
+            &format!("link s{}->s{}", from.index(), to.index()),
+        );
+        self.tracks[idx] = Some(t);
+        t
     }
 
     /// Earliest time the directed link `(from, to)` is free.
@@ -234,6 +299,63 @@ mod tests {
             let arr = links.send(a, b, 100_000 + i * 10_000, i as f64 * 1e-4);
             assert!(arr >= last, "FIFO violated at {i}");
             last = arr;
+        }
+    }
+
+    #[test]
+    fn queue_depth_peaks_and_traces_message_lifecycle() {
+        use geomap_core::{RingBufferSink, Trace, TraceEventKind};
+        use std::sync::Arc;
+        let net = net();
+        let (a, b) = (SiteId(0), SiteId(3));
+        let sink = Arc::new(RingBufferSink::new(1024));
+        let mut links = LinkState::with_trace(net, LinkConfig::default(), Trace::new(sink.clone()));
+        for _ in 0..3 {
+            links.send(a, b, 8_000_000, 0.0);
+        }
+        assert_eq!(links.stats().max_queue_depth(a, b), 3);
+        // A send after the link drained sees depth 1; the peak stays 3.
+        let late = links.free_at(a, b) + 1.0;
+        links.send(a, b, 8_000_000, late);
+        assert_eq!(links.stats().max_queue_depth(a, b), 3);
+        assert_eq!(links.stats().max_queue_depth(b, a), 0);
+
+        let tracks = sink.tracks();
+        assert!(
+            tracks
+                .iter()
+                .any(|t| t.process == "simnet" && t.name == "link s0->s3"),
+            "{tracks:?}"
+        );
+        let ev = sink.snapshot();
+        assert!(ev.iter().any(|e| e.name == "enqueue"));
+        assert!(ev
+            .iter()
+            .any(|e| e.name == "serialize" && e.kind == TraceEventKind::SpanBegin));
+        assert!(ev.iter().any(|e| e.name == "deliver"));
+        let depths: Vec<f64> = ev
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Counter)
+            .map(|e| e.value)
+            .collect();
+        assert!(depths.contains(&3.0), "peak sample missing: {depths:?}");
+        assert!(depths.contains(&0.0), "drain samples missing: {depths:?}");
+    }
+
+    #[test]
+    fn tracing_does_not_change_arrivals() {
+        use geomap_core::{RingBufferSink, Trace};
+        use std::sync::Arc;
+        let net = net();
+        let mut plain = LinkState::new(net.clone(), LinkConfig::default());
+        let sink = Arc::new(RingBufferSink::new(64));
+        let mut traced = LinkState::with_trace(net, LinkConfig::default(), Trace::new(sink));
+        for i in 0..10u64 {
+            let d = i as f64 * 1e-4;
+            assert_eq!(
+                plain.send(SiteId(0), SiteId(1), 1_000_000, d),
+                traced.send(SiteId(0), SiteId(1), 1_000_000, d)
+            );
         }
     }
 

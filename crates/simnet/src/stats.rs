@@ -10,6 +10,7 @@ pub struct LinkStats {
     bytes: Vec<u64>,
     busy: Vec<f64>,
     queue_wait: Vec<f64>,
+    max_depth: Vec<u32>,
 }
 
 impl LinkStats {
@@ -21,6 +22,7 @@ impl LinkStats {
             bytes: vec![0; m * m],
             busy: vec![0.0; m * m],
             queue_wait: vec![0.0; m * m],
+            max_depth: vec![0; m * m],
         }
     }
 
@@ -35,13 +37,24 @@ impl LinkStats {
         from.index() * self.m + to.index()
     }
 
-    /// Record one transfer.
-    pub(crate) fn record(&mut self, from: SiteId, to: SiteId, bytes: u64, ser: f64, wait: f64) {
+    /// Record one transfer. `depth` is the link occupancy right after
+    /// the message joined (the enqueued message included), so 1 means
+    /// "no contention".
+    pub(crate) fn record(
+        &mut self,
+        from: SiteId,
+        to: SiteId,
+        bytes: u64,
+        ser: f64,
+        wait: f64,
+        depth: u32,
+    ) {
         let i = self.idx(from, to);
         self.msgs[i] += 1;
         self.bytes[i] += bytes;
         self.busy[i] += ser;
         self.queue_wait[i] += wait;
+        self.max_depth[i] = self.max_depth[i].max(depth);
     }
 
     /// Messages sent from `from` to `to`.
@@ -62,6 +75,14 @@ impl LinkStats {
     /// Total queueing delay suffered on the directed link.
     pub fn queue_wait(&self, from: SiteId, to: SiteId) -> f64 {
         self.queue_wait[self.idx(from, to)]
+    }
+
+    /// Peak occupancy of the directed link over the run: the largest
+    /// number of messages simultaneously serializing or queued (0 when
+    /// nothing was sent). Aggregate busy/wait sums hide transient
+    /// congestion spikes; this exposes them.
+    pub fn max_queue_depth(&self, from: SiteId, to: SiteId) -> u32 {
+        self.max_depth[self.idx(from, to)]
     }
 
     /// All messages.
@@ -126,9 +147,9 @@ mod tests {
     #[test]
     fn record_and_read_back() {
         let mut s = LinkStats::new(3);
-        s.record(SiteId(0), SiteId(1), 100, 0.5, 0.1);
-        s.record(SiteId(0), SiteId(1), 200, 1.0, 0.0);
-        s.record(SiteId(2), SiteId(2), 50, 0.1, 0.0);
+        s.record(SiteId(0), SiteId(1), 100, 0.5, 0.1, 1);
+        s.record(SiteId(0), SiteId(1), 200, 1.0, 0.0, 3);
+        s.record(SiteId(2), SiteId(2), 50, 0.1, 0.0, 1);
         assert_eq!(s.messages(SiteId(0), SiteId(1)), 2);
         assert_eq!(s.bytes(SiteId(0), SiteId(1)), 300);
         assert!((s.busy_time(SiteId(0), SiteId(1)) - 1.5).abs() < 1e-12);
@@ -138,10 +159,21 @@ mod tests {
     }
 
     #[test]
+    fn max_queue_depth_is_a_peak_not_a_sum() {
+        let mut s = LinkStats::new(2);
+        assert_eq!(s.max_queue_depth(SiteId(0), SiteId(1)), 0);
+        s.record(SiteId(0), SiteId(1), 1, 0.1, 0.0, 2);
+        s.record(SiteId(0), SiteId(1), 1, 0.1, 0.0, 5);
+        s.record(SiteId(0), SiteId(1), 1, 0.1, 0.0, 1);
+        assert_eq!(s.max_queue_depth(SiteId(0), SiteId(1)), 5);
+        assert_eq!(s.max_queue_depth(SiteId(1), SiteId(0)), 0);
+    }
+
+    #[test]
     fn wan_fraction() {
         let mut s = LinkStats::new(2);
-        s.record(SiteId(0), SiteId(0), 75, 0.0, 0.0);
-        s.record(SiteId(0), SiteId(1), 25, 0.0, 0.0);
+        s.record(SiteId(0), SiteId(0), 75, 0.0, 0.0, 1);
+        s.record(SiteId(0), SiteId(1), 25, 0.0, 0.0, 1);
         assert!((s.wan_fraction() - 0.25).abs() < 1e-12);
     }
 
@@ -153,9 +185,9 @@ mod tests {
     #[test]
     fn bottleneck_finds_busiest_inter_link() {
         let mut s = LinkStats::new(3);
-        s.record(SiteId(0), SiteId(0), 1, 99.0, 0.0); // intra: ignored
-        s.record(SiteId(0), SiteId(1), 1, 2.0, 0.0);
-        s.record(SiteId(1), SiteId(2), 1, 5.0, 0.0);
+        s.record(SiteId(0), SiteId(0), 1, 99.0, 0.0, 1); // intra: ignored
+        s.record(SiteId(0), SiteId(1), 1, 2.0, 0.0, 1);
+        s.record(SiteId(1), SiteId(2), 1, 5.0, 0.0, 1);
         let (f, t, b) = s.bottleneck().unwrap();
         assert_eq!((f, t), (SiteId(1), SiteId(2)));
         assert_eq!(b, 5.0);

@@ -1,0 +1,317 @@
+//! Load generator for the mapping daemon.
+//!
+//! ```text
+//! service_load [--quick] [--requests N] [--clients C] [--workers W]
+//!              [--ranks R] [--seed S] [--out FILE]
+//! ```
+//!
+//! Starts a daemon on an ephemeral loopback port, then drives three
+//! phases of `N` concurrent requests each over real TCP connections:
+//!
+//! 1. **miss** — every request carries a distinct calibration seed, so
+//!    each one runs the full campaign + solve;
+//! 2. **problem-hit** — one shared topology, distinct solver seeds, so
+//!    the calibration/problem tier is reused and only the solve runs;
+//! 3. **result-hit** — identical requests, served from the result
+//!    cache without solving.
+//!
+//! Records throughput and p50/p95/p99 client-observed latency per
+//! phase to `BENCH_service.json`, including the result-hit vs miss
+//! median speedup (the acceptance target is >= 5x).
+
+use commgraph::apps::AppKind;
+use geomap_service::json::{obj, Json};
+use geomap_service::proto::{CacheTier, Response};
+use geomap_service::{MapRequest, MappingServer, MappingService, ServiceClient, ServiceConfig};
+use geonet::{presets, InstanceType};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Config {
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    ranks: usize,
+    seed: u64,
+    quick: bool,
+    out: String,
+}
+
+struct PhaseStats {
+    name: &'static str,
+    wall_s: f64,
+    latencies_ms: Vec<f64>,
+    tiers: BTreeMap<&'static str, usize>,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+/// Fire `requests` map requests from `clients` concurrent connections;
+/// `make` builds request `i`.
+fn run_phase(
+    name: &'static str,
+    addr: &str,
+    cfg: &Config,
+    make: impl Fn(usize) -> MapRequest + Send + Sync,
+) -> Result<PhaseStats, String> {
+    let make = &make;
+    let started = Instant::now();
+    let results: Vec<Result<(f64, CacheTier), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut client = ServiceClient::connect(addr, Some(Duration::from_secs(120)))?;
+                    for i in (c..cfg.requests).step_by(cfg.clients) {
+                        let t0 = Instant::now();
+                        let resp = client.map(make(i))?;
+                        let ms = t0.elapsed().as_secs_f64() * 1e3;
+                        match resp {
+                            Response::Map(m) => out.push(Ok((ms, m.cached))),
+                            other => return Err(format!("{name} request {i}: {other:?}")),
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join().expect("client thread") {
+                Ok(v) => v,
+                Err(e) => vec![Err(e)],
+            })
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut latencies_ms = Vec::with_capacity(cfg.requests);
+    let mut tiers: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for r in results {
+        let (ms, tier) = r?;
+        latencies_ms.push(ms);
+        *tiers.entry(tier.label()).or_insert(0) += 1;
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Ok(PhaseStats {
+        name,
+        wall_s,
+        latencies_ms,
+        tiers,
+    })
+}
+
+fn phase_json(p: &PhaseStats) -> Json {
+    let n = p.latencies_ms.len();
+    obj(vec![
+        ("name", Json::Str(p.name.into())),
+        ("requests", Json::Num(n as f64)),
+        ("wall_s", Json::Num(p.wall_s)),
+        ("throughput_rps", Json::Num(n as f64 / p.wall_s)),
+        (
+            "mean_ms",
+            Json::Num(p.latencies_ms.iter().sum::<f64>() / n as f64),
+        ),
+        ("p50_ms", Json::Num(percentile(&p.latencies_ms, 0.50))),
+        ("p95_ms", Json::Num(percentile(&p.latencies_ms, 0.95))),
+        ("p99_ms", Json::Num(percentile(&p.latencies_ms, 0.99))),
+        (
+            "tiers",
+            Json::Obj(
+                p.tiers
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn parse_args() -> Result<Config, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config {
+        requests: 64,
+        clients: 8,
+        workers: 4,
+        ranks: 16,
+        seed: 0x5C17,
+        quick: false,
+        out: "BENCH_service.json".into(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--quick" => cfg.quick = true,
+            "--requests" => cfg.requests = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--clients" => cfg.clients = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => cfg.workers = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--ranks" => cfg.ranks = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => cfg.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => cfg.out = value(&mut i)?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    if cfg.quick {
+        cfg.requests = cfg.requests.min(16);
+    }
+    cfg.clients = cfg.clients.clamp(1, cfg.requests.max(1));
+    Ok(cfg)
+}
+
+fn run() -> Result<String, String> {
+    let cfg = parse_args()?;
+    let network = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 42);
+    let pattern_csv = Arc::new(
+        AppKind::parse("sp")
+            .expect("sp exists")
+            .workload(cfg.ranks)
+            .pattern()
+            .to_csv(),
+    );
+    let service = MappingService::new(
+        network,
+        ServiceConfig {
+            workers: cfg.workers,
+            // Phase 1 needs every distinct topology to stay resident.
+            problem_cache_capacity: cfg.requests + 1,
+            result_cache_capacity: cfg.requests + 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let server = MappingServer::bind(service, "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().to_string();
+    eprintln!(
+        "daemon on {addr}: {} requests x 3 phases, {} clients, {} workers, {} ranks",
+        cfg.requests, cfg.clients, cfg.workers, cfg.ranks
+    );
+
+    let base = |i: usize, id: &str| MapRequest {
+        seed: cfg.seed,
+        ..MapRequest::new(format!("{id}-{i}"), pattern_csv.as_str())
+    };
+
+    // Phase 1 — full misses: a fresh calibration campaign per request.
+    let miss = run_phase("miss", &addr, &cfg, |i| MapRequest {
+        calibration: geomap_service::proto::CalibSpec {
+            seed: 0xBEEF + i as u64,
+            ..Default::default()
+        },
+        ..base(i, "miss")
+    })?;
+    eprintln!(
+        "  miss:        p50 {:.2} ms",
+        percentile(&miss.latencies_ms, 0.5)
+    );
+
+    // Phase 2 — problem-tier hits: shared topology (warmed first so
+    // the single miss doesn't pollute the stats), distinct solve seeds.
+    {
+        let mut warm = ServiceClient::connect(&addr, Some(Duration::from_secs(120)))?;
+        warm.map(base(usize::MAX, "warm-problem"))?;
+    }
+    let problem = run_phase("problem_hit", &addr, &cfg, |i| MapRequest {
+        seed: cfg.seed + 1 + i as u64,
+        ..base(i, "problem")
+    })?;
+    eprintln!(
+        "  problem hit: p50 {:.2} ms",
+        percentile(&problem.latencies_ms, 0.5)
+    );
+
+    // Phase 3 — result-tier hits: identical requests (the warm request
+    // above already solved this exact problem/seed pair).
+    let result = run_phase("result_hit", &addr, &cfg, |i| base(i, "result"))?;
+    eprintln!(
+        "  result hit:  p50 {:.2} ms",
+        percentile(&result.latencies_ms, 0.5)
+    );
+
+    let mut shutdown = ServiceClient::connect(&addr, Some(Duration::from_secs(10)))?;
+    shutdown.shutdown("load-gen")?;
+    let stats = server.service().stats("load-gen");
+    server.join();
+
+    let miss_p50 = percentile(&miss.latencies_ms, 0.5);
+    let result_p50 = percentile(&result.latencies_ms, 0.5);
+    let problem_p50 = percentile(&problem.latencies_ms, 0.5);
+    let speedup = miss_p50 / result_p50;
+    let doc = obj(vec![
+        (
+            "config",
+            obj(vec![
+                ("requests_per_phase", Json::Num(cfg.requests as f64)),
+                ("clients", Json::Num(cfg.clients as f64)),
+                ("workers", Json::Num(cfg.workers as f64)),
+                ("ranks", Json::Num(cfg.ranks as f64)),
+                ("seed", Json::Num(cfg.seed as f64)),
+                ("quick", Json::Bool(cfg.quick)),
+            ]),
+        ),
+        (
+            "phases",
+            Json::Arr(vec![
+                phase_json(&miss),
+                phase_json(&problem),
+                phase_json(&result),
+            ]),
+        ),
+        (
+            "speedup",
+            obj(vec![
+                ("result_hit_vs_miss_p50", Json::Num(speedup)),
+                ("problem_hit_vs_miss_p50", Json::Num(miss_p50 / problem_p50)),
+                ("meets_5x_target", Json::Bool(speedup >= 5.0)),
+            ]),
+        ),
+        (
+            "server_totals",
+            obj(vec![
+                ("served", Json::Num(stats.served as f64)),
+                ("result_hits", Json::Num(stats.result_hits as f64)),
+                ("problem_hits", Json::Num(stats.problem_hits as f64)),
+                ("misses", Json::Num(stats.misses as f64)),
+                ("rejected", Json::Num(stats.rejected as f64)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&cfg.out, format!("{}\n", doc.emit()))
+        .map_err(|e| format!("cannot write {:?}: {e}", cfg.out))?;
+
+    if speedup < 5.0 {
+        return Err(format!(
+            "cache-hit speedup {speedup:.1}x below the 5x target (miss p50 {miss_p50:.2} ms, result-hit p50 {result_p50:.2} ms)"
+        ));
+    }
+    Ok(format!(
+        "wrote {}: miss p50 {miss_p50:.2} ms, problem-hit p50 {problem_p50:.2} ms, result-hit p50 {result_p50:.2} ms ({speedup:.1}x)",
+        cfg.out
+    ))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("service_load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,7 +10,9 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 2] = ["heatmap", "simulate"];
+const SWITCHES: [&str; 6] = [
+    "heatmap", "simulate", "reserve", "stats", "shutdown", "no-cache",
+];
 
 impl Args {
     /// Parse an argument list of the form `--key value ... --switch ...`.

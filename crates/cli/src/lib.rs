@@ -24,6 +24,7 @@
 pub mod args;
 pub mod commands;
 pub mod files;
+pub mod service_cmd;
 
 use args::Args;
 
@@ -41,6 +42,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "map" => commands::map(&args),
         "trace" => commands::trace(&args),
         "evaluate" => commands::evaluate(&args),
+        "serve" => service_cmd::serve(&args),
+        "request" => service_cmd::request(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -73,6 +76,20 @@ commands:
   evaluate  --network FILE --pattern FILE --mapping FILE [--ranks N]
             [--simulate --app NAME] [--baseline-samples K] [--seed S]
             report Eq.3 cost (and simulated makespan) vs random baseline
+  serve     --network FILE [--addr HOST:PORT] [--addr-file FILE]
+            [--workers N] [--queue N] [--problem-cache N] [--result-cache N]
+            [--deadline-ms T] [--lease-ttl-ms T] [--metrics FILE] [--trace FILE]
+            run the mapping daemon (JSON-lines over TCP) until a client
+            sends shutdown; drains the queue, then exits 0
+  request   --addr HOST:PORT (--pattern FILE [--ranks N] [--constraints FILE]
+            [--algorithm A] [--seed S] [--kappa K] [--samples K]
+            [--calib-days D] [--calib-probes P] [--calib-noise CV]
+            [--calib-seed S] [--deadline-ms T] [--reserve] [--lease-ttl-ms T]
+            [--no-cache] [--out FILE]
+            | --stats | --shutdown | --release LEASE)
+            [--id ID] [--timeout-ms T]
+            send one request to a running daemon; prints the raw JSON
+            response line, exits non-zero on any rejection
 
 file formats (all CSV):
   network:     from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps

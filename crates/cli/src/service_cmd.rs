@@ -1,0 +1,278 @@
+//! The `geomap serve` / `geomap request` subcommands: the daemon
+//! front-end and its line-mode client.
+//!
+//! `serve` blocks until a `shutdown` request arrives over the wire
+//! (graceful drain), then returns a one-paragraph summary — so a CI
+//! job can start it in the background, point clients at the port from
+//! `--addr-file`, and assert a clean zero exit after shutdown.
+//!
+//! `request` prints the server's raw response JSON line to stdout and
+//! exits non-zero with a one-line diagnostic whenever anything goes
+//! wrong: unreachable address, malformed response JSON, or a rejection
+//! (`over_capacity`, `bad_request`, ...) from the daemon.
+
+use crate::args::Args;
+use crate::files;
+use geomap_core::{JsonLinesSink, Metrics, StreamingSink, Trace};
+use geomap_service::proto::{CalibSpec, Response};
+use geomap_service::{
+    MapRequest, MappingServer, MappingService, Request, ServiceClient, ServiceConfig,
+};
+use geonet::io as netio;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `geomap serve` — run the mapping daemon until shutdown.
+pub fn serve(args: &Args) -> Result<String, String> {
+    let network = netio::from_csv(&files::read(args.required("network")?)?)?;
+    let defaults = ServiceConfig::default();
+    let metrics = match args.optional("metrics") {
+        None => Metrics::off(),
+        Some(path) => Metrics::new(Arc::new(
+            JsonLinesSink::create(std::path::Path::new(path))
+                .map_err(|e| format!("cannot create metrics file {path:?}: {e}"))?,
+        )),
+    };
+    let trace = match args.optional("trace") {
+        None => Trace::off(),
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
+            Trace::new(Arc::new(StreamingSink::from_writer(
+                std::io::BufWriter::new(file),
+            )))
+        }
+    };
+    let config = ServiceConfig {
+        workers: args.parsed_or("workers", defaults.workers)?,
+        queue_capacity: args.parsed_or("queue", defaults.queue_capacity)?,
+        problem_cache_capacity: args.parsed_or("problem-cache", defaults.problem_cache_capacity)?,
+        result_cache_capacity: args.parsed_or("result-cache", defaults.result_cache_capacity)?,
+        default_deadline: args
+            .optional("deadline-ms")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("--deadline-ms {v:?}: {e}"))
+            })
+            .transpose()?
+            .map(Duration::from_millis),
+        default_lease_ttl: args
+            .optional("lease-ttl-ms")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("--lease-ttl-ms {v:?}: {e}"))
+            })
+            .transpose()?
+            .map(Duration::from_millis),
+        metrics,
+        trace,
+    };
+    let summary = network.summary();
+    let service = MappingService::new(network, config);
+    let addr = args.optional("addr").unwrap_or("127.0.0.1:0");
+    let server =
+        MappingServer::bind(service, addr).map_err(|e| format!("cannot bind {addr:?}: {e}"))?;
+    let bound = server.local_addr();
+    if let Some(path) = args.optional("addr-file") {
+        files::write(path, &format!("{bound}\n"))?;
+    }
+
+    // Block until a client asks for graceful shutdown, then drain.
+    while !server.service().is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = server.service().stats("serve-exit");
+    server.join();
+    Ok(format!(
+        "served {} on {bound} until shutdown: {} mapped ({} result hits, {} problem hits, {} misses), {} rejected, {} leases still active\n",
+        summary,
+        stats.served,
+        stats.result_hits,
+        stats.problem_hits,
+        stats.misses,
+        stats.rejected,
+        stats.active_leases,
+    ))
+}
+
+/// `geomap request` — send one request to a running daemon.
+pub fn request(args: &Args) -> Result<String, String> {
+    let addr = args.required("addr")?;
+    let timeout = Duration::from_millis(args.parsed_or("timeout-ms", 60_000u64)?);
+    let id = args.optional("id").unwrap_or("cli").to_string();
+
+    let request = if args.switch("stats") {
+        Request::Stats { id }
+    } else if args.switch("shutdown") {
+        Request::Shutdown { id }
+    } else if let Some(lease) = args.optional("release") {
+        Request::Release {
+            id,
+            lease: lease
+                .parse::<u64>()
+                .map_err(|e| format!("--release {lease:?}: {e}"))?,
+        }
+    } else {
+        let pattern_csv = files::read(args.required("pattern")?)?;
+        let constraints_csv = args.optional("constraints").map(files::read).transpose()?;
+        let defaults = CalibSpec::default();
+        Request::Map(MapRequest {
+            ranks: args
+                .optional("ranks")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|e| format!("--ranks {v:?}: {e}"))
+                })
+                .transpose()?,
+            constraints_csv,
+            algorithm: args.optional("algorithm").unwrap_or("geo").to_string(),
+            seed: args.parsed_or("seed", 0x5C17u64)?,
+            kappa: args.parsed_or("kappa", 4usize)?,
+            samples: args.parsed_or("samples", 10_000usize)?,
+            calibration: CalibSpec {
+                days: args.parsed_or("calib-days", defaults.days)?,
+                probes_per_day: args.parsed_or("calib-probes", defaults.probes_per_day)?,
+                noise_cv: args.parsed_or("calib-noise", defaults.noise_cv)?,
+                seed: args.parsed_or("calib-seed", defaults.seed)?,
+            },
+            deadline_ms: args
+                .optional("deadline-ms")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|e| format!("--deadline-ms {v:?}: {e}"))
+                })
+                .transpose()?,
+            reserve: args.switch("reserve"),
+            lease_ttl_ms: args
+                .optional("lease-ttl-ms")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|e| format!("--lease-ttl-ms {v:?}: {e}"))
+                })
+                .transpose()?,
+            use_result_cache: !args.switch("no-cache"),
+            ..MapRequest::new(id, pattern_csv)
+        })
+    };
+
+    let mut client = ServiceClient::connect(addr, Some(timeout))?;
+    let response = client.send(&request)?;
+    let line = response.to_line();
+    match &response {
+        Response::Error(e) => Err(format!(
+            "request {:?} rejected: {}: {}",
+            e.id,
+            e.code.label(),
+            e.message
+        )),
+        Response::Map(m) => {
+            if let Some(path) = args.optional("out") {
+                let mapping = geomap_core::Mapping::from(m.mapping.clone());
+                files::write(path, &files::mapping_to_csv(&mapping))?;
+            }
+            Ok(format!("{line}\n"))
+        }
+        _ => Ok(format!("{line}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn argv(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("geomap-service-cmd-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn request_to_unreachable_address_fails_with_one_line() {
+        // TEST-NET-1 is guaranteed unroutable; the refusal must be a
+        // single-line diagnostic, not a hang or a panic.
+        let pat = tmp("unreachable-pattern.csv");
+        files::write(&pat, "src,dst,bytes,msgs\n0,1,10,1\n").unwrap();
+        let err = request(&argv(&format!(
+            "--addr 127.0.0.1:9 --timeout-ms 300 --pattern {pat}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("connect"), "diagnostic was {err:?}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err:?}");
+    }
+
+    #[test]
+    fn serve_requires_a_network() {
+        assert!(serve(&argv("")).unwrap_err().contains("--network"));
+    }
+
+    #[test]
+    fn request_requires_addr_and_pattern() {
+        assert!(request(&argv("")).unwrap_err().contains("--addr"));
+        assert!(request(&argv("--addr 127.0.0.1:1"))
+            .unwrap_err()
+            .contains("--pattern"));
+    }
+
+    #[test]
+    fn serve_then_request_round_trip_on_loopback() {
+        let net_path = tmp("serve-net.csv");
+        let addr_path = tmp("serve-addr.txt");
+        let pat_path = tmp("serve-pattern.csv");
+        let map_path = tmp("serve-mapping.csv");
+        // A leftover address file from a previous run would point at a
+        // dead port; the daemon must be the one to (re)create it.
+        let _ = std::fs::remove_file(&addr_path);
+        crate::commands::network(&argv(&format!("--provider ec2 --nodes 4 --out {net_path}")))
+            .unwrap();
+        crate::commands::profile(&argv(&format!("--app sp --ranks 16 --out {pat_path}"))).unwrap();
+
+        let serve_args = argv(&format!(
+            "--network {net_path} --addr 127.0.0.1:0 --addr-file {addr_path} --workers 2"
+        ));
+        let server = std::thread::spawn(move || serve(&serve_args));
+
+        // Wait for the daemon to publish its port.
+        let addr = {
+            let mut tries = 0;
+            loop {
+                match std::fs::read_to_string(&addr_path) {
+                    Ok(s) if s.trim().contains(':') => break s.trim().to_string(),
+                    _ if tries > 100 => panic!("daemon never published its address"),
+                    _ => {
+                        tries += 1;
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+        };
+
+        let out = request(&argv(&format!(
+            "--addr {addr} --pattern {pat_path} --out {map_path}"
+        )))
+        .unwrap();
+        assert!(out.contains("\"kind\":\"map_response\""), "got {out}");
+        assert!(std::fs::read_to_string(&map_path)
+            .unwrap()
+            .starts_with("process,site"));
+
+        // A malformed pattern is a non-zero one-line rejection.
+        let bad_pat = tmp("serve-bad-pattern.csv");
+        files::write(&bad_pat, "not,a,pattern\n").unwrap();
+        let err = request(&argv(&format!("--addr {addr} --pattern {bad_pat}"))).unwrap_err();
+        assert!(err.contains("bad_request"), "got {err:?}");
+        assert!(!err.contains('\n'));
+
+        let stats_out = request(&argv(&format!("--addr {addr} --stats"))).unwrap();
+        assert!(stats_out.contains("\"served\":1"), "got {stats_out}");
+
+        let bye = request(&argv(&format!("--addr {addr} --shutdown"))).unwrap();
+        assert!(bye.contains("\"kind\":\"shutdown_response\""), "got {bye}");
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("until shutdown"), "got {summary}");
+    }
+}

@@ -2,10 +2,11 @@
 
 use crate::problem::MappingProblem;
 use geonet::SiteId;
+use serde::{Deserialize, Serialize};
 
 /// A process→site assignment: element `i` is the site process `i` runs
 /// in (the paper's `P`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mapping {
     assignment: Vec<SiteId>,
 }

@@ -17,6 +17,7 @@ use crate::problem::MappingProblem;
 use crate::Mapper;
 use commgraph::{CommPattern, Program};
 use geonet::{CalibrationConfig, CalibrationReport, Calibrator, SiteNetwork};
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Configuration of the full pipeline.
@@ -50,7 +51,12 @@ impl Default for PipelineConfig {
 }
 
 /// Everything the pipeline produced.
-#[derive(Debug, Clone)]
+///
+/// Declares the workspace's serde markers: the service crate's `wire`
+/// module carries the actual JSON encoding, with the schema-stability
+/// contract (serialize → deserialize → bit-identical Eq. 3 cost)
+/// enforced by its round-trip tests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineResult {
     /// The profiled communication pattern.
     pub pattern: CommPattern,

@@ -14,6 +14,7 @@ use crate::network::SiteNetwork;
 use crate::site::SiteId;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Default large-message size the paper derives bandwidth from (8 MB).
 pub const BANDWIDTH_PROBE_BYTES: u64 = 8_000_000;
@@ -55,7 +56,7 @@ impl Default for CalibrationConfig {
 }
 
 /// Outcome of a calibration campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CalibrationReport {
     /// The estimated network (sites copied from the ground truth, `LT`/`BT`
     /// from measurements). This is what the optimizer sees.

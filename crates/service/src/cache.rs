@@ -1,0 +1,154 @@
+//! Bounded, thread-safe caches keyed by content fingerprints.
+//!
+//! The daemon keeps two tiers (see [`crate::service`]):
+//!
+//! * the **problem cache** — calibration report + assembled
+//!   [`geomap_core::MappingProblem`] per `(network, calibration,
+//!   pattern, constraints)` fingerprint, so repeated requests against
+//!   the same topology skip the probing campaign, the partner-list
+//!   construction and the downstream `CostTables::build`;
+//! * the **result cache** — the solved mapping per `(problem,
+//!   algorithm, seed)` fingerprint, so identical requests skip the
+//!   solve entirely.
+//!
+//! Both are exact-key LRU maps: eviction only bounds memory, never
+//! changes an answer (the fingerprint pins all inputs, and solvers are
+//! deterministic per seed, so a stale entry cannot exist).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A bounded LRU map from fingerprint to shared value.
+#[derive(Debug)]
+pub struct FingerprintCache<V> {
+    inner: Mutex<Lru<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Lru<V> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, (V, u64)>,
+}
+
+impl<V: Clone> FingerprintCache<V> {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Lru {
+                capacity,
+                tick: 0,
+                entries: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let mut lru = self.inner.lock().expect("cache lock");
+        lru.tick += 1;
+        let tick = lru.tick;
+        match lru.entries.get_mut(&key) {
+            Some((v, stamp)) => {
+                *stamp = tick;
+                let v = v.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert `key → value`, evicting the least-recently-used entry
+    /// when full. Inserting an existing key refreshes it.
+    pub fn insert(&self, key: u64, value: V) {
+        let mut lru = self.inner.lock().expect("cache lock");
+        if lru.capacity == 0 {
+            return;
+        }
+        lru.tick += 1;
+        let tick = lru.tick;
+        lru.entries.insert(key, (value, tick));
+        if lru.entries.len() > lru.capacity {
+            if let Some(&oldest) = lru
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+            {
+                lru.entries.remove(&oldest);
+            }
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_are_counted() {
+        let c = FingerprintCache::new(4);
+        assert_eq!(c.get(1), None);
+        c.insert(1, "a");
+        assert_eq!(c.get(1), Some("a"));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_oldest_untouched_entry() {
+        let c = FingerprintCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), Some("a")); // refresh 1 → 2 is now oldest
+        c.insert(3, "c");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some("a"));
+        assert_eq!(c.get(3), Some("c"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = FingerprintCache::new(0);
+        c.insert(1, "a");
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_growing() {
+        let c = FingerprintCache::new(2);
+        c.insert(1, "a");
+        c.insert(1, "a2");
+        c.insert(2, "b");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Some("a2"));
+    }
+}

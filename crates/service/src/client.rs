@@ -1,0 +1,93 @@
+//! A blocking JSON-lines client for the daemon.
+//!
+//! One request per call, one connection per client; the protocol
+//! allows pipelining, so a client can issue several requests over its
+//! lifetime. Everything the CLI's `geomap request` subcommand and the
+//! bench load generator need, with string errors that read well on one
+//! diagnostic line.
+
+use crate::proto::{MapRequest, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client.
+#[derive(Debug)]
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connect to `addr` (host:port). `timeout` bounds the connection
+    /// attempt and every subsequent read/write (`None`: OS defaults).
+    pub fn connect(addr: &str, timeout: Option<Duration>) -> Result<Self, String> {
+        let resolved: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve {addr:?}: {e}"))?
+            .collect();
+        let mut last_err = format!("{addr:?} resolved to no addresses");
+        for candidate in resolved {
+            let attempt = match timeout {
+                Some(t) => TcpStream::connect_timeout(&candidate, t),
+                None => TcpStream::connect(candidate),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(timeout)
+                        .and_then(|()| stream.set_write_timeout(timeout))
+                        .map_err(|e| format!("cannot configure socket: {e}"))?;
+                    let writer = stream
+                        .try_clone()
+                        .map_err(|e| format!("cannot clone socket: {e}"))?;
+                    return Ok(Self {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) => last_err = format!("cannot connect to {candidate}: {e}"),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Send one request and wait for its response line.
+    pub fn send(&mut self, request: &Request) -> Result<Response, String> {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err("server closed the connection without responding".into()),
+            Ok(_) => Response::from_line(&reply),
+            Err(e) => Err(format!("cannot read response: {e}")),
+        }
+    }
+
+    /// Shorthand: send a `map` request.
+    pub fn map(&mut self, request: MapRequest) -> Result<Response, String> {
+        self.send(&Request::Map(request))
+    }
+
+    /// Shorthand: release a lease.
+    pub fn release(&mut self, id: &str, lease: u64) -> Result<Response, String> {
+        self.send(&Request::Release {
+            id: id.to_string(),
+            lease,
+        })
+    }
+
+    /// Shorthand: fetch server counters.
+    pub fn stats(&mut self, id: &str) -> Result<Response, String> {
+        self.send(&Request::Stats { id: id.to_string() })
+    }
+
+    /// Shorthand: ask the daemon to drain and exit.
+    pub fn shutdown(&mut self, id: &str) -> Result<Response, String> {
+        self.send(&Request::Shutdown { id: id.to_string() })
+    }
+}

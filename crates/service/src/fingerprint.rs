@@ -1,0 +1,102 @@
+//! Stable fingerprints for cache keys.
+//!
+//! The service caches calibrations, prepared problems and solved
+//! results keyed by *content*, not by request identity: two requests
+//! describing the same network, communication graph and solver
+//! configuration must collide on the same key regardless of which
+//! connection submitted them. `std::collections::hash_map::DefaultHasher`
+//! is documented to be allowed to change between releases, so the keys
+//! use a fixed FNV-1a 64-bit hash over canonical byte encodings instead
+//! — stable across runs, platforms and toolchains (which also makes the
+//! cache-hit assertions in CI meaningful).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incrementally-fed FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Feed raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feed a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// cannot collide.
+    pub fn str(self, s: &str) -> Self {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// Feed a `u64` as little-endian bytes.
+    pub fn u64(self, x: u64) -> Self {
+        self.bytes(&x.to_le_bytes())
+    }
+
+    /// Feed an `f64` by bit pattern (distinguishes `-0.0` from `0.0`,
+    /// which is fine for keys: they describe different inputs).
+    pub fn f64(self, x: f64) -> Self {
+        self.u64(x.to_bits())
+    }
+
+    /// The 64-bit digest.
+    pub fn finish(self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(Fingerprint::new().finish(), 0xcbf29ce484222325);
+        assert_eq!(Fingerprint::new().bytes(b"a").finish(), 0xaf63dc4c8601ec8c);
+        assert_eq!(
+            Fingerprint::new().bytes(b"foobar").finish(),
+            0x85944171f73967e8
+        );
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let ab_c = Fingerprint::new().str("ab").str("c").finish();
+        let a_bc = Fingerprint::new().str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let xy = Fingerprint::new().u64(1).u64(2).finish();
+        let yx = Fingerprint::new().u64(2).u64(1).finish();
+        assert_ne!(xy, yx);
+    }
+
+    #[test]
+    fn floats_hash_by_bits() {
+        let a = Fingerprint::new().f64(0.1).finish();
+        let b = Fingerprint::new().f64(0.1 + f64::EPSILON).finish();
+        assert_ne!(a, b);
+        assert_eq!(a, Fingerprint::new().f64(0.1).finish());
+    }
+}

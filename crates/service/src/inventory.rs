@@ -1,0 +1,275 @@
+//! The cluster inventory: free nodes per site, decremented on
+//! placement, returned on explicit teardown or lease expiry.
+//!
+//! This is the state a one-shot batch run never needed: the daemon
+//! fronts a real cluster, so concurrent mapping requests that *reserve*
+//! their placement must never oversubscribe a site. All transitions
+//! happen under one mutex and maintain the conservation invariant
+//!
+//! ```text
+//! free[j] + Σ_{active leases} counts[j] == capacity[j]   for every site j
+//! ```
+//!
+//! checked in debug builds on every operation and by the stress test in
+//! `tests/inventory_stress.rs`. Free counts are `usize` and every
+//! reservation checks `free[j] >= counts[j]` for all sites before
+//! decrementing any of them, so a count can never go negative and a
+//! partially-applied reservation is impossible.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Why a reservation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsufficientNodes {
+    /// First site that could not fit its share.
+    pub site: usize,
+    /// Nodes the placement wanted there.
+    pub wanted: usize,
+    /// Nodes actually free there.
+    pub free: usize,
+}
+
+impl std::fmt::Display for InsufficientNodes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "site {} has {} free nodes, placement needs {}",
+            self.site, self.free, self.wanted
+        )
+    }
+}
+
+/// A granted reservation.
+#[derive(Debug, Clone)]
+struct Lease {
+    counts: Vec<usize>,
+    expires: Option<Instant>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: Vec<usize>,
+    free: Vec<usize>,
+    leases: HashMap<u64, Lease>,
+    next_lease: u64,
+}
+
+impl Inner {
+    fn expire(&mut self, now: Instant) {
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.expires.is_some_and(|t| t <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            let lease = self.leases.remove(&id).expect("lease listed above");
+            for (f, c) in self.free.iter_mut().zip(&lease.counts) {
+                *f += c;
+            }
+        }
+        self.check();
+    }
+
+    fn check(&self) {
+        #[cfg(debug_assertions)]
+        {
+            for j in 0..self.capacity.len() {
+                let leased: usize = self.leases.values().map(|l| l.counts[j]).sum();
+                debug_assert_eq!(
+                    self.free[j] + leased,
+                    self.capacity[j],
+                    "inventory conservation broken at site {j}"
+                );
+            }
+        }
+    }
+}
+
+/// Thread-safe free-node accounting for the cluster a daemon fronts.
+#[derive(Debug)]
+pub struct ClusterInventory {
+    inner: Mutex<Inner>,
+}
+
+impl ClusterInventory {
+    /// An inventory with every node free.
+    pub fn new(capacities: Vec<usize>) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                free: capacities.clone(),
+                capacity: capacities,
+                leases: HashMap::new(),
+                next_lease: 1,
+            }),
+        }
+    }
+
+    /// Atomically reserve `counts[j]` nodes on every site `j`, returning
+    /// a lease id. Nothing is decremented unless *every* site fits.
+    /// `ttl = None` leases never expire (explicit teardown only).
+    pub fn reserve(
+        &self,
+        counts: &[usize],
+        ttl: Option<Duration>,
+    ) -> Result<u64, InsufficientNodes> {
+        self.reserve_at(counts, ttl, Instant::now())
+    }
+
+    /// [`ClusterInventory::reserve`] with an explicit clock reading
+    /// (tests drive expiry deterministically through this).
+    pub fn reserve_at(
+        &self,
+        counts: &[usize],
+        ttl: Option<Duration>,
+        now: Instant,
+    ) -> Result<u64, InsufficientNodes> {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        assert_eq!(
+            counts.len(),
+            inner.capacity.len(),
+            "placement covers {} sites, cluster has {}",
+            counts.len(),
+            inner.capacity.len()
+        );
+        inner.expire(now);
+        for (site, (&wanted, &free)) in counts.iter().zip(&inner.free).enumerate() {
+            if wanted > free {
+                return Err(InsufficientNodes { site, wanted, free });
+            }
+        }
+        for (f, c) in inner.free.iter_mut().zip(counts) {
+            *f -= c;
+        }
+        let id = inner.next_lease;
+        inner.next_lease += 1;
+        inner.leases.insert(
+            id,
+            Lease {
+                counts: counts.to_vec(),
+                expires: ttl.map(|t| now + t),
+            },
+        );
+        inner.check();
+        Ok(id)
+    }
+
+    /// Tear down a lease, returning its per-site node counts.
+    /// Unknown (or already-expired) leases are an error.
+    pub fn release(&self, lease: u64) -> Result<Vec<usize>, String> {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        inner.expire(Instant::now());
+        let Some(l) = inner.leases.remove(&lease) else {
+            return Err(format!("unknown lease {lease} (expired or never granted)"));
+        };
+        for (f, c) in inner.free.iter_mut().zip(&l.counts) {
+            *f += c;
+        }
+        inner.check();
+        Ok(l.counts)
+    }
+
+    /// Current free nodes per site (after expiring stale leases).
+    pub fn free_nodes(&self) -> Vec<usize> {
+        self.free_nodes_at(Instant::now())
+    }
+
+    /// [`ClusterInventory::free_nodes`] with an explicit clock reading.
+    pub fn free_nodes_at(&self, now: Instant) -> Vec<usize> {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        inner.expire(now);
+        inner.free.clone()
+    }
+
+    /// The configured capacities (immutable).
+    pub fn capacities(&self) -> Vec<usize> {
+        self.inner.lock().expect("inventory lock").capacity.clone()
+    }
+
+    /// Number of live leases (after expiring stale ones).
+    pub fn active_leases(&self) -> usize {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        inner.expire(Instant::now());
+        inner.leases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_then_release_restores_free_counts() {
+        let inv = ClusterInventory::new(vec![4, 4]);
+        let lease = inv.reserve(&[2, 3], None).unwrap();
+        assert_eq!(inv.free_nodes(), vec![2, 1]);
+        assert_eq!(inv.active_leases(), 1);
+        assert_eq!(inv.release(lease).unwrap(), vec![2, 3]);
+        assert_eq!(inv.free_nodes(), vec![4, 4]);
+        assert_eq!(inv.active_leases(), 0);
+    }
+
+    #[test]
+    fn oversubscription_is_refused_atomically() {
+        let inv = ClusterInventory::new(vec![4, 4]);
+        inv.reserve(&[4, 0], None).unwrap();
+        // Site 1 would fit, site 0 would not: nothing may be taken.
+        let err = inv.reserve(&[1, 2], None).unwrap_err();
+        assert_eq!(err.site, 0);
+        assert_eq!(err.free, 0);
+        assert_eq!(err.wanted, 1);
+        assert_eq!(inv.free_nodes(), vec![0, 4]);
+        assert!(err.to_string().contains("site 0"));
+    }
+
+    #[test]
+    fn release_of_unknown_lease_fails() {
+        let inv = ClusterInventory::new(vec![2]);
+        assert!(inv.release(99).unwrap_err().contains("unknown lease"));
+    }
+
+    #[test]
+    fn leases_expire_and_return_nodes() {
+        let inv = ClusterInventory::new(vec![4]);
+        let t0 = Instant::now();
+        inv.reserve_at(&[3], Some(Duration::from_secs(10)), t0)
+            .unwrap();
+        assert_eq!(inv.free_nodes_at(t0 + Duration::from_secs(5)), vec![1]);
+        assert_eq!(inv.free_nodes_at(t0 + Duration::from_secs(10)), vec![4]);
+        assert_eq!(inv.active_leases(), 0);
+    }
+
+    #[test]
+    fn expired_lease_cannot_be_released() {
+        let inv = ClusterInventory::new(vec![2]);
+        let t0 = Instant::now();
+        let lease = inv
+            .reserve_at(&[1], Some(Duration::from_nanos(1)), t0)
+            .unwrap();
+        // Force expiry, then the explicit teardown must report unknown.
+        assert_eq!(inv.free_nodes_at(t0 + Duration::from_secs(1)), vec![2]);
+        assert!(inv.release(lease).is_err());
+    }
+
+    #[test]
+    fn expiry_unblocks_a_waiting_reservation() {
+        let inv = ClusterInventory::new(vec![2]);
+        let t0 = Instant::now();
+        inv.reserve_at(&[2], Some(Duration::from_secs(1)), t0)
+            .unwrap();
+        assert!(inv.reserve_at(&[1], None, t0).is_err());
+        assert!(inv
+            .reserve_at(&[1], None, t0 + Duration::from_secs(2))
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "covers")]
+    fn wrong_site_count_is_a_bug() {
+        ClusterInventory::new(vec![2, 2])
+            .reserve(&[1], None)
+            .unwrap();
+    }
+}

@@ -1,0 +1,784 @@
+//! The JSON-lines wire protocol: versioned request/response schema.
+//!
+//! One request per line, one response line per request, in order, over
+//! a plain TCP stream. Every message carries the schema version `"v"`
+//! so the daemon can refuse clients from a different protocol
+//! generation instead of mis-parsing them ([`PROTOCOL_VERSION`]).
+//!
+//! The serde types ([`MapRequest`], [`MapResponse`], [`ErrorResponse`],
+//! …) derive the workspace's `serde` markers and implement the actual
+//! encoding through [`crate::json`] (the vendored serde is a
+//! marker-trait shim — see `third_party/README.md`). Bulk payloads
+//! (communication pattern, constraints) are embedded as the same CSV
+//! the `geomap` file-based commands exchange, so a request is exactly
+//! "the files, on a socket".
+
+use crate::json::{obj, Json};
+use serde::{Deserialize, Serialize};
+
+/// The wire schema generation. Bump on any incompatible change.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Calibration campaign parameters carried by a request (a subset of
+/// `geonet::CalibrationConfig`; probe sizes stay at their defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibSpec {
+    /// Simulated measurement days.
+    pub days: usize,
+    /// Probes per site pair per day.
+    pub probes_per_day: usize,
+    /// Inter-site noise CV (intra-site uses 2.5x, matching
+    /// `geomap calibrate`).
+    pub noise_cv: f64,
+    /// Campaign RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CalibSpec {
+    fn default() -> Self {
+        Self {
+            days: 3,
+            probes_per_day: 10,
+            noise_cv: 0.02,
+            seed: 0xCA11,
+        }
+    }
+}
+
+impl CalibSpec {
+    /// The full calibration config this spec denotes.
+    pub fn to_config(&self) -> geonet::CalibrationConfig {
+        geonet::CalibrationConfig {
+            days: self.days,
+            probes_per_day: self.probes_per_day,
+            inter_noise_cv: self.noise_cv,
+            intra_noise_cv: self.noise_cv * 2.5,
+            seed: self.seed,
+            ..geonet::CalibrationConfig::default()
+        }
+    }
+}
+
+/// A mapping request: solve the pipeline for an embedded communication
+/// pattern against the cluster the daemon fronts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapRequest {
+    /// Caller-chosen correlation id, echoed on the response.
+    pub id: String,
+    /// The communication pattern as `src,dst,bytes,msgs` CSV.
+    pub pattern_csv: String,
+    /// Number of processes (default: the cluster's total node count).
+    pub ranks: Option<usize>,
+    /// Optional data-movement constraints as `process,site` CSV.
+    pub constraints_csv: Option<String>,
+    /// Mapper: `geo|greedy|mpipp|random|montecarlo`.
+    pub algorithm: String,
+    /// Mapper seed.
+    pub seed: u64,
+    /// `κ` for the geo mapper's site grouping.
+    pub kappa: usize,
+    /// Sample budget for the montecarlo mapper.
+    pub samples: usize,
+    /// Calibration campaign to run (or reuse from cache).
+    pub calibration: CalibSpec,
+    /// Admission deadline: reject if still queued after this long.
+    pub deadline_ms: Option<u64>,
+    /// Reserve the mapped nodes in the cluster inventory on success.
+    pub reserve: bool,
+    /// Lease time-to-live for a reservation (`None`: server default).
+    pub lease_ttl_ms: Option<u64>,
+    /// Consult the solved-result cache (`false` forces a fresh solve —
+    /// the load generator uses this to measure the miss path).
+    pub use_result_cache: bool,
+}
+
+impl MapRequest {
+    /// A request with protocol defaults for everything but the pattern.
+    pub fn new(id: impl Into<String>, pattern_csv: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            pattern_csv: pattern_csv.into(),
+            ranks: None,
+            constraints_csv: None,
+            algorithm: "geo".into(),
+            seed: 0x5C17,
+            kappa: 4,
+            samples: 10_000,
+            calibration: CalibSpec::default(),
+            deadline_ms: None,
+            reserve: false,
+            lease_ttl_ms: None,
+            use_result_cache: true,
+        }
+    }
+}
+
+/// Every request kind a connection can submit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Solve a mapping.
+    Map(MapRequest),
+    /// Release an inventory lease (explicit teardown).
+    Release {
+        /// Correlation id.
+        id: String,
+        /// The lease to tear down.
+        lease: u64,
+    },
+    /// Read service counters and inventory state.
+    Stats {
+        /// Correlation id.
+        id: String,
+    },
+    /// Begin graceful shutdown: drain the queue, reject new work.
+    Shutdown {
+        /// Correlation id.
+        id: String,
+    },
+}
+
+/// Which cache tier satisfied a map request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheTier {
+    /// Nothing cached: calibrate, build the problem, solve.
+    Miss,
+    /// Calibration + prepared problem reused; the solve still ran.
+    Problem,
+    /// The solved mapping itself was reused.
+    Result,
+}
+
+impl CacheTier {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheTier::Miss => "miss",
+            CacheTier::Problem => "problem",
+            CacheTier::Result => "result",
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "miss" => Some(CacheTier::Miss),
+            "problem" => Some(CacheTier::Problem),
+            "result" => Some(CacheTier::Result),
+            _ => None,
+        }
+    }
+}
+
+/// A successful mapping response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// Process → site assignment.
+    pub mapping: Vec<usize>,
+    /// Eq. 3 cost under the calibrated estimate.
+    pub cost: f64,
+    /// Which cache tier answered.
+    pub cached: CacheTier,
+    /// Seconds the request waited in the admission queue.
+    pub queue_wait_s: f64,
+    /// Seconds spent in calibration + solve (0 on a result hit).
+    pub solve_s: f64,
+    /// Granted inventory lease, when `reserve` was set.
+    pub lease: Option<u64>,
+    /// Nodes the mapping uses per site.
+    pub site_counts: Vec<usize>,
+    /// Free nodes per site after this response.
+    pub free_nodes: Vec<usize>,
+}
+
+/// Service counters and inventory state.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// Map requests answered (any tier).
+    pub served: u64,
+    /// Result-cache hits.
+    pub result_hits: u64,
+    /// Problem-cache hits (calibration reused, solve ran).
+    pub problem_hits: u64,
+    /// Full misses.
+    pub misses: u64,
+    /// Requests rejected (queue full, deadline, inventory, shutdown).
+    pub rejected: u64,
+    /// Free nodes per site right now.
+    pub free_nodes: Vec<usize>,
+    /// Live (unexpired, unreleased) leases.
+    pub active_leases: u64,
+}
+
+/// A refused or failed request. `code` is stable for programmatic
+/// handling; `message` is the one-line human diagnostic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Echo of the request id (empty when the line was unparseable).
+    pub id: String,
+    /// Machine-readable reason.
+    pub code: ErrorCode,
+    /// Human-readable one-liner.
+    pub message: String,
+}
+
+/// Stable error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// Malformed JSON or invalid field values.
+    BadRequest,
+    /// The `"v"` field is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion,
+    /// Admission queue full — backpressure.
+    OverCapacity,
+    /// The request's deadline passed while it was queued.
+    DeadlineExceeded,
+    /// The inventory has too few free nodes for the placement.
+    InsufficientNodes,
+    /// `release` named a lease that does not exist (or expired).
+    UnknownLease,
+    /// The daemon is draining; no new work accepted.
+    ShuttingDown,
+    /// The solver failed (bug surface, never expected in tests).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::OverCapacity => "over_capacity",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::InsufficientNodes => "insufficient_nodes",
+            ErrorCode::UnknownLease => "unknown_lease",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn parse(s: &str) -> Option<Self> {
+        [
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::OverCapacity,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::InsufficientNodes,
+            ErrorCode::UnknownLease,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ]
+        .into_iter()
+        .find(|c| c.label() == s)
+    }
+}
+
+/// Every response kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A solved mapping.
+    Map(MapResponse),
+    /// A lease was torn down.
+    Release {
+        /// Echo of the request id.
+        id: String,
+        /// Nodes returned per site.
+        freed: Vec<usize>,
+        /// Free nodes per site after the release.
+        free_nodes: Vec<usize>,
+    },
+    /// Counters and inventory state.
+    Stats(StatsResponse),
+    /// Shutdown acknowledged; the queue will drain.
+    Shutdown {
+        /// Echo of the request id.
+        id: String,
+        /// Requests still queued at the moment of acknowledgement.
+        draining: u64,
+    },
+    /// A refusal or failure.
+    Error(ErrorResponse),
+}
+
+impl Response {
+    /// The correlation id carried by any response kind.
+    pub fn id(&self) -> &str {
+        match self {
+            Response::Map(r) => &r.id,
+            Response::Release { id, .. } => id,
+            Response::Stats(s) => &s.id,
+            Response::Shutdown { id, .. } => id,
+            Response::Error(e) => &e.id,
+        }
+    }
+
+    /// Convenience: the error payload, if this is an error.
+    pub fn as_error(&self) -> Option<&ErrorResponse> {
+        match self {
+            Response::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn opt_u64(x: Option<u64>) -> Json {
+    x.map_or(Json::Null, |v| Json::Num(v as f64))
+}
+
+fn usize_arr(xs: &[usize]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Num(x as f64)).collect())
+}
+
+impl Request {
+    /// Encode as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = ("v", Json::Num(PROTOCOL_VERSION as f64));
+        match self {
+            Request::Map(m) => obj(vec![
+                v,
+                ("kind", Json::Str("map".into())),
+                ("id", Json::Str(m.id.clone())),
+                ("pattern_csv", Json::Str(m.pattern_csv.clone())),
+                ("ranks", opt_u64(m.ranks.map(|r| r as u64))),
+                (
+                    "constraints_csv",
+                    m.constraints_csv.clone().map_or(Json::Null, Json::Str),
+                ),
+                ("algorithm", Json::Str(m.algorithm.clone())),
+                ("seed", Json::Num(m.seed as f64)),
+                ("kappa", Json::Num(m.kappa as f64)),
+                ("samples", Json::Num(m.samples as f64)),
+                (
+                    "calibration",
+                    obj(vec![
+                        ("days", Json::Num(m.calibration.days as f64)),
+                        ("probes", Json::Num(m.calibration.probes_per_day as f64)),
+                        ("noise", Json::Num(m.calibration.noise_cv)),
+                        ("seed", Json::Num(m.calibration.seed as f64)),
+                    ]),
+                ),
+                ("deadline_ms", opt_u64(m.deadline_ms)),
+                ("reserve", Json::Bool(m.reserve)),
+                ("lease_ttl_ms", opt_u64(m.lease_ttl_ms)),
+                ("cache", Json::Bool(m.use_result_cache)),
+            ]),
+            Request::Release { id, lease } => obj(vec![
+                v,
+                ("kind", Json::Str("release".into())),
+                ("id", Json::Str(id.clone())),
+                ("lease", Json::Num(*lease as f64)),
+            ]),
+            Request::Stats { id } => obj(vec![
+                v,
+                ("kind", Json::Str("stats".into())),
+                ("id", Json::Str(id.clone())),
+            ]),
+            Request::Shutdown { id } => obj(vec![
+                v,
+                ("kind", Json::Str("shutdown".into())),
+                ("id", Json::Str(id.clone())),
+            ]),
+        }
+        .emit()
+    }
+
+    /// Decode one line. Failures come back as a ready-to-send
+    /// [`ErrorResponse`] carrying the best-effort request id.
+    pub fn from_line(line: &str) -> Result<Request, ErrorResponse> {
+        let bad = |id: &str, message: String| ErrorResponse {
+            id: id.to_string(),
+            code: ErrorCode::BadRequest,
+            message,
+        };
+        let doc = Json::parse(line).map_err(|e| bad("", format!("malformed JSON: {e}")))?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let version = doc
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(&id, "missing schema version \"v\"".into()))?;
+        if version != PROTOCOL_VERSION {
+            return Err(ErrorResponse {
+                id: id.clone(),
+                code: ErrorCode::UnsupportedVersion,
+                message: format!(
+                    "protocol v{version} not supported (this daemon speaks v{PROTOCOL_VERSION})"
+                ),
+            });
+        }
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad(&id, "missing \"kind\"".into()))?;
+        match kind {
+            "map" => {
+                let pattern_csv = doc
+                    .get("pattern_csv")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad(&id, "map request needs \"pattern_csv\"".into()))?
+                    .to_string();
+                let mut m = MapRequest::new(id.clone(), pattern_csv);
+                m.ranks = doc.get("ranks").and_then(Json::as_u64).map(|r| r as usize);
+                m.constraints_csv = doc
+                    .get("constraints_csv")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                if let Some(a) = doc.get("algorithm").and_then(Json::as_str) {
+                    m.algorithm = a.to_string();
+                }
+                if let Some(s) = doc.get("seed").and_then(Json::as_u64) {
+                    m.seed = s;
+                }
+                if let Some(k) = doc.get("kappa").and_then(Json::as_u64) {
+                    m.kappa = k as usize;
+                }
+                if let Some(s) = doc.get("samples").and_then(Json::as_u64) {
+                    m.samples = s as usize;
+                }
+                if let Some(c) = doc.get("calibration") {
+                    let d = CalibSpec::default();
+                    m.calibration = CalibSpec {
+                        days: c
+                            .get("days")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(d.days as u64) as usize,
+                        probes_per_day: c
+                            .get("probes")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(d.probes_per_day as u64)
+                            as usize,
+                        noise_cv: c.get("noise").and_then(Json::as_f64).unwrap_or(d.noise_cv),
+                        seed: c.get("seed").and_then(Json::as_u64).unwrap_or(d.seed),
+                    };
+                    if !(m.calibration.noise_cv.is_finite() && m.calibration.noise_cv >= 0.0) {
+                        return Err(bad(&id, "calibration noise must be finite and >= 0".into()));
+                    }
+                }
+                m.deadline_ms = doc.get("deadline_ms").and_then(Json::as_u64);
+                m.reserve = doc.get("reserve").and_then(Json::as_bool).unwrap_or(false);
+                m.lease_ttl_ms = doc.get("lease_ttl_ms").and_then(Json::as_u64);
+                m.use_result_cache = doc.get("cache").and_then(Json::as_bool).unwrap_or(true);
+                Ok(Request::Map(m))
+            }
+            "release" => {
+                let lease = doc
+                    .get("lease")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad(&id, "release request needs a numeric \"lease\"".into()))?;
+                Ok(Request::Release { id, lease })
+            }
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(bad(&id, format!("unknown request kind {other:?}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Encode as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = ("v", Json::Num(PROTOCOL_VERSION as f64));
+        match self {
+            Response::Map(r) => obj(vec![
+                v,
+                ("kind", Json::Str("map_response".into())),
+                ("id", Json::Str(r.id.clone())),
+                ("mapping", usize_arr(&r.mapping)),
+                ("cost", Json::Num(r.cost)),
+                ("cached", Json::Str(r.cached.label().into())),
+                ("queue_wait_s", Json::Num(r.queue_wait_s)),
+                ("solve_s", Json::Num(r.solve_s)),
+                ("lease", opt_u64(r.lease)),
+                ("site_counts", usize_arr(&r.site_counts)),
+                ("free_nodes", usize_arr(&r.free_nodes)),
+            ]),
+            Response::Release {
+                id,
+                freed,
+                free_nodes,
+            } => obj(vec![
+                v,
+                ("kind", Json::Str("release_response".into())),
+                ("id", Json::Str(id.clone())),
+                ("freed", usize_arr(freed)),
+                ("free_nodes", usize_arr(free_nodes)),
+            ]),
+            Response::Stats(s) => obj(vec![
+                v,
+                ("kind", Json::Str("stats_response".into())),
+                ("id", Json::Str(s.id.clone())),
+                ("served", Json::Num(s.served as f64)),
+                ("result_hits", Json::Num(s.result_hits as f64)),
+                ("problem_hits", Json::Num(s.problem_hits as f64)),
+                ("misses", Json::Num(s.misses as f64)),
+                ("rejected", Json::Num(s.rejected as f64)),
+                ("free_nodes", usize_arr(&s.free_nodes)),
+                ("active_leases", Json::Num(s.active_leases as f64)),
+            ]),
+            Response::Shutdown { id, draining } => obj(vec![
+                v,
+                ("kind", Json::Str("shutdown_response".into())),
+                ("id", Json::Str(id.clone())),
+                ("draining", Json::Num(*draining as f64)),
+            ]),
+            Response::Error(e) => obj(vec![
+                v,
+                ("kind", Json::Str("error".into())),
+                ("id", Json::Str(e.id.clone())),
+                ("code", Json::Str(e.code.label().into())),
+                ("message", Json::Str(e.message.clone())),
+            ]),
+        }
+        .emit()
+    }
+
+    /// Decode one line (the client side).
+    pub fn from_line(line: &str) -> Result<Response, String> {
+        let doc = Json::parse(line).map_err(|e| format!("malformed response JSON: {e}"))?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let version = doc
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or("response missing schema version \"v\"")?;
+        if version != PROTOCOL_VERSION {
+            return Err(format!("unsupported response protocol v{version}"));
+        }
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("response missing \"kind\"")?;
+        let usizes = |key: &str| -> Result<Vec<usize>, String> {
+            doc.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("response missing array {key:?}"))?
+                .iter()
+                .map(|v| v.as_u64().map(|x| x as usize))
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| format!("non-integer entry in {key:?}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("response missing integer {key:?}"))
+        };
+        match kind {
+            "map_response" => Ok(Response::Map(MapResponse {
+                id,
+                mapping: usizes("mapping")?,
+                cost: doc
+                    .get("cost")
+                    .and_then(Json::as_f64)
+                    .ok_or("response missing \"cost\"")?,
+                cached: doc
+                    .get("cached")
+                    .and_then(Json::as_str)
+                    .and_then(CacheTier::parse)
+                    .ok_or("response missing/invalid \"cached\"")?,
+                queue_wait_s: doc
+                    .get("queue_wait_s")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                solve_s: doc.get("solve_s").and_then(Json::as_f64).unwrap_or(0.0),
+                lease: doc.get("lease").and_then(Json::as_u64),
+                site_counts: usizes("site_counts")?,
+                free_nodes: usizes("free_nodes")?,
+            })),
+            "release_response" => Ok(Response::Release {
+                id,
+                freed: usizes("freed")?,
+                free_nodes: usizes("free_nodes")?,
+            }),
+            "stats_response" => Ok(Response::Stats(StatsResponse {
+                id,
+                served: u64_field("served")?,
+                result_hits: u64_field("result_hits")?,
+                problem_hits: u64_field("problem_hits")?,
+                misses: u64_field("misses")?,
+                rejected: u64_field("rejected")?,
+                free_nodes: usizes("free_nodes")?,
+                active_leases: u64_field("active_leases")?,
+            })),
+            "shutdown_response" => Ok(Response::Shutdown {
+                id,
+                draining: u64_field("draining")?,
+            }),
+            "error" => Ok(Response::Error(ErrorResponse {
+                id,
+                code: doc
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::parse)
+                    .ok_or("error response missing/invalid \"code\"")?,
+                message: doc
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            })),
+            other => Err(format!("unknown response kind {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_request_roundtrips_with_all_fields() {
+        let mut m = MapRequest::new("r1", "src,dst,bytes,msgs\n0,1,5,2\n");
+        m.ranks = Some(16);
+        m.constraints_csv = Some("process,site\n0,3\n".into());
+        m.algorithm = "mpipp".into();
+        m.seed = 99;
+        m.kappa = 3;
+        m.samples = 500;
+        m.calibration = CalibSpec {
+            days: 1,
+            probes_per_day: 2,
+            noise_cv: 0.1,
+            seed: 7,
+        };
+        m.deadline_ms = Some(250);
+        m.reserve = true;
+        m.lease_ttl_ms = Some(60_000);
+        m.use_result_cache = false;
+        let req = Request::Map(m);
+        let back = Request::from_line(&req.to_line()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn map_request_defaults_fill_in() {
+        let line = r#"{"v":1,"kind":"map","id":"d","pattern_csv":"src,dst,bytes,msgs\n"}"#;
+        let Request::Map(m) = Request::from_line(line).unwrap() else {
+            panic!("not a map request")
+        };
+        assert_eq!(m.algorithm, "geo");
+        assert_eq!(m.kappa, 4);
+        assert_eq!(m.calibration, CalibSpec::default());
+        assert!(m.use_result_cache);
+        assert!(!m.reserve);
+    }
+
+    #[test]
+    fn control_requests_roundtrip() {
+        for req in [
+            Request::Release {
+                id: "a".into(),
+                lease: 7,
+            },
+            Request::Stats { id: "b".into() },
+            Request::Shutdown { id: "c".into() },
+        ] {
+            assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let responses = [
+            Response::Map(MapResponse {
+                id: "r".into(),
+                mapping: vec![0, 1, 1, 0],
+                cost: 1.25,
+                cached: CacheTier::Problem,
+                queue_wait_s: 0.001,
+                solve_s: 0.5,
+                lease: Some(3),
+                site_counts: vec![2, 2],
+                free_nodes: vec![0, 0],
+            }),
+            Response::Release {
+                id: "x".into(),
+                freed: vec![2, 2],
+                free_nodes: vec![4, 4],
+            },
+            Response::Stats(StatsResponse {
+                id: "s".into(),
+                served: 10,
+                result_hits: 4,
+                problem_hits: 3,
+                misses: 3,
+                rejected: 1,
+                free_nodes: vec![1, 2],
+                active_leases: 2,
+            }),
+            Response::Shutdown {
+                id: "q".into(),
+                draining: 5,
+            },
+            Response::Error(ErrorResponse {
+                id: "e".into(),
+                code: ErrorCode::OverCapacity,
+                message: "queue full (64 waiting)".into(),
+            }),
+        ];
+        for r in responses {
+            assert_eq!(Response::from_line(&r.to_line()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_refused_with_code() {
+        let line = r#"{"v":2,"kind":"stats","id":"z"}"#;
+        let err = Request::from_line(line).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnsupportedVersion);
+        assert_eq!(err.id, "z");
+    }
+
+    #[test]
+    fn malformed_json_is_bad_request() {
+        let err = Request::from_line("{not json").unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("malformed JSON"), "{}", err.message);
+    }
+
+    #[test]
+    fn missing_fields_are_bad_request() {
+        for line in [
+            r#"{"v":1,"id":"a"}"#,
+            r#"{"v":1,"kind":"map","id":"a"}"#,
+            r#"{"v":1,"kind":"release","id":"a"}"#,
+            r#"{"v":1,"kind":"frobnicate","id":"a"}"#,
+            r#"{"kind":"stats","id":"a"}"#,
+        ] {
+            let err = Request::from_line(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+            assert_eq!(err.id, if line.contains("\"id\"") { "a" } else { "" });
+        }
+    }
+
+    #[test]
+    fn all_error_codes_roundtrip_their_labels() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::OverCapacity,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::InsufficientNodes,
+            ErrorCode::UnknownLease,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.label()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+}

@@ -1,0 +1,314 @@
+//! The TCP front-end: accept loop, bounded admission queue, worker
+//! pool, graceful shutdown.
+//!
+//! Transport is JSON-lines over `std::net::TcpStream`: one request per
+//! line, one response per line, pipelining allowed on a connection.
+//! The accept thread never parses anything — it only admits
+//! connections into the bounded queue (writing an immediate
+//! `over_capacity` error when the queue is full: backpressure, not
+//! buffering) — so a slow client can never stall admission. Workers
+//! pop connections, read and answer their requests through
+//! [`MappingService`], and report the measured queue wait on each
+//! first response.
+//!
+//! Graceful shutdown (a `shutdown` request, or [`MappingServer::stop`])
+//! follows the contract from the issue: *drain the queue, reject new
+//! connections, flush metrics*. The accept loop stops admitting and
+//! closes the listener; workers finish everything already queued, then
+//! exit; [`MappingServer::join`] returns once the sinks are flushed.
+
+use crate::proto::{ErrorCode, Request, Response};
+use crate::service::MappingService;
+use geomap_core::TraceScope;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps when no connection is pending, and
+/// how often parked workers re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Read timeout on admitted connections: an idle client releases its
+/// worker instead of pinning it forever.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// An admitted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// The bounded admission queue.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit a job, or hand it back when the queue is full.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut jobs = self.jobs.lock().expect("queue lock");
+        if jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Wait for the next job; `None` once the service is draining and
+    /// the queue is empty (the worker's signal to exit).
+    fn pop(&self, service: &MappingService) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("queue lock");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if service.is_shutting_down() {
+                return None;
+            }
+            let (guard, _) = self.ready.wait_timeout(jobs, POLL).expect("queue lock");
+            jobs = guard;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.jobs.lock().expect("queue lock").len()
+    }
+}
+
+/// A running daemon: listener + queue + worker pool.
+pub struct MappingServer {
+    service: Arc<MappingService>,
+    queue: Arc<Queue>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MappingServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// accepting. Worker count and queue bound come from the service's
+    /// [`ServiceConfig`](crate::service::ServiceConfig).
+    pub fn bind(service: MappingService, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let service = Arc::new(service);
+        let queue = Arc::new(Queue::new(service.config().queue_capacity));
+
+        let workers = (0..service.config().workers.max(1))
+            .map(|w| {
+                let service = Arc::clone(&service);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("geomap-worker-{w}"))
+                    .spawn(move || worker_loop(w, &service, &queue))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let service = Arc::clone(&service);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("geomap-accept".into())
+                .spawn(move || accept_loop(listener, &service, &queue))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Self {
+            service,
+            queue,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind this server.
+    pub fn service(&self) -> &Arc<MappingService> {
+        &self.service
+    }
+
+    /// Requests currently waiting for a worker.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Begin graceful shutdown without waiting (equivalent to a
+    /// `shutdown` request arriving over the wire).
+    pub fn stop(&self) {
+        self.service.begin_shutdown();
+        self.queue.ready.notify_all();
+    }
+
+    /// Begin shutdown (if not already begun), drain the queue, join
+    /// every thread and flush the observability sinks.
+    pub fn join(mut self) {
+        self.stop();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.service.flush();
+    }
+}
+
+impl Drop for MappingServer {
+    fn drop(&mut self) {
+        // A dropped server still shuts down cleanly; `join` is the
+        // explicit, blocking variant.
+        self.stop();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.service.flush();
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: &MappingService, queue: &Queue) {
+    while !service.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IDLE_TIMEOUT));
+                let job = Job {
+                    stream,
+                    accepted: Instant::now(),
+                };
+                if let Err(mut job) = queue.try_push(job) {
+                    // Backpressure: refuse right now, on the accept
+                    // thread, so the queue bound actually bounds memory
+                    // and latency instead of growing a buffer.
+                    let resp = service.reject(
+                        "",
+                        ErrorCode::OverCapacity,
+                        format!(
+                            "admission queue full ({} waiting); retry later",
+                            queue.capacity
+                        ),
+                    );
+                    write_response(&mut job.stream, &resp);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Dropping the listener here closes the socket: new connections are
+    // refused while the workers drain what was admitted.
+}
+
+fn worker_loop(index: usize, service: &MappingService, queue: &Queue) {
+    let trace = service.config().trace.clone();
+    let track = trace.track("service", &format!("worker-{index}"));
+    let scope = TraceScope::new(&trace, track);
+    while let Some(job) = queue.pop(service) {
+        let queue_wait = job.accepted.elapsed();
+        serve_connection(service, queue, &scope, job.stream, queue_wait);
+    }
+}
+
+/// Answer every request on one connection. The first request is
+/// charged the measured queue wait; pipelined follow-ups on the same
+/// connection never waited, so they report zero.
+fn serve_connection(
+    service: &MappingService,
+    queue: &Queue,
+    scope: &TraceScope<'_>,
+    stream: TcpStream,
+    queue_wait: Duration,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut first = true;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(_) => return, // timeout or reset: free the worker
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let queue_wait_s = if first { queue_wait.as_secs_f64() } else { 0.0 };
+        first = false;
+        let response = match Request::from_line(&line) {
+            Err(bad) => service.reject(&bad.id, bad.code, bad.message),
+            Ok(Request::Shutdown { id }) => {
+                service.begin_shutdown();
+                Response::Shutdown {
+                    id,
+                    draining: queue.len() as u64,
+                }
+            }
+            Ok(Request::Map(m)) => {
+                let deadline = m
+                    .deadline_ms
+                    .map(Duration::from_millis)
+                    .or(service.config().default_deadline);
+                if deadline.is_some_and(|d| queue_wait > d) {
+                    service.reject(
+                        &m.id,
+                        ErrorCode::DeadlineExceeded,
+                        format!(
+                            "spent {:.0} ms in queue, deadline was {} ms",
+                            queue_wait.as_secs_f64() * 1e3,
+                            deadline.unwrap_or_default().as_millis()
+                        ),
+                    )
+                } else {
+                    scope.span_begin("request");
+                    let out = service.handle_map(&m, queue_wait_s);
+                    scope.span_end("request");
+                    out
+                }
+            }
+            Ok(other) => service.handle(&other),
+        };
+        let shutdown_now = matches!(response, Response::Shutdown { .. });
+        let respond_start = Instant::now();
+        let delivered = write_response(&mut writer, &response);
+        service.record_respond(respond_start.elapsed().as_secs_f64());
+        if !delivered || shutdown_now {
+            return;
+        }
+    }
+}
+
+/// Write one response line; false when the client is gone.
+fn write_response(stream: &mut TcpStream, response: &Response) -> bool {
+    let mut line = response.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
+}

@@ -1,0 +1,512 @@
+//! The mapping engine behind the daemon: request handling, the
+//! two-tier cache and the inventory, independent of any transport.
+//!
+//! [`MappingService::handle`] is the whole service as a plain function
+//! call — the **single-process in-memory mode**. The TCP front-end
+//! ([`crate::server`]) adds sockets, the admission queue and the worker
+//! pool around it; deterministic tests drive this type directly so no
+//! scheduler interleaving can hide in the assertions.
+//!
+//! A `map` request runs the same stages as the batch pipeline
+//! (`geomap_core::pipeline::run_with_pattern`) and is bit-identical to
+//! it for the same seeds — verified by `tests/service_behavior.rs`:
+//!
+//! 1. parse + validate the embedded pattern/constraints CSV,
+//! 2. **result cache**: identical `(problem, algorithm, seed)` → the
+//!    stored mapping, no solve at all,
+//! 3. **problem cache**: identical `(network, calibration, pattern,
+//!    constraints)` → the calibrated estimate and assembled
+//!    [`MappingProblem`] (with its cached partner lists) are reused, so
+//!    only the solve runs — repeated topologies skip the probing
+//!    campaign and everything `CostTables::build` needs rebuilt,
+//! 4. full miss: calibrate, assemble, solve, populate both tiers,
+//! 5. optionally reserve the placement in the [`ClusterInventory`].
+
+use crate::cache::FingerprintCache;
+use crate::fingerprint::Fingerprint;
+use crate::inventory::ClusterInventory;
+use crate::proto::{
+    CacheTier, ErrorCode, ErrorResponse, MapRequest, MapResponse, Request, Response, StatsResponse,
+};
+use baselines::{GreedyMapper, MonteCarlo, MpippMapper, RandomMapper};
+use commgraph::CommPattern;
+use geomap_core::{
+    cost, ConstraintVector, GeoMapper, Mapper, Mapping, MappingProblem, Metrics, Trace,
+};
+use geonet::{io as netio, Calibrator, SiteNetwork};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads the TCP front-end runs (the in-memory mode is
+    /// whatever the caller's thread structure is).
+    pub workers: usize,
+    /// Admission queue bound; requests beyond it are rejected with
+    /// `over_capacity` (backpressure, not buffering).
+    pub queue_capacity: usize,
+    /// Entries held by the calibration/problem cache.
+    pub problem_cache_capacity: usize,
+    /// Entries held by the solved-result cache.
+    pub result_cache_capacity: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Lease TTL applied to reservations that don't carry their own
+    /// (`None`: leases live until explicit teardown).
+    pub default_lease_ttl: Option<Duration>,
+    /// Observability: request-phase timings and cache/inventory
+    /// counters land under the `service` scope.
+    pub metrics: Metrics,
+    /// Event tracing: the front-end opens one track per worker; the
+    /// handle is also threaded into the mappers' own search spans.
+    pub trace: Trace,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
+            queue_capacity: 256,
+            problem_cache_capacity: 64,
+            result_cache_capacity: 512,
+            default_deadline: None,
+            default_lease_ttl: None,
+            metrics: Metrics::off(),
+            trace: Trace::off(),
+        }
+    }
+}
+
+/// A calibrated, assembled problem shared across requests.
+#[derive(Debug)]
+pub struct PreparedProblem {
+    /// The problem as the optimizer sees it (estimated network,
+    /// partner lists built).
+    pub problem: Arc<MappingProblem>,
+    /// Probes the calibration campaign issued (stats surface).
+    pub calibration_probes: usize,
+}
+
+/// A solved mapping shared across identical requests.
+#[derive(Debug)]
+pub struct SolvedResult {
+    /// The mapping.
+    pub mapping: Mapping,
+    /// Its Eq. 3 cost under the calibrated estimate.
+    pub cost: f64,
+}
+
+/// The transport-independent mapping service.
+pub struct MappingService {
+    network: SiteNetwork,
+    network_fp: u64,
+    config: ServiceConfig,
+    inventory: ClusterInventory,
+    problems: FingerprintCache<Arc<PreparedProblem>>,
+    results: FingerprintCache<Arc<SolvedResult>>,
+    metrics: Metrics,
+    served: AtomicU64,
+    result_hits: AtomicU64,
+    problem_hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl MappingService {
+    /// A service fronting `network` (the ground-truth cluster whose
+    /// nodes the inventory tracks and whose calibration requests see).
+    pub fn new(network: SiteNetwork, config: ServiceConfig) -> Self {
+        let network_fp = Fingerprint::new().str(&netio::to_csv(&network)).finish();
+        Self {
+            inventory: ClusterInventory::new(network.capacities()),
+            problems: FingerprintCache::new(config.problem_cache_capacity),
+            results: FingerprintCache::new(config.result_cache_capacity),
+            metrics: config.metrics.scoped("service"),
+            network,
+            network_fp,
+            config,
+            served: AtomicU64::new(0),
+            result_hits: AtomicU64::new(0),
+            problem_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The cluster this service fronts.
+    pub fn network(&self) -> &SiteNetwork {
+        &self.network
+    }
+
+    /// The configuration this service runs with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The inventory (tests assert conservation through this).
+    pub fn inventory(&self) -> &ClusterInventory {
+        &self.inventory
+    }
+
+    /// Ask the service to stop accepting new mapping work. In-flight
+    /// and queued requests still complete (the front-end drains).
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`MappingService::begin_shutdown`] was called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handle any request in-process (queue wait = 0). This is the
+    /// deterministic single-process mode; the TCP server routes every
+    /// decoded request through the same code. New mapping work is
+    /// refused once shutdown began — the TCP front-end gates admission
+    /// itself (at accept time) so already-queued requests still drain.
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Map(m) => {
+                if self.is_shutting_down() {
+                    return self.reject(
+                        &m.id,
+                        ErrorCode::ShuttingDown,
+                        "daemon is draining; not accepting new mapping requests".into(),
+                    );
+                }
+                self.handle_map(m, 0.0)
+            }
+            Request::Release { id, lease } => self.handle_release(id, *lease),
+            Request::Stats { id } => Response::Stats(self.stats(id)),
+            Request::Shutdown { id } => {
+                self.begin_shutdown();
+                Response::Shutdown {
+                    id: id.clone(),
+                    draining: 0,
+                }
+            }
+        }
+    }
+
+    /// Handle a `map` request that already waited `queue_wait_s` in an
+    /// admission queue (0 for the in-memory mode). No shutdown gate
+    /// here: the caller decides admission, so a draining server can
+    /// still finish what it admitted.
+    pub fn handle_map(&self, m: &MapRequest, queue_wait_s: f64) -> Response {
+        self.metrics.counter("requests", 1);
+        self.metrics.timing("phase.queue_wait", queue_wait_s);
+
+        // Parse + validate everything the request embeds before any
+        // expensive work; every failure is a `bad_request`, never a
+        // panic (this is a network-facing daemon).
+        let n = m.ranks.unwrap_or_else(|| self.network.total_nodes());
+        if n == 0 {
+            return self.reject(
+                &m.id,
+                ErrorCode::BadRequest,
+                "ranks must be positive".into(),
+            );
+        }
+        if self.network.total_nodes() < n {
+            return self.reject(
+                &m.id,
+                ErrorCode::BadRequest,
+                format!(
+                    "{n} processes exceed the cluster's {} nodes",
+                    self.network.total_nodes()
+                ),
+            );
+        }
+        let pattern = match CommPattern::from_csv(n, &m.pattern_csv) {
+            Ok(p) => p,
+            Err(e) => {
+                return self.reject(
+                    &m.id,
+                    ErrorCode::BadRequest,
+                    format!("bad pattern CSV: {e}"),
+                )
+            }
+        };
+        let constraints = match &m.constraints_csv {
+            None => ConstraintVector::none(n),
+            Some(csv) => match crate::parse_constraints(n, csv) {
+                Ok(c) => c,
+                Err(e) => {
+                    return self.reject(
+                        &m.id,
+                        ErrorCode::BadRequest,
+                        format!("bad constraints CSV: {e}"),
+                    )
+                }
+            },
+        };
+        if let Err(e) = self.feasible(&constraints) {
+            return self.reject(&m.id, ErrorCode::BadRequest, e);
+        }
+
+        // Cache keys over canonical encodings (the parsed pattern's own
+        // CSV, not the request text, so formatting differences still hit).
+        let problem_key = Fingerprint::new()
+            .u64(self.network_fp)
+            .u64(m.calibration.days as u64)
+            .u64(m.calibration.probes_per_day as u64)
+            .f64(m.calibration.noise_cv)
+            .u64(m.calibration.seed)
+            .str(&pattern.to_csv())
+            .str(&crate::constraints_csv(&constraints))
+            .finish();
+        let result_key = Fingerprint::new()
+            .u64(problem_key)
+            .str(&m.algorithm)
+            .u64(m.seed)
+            .u64(m.kappa as u64)
+            .u64(m.samples as u64)
+            .finish();
+
+        let solve_start = Instant::now();
+        let (solved, tier) = if let Some(hit) = m
+            .use_result_cache
+            .then(|| self.results.get(result_key))
+            .flatten()
+        {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.counter("cache.result_hit", 1);
+            (hit, CacheTier::Result)
+        } else {
+            let (prepared, tier) = match self.problems.get(problem_key) {
+                Some(p) => {
+                    self.problem_hits.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.counter("cache.problem_hit", 1);
+                    (p, CacheTier::Problem)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.counter("cache.miss", 1);
+                    let report = self.metrics.timed("phase.calibrate", || {
+                        Calibrator::new(m.calibration.to_config()).calibrate(&self.network)
+                    });
+                    let prepared = Arc::new(PreparedProblem {
+                        problem: Arc::new(MappingProblem::new(
+                            pattern.clone(),
+                            report.estimated.clone(),
+                            constraints.clone(),
+                        )),
+                        calibration_probes: report.probes,
+                    });
+                    self.problems.insert(problem_key, prepared.clone());
+                    (prepared, CacheTier::Miss)
+                }
+            };
+            match self.solve(m, &prepared.problem) {
+                Ok(solved) => {
+                    let solved = Arc::new(solved);
+                    self.results.insert(result_key, solved.clone());
+                    (solved, tier)
+                }
+                Err(resp) => return *resp,
+            }
+        };
+        let solve_s = if tier == CacheTier::Result {
+            0.0
+        } else {
+            solve_start.elapsed().as_secs_f64()
+        };
+        self.metrics.timing("phase.solve", solve_s);
+
+        // Optional placement: all-or-nothing against the inventory.
+        let site_counts = solved.mapping.site_counts(self.network.num_sites());
+        let lease = if m.reserve {
+            let ttl = m
+                .lease_ttl_ms
+                .map(Duration::from_millis)
+                .or(self.config.default_lease_ttl);
+            match self.inventory.reserve(&site_counts, ttl) {
+                Ok(lease) => Some(lease),
+                Err(e) => {
+                    return self.reject(&m.id, ErrorCode::InsufficientNodes, e.to_string());
+                }
+            }
+        } else {
+            None
+        };
+
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let free_nodes = self.inventory.free_nodes();
+        self.metrics.gauge(
+            "inventory.free_total",
+            free_nodes.iter().sum::<usize>() as f64,
+        );
+        Response::Map(MapResponse {
+            id: m.id.clone(),
+            mapping: solved
+                .mapping
+                .as_slice()
+                .iter()
+                .map(|s| s.index())
+                .collect(),
+            cost: solved.cost,
+            cached: tier,
+            queue_wait_s,
+            solve_s,
+            lease,
+            site_counts,
+            free_nodes,
+        })
+    }
+
+    /// Run the requested mapper; panics inside the solver surface as an
+    /// `internal` error response instead of killing a worker thread.
+    fn solve(
+        &self,
+        m: &MapRequest,
+        problem: &MappingProblem,
+    ) -> Result<SolvedResult, Box<Response>> {
+        let trace = &self.config.trace;
+        let mapper: Box<dyn Mapper> = match m.algorithm.as_str() {
+            "geo" => Box::new(GeoMapper {
+                seed: m.seed,
+                kappa: m.kappa,
+                trace: trace.clone(),
+                ..GeoMapper::default()
+            }),
+            "greedy" => Box::new(GreedyMapper {
+                trace: trace.clone(),
+                ..GreedyMapper::default()
+            }),
+            "mpipp" => Box::new(MpippMapper {
+                trace: trace.clone(),
+                ..MpippMapper::with_seed(m.seed)
+            }),
+            "random" => Box::new(RandomMapper::with_seed(m.seed)),
+            "montecarlo" => Box::new(MonteCarlo {
+                trace: trace.clone(),
+                ..MonteCarlo::new(m.samples, m.seed)
+            }),
+            other => {
+                return Err(Box::new(self.reject(
+                    &m.id,
+                    ErrorCode::BadRequest,
+                    format!("unknown algorithm {other:?} (geo|greedy|mpipp|random|montecarlo)"),
+                )))
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mapping = mapper.map(problem);
+            let cost = cost(problem, &mapping);
+            mapping
+                .validate(problem)
+                .map(|()| SolvedResult { mapping, cost })
+        }));
+        match outcome {
+            Ok(Ok(solved)) => Ok(solved),
+            Ok(Err(e)) => Err(Box::new(self.reject(
+                &m.id,
+                ErrorCode::Internal,
+                format!("solver produced an infeasible mapping: {e}"),
+            ))),
+            Err(panic) => {
+                let what = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("unknown panic");
+                Err(Box::new(self.reject(
+                    &m.id,
+                    ErrorCode::Internal,
+                    format!("solver panicked: {what}"),
+                )))
+            }
+        }
+    }
+
+    fn handle_release(&self, id: &str, lease: u64) -> Response {
+        match self.inventory.release(lease) {
+            Ok(freed) => Response::Release {
+                id: id.to_string(),
+                freed,
+                free_nodes: self.inventory.free_nodes(),
+            },
+            Err(message) => self.reject(id, ErrorCode::UnknownLease, message),
+        }
+    }
+
+    /// Current counters and inventory state.
+    pub fn stats(&self, id: &str) -> StatsResponse {
+        StatsResponse {
+            id: id.to_string(),
+            served: self.served.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            problem_hits: self.problem_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            free_nodes: self.inventory.free_nodes(),
+            active_leases: self.inventory.active_leases() as u64,
+        }
+    }
+
+    /// Record a rejection and build the error response. The TCP
+    /// front-end also routes its queue-level rejections (over-capacity,
+    /// deadline) through this so `stats.rejected` covers every path.
+    pub fn reject(&self, id: &str, code: ErrorCode, message: String) -> Response {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .counter(&format!("rejected.{}", code.label()), 1);
+        Response::Error(ErrorResponse {
+            id: id.to_string(),
+            code,
+            message,
+        })
+    }
+
+    /// The feasibility preconditions `MappingProblem::new` asserts,
+    /// rephrased as recoverable errors.
+    fn feasible(&self, constraints: &ConstraintVector) -> Result<(), String> {
+        let caps = self.network.capacities();
+        let mut used = vec![0usize; caps.len()];
+        for (i, pin) in constraints.iter().enumerate() {
+            if let Some(site) = pin {
+                if site.index() >= caps.len() {
+                    return Err(format!(
+                        "process {i} constrained to {site}, cluster has {} sites",
+                        caps.len()
+                    ));
+                }
+                used[site.index()] += 1;
+                if used[site.index()] > caps[site.index()] {
+                    return Err(format!(
+                        "constraints alone overflow {site} (capacity {})",
+                        caps[site.index()]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Record the time a response spent being written back (the TCP
+    /// front-end's third request phase next to queue-wait and solve).
+    pub fn record_respond(&self, seconds: f64) {
+        self.metrics.timing("phase.respond", seconds);
+    }
+
+    /// Flush the metrics sink (the front-end calls this on shutdown).
+    pub fn flush(&self) {
+        self.metrics.flush();
+        self.config.trace.flush();
+    }
+}
+
+impl std::fmt::Debug for MappingService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappingService")
+            .field("network", &self.network.summary())
+            .field("problems", &self.problems.len())
+            .field("results", &self.results.len())
+            .finish()
+    }
+}

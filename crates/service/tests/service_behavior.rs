@@ -1,0 +1,384 @@
+//! End-to-end behavior of the mapping service: the in-memory mode
+//! against the one-shot pipeline (bit-identical), cache tiers, the
+//! inventory lifecycle, and the TCP daemon under concurrency.
+
+use commgraph::apps::AppKind;
+use geomap_core::pipeline::{self, PipelineConfig};
+use geomap_core::{ConstraintVector, GeoMapper};
+use geomap_service::proto::{CacheTier, ErrorCode, Response};
+use geomap_service::{
+    MapRequest, MappingServer, MappingService, Request, ServiceClient, ServiceConfig,
+};
+use geonet::{presets, InstanceType, SiteNetwork};
+use std::time::Duration;
+
+/// The paper's four EC2 regions, 4 nodes each (16 nodes total): big
+/// enough for interesting placements, small enough for fast solves.
+fn network() -> SiteNetwork {
+    presets::paper_ec2_network(4, InstanceType::M4Xlarge, 42)
+}
+
+fn pattern_csv(ranks: usize) -> String {
+    AppKind::parse("sp")
+        .expect("sp is a known app")
+        .workload(ranks)
+        .pattern()
+        .to_csv()
+}
+
+fn service() -> MappingService {
+    MappingService::new(network(), ServiceConfig::default())
+}
+
+#[test]
+fn in_memory_map_matches_one_shot_pipeline_bit_for_bit() {
+    let svc = service();
+    let req = MapRequest::new("r1", pattern_csv(16));
+    let resp = svc.handle(&Request::Map(req.clone()));
+    let Response::Map(resp) = resp else {
+        panic!("expected a map response, got {resp:?}");
+    };
+
+    // The equivalent one-shot run: same pattern, same calibration
+    // campaign, same mapper seed.
+    let pattern = commgraph::CommPattern::from_csv(16, &req.pattern_csv).unwrap();
+    let config = PipelineConfig {
+        calibration: req.calibration.to_config(),
+        mapper: GeoMapper {
+            seed: req.seed,
+            kappa: req.kappa,
+            ..GeoMapper::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let one_shot = pipeline::run_with_pattern(
+        pattern,
+        1.0,
+        &network(),
+        ConstraintVector::none(16),
+        &config,
+    );
+
+    let one_shot_sites: Vec<usize> = one_shot
+        .mapping
+        .as_slice()
+        .iter()
+        .map(|s| s.index())
+        .collect();
+    assert_eq!(resp.mapping, one_shot_sites);
+    assert_eq!(
+        resp.cost.to_bits(),
+        one_shot.estimated_cost.to_bits(),
+        "daemon cost {} != pipeline cost {}",
+        resp.cost,
+        one_shot.estimated_cost
+    );
+    assert_eq!(resp.cached, CacheTier::Miss);
+}
+
+#[test]
+fn cache_tiers_progress_from_miss_to_problem_to_result() {
+    let svc = service();
+    let base = MapRequest::new("a", pattern_csv(16));
+
+    let Response::Map(first) = svc.handle(&Request::Map(base.clone())) else {
+        panic!("first request failed");
+    };
+    assert_eq!(first.cached, CacheTier::Miss);
+
+    // Same problem, different solver seed: calibration + problem reused.
+    let reseeded = MapRequest {
+        id: "b".into(),
+        seed: base.seed + 1,
+        ..base.clone()
+    };
+    let Response::Map(second) = svc.handle(&Request::Map(reseeded)) else {
+        panic!("reseeded request failed");
+    };
+    assert_eq!(second.cached, CacheTier::Problem);
+
+    // Identical request: the stored mapping, solve time zero.
+    let Response::Map(third) = svc.handle(&Request::Map(MapRequest {
+        id: "c".into(),
+        ..base.clone()
+    })) else {
+        panic!("repeat request failed");
+    };
+    assert_eq!(third.cached, CacheTier::Result);
+    assert_eq!(third.mapping, first.mapping);
+    assert_eq!(third.cost.to_bits(), first.cost.to_bits());
+    assert_eq!(third.solve_s, 0.0);
+
+    // Opting out of the result cache still reuses the problem tier and
+    // still produces the identical mapping (determinism, not caching).
+    let Response::Map(fourth) = svc.handle(&Request::Map(MapRequest {
+        id: "d".into(),
+        use_result_cache: false,
+        ..base
+    })) else {
+        panic!("no-cache request failed");
+    };
+    assert_eq!(fourth.cached, CacheTier::Problem);
+    assert_eq!(fourth.mapping, first.mapping);
+    assert_eq!(fourth.cost.to_bits(), first.cost.to_bits());
+}
+
+#[test]
+fn malformed_requests_get_stable_error_codes() {
+    let svc = service();
+
+    let bad_algo = MapRequest {
+        algorithm: "quantum".into(),
+        ..MapRequest::new("x", pattern_csv(16))
+    };
+    match svc.handle(&Request::Map(bad_algo)) {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("algorithm"));
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    let bad_pattern = MapRequest::new("y", "this,is,not\na_pattern");
+    match svc.handle(&Request::Map(bad_pattern)) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    let too_many = MapRequest {
+        ranks: Some(1000),
+        ..MapRequest::new("z", pattern_csv(16))
+    };
+    match svc.handle(&Request::Map(too_many)) {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("exceed"));
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    let bad_constraints = MapRequest {
+        constraints_csv: Some("process,site\n0,99\n".into()),
+        ..MapRequest::new("w", pattern_csv(16))
+    };
+    match svc.handle(&Request::Map(bad_constraints)) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("expected error, got {other:?}"),
+    }
+}
+
+#[test]
+fn reserve_release_lifecycle_keeps_inventory_exact() {
+    let svc = service();
+    let capacities = svc.network().capacities();
+
+    let req = MapRequest {
+        reserve: true,
+        ..MapRequest::new("lease-1", pattern_csv(16))
+    };
+    let Response::Map(resp) = svc.handle(&Request::Map(req)) else {
+        panic!("reserving request failed");
+    };
+    let lease = resp.lease.expect("reservation grants a lease");
+    for (j, free) in resp.free_nodes.iter().enumerate() {
+        assert_eq!(*free, capacities[j] - resp.site_counts[j]);
+    }
+
+    // 16 processes on 16 nodes: the cluster is now fully committed, so
+    // a second reservation must be refused outright.
+    let again = MapRequest {
+        reserve: true,
+        ..MapRequest::new("lease-2", pattern_csv(16))
+    };
+    match svc.handle(&Request::Map(again)) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::InsufficientNodes),
+        other => panic!("expected insufficient_nodes, got {other:?}"),
+    }
+
+    // Teardown returns every node; a second teardown is an error.
+    match svc.handle(&Request::Release {
+        id: "t".into(),
+        lease,
+    }) {
+        Response::Release { free_nodes, .. } => assert_eq!(free_nodes, capacities),
+        other => panic!("expected release, got {other:?}"),
+    }
+    match svc.handle(&Request::Release {
+        id: "t2".into(),
+        lease,
+    }) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownLease),
+        other => panic!("expected unknown_lease, got {other:?}"),
+    }
+
+    let stats = svc.stats("s");
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.rejected, 2); // insufficient_nodes + unknown_lease
+    assert_eq!(stats.active_leases, 0);
+}
+
+#[test]
+fn shutdown_refuses_new_in_memory_work() {
+    let svc = service();
+    match svc.handle(&Request::Shutdown { id: "s".into() }) {
+        Response::Shutdown { .. } => {}
+        other => panic!("expected shutdown ack, got {other:?}"),
+    }
+    match svc.handle(&Request::Map(MapRequest::new("late", pattern_csv(16)))) {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::ShuttingDown),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------- TCP
+
+#[test]
+fn daemon_serves_64_concurrent_requests_without_oversubscription() {
+    let server = MappingServer::bind(service(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let capacities = server.service().network().capacities();
+
+    // 64 concurrent clients: half solve-only (all must agree bit for
+    // bit), half reserve 4-rank placements (4 nodes of 16 => at most 4
+    // concurrent leases; refusals are over-commit protection working).
+    let handles: Vec<_> = (0..64)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client =
+                    ServiceClient::connect(&addr, Some(Duration::from_secs(60))).expect("connect");
+                let req = if i % 2 == 0 {
+                    MapRequest::new(format!("solve-{i}"), pattern_csv(16))
+                } else {
+                    MapRequest {
+                        ranks: Some(4),
+                        reserve: true,
+                        ..MapRequest::new(format!("reserve-{i}"), pattern_csv(4))
+                    }
+                };
+                client.map(req).expect("request round-trip")
+            })
+        })
+        .collect();
+
+    let mut solve_results: Vec<(Vec<usize>, u64)> = Vec::new();
+    let mut leases = Vec::new();
+    let mut refused = 0usize;
+    for h in handles {
+        match h.join().expect("client thread") {
+            Response::Map(m) => {
+                if let Some(lease) = m.lease {
+                    leases.push(lease);
+                    for (j, free) in m.free_nodes.iter().enumerate() {
+                        assert!(*free <= capacities[j], "free exceeds capacity at site {j}");
+                    }
+                } else {
+                    solve_results.push((m.mapping, m.cost.to_bits()));
+                }
+            }
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::InsufficientNodes, "unexpected: {e:?}");
+                refused += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    // Worker interleaving must not leak into results: all 32 solve-only
+    // requests are the same problem + seed, so all 32 answers agree.
+    assert_eq!(solve_results.len(), 32);
+    for (mapping, cost_bits) in &solve_results[1..] {
+        assert_eq!(mapping, &solve_results[0].0);
+        assert_eq!(*cost_bits, solve_results[0].1);
+    }
+
+    // Conservation: granted leases + refusals account for all 32
+    // reservation attempts, and the ledger balances exactly.
+    assert_eq!(leases.len() + refused, 32);
+    let free_now = server.service().inventory().free_nodes();
+    let leased_total: usize = capacities.iter().sum::<usize>() - free_now.iter().sum::<usize>();
+    assert_eq!(leased_total, 4 * leases.len());
+
+    // Explicit teardown of every lease restores the full cluster.
+    let mut client = ServiceClient::connect(&addr, Some(Duration::from_secs(10))).unwrap();
+    for lease in leases {
+        match client.release("teardown", lease).unwrap() {
+            Response::Release { .. } => {}
+            other => panic!("release failed: {other:?}"),
+        }
+    }
+    assert_eq!(server.service().inventory().free_nodes(), capacities);
+
+    match client.shutdown("bye").unwrap() {
+        Response::Shutdown { .. } => {}
+        other => panic!("expected shutdown ack, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn zero_deadline_expires_in_queue() {
+    let server = MappingServer::bind(service(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr, Some(Duration::from_secs(10))).unwrap();
+    let req = MapRequest {
+        deadline_ms: Some(0),
+        ..MapRequest::new("hurry", pattern_csv(16))
+    };
+    match client.map(req).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn full_admission_queue_pushes_back_immediately() {
+    let config = ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    };
+    let server = MappingServer::bind(MappingService::new(network(), config), "127.0.0.1:0")
+        .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    // The single worker pops this connection and blocks reading it.
+    let parked = ServiceClient::connect(&addr, Some(Duration::from_secs(10))).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // This one fills the queue's single slot.
+    let queued = ServiceClient::connect(&addr, Some(Duration::from_secs(10))).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // And this one must be bounced straight from the accept thread.
+    let mut bounced = ServiceClient::connect(&addr, Some(Duration::from_secs(10))).unwrap();
+    match bounced.map(MapRequest::new("late", pattern_csv(16))) {
+        Ok(Response::Error(e)) => assert_eq!(e.code, ErrorCode::OverCapacity),
+        // The server may close before our request line is even read;
+        // either way the caller sees a failure, never a hang.
+        Ok(other) => panic!("expected over_capacity, got {other:?}"),
+        Err(msg) => assert!(msg.contains("closed") || msg.contains("response")),
+    }
+
+    // Freeing the parked connection lets the queued one be served.
+    drop(parked);
+    let mut queued = queued;
+    match queued.map(MapRequest::new("q", pattern_csv(16))).unwrap() {
+        Response::Map(_) => {}
+        other => panic!("queued request should succeed, got {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn graceful_shutdown_refuses_new_connections() {
+    let server = MappingServer::bind(service(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut client = ServiceClient::connect(&addr, Some(Duration::from_secs(10))).unwrap();
+    match client.shutdown("drain").unwrap() {
+        Response::Shutdown { draining, .. } => assert_eq!(draining, 0),
+        other => panic!("expected shutdown ack, got {other:?}"),
+    }
+    server.join();
+    // The listener is gone: a fresh connection attempt must fail fast.
+    assert!(ServiceClient::connect(&addr, Some(Duration::from_millis(500))).is_err());
+}

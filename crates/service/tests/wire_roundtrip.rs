@@ -1,0 +1,89 @@
+//! Schema stability for the wire protocol's domain types: serialize →
+//! deserialize must reproduce a result whose Eq. 3 cost is
+//! bit-identical to the original's.
+
+use commgraph::apps::AppKind;
+use geomap_core::pipeline::{self, PipelineConfig};
+use geomap_core::{cost, ConstraintVector, Mapping};
+use geomap_service::json::Json;
+use geomap_service::wire;
+use geonet::{presets, InstanceType, SiteId};
+
+/// The vendored serde exposes `Serialize`/`Deserialize` as marker
+/// traits; the protocol's domain types must declare them so schema
+/// participation is visible in the type system.
+fn declares_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn domain_types_declare_serde() {
+    declares_serde::<Mapping>();
+    declares_serde::<pipeline::PipelineResult>();
+    declares_serde::<geonet::Site>();
+    declares_serde::<geonet::SiteId>();
+    declares_serde::<geonet::GeoCoord>();
+    declares_serde::<geonet::SquareMatrix>();
+    declares_serde::<geonet::SiteNetwork>();
+    declares_serde::<geonet::CalibrationReport>();
+    declares_serde::<geomap_service::MapRequest>();
+    declares_serde::<geomap_service::Request>();
+    declares_serde::<geomap_service::Response>();
+}
+
+#[test]
+fn pipeline_result_roundtrips_with_bit_identical_cost() {
+    let truth = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 7);
+    let program = AppKind::parse("sp").unwrap().workload(16).program();
+    let mut constraints = ConstraintVector::none(16);
+    constraints.pin(0, SiteId(1));
+    constraints.pin(7, SiteId(3));
+    let result = pipeline::run(&program, &truth, constraints, &PipelineConfig::default());
+
+    let line = wire::pipeline_result_to_json(&result).emit();
+    let back = wire::pipeline_result_from_json(&Json::parse(&line).expect("own output parses"))
+        .expect("own output deserializes");
+
+    assert_eq!(back.pattern, result.pattern);
+    assert_eq!(back.mapping, result.mapping);
+    assert_eq!(
+        back.compression_ratio.to_bits(),
+        result.compression_ratio.to_bits()
+    );
+    assert_eq!(
+        back.estimated_cost.to_bits(),
+        result.estimated_cost.to_bits(),
+        "stored cost drifted through the wire"
+    );
+
+    // The decisive check: the *recomputed* Eq. 3 cost on the
+    // reassembled problem matches the original bits, so nothing about
+    // the problem (matrices, partner lists, constraints) was perturbed
+    // by the round trip.
+    assert_eq!(
+        cost(&back.problem, &back.mapping).to_bits(),
+        result.estimated_cost.to_bits(),
+        "recomputed cost drifted through the wire"
+    );
+
+    // And a second trip is textually identical (stable encoding).
+    assert_eq!(wire::pipeline_result_to_json(&back).emit(), line);
+}
+
+#[test]
+fn calibration_report_survives_the_wire_exactly() {
+    let truth = presets::paper_ec2_network(4, InstanceType::M4Xlarge, 9);
+    let report = geonet::Calibrator::new(geonet::CalibrationConfig::default()).calibrate(&truth);
+    let line = wire::calibration_to_json(&report).emit();
+    let back = wire::calibration_from_json(&Json::parse(&line).unwrap()).unwrap();
+    assert_eq!(back.estimated, report.estimated);
+    assert_eq!(back.probes, report.probes);
+    // CV matrix entry-for-entry, bitwise.
+    let m = report.estimated.num_sites();
+    for i in 0..m {
+        for j in 0..m {
+            assert_eq!(
+                back.bandwidth_cv.get(i, j).to_bits(),
+                report.bandwidth_cv.get(i, j).to_bits()
+            );
+        }
+    }
+}

@@ -57,10 +57,14 @@ impl Json {
     }
 
     /// The numeric payload as a non-negative integer, rejecting
-    /// fractional or negative values.
+    /// fractional, negative, or out-of-range values. The bound is
+    /// strict: `u64::MAX as f64` rounds *up* to 2^64, which is not a
+    /// valid u64, so it must not be accepted and saturated. Integers
+    /// above 2^53 are inherently approximate in a JSON number; callers
+    /// get the nearest representable value.
     pub fn as_u64(&self) -> Option<u64> {
         let x = self.as_f64()?;
-        (x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64).then_some(x as u64)
+        (x >= 0.0 && x.fract() == 0.0 && x < u64::MAX as f64).then_some(x as u64)
     }
 
     /// The boolean payload, if this is a boolean.
@@ -443,6 +447,18 @@ mod tests {
         assert_eq!(Json::Num(3.5).as_u64(), None);
         assert_eq!(Json::Num(-1.0).as_u64(), None);
         assert_eq!(Json::Str("3".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn as_u64_rejects_out_of_range() {
+        // `u64::MAX as f64` rounds up to 2^64, one past the valid
+        // range; accepting it would silently saturate to u64::MAX.
+        assert_eq!(Json::Num(u64::MAX as f64).as_u64(), None);
+        assert_eq!(Json::Num(f64::INFINITY).as_u64(), None);
+        // The largest f64 integer below 2^64 is still in range.
+        let top = (u64::MAX as f64).next_down();
+        assert_eq!(Json::Num(top).as_u64(), Some(top as u64));
+        assert_eq!(Json::Num(9007199254740992.0).as_u64(), Some(1 << 53));
     }
 
     #[test]

@@ -204,7 +204,10 @@ fn accept_loop(listener: TcpListener, service: &MappingService, queue: &Queue) {
                 if let Err(mut job) = queue.try_push(job) {
                     // Backpressure: refuse right now, on the accept
                     // thread, so the queue bound actually bounds memory
-                    // and latency instead of growing a buffer.
+                    // and latency instead of growing a buffer. The write
+                    // is best-effort and nonblocking — the accept loop
+                    // must never stall on a peer's receive window (the
+                    // one-line error fits a fresh send buffer anyway).
                     let resp = service.reject(
                         "",
                         ErrorCode::OverCapacity,
@@ -213,6 +216,7 @@ fn accept_loop(listener: TcpListener, service: &MappingService, queue: &Queue) {
                             queue.capacity
                         ),
                     );
+                    let _ = job.stream.set_nonblocking(true);
                     write_response(&mut job.stream, &resp);
                 }
             }

@@ -250,9 +250,13 @@ impl MappingService {
         }
 
         // Cache keys over canonical encodings (the parsed pattern's own
-        // CSV, not the request text, so formatting differences still hit).
+        // CSV, not the request text, so formatting differences still
+        // hit). `n` is fingerprinted explicitly: the pattern CSV lists
+        // only edges and the constraints CSV only pins, so neither
+        // encodes the rank count on its own.
         let problem_key = Fingerprint::new()
             .u64(self.network_fp)
+            .u64(n as u64)
             .u64(m.calibration.days as u64)
             .u64(m.calibration.probes_per_day as u64)
             .f64(m.calibration.noise_cv)

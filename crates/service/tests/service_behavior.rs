@@ -124,6 +124,37 @@ fn cache_tiers_progress_from_miss_to_problem_to_result() {
 }
 
 #[test]
+fn cache_key_distinguishes_rank_count() {
+    let svc = service();
+    // Same edge list, different rank counts: the pattern CSV carries
+    // only edges (among processes 0..8 here) and there are no
+    // constraints, so the two requests differ in nothing but `ranks`.
+    // They must not collide in either cache tier — a collision would
+    // return an 8-long mapping to the 16-rank caller.
+    let csv = pattern_csv(8);
+    let Response::Map(eight) = svc.handle(&Request::Map(MapRequest {
+        ranks: Some(8),
+        ..MapRequest::new("n8", csv.clone())
+    })) else {
+        panic!("8-rank request failed");
+    };
+    assert_eq!(eight.mapping.len(), 8);
+
+    let Response::Map(sixteen) = svc.handle(&Request::Map(MapRequest {
+        ranks: Some(16),
+        ..MapRequest::new("n16", csv)
+    })) else {
+        panic!("16-rank request failed");
+    };
+    assert_eq!(
+        sixteen.cached,
+        CacheTier::Miss,
+        "a 16-rank request must not hit the 8-rank cache entry"
+    );
+    assert_eq!(sixteen.mapping.len(), 16);
+}
+
+#[test]
 fn malformed_requests_get_stable_error_codes() {
     let svc = service();
 

@@ -78,18 +78,22 @@ commands:
             report Eq.3 cost (and simulated makespan) vs random baseline
   serve     --network FILE [--addr HOST:PORT] [--addr-file FILE]
             [--workers N] [--queue N] [--problem-cache N] [--result-cache N]
-            [--deadline-ms T] [--lease-ttl-ms T] [--metrics FILE] [--trace FILE]
+            [--idem-cache N] [--deadline-ms T] [--lease-ttl-ms T]
+            [--metrics FILE] [--trace FILE]
             run the mapping daemon (JSON-lines over TCP) until a client
             sends shutdown; drains the queue, then exits 0
   request   --addr HOST:PORT (--pattern FILE [--ranks N] [--constraints FILE]
             [--algorithm A] [--seed S] [--kappa K] [--samples K]
             [--calib-days D] [--calib-probes P] [--calib-noise CV]
-            [--calib-seed S] [--deadline-ms T] [--reserve] [--lease-ttl-ms T]
-            [--no-cache] [--out FILE]
+            [--calib-loss P] [--calib-seed S] [--deadline-ms T] [--reserve]
+            [--lease-ttl-ms T] [--no-cache] [--idem KEY] [--out FILE]
             | --stats | --shutdown | --release LEASE)
-            [--id ID] [--timeout-ms T]
+            [--id ID] [--timeout-ms T] [--retries N] [--backoff-ms T]
             send one request to a running daemon; prints the raw JSON
-            response line, exits non-zero on any rejection
+            response line, exits non-zero on any rejection; --retries
+            turns on capped exponential backoff with deterministic jitter
+            (reserving maps get an auto idempotency key: a retry after a
+            lost response replays the same lease, never a second one)
 
 file formats (all CSV):
   network:     from,to,from_lat,from_lon,from_nodes,latency_s,bandwidth_bps

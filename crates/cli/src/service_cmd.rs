@@ -16,7 +16,8 @@ use crate::files;
 use geomap_core::{JsonLinesSink, Metrics, StreamingSink, Trace};
 use geomap_service::proto::{CalibSpec, Response};
 use geomap_service::{
-    MapRequest, MappingServer, MappingService, Request, ServiceClient, ServiceConfig,
+    MapRequest, MappingServer, MappingService, Request, RetryPolicy, RetryingClient, ServiceClient,
+    ServiceConfig, TcpConnector,
 };
 use geonet::io as netio;
 use std::sync::Arc;
@@ -48,6 +49,8 @@ pub fn serve(args: &Args) -> Result<String, String> {
         queue_capacity: args.parsed_or("queue", defaults.queue_capacity)?,
         problem_cache_capacity: args.parsed_or("problem-cache", defaults.problem_cache_capacity)?,
         result_cache_capacity: args.parsed_or("result-cache", defaults.result_cache_capacity)?,
+        idempotency_cache_capacity: args
+            .parsed_or("idem-cache", defaults.idempotency_cache_capacity)?,
         default_deadline: args
             .optional("deadline-ms")
             .map(|v| {
@@ -133,8 +136,10 @@ pub fn request(args: &Args) -> Result<String, String> {
                 days: args.parsed_or("calib-days", defaults.days)?,
                 probes_per_day: args.parsed_or("calib-probes", defaults.probes_per_day)?,
                 noise_cv: args.parsed_or("calib-noise", defaults.noise_cv)?,
+                loss_rate: args.parsed_or("calib-loss", defaults.loss_rate)?,
                 seed: args.parsed_or("calib-seed", defaults.seed)?,
             },
+            idempotency_key: args.optional("idem").map(String::from),
             deadline_ms: args
                 .optional("deadline-ms")
                 .map(|v| {
@@ -155,8 +160,27 @@ pub fn request(args: &Args) -> Result<String, String> {
         })
     };
 
-    let mut client = ServiceClient::connect(addr, Some(timeout))?;
-    let response = client.send(&request)?;
+    // `--retries N` switches to the resilient client: N retries after
+    // the first attempt, capped exponential backoff with deterministic
+    // jitter starting at `--backoff-ms` (reserving map requests get an
+    // auto idempotency key, so a retry can never double-reserve).
+    let retries = args.parsed_or("retries", 0u32)?;
+    let response = if retries > 0 {
+        let policy = RetryPolicy {
+            max_attempts: retries + 1,
+            base_backoff: Duration::from_millis(args.parsed_or("backoff-ms", 50u64)?),
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new(TcpConnector::new(addr, Some(timeout)), policy);
+        match request {
+            Request::Map(m) => client.map(m),
+            other => client.send(&other),
+        }
+        .map_err(|e| e.to_string())?
+    } else {
+        let mut client = ServiceClient::connect(addr, Some(timeout))?;
+        client.send(&request)?
+    };
     let line = response.to_line();
     match &response {
         Response::Error(e) => Err(format!(

@@ -37,6 +37,15 @@ pub struct CalibrationConfig {
     /// notes intra-site variation is *larger* (but matters little since
     /// intra performance is high).
     pub intra_noise_cv: f64,
+    /// Probability that one campaign sample (a latency+bandwidth probe
+    /// pair) is lost: the WAN ate it, the remote instance was down.
+    /// Must be in `[0, 1)`. Lost samples still count as issued probes
+    /// but contribute no measurement; a site pair losing *every* sample
+    /// degrades to its last-known-good estimate (see
+    /// [`Calibrator::calibrate_resilient`]). At the default `0.0` the
+    /// loss draw is skipped entirely, so the RNG stream — and every
+    /// seeded result in the workspace — is unchanged.
+    pub loss_rate: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -50,10 +59,34 @@ impl Default for CalibrationConfig {
             large_bytes: BANDWIDTH_PROBE_BYTES,
             inter_noise_cv: 0.02,
             intra_noise_cv: 0.05,
+            loss_rate: 0.0,
             seed: 0xCA11,
         }
     }
 }
+
+/// A calibration campaign that could not produce an estimate: some site
+/// pair lost every probe and no last-known-good network was available
+/// to fall back on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalibrationError {
+    /// Source site of the starved pair.
+    pub site_a: usize,
+    /// Destination site of the starved pair.
+    pub site_b: usize,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "site pair ({}, {}) lost every probe and no last-known-good estimate exists",
+            self.site_a, self.site_b
+        )
+    }
+}
+
+impl std::error::Error for CalibrationError {}
 
 /// Outcome of a calibration campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,10 +94,22 @@ pub struct CalibrationReport {
     /// The estimated network (sites copied from the ground truth, `LT`/`BT`
     /// from measurements). This is what the optimizer sees.
     pub estimated: SiteNetwork,
-    /// Per-site-pair coefficient of variation of the bandwidth samples.
+    /// Per-site-pair coefficient of variation of the bandwidth samples
+    /// (0 for pairs served from the fallback — nothing was measured).
     pub bandwidth_cv: SquareMatrix,
-    /// Total number of ping-pong probes issued.
+    /// Total number of ping-pong probes issued (lost ones included —
+    /// they cost campaign time whether or not they answer).
     pub probes: usize,
+    /// True when at least one site pair lost every probe and its
+    /// `LT`/`BT` entries came from the last-known-good network instead
+    /// of fresh measurements.
+    pub degraded: bool,
+    /// Site pairs that fell back to last-known-good entries.
+    pub stale_pairs: usize,
+    /// How many calibration generations old the fallback entries are
+    /// (0 when the report is fresh; filled in by the caller that owns
+    /// the generation counter, e.g. the mapping service).
+    pub staleness: u64,
 }
 
 impl CalibrationReport {
@@ -100,6 +145,11 @@ impl Calibrator {
             config.large_bytes > config.small_bytes,
             "bandwidth probe must exceed latency probe"
         );
+        assert!(
+            (0.0..1.0).contains(&config.loss_rate),
+            "loss rate must be in [0, 1), got {}",
+            config.loss_rate
+        );
         Self { config }
     }
 
@@ -124,14 +174,45 @@ impl Calibrator {
     }
 
     /// Run the campaign against the ground truth and estimate `LT`/`BT`.
+    ///
+    /// # Panics
+    ///
+    /// With a nonzero `loss_rate` a site pair can lose every sample;
+    /// without a fallback network that is unrecoverable, so this
+    /// convenience wrapper panics. Callers that configure loss should
+    /// use [`Calibrator::calibrate_resilient`] instead.
     pub fn calibrate(&self, truth: &SiteNetwork) -> CalibrationReport {
+        self.calibrate_resilient(truth, None)
+            .expect("campaign starved a site pair; use calibrate_resilient with a fallback")
+    }
+
+    /// Run the campaign, surviving lost probes: a site pair that loses
+    /// every sample takes its `LT`/`BT` entries from `fallback` (the
+    /// last-known-good estimate) and the report comes back
+    /// `degraded: true` with the starved pairs counted. Only when a
+    /// pair is starved *and* there is no fallback does calibration
+    /// fail. With the default `loss_rate = 0.0` this is exactly
+    /// [`Calibrator::calibrate`]: same RNG stream, same bits.
+    pub fn calibrate_resilient(
+        &self,
+        truth: &SiteNetwork,
+        fallback: Option<&SiteNetwork>,
+    ) -> Result<CalibrationReport, CalibrationError> {
         let m = truth.num_sites();
+        if let Some(f) = fallback {
+            assert_eq!(
+                f.num_sites(),
+                m,
+                "fallback network has a different site count"
+            );
+        }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let samples = self.config.days * self.config.probes_per_day;
         let mut lt = SquareMatrix::zeros(m);
         let mut bt = SquareMatrix::zeros(m);
         let mut cv = SquareMatrix::zeros(m);
         let mut probes = 0usize;
+        let mut stale_pairs = 0usize;
 
         for k in 0..m {
             for l in 0..m {
@@ -139,6 +220,13 @@ impl Calibrator {
                 let mut lat_sum = 0.0;
                 let mut bw_samples = Vec::with_capacity(samples);
                 for _ in 0..samples {
+                    // The loss draw is short-circuited at 0.0 so a
+                    // loss-free campaign consumes the exact RNG stream
+                    // it always did (seeded results stay bit-identical).
+                    if self.config.loss_rate > 0.0 && rng.random_bool(self.config.loss_rate) {
+                        probes += 2; // issued, never answered
+                        continue;
+                    }
                     let t_small = self.probe(truth, sk, sl, self.config.small_bytes, &mut rng);
                     let t_large = self.probe(truth, sk, sl, self.config.large_bytes, &mut rng);
                     probes += 2;
@@ -149,24 +237,41 @@ impl Calibrator {
                     let ser = (t_large - t_small).max(1e-9);
                     bw_samples.push(self.config.large_bytes as f64 / ser);
                 }
-                let lat = lat_sum / samples as f64;
-                let mean_bw = bw_samples.iter().sum::<f64>() / samples as f64;
+                if bw_samples.is_empty() {
+                    let Some(f) = fallback else {
+                        return Err(CalibrationError {
+                            site_a: k,
+                            site_b: l,
+                        });
+                    };
+                    lt.set(k, l, f.lt().get(k, l));
+                    bt.set(k, l, f.bt().get(k, l));
+                    cv.set(k, l, 0.0);
+                    stale_pairs += 1;
+                    continue;
+                }
+                let got = bw_samples.len() as f64;
+                let lat = lat_sum / got;
+                let mean_bw = bw_samples.iter().sum::<f64>() / got;
                 let var = bw_samples
                     .iter()
                     .map(|b| (b - mean_bw).powi(2))
                     .sum::<f64>()
-                    / samples as f64;
+                    / got;
                 lt.set(k, l, lat);
                 bt.set(k, l, mean_bw);
                 cv.set(k, l, var.sqrt() / mean_bw);
             }
         }
 
-        CalibrationReport {
+        Ok(CalibrationReport {
             estimated: SiteNetwork::new(truth.sites().to_vec(), lt, bt),
             bandwidth_cv: cv,
             probes,
-        }
+            degraded: stale_pairs > 0,
+            stale_pairs,
+            staleness: 0,
+        })
     }
 }
 
@@ -267,5 +372,106 @@ mod tests {
             days: 0,
             ..CalibrationConfig::default()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn full_loss_rate_rejected() {
+        Calibrator::new(CalibrationConfig {
+            loss_rate: 1.0,
+            ..CalibrationConfig::default()
+        });
+    }
+
+    #[test]
+    fn zero_loss_resilient_path_is_bit_identical_to_calibrate() {
+        let truth = paper_ec2_network(8, InstanceType::M4Xlarge, 3);
+        let plain = Calibrator::new(CalibrationConfig::default()).calibrate(&truth);
+        let resilient = Calibrator::new(CalibrationConfig::default())
+            .calibrate_resilient(&truth, Some(&truth))
+            .unwrap();
+        assert_eq!(plain.estimated, resilient.estimated);
+        assert!(!resilient.degraded);
+        assert_eq!(resilient.stale_pairs, 0);
+    }
+
+    #[test]
+    fn lost_probes_still_count_as_issued() {
+        let truth = paper_ec2_network(8, InstanceType::M4Xlarge, 3);
+        let cfg = CalibrationConfig {
+            loss_rate: 0.5,
+            ..CalibrationConfig::default()
+        };
+        let report = Calibrator::new(cfg.clone())
+            .calibrate_resilient(&truth, Some(&truth))
+            .unwrap();
+        // Every sample issues two probes whether or not it answers.
+        assert_eq!(report.probes, 4 * 4 * cfg.days * cfg.probes_per_day * 2);
+    }
+
+    #[test]
+    fn starved_pairs_fall_back_to_last_known_good() {
+        let truth = paper_ec2_network(8, InstanceType::M4Xlarge, 3);
+        // One sample per pair at near-certain loss: every pair starves.
+        let report = Calibrator::new(CalibrationConfig {
+            days: 1,
+            probes_per_day: 1,
+            loss_rate: 0.999_999,
+            seed: 11,
+            ..CalibrationConfig::default()
+        })
+        .calibrate_resilient(&truth, Some(&truth))
+        .unwrap();
+        assert!(report.degraded);
+        assert!(report.stale_pairs > 0, "no pair starved at 99.9999% loss");
+        // Fallback entries are copied verbatim from the last-known-good
+        // network, with no bandwidth variation (nothing was measured).
+        let m = truth.num_sites();
+        let mut checked = 0;
+        for k in 0..m {
+            for l in 0..m {
+                if report.bandwidth_cv.get(k, l) == 0.0
+                    && report.estimated.lt().get(k, l) == truth.lt().get(k, l)
+                    && report.estimated.bt().get(k, l) == truth.bt().get(k, l)
+                {
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked >= report.stale_pairs);
+    }
+
+    #[test]
+    fn starved_pair_without_fallback_is_an_error() {
+        let truth = paper_ec2_network(8, InstanceType::M4Xlarge, 3);
+        let err = Calibrator::new(CalibrationConfig {
+            days: 1,
+            probes_per_day: 1,
+            loss_rate: 0.999_999,
+            seed: 11,
+            ..CalibrationConfig::default()
+        })
+        .calibrate_resilient(&truth, None)
+        .unwrap_err();
+        assert!(err.to_string().contains("lost every probe"), "{err}");
+    }
+
+    #[test]
+    fn lossy_campaign_is_deterministic_given_seed() {
+        let truth = paper_ec2_network(8, InstanceType::M4Xlarge, 1);
+        let cfg = CalibrationConfig {
+            loss_rate: 0.4,
+            days: 1,
+            probes_per_day: 2,
+            ..CalibrationConfig::default()
+        };
+        let a = Calibrator::new(cfg.clone())
+            .calibrate_resilient(&truth, Some(&truth))
+            .unwrap();
+        let b = Calibrator::new(cfg)
+            .calibrate_resilient(&truth, Some(&truth))
+            .unwrap();
+        assert_eq!(a.estimated, b.estimated);
+        assert_eq!(a.stale_pairs, b.stale_pairs);
     }
 }

@@ -39,7 +39,9 @@ pub mod presets;
 pub mod site;
 pub mod synth;
 
-pub use calibrate::{calibration_cost_minutes, CalibrationConfig, CalibrationReport, Calibrator};
+pub use calibrate::{
+    calibration_cost_minutes, CalibrationConfig, CalibrationError, CalibrationReport, Calibrator,
+};
 pub use coords::GeoCoord;
 pub use instance::InstanceType;
 pub use link::AlphaBeta;

@@ -1,71 +1,49 @@
-//! A blocking JSON-lines client for the daemon.
+//! Clients for the daemon: a plain blocking one and a resilient one.
 //!
-//! One request per call, one connection per client; the protocol
-//! allows pipelining, so a client can issue several requests over its
-//! lifetime. Everything the CLI's `geomap request` subcommand and the
-//! bench load generator need, with string errors that read well on one
-//! diagnostic line.
+//! [`ServiceClient`] is the original single-shot client — one request
+//! per call over a [`TcpTransport`](crate::transport::TcpTransport),
+//! string errors that read well on one diagnostic line.
+//!
+//! [`RetryingClient`] layers resilience on any
+//! [`Connector`](crate::transport::Connector): a retry budget, capped
+//! exponential backoff with deterministic jitter (seeded from the
+//! vendored RNG — two clients with the same [`RetryPolicy`] back off
+//! identically), reconnect-on-failure, and retry on transient server
+//! refusals ([`ErrorCode::is_retryable`]). Retrying a *reserving* map
+//! request is only safe with an idempotency key — the server replays
+//! the remembered response instead of reserving twice — so
+//! [`RetryingClient::map`] generates one automatically and
+//! [`RetryingClient::send`] refuses to blind-retry a reserving request
+//! after an ambiguous failure (see
+//! [`TransportError::is_ambiguous`](crate::transport::TransportError::is_ambiguous)).
 
-use crate::proto::{MapRequest, Request, Response};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use crate::proto::{ErrorCode, MapRequest, Request, Response};
+use crate::transport::{Connector, TcpTransport, Transport};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::time::Duration;
 
-/// A connected client.
+/// A connected single-shot client (no retries; failures are strings).
 #[derive(Debug)]
 pub struct ServiceClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    transport: TcpTransport,
 }
 
 impl ServiceClient {
     /// Connect to `addr` (host:port). `timeout` bounds the connection
     /// attempt and every subsequent read/write (`None`: OS defaults).
     pub fn connect(addr: &str, timeout: Option<Duration>) -> Result<Self, String> {
-        let resolved: Vec<SocketAddr> = addr
-            .to_socket_addrs()
-            .map_err(|e| format!("cannot resolve {addr:?}: {e}"))?
-            .collect();
-        let mut last_err = format!("{addr:?} resolved to no addresses");
-        for candidate in resolved {
-            let attempt = match timeout {
-                Some(t) => TcpStream::connect_timeout(&candidate, t),
-                None => TcpStream::connect(candidate),
-            };
-            match attempt {
-                Ok(stream) => {
-                    stream
-                        .set_read_timeout(timeout)
-                        .and_then(|()| stream.set_write_timeout(timeout))
-                        .map_err(|e| format!("cannot configure socket: {e}"))?;
-                    let writer = stream
-                        .try_clone()
-                        .map_err(|e| format!("cannot clone socket: {e}"))?;
-                    return Ok(Self {
-                        reader: BufReader::new(stream),
-                        writer,
-                    });
-                }
-                Err(e) => last_err = format!("cannot connect to {candidate}: {e}"),
-            }
-        }
-        Err(last_err)
+        TcpTransport::connect(addr, timeout)
+            .map(|transport| Self { transport })
+            .map_err(|e| e.to_string())
     }
 
     /// Send one request and wait for its response line.
     pub fn send(&mut self, request: &Request) -> Result<Response, String> {
-        let mut line = request.to_line();
-        line.push('\n');
-        self.writer
-            .write_all(line.as_bytes())
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("cannot send request: {e}"))?;
-        let mut reply = String::new();
-        match self.reader.read_line(&mut reply) {
-            Ok(0) => Err("server closed the connection without responding".into()),
-            Ok(_) => Response::from_line(&reply),
-            Err(e) => Err(format!("cannot read response: {e}")),
-        }
+        self.transport
+            .send_line(&request.to_line())
+            .map_err(|e| e.to_string())?;
+        let reply = self.transport.recv_line().map_err(|e| e.to_string())?;
+        Response::from_line(&reply)
     }
 
     /// Shorthand: send a `map` request.
@@ -89,5 +67,263 @@ impl ServiceClient {
     /// Shorthand: ask the daemon to drain and exit.
     pub fn shutdown(&mut self, id: &str) -> Result<Response, String> {
         self.send(&Request::Shutdown { id: id.to_string() })
+    }
+}
+
+/// How hard a [`RetryingClient`] tries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first one included (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff pause.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter *and* the client's
+    /// auto-generated idempotency keys — give every client its own.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            seed: 0x7E7B,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The full backoff schedule (one pause per possible retry):
+    /// `min(base · 2^i, cap)` scaled by a jitter factor in `[0.5, 1.0)`
+    /// drawn from the seeded RNG. Pure: same policy, same schedule.
+    pub fn backoff_schedule(&self) -> Vec<Duration> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|i| {
+                let exp = self
+                    .base_backoff
+                    .saturating_mul(2u32.saturating_pow(i))
+                    .min(self.max_backoff);
+                let jitter = 0.5 + 0.5 * rng.random_range(0.0..1.0f64);
+                Duration::from_secs_f64(exp.as_secs_f64() * jitter)
+            })
+            .collect()
+    }
+}
+
+/// Why a [`RetryingClient`] call gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Every attempt failed transiently; trying again later may work.
+    Retryable {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last failure, verbatim.
+        last_error: String,
+    },
+    /// Retrying would be wrong (e.g. a reserving map request without an
+    /// idempotency key failed ambiguously — a retry could reserve
+    /// twice).
+    Fatal(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Retryable {
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "{}: gave up after {attempts} attempts: {last_error}",
+                ErrorCode::Retryable.label()
+            ),
+            ClientError::Fatal(m) => write!(f, "fatal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client that retries through any [`Connector`].
+#[derive(Debug)]
+pub struct RetryingClient<C: Connector> {
+    connector: C,
+    policy: RetryPolicy,
+    backoffs: Vec<Duration>,
+    conn: Option<C::Conn>,
+    client_tag: u64,
+    next_key: u64,
+}
+
+impl<C: Connector> RetryingClient<C> {
+    /// A client that connects through `connector` under `policy`.
+    pub fn new(connector: C, policy: RetryPolicy) -> Self {
+        let backoffs = policy.backoff_schedule();
+        let client_tag = crate::fingerprint::Fingerprint::new()
+            .u64(policy.seed)
+            .finish();
+        Self {
+            connector,
+            policy,
+            backoffs,
+            conn: None,
+            client_tag,
+            next_key: 0,
+        }
+    }
+
+    /// The policy this client runs under.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// The next auto-idempotency key: deterministic per (seed,
+    /// sequence), unique per logical request within this client.
+    fn generate_key(&mut self) -> String {
+        self.next_key += 1;
+        format!("auto-{:016x}-{}", self.client_tag, self.next_key)
+    }
+
+    /// Send a `map` request, auto-filling an idempotency key when the
+    /// request reserves inventory and carries none — making every retry
+    /// safe by construction.
+    pub fn map(&mut self, mut request: MapRequest) -> Result<Response, ClientError> {
+        if request.reserve && request.idempotency_key.is_none() && self.policy.max_attempts > 1 {
+            request.idempotency_key = Some(self.generate_key());
+        }
+        self.send(&Request::Map(request))
+    }
+
+    /// Shorthand: release a lease (a redundant release after a lost
+    /// response comes back as a clean `unknown_lease`, never a
+    /// double-free — the inventory already forgot the lease).
+    pub fn release(&mut self, id: &str, lease: u64) -> Result<Response, ClientError> {
+        self.send(&Request::Release {
+            id: id.to_string(),
+            lease,
+        })
+    }
+
+    /// Shorthand: fetch server counters (read-only, always retry-safe).
+    pub fn stats(&mut self, id: &str) -> Result<Response, ClientError> {
+        self.send(&Request::Stats { id: id.to_string() })
+    }
+
+    /// Send one request with retries. Returns the server's response —
+    /// including non-retryable `Error` responses, which *are* the
+    /// answer — or a [`ClientError`] once the budget is spent.
+    pub fn send(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let line = request.to_line();
+        // A reserving map request without an idempotency key must not
+        // be retried after an ambiguous failure: the first attempt may
+        // have reserved, and a retry would reserve again.
+        let ambiguity_unsafe =
+            matches!(request, Request::Map(m) if m.reserve && m.idempotency_key.is_none());
+        let mut last_error = String::from("no attempt made");
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                let pause = self.backoffs[(attempt - 1) as usize];
+                self.connector.backoff(pause);
+            }
+            let retries_left = attempt + 1 < self.policy.max_attempts.max(1);
+            if self.conn.is_none() {
+                match self.connector.connect() {
+                    Ok(c) => self.conn = Some(c),
+                    Err(e) => {
+                        last_error = e.to_string();
+                        continue; // unambiguous: nothing was sent
+                    }
+                }
+            }
+            let conn = self.conn.as_mut().expect("connection just established");
+            let outcome = conn.send_line(&line).and_then(|()| conn.recv_line());
+            match outcome {
+                Ok(reply) => match Response::from_line(&reply) {
+                    Ok(Response::Error(e)) if e.code.is_retryable() => {
+                        // A clean, transient refusal: the connection is
+                        // fine, the server's moment was not.
+                        last_error = format!("{}: {}", e.code.label(), e.message);
+                    }
+                    Ok(response) => return Ok(response),
+                    Err(parse) => {
+                        // Garbled response: the server processed the
+                        // request, we just can't read the answer.
+                        self.conn = None;
+                        last_error = format!("garbled response: {parse}");
+                        if ambiguity_unsafe && retries_left {
+                            return Err(self.ambiguous_fatal(&last_error));
+                        }
+                    }
+                },
+                Err(te) => {
+                    self.conn = None;
+                    last_error = te.to_string();
+                    if te.is_ambiguous() && ambiguity_unsafe && retries_left {
+                        return Err(self.ambiguous_fatal(&last_error));
+                    }
+                }
+            }
+        }
+        Err(ClientError::Retryable {
+            attempts: self.policy.max_attempts.max(1),
+            last_error,
+        })
+    }
+
+    fn ambiguous_fatal(&self, failure: &str) -> ClientError {
+        ClientError::Fatal(format!(
+            "will not retry a reserving map request without an idempotency key \
+             after an ambiguous failure ({failure}); set one, or use \
+             RetryingClient::map which does"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+            seed: 9,
+        };
+        let a = policy.backoff_schedule();
+        let b = policy.backoff_schedule();
+        assert_eq!(a, b, "same policy must yield the same schedule");
+        assert_eq!(a.len(), 5);
+        for (i, pause) in a.iter().enumerate() {
+            let uncapped = 100u64 << i;
+            let exp = uncapped.min(400) as f64 / 1e3;
+            let f = pause.as_secs_f64() / exp;
+            assert!((0.5..1.0).contains(&f), "pause {i} jitter factor {f}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_jitter_differently() {
+        let mk = |seed| RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(mk(1).backoff_schedule(), mk(2).backoff_schedule());
+    }
+
+    #[test]
+    fn client_error_displays_on_one_line() {
+        let e = ClientError::Retryable {
+            attempts: 3,
+            last_error: "injected fault: read timed out".into(),
+        };
+        let line = e.to_string();
+        assert!(line.starts_with("retryable:"), "{line}");
+        assert!(!line.contains('\n'));
     }
 }

@@ -194,6 +194,27 @@ impl ClusterInventory {
         inner.expire(Instant::now());
         inner.leases.len()
     }
+
+    /// Per-site node counts summed over live leases (after expiring
+    /// stale ones) — the `Σ leases` side of the conservation invariant,
+    /// so release-build tests can assert
+    /// `free[j] + leased[j] == capacity[j]` without debug assertions.
+    pub fn leased_counts(&self) -> Vec<usize> {
+        self.leased_counts_at(Instant::now())
+    }
+
+    /// [`ClusterInventory::leased_counts`] with an explicit clock.
+    pub fn leased_counts_at(&self, now: Instant) -> Vec<usize> {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        inner.expire(now);
+        let mut leased = vec![0usize; inner.capacity.len()];
+        for lease in inner.leases.values() {
+            for (t, c) in leased.iter_mut().zip(&lease.counts) {
+                *t += c;
+            }
+        }
+        leased
+    }
 }
 
 #[cfg(test)]

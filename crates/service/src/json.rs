@@ -143,10 +143,14 @@ impl Json {
     }
 
     /// Parse one JSON document, rejecting trailing non-whitespace.
+    /// Nesting beyond [`MAX_DEPTH`] containers is an error, not a stack
+    /// overflow — the parser recurses, and this daemon parses
+    /// attacker-supplied lines.
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -177,12 +181,29 @@ fn escape_json(s: &str, out: &mut String) {
     }
 }
 
+/// Deepest container nesting [`Json::parse`] accepts. The wire protocol
+/// nests three levels; 128 leaves two orders of magnitude of headroom
+/// while keeping the recursive parser far from any thread's stack limit.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -316,11 +337,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -331,6 +354,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -339,11 +363,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -359,6 +385,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -470,5 +497,24 @@ mod tests {
     #[test]
     fn non_finite_numbers_emit_null() {
         assert_eq!(Json::Num(f64::NAN).emit(), "null");
+    }
+
+    #[test]
+    fn nesting_at_the_cap_parses() {
+        let text = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&text).is_ok());
+        let objs = format!("{}1{}", "{\"k\":".repeat(MAX_DEPTH), "}".repeat(MAX_DEPTH));
+        assert!(Json::parse(&objs).is_ok());
+    }
+
+    #[test]
+    fn nesting_past_the_cap_is_an_error_not_a_crash() {
+        // Far beyond the cap: without the depth check this recursion
+        // would blow the stack long before hitting a parse error.
+        for depth in [MAX_DEPTH + 1, 100_000] {
+            let text = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+            let err = Json::parse(&text).unwrap_err();
+            assert!(err.contains("nesting deeper"), "{err}");
+        }
     }
 }

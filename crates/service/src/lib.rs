@@ -25,7 +25,8 @@
 //! service::MappingService            ← in-memory mode, deterministic
 //!        ├── inventory  ├── cache  ├── fingerprint
 //! server::MappingServer              ← TCP front-end, queue, workers
-//! client                             ← blocking JSON-lines client
+//! transport                          ← Transport/Connector seam, faults
+//! client                             ← blocking + retrying clients
 //! ```
 //!
 //! [`service::MappingService::handle`] is the entire service as a
@@ -40,13 +41,18 @@ pub mod json;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod transport;
 pub mod wire;
 
-pub use client::ServiceClient;
+pub use client::{ClientError, RetryPolicy, RetryingClient, ServiceClient};
 pub use inventory::ClusterInventory;
 pub use proto::{ErrorCode, MapRequest, Request, Response, PROTOCOL_VERSION};
 pub use server::MappingServer;
 pub use service::{MappingService, ServiceConfig};
+pub use transport::{
+    Connector, Fault, FaultPlan, FaultyConnector, LoopbackConnector, TcpConnector, Transport,
+    TransportError,
+};
 
 use geomap_core::ConstraintVector;
 use geonet::SiteId;

@@ -30,6 +30,10 @@ pub struct CalibSpec {
     /// Inter-site noise CV (intra-site uses 2.5x, matching
     /// `geomap calibrate`).
     pub noise_cv: f64,
+    /// Probability in `[0, 1)` that one campaign sample is lost.
+    /// Starved site pairs fall back to the daemon's last-known-good
+    /// estimate (surfaced as `degraded` on the response).
+    pub loss_rate: f64,
     /// Campaign RNG seed.
     pub seed: u64,
 }
@@ -40,6 +44,7 @@ impl Default for CalibSpec {
             days: 3,
             probes_per_day: 10,
             noise_cv: 0.02,
+            loss_rate: 0.0,
             seed: 0xCA11,
         }
     }
@@ -53,6 +58,7 @@ impl CalibSpec {
             probes_per_day: self.probes_per_day,
             inter_noise_cv: self.noise_cv,
             intra_noise_cv: self.noise_cv * 2.5,
+            loss_rate: self.loss_rate,
             seed: self.seed,
             ..geonet::CalibrationConfig::default()
         }
@@ -90,6 +96,12 @@ pub struct MapRequest {
     /// Consult the solved-result cache (`false` forces a fresh solve —
     /// the load generator uses this to measure the miss path).
     pub use_result_cache: bool,
+    /// Client-generated idempotency key. The service remembers the
+    /// successful response per key and replays it verbatim (same lease
+    /// id) when the key comes back, so a client that lost a response
+    /// can retry without double-reserving inventory. Reusing a key with
+    /// a *different* request is a `bad_request`.
+    pub idempotency_key: Option<String>,
 }
 
 impl MapRequest {
@@ -109,11 +121,17 @@ impl MapRequest {
             reserve: false,
             lease_ttl_ms: None,
             use_result_cache: true,
+            idempotency_key: None,
         }
     }
 }
 
 /// Every request kind a connection can submit.
+///
+/// `Map` dwarfs the other variants, but requests are decoded once per
+/// wire line and passed by reference everywhere, so boxing it would
+/// buy nothing and cost an allocation per request.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Solve a mapping.
@@ -190,6 +208,12 @@ pub struct MapResponse {
     pub site_counts: Vec<usize>,
     /// Free nodes per site after this response.
     pub free_nodes: Vec<usize>,
+    /// True when the calibration behind this mapping fell back to
+    /// last-known-good entries for at least one starved site pair.
+    pub degraded: bool,
+    /// Calibration generations between the fallback entries and this
+    /// response (0 when fresh).
+    pub staleness: u64,
 }
 
 /// Service counters and inventory state.
@@ -207,6 +231,9 @@ pub struct StatsResponse {
     pub misses: u64,
     /// Requests rejected (queue full, deadline, inventory, shutdown).
     pub rejected: u64,
+    /// Responses replayed from the idempotency cache (a retry arrived
+    /// for work already done).
+    pub replays: u64,
     /// Free nodes per site right now.
     pub free_nodes: Vec<usize>,
     /// Live (unexpired, unreleased) leases.
@@ -244,6 +271,15 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The solver failed (bug surface, never expected in tests).
     Internal,
+    /// A transient failure: nothing about the request was wrong, trying
+    /// again may succeed. Clients synthesize this when a retry budget
+    /// runs out; servers may use it for any condition that retrying can
+    /// fix.
+    Retryable,
+    /// Calibration could not produce an estimate (a site pair lost
+    /// every probe with no last-known-good fallback); the request is
+    /// fine, the measurement layer is not.
+    Degraded,
 }
 
 impl ErrorCode {
@@ -258,6 +294,8 @@ impl ErrorCode {
             ErrorCode::UnknownLease => "unknown_lease",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
+            ErrorCode::Retryable => "retryable",
+            ErrorCode::Degraded => "degraded",
         }
     }
 
@@ -272,9 +310,22 @@ impl ErrorCode {
             ErrorCode::UnknownLease,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
+            ErrorCode::Retryable,
+            ErrorCode::Degraded,
         ]
         .into_iter()
         .find(|c| c.label() == s)
+    }
+
+    /// True for codes a client may retry: the refusal was about the
+    /// server's momentary state (full queue, missed deadline, explicit
+    /// `retryable`), not about the request itself. `shutting_down` is
+    /// deliberately not retryable — this daemon is going away.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::OverCapacity | ErrorCode::DeadlineExceeded | ErrorCode::Retryable
+        )
     }
 }
 
@@ -363,6 +414,7 @@ impl Request {
                         ("days", Json::Num(m.calibration.days as f64)),
                         ("probes", Json::Num(m.calibration.probes_per_day as f64)),
                         ("noise", Json::Num(m.calibration.noise_cv)),
+                        ("loss", Json::Num(m.calibration.loss_rate)),
                         ("seed", Json::Num(m.calibration.seed as f64)),
                     ]),
                 ),
@@ -370,6 +422,10 @@ impl Request {
                 ("reserve", Json::Bool(m.reserve)),
                 ("lease_ttl_ms", opt_u64(m.lease_ttl_ms)),
                 ("cache", Json::Bool(m.use_result_cache)),
+                (
+                    "idem",
+                    m.idempotency_key.clone().map_or(Json::Null, Json::Str),
+                ),
             ]),
             Request::Release { id, lease } => obj(vec![
                 v,
@@ -460,16 +516,23 @@ impl Request {
                             .unwrap_or(d.probes_per_day as u64)
                             as usize,
                         noise_cv: c.get("noise").and_then(Json::as_f64).unwrap_or(d.noise_cv),
+                        loss_rate: c.get("loss").and_then(Json::as_f64).unwrap_or(d.loss_rate),
                         seed: c.get("seed").and_then(Json::as_u64).unwrap_or(d.seed),
                     };
                     if !(m.calibration.noise_cv.is_finite() && m.calibration.noise_cv >= 0.0) {
                         return Err(bad(&id, "calibration noise must be finite and >= 0".into()));
+                    }
+                    if !(m.calibration.loss_rate.is_finite()
+                        && (0.0..1.0).contains(&m.calibration.loss_rate))
+                    {
+                        return Err(bad(&id, "calibration loss must be in [0, 1)".into()));
                     }
                 }
                 m.deadline_ms = doc.get("deadline_ms").and_then(Json::as_u64);
                 m.reserve = doc.get("reserve").and_then(Json::as_bool).unwrap_or(false);
                 m.lease_ttl_ms = doc.get("lease_ttl_ms").and_then(Json::as_u64);
                 m.use_result_cache = doc.get("cache").and_then(Json::as_bool).unwrap_or(true);
+                m.idempotency_key = doc.get("idem").and_then(Json::as_str).map(str::to_string);
                 Ok(Request::Map(m))
             }
             "release" => {
@@ -503,6 +566,8 @@ impl Response {
                 ("lease", opt_u64(r.lease)),
                 ("site_counts", usize_arr(&r.site_counts)),
                 ("free_nodes", usize_arr(&r.free_nodes)),
+                ("degraded", Json::Bool(r.degraded)),
+                ("staleness", Json::Num(r.staleness as f64)),
             ]),
             Response::Release {
                 id,
@@ -524,6 +589,7 @@ impl Response {
                 ("problem_hits", Json::Num(s.problem_hits as f64)),
                 ("misses", Json::Num(s.misses as f64)),
                 ("rejected", Json::Num(s.rejected as f64)),
+                ("replays", Json::Num(s.replays as f64)),
                 ("free_nodes", usize_arr(&s.free_nodes)),
                 ("active_leases", Json::Num(s.active_leases as f64)),
             ]),
@@ -598,6 +664,8 @@ impl Response {
                 lease: doc.get("lease").and_then(Json::as_u64),
                 site_counts: usizes("site_counts")?,
                 free_nodes: usizes("free_nodes")?,
+                degraded: doc.get("degraded").and_then(Json::as_bool).unwrap_or(false),
+                staleness: doc.get("staleness").and_then(Json::as_u64).unwrap_or(0),
             })),
             "release_response" => Ok(Response::Release {
                 id,
@@ -611,6 +679,7 @@ impl Response {
                 problem_hits: u64_field("problem_hits")?,
                 misses: u64_field("misses")?,
                 rejected: u64_field("rejected")?,
+                replays: doc.get("replays").and_then(Json::as_u64).unwrap_or(0),
                 free_nodes: usizes("free_nodes")?,
                 active_leases: u64_field("active_leases")?,
             })),
@@ -653,12 +722,14 @@ mod tests {
             days: 1,
             probes_per_day: 2,
             noise_cv: 0.1,
+            loss_rate: 0.25,
             seed: 7,
         };
         m.deadline_ms = Some(250);
         m.reserve = true;
         m.lease_ttl_ms = Some(60_000);
         m.use_result_cache = false;
+        m.idempotency_key = Some("client-7/42".into());
         let req = Request::Map(m);
         let back = Request::from_line(&req.to_line()).unwrap();
         assert_eq!(back, req);
@@ -704,6 +775,8 @@ mod tests {
                 lease: Some(3),
                 site_counts: vec![2, 2],
                 free_nodes: vec![0, 0],
+                degraded: true,
+                staleness: 2,
             }),
             Response::Release {
                 id: "x".into(),
@@ -717,6 +790,7 @@ mod tests {
                 problem_hits: 3,
                 misses: 3,
                 rejected: 1,
+                replays: 2,
                 free_nodes: vec![1, 2],
                 active_leases: 2,
             }),
@@ -776,9 +850,55 @@ mod tests {
             ErrorCode::UnknownLease,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
+            ErrorCode::Retryable,
+            ErrorCode::Degraded,
         ] {
             assert_eq!(ErrorCode::parse(code.label()), Some(code));
         }
         assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn retryable_classification_is_stable() {
+        for (code, retryable) in [
+            (ErrorCode::BadRequest, false),
+            (ErrorCode::UnsupportedVersion, false),
+            (ErrorCode::OverCapacity, true),
+            (ErrorCode::DeadlineExceeded, true),
+            (ErrorCode::InsufficientNodes, false),
+            (ErrorCode::UnknownLease, false),
+            (ErrorCode::ShuttingDown, false),
+            (ErrorCode::Internal, false),
+            (ErrorCode::Retryable, true),
+            (ErrorCode::Degraded, false),
+        ] {
+            assert_eq!(code.is_retryable(), retryable, "{}", code.label());
+        }
+    }
+
+    #[test]
+    fn invalid_loss_rate_is_bad_request() {
+        for loss in ["1.0", "-0.1", "2"] {
+            let line = format!(
+                r#"{{"v":1,"kind":"map","id":"a","pattern_csv":"src,dst,bytes,msgs\n","calibration":{{"loss":{loss}}}}}"#
+            );
+            let err = Request::from_line(&line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+            assert!(err.message.contains("loss"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn missing_degradation_fields_decode_as_fresh() {
+        // A v1 response written before the degradation fields existed.
+        let line = concat!(
+            r#"{"v":1,"kind":"map_response","id":"old","mapping":[0],"cost":1.0,"#,
+            r#""cached":"miss","site_counts":[1],"free_nodes":[3]}"#
+        );
+        let Response::Map(r) = Response::from_line(line).unwrap() else {
+            panic!("not a map response")
+        };
+        assert!(!r.degraded);
+        assert_eq!(r.staleness, 0);
     }
 }

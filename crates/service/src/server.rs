@@ -35,6 +35,16 @@ const POLL: Duration = Duration::from_millis(5);
 /// worker instead of pinning it forever.
 const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Longest request line a worker will buffer. A peer that streams
+/// garbage without ever sending `\n` gets a clean `bad_request` at this
+/// bound instead of growing the line buffer without limit.
+pub const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// Bytes of an oversized request we keep consuming before hanging up,
+/// so the error response isn't lost to a TCP reset while the peer is
+/// still mid-send (a best-effort lingering close, not a guarantee).
+const DRAIN_LIMIT: usize = 64 << 20;
+
 /// An admitted connection waiting for a worker.
 struct Job {
     stream: TcpStream,
@@ -257,10 +267,21 @@ fn serve_connection(
     let mut line = String::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
-            Err(_) => return, // timeout or reset: free the worker
+        match read_bounded_line(&mut reader, &mut line) {
+            LineRead::Line => {}
+            LineRead::Eof | LineRead::Err => return, // closed, timeout or reset
+            LineRead::TooLong => {
+                let resp = service.reject(
+                    "",
+                    ErrorCode::BadRequest,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                // Keep reading (bounded) so the peer's send isn't cut
+                // off by a reset before it reads our error line.
+                write_response(&mut writer, &resp);
+                drain_bounded(&mut reader);
+                return;
+            }
         }
         if line.trim().is_empty() {
             continue;
@@ -306,6 +327,73 @@ fn serve_connection(
         service.record_respond(respond_start.elapsed().as_secs_f64());
         if !delivered || shutdown_now {
             return;
+        }
+    }
+}
+
+enum LineRead {
+    /// A complete line (terminator stripped) is in the buffer.
+    Line,
+    /// Clean close before any byte of a new line.
+    Eof,
+    /// [`MAX_LINE_BYTES`] consumed without seeing `\n`.
+    TooLong,
+    /// Timeout or reset.
+    Err,
+}
+
+/// `read_line` with a ceiling: consumes from `reader` until `\n`, EOF,
+/// an error, or `MAX_LINE_BYTES` — whichever comes first — so a peer
+/// that never terminates its line cannot grow the buffer unboundedly.
+/// Invalid UTF-8 is replaced rather than rejected; the JSON parser
+/// produces the actual `bad_request` for garbled bytes.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> LineRead {
+    let mut taken = 0usize;
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok([]) => {
+                return if taken == 0 {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                }
+            }
+            Ok(buf) => buf,
+            Err(_) => return LineRead::Err,
+        };
+        let (chunk, terminated) = match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&buf[..nl], true),
+            None => (buf, false),
+        };
+        if taken + chunk.len() > MAX_LINE_BYTES {
+            return LineRead::TooLong;
+        }
+        taken += chunk.len();
+        line.push_str(&String::from_utf8_lossy(chunk));
+        let consumed = chunk.len() + usize::from(terminated);
+        reader.consume(consumed);
+        if terminated {
+            return LineRead::Line;
+        }
+    }
+}
+
+/// Best-effort lingering close after an oversized line: keep consuming
+/// (up to [`DRAIN_LIMIT`]) so the peer can finish sending and read the
+/// error response before we hang up.
+fn drain_bounded(reader: &mut BufReader<TcpStream>) {
+    let mut drained = 0usize;
+    loop {
+        match reader.fill_buf() {
+            Ok([]) | Err(_) => return,
+            Ok(buf) => {
+                let n = buf.len();
+                drained += n;
+                reader.consume(n);
+                if drained >= DRAIN_LIMIT {
+                    return;
+                }
+            }
         }
     }
 }

@@ -36,7 +36,7 @@ use geomap_core::{
 use geonet::{io as netio, Calibrator, SiteNetwork};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for a service instance.
@@ -52,6 +52,10 @@ pub struct ServiceConfig {
     pub problem_cache_capacity: usize,
     /// Entries held by the solved-result cache.
     pub result_cache_capacity: usize,
+    /// Entries held by the idempotency-replay cache (successful `map`
+    /// responses remembered per client key so retries never re-execute;
+    /// 0 disables replay).
+    pub idempotency_cache_capacity: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline: Option<Duration>,
     /// Lease TTL applied to reservations that don't carry their own
@@ -72,6 +76,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             problem_cache_capacity: 64,
             result_cache_capacity: 512,
+            idempotency_cache_capacity: 1024,
             default_deadline: None,
             default_lease_ttl: None,
             metrics: Metrics::off(),
@@ -88,6 +93,11 @@ pub struct PreparedProblem {
     pub problem: Arc<MappingProblem>,
     /// Probes the calibration campaign issued (stats surface).
     pub calibration_probes: usize,
+    /// True when the campaign starved some site pair and fell back to
+    /// last-known-good `LT`/`BT` entries.
+    pub degraded: bool,
+    /// How many calibration generations old those fallback entries are.
+    pub staleness: u64,
 }
 
 /// A solved mapping shared across identical requests.
@@ -97,6 +107,28 @@ pub struct SolvedResult {
     pub mapping: Mapping,
     /// Its Eq. 3 cost under the calibrated estimate.
     pub cost: f64,
+    /// Degradation carried from the problem this was solved against.
+    pub degraded: bool,
+    /// Staleness carried from the problem this was solved against.
+    pub staleness: u64,
+}
+
+/// The last calibration that measured every pair, kept as the fallback
+/// for campaigns that lose probes.
+#[derive(Debug, Clone)]
+struct LastGoodCalibration {
+    estimated: SiteNetwork,
+    generation: u64,
+}
+
+/// A remembered successful `map` response, replayed when its
+/// idempotency key comes back.
+#[derive(Debug)]
+struct IdemEntry {
+    /// Fingerprint of the request the key was first used with; a key
+    /// reused with a different request is a client bug, not a retry.
+    request_fp: u64,
+    response: Response,
 }
 
 /// The transport-independent mapping service.
@@ -107,12 +139,16 @@ pub struct MappingService {
     inventory: ClusterInventory,
     problems: FingerprintCache<Arc<PreparedProblem>>,
     results: FingerprintCache<Arc<SolvedResult>>,
+    idempotent: FingerprintCache<Arc<IdemEntry>>,
+    last_good: Mutex<Option<LastGoodCalibration>>,
+    calib_generation: AtomicU64,
     metrics: Metrics,
     served: AtomicU64,
     result_hits: AtomicU64,
     problem_hits: AtomicU64,
     misses: AtomicU64,
     rejected: AtomicU64,
+    replays: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -125,6 +161,9 @@ impl MappingService {
             inventory: ClusterInventory::new(network.capacities()),
             problems: FingerprintCache::new(config.problem_cache_capacity),
             results: FingerprintCache::new(config.result_cache_capacity),
+            idempotent: FingerprintCache::new(config.idempotency_cache_capacity),
+            last_good: Mutex::new(None),
+            calib_generation: AtomicU64::new(0),
             metrics: config.metrics.scoped("service"),
             network,
             network_fp,
@@ -134,6 +173,7 @@ impl MappingService {
             problem_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         }
     }
@@ -260,6 +300,7 @@ impl MappingService {
             .u64(m.calibration.days as u64)
             .u64(m.calibration.probes_per_day as u64)
             .f64(m.calibration.noise_cv)
+            .f64(m.calibration.loss_rate)
             .u64(m.calibration.seed)
             .str(&pattern.to_csv())
             .str(&crate::constraints_csv(&constraints))
@@ -271,6 +312,35 @@ impl MappingService {
             .u64(m.kappa as u64)
             .u64(m.samples as u64)
             .finish();
+
+        // Idempotency: a key that already produced a successful response
+        // replays it verbatim — same mapping, same lease — so a client
+        // that lost the response can retry without re-reserving. The
+        // key is bound to the request it first arrived with; reuse with
+        // different content is a client bug.
+        let idem = m.idempotency_key.as_deref().map(|key| {
+            let key_fp = Fingerprint::new().str(key).finish();
+            let request_fp = Fingerprint::new()
+                .u64(result_key)
+                .u64(m.reserve as u64)
+                .u64(m.lease_ttl_ms.unwrap_or(u64::MAX))
+                .finish();
+            (key_fp, request_fp)
+        });
+        if let Some((key_fp, request_fp)) = idem {
+            if let Some(entry) = self.idempotent.get(key_fp) {
+                if entry.request_fp != request_fp {
+                    return self.reject(
+                        &m.id,
+                        ErrorCode::BadRequest,
+                        "idempotency key reused with a different request".into(),
+                    );
+                }
+                self.replays.fetch_add(1, Ordering::Relaxed);
+                self.metrics.counter("idempotency.replay", 1);
+                return entry.response.clone();
+            }
+        }
 
         let solve_start = Instant::now();
         let (solved, tier) = if let Some(hit) = m
@@ -291,9 +361,42 @@ impl MappingService {
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     self.metrics.counter("cache.miss", 1);
+                    // Each fresh campaign is a calibration generation;
+                    // lossy campaigns that starve a pair fall back to
+                    // the last generation that measured everything and
+                    // report how many generations old that is.
+                    let generation = self.calib_generation.fetch_add(1, Ordering::SeqCst) + 1;
+                    let fallback = self.last_good.lock().expect("calibration lock").clone();
                     let report = self.metrics.timed("phase.calibrate", || {
-                        Calibrator::new(m.calibration.to_config()).calibrate(&self.network)
+                        Calibrator::new(m.calibration.to_config()).calibrate_resilient(
+                            &self.network,
+                            fallback.as_ref().map(|g| &g.estimated),
+                        )
                     });
+                    let report = match report {
+                        Ok(r) => r,
+                        Err(e) => {
+                            return self.reject(
+                                &m.id,
+                                ErrorCode::Degraded,
+                                format!("calibration failed: {e}"),
+                            )
+                        }
+                    };
+                    let staleness = if report.degraded {
+                        self.metrics.counter("calibration.degraded", 1);
+                        fallback.as_ref().map_or(0, |g| generation - g.generation)
+                    } else {
+                        let mut good = self.last_good.lock().expect("calibration lock");
+                        let fresher = good.as_ref().is_none_or(|g| g.generation < generation);
+                        if fresher {
+                            *good = Some(LastGoodCalibration {
+                                estimated: report.estimated.clone(),
+                                generation,
+                            });
+                        }
+                        0
+                    };
                     let prepared = Arc::new(PreparedProblem {
                         problem: Arc::new(MappingProblem::new(
                             pattern.clone(),
@@ -301,12 +404,14 @@ impl MappingService {
                             constraints.clone(),
                         )),
                         calibration_probes: report.probes,
+                        degraded: report.degraded,
+                        staleness,
                     });
                     self.problems.insert(problem_key, prepared.clone());
                     (prepared, CacheTier::Miss)
                 }
             };
-            match self.solve(m, &prepared.problem) {
+            match self.solve(m, &prepared) {
                 Ok(solved) => {
                     let solved = Arc::new(solved);
                     self.results.insert(result_key, solved.clone());
@@ -345,7 +450,7 @@ impl MappingService {
             "inventory.free_total",
             free_nodes.iter().sum::<usize>() as f64,
         );
-        Response::Map(MapResponse {
+        let response = Response::Map(MapResponse {
             id: m.id.clone(),
             mapping: solved
                 .mapping
@@ -360,7 +465,24 @@ impl MappingService {
             lease,
             site_counts,
             free_nodes,
-        })
+            degraded: solved.degraded,
+            staleness: solved.staleness,
+        });
+        // Remember the success under its idempotency key so a retry of
+        // the same request replays this exact response (same lease —
+        // never a second reservation).
+        if let Some((key_fp, request_fp)) = idem {
+            if self.config.idempotency_cache_capacity > 0 {
+                self.idempotent.insert(
+                    key_fp,
+                    Arc::new(IdemEntry {
+                        request_fp,
+                        response: response.clone(),
+                    }),
+                );
+            }
+        }
+        response
     }
 
     /// Run the requested mapper; panics inside the solver surface as an
@@ -368,8 +490,9 @@ impl MappingService {
     fn solve(
         &self,
         m: &MapRequest,
-        problem: &MappingProblem,
+        prepared: &PreparedProblem,
     ) -> Result<SolvedResult, Box<Response>> {
+        let problem = &*prepared.problem;
         let trace = &self.config.trace;
         let mapper: Box<dyn Mapper> = match m.algorithm.as_str() {
             "geo" => Box::new(GeoMapper {
@@ -402,9 +525,12 @@ impl MappingService {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mapping = mapper.map(problem);
             let cost = cost(problem, &mapping);
-            mapping
-                .validate(problem)
-                .map(|()| SolvedResult { mapping, cost })
+            mapping.validate(problem).map(|()| SolvedResult {
+                mapping,
+                cost,
+                degraded: prepared.degraded,
+                staleness: prepared.staleness,
+            })
         }));
         match outcome {
             Ok(Ok(solved)) => Ok(solved),
@@ -448,6 +574,7 @@ impl MappingService {
             problem_hits: self.problem_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            replays: self.replays.load(Ordering::Relaxed),
             free_nodes: self.inventory.free_nodes(),
             active_leases: self.inventory.active_leases() as u64,
         }

@@ -1,0 +1,534 @@
+//! The transport seam: how request/response lines travel, separated
+//! from *what* they mean — so failure can be injected deterministically.
+//!
+//! The daemon's wire format is JSON lines; everything the client layer
+//! needs from a connection is "send one line, receive one line". This
+//! module pins that down as the [`Transport`] trait plus a [`Connector`]
+//! that makes transports, with three implementations:
+//!
+//! * [`TcpTransport`] / [`TcpConnector`] — the real thing, extracted
+//!   from [`ServiceClient`](crate::client::ServiceClient);
+//! * [`LoopbackTransport`] / [`LoopbackConnector`] — an in-process
+//!   "wire" that feeds lines straight into a [`MappingService`]; no
+//!   sockets, no threads, fully deterministic;
+//! * [`FaultyTransport`] / [`FaultyConnector`] — a wrapper around any
+//!   of the above that injects failures scripted by a [`FaultPlan`]:
+//!   connect refusal, read/write timeout, partial write, garbled line,
+//!   mid-response disconnect, injected latency.
+//!
+//! Every fault comes from the plan — a fixed script or a seeded stream
+//! from the vendored deterministic RNG — and time is *virtual*: the
+//! plan carries a millisecond clock that injected latency and retry
+//! backoff advance, so a chaos run with thousands of timeouts finishes
+//! in microseconds of wall time and is bit-identical across runs.
+//!
+//! Error classification matters for retry safety. A
+//! [`TransportError::Unreachable`] means the request provably never
+//! reached the server; [`TransportError::SendUnknown`] and
+//! [`TransportError::ResponseLost`] are *ambiguous* — the server may
+//! have applied the request (reserved inventory!) before the failure,
+//! which is exactly why retried `map` requests carry an idempotency key
+//! (see [`crate::client::RetryingClient`]).
+
+use crate::proto::Request;
+use crate::service::MappingService;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Why a transport operation failed, classified by what the client may
+/// safely conclude about the request's fate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No connection could be established: the request was never sent.
+    /// Retrying cannot duplicate work.
+    Unreachable(String),
+    /// The send failed partway (write error, timeout, partial write):
+    /// the server may or may not have received a complete request.
+    SendUnknown(String),
+    /// The request was sent but no usable response arrived (timeout,
+    /// disconnect, lost bytes): the server most likely *did* process it.
+    ResponseLost(String),
+}
+
+impl TransportError {
+    /// True when the server may have applied the request even though
+    /// the client saw a failure — the case only idempotency makes
+    /// retry-safe.
+    pub fn is_ambiguous(&self) -> bool {
+        !matches!(self, TransportError::Unreachable(_))
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unreachable(m)
+            | TransportError::SendUnknown(m)
+            | TransportError::ResponseLost(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// One bidirectional JSON-lines channel to a mapping service.
+pub trait Transport {
+    /// Send one request line (no trailing newline).
+    fn send_line(&mut self, line: &str) -> Result<(), TransportError>;
+    /// Receive one response line (no trailing newline).
+    fn recv_line(&mut self) -> Result<String, TransportError>;
+}
+
+/// Makes transports, and owns how a retrying client waits between
+/// attempts — the faulty connector advances the plan's virtual clock
+/// instead of sleeping, keeping chaos tests instant and wall-clock-free.
+pub trait Connector {
+    /// The transport this connector produces.
+    type Conn: Transport;
+    /// Establish a fresh connection.
+    fn connect(&mut self) -> Result<Self::Conn, TransportError>;
+    /// Wait out a retry backoff pause.
+    fn backoff(&mut self, pause: Duration) {
+        std::thread::sleep(pause);
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+/// The real transport: a connected TCP stream with line framing.
+#[derive(Debug)]
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connect to `addr` (host:port). `timeout` bounds the connection
+    /// attempt and every subsequent read/write — the per-attempt
+    /// deadline (`None`: OS defaults).
+    pub fn connect(addr: &str, timeout: Option<Duration>) -> Result<Self, TransportError> {
+        let unreachable = |m: String| TransportError::Unreachable(m);
+        let resolved: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| unreachable(format!("cannot resolve {addr:?}: {e}")))?
+            .collect();
+        let mut last_err = unreachable(format!("{addr:?} resolved to no addresses"));
+        for candidate in resolved {
+            let attempt = match timeout {
+                Some(t) => TcpStream::connect_timeout(&candidate, t),
+                None => TcpStream::connect(candidate),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(timeout)
+                        .and_then(|()| stream.set_write_timeout(timeout))
+                        .map_err(|e| unreachable(format!("cannot configure socket: {e}")))?;
+                    let writer = stream
+                        .try_clone()
+                        .map_err(|e| unreachable(format!("cannot clone socket: {e}")))?;
+                    return Ok(Self {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) => last_err = unreachable(format!("cannot connect to {candidate}: {e}")),
+            }
+        }
+        Err(last_err)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send_line(&mut self, line: &str) -> Result<(), TransportError> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer
+            .write_all(framed.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| TransportError::SendUnknown(format!("cannot send request: {e}")))
+    }
+
+    fn recv_line(&mut self) -> Result<String, TransportError> {
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err(TransportError::ResponseLost(
+                "server closed the connection without responding".into(),
+            )),
+            Ok(_) => {
+                while reply.ends_with('\n') || reply.ends_with('\r') {
+                    reply.pop();
+                }
+                Ok(reply)
+            }
+            Err(e) => Err(TransportError::ResponseLost(format!(
+                "cannot read response: {e}"
+            ))),
+        }
+    }
+}
+
+/// Connector producing [`TcpTransport`]s to one address.
+#[derive(Debug, Clone)]
+pub struct TcpConnector {
+    addr: String,
+    timeout: Option<Duration>,
+}
+
+impl TcpConnector {
+    /// Connector for `addr`; `timeout` is the per-attempt deadline
+    /// applied to connect and every read/write.
+    pub fn new(addr: impl Into<String>, timeout: Option<Duration>) -> Self {
+        Self {
+            addr: addr.into(),
+            timeout,
+        }
+    }
+}
+
+impl Connector for TcpConnector {
+    type Conn = TcpTransport;
+
+    fn connect(&mut self) -> Result<TcpTransport, TransportError> {
+        TcpTransport::connect(&self.addr, self.timeout)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------
+
+/// An in-process transport: lines go straight into a
+/// [`MappingService`], responses queue up for `recv_line`. The service
+/// side effects (inventory reservations, cache fills, counters) happen
+/// at *send* time — exactly the window a lost response leaves open on a
+/// real network, which is what the fault matrix needs to reproduce.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    service: Arc<MappingService>,
+    pending: VecDeque<String>,
+}
+
+impl Transport for LoopbackTransport {
+    fn send_line(&mut self, line: &str) -> Result<(), TransportError> {
+        let response = match Request::from_line(line) {
+            Ok(req) => self.service.handle(&req),
+            Err(bad) => self.service.reject(&bad.id, bad.code, bad.message),
+        };
+        self.pending.push_back(response.to_line());
+        Ok(())
+    }
+
+    fn recv_line(&mut self) -> Result<String, TransportError> {
+        self.pending
+            .pop_front()
+            .ok_or_else(|| TransportError::ResponseLost("no pending response on loopback".into()))
+    }
+}
+
+/// Connector producing [`LoopbackTransport`]s onto one service.
+#[derive(Debug, Clone)]
+pub struct LoopbackConnector {
+    service: Arc<MappingService>,
+}
+
+impl LoopbackConnector {
+    /// Loopback onto `service`.
+    pub fn new(service: Arc<MappingService>) -> Self {
+        Self { service }
+    }
+}
+
+impl Connector for LoopbackConnector {
+    type Conn = LoopbackTransport;
+
+    fn connect(&mut self) -> Result<LoopbackTransport, TransportError> {
+        Ok(LoopbackTransport {
+            service: Arc::clone(&self.service),
+            pending: VecDeque::new(),
+        })
+    }
+
+    fn backoff(&mut self, _pause: Duration) {
+        // Nothing to wait for in-process.
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// One failure to inject into one client attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Let the attempt through untouched.
+    None,
+    /// Refuse the connection (unambiguous: the request never left).
+    ConnectRefused,
+    /// The request write times out; delivery unknown.
+    WriteTimeout,
+    /// Only a prefix of the request line leaves; delivery unknown.
+    PartialWrite,
+    /// The request is delivered and processed, but the response read
+    /// times out — the classic double-reservation window.
+    ReadTimeout,
+    /// The response arrives corrupted (bit rot / framing damage); the
+    /// request was processed.
+    GarbledResponse,
+    /// The peer disconnects after processing, mid-response.
+    DisconnectMidResponse,
+    /// The response is delayed by this many *virtual* milliseconds; if
+    /// the delay exceeds the attempt budget the response counts as
+    /// lost (the request was still processed).
+    Latency(u64),
+}
+
+impl Fault {
+    /// Stable label (fault-matrix logs and bit-identity assertions).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::ConnectRefused => "connect_refused",
+            Fault::WriteTimeout => "write_timeout",
+            Fault::PartialWrite => "partial_write",
+            Fault::ReadTimeout => "read_timeout",
+            Fault::GarbledResponse => "garbled_response",
+            Fault::DisconnectMidResponse => "disconnect_mid_response",
+            Fault::Latency(_) => "latency",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PlanState {
+    steps: VecDeque<Fault>,
+    /// The fault governing the attempt currently in flight, pulled at
+    /// connect/send and consumed by the operation it fires on.
+    armed: Option<Fault>,
+    clock_ms: u64,
+    injected: Vec<&'static str>,
+}
+
+/// A deterministic schedule of faults, one per client *attempt*, shared
+/// between a [`FaultyConnector`] and the transports it makes. When the
+/// schedule runs out, everything passes through clean — so a script of
+/// `[ReadTimeout]` means "first attempt loses its response, retries
+/// succeed".
+#[derive(Debug)]
+pub struct FaultPlan {
+    state: Mutex<PlanState>,
+}
+
+impl FaultPlan {
+    /// A fixed script of per-attempt faults.
+    pub fn script(steps: impl IntoIterator<Item = Fault>) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(PlanState {
+                steps: steps.into_iter().collect(),
+                armed: None,
+                clock_ms: 0,
+                injected: Vec::new(),
+            }),
+        })
+    }
+
+    /// A seeded random schedule from the vendored deterministic RNG:
+    /// `attempts` steps, each faulty with probability `fault_rate`
+    /// (uniform over the seven fault kinds; latency draws 1–2000 virtual
+    /// ms). Same seed, same schedule, forever.
+    pub fn seeded(seed: u64, attempts: usize, fault_rate: f64) -> Arc<Self> {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        assert!((0.0..=1.0).contains(&fault_rate), "fault rate in [0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let steps = (0..attempts)
+            .map(|_| {
+                if !rng.random_bool(fault_rate) {
+                    return Fault::None;
+                }
+                match rng.random_range(0..7u32) {
+                    0 => Fault::ConnectRefused,
+                    1 => Fault::WriteTimeout,
+                    2 => Fault::PartialWrite,
+                    3 => Fault::ReadTimeout,
+                    4 => Fault::GarbledResponse,
+                    5 => Fault::DisconnectMidResponse,
+                    _ => Fault::Latency(rng.random_range(1..2000u64)),
+                }
+            })
+            .collect::<Vec<_>>();
+        Self::script(steps)
+    }
+
+    /// Arm the next scheduled fault for a fresh attempt (idempotent
+    /// while one is already armed).
+    fn arm(&self) -> Fault {
+        let mut s = self.state.lock().expect("fault plan lock");
+        if let Some(f) = s.armed {
+            return f;
+        }
+        let f = s.steps.pop_front().unwrap_or(Fault::None);
+        s.armed = Some(f);
+        f
+    }
+
+    /// Consume the armed fault: the operation it fires on has run.
+    fn consume(&self) -> Fault {
+        let mut s = self.state.lock().expect("fault plan lock");
+        let f = s.armed.take().unwrap_or(Fault::None);
+        if f != Fault::None {
+            s.injected.push(f.label());
+        }
+        f
+    }
+
+    fn advance_clock(&self, ms: u64) {
+        self.state.lock().expect("fault plan lock").clock_ms += ms;
+    }
+
+    /// The virtual clock: injected latency plus retry backoff, in ms.
+    pub fn virtual_elapsed_ms(&self) -> u64 {
+        self.state.lock().expect("fault plan lock").clock_ms
+    }
+
+    /// Labels of every fault actually injected, in order — a
+    /// deterministic trace two same-seed runs can be compared on.
+    pub fn injected(&self) -> Vec<&'static str> {
+        self.state.lock().expect("fault plan lock").injected.clone()
+    }
+}
+
+/// A [`Connector`] that injects the plan's faults into every attempt
+/// and serves retry backoff from the virtual clock (no sleeping).
+#[derive(Debug)]
+pub struct FaultyConnector<C: Connector> {
+    inner: C,
+    plan: Arc<FaultPlan>,
+    attempt_budget_ms: Option<u64>,
+}
+
+impl<C: Connector> FaultyConnector<C> {
+    /// Wrap `inner`, drawing one fault per attempt from `plan`.
+    pub fn new(inner: C, plan: Arc<FaultPlan>) -> Self {
+        Self {
+            inner,
+            plan,
+            attempt_budget_ms: None,
+        }
+    }
+
+    /// Injected latency above this budget turns into a lost response
+    /// (the virtual per-attempt deadline).
+    pub fn with_attempt_budget(mut self, budget: Duration) -> Self {
+        self.attempt_budget_ms = Some(budget.as_millis() as u64);
+        self
+    }
+}
+
+impl<C: Connector> Connector for FaultyConnector<C> {
+    type Conn = FaultyTransport<C::Conn>;
+
+    fn connect(&mut self) -> Result<Self::Conn, TransportError> {
+        if self.plan.arm() == Fault::ConnectRefused {
+            self.plan.consume();
+            return Err(TransportError::Unreachable(
+                "injected fault: connection refused".into(),
+            ));
+        }
+        Ok(FaultyTransport {
+            inner: self.inner.connect()?,
+            plan: Arc::clone(&self.plan),
+            attempt_budget_ms: self.attempt_budget_ms,
+        })
+    }
+
+    fn backoff(&mut self, pause: Duration) {
+        // Chaos time is virtual: account for the pause, don't take it.
+        self.plan.advance_clock(pause.as_millis() as u64);
+    }
+}
+
+/// A [`Transport`] wrapper applying the armed fault of the current
+/// attempt at the operation it targets.
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    plan: Arc<FaultPlan>,
+    attempt_budget_ms: Option<u64>,
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send_line(&mut self, line: &str) -> Result<(), TransportError> {
+        match self.plan.arm() {
+            Fault::WriteTimeout => {
+                self.plan.consume();
+                Err(TransportError::SendUnknown(
+                    "injected fault: write timed out".into(),
+                ))
+            }
+            Fault::PartialWrite => {
+                // The prefix never forms a complete line, so the server
+                // never processes anything: nothing is delivered inward.
+                self.plan.consume();
+                Err(TransportError::SendUnknown(format!(
+                    "injected fault: partial write ({} of {} bytes)",
+                    line.len() / 2,
+                    line.len() + 1
+                )))
+            }
+            Fault::ConnectRefused => {
+                // Armed on a reused connection (no connect happened):
+                // the peer already closed it under us.
+                self.plan.consume();
+                Err(TransportError::SendUnknown(
+                    "injected fault: connection closed by peer".into(),
+                ))
+            }
+            // Receive-side faults stay armed; the send goes through and
+            // the server processes the request.
+            _ => self.inner.send_line(line),
+        }
+    }
+
+    fn recv_line(&mut self) -> Result<String, TransportError> {
+        match self.plan.consume() {
+            Fault::ReadTimeout => {
+                // The server answered; the bytes die on the wire.
+                let _ = self.inner.recv_line();
+                Err(TransportError::ResponseLost(
+                    "injected fault: read timed out".into(),
+                ))
+            }
+            Fault::DisconnectMidResponse => {
+                let _ = self.inner.recv_line();
+                Err(TransportError::ResponseLost(
+                    "injected fault: connection reset mid-response".into(),
+                ))
+            }
+            Fault::GarbledResponse => {
+                let line = self.inner.recv_line()?;
+                let mut keep = line.len() / 2;
+                while keep > 0 && !line.is_char_boundary(keep) {
+                    keep -= 1;
+                }
+                Ok(format!("{}\u{fffd}garbled", &line[..keep]))
+            }
+            Fault::Latency(ms) => {
+                self.plan.advance_clock(ms);
+                if self.attempt_budget_ms.is_some_and(|budget| ms > budget) {
+                    let _ = self.inner.recv_line();
+                    return Err(TransportError::ResponseLost(format!(
+                        "injected fault: {ms} ms latency exceeded the attempt budget"
+                    )));
+                }
+                self.inner.recv_line()
+            }
+            _ => self.inner.recv_line(),
+        }
+    }
+}

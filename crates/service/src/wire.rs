@@ -183,6 +183,9 @@ pub fn calibration_to_json(report: &CalibrationReport) -> Json {
         ("estimated", network_to_json(&report.estimated)),
         ("bandwidth_cv", matrix_to_json(&report.bandwidth_cv)),
         ("probes", Json::Num(report.probes as f64)),
+        ("degraded", Json::Bool(report.degraded)),
+        ("stale_pairs", Json::Num(report.stale_pairs as f64)),
+        ("staleness", Json::Num(report.staleness as f64)),
     ])
 }
 
@@ -204,6 +207,11 @@ pub fn calibration_from_json(v: &Json) -> Result<CalibrationReport, String> {
             .get("probes")
             .and_then(Json::as_u64)
             .ok_or("calibration missing \"probes\"")? as usize,
+        // Degradation fields default to "fresh" so documents written
+        // before they existed still decode.
+        degraded: v.get("degraded").and_then(Json::as_bool).unwrap_or(false),
+        stale_pairs: v.get("stale_pairs").and_then(Json::as_u64).unwrap_or(0) as usize,
+        staleness: v.get("staleness").and_then(Json::as_u64).unwrap_or(0),
         estimated,
     })
 }

@@ -85,6 +85,91 @@ fn hammered_inventory_never_oversubscribes() {
     assert_eq!(inv.active_leases(), 0);
 }
 
+// ------------------------------------------------------- TTL edges
+
+/// Expiry is `expires <= now`: a lease is held through `deadline - ε`
+/// and gone at exactly the deadline instant, driven by the explicit
+/// clock so no wall time is involved.
+#[test]
+fn lease_expires_exactly_at_its_deadline_instant() {
+    let inv = ClusterInventory::new(vec![4]);
+    let t0 = std::time::Instant::now();
+    let ttl = Duration::from_millis(100);
+    inv.reserve_at(&[3], Some(ttl), t0).unwrap();
+
+    // One nanosecond before the deadline the lease is still held…
+    let just_before = t0 + ttl - Duration::from_nanos(1);
+    assert_eq!(inv.free_nodes_at(just_before), vec![1]);
+    assert_eq!(inv.leased_counts_at(just_before), vec![3]);
+
+    // …and at the deadline instant itself it is gone.
+    assert_eq!(inv.free_nodes_at(t0 + ttl), vec![4]);
+    assert_eq!(inv.leased_counts_at(t0 + ttl), vec![0]);
+}
+
+/// Releasing after expiry must not double-free: the nodes came back at
+/// expiry, so the explicit release is an error and counts are unmoved.
+#[test]
+fn release_after_expiry_is_an_error_not_a_double_free() {
+    let inv = ClusterInventory::new(vec![2]);
+    let t0 = std::time::Instant::now();
+    let ttl = Duration::from_millis(1);
+    let lease = inv.reserve_at(&[2], Some(ttl), t0).unwrap();
+
+    // Observe past the deadline: the lease expires, nodes return.
+    assert_eq!(inv.free_nodes_at(t0 + ttl), vec![2]);
+    let err = inv.release(lease).unwrap_err();
+    assert!(err.contains("unknown lease"), "{err}");
+    assert_eq!(inv.free_nodes_at(t0 + ttl), vec![2], "double-free");
+
+    // The freed capacity is genuinely reusable.
+    let lease2 = inv.reserve_at(&[2], None, t0 + ttl).unwrap();
+    assert_ne!(lease2, lease, "lease ids must not be recycled");
+    assert_eq!(inv.release(lease2).unwrap(), vec![2]);
+}
+
+/// Many threads re-reserving nodes freed by 1 ms TTL expiries: expiry
+/// and reservation race on the same mutex, and the winner count can
+/// never exceed what actually expired — no oversubscription, ever.
+#[test]
+fn concurrent_rereservation_of_expired_nodes_never_oversubscribes() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 50;
+    let capacities = vec![4usize];
+    let inv = Arc::new(ClusterInventory::new(capacities.clone()));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let inv = Arc::clone(&inv);
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    // Every reservation self-expires almost immediately,
+                    // so the threads constantly contend for nodes that
+                    // are mid-expiry inside each other's operations.
+                    let _ = inv.reserve(&[2], Some(Duration::from_millis(1)));
+                    let free = inv.free_nodes();
+                    let leased = inv.leased_counts();
+                    assert_eq!(
+                        free[0] + leased[0],
+                        4,
+                        "conservation broken under expiry contention"
+                    );
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("ttl contention thread");
+    }
+
+    // Long after the last 1 ms TTL: everything expired, ledger balanced.
+    std::thread::sleep(Duration::from_millis(5));
+    assert_eq!(inv.free_nodes(), capacities);
+    assert_eq!(inv.active_leases(), 0);
+    assert_eq!(inv.leased_counts(), vec![0]);
+}
+
 #[test]
 fn same_seed_requests_are_bit_identical_across_worker_interleavings() {
     const THREADS: usize = 8;

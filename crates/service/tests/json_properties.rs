@@ -1,0 +1,227 @@
+//! Property tests for the hand-rolled JSON layer and the wire structs
+//! built on it.
+//!
+//! The parser faces the network (every daemon request goes through it),
+//! so the properties are adversarial: arbitrary bytes never panic it,
+//! pathological nesting is an error rather than a stack overflow, and
+//! anything the emitter produces parses back to the identical value.
+//!
+//! Case counts honor the `JSON_PROPTEST_CASES` environment variable so
+//! CI's chaos-smoke job can run a reduced sweep; the vendored proptest
+//! has no shrinking but seeds deterministically per test, so any
+//! failure reproduces exactly on re-run.
+
+use geomap_service::json::{Json, MAX_DEPTH};
+use geomap_service::proto::{
+    CacheTier, CalibSpec, ErrorCode, ErrorResponse, MapRequest, MapResponse, Request, Response,
+    StatsResponse,
+};
+use proptest::prelude::*;
+
+/// Case count, overridable via `JSON_PROPTEST_CASES` (CI smoke runs).
+fn cases(default: u32) -> u32 {
+    std::env::var("JSON_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Build a nested [`Json`] value from a flat token stream: a tiny
+/// deterministic "decoder" so plain tuple strategies can drive
+/// arbitrarily-shaped trees without a recursive strategy combinator.
+fn build_value(tokens: &[(u32, i64)], depth: usize) -> Json {
+    fn step(tokens: &mut std::slice::Iter<'_, (u32, i64)>, depth: usize) -> Json {
+        let Some(&(kind, payload)) = tokens.next() else {
+            return Json::Null;
+        };
+        match kind % if depth == 0 { 4 } else { 6 } {
+            0 => Json::Null,
+            1 => Json::Bool(payload % 2 == 0),
+            2 => Json::Num(payload as f64 / 8.0),
+            3 => Json::Str(format!("s{payload}\n\"\\\u{1F30D}")),
+            4 => Json::Arr(
+                (0..(payload.unsigned_abs() % 3 + 1))
+                    .map(|_| step(tokens, depth - 1))
+                    .collect(),
+            ),
+            _ => Json::Obj(
+                (0..(payload.unsigned_abs() % 3 + 1))
+                    .map(|i| (format!("k{i}"), step(tokens, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+    step(&mut tokens.iter(), depth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    /// Arbitrary bytes (lossily decoded, as the server does) never
+    /// panic the parser — they parse or they return `Err`.
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text);
+    }
+
+    /// JSON-flavored noise (structural characters, quotes, escapes,
+    /// digits) exercises deeper parser states than uniform bytes; it
+    /// must also never panic.
+    #[test]
+    fn parse_never_panics_on_json_like_noise(
+        picks in prop::collection::vec(0usize..16, 0..200),
+    ) {
+        const ALPHABET: [&str; 16] = [
+            "{", "}", "[", "]", "\"", "\\", ":", ",", "-", "0", "7", ".",
+            "e", "true", "null", "\\u12",
+        ];
+        let text: String = picks.iter().map(|&i| ALPHABET[i]).collect();
+        let _ = Json::parse(&text);
+    }
+
+    /// Anything the emitter writes parses back to the identical value
+    /// (strings keep their escapes, numbers their bits, objects their
+    /// order), and a second emit is textually stable.
+    #[test]
+    fn emitted_values_parse_back_identically(
+        tokens in prop::collection::vec((0u32..6, -1000i64..1000), 1..40),
+        depth in 0usize..5,
+    ) {
+        let value = build_value(&tokens, depth);
+        let text = value.emit();
+        let back = Json::parse(&text);
+        prop_assert!(back.is_ok(), "own output failed to parse: {text}");
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &value, "round trip changed the value");
+        prop_assert_eq!(back.emit(), text, "second emit drifted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// Nesting past [`MAX_DEPTH`] is a clean error at any depth — never
+    /// a stack overflow (the crash this property originally guarded
+    /// against aborts the process, so surviving to `Err` is the test).
+    #[test]
+    fn deep_nesting_is_an_error_not_a_crash(
+        extra in 1usize..2000,
+        kind in 0usize..2,
+    ) {
+        let depth = MAX_DEPTH + extra;
+        let text = match kind {
+            0 => "[".repeat(depth),
+            _ => "{\"k\":".repeat(depth),
+        };
+        let err = Json::parse(&text);
+        prop_assert!(err.is_err(), "depth {depth} parsed");
+        prop_assert!(
+            err.unwrap_err().contains("nesting"),
+            "wrong error at depth {depth}"
+        );
+    }
+
+    /// Map requests with arbitrary (valid-range) field values survive
+    /// the wire bit-for-bit. Integers stay below 2^53: the wire carries
+    /// numbers as f64, so larger ones lose precision by design.
+    #[test]
+    fn map_requests_roundtrip(
+        seed in 0u64..(1 << 53),
+        ranks in 0usize..512,
+        kappa in 1usize..64,
+        samples in 1usize..100_000,
+        rates in (0.0f64..1.0, 0.0f64..0.999),
+        flags in (0u32..8, 0u64..(1 << 30), 0u64..(1 << 30)),
+    ) {
+        let (noise, loss) = rates;
+        let (bits, deadline, ttl) = flags;
+        let mut m = MapRequest::new(format!("id-{seed}"), "src,dst,bytes,msgs\n0,1,5,2\n");
+        m.ranks = (ranks > 0).then_some(ranks);
+        m.constraints_csv = (bits & 1 != 0).then(|| "process,site\n0,1\n".to_string());
+        m.algorithm = ["geo", "greedy", "mpipp", "random"][(seed % 4) as usize].into();
+        m.seed = seed;
+        m.kappa = kappa;
+        m.samples = samples;
+        m.calibration = CalibSpec {
+            days: 1 + (seed % 9) as usize,
+            probes_per_day: 1 + (seed % 17) as usize,
+            noise_cv: noise,
+            loss_rate: loss,
+            seed,
+        };
+        m.deadline_ms = (bits & 2 != 0).then_some(deadline);
+        m.reserve = bits & 4 != 0;
+        m.lease_ttl_ms = (bits & 2 != 0).then_some(ttl);
+        m.use_result_cache = bits & 1 == 0;
+        m.idempotency_key = (bits & 4 != 0).then(|| format!("key-{seed}\"\\"));
+        let req = Request::Map(m);
+        let back = Request::from_line(&req.to_line());
+        prop_assert!(back.is_ok(), "own request failed to decode");
+        prop_assert_eq!(back.unwrap(), req);
+    }
+
+    /// Every response kind survives the wire with generated payloads,
+    /// including bit-exact floats.
+    #[test]
+    fn responses_roundtrip(
+        cost in -1.0e12f64..1.0e12,
+        lease in 0u64..(1 << 53),
+        counts in prop::collection::vec(0usize..100, 1..6),
+        served in 0u64..(1 << 40),
+        staleness in 0u64..1000,
+        pick in 0usize..5,
+    ) {
+        let response = match pick {
+            0 => Response::Map(MapResponse {
+                id: "p".into(),
+                mapping: counts.clone(),
+                cost,
+                cached: [CacheTier::Miss, CacheTier::Problem, CacheTier::Result]
+                    [(lease % 3) as usize],
+                queue_wait_s: cost.abs() / 1e6,
+                solve_s: cost.abs() / 1e9,
+                lease: (lease % 2 == 0).then_some(lease),
+                site_counts: counts.clone(),
+                free_nodes: counts.clone(),
+                degraded: staleness > 0,
+                staleness,
+            }),
+            1 => Response::Release {
+                id: "r".into(),
+                freed: counts.clone(),
+                free_nodes: counts.clone(),
+            },
+            2 => Response::Stats(StatsResponse {
+                id: "s".into(),
+                served,
+                result_hits: served / 2,
+                problem_hits: served / 3,
+                misses: served / 5,
+                rejected: served / 7,
+                replays: served / 11,
+                free_nodes: counts.clone(),
+                active_leases: lease % 100,
+            }),
+            3 => Response::Shutdown {
+                id: "q".into(),
+                draining: served,
+            },
+            _ => Response::Error(ErrorResponse {
+                id: "e".into(),
+                code: [
+                    ErrorCode::BadRequest,
+                    ErrorCode::OverCapacity,
+                    ErrorCode::Retryable,
+                    ErrorCode::Degraded,
+                ][(lease % 4) as usize],
+                message: format!("m\"\\{cost}"),
+            }),
+        };
+        let back = Response::from_line(&response.to_line());
+        prop_assert!(back.is_ok(), "own response failed to decode");
+        prop_assert_eq!(back.unwrap(), response);
+    }
+}

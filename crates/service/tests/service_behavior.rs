@@ -5,9 +5,10 @@
 use commgraph::apps::AppKind;
 use geomap_core::pipeline::{self, PipelineConfig};
 use geomap_core::{ConstraintVector, GeoMapper};
-use geomap_service::proto::{CacheTier, ErrorCode, Response};
+use geomap_service::proto::{CacheTier, CalibSpec, ErrorCode, Response};
 use geomap_service::{
-    MapRequest, MappingServer, MappingService, Request, ServiceClient, ServiceConfig,
+    ClientError, MapRequest, MappingServer, MappingService, Request, RetryPolicy, RetryingClient,
+    ServiceClient, ServiceConfig, TcpConnector,
 };
 use geonet::{presets, InstanceType, SiteNetwork};
 use std::time::Duration;
@@ -261,6 +262,121 @@ fn shutdown_refuses_new_in_memory_work() {
     }
 }
 
+// -------------------------------------------------------- idempotency
+
+#[test]
+fn idempotent_retry_replays_the_same_lease_verbatim() {
+    let svc = service();
+    let req = MapRequest {
+        ranks: Some(4),
+        reserve: true,
+        idempotency_key: Some("client-a/op-1".into()),
+        ..MapRequest::new("first", pattern_csv(4))
+    };
+
+    let first = svc.handle(&Request::Map(req.clone()));
+    let Response::Map(ref m1) = first else {
+        panic!("reserving request failed: {first:?}");
+    };
+    let lease = m1.lease.expect("reservation grants a lease");
+
+    // The retry carries a new request id (as a real retry would) but
+    // the same idempotency key and the same payload: the daemon must
+    // replay the stored response verbatim — original id, same lease —
+    // without touching the inventory a second time.
+    let retry = MapRequest {
+        id: "first-retry".into(),
+        ..req.clone()
+    };
+    let second = svc.handle(&Request::Map(retry));
+    assert_eq!(second, first, "replay must be byte-identical");
+    let Response::Map(m2) = second else {
+        unreachable!()
+    };
+    assert_eq!(m2.lease, Some(lease));
+
+    assert_eq!(svc.inventory().active_leases(), 1, "retry double-reserved");
+    let stats = svc.stats("s");
+    assert_eq!(stats.served, 1, "replay must not count as served");
+    assert_eq!(stats.replays, 1);
+
+    // Reusing the key for a *different* request is a client bug the
+    // daemon must refuse, not silently answer with the old response.
+    let reused = MapRequest {
+        id: "reuse".into(),
+        seed: req.seed + 1,
+        ..req
+    };
+    match svc.handle(&Request::Map(reused)) {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(e.message.contains("idempotency"), "{e:?}");
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+}
+
+// ----------------------------------------------- degraded calibration
+
+/// A calibration spec so lossy that every site pair starves: one probe
+/// per pair, each lost with probability 1 - 1e-6.
+fn starving_calibration() -> CalibSpec {
+    CalibSpec {
+        days: 1,
+        probes_per_day: 1,
+        loss_rate: 0.999_999,
+        seed: 11,
+        ..CalibSpec::default()
+    }
+}
+
+#[test]
+fn lossy_calibration_degrades_to_last_known_good() {
+    let svc = service();
+
+    // Warm run: a clean campaign populates the last-known-good state.
+    let Response::Map(warm) = svc.handle(&Request::Map(MapRequest::new("warm", pattern_csv(16))))
+    else {
+        panic!("warm request failed");
+    };
+    assert!(!warm.degraded);
+    assert_eq!(warm.staleness, 0);
+
+    // Lossy run: every pair starves, so the daemon answers from the
+    // last-known-good estimate and says so on the wire.
+    let lossy = MapRequest {
+        calibration: starving_calibration(),
+        ..MapRequest::new("lossy", pattern_csv(16))
+    };
+    let Response::Map(deg) = svc.handle(&Request::Map(lossy)) else {
+        panic!("degraded request should still map");
+    };
+    assert!(deg.degraded, "starved campaign must surface degraded");
+    assert_eq!(deg.staleness, 1, "one generation behind the warm run");
+    assert_eq!(
+        deg.mapping, warm.mapping,
+        "fallback estimate is the warm one, so the placement matches"
+    );
+}
+
+#[test]
+fn lossy_calibration_without_fallback_is_a_degraded_error() {
+    // Fresh daemon: no last-known-good exists yet, so a fully starved
+    // campaign cannot be answered at all — typed as `degraded`.
+    let svc = service();
+    let lossy = MapRequest {
+        calibration: starving_calibration(),
+        ..MapRequest::new("cold-lossy", pattern_csv(16))
+    };
+    match svc.handle(&Request::Map(lossy)) {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::Degraded);
+            assert!(e.message.contains("calibration"), "{e:?}");
+        }
+        other => panic!("expected degraded error, got {other:?}"),
+    }
+}
+
 // ---------------------------------------------------------------- TCP
 
 #[test]
@@ -412,4 +528,95 @@ fn graceful_shutdown_refuses_new_connections() {
     server.join();
     // The listener is gone: a fresh connection attempt must fail fast.
     assert!(ServiceClient::connect(&addr, Some(Duration::from_millis(500))).is_err());
+}
+
+/// Regression (the unbounded-read bug): a client streaming 10 MB of
+/// garbage with no `\n` must get one clean `bad_request` naming the
+/// byte bound — never an unbounded buffer or a hung worker — and the
+/// daemon must stay healthy for the next client.
+#[test]
+fn ten_megabytes_without_a_newline_is_a_clean_bad_request() {
+    use geomap_service::server::MAX_LINE_BYTES;
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = MappingServer::bind(service(), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Write from a second thread: the server responds as soon as the
+    // bound trips (4 MiB in), then drains the rest, so neither side can
+    // deadlock on full socket buffers.
+    let writer = {
+        let mut tx = stream.try_clone().expect("clone stream");
+        std::thread::spawn(move || {
+            let chunk = vec![b'x'; 64 * 1024];
+            for _ in 0..160 {
+                // 10 MiB total, no newline anywhere.
+                if tx.write_all(&chunk).is_err() {
+                    break; // server already closed: also acceptable
+                }
+            }
+            let _ = tx.flush();
+        })
+    };
+
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line).expect("read");
+    let resp = Response::from_line(&line).expect("decodable error response");
+    match resp {
+        Response::Error(e) => {
+            assert_eq!(e.code, ErrorCode::BadRequest);
+            assert!(
+                e.message.contains(&MAX_LINE_BYTES.to_string()),
+                "error must name the bound: {e:?}"
+            );
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    writer.join().expect("writer thread");
+    drop(stream);
+
+    // The daemon survived: a well-formed request still round-trips.
+    let mut client = ServiceClient::connect(&addr, Some(Duration::from_secs(10))).unwrap();
+    match client
+        .map(MapRequest::new("after", pattern_csv(16)))
+        .unwrap()
+    {
+        Response::Map(_) => {}
+        other => panic!("daemon unhealthy after garbage: {other:?}"),
+    }
+    match client.shutdown("bye").unwrap() {
+        Response::Shutdown { .. } => {}
+        other => panic!("expected shutdown ack, got {other:?}"),
+    }
+    server.join();
+}
+
+/// The retrying client against a dead address: every attempt fails to
+/// connect (safely retryable), the budget runs out, and the caller gets
+/// a typed retryable error counting the attempts — never a hang.
+#[test]
+fn retrying_client_exhausts_its_budget_against_a_dead_port() {
+    // Bind-then-drop: the OS hands us a port that is now guaranteed
+    // closed, so connects are refused immediately.
+    let addr = {
+        let sock = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        sock.local_addr().unwrap().to_string()
+    };
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryingClient::new(
+        TcpConnector::new(&addr, Some(Duration::from_millis(200))),
+        policy,
+    );
+    match client.map(MapRequest::new("dead", pattern_csv(4))) {
+        Err(ClientError::Retryable { attempts, .. }) => assert_eq!(attempts, 2),
+        other => panic!("expected retryable exhaustion, got {other:?}"),
+    }
 }

@@ -190,9 +190,11 @@ impl<C: Connector> RetryingClient<C> {
 
     /// Send a `map` request, auto-filling an idempotency key when the
     /// request reserves inventory and carries none — making every retry
-    /// safe by construction.
+    /// safe by construction. Keyed even at `max_attempts == 1`: the
+    /// *caller* may retry after an ambiguous failure, and the key is
+    /// what makes that safe.
     pub fn map(&mut self, mut request: MapRequest) -> Result<Response, ClientError> {
-        if request.reserve && request.idempotency_key.is_none() && self.policy.max_attempts > 1 {
+        if request.reserve && request.idempotency_key.is_none() {
             request.idempotency_key = Some(self.generate_key());
         }
         self.send(&Request::Map(request))
@@ -229,7 +231,6 @@ impl<C: Connector> RetryingClient<C> {
                 let pause = self.backoffs[(attempt - 1) as usize];
                 self.connector.backoff(pause);
             }
-            let retries_left = attempt + 1 < self.policy.max_attempts.max(1);
             if self.conn.is_none() {
                 match self.connector.connect() {
                     Ok(c) => self.conn = Some(c),
@@ -254,7 +255,7 @@ impl<C: Connector> RetryingClient<C> {
                         // request, we just can't read the answer.
                         self.conn = None;
                         last_error = format!("garbled response: {parse}");
-                        if ambiguity_unsafe && retries_left {
+                        if ambiguity_unsafe {
                             return Err(self.ambiguous_fatal(&last_error));
                         }
                     }
@@ -262,7 +263,10 @@ impl<C: Connector> RetryingClient<C> {
                 Err(te) => {
                     self.conn = None;
                     last_error = te.to_string();
-                    if te.is_ambiguous() && ambiguity_unsafe && retries_left {
+                    // Fatal even on the last attempt: `Retryable` would
+                    // invite exactly the blind manual retry (and double
+                    // reservation) this classification exists to stop.
+                    if te.is_ambiguous() && ambiguity_unsafe {
                         return Err(self.ambiguous_fatal(&last_error));
                     }
                 }

@@ -264,10 +264,10 @@ fn serve_connection(
     };
     let mut reader = BufReader::new(stream);
     let mut first = true;
-    let mut line = String::new();
+    let mut buf = Vec::new();
     loop {
-        line.clear();
-        match read_bounded_line(&mut reader, &mut line) {
+        buf.clear();
+        match read_bounded_line(&mut reader, &mut buf) {
             LineRead::Line => {}
             LineRead::Eof | LineRead::Err => return, // closed, timeout or reset
             LineRead::TooLong => {
@@ -283,6 +283,10 @@ fn serve_connection(
                 return;
             }
         }
+        // One lossy conversion over the whole accumulated line — never
+        // per chunk, where a multi-byte character straddling a buffer
+        // refill would be mangled into U+FFFD.
+        let line = String::from_utf8_lossy(&buf);
         if line.trim().is_empty() {
             continue;
         }
@@ -345,14 +349,14 @@ enum LineRead {
 /// `read_line` with a ceiling: consumes from `reader` until `\n`, EOF,
 /// an error, or `MAX_LINE_BYTES` — whichever comes first — so a peer
 /// that never terminates its line cannot grow the buffer unboundedly.
-/// Invalid UTF-8 is replaced rather than rejected; the JSON parser
-/// produces the actual `bad_request` for garbled bytes.
-fn read_bounded_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> LineRead {
-    let mut taken = 0usize;
+/// Accumulates raw bytes; the caller converts the complete line in one
+/// pass (a per-chunk conversion would corrupt any multi-byte character
+/// split across buffer refills or partial TCP reads).
+fn read_bounded_line<R: BufRead>(reader: &mut R, line: &mut Vec<u8>) -> LineRead {
     loop {
         let buf = match reader.fill_buf() {
             Ok([]) => {
-                return if taken == 0 {
+                return if line.is_empty() {
                     LineRead::Eof
                 } else {
                     LineRead::Line
@@ -365,11 +369,10 @@ fn read_bounded_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> Li
             Some(nl) => (&buf[..nl], true),
             None => (buf, false),
         };
-        if taken + chunk.len() > MAX_LINE_BYTES {
+        if line.len() + chunk.len() > MAX_LINE_BYTES {
             return LineRead::TooLong;
         }
-        taken += chunk.len();
-        line.push_str(&String::from_utf8_lossy(chunk));
+        line.extend_from_slice(chunk);
         let consumed = chunk.len() + usize::from(terminated);
         reader.consume(consumed);
         if terminated {
@@ -403,4 +406,62 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> bool {
     let mut line = response.to_line();
     line.push('\n');
     stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// Regression: a multi-byte UTF-8 character straddling a buffer
+    /// refill must survive intact. A tiny BufReader capacity forces
+    /// every character across a fill_buf boundary — the old per-chunk
+    /// lossy conversion turned each of them into U+FFFD.
+    #[test]
+    fn multibyte_characters_survive_buffer_boundaries() {
+        let text = "id-é-日本語-🦀-end";
+        let wire = format!("{text}\nnext");
+        for capacity in 1..8 {
+            let mut reader = BufReader::with_capacity(capacity, Cursor::new(wire.as_bytes()));
+            let mut line = Vec::new();
+            assert!(matches!(
+                read_bounded_line(&mut reader, &mut line),
+                LineRead::Line
+            ));
+            assert_eq!(
+                String::from_utf8_lossy(&line),
+                text,
+                "capacity {capacity} corrupted the line"
+            );
+        }
+    }
+
+    #[test]
+    fn unterminated_line_past_the_bound_is_too_long() {
+        let wire = vec![b'x'; MAX_LINE_BYTES + 1];
+        let mut reader = BufReader::new(Cursor::new(wire));
+        let mut line = Vec::new();
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line),
+            LineRead::TooLong
+        ));
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_eof_and_after_bytes_is_a_line() {
+        let mut reader = BufReader::new(Cursor::new(b"".to_vec()));
+        let mut line = Vec::new();
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line),
+            LineRead::Eof
+        ));
+
+        let mut reader = BufReader::new(Cursor::new(b"partial".to_vec()));
+        line.clear();
+        assert!(matches!(
+            read_bounded_line(&mut reader, &mut line),
+            LineRead::Line
+        ));
+        assert_eq!(line, b"partial");
+    }
 }

@@ -34,9 +34,10 @@ use geomap_core::{
     cost, ConstraintVector, GeoMapper, Mapper, Mapping, MappingProblem, Metrics, Trace,
 };
 use geonet::{io as netio, Calibrator, SiteNetwork};
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for a service instance.
@@ -131,6 +132,35 @@ struct IdemEntry {
     response: Response,
 }
 
+/// Idempotency keys with a solve currently in flight. Lookup and
+/// execution must be single-flight per key: a retry that lands while
+/// the original request is still solving would miss the replay cache
+/// (the entry is only published after the solve), solve again, and
+/// reserve a second lease. Duplicates park on the condvar until the
+/// owner releases the key.
+#[derive(Debug, Default)]
+struct Inflight {
+    keys: Mutex<HashSet<u64>>,
+    done: Condvar,
+}
+
+/// Ownership of an in-flight idempotency key; dropping it (any exit
+/// path out of `handle_map` — success, rejection, or solver panic)
+/// releases the key and wakes parked duplicates.
+struct InflightGuard<'a> {
+    inflight: &'a Inflight,
+    key_fp: u64,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut keys = self.inflight.keys.lock().expect("inflight lock");
+        keys.remove(&self.key_fp);
+        drop(keys);
+        self.inflight.done.notify_all();
+    }
+}
+
 /// The transport-independent mapping service.
 pub struct MappingService {
     network: SiteNetwork,
@@ -140,6 +170,7 @@ pub struct MappingService {
     problems: FingerprintCache<Arc<PreparedProblem>>,
     results: FingerprintCache<Arc<SolvedResult>>,
     idempotent: FingerprintCache<Arc<IdemEntry>>,
+    inflight: Inflight,
     last_good: Mutex<Option<LastGoodCalibration>>,
     calib_generation: AtomicU64,
     metrics: Metrics,
@@ -162,6 +193,7 @@ impl MappingService {
             problems: FingerprintCache::new(config.problem_cache_capacity),
             results: FingerprintCache::new(config.result_cache_capacity),
             idempotent: FingerprintCache::new(config.idempotency_cache_capacity),
+            inflight: Inflight::default(),
             last_good: Mutex::new(None),
             calib_generation: AtomicU64::new(0),
             metrics: config.metrics.scoped("service"),
@@ -317,7 +349,10 @@ impl MappingService {
         // replays it verbatim — same mapping, same lease — so a client
         // that lost the response can retry without re-reserving. The
         // key is bound to the request it first arrived with; reuse with
-        // different content is a client bug.
+        // different content is a client bug. Lookup is single-flight:
+        // a duplicate arriving while the original is still solving
+        // parks until the first response is published, so even a
+        // mid-solve retry can never reserve a second lease.
         let idem = m.idempotency_key.as_deref().map(|key| {
             let key_fp = Fingerprint::new().str(key).finish();
             let request_fp = Fingerprint::new()
@@ -327,20 +362,13 @@ impl MappingService {
                 .finish();
             (key_fp, request_fp)
         });
-        if let Some((key_fp, request_fp)) = idem {
-            if let Some(entry) = self.idempotent.get(key_fp) {
-                if entry.request_fp != request_fp {
-                    return self.reject(
-                        &m.id,
-                        ErrorCode::BadRequest,
-                        "idempotency key reused with a different request".into(),
-                    );
-                }
-                self.replays.fetch_add(1, Ordering::Relaxed);
-                self.metrics.counter("idempotency.replay", 1);
-                return entry.response.clone();
-            }
-        }
+        let _inflight = match idem {
+            Some((key_fp, request_fp)) => match self.claim_key(&m.id, key_fp, request_fp) {
+                Ok(guard) => Some(guard),
+                Err(response) => return *response,
+            },
+            None => None,
+        };
 
         let solve_start = Instant::now();
         let (solved, tier) = if let Some(hit) = m
@@ -385,7 +413,14 @@ impl MappingService {
                     };
                     let staleness = if report.degraded {
                         self.metrics.counter("calibration.degraded", 1);
-                        fallback.as_ref().map_or(0, |g| generation - g.generation)
+                        // Saturating: a concurrent request can take a
+                        // later generation, finish clean, and store a
+                        // last-good *newer* than this thread's
+                        // generation — staleness then floors at 0
+                        // instead of underflowing.
+                        fallback
+                            .as_ref()
+                            .map_or(0, |g| generation.saturating_sub(g.generation))
                     } else {
                         let mut good = self.last_good.lock().expect("calibration lock");
                         let fresher = good.as_ref().is_none_or(|g| g.generation < generation);
@@ -470,7 +505,9 @@ impl MappingService {
         });
         // Remember the success under its idempotency key so a retry of
         // the same request replays this exact response (same lease —
-        // never a second reservation).
+        // never a second reservation). Must happen before `_inflight`
+        // drops: parked duplicates re-check the cache the moment the
+        // key is released.
         if let Some((key_fp, request_fp)) = idem {
             if self.config.idempotency_cache_capacity > 0 {
                 self.idempotent.insert(
@@ -483,6 +520,49 @@ impl MappingService {
             }
         }
         response
+    }
+
+    /// Single-flight admission for an idempotency key: exactly one
+    /// request per key may execute at a time. The first caller claims
+    /// the key (guard returned); concurrent duplicates park here until
+    /// the owner publishes its response and releases the key, then
+    /// replay the stored response — or, if the owner failed (nothing
+    /// published, nothing reserved), claim the key themselves. `Err` is
+    /// the finished response to return: a replay, or a `bad_request`
+    /// when the key is reused with different request content.
+    fn claim_key(
+        &self,
+        id: &str,
+        key_fp: u64,
+        request_fp: u64,
+    ) -> Result<InflightGuard<'_>, Box<Response>> {
+        let mut keys = self.inflight.keys.lock().expect("inflight lock");
+        loop {
+            if !keys.contains(&key_fp) {
+                // No owner in flight, so the replay cache is settled for
+                // this key: an owner publishes its entry before the
+                // guard releases the key.
+                if let Some(entry) = self.idempotent.get(key_fp) {
+                    if entry.request_fp != request_fp {
+                        drop(keys);
+                        return Err(Box::new(self.reject(
+                            id,
+                            ErrorCode::BadRequest,
+                            "idempotency key reused with a different request".into(),
+                        )));
+                    }
+                    self.replays.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.counter("idempotency.replay", 1);
+                    return Err(Box::new(entry.response.clone()));
+                }
+                keys.insert(key_fp);
+                return Ok(InflightGuard {
+                    inflight: &self.inflight,
+                    key_fp,
+                });
+            }
+            keys = self.inflight.done.wait(keys).expect("inflight lock");
+        }
     }
 
     /// Run the requested mapper; panics inside the solver surface as an

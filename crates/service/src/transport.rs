@@ -377,6 +377,14 @@ impl FaultPlan {
         f
     }
 
+    /// Drop the armed fault without recording it as injected: the
+    /// attempt died in the inner layer before the fault could fire, and
+    /// a fault that never fired must not carry into the next attempt
+    /// (that would skew the one-fault-per-attempt schedule).
+    fn disarm(&self) {
+        self.state.lock().expect("fault plan lock").armed = None;
+    }
+
     /// Consume the armed fault: the operation it fires on has run.
     fn consume(&self) -> Fault {
         let mut s = self.state.lock().expect("fault plan lock");
@@ -440,8 +448,17 @@ impl<C: Connector> Connector for FaultyConnector<C> {
                 "injected fault: connection refused".into(),
             ));
         }
+        let inner = match self.inner.connect() {
+            Ok(conn) => conn,
+            Err(e) => {
+                // The inner connector failed on its own; the armed fault
+                // never fired and must not leak into the next attempt.
+                self.plan.disarm();
+                return Err(e);
+            }
+        };
         Ok(FaultyTransport {
-            inner: self.inner.connect()?,
+            inner,
             plan: Arc::clone(&self.plan),
             attempt_budget_ms: self.attempt_budget_ms,
         })
@@ -530,5 +547,63 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             }
             _ => self.inner.recv_line(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A connector whose first `failures` attempts die inside the inner
+    /// layer (the fault plan plays no part in those failures).
+    struct FlakyConnector {
+        failures: usize,
+    }
+
+    struct NullTransport;
+
+    impl Transport for NullTransport {
+        fn send_line(&mut self, _line: &str) -> Result<(), TransportError> {
+            Ok(())
+        }
+        fn recv_line(&mut self) -> Result<String, TransportError> {
+            Ok("{}".into())
+        }
+    }
+
+    impl Connector for FlakyConnector {
+        type Conn = NullTransport;
+        fn connect(&mut self) -> Result<NullTransport, TransportError> {
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err(TransportError::Unreachable("inner connector down".into()));
+            }
+            Ok(NullTransport)
+        }
+    }
+
+    /// Regression: an inner connect failure under a non-refusal armed
+    /// fault must disarm it — otherwise the fault carries over and the
+    /// one-fault-per-attempt schedule silently skews.
+    #[test]
+    fn inner_connect_failure_does_not_leak_the_armed_fault() {
+        let plan = FaultPlan::script([Fault::WriteTimeout, Fault::None]);
+        let mut connector =
+            FaultyConnector::new(FlakyConnector { failures: 1 }, Arc::clone(&plan));
+
+        // Attempt 1: WriteTimeout is armed but the inner connect dies
+        // first — the fault never fires.
+        assert!(connector.connect().is_err());
+
+        // Attempt 2 draws the *next* scheduled fault (None), not the
+        // stale WriteTimeout from the failed attempt.
+        let mut conn = connector.connect().expect("second attempt connects");
+        conn.send_line("x")
+            .expect("attempt 2 is scheduled clean; a leaked WriteTimeout would fail this");
+        assert_eq!(
+            plan.injected(),
+            Vec::<&str>::new(),
+            "a fault that never fired must not be recorded as injected"
+        );
     }
 }

@@ -224,6 +224,55 @@ fn exhausted_retry_budget_is_a_typed_retryable_error() {
     assert_conserved(&svc, "exhausted budget");
 }
 
+/// An ambiguous failure on a reserving, keyless `send` is Fatal even
+/// when the budget is spent: calling it `Retryable` would invite the
+/// blind manual retry — and double reservation — the classification
+/// exists to stop. The server *did* process the request.
+#[test]
+fn keyless_reserving_send_is_fatal_even_on_the_final_attempt() {
+    use geomap_service::Request;
+
+    let svc = service();
+    let plan = FaultPlan::script([Fault::ReadTimeout]);
+    let mut client = chaos_client(
+        &svc,
+        &plan,
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        },
+    );
+    match client.send(&Request::Map(reserve_request("no-key"))) {
+        Err(ClientError::Fatal(m)) => assert!(m.contains("idempotency"), "{m}"),
+        other => panic!("expected fatal, got {other:?}"),
+    }
+    // The lease exists server-side — exactly why a blind retry is unsafe.
+    assert_eq!(svc.inventory().active_leases(), 1);
+    assert_conserved(&svc, "final-attempt ambiguity");
+}
+
+/// `map()` auto-keys a reserving request even at `max_attempts == 1`,
+/// so the same lost response is merely Retryable: the key makes the
+/// caller's own later retry safe (it would replay, not re-reserve).
+#[test]
+fn single_attempt_map_still_gets_an_auto_idempotency_key() {
+    let svc = service();
+    let plan = FaultPlan::script([Fault::ReadTimeout]);
+    let mut client = chaos_client(
+        &svc,
+        &plan,
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        },
+    );
+    match client.map(reserve_request("one-shot")) {
+        Err(ClientError::Retryable { attempts, .. }) => assert_eq!(attempts, 1),
+        other => panic!("expected retryable exhaustion, got {other:?}"),
+    }
+    assert_conserved(&svc, "single-attempt keyed map");
+}
+
 #[test]
 fn non_retryable_refusals_are_returned_not_retried() {
     let svc = service();

@@ -316,6 +316,54 @@ fn idempotent_retry_replays_the_same_lease_verbatim() {
     }
 }
 
+/// Regression (check-then-act replay): a duplicate that arrives while
+/// the original keyed request is still solving must not miss the replay
+/// cache and reserve a second lease. Single-flight admission parks it
+/// until the first response is published. 8 threads race the same key;
+/// exactly one solve, one lease, shared by all.
+#[test]
+fn concurrent_duplicates_of_one_key_reserve_exactly_once() {
+    use std::sync::{Arc, Barrier};
+
+    let svc = Arc::new(service());
+    let barrier = Arc::new(Barrier::new(8));
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let svc = Arc::clone(&svc);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let req = MapRequest {
+                    ranks: Some(4),
+                    reserve: true,
+                    idempotency_key: Some("client-b/op-9".into()),
+                    ..MapRequest::new(format!("dup-{i}"), pattern_csv(4))
+                };
+                barrier.wait();
+                svc.handle_map(&req, 0.0)
+            })
+        })
+        .collect();
+
+    let mut leases = std::collections::HashSet::new();
+    for h in handles {
+        match h.join().expect("duplicate thread") {
+            Response::Map(m) => {
+                leases.insert(m.lease.expect("reservation grants a lease"));
+            }
+            other => panic!("duplicate must succeed via replay, got {other:?}"),
+        }
+    }
+    assert_eq!(leases.len(), 1, "duplicates must all share one lease");
+    assert_eq!(
+        svc.inventory().active_leases(),
+        1,
+        "a mid-solve retry reserved a second lease"
+    );
+    let stats = svc.stats("s");
+    assert_eq!(stats.served, 1, "the solve must have run exactly once");
+    assert_eq!(stats.replays, 7, "the other 7 must be replays");
+}
+
 // ----------------------------------------------- degraded calibration
 
 /// A calibration spec so lossy that every site pair starves: one probe

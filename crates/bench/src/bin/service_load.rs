@@ -3,26 +3,37 @@
 //! ```text
 //! service_load [--quick] [--requests N] [--clients C] [--workers W]
 //!              [--ranks R] [--seed S] [--out FILE]
+//!              [--pipeline-threads T] [--pool P] [--batch B]
+//!              [--pipelined-requests N]
 //! ```
 //!
-//! Starts a daemon on an ephemeral loopback port, then drives three
-//! phases of `N` concurrent requests each over real TCP connections:
+//! Starts a daemon on an ephemeral loopback port, then drives five
+//! phases over real TCP connections:
 //!
 //! 1. **miss** — every request carries a distinct calibration seed, so
 //!    each one runs the full campaign + solve;
 //! 2. **problem-hit** — one shared topology, distinct solver seeds, so
 //!    the calibration/problem tier is reused and only the solve runs;
-//! 3. **result-hit** — identical requests, served from the result
-//!    cache without solving.
+//! 3. **result-hit** — identical requests over v1 JSON lines, served
+//!    from the result cache without solving (the wire baseline);
+//! 4. **result-hit v2** — the same requests as binary frames, one
+//!    connection per client, one request in flight at a time;
+//! 5. **result-hit pipelined** — T pooled clients x P connections each
+//!    (T*P concurrent sockets), B binary-framed requests in flight per
+//!    pipeline call.
 //!
 //! Records throughput and p50/p95/p99 client-observed latency per
 //! phase to `BENCH_service.json`, including the result-hit vs miss
-//! median speedup (the acceptance target is >= 5x).
+//! median speedup (acceptance >= 5x) and the pipelined-vs-sequential
+//! result-hit throughput ratio (acceptance >= 10x).
 
 use commgraph::apps::AppKind;
 use geomap_service::json::{obj, Json};
 use geomap_service::proto::{CacheTier, Response};
-use geomap_service::{MapRequest, MappingServer, MappingService, ServiceClient, ServiceConfig};
+use geomap_service::{
+    MapRequest, MappingServer, MappingService, PooledClient, Request, ServiceClient, ServiceConfig,
+    WireFormat,
+};
 use geonet::{presets, InstanceType};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -37,6 +48,10 @@ struct Config {
     seed: u64,
     quick: bool,
     out: String,
+    pipeline_threads: usize,
+    pool: usize,
+    batch: usize,
+    pipelined_requests: usize,
 }
 
 struct PhaseStats {
@@ -60,6 +75,7 @@ fn run_phase(
     name: &'static str,
     addr: &str,
     cfg: &Config,
+    format: WireFormat,
     make: impl Fn(usize) -> MapRequest + Send + Sync,
 ) -> Result<PhaseStats, String> {
     let make = &make;
@@ -69,7 +85,8 @@ fn run_phase(
             .map(|c| {
                 scope.spawn(move || {
                     let mut out = Vec::new();
-                    let mut client = ServiceClient::connect(addr, Some(Duration::from_secs(120)))?;
+                    let mut client =
+                        ServiceClient::connect_with(addr, Some(Duration::from_secs(120)), format)?;
                     for i in (c..cfg.requests).step_by(cfg.clients) {
                         let t0 = Instant::now();
                         let resp = client.map(make(i))?;
@@ -94,6 +111,72 @@ fn run_phase(
     let wall_s = started.elapsed().as_secs_f64();
 
     let mut latencies_ms = Vec::with_capacity(cfg.requests);
+    let mut tiers: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for r in results {
+        let (ms, tier) = r?;
+        latencies_ms.push(ms);
+        *tiers.entry(tier.label()).or_insert(0) += 1;
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Ok(PhaseStats {
+        name,
+        wall_s,
+        latencies_ms,
+        tiers,
+    })
+}
+
+/// Fire result-hit requests through `threads` pooled pipelined
+/// clients, `batch` requests in flight per pipeline call. Latencies
+/// are amortized: one batch's wall clock spread over its requests.
+fn run_pipelined_phase(
+    name: &'static str,
+    addr: &str,
+    cfg: &Config,
+    make: impl Fn(usize) -> MapRequest + Send + Sync,
+) -> Result<PhaseStats, String> {
+    let make = &make;
+    let per_thread = cfg.pipelined_requests / cfg.pipeline_threads;
+    let rounds = (per_thread / cfg.batch).max(1);
+    let started = Instant::now();
+    let results: Vec<Result<(f64, CacheTier), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.pipeline_threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut client =
+                        PooledClient::new(addr, cfg.pool, Some(Duration::from_secs(120)));
+                    for r in 0..rounds {
+                        let batch: Vec<Request> = (0..cfg.batch)
+                            .map(|b| Request::Map(make(t * 1_000_000 + r * 1_000 + b)))
+                            .collect();
+                        let t0 = Instant::now();
+                        let responses = client.pipeline(&batch)?;
+                        let ms = t0.elapsed().as_secs_f64() * 1e3 / cfg.batch as f64;
+                        for resp in responses {
+                            match resp {
+                                Response::Map(m) => out.push(Ok((ms, m.cached))),
+                                other => {
+                                    return Err(format!("{name} thread {t} round {r}: {other:?}"))
+                                }
+                            }
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join().expect("pipeline thread") {
+                Ok(v) => v,
+                Err(e) => vec![Err(e)],
+            })
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut latencies_ms = Vec::new();
     let mut tiers: BTreeMap<&'static str, usize> = BTreeMap::new();
     for r in results {
         let (ms, tier) = r?;
@@ -145,6 +228,10 @@ fn parse_args() -> Result<Config, String> {
         seed: 0x5C17,
         quick: false,
         out: "BENCH_service.json".into(),
+        pipeline_threads: 8,
+        pool: 8,
+        batch: 64,
+        pipelined_requests: 16_384,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -162,14 +249,26 @@ fn parse_args() -> Result<Config, String> {
             "--ranks" => cfg.ranks = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => cfg.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--out" => cfg.out = value(&mut i)?,
+            "--pipeline-threads" => {
+                cfg.pipeline_threads = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--pool" => cfg.pool = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--batch" => cfg.batch = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--pipelined-requests" => {
+                cfg.pipelined_requests = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 1;
     }
     if cfg.quick {
         cfg.requests = cfg.requests.min(16);
+        cfg.pipelined_requests = cfg.pipelined_requests.min(2_048);
     }
     cfg.clients = cfg.clients.clamp(1, cfg.requests.max(1));
+    cfg.pipeline_threads = cfg.pipeline_threads.max(1);
+    cfg.pool = cfg.pool.max(1);
+    cfg.batch = cfg.batch.max(1);
     Ok(cfg)
 }
 
@@ -206,7 +305,7 @@ fn run() -> Result<String, String> {
     };
 
     // Phase 1 — full misses: a fresh calibration campaign per request.
-    let miss = run_phase("miss", &addr, &cfg, |i| MapRequest {
+    let miss = run_phase("miss", &addr, &cfg, WireFormat::V1Json, |i| MapRequest {
         calibration: geomap_service::proto::CalibSpec {
             seed: 0xBEEF + i as u64,
             ..Default::default()
@@ -224,9 +323,11 @@ fn run() -> Result<String, String> {
         let mut warm = ServiceClient::connect(&addr, Some(Duration::from_secs(120)))?;
         warm.map(base(usize::MAX, "warm-problem"))?;
     }
-    let problem = run_phase("problem_hit", &addr, &cfg, |i| MapRequest {
-        seed: cfg.seed + 1 + i as u64,
-        ..base(i, "problem")
+    let problem = run_phase("problem_hit", &addr, &cfg, WireFormat::V1Json, |i| {
+        MapRequest {
+            seed: cfg.seed + 1 + i as u64,
+            ..base(i, "problem")
+        }
     })?;
     eprintln!(
         "  problem hit: p50 {:.2} ms",
@@ -235,10 +336,34 @@ fn run() -> Result<String, String> {
 
     // Phase 3 — result-tier hits: identical requests (the warm request
     // above already solved this exact problem/seed pair).
-    let result = run_phase("result_hit", &addr, &cfg, |i| base(i, "result"))?;
+    let result = run_phase("result_hit", &addr, &cfg, WireFormat::V1Json, |i| {
+        base(i, "result")
+    })?;
     eprintln!(
-        "  result hit:  p50 {:.2} ms",
-        percentile(&result.latencies_ms, 0.5)
+        "  result hit:  p50 {:.2} ms ({:.0} rps over v1)",
+        percentile(&result.latencies_ms, 0.5),
+        result.latencies_ms.len() as f64 / result.wall_s,
+    );
+
+    // Phase 4 — the same result-tier hits over binary frames.
+    let result_v2 = run_phase("result_hit_v2", &addr, &cfg, WireFormat::V2Binary, |i| {
+        base(i, "result")
+    })?;
+    eprintln!(
+        "  result v2:   p50 {:.2} ms ({:.0} rps)",
+        percentile(&result_v2.latencies_ms, 0.5),
+        result_v2.latencies_ms.len() as f64 / result_v2.wall_s,
+    );
+
+    // Phase 5 — pooled pipelined frames: T threads x P connections,
+    // B requests in flight per pipeline call.
+    let pipelined =
+        run_pipelined_phase("result_hit_pipelined", &addr, &cfg, |i| base(i, "result"))?;
+    eprintln!(
+        "  pipelined:   amortized p50 {:.3} ms ({:.0} rps over {} connections)",
+        percentile(&pipelined.latencies_ms, 0.5),
+        pipelined.latencies_ms.len() as f64 / pipelined.wall_s,
+        cfg.pipeline_threads * cfg.pool,
     );
 
     let mut shutdown = ServiceClient::connect(&addr, Some(Duration::from_secs(10)))?;
@@ -250,6 +375,9 @@ fn run() -> Result<String, String> {
     let result_p50 = percentile(&result.latencies_ms, 0.5);
     let problem_p50 = percentile(&problem.latencies_ms, 0.5);
     let speedup = miss_p50 / result_p50;
+    let sequential_rps = result.latencies_ms.len() as f64 / result.wall_s;
+    let pipelined_rps = pipelined.latencies_ms.len() as f64 / pipelined.wall_s;
+    let wire_speedup = pipelined_rps / sequential_rps;
     let doc = obj(vec![
         (
             "config",
@@ -260,6 +388,13 @@ fn run() -> Result<String, String> {
                 ("ranks", Json::Num(cfg.ranks as f64)),
                 ("seed", Json::Num(cfg.seed as f64)),
                 ("quick", Json::Bool(cfg.quick)),
+                ("pipeline_threads", Json::Num(cfg.pipeline_threads as f64)),
+                ("pool", Json::Num(cfg.pool as f64)),
+                ("batch", Json::Num(cfg.batch as f64)),
+                (
+                    "concurrent_connections",
+                    Json::Num((cfg.pipeline_threads * cfg.pool) as f64),
+                ),
             ]),
         ),
         (
@@ -268,6 +403,8 @@ fn run() -> Result<String, String> {
                 phase_json(&miss),
                 phase_json(&problem),
                 phase_json(&result),
+                phase_json(&result_v2),
+                phase_json(&pipelined),
             ]),
         ),
         (
@@ -276,6 +413,11 @@ fn run() -> Result<String, String> {
                 ("result_hit_vs_miss_p50", Json::Num(speedup)),
                 ("problem_hit_vs_miss_p50", Json::Num(miss_p50 / problem_p50)),
                 ("meets_5x_target", Json::Bool(speedup >= 5.0)),
+                (
+                    "pipelined_vs_sequential_result_rps",
+                    Json::Num(wire_speedup),
+                ),
+                ("meets_10x_target", Json::Bool(wire_speedup >= 10.0)),
             ]),
         ),
         (
@@ -297,8 +439,16 @@ fn run() -> Result<String, String> {
             "cache-hit speedup {speedup:.1}x below the 5x target (miss p50 {miss_p50:.2} ms, result-hit p50 {result_p50:.2} ms)"
         ));
     }
+    // Quick mode is a smoke run on whatever hardware CI hands us;
+    // only full runs enforce the wire-throughput target.
+    if !cfg.quick && wire_speedup < 10.0 {
+        return Err(format!(
+            "pipelined result-hit throughput {pipelined_rps:.0} rps is only {wire_speedup:.1}x \
+             the sequential v1 baseline ({sequential_rps:.0} rps); target is 10x"
+        ));
+    }
     Ok(format!(
-        "wrote {}: miss p50 {miss_p50:.2} ms, problem-hit p50 {problem_p50:.2} ms, result-hit p50 {result_p50:.2} ms ({speedup:.1}x)",
+        "wrote {}: miss p50 {miss_p50:.2} ms, problem-hit p50 {problem_p50:.2} ms, result-hit p50 {result_p50:.2} ms ({speedup:.1}x); pipelined {pipelined_rps:.0} rps = {wire_speedup:.1}x sequential v1 ({sequential_rps:.0} rps)",
         cfg.out
     ))
 }

@@ -10,14 +10,19 @@
 //! exits non-zero with a one-line diagnostic whenever anything goes
 //! wrong: unreachable address, malformed response JSON, or a rejection
 //! (`over_capacity`, `bad_request`, ...) from the daemon.
+//!
+//! The daemon answers both wire protocols on one port, sniffing each
+//! connection's first byte, so `serve` needs no protocol flag;
+//! `request --protocol v2` switches the client to binary frames, and
+//! `--pool N` sends through N pooled pipelined connections.
 
 use crate::args::Args;
 use crate::files;
 use geomap_core::{JsonLinesSink, Metrics, StreamingSink, Trace};
 use geomap_service::proto::{CalibSpec, Response};
 use geomap_service::{
-    MapRequest, MappingServer, MappingService, Request, RetryPolicy, RetryingClient, ServiceClient,
-    ServiceConfig, TcpConnector,
+    MapRequest, MappingServer, MappingService, PooledClient, Request, RetryPolicy, RetryingClient,
+    ServiceClient, ServiceConfig, TcpConnector, WireFormat,
 };
 use geonet::io as netio;
 use std::sync::Arc;
@@ -160,25 +165,45 @@ pub fn request(args: &Args) -> Result<String, String> {
         })
     };
 
+    // `--protocol v1|v2` picks the wire encoding (JSON lines by
+    // default); `--pool N` with N > 1 routes through the pooled
+    // pipelined client instead of a single connection.
+    let format = match args.optional("protocol").unwrap_or("v1") {
+        "v1" => WireFormat::V1Json,
+        "v2" => WireFormat::V2Binary,
+        other => return Err(format!("--protocol {other:?}: expected v1 or v2")),
+    };
+    let pool = args.parsed_or("pool", 1usize)?;
+
     // `--retries N` switches to the resilient client: N retries after
     // the first attempt, capped exponential backoff with deterministic
     // jitter starting at `--backoff-ms` (reserving map requests get an
     // auto idempotency key, so a retry can never double-reserve).
     let retries = args.parsed_or("retries", 0u32)?;
-    let response = if retries > 0 {
+    let response = if pool > 1 {
+        if retries > 0 {
+            return Err("--retries is not supported with --pool; pooled batches fail whole".into());
+        }
+        let mut client = PooledClient::with_format(addr, pool, Some(timeout), format);
+        client
+            .pipeline(std::slice::from_ref(&request))?
+            .pop()
+            .ok_or_else(|| "pooled client returned no response".to_string())?
+    } else if retries > 0 {
         let policy = RetryPolicy {
             max_attempts: retries + 1,
             base_backoff: Duration::from_millis(args.parsed_or("backoff-ms", 50u64)?),
             ..RetryPolicy::default()
         };
-        let mut client = RetryingClient::new(TcpConnector::new(addr, Some(timeout)), policy);
+        let connector = TcpConnector::new(addr, Some(timeout)).with_format(format);
+        let mut client = RetryingClient::new(connector, policy);
         match request {
             Request::Map(m) => client.map(m),
             other => client.send(&other),
         }
         .map_err(|e| e.to_string())?
     } else {
-        let mut client = ServiceClient::connect(addr, Some(timeout))?;
+        let mut client = ServiceClient::connect_with(addr, Some(timeout), format)?;
         client.send(&request)?
     };
     let line = response.to_line();
@@ -291,8 +316,31 @@ mod tests {
         assert!(err.contains("bad_request"), "got {err:?}");
         assert!(!err.contains('\n'));
 
-        let stats_out = request(&argv(&format!("--addr {addr} --stats"))).unwrap();
-        assert!(stats_out.contains("\"served\":1"), "got {stats_out}");
+        // The same map over binary frames (cache hit now) and through
+        // the pooled pipelined client: identical response lines modulo
+        // the cache tier and timing fields.
+        let v2_out = request(&argv(&format!(
+            "--addr {addr} --pattern {pat_path} --protocol v2"
+        )))
+        .unwrap();
+        assert!(v2_out.contains("\"kind\":\"map_response\""), "got {v2_out}");
+        assert!(v2_out.contains("\"cached\":\"result\""), "got {v2_out}");
+        let pooled_out = request(&argv(&format!(
+            "--addr {addr} --pattern {pat_path} --pool 3"
+        )))
+        .unwrap();
+        assert!(
+            pooled_out.contains("\"cached\":\"result\""),
+            "got {pooled_out}"
+        );
+        assert!(
+            request(&argv(&format!("--addr {addr} --protocol v3 --stats")))
+                .unwrap_err()
+                .contains("expected v1 or v2")
+        );
+
+        let stats_out = request(&argv(&format!("--addr {addr} --stats --protocol v2"))).unwrap();
+        assert!(stats_out.contains("\"served\":3"), "got {stats_out}");
 
         let bye = request(&argv(&format!("--addr {addr} --shutdown"))).unwrap();
         assert!(bye.contains("\"kind\":\"shutdown_response\""), "got {bye}");

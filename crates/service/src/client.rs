@@ -1,11 +1,12 @@
-//! Clients for the daemon: a plain blocking one and a resilient one.
+//! Clients for the daemon: a plain blocking one, a resilient one, and
+//! a pooled pipelining one for load.
 //!
 //! [`ServiceClient`] is the original single-shot client — one request
-//! per call over a [`TcpTransport`](crate::transport::TcpTransport),
+//! per call over a [`TcpTransport`],
 //! string errors that read well on one diagnostic line.
 //!
 //! [`RetryingClient`] layers resilience on any
-//! [`Connector`](crate::transport::Connector): a retry budget, capped
+//! [`Connector`]: a retry budget, capped
 //! exponential backoff with deterministic jitter (seeded from the
 //! vendored RNG — two clients with the same [`RetryPolicy`] back off
 //! identically), reconnect-on-failure, and retry on transient server
@@ -16,34 +17,76 @@
 //! [`RetryingClient::send`] refuses to blind-retry a reserving request
 //! after an ambiguous failure (see
 //! [`TransportError::is_ambiguous`](crate::transport::TransportError::is_ambiguous)).
+//!
+//! [`PooledClient`] is the throughput client: a small pool of
+//! persistent v2 connections with many requests in flight per socket.
+//! A batch is encoded into one contiguous byte run per connection and
+//! written with a single syscall; responses are matched back to their
+//! requests by the correlation id in the frame header, so the caller
+//! gets answers in submission order regardless of arrival order.
+//!
+//! All three speak either [`WireFormat`]: requests go out in the
+//! client's configured format, responses are sniffed per message, and
+//! on v2 the correlation id is verified — a mismatch is treated exactly
+//! like a garbled response.
 
+use crate::frame::FRAME_MAGIC;
 use crate::proto::{ErrorCode, MapRequest, Request, Response};
 use crate::transport::{Connector, TcpTransport, Transport};
+use crate::wire::WireFormat;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use std::time::Duration;
+
+/// True when `msg` is a v2 frame (whose decoded correlation id is
+/// meaningful, unlike the 0 that v1 lines decode to).
+fn is_frame(msg: &[u8]) -> bool {
+    msg.first() == Some(&FRAME_MAGIC)
+}
 
 /// A connected single-shot client (no retries; failures are strings).
 #[derive(Debug)]
 pub struct ServiceClient {
     transport: TcpTransport,
+    next_corr: u64,
 }
 
 impl ServiceClient {
-    /// Connect to `addr` (host:port). `timeout` bounds the connection
-    /// attempt and every subsequent read/write (`None`: OS defaults).
+    /// Connect to `addr` (host:port) speaking v1 JSON lines. `timeout`
+    /// bounds the connection attempt and every subsequent read/write
+    /// (`None`: OS defaults).
     pub fn connect(addr: &str, timeout: Option<Duration>) -> Result<Self, String> {
-        TcpTransport::connect(addr, timeout)
-            .map(|transport| Self { transport })
+        Self::connect_with(addr, timeout, WireFormat::V1Json)
+    }
+
+    /// Connect speaking `format`.
+    pub fn connect_with(
+        addr: &str,
+        timeout: Option<Duration>,
+        format: WireFormat,
+    ) -> Result<Self, String> {
+        TcpTransport::connect_with(addr, timeout, format)
+            .map(|transport| Self {
+                transport,
+                next_corr: 0,
+            })
             .map_err(|e| e.to_string())
     }
 
-    /// Send one request and wait for its response line.
+    /// Send one request and wait for its response.
     pub fn send(&mut self, request: &Request) -> Result<Response, String> {
-        self.transport
-            .send_line(&request.to_line())
-            .map_err(|e| e.to_string())?;
-        let reply = self.transport.recv_line().map_err(|e| e.to_string())?;
-        Response::from_line(&reply)
+        self.next_corr += 1;
+        let corr = self.next_corr;
+        let msg = self.transport.format().encode_request(request, corr);
+        self.transport.send_msg(&msg).map_err(|e| e.to_string())?;
+        let reply = self.transport.recv_msg().map_err(|e| e.to_string())?;
+        let framed = is_frame(&reply);
+        let (reply_corr, response) = WireFormat::decode_response(&reply)?;
+        if framed && reply_corr != corr {
+            return Err(format!(
+                "response correlation id {reply_corr} does not match request {corr}"
+            ));
+        }
+        Ok(response)
     }
 
     /// Shorthand: send a `map` request.
@@ -157,6 +200,7 @@ pub struct RetryingClient<C: Connector> {
     conn: Option<C::Conn>,
     client_tag: u64,
     next_key: u64,
+    next_corr: u64,
 }
 
 impl<C: Connector> RetryingClient<C> {
@@ -173,6 +217,7 @@ impl<C: Connector> RetryingClient<C> {
             conn: None,
             client_tag,
             next_key: 0,
+            next_corr: 0,
         }
     }
 
@@ -219,7 +264,11 @@ impl<C: Connector> RetryingClient<C> {
     /// including non-retryable `Error` responses, which *are* the
     /// answer — or a [`ClientError`] once the budget is spent.
     pub fn send(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let line = request.to_line();
+        self.next_corr += 1;
+        let corr = self.next_corr;
+        // One logical request keeps one correlation id across retries:
+        // the id identifies the request, not the attempt.
+        let msg = self.connector.format().encode_request(request, corr);
         // A reserving map request without an idempotency key must not
         // be retried after an ambiguous failure: the first attempt may
         // have reserved, and a retry would reserve again.
@@ -241,25 +290,37 @@ impl<C: Connector> RetryingClient<C> {
                 }
             }
             let conn = self.conn.as_mut().expect("connection just established");
-            let outcome = conn.send_line(&line).and_then(|()| conn.recv_line());
+            let outcome = conn.send_msg(&msg).and_then(|()| conn.recv_msg());
             match outcome {
-                Ok(reply) => match Response::from_line(&reply) {
-                    Ok(Response::Error(e)) if e.code.is_retryable() => {
-                        // A clean, transient refusal: the connection is
-                        // fine, the server's moment was not.
-                        last_error = format!("{}: {}", e.code.label(), e.message);
-                    }
-                    Ok(response) => return Ok(response),
-                    Err(parse) => {
-                        // Garbled response: the server processed the
-                        // request, we just can't read the answer.
-                        self.conn = None;
-                        last_error = format!("garbled response: {parse}");
-                        if ambiguity_unsafe {
-                            return Err(self.ambiguous_fatal(&last_error));
+                Ok(reply) => {
+                    let framed = is_frame(&reply);
+                    let decoded = WireFormat::decode_response(&reply).and_then(|(c, r)| {
+                        if framed && c != corr {
+                            Err(format!(
+                                "response correlation id {c} does not match request {corr}"
+                            ))
+                        } else {
+                            Ok(r)
+                        }
+                    });
+                    match decoded {
+                        Ok(Response::Error(e)) if e.code.is_retryable() => {
+                            // A clean, transient refusal: the connection
+                            // is fine, the server's moment was not.
+                            last_error = format!("{}: {}", e.code.label(), e.message);
+                        }
+                        Ok(response) => return Ok(response),
+                        Err(parse) => {
+                            // Garbled response: the server processed the
+                            // request, we just can't read the answer.
+                            self.conn = None;
+                            last_error = format!("garbled response: {parse}");
+                            if ambiguity_unsafe {
+                                return Err(self.ambiguous_fatal(&last_error));
+                            }
                         }
                     }
-                },
+                }
                 Err(te) => {
                     self.conn = None;
                     last_error = te.to_string();
@@ -284,6 +345,168 @@ impl<C: Connector> RetryingClient<C> {
              after an ambiguous failure ({failure}); set one, or use \
              RetryingClient::map which does"
         ))
+    }
+}
+
+/// A connection with requests in flight: which correlation ids it still
+/// owes answers for, in submission order (the order a v1-encoded
+/// response — which carries no id — must be matched in).
+#[derive(Debug)]
+struct PooledConn {
+    transport: TcpTransport,
+    owed: std::collections::VecDeque<u64>,
+}
+
+/// The throughput client: `pool` persistent connections, a whole batch
+/// of requests in flight at once, answers matched by frame correlation
+/// id. No retries — under pipelining a failed connection has an
+/// unknowable number of requests in the void, so the failure is
+/// surfaced whole and the *caller* decides (resubmit idempotent work,
+/// drop the batch). Connections are re-established per batch as needed.
+#[derive(Debug)]
+pub struct PooledClient {
+    addr: String,
+    timeout: Option<Duration>,
+    format: WireFormat,
+    conns: Vec<Option<PooledConn>>,
+}
+
+impl PooledClient {
+    /// A pool of `pool` (≥ 1) connections to `addr`, speaking v2 binary
+    /// frames. Connections are opened lazily on first use.
+    pub fn new(addr: impl Into<String>, pool: usize, timeout: Option<Duration>) -> Self {
+        Self::with_format(addr, pool, timeout, WireFormat::V2Binary)
+    }
+
+    /// A pool speaking `format` (v1 pipelines too — the server reads
+    /// line after line — it just pays the JSON tax per message).
+    pub fn with_format(
+        addr: impl Into<String>,
+        pool: usize,
+        timeout: Option<Duration>,
+        format: WireFormat,
+    ) -> Self {
+        let pool = pool.max(1);
+        Self {
+            addr: addr.into(),
+            timeout,
+            format,
+            conns: (0..pool).map(|_| None).collect(),
+        }
+    }
+
+    /// Pool size.
+    pub fn pool(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Send `requests` with up to `pool` connections' worth of
+    /// pipelining and return the responses in submission order.
+    ///
+    /// Requests are dealt round-robin across the pool; each
+    /// connection's share is encoded into one contiguous byte run and
+    /// written with a single syscall, so a batch of cache hits costs a
+    /// handful of writes rather than one round trip each. The
+    /// correlation id of request `i` is `i + 1`; responses may be
+    /// matched from the header without decoding the payload.
+    ///
+    /// Any transport or decode failure fails the whole batch: partial
+    /// results under pipelining are ambiguous by nature and this client
+    /// refuses to guess.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, String> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        // A previous failed batch may have left responses in flight on
+        // surviving connections; those sockets cannot be trusted to
+        // answer *this* batch's ids, so they reconnect.
+        for conn in &mut self.conns {
+            if conn.as_ref().is_some_and(|c| !c.owed.is_empty()) {
+                *conn = None;
+            }
+        }
+        let pool = self.conns.len();
+        // Encode each connection's share as one write.
+        let mut batches: Vec<Vec<u8>> = vec![Vec::new(); pool];
+        let mut owed: Vec<std::collections::VecDeque<u64>> =
+            vec![std::collections::VecDeque::new(); pool];
+        for (i, request) in requests.iter().enumerate() {
+            let corr = (i + 1) as u64;
+            let slot = i % pool;
+            let msg = self.format.encode_request(request, corr);
+            batches[slot].extend_from_slice(&msg);
+            if self.format == WireFormat::V1Json {
+                batches[slot].push(b'\n');
+            }
+            owed[slot].push_back(corr);
+        }
+        // One syscall wave: every connection's whole share goes out
+        // before any response is read.
+        for (slot, batch) in batches.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            if self.conns[slot].is_none() {
+                let transport =
+                    TcpTransport::connect_with(&self.addr, self.timeout, WireFormat::V2Binary)
+                        .map_err(|e| format!("pool connection {slot}: {e}"))?;
+                self.conns[slot] = Some(PooledConn {
+                    transport,
+                    owed: std::collections::VecDeque::new(),
+                });
+            }
+            let conn = self.conns[slot].as_mut().expect("connection just opened");
+            conn.owed = std::mem::take(&mut owed[slot]);
+            // The batch is already fully framed (v2 length prefixes or
+            // v1 newlines), so it rides the verbatim v2 send path
+            // regardless of the encode format.
+            if let Err(e) = conn.transport.send_msg(batch) {
+                self.conns[slot] = None;
+                return Err(format!("pool connection {slot}: {e}"));
+            }
+        }
+        // Collect, matching answers to requests by correlation id.
+        let mut responses: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+        for slot in 0..pool {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                continue;
+            };
+            while !conn.owed.is_empty() {
+                let reply = match conn.transport.recv_msg() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let missing = conn.owed.len();
+                        self.conns[slot] = None;
+                        return Err(format!(
+                            "pool connection {slot} lost {missing} in-flight responses: {e}"
+                        ));
+                    }
+                };
+                let framed = is_frame(&reply);
+                let (corr, response) = WireFormat::decode_response(&reply)
+                    .map_err(|e| format!("pool connection {slot}: garbled response: {e}"))?;
+                let corr = if framed {
+                    // Cross off the id the server echoed back.
+                    let Some(pos) = conn.owed.iter().position(|&c| c == corr) else {
+                        self.conns[slot] = None;
+                        return Err(format!(
+                            "pool connection {slot}: unexpected correlation id {corr}"
+                        ));
+                    };
+                    conn.owed.remove(pos).expect("position just found")
+                } else {
+                    // A v1 line (e.g. an admission rejection written
+                    // before the server saw our protocol) carries no
+                    // id: it answers the oldest outstanding request.
+                    conn.owed.pop_front().expect("loop guard: non-empty")
+                };
+                responses[(corr - 1) as usize] = Some(response);
+            }
+        }
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("every owed id was crossed off"))
+            .collect())
     }
 }
 
@@ -329,5 +552,17 @@ mod tests {
         let line = e.to_string();
         assert!(line.starts_with("retryable:"), "{line}");
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn pool_size_is_clamped_to_at_least_one() {
+        let c = PooledClient::new("127.0.0.1:1", 0, None);
+        assert_eq!(c.pool(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_no_op() {
+        let mut c = PooledClient::new("127.0.0.1:1", 4, None);
+        assert_eq!(c.pipeline(&[]), Ok(Vec::new()), "no connection attempted");
     }
 }

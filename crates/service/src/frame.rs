@@ -1,0 +1,784 @@
+//! The v2 binary wire format: length-prefixed frames with correlation
+//! ids, carrying a fixed-order binary encoding of the [`proto`] types.
+//!
+//! JSON-lines (v1) pays a parse per request and a `Display` per number;
+//! at tens of thousands of requests per second the protocol dominates
+//! the solver. v2 frames cut both directions to fixed-width reads:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic 0xB2
+//! 1       1     frame version (2)
+//! 2       1     kind (1 = request, 2 = response)
+//! 3       8     correlation id, u64 LE
+//! 11      4     payload length, u32 LE (≤ MAX_FRAME_BYTES)
+//! 15      …     payload
+//! ```
+//!
+//! The magic byte `0xB2` is a UTF-8 continuation byte, so it can never
+//! begin a valid JSON line — a server (or client) can tell the two
+//! protocols apart from the first byte of a connection or message and
+//! keep speaking v1 to old peers on the same port.
+//!
+//! Payloads encode the [`Request`]/[`Response`] enums with a leading
+//! u8 tag and fixed field order: integers as LE `u64`/`u32`, floats as
+//! `f64::to_bits` LE (bit-exact by construction — the differential
+//! suite proves decoded v1 and v2 responses identical), strings as
+//! u32-length-prefixed UTF-8, options as a presence byte. The decoder
+//! is total: any byte sequence yields a value or a typed
+//! [`FrameError`], never a panic (`tests/frame_properties.rs`), and the
+//! exact bytes are pinned by golden fixtures
+//! (`tests/frame_fixtures.rs`).
+//!
+//! [`proto`]: crate::proto
+
+use crate::proto::{
+    CacheTier, CalibSpec, ErrorCode, ErrorResponse, MapRequest, MapResponse, Request, Response,
+    StatsResponse,
+};
+
+/// First byte of every v2 frame; never the first byte of UTF-8 JSON.
+pub const FRAME_MAGIC: u8 = 0xB2;
+
+/// The binary frame format generation.
+pub const FRAME_VERSION: u8 = 2;
+
+/// Fixed frame header size (magic + version + kind + corr id + length).
+pub const FRAME_HEADER_BYTES: usize = 15;
+
+/// Longest payload a frame may carry — the binary twin of
+/// [`MAX_LINE_BYTES`](crate::server::MAX_LINE_BYTES): a peer declaring
+/// more gets a typed error, never an unbounded buffer.
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server.
+    Request,
+    /// Server → client.
+    Response,
+}
+
+impl FrameKind {
+    /// Stable wire byte.
+    pub fn code(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+        }
+    }
+
+    /// Parse a wire byte.
+    pub fn from_code(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(FrameKind::Request),
+            2 => Some(FrameKind::Response),
+            _ => None,
+        }
+    }
+}
+
+/// Why bytes failed to decode as a frame (or as a frame's payload).
+/// Every variant is a clean error — the decoder never panics and never
+/// over-allocates on hostile input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Not enough bytes yet: `need` bytes would complete the frame.
+    /// The only recoverable variant — a streaming reader waits for
+    /// more; everything else means the stream is corrupt.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes the frame needs (header, or header + declared payload).
+        need: usize,
+    },
+    /// The declared payload length exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+    },
+    /// The first byte is not [`FRAME_MAGIC`].
+    BadMagic(u8),
+    /// The frame version byte is not [`FRAME_VERSION`].
+    BadVersion(u8),
+    /// The kind byte is not a known [`FrameKind`].
+    BadKind(u8),
+    /// The payload is structurally invalid (bad tag, short field,
+    /// non-UTF-8 string, trailing bytes, out-of-range enum code).
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            FrameError::Oversized { len } => {
+                write!(f, "frame payload of {len} bytes exceeds {MAX_FRAME_BYTES}")
+            }
+            FrameError::BadMagic(b) => write!(f, "bad frame magic 0x{b:02X} (expected 0xB2)"),
+            FrameError::BadVersion(v) => write!(
+                f,
+                "frame version {v} not supported (this peer speaks v{FRAME_VERSION})"
+            ),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Malformed(m) => write!(f, "malformed frame payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One decoded frame: header fields plus the raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Request or response.
+    pub kind: FrameKind,
+    /// Correlation id, echoed by the server so pipelined clients can
+    /// match responses to in-flight requests.
+    pub corr_id: u64,
+    /// The encoded [`Request`]/[`Response`] payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Encode header + payload into wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + self.payload.len());
+        out.push(FRAME_MAGIC);
+        out.push(FRAME_VERSION);
+        out.push(self.kind.code());
+        out.extend_from_slice(&self.corr_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decode one frame from the front of `buf`, returning it and the
+    /// bytes consumed. [`FrameError::Truncated`] means "feed me more";
+    /// any other error means the stream cannot be resynchronized.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+        if buf.is_empty() {
+            return Err(FrameError::Truncated {
+                have: 0,
+                need: FRAME_HEADER_BYTES,
+            });
+        }
+        if buf[0] != FRAME_MAGIC {
+            return Err(FrameError::BadMagic(buf[0]));
+        }
+        if buf.len() >= 2 && buf[1] != FRAME_VERSION {
+            return Err(FrameError::BadVersion(buf[1]));
+        }
+        if buf.len() >= 3 && FrameKind::from_code(buf[2]).is_none() {
+            return Err(FrameError::BadKind(buf[2]));
+        }
+        if buf.len() < FRAME_HEADER_BYTES {
+            return Err(FrameError::Truncated {
+                have: buf.len(),
+                need: FRAME_HEADER_BYTES,
+            });
+        }
+        let kind = FrameKind::from_code(buf[2]).expect("kind checked above");
+        let corr_id = u64::from_le_bytes(buf[3..11].try_into().expect("8 header bytes"));
+        let len = u32::from_le_bytes(buf[11..15].try_into().expect("4 header bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError::Oversized { len });
+        }
+        let total = FRAME_HEADER_BYTES + len;
+        if buf.len() < total {
+            return Err(FrameError::Truncated {
+                have: buf.len(),
+                need: total,
+            });
+        }
+        Ok((
+            Frame {
+                kind,
+                corr_id,
+                payload: buf[FRAME_HEADER_BYTES..total].to_vec(),
+            },
+            total,
+        ))
+    }
+
+    /// The correlation id of a partial frame whose header has arrived,
+    /// if the magic matches — lets a server echo the right id on an
+    /// error response even when the rest of the frame is hopeless.
+    pub fn peek_corr_id(buf: &[u8]) -> Option<u64> {
+        if buf.len() >= FRAME_HEADER_BYTES && buf[0] == FRAME_MAGIC {
+            Some(u64::from_le_bytes(
+                buf[3..11].try_into().expect("8 header bytes"),
+            ))
+        } else {
+            None
+        }
+    }
+}
+
+/// Encode a request as a complete v2 frame.
+pub fn encode_request(request: &Request, corr_id: u64) -> Vec<u8> {
+    Frame {
+        kind: FrameKind::Request,
+        corr_id,
+        payload: request_payload(request),
+    }
+    .encode()
+}
+
+/// Encode a response as a complete v2 frame.
+pub fn encode_response(response: &Response, corr_id: u64) -> Vec<u8> {
+    Frame {
+        kind: FrameKind::Response,
+        corr_id,
+        payload: response_payload(response),
+    }
+    .encode()
+}
+
+// ---------------------------------------------------------------------
+// Payload writer
+// ---------------------------------------------------------------------
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { out: Vec::new() }
+    }
+
+    fn u8(&mut self, x: u8) {
+        self.out.push(x);
+    }
+
+    fn bool(&mut self, x: bool) {
+        self.out.push(u8::from(x));
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.out.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_u64(&mut self, x: Option<u64>) {
+        match x {
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(v) => {
+                self.u8(1);
+                self.str(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn usize_arr(&mut self, xs: &[usize]) {
+        self.out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+        for &x in xs {
+            self.u64(x as u64);
+        }
+    }
+}
+
+/// The binary payload of a request (tag + fixed field order).
+pub fn request_payload(request: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    match request {
+        Request::Map(m) => {
+            w.u8(1);
+            w.str(&m.id);
+            w.str(&m.pattern_csv);
+            w.opt_u64(m.ranks.map(|r| r as u64));
+            w.opt_str(m.constraints_csv.as_deref());
+            w.str(&m.algorithm);
+            w.u64(m.seed);
+            w.u64(m.kappa as u64);
+            w.u64(m.samples as u64);
+            w.u64(m.calibration.days as u64);
+            w.u64(m.calibration.probes_per_day as u64);
+            w.f64(m.calibration.noise_cv);
+            w.f64(m.calibration.loss_rate);
+            w.u64(m.calibration.seed);
+            w.opt_u64(m.deadline_ms);
+            w.bool(m.reserve);
+            w.opt_u64(m.lease_ttl_ms);
+            w.bool(m.use_result_cache);
+            w.opt_str(m.idempotency_key.as_deref());
+        }
+        Request::Release { id, lease } => {
+            w.u8(2);
+            w.str(id);
+            w.u64(*lease);
+        }
+        Request::Stats { id } => {
+            w.u8(3);
+            w.str(id);
+        }
+        Request::Shutdown { id } => {
+            w.u8(4);
+            w.str(id);
+        }
+    }
+    w.out
+}
+
+/// The binary payload of a response (tag + fixed field order).
+pub fn response_payload(response: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    match response {
+        Response::Map(r) => {
+            w.u8(1);
+            w.str(&r.id);
+            w.usize_arr(&r.mapping);
+            w.f64(r.cost);
+            w.u8(r.cached.code());
+            w.f64(r.queue_wait_s);
+            w.f64(r.solve_s);
+            w.opt_u64(r.lease);
+            w.usize_arr(&r.site_counts);
+            w.usize_arr(&r.free_nodes);
+            w.bool(r.degraded);
+            w.u64(r.staleness);
+        }
+        Response::Release {
+            id,
+            freed,
+            free_nodes,
+        } => {
+            w.u8(2);
+            w.str(id);
+            w.usize_arr(freed);
+            w.usize_arr(free_nodes);
+        }
+        Response::Stats(s) => {
+            w.u8(3);
+            w.str(&s.id);
+            w.u64(s.served);
+            w.u64(s.result_hits);
+            w.u64(s.problem_hits);
+            w.u64(s.misses);
+            w.u64(s.rejected);
+            w.u64(s.replays);
+            w.usize_arr(&s.free_nodes);
+            w.u64(s.active_leases);
+        }
+        Response::Shutdown { id, draining } => {
+            w.u8(4);
+            w.str(id);
+            w.u64(*draining);
+        }
+        Response::Error(e) => {
+            w.u8(5);
+            w.str(&e.id);
+            w.u8(e.code.code());
+            w.str(&e.message);
+        }
+    }
+    w.out
+}
+
+// ---------------------------------------------------------------------
+// Payload reader
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Malformed(format!(
+                "{what} needs {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn bool(&mut self, what: &str) -> Result<bool, FrameError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(FrameError::Malformed(format!("{what}: bad bool byte {b}"))),
+        }
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, FrameError> {
+        let len = self.u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(FrameError::Malformed(format!(
+                "{what}: declared string length {len} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        String::from_utf8(self.take(len, what)?.to_vec())
+            .map_err(|e| FrameError::Malformed(format!("{what}: invalid UTF-8: {e}")))
+    }
+
+    fn opt_u64(&mut self, what: &str) -> Result<Option<u64>, FrameError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64(what)?)),
+            b => Err(FrameError::Malformed(format!(
+                "{what}: bad presence byte {b}"
+            ))),
+        }
+    }
+
+    fn opt_str(&mut self, what: &str) -> Result<Option<String>, FrameError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str(what)?)),
+            b => Err(FrameError::Malformed(format!(
+                "{what}: bad presence byte {b}"
+            ))),
+        }
+    }
+
+    fn usize_arr(&mut self, what: &str) -> Result<Vec<usize>, FrameError> {
+        let count = self.u32(what)? as usize;
+        // Each entry is 8 bytes: a declared count past the remaining
+        // bytes is hostile input, refused before any allocation.
+        if count > self.remaining() / 8 {
+            return Err(FrameError::Malformed(format!(
+                "{what}: declared {count} entries exceed {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        (0..count).map(|_| Ok(self.u64(what)? as usize)).collect()
+    }
+
+    fn finish(self, what: &str) -> Result<(), FrameError> {
+        if self.remaining() > 0 {
+            return Err(FrameError::Malformed(format!(
+                "{what}: {} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decode a request payload. Failures come back as a ready-to-send
+/// [`ErrorResponse`] — the binary twin of [`Request::from_line`],
+/// including the same calibration-bounds validation with the same
+/// messages (and the same id echo), so the two protocols refuse
+/// identical bad requests with identical errors.
+pub fn decode_request_payload(payload: &[u8]) -> Result<Request, ErrorResponse> {
+    decode_request_inner(payload).map_err(|e| {
+        let (id, message) = match &e {
+            FrameError::Malformed(m) if m.contains('\u{0}') => {
+                let (id, msg) = m.split_once('\u{0}').expect("separator checked");
+                (id.to_string(), msg.to_string())
+            }
+            other => (String::new(), other.to_string()),
+        };
+        ErrorResponse {
+            id,
+            code: ErrorCode::BadRequest,
+            message,
+        }
+    })
+}
+
+fn decode_request_inner(payload: &[u8]) -> Result<Request, FrameError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8("request tag")?;
+    let request = match tag {
+        1 => {
+            let id = r.str("map.id")?;
+            let pattern_csv = r.str("map.pattern_csv")?;
+            let mut m = MapRequest::new(id, pattern_csv);
+            m.ranks = r.opt_u64("map.ranks")?.map(|v| v as usize);
+            m.constraints_csv = r.opt_str("map.constraints_csv")?;
+            m.algorithm = r.str("map.algorithm")?;
+            m.seed = r.u64("map.seed")?;
+            m.kappa = r.u64("map.kappa")? as usize;
+            m.samples = r.u64("map.samples")? as usize;
+            m.calibration = CalibSpec {
+                days: r.u64("map.calibration.days")? as usize,
+                probes_per_day: r.u64("map.calibration.probes")? as usize,
+                noise_cv: r.f64("map.calibration.noise")?,
+                loss_rate: r.f64("map.calibration.loss")?,
+                seed: r.u64("map.calibration.seed")?,
+            };
+            m.deadline_ms = r.opt_u64("map.deadline_ms")?;
+            m.reserve = r.bool("map.reserve")?;
+            m.lease_ttl_ms = r.opt_u64("map.lease_ttl_ms")?;
+            m.use_result_cache = r.bool("map.cache")?;
+            m.idempotency_key = r.opt_str("map.idem")?;
+            r.finish("map request")?;
+            // The same bounds v1 enforces at decode time, with the same
+            // messages (the differential suite compares them verbatim).
+            if !(m.calibration.noise_cv.is_finite() && m.calibration.noise_cv >= 0.0) {
+                return Err(bad_field(
+                    &m.id,
+                    "calibration noise must be finite and >= 0",
+                ));
+            }
+            if !(m.calibration.loss_rate.is_finite()
+                && (0.0..1.0).contains(&m.calibration.loss_rate))
+            {
+                return Err(bad_field(&m.id, "calibration loss must be in [0, 1)"));
+            }
+            Request::Map(m)
+        }
+        2 => {
+            let id = r.str("release.id")?;
+            let lease = r.u64("release.lease")?;
+            r.finish("release request")?;
+            Request::Release { id, lease }
+        }
+        3 => {
+            let id = r.str("stats.id")?;
+            r.finish("stats request")?;
+            Request::Stats { id }
+        }
+        4 => {
+            let id = r.str("shutdown.id")?;
+            r.finish("shutdown request")?;
+            Request::Shutdown { id }
+        }
+        other => {
+            return Err(FrameError::Malformed(format!(
+                "unknown request tag {other}"
+            )))
+        }
+    };
+    Ok(request)
+}
+
+/// A validation failure that must carry the request id (unlike
+/// structural failures, where no id was recoverable). Smuggled through
+/// [`FrameError::Malformed`] as `id\u{0}message` and unpacked by
+/// [`decode_request_payload`].
+fn bad_field(id: &str, message: &str) -> FrameError {
+    FrameError::Malformed(format!("{id}\u{0}{message}"))
+}
+
+/// Decode a response payload (the client side) — the binary twin of
+/// [`Response::from_line`].
+pub fn decode_response_payload(payload: &[u8]) -> Result<Response, FrameError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8("response tag")?;
+    let response = match tag {
+        1 => {
+            let resp = Response::Map(MapResponse {
+                id: r.str("map.id")?,
+                mapping: r.usize_arr("map.mapping")?,
+                cost: r.f64("map.cost")?,
+                cached: {
+                    let code = r.u8("map.cached")?;
+                    CacheTier::from_code(code).ok_or_else(|| {
+                        FrameError::Malformed(format!("map.cached: bad tier code {code}"))
+                    })?
+                },
+                queue_wait_s: r.f64("map.queue_wait_s")?,
+                solve_s: r.f64("map.solve_s")?,
+                lease: r.opt_u64("map.lease")?,
+                site_counts: r.usize_arr("map.site_counts")?,
+                free_nodes: r.usize_arr("map.free_nodes")?,
+                degraded: r.bool("map.degraded")?,
+                staleness: r.u64("map.staleness")?,
+            });
+            r.finish("map response")?;
+            resp
+        }
+        2 => {
+            let resp = Response::Release {
+                id: r.str("release.id")?,
+                freed: r.usize_arr("release.freed")?,
+                free_nodes: r.usize_arr("release.free_nodes")?,
+            };
+            r.finish("release response")?;
+            resp
+        }
+        3 => {
+            let resp = Response::Stats(StatsResponse {
+                id: r.str("stats.id")?,
+                served: r.u64("stats.served")?,
+                result_hits: r.u64("stats.result_hits")?,
+                problem_hits: r.u64("stats.problem_hits")?,
+                misses: r.u64("stats.misses")?,
+                rejected: r.u64("stats.rejected")?,
+                replays: r.u64("stats.replays")?,
+                free_nodes: r.usize_arr("stats.free_nodes")?,
+                active_leases: r.u64("stats.active_leases")?,
+            });
+            r.finish("stats response")?;
+            resp
+        }
+        4 => {
+            let resp = Response::Shutdown {
+                id: r.str("shutdown.id")?,
+                draining: r.u64("shutdown.draining")?,
+            };
+            r.finish("shutdown response")?;
+            resp
+        }
+        5 => {
+            let resp = Response::Error(ErrorResponse {
+                id: r.str("error.id")?,
+                code: {
+                    let code = r.u8("error.code")?;
+                    ErrorCode::from_code(code).ok_or_else(|| {
+                        FrameError::Malformed(format!("error.code: bad code {code}"))
+                    })?
+                },
+                message: r.str("error.message")?,
+            });
+            r.finish("error response")?;
+            resp
+        }
+        other => {
+            return Err(FrameError::Malformed(format!(
+                "unknown response tag {other}"
+            )))
+        }
+    };
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_map_request() -> Request {
+        let mut m = MapRequest::new("r1", "src,dst,bytes,msgs\n0,1,5,2\n");
+        m.ranks = Some(16);
+        m.constraints_csv = Some("process,site\n0,3\n".into());
+        m.algorithm = "mpipp".into();
+        m.seed = 99;
+        m.deadline_ms = Some(250);
+        m.reserve = true;
+        m.idempotency_key = Some("key-1".into());
+        Request::Map(m)
+    }
+
+    #[test]
+    fn frame_roundtrips_header_and_payload() {
+        let frame = Frame {
+            kind: FrameKind::Request,
+            corr_id: 0xDEAD_BEEF_CAFE_F00D,
+            payload: vec![1, 2, 3],
+        };
+        let bytes = frame.encode();
+        assert_eq!(bytes[0], FRAME_MAGIC);
+        let (back, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn truncated_frames_say_how_much_they_need() {
+        let bytes = encode_request(&Request::Stats { id: "s".into() }, 7);
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Err(FrameError::Truncated { have, need }) => {
+                    assert_eq!(have, cut);
+                    assert!(need <= bytes.len());
+                }
+                other => panic!("cut {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_through_payload_codec() {
+        for req in [
+            sample_map_request(),
+            Request::Release {
+                id: "a".into(),
+                lease: 7,
+            },
+            Request::Stats { id: "b".into() },
+            Request::Shutdown { id: "c".into() },
+        ] {
+            let back = decode_request_payload(&request_payload(&req)).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn oversized_declared_payload_is_refused_without_buffering() {
+        let mut bytes = encode_request(&Request::Stats { id: "s".into() }, 0);
+        bytes[11..15].copy_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_failures_echo_the_decoded_id() {
+        let mut m = MapRequest::new("the-id", "src,dst,bytes,msgs\n");
+        m.calibration.loss_rate = 1.5;
+        let err = decode_request_payload(&request_payload(&Request::Map(m))).unwrap_err();
+        assert_eq!(err.id, "the-id");
+        assert_eq!(err.message, "calibration loss must be in [0, 1)");
+    }
+
+    #[test]
+    fn hostile_array_count_is_an_error_not_an_allocation() {
+        let mut w = Writer::new();
+        w.u8(1); // map response tag
+        w.str("id");
+        w.out.extend_from_slice(&u32::MAX.to_le_bytes()); // mapping count
+        assert!(matches!(
+            decode_response_payload(&w.out),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

@@ -20,14 +20,22 @@
 //! Layering:
 //!
 //! ```text
-//! proto (request/response structs)  wire (domain-type JSON)
-//!        └── json (parser/emitter) ──┘
+//! proto (request/response structs)  wire (domain JSON, WireFormat)
+//!        ├── json (v1 parser/emitter) ──┤
+//!        └── frame (v2 binary frames) ──┘
 //! service::MappingService            ← in-memory mode, deterministic
 //!        ├── inventory  ├── cache  ├── fingerprint
-//! server::MappingServer              ← TCP front-end, queue, workers
+//! server::MappingServer              ← TCP front-end, reactor threads
 //! transport                          ← Transport/Connector seam, faults
-//! client                             ← blocking + retrying clients
+//! client                             ← blocking + retrying + pooled
 //! ```
+//!
+//! Two wire formats share the port: v1 JSON lines and v2 binary frames
+//! with correlation ids ([`frame`]), told apart by each message's first
+//! byte. [`client::PooledClient`] pipelines batches over a connection
+//! pool for throughput; the differential suite
+//! (`tests/wire_differential.rs`) pins v2 to byte-identical decoded
+//! responses against v1.
 //!
 //! [`service::MappingService::handle`] is the entire service as a
 //! function call; the TCP layer adds nothing but transport and
@@ -36,6 +44,7 @@
 pub mod cache;
 pub mod client;
 pub mod fingerprint;
+pub mod frame;
 pub mod inventory;
 pub mod json;
 pub mod proto;
@@ -44,7 +53,8 @@ pub mod service;
 pub mod transport;
 pub mod wire;
 
-pub use client::{ClientError, RetryPolicy, RetryingClient, ServiceClient};
+pub use client::{ClientError, PooledClient, RetryPolicy, RetryingClient, ServiceClient};
+pub use frame::{Frame, FrameError, FrameKind, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_BYTES};
 pub use inventory::ClusterInventory;
 pub use proto::{ErrorCode, MapRequest, Request, Response, PROTOCOL_VERSION};
 pub use server::MappingServer;
@@ -53,6 +63,7 @@ pub use transport::{
     Connector, Fault, FaultPlan, FaultyConnector, LoopbackConnector, TcpConnector, Transport,
     TransportError,
 };
+pub use wire::WireFormat;
 
 use geomap_core::ConstraintVector;
 use geonet::SiteId;

@@ -185,6 +185,25 @@ impl CacheTier {
             _ => None,
         }
     }
+
+    /// Stable byte code (the v2 binary frames carry this).
+    pub fn code(self) -> u8 {
+        match self {
+            CacheTier::Miss => 0,
+            CacheTier::Problem => 1,
+            CacheTier::Result => 2,
+        }
+    }
+
+    /// Parse a byte code.
+    pub fn from_code(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(CacheTier::Miss),
+            1 => Some(CacheTier::Problem),
+            2 => Some(CacheTier::Result),
+            _ => None,
+        }
+    }
 }
 
 /// A successful mapping response.
@@ -315,6 +334,39 @@ impl ErrorCode {
         ]
         .into_iter()
         .find(|c| c.label() == s)
+    }
+
+    /// Stable byte code (the v2 binary frames carry this).
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::UnsupportedVersion => 2,
+            ErrorCode::OverCapacity => 3,
+            ErrorCode::DeadlineExceeded => 4,
+            ErrorCode::InsufficientNodes => 5,
+            ErrorCode::UnknownLease => 6,
+            ErrorCode::ShuttingDown => 7,
+            ErrorCode::Internal => 8,
+            ErrorCode::Retryable => 9,
+            ErrorCode::Degraded => 10,
+        }
+    }
+
+    /// Parse a byte code.
+    pub fn from_code(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ErrorCode::BadRequest),
+            2 => Some(ErrorCode::UnsupportedVersion),
+            3 => Some(ErrorCode::OverCapacity),
+            4 => Some(ErrorCode::DeadlineExceeded),
+            5 => Some(ErrorCode::InsufficientNodes),
+            6 => Some(ErrorCode::UnknownLease),
+            7 => Some(ErrorCode::ShuttingDown),
+            8 => Some(ErrorCode::Internal),
+            9 => Some(ErrorCode::Retryable),
+            10 => Some(ErrorCode::Degraded),
+            _ => None,
+        }
     }
 
     /// True for codes a client may retry: the refusal was about the
@@ -854,8 +906,19 @@ mod tests {
             ErrorCode::Degraded,
         ] {
             assert_eq!(ErrorCode::parse(code.label()), Some(code));
+            assert_eq!(ErrorCode::from_code(code.code()), Some(code));
         }
         assert_eq!(ErrorCode::parse("nope"), None);
+        assert_eq!(ErrorCode::from_code(0), None);
+        assert_eq!(ErrorCode::from_code(11), None);
+    }
+
+    #[test]
+    fn cache_tier_byte_codes_roundtrip() {
+        for tier in [CacheTier::Miss, CacheTier::Problem, CacheTier::Result] {
+            assert_eq!(CacheTier::from_code(tier.code()), Some(tier));
+        }
+        assert_eq!(CacheTier::from_code(3), None);
     }
 
     #[test]

@@ -169,6 +169,12 @@ pub struct MappingService {
     inventory: ClusterInventory,
     problems: FingerprintCache<Arc<PreparedProblem>>,
     results: FingerprintCache<Arc<SolvedResult>>,
+    /// Raw-request fingerprint → `(problem_key, result_key)`. Parsing
+    /// and re-canonicalizing the embedded CSV dominates a cache-hit
+    /// request, so requests whose *raw text* already validated skip
+    /// straight to the cache keys. Only successfully validated requests
+    /// are memoized — error paths always re-derive their message.
+    request_memo: FingerprintCache<(u64, u64)>,
     idempotent: FingerprintCache<Arc<IdemEntry>>,
     inflight: Inflight,
     last_good: Mutex<Option<LastGoodCalibration>>,
@@ -192,6 +198,11 @@ impl MappingService {
             inventory: ClusterInventory::new(network.capacities()),
             problems: FingerprintCache::new(config.problem_cache_capacity),
             results: FingerprintCache::new(config.result_cache_capacity),
+            request_memo: FingerprintCache::new(
+                config
+                    .result_cache_capacity
+                    .max(config.problem_cache_capacity),
+            ),
             idempotent: FingerprintCache::new(config.idempotency_cache_capacity),
             inflight: Inflight::default(),
             last_good: Mutex::new(None),
@@ -294,39 +305,13 @@ impl MappingService {
                 ),
             );
         }
-        let pattern = match CommPattern::from_csv(n, &m.pattern_csv) {
-            Ok(p) => p,
-            Err(e) => {
-                return self.reject(
-                    &m.id,
-                    ErrorCode::BadRequest,
-                    format!("bad pattern CSV: {e}"),
-                )
-            }
-        };
-        let constraints = match &m.constraints_csv {
-            None => ConstraintVector::none(n),
-            Some(csv) => match crate::parse_constraints(n, csv) {
-                Ok(c) => c,
-                Err(e) => {
-                    return self.reject(
-                        &m.id,
-                        ErrorCode::BadRequest,
-                        format!("bad constraints CSV: {e}"),
-                    )
-                }
-            },
-        };
-        if let Err(e) = self.feasible(&constraints) {
-            return self.reject(&m.id, ErrorCode::BadRequest, e);
-        }
-
-        // Cache keys over canonical encodings (the parsed pattern's own
-        // CSV, not the request text, so formatting differences still
-        // hit). `n` is fingerprinted explicitly: the pattern CSV lists
-        // only edges and the constraints CSV only pins, so neither
-        // encodes the rank count on its own.
-        let problem_key = Fingerprint::new()
+        // Fast path: a request whose raw text already parsed, validated
+        // and produced cache keys skips the CSV parse and the canonical
+        // re-encoding entirely — on a result-cache hit the parse *was*
+        // the request. Keyed over the verbatim request fields (any
+        // formatting difference falls through to the slow path, whose
+        // canonical keys still unify it with its equivalents).
+        let raw_fp = Fingerprint::new()
             .u64(self.network_fp)
             .u64(n as u64)
             .u64(m.calibration.days as u64)
@@ -334,16 +319,51 @@ impl MappingService {
             .f64(m.calibration.noise_cv)
             .f64(m.calibration.loss_rate)
             .u64(m.calibration.seed)
-            .str(&pattern.to_csv())
-            .str(&crate::constraints_csv(&constraints))
-            .finish();
-        let result_key = Fingerprint::new()
-            .u64(problem_key)
+            .str(&m.pattern_csv)
+            .u64(m.constraints_csv.is_some() as u64)
+            .str(m.constraints_csv.as_deref().unwrap_or(""))
             .str(&m.algorithm)
             .u64(m.seed)
             .u64(m.kappa as u64)
             .u64(m.samples as u64)
             .finish();
+        let mut parsed: Option<(CommPattern, ConstraintVector)> = None;
+        let (problem_key, result_key) = match self.request_memo.get(raw_fp) {
+            Some(keys) => keys,
+            None => {
+                let (pattern, constraints) = match self.parse_and_validate(n, m) {
+                    Ok(pc) => pc,
+                    Err(resp) => return *resp,
+                };
+                // Cache keys over canonical encodings (the parsed
+                // pattern's own CSV, not the request text, so formatting
+                // differences still hit). `n` is fingerprinted
+                // explicitly: the pattern CSV lists only edges and the
+                // constraints CSV only pins, so neither encodes the rank
+                // count on its own.
+                let problem_key = Fingerprint::new()
+                    .u64(self.network_fp)
+                    .u64(n as u64)
+                    .u64(m.calibration.days as u64)
+                    .u64(m.calibration.probes_per_day as u64)
+                    .f64(m.calibration.noise_cv)
+                    .f64(m.calibration.loss_rate)
+                    .u64(m.calibration.seed)
+                    .str(&pattern.to_csv())
+                    .str(&crate::constraints_csv(&constraints))
+                    .finish();
+                let result_key = Fingerprint::new()
+                    .u64(problem_key)
+                    .str(&m.algorithm)
+                    .u64(m.seed)
+                    .u64(m.kappa as u64)
+                    .u64(m.samples as u64)
+                    .finish();
+                self.request_memo.insert(raw_fp, (problem_key, result_key));
+                parsed = Some((pattern, constraints));
+                (problem_key, result_key)
+            }
+        };
 
         // Idempotency: a key that already produced a successful response
         // replays it verbatim — same mapping, same lease — so a client
@@ -389,6 +409,18 @@ impl MappingService {
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     self.metrics.counter("cache.miss", 1);
+                    // A memo hit skipped the parse; a problem-cache miss
+                    // is the one path that still needs the parsed
+                    // pattern and constraints, so they materialize here
+                    // (the memo only holds requests that validated, so
+                    // this re-parse cannot newly fail).
+                    let (pattern, constraints) = match parsed.take() {
+                        Some(pc) => pc,
+                        None => match self.parse_and_validate(n, m) {
+                            Ok(pc) => pc,
+                            Err(resp) => return *resp,
+                        },
+                    };
                     // Each fresh campaign is a calibration generation;
                     // lossy campaigns that starve a pair fall back to
                     // the last generation that measured everything and
@@ -434,9 +466,9 @@ impl MappingService {
                     };
                     let prepared = Arc::new(PreparedProblem {
                         problem: Arc::new(MappingProblem::new(
-                            pattern.clone(),
+                            pattern,
                             report.estimated.clone(),
-                            constraints.clone(),
+                            constraints,
                         )),
                         calibration_probes: report.probes,
                         degraded: report.degraded,
@@ -520,6 +552,37 @@ impl MappingService {
             }
         }
         response
+    }
+
+    /// Parse and validate the CSV payloads a `map` request embeds;
+    /// every failure is a `bad_request`, never a panic (this is a
+    /// network-facing daemon).
+    fn parse_and_validate(
+        &self,
+        n: usize,
+        m: &MapRequest,
+    ) -> Result<(CommPattern, ConstraintVector), Box<Response>> {
+        let pattern = CommPattern::from_csv(n, &m.pattern_csv).map_err(|e| {
+            Box::new(self.reject(
+                &m.id,
+                ErrorCode::BadRequest,
+                format!("bad pattern CSV: {e}"),
+            ))
+        })?;
+        let constraints = match &m.constraints_csv {
+            None => ConstraintVector::none(n),
+            Some(csv) => crate::parse_constraints(n, csv).map_err(|e| {
+                Box::new(self.reject(
+                    &m.id,
+                    ErrorCode::BadRequest,
+                    format!("bad constraints CSV: {e}"),
+                ))
+            })?,
+        };
+        if let Err(e) = self.feasible(&constraints) {
+            return Err(Box::new(self.reject(&m.id, ErrorCode::BadRequest, e)));
+        }
+        Ok((pattern, constraints))
     }
 
     /// Single-flight admission for an idempotency key: exactly one

@@ -1,26 +1,35 @@
-//! The transport seam: how request/response lines travel, separated
+//! The transport seam: how request/response messages travel, separated
 //! from *what* they mean — so failure can be injected deterministically.
 //!
-//! The daemon's wire format is JSON lines; everything the client layer
-//! needs from a connection is "send one line, receive one line". This
-//! module pins that down as the [`Transport`] trait plus a [`Connector`]
-//! that makes transports, with three implementations:
+//! The daemon speaks two wire formats on one port — v1 JSON lines and
+//! v2 binary frames ([`crate::frame`]), told apart by the first byte.
+//! Everything the client layer needs from a connection is "send one
+//! complete message, receive one complete message", where a message is
+//! a JSON line (newline excluded — line framing belongs to the
+//! transport) or an entire binary frame. This module pins that down as
+//! the [`Transport`] trait plus a [`Connector`] that makes transports
+//! and knows which [`WireFormat`] to encode requests in, with three
+//! implementations:
 //!
 //! * [`TcpTransport`] / [`TcpConnector`] — the real thing, extracted
 //!   from [`ServiceClient`](crate::client::ServiceClient);
 //! * [`LoopbackTransport`] / [`LoopbackConnector`] — an in-process
-//!   "wire" that feeds lines straight into a [`MappingService`]; no
+//!   "wire" that feeds messages straight into a [`MappingService`]; no
 //!   sockets, no threads, fully deterministic;
 //! * [`FaultyTransport`] / [`FaultyConnector`] — a wrapper around any
 //!   of the above that injects failures scripted by a [`FaultPlan`]:
-//!   connect refusal, read/write timeout, partial write, garbled line,
-//!   mid-response disconnect, injected latency.
+//!   connect refusal, read/write timeout, partial write, garbled
+//!   message, mid-response disconnect, injected latency.
 //!
-//! Every fault comes from the plan — a fixed script or a seeded stream
-//! from the vendored deterministic RNG — and time is *virtual*: the
-//! plan carries a millisecond clock that injected latency and retry
-//! backoff advance, so a chaos run with thousands of timeouts finishes
-//! in microseconds of wall time and is bit-identical across runs.
+//! Because the seam carries raw message bytes, every fault applies to
+//! both protocols unchanged: a garbled v1 line fails JSON parsing, a
+//! garbled v2 frame fails frame decoding, and the client classifies
+//! both the same way. Every fault comes from the plan — a fixed script
+//! or a seeded stream from the vendored deterministic RNG — and time is
+//! *virtual*: the plan carries a millisecond clock that injected
+//! latency and retry backoff advance, so a chaos run with thousands of
+//! timeouts finishes in microseconds of wall time and is bit-identical
+//! across runs.
 //!
 //! Error classification matters for retry safety. A
 //! [`TransportError::Unreachable`] means the request provably never
@@ -30,10 +39,12 @@
 //! which is exactly why retried `map` requests carry an idempotency key
 //! (see [`crate::client::RetryingClient`]).
 
+use crate::frame::{Frame, FRAME_HEADER_BYTES, FRAME_MAGIC, MAX_FRAME_BYTES};
 use crate::proto::Request;
 use crate::service::MappingService;
+use crate::wire::WireFormat;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -74,12 +85,14 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
-/// One bidirectional JSON-lines channel to a mapping service.
+/// One bidirectional message channel to a mapping service. A message
+/// is one complete wire unit: a JSON line without its newline, or an
+/// entire binary frame (header + payload).
 pub trait Transport {
-    /// Send one request line (no trailing newline).
-    fn send_line(&mut self, line: &str) -> Result<(), TransportError>;
-    /// Receive one response line (no trailing newline).
-    fn recv_line(&mut self) -> Result<String, TransportError>;
+    /// Send one request message.
+    fn send_msg(&mut self, msg: &[u8]) -> Result<(), TransportError>;
+    /// Receive one response message.
+    fn recv_msg(&mut self) -> Result<Vec<u8>, TransportError>;
 }
 
 /// Makes transports, and owns how a retrying client waits between
@@ -90,6 +103,11 @@ pub trait Connector {
     type Conn: Transport;
     /// Establish a fresh connection.
     fn connect(&mut self) -> Result<Self::Conn, TransportError>;
+    /// The format requests should be encoded in on this connector's
+    /// transports (responses are always sniffed from their first byte).
+    fn format(&self) -> WireFormat {
+        WireFormat::V1Json
+    }
     /// Wait out a retry backoff pause.
     fn backoff(&mut self, pause: Duration) {
         std::thread::sleep(pause);
@@ -100,18 +118,32 @@ pub trait Connector {
 // TCP
 // ---------------------------------------------------------------------
 
-/// The real transport: a connected TCP stream with line framing.
+/// The real transport: a connected TCP stream. Sends messages in its
+/// configured [`WireFormat`] (adding the `\n` for v1 lines); receives
+/// by sniffing each message's first byte, so mixed responses — e.g. a
+/// v1-encoded admission rejection answered before the server saw any
+/// client byte — still frame correctly.
 #[derive(Debug)]
 pub struct TcpTransport {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    format: WireFormat,
 }
 
 impl TcpTransport {
-    /// Connect to `addr` (host:port). `timeout` bounds the connection
-    /// attempt and every subsequent read/write — the per-attempt
-    /// deadline (`None`: OS defaults).
+    /// Connect to `addr` (host:port) speaking v1 JSON lines. `timeout`
+    /// bounds the connection attempt and every subsequent read/write —
+    /// the per-attempt deadline (`None`: OS defaults).
     pub fn connect(addr: &str, timeout: Option<Duration>) -> Result<Self, TransportError> {
+        Self::connect_with(addr, timeout, WireFormat::V1Json)
+    }
+
+    /// Connect speaking `format`.
+    pub fn connect_with(
+        addr: &str,
+        timeout: Option<Duration>,
+        format: WireFormat,
+    ) -> Result<Self, TransportError> {
         let unreachable = |m: String| TransportError::Unreachable(m);
         let resolved: Vec<SocketAddr> = addr
             .to_socket_addrs()
@@ -135,6 +167,7 @@ impl TcpTransport {
                     return Ok(Self {
                         reader: BufReader::new(stream),
                         writer,
+                        format,
                     });
                 }
                 Err(e) => last_err = unreachable(format!("cannot connect to {candidate}: {e}")),
@@ -142,34 +175,76 @@ impl TcpTransport {
         }
         Err(last_err)
     }
+
+    /// The format requests are encoded in on this connection.
+    pub fn format(&self) -> WireFormat {
+        self.format
+    }
 }
 
 impl Transport for TcpTransport {
-    fn send_line(&mut self, line: &str) -> Result<(), TransportError> {
-        let mut framed = String::with_capacity(line.len() + 1);
-        framed.push_str(line);
-        framed.push('\n');
-        self.writer
-            .write_all(framed.as_bytes())
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| TransportError::SendUnknown(format!("cannot send request: {e}")))
+    fn send_msg(&mut self, msg: &[u8]) -> Result<(), TransportError> {
+        let send = |w: &mut TcpStream, bytes: &[u8]| w.write_all(bytes).and_then(|()| w.flush());
+        let outcome = match self.format {
+            WireFormat::V1Json => {
+                let mut framed = Vec::with_capacity(msg.len() + 1);
+                framed.extend_from_slice(msg);
+                framed.push(b'\n');
+                send(&mut self.writer, &framed)
+            }
+            // v2 frames carry their own length prefix.
+            WireFormat::V2Binary => send(&mut self.writer, msg),
+        };
+        outcome.map_err(|e| TransportError::SendUnknown(format!("cannot send request: {e}")))
     }
 
-    fn recv_line(&mut self) -> Result<String, TransportError> {
-        let mut reply = String::new();
-        match self.reader.read_line(&mut reply) {
-            Ok(0) => Err(TransportError::ResponseLost(
-                "server closed the connection without responding".into(),
-            )),
-            Ok(_) => {
-                while reply.ends_with('\n') || reply.ends_with('\r') {
-                    reply.pop();
+    fn recv_msg(&mut self) -> Result<Vec<u8>, TransportError> {
+        let lost = |m: String| TransportError::ResponseLost(m);
+        let first = loop {
+            match self.reader.fill_buf() {
+                Ok([]) => {
+                    return Err(lost(
+                        "server closed the connection without responding".into(),
+                    ))
                 }
-                Ok(reply)
+                Ok(buf) => break buf[0],
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(lost(format!("cannot read response: {e}"))),
             }
-            Err(e) => Err(TransportError::ResponseLost(format!(
-                "cannot read response: {e}"
-            ))),
+        };
+        if first == FRAME_MAGIC {
+            let mut header = [0u8; FRAME_HEADER_BYTES];
+            self.reader
+                .read_exact(&mut header)
+                .map_err(|e| lost(format!("cannot read frame header: {e}")))?;
+            let len =
+                u32::from_le_bytes(header[11..15].try_into().expect("4 header bytes")) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(lost(format!(
+                    "frame payload of {len} bytes exceeds {MAX_FRAME_BYTES}"
+                )));
+            }
+            let mut msg = Vec::with_capacity(FRAME_HEADER_BYTES + len);
+            msg.extend_from_slice(&header);
+            msg.resize(FRAME_HEADER_BYTES + len, 0);
+            self.reader
+                .read_exact(&mut msg[FRAME_HEADER_BYTES..])
+                .map_err(|e| lost(format!("cannot read frame payload: {e}")))?;
+            Ok(msg)
+        } else {
+            let mut reply = Vec::new();
+            match self.reader.read_until(b'\n', &mut reply) {
+                Ok(0) => Err(lost(
+                    "server closed the connection without responding".into(),
+                )),
+                Ok(_) => {
+                    while reply.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                        reply.pop();
+                    }
+                    Ok(reply)
+                }
+                Err(e) => Err(lost(format!("cannot read response: {e}"))),
+            }
         }
     }
 }
@@ -179,16 +254,24 @@ impl Transport for TcpTransport {
 pub struct TcpConnector {
     addr: String,
     timeout: Option<Duration>,
+    format: WireFormat,
 }
 
 impl TcpConnector {
-    /// Connector for `addr`; `timeout` is the per-attempt deadline
-    /// applied to connect and every read/write.
+    /// Connector for `addr` speaking v1 JSON lines; `timeout` is the
+    /// per-attempt deadline applied to connect and every read/write.
     pub fn new(addr: impl Into<String>, timeout: Option<Duration>) -> Self {
         Self {
             addr: addr.into(),
             timeout,
+            format: WireFormat::V1Json,
         }
+    }
+
+    /// The same connector speaking `format`.
+    pub fn with_format(mut self, format: WireFormat) -> Self {
+        self.format = format;
+        self
     }
 }
 
@@ -196,7 +279,11 @@ impl Connector for TcpConnector {
     type Conn = TcpTransport;
 
     fn connect(&mut self) -> Result<TcpTransport, TransportError> {
-        TcpTransport::connect(&self.addr, self.timeout)
+        TcpTransport::connect_with(&self.addr, self.timeout, self.format)
+    }
+
+    fn format(&self) -> WireFormat {
+        self.format
     }
 }
 
@@ -204,28 +291,50 @@ impl Connector for TcpConnector {
 // Loopback
 // ---------------------------------------------------------------------
 
-/// An in-process transport: lines go straight into a
-/// [`MappingService`], responses queue up for `recv_line`. The service
+/// An in-process transport: messages go straight into a
+/// [`MappingService`], responses queue up for `recv_msg`. The service
 /// side effects (inventory reservations, cache fills, counters) happen
 /// at *send* time — exactly the window a lost response leaves open on a
 /// real network, which is what the fault matrix needs to reproduce.
+/// Sniffs each message's format like the real server, so one loopback
+/// serves both protocols.
 #[derive(Debug)]
 pub struct LoopbackTransport {
     service: Arc<MappingService>,
-    pending: VecDeque<String>,
+    pending: VecDeque<Vec<u8>>,
 }
 
 impl Transport for LoopbackTransport {
-    fn send_line(&mut self, line: &str) -> Result<(), TransportError> {
-        let response = match Request::from_line(line) {
-            Ok(req) => self.service.handle(&req),
-            Err(bad) => self.service.reject(&bad.id, bad.code, bad.message),
+    fn send_msg(&mut self, msg: &[u8]) -> Result<(), TransportError> {
+        let reply = if msg.first() == Some(&FRAME_MAGIC) {
+            match Frame::decode(msg) {
+                Ok((f, _)) => {
+                    let response = match crate::frame::decode_request_payload(&f.payload) {
+                        Ok(req) => self.service.handle(&req),
+                        Err(bad) => self.service.reject(&bad.id, bad.code, bad.message),
+                    };
+                    crate::frame::encode_response(&response, f.corr_id)
+                }
+                Err(e) => {
+                    let bad =
+                        self.service
+                            .reject("", crate::proto::ErrorCode::BadRequest, e.to_string());
+                    crate::frame::encode_response(&bad, 0)
+                }
+            }
+        } else {
+            let line = String::from_utf8_lossy(msg);
+            let response = match Request::from_line(&line) {
+                Ok(req) => self.service.handle(&req),
+                Err(bad) => self.service.reject(&bad.id, bad.code, bad.message),
+            };
+            response.to_line().into_bytes()
         };
-        self.pending.push_back(response.to_line());
+        self.pending.push_back(reply);
         Ok(())
     }
 
-    fn recv_line(&mut self) -> Result<String, TransportError> {
+    fn recv_msg(&mut self) -> Result<Vec<u8>, TransportError> {
         self.pending
             .pop_front()
             .ok_or_else(|| TransportError::ResponseLost("no pending response on loopback".into()))
@@ -236,12 +345,22 @@ impl Transport for LoopbackTransport {
 #[derive(Debug, Clone)]
 pub struct LoopbackConnector {
     service: Arc<MappingService>,
+    format: WireFormat,
 }
 
 impl LoopbackConnector {
-    /// Loopback onto `service`.
+    /// Loopback onto `service`, speaking v1 JSON lines.
     pub fn new(service: Arc<MappingService>) -> Self {
-        Self { service }
+        Self {
+            service,
+            format: WireFormat::V1Json,
+        }
+    }
+
+    /// The same connector speaking `format`.
+    pub fn with_format(mut self, format: WireFormat) -> Self {
+        self.format = format;
+        self
     }
 }
 
@@ -253,6 +372,10 @@ impl Connector for LoopbackConnector {
             service: Arc::clone(&self.service),
             pending: VecDeque::new(),
         })
+    }
+
+    fn format(&self) -> WireFormat {
+        self.format
     }
 
     fn backoff(&mut self, _pause: Duration) {
@@ -273,7 +396,7 @@ pub enum Fault {
     ConnectRefused,
     /// The request write times out; delivery unknown.
     WriteTimeout,
-    /// Only a prefix of the request line leaves; delivery unknown.
+    /// Only a prefix of the request message leaves; delivery unknown.
     PartialWrite,
     /// The request is delivered and processed, but the response read
     /// times out — the classic double-reservation window.
@@ -464,6 +587,10 @@ impl<C: Connector> Connector for FaultyConnector<C> {
         })
     }
 
+    fn format(&self) -> WireFormat {
+        self.inner.format()
+    }
+
     fn backoff(&mut self, pause: Duration) {
         // Chaos time is virtual: account for the pause, don't take it.
         self.plan.advance_clock(pause.as_millis() as u64);
@@ -471,7 +598,8 @@ impl<C: Connector> Connector for FaultyConnector<C> {
 }
 
 /// A [`Transport`] wrapper applying the armed fault of the current
-/// attempt at the operation it targets.
+/// attempt at the operation it targets. Operates on raw message bytes,
+/// so the same chaos scripts cover v1 lines and v2 frames.
 #[derive(Debug)]
 pub struct FaultyTransport<T: Transport> {
     inner: T,
@@ -480,7 +608,7 @@ pub struct FaultyTransport<T: Transport> {
 }
 
 impl<T: Transport> Transport for FaultyTransport<T> {
-    fn send_line(&mut self, line: &str) -> Result<(), TransportError> {
+    fn send_msg(&mut self, msg: &[u8]) -> Result<(), TransportError> {
         match self.plan.arm() {
             Fault::WriteTimeout => {
                 self.plan.consume();
@@ -489,13 +617,14 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 ))
             }
             Fault::PartialWrite => {
-                // The prefix never forms a complete line, so the server
-                // never processes anything: nothing is delivered inward.
+                // The prefix never forms a complete message (a split
+                // line, or a split length prefix), so the server never
+                // processes anything: nothing is delivered inward.
                 self.plan.consume();
                 Err(TransportError::SendUnknown(format!(
                     "injected fault: partial write ({} of {} bytes)",
-                    line.len() / 2,
-                    line.len() + 1
+                    msg.len() / 2,
+                    msg.len() + 1
                 )))
             }
             Fault::ConnectRefused => {
@@ -508,44 +637,45 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             }
             // Receive-side faults stay armed; the send goes through and
             // the server processes the request.
-            _ => self.inner.send_line(line),
+            _ => self.inner.send_msg(msg),
         }
     }
 
-    fn recv_line(&mut self) -> Result<String, TransportError> {
+    fn recv_msg(&mut self) -> Result<Vec<u8>, TransportError> {
         match self.plan.consume() {
             Fault::ReadTimeout => {
                 // The server answered; the bytes die on the wire.
-                let _ = self.inner.recv_line();
+                let _ = self.inner.recv_msg();
                 Err(TransportError::ResponseLost(
                     "injected fault: read timed out".into(),
                 ))
             }
             Fault::DisconnectMidResponse => {
-                let _ = self.inner.recv_line();
+                let _ = self.inner.recv_msg();
                 Err(TransportError::ResponseLost(
                     "injected fault: connection reset mid-response".into(),
                 ))
             }
             Fault::GarbledResponse => {
-                let line = self.inner.recv_line()?;
-                let mut keep = line.len() / 2;
-                while keep > 0 && !line.is_char_boundary(keep) {
-                    keep -= 1;
-                }
-                Ok(format!("{}\u{fffd}garbled", &line[..keep]))
+                // Bit rot: keep the front half, splice in junk. The v1
+                // parser sees broken JSON, the v2 decoder a broken
+                // frame — both surface as an unreadable response.
+                let msg = self.inner.recv_msg()?;
+                let mut garbled = msg[..msg.len() / 2].to_vec();
+                garbled.extend_from_slice("\u{fffd}garbled".as_bytes());
+                Ok(garbled)
             }
             Fault::Latency(ms) => {
                 self.plan.advance_clock(ms);
                 if self.attempt_budget_ms.is_some_and(|budget| ms > budget) {
-                    let _ = self.inner.recv_line();
+                    let _ = self.inner.recv_msg();
                     return Err(TransportError::ResponseLost(format!(
                         "injected fault: {ms} ms latency exceeded the attempt budget"
                     )));
                 }
-                self.inner.recv_line()
+                self.inner.recv_msg()
             }
-            _ => self.inner.recv_line(),
+            _ => self.inner.recv_msg(),
         }
     }
 }
@@ -563,11 +693,11 @@ mod tests {
     struct NullTransport;
 
     impl Transport for NullTransport {
-        fn send_line(&mut self, _line: &str) -> Result<(), TransportError> {
+        fn send_msg(&mut self, _msg: &[u8]) -> Result<(), TransportError> {
             Ok(())
         }
-        fn recv_line(&mut self) -> Result<String, TransportError> {
-            Ok("{}".into())
+        fn recv_msg(&mut self) -> Result<Vec<u8>, TransportError> {
+            Ok(b"{}".to_vec())
         }
     }
 
@@ -588,8 +718,7 @@ mod tests {
     #[test]
     fn inner_connect_failure_does_not_leak_the_armed_fault() {
         let plan = FaultPlan::script([Fault::WriteTimeout, Fault::None]);
-        let mut connector =
-            FaultyConnector::new(FlakyConnector { failures: 1 }, Arc::clone(&plan));
+        let mut connector = FaultyConnector::new(FlakyConnector { failures: 1 }, Arc::clone(&plan));
 
         // Attempt 1: WriteTimeout is armed but the inner connect dies
         // first — the fault never fires.
@@ -598,12 +727,48 @@ mod tests {
         // Attempt 2 draws the *next* scheduled fault (None), not the
         // stale WriteTimeout from the failed attempt.
         let mut conn = connector.connect().expect("second attempt connects");
-        conn.send_line("x")
+        conn.send_msg(b"x")
             .expect("attempt 2 is scheduled clean; a leaked WriteTimeout would fail this");
         assert_eq!(
             plan.injected(),
             Vec::<&str>::new(),
             "a fault that never fired must not be recorded as injected"
         );
+    }
+
+    /// A garbled v2 frame must fail decoding just like a garbled v1
+    /// line does — the byte-level fault needs no protocol awareness.
+    #[test]
+    fn garbling_breaks_both_protocols_identically() {
+        struct FixedTransport(Vec<u8>);
+        impl Transport for FixedTransport {
+            fn send_msg(&mut self, _msg: &[u8]) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn recv_msg(&mut self) -> Result<Vec<u8>, TransportError> {
+                Ok(self.0.clone())
+            }
+        }
+        let response = crate::proto::Response::Shutdown {
+            id: "x".into(),
+            draining: 3,
+        };
+        for msg in [
+            response.to_line().into_bytes(),
+            crate::frame::encode_response(&response, 9),
+        ] {
+            let plan = FaultPlan::script([Fault::GarbledResponse]);
+            let mut t = FaultyTransport {
+                inner: FixedTransport(msg),
+                plan,
+                attempt_budget_ms: None,
+            };
+            t.plan.arm();
+            let garbled = t.recv_msg().expect("garbling yields bytes, not an error");
+            assert!(
+                WireFormat::decode_response(&garbled).is_err(),
+                "garbled message decoded cleanly"
+            );
+        }
     }
 }

@@ -15,10 +15,13 @@
 //! (CI's chaos-smoke job pins two).
 
 use commgraph::apps::AppKind;
-use geomap_service::proto::{ErrorCode, Response};
+use geomap_service::frame::{self, Frame, FRAME_HEADER_BYTES, FRAME_MAGIC, FRAME_VERSION};
+use geomap_service::proto::{ErrorCode, Request, Response};
 use geomap_service::transport::{Fault, FaultPlan, FaultyConnector, LoopbackConnector};
+use geomap_service::wire::WireFormat;
 use geomap_service::{
-    ClientError, MapRequest, MappingService, RetryPolicy, RetryingClient, ServiceConfig,
+    ClientError, MapRequest, MappingServer, MappingService, PooledClient, RetryPolicy,
+    RetryingClient, ServiceClient, ServiceConfig,
 };
 use geonet::{presets, InstanceType, SiteNetwork};
 use std::sync::Arc;
@@ -41,15 +44,29 @@ fn service() -> Arc<MappingService> {
 }
 
 /// A retrying client whose every attempt draws from `plan`; injected
-/// latency above one (virtual) second loses the response.
+/// latency above one (virtual) second loses the response. Chaos is
+/// injected below the wire format, so the same plan drives both
+/// protocols: byte faults hit a JSON line or a binary frame alike.
+fn chaos_client_with(
+    svc: &Arc<MappingService>,
+    plan: &Arc<FaultPlan>,
+    policy: RetryPolicy,
+    format: WireFormat,
+) -> RetryingClient<FaultyConnector<LoopbackConnector>> {
+    let connector = FaultyConnector::new(
+        LoopbackConnector::new(Arc::clone(svc)).with_format(format),
+        Arc::clone(plan),
+    )
+    .with_attempt_budget(Duration::from_secs(1));
+    RetryingClient::new(connector, policy)
+}
+
 fn chaos_client(
     svc: &Arc<MappingService>,
     plan: &Arc<FaultPlan>,
     policy: RetryPolicy,
 ) -> RetryingClient<FaultyConnector<LoopbackConnector>> {
-    let connector = FaultyConnector::new(LoopbackConnector::new(Arc::clone(svc)), Arc::clone(plan))
-        .with_attempt_budget(Duration::from_secs(1));
-    RetryingClient::new(connector, policy)
+    chaos_client_with(svc, plan, policy, WireFormat::V1Json)
 }
 
 fn reserve_request(id: &str) -> MapRequest {
@@ -100,8 +117,10 @@ const FAULTS: &[Fault] = &[
     Fault::Latency(5_000),
 ];
 
-#[test]
-fn every_fault_resolves_every_request_kind_without_hang_or_leak() {
+/// The full matrix body, shared by the per-format tests below: each
+/// run gets a fresh service, so the per-scenario key seeds can repeat
+/// across formats without replay collisions.
+fn fault_matrix_over(format: WireFormat) {
     let svc = service();
     let caps = svc.inventory().capacities();
     for (i, &fault) in FAULTS.iter().enumerate() {
@@ -117,7 +136,7 @@ fn every_fault_resolves_every_request_kind_without_hang_or_leak() {
 
         // --- plain map: one injected fault, retries recover ---
         let plan = FaultPlan::script([fault]);
-        let mut client = chaos_client(&svc, &plan, policy(0));
+        let mut client = chaos_client_with(&svc, &plan, policy(0), format);
         match client.map(plain_request(&format!("plain-{label}"))) {
             Ok(Response::Map(m)) => assert!(m.lease.is_none()),
             other => panic!("plain map under {label}: {other:?}"),
@@ -126,7 +145,7 @@ fn every_fault_resolves_every_request_kind_without_hang_or_leak() {
 
         // --- reserving map: exactly one lease, however the fault lands ---
         let plan = FaultPlan::script([fault]);
-        let mut client = chaos_client(&svc, &plan, policy(1));
+        let mut client = chaos_client_with(&svc, &plan, policy(1), format);
         let leases_before = svc.inventory().active_leases();
         let lease = match client.map(reserve_request(&format!("reserve-{label}"))) {
             Ok(Response::Map(m)) => m.lease.expect("reservation grants a lease"),
@@ -142,7 +161,7 @@ fn every_fault_resolves_every_request_kind_without_hang_or_leak() {
         // --- release: freed exactly once; a re-executed release after a
         // lost response is a clean unknown_lease, never a double-free ---
         let plan = FaultPlan::script([fault]);
-        let mut client = chaos_client(&svc, &plan, policy(2));
+        let mut client = chaos_client_with(&svc, &plan, policy(2), format);
         match client.release(&format!("release-{label}"), lease) {
             Ok(Response::Release { .. }) => {}
             Ok(Response::Error(e)) => assert_eq!(
@@ -157,13 +176,26 @@ fn every_fault_resolves_every_request_kind_without_hang_or_leak() {
 
         // --- stats: read-only, always retry-safe ---
         let plan = FaultPlan::script([fault]);
-        let mut client = chaos_client(&svc, &plan, policy(3));
+        let mut client = chaos_client_with(&svc, &plan, policy(3), format);
         match client.stats(&format!("stats-{label}")) {
             Ok(Response::Stats(_)) => {}
             other => panic!("stats under {label}: {other:?}"),
         }
         assert_conserved(&svc, &format!("stats under {label}"));
     }
+}
+
+#[test]
+fn every_fault_resolves_every_request_kind_without_hang_or_leak() {
+    fault_matrix_over(WireFormat::V1Json);
+}
+
+/// The identical matrix over binary frames: the chaos layer operates
+/// on raw bytes, so mid-frame disconnects, partial writes (splitting
+/// the length prefix), and garbled frames all land on the v2 decoder.
+#[test]
+fn every_fault_resolves_every_request_kind_over_v2_frames() {
+    fault_matrix_over(WireFormat::V2Binary);
 }
 
 #[test]
@@ -334,7 +366,7 @@ fn chaos_seed() -> u64 {
 
 /// One full storm: a fixed request mix through a seeded fault schedule
 /// against a fresh service. Returns every observable the run produced.
-fn run_storm(seed: u64) -> (Vec<String>, Vec<&'static str>, u64) {
+fn run_storm(seed: u64, format: WireFormat) -> (Vec<String>, Vec<&'static str>, u64) {
     let svc = service();
     let plan = FaultPlan::seeded(seed, 64, 0.6);
     let policy = RetryPolicy {
@@ -342,7 +374,7 @@ fn run_storm(seed: u64) -> (Vec<String>, Vec<&'static str>, u64) {
         seed: seed ^ 0xFEED,
         ..RetryPolicy::default()
     };
-    let mut client = chaos_client(&svc, &plan, policy);
+    let mut client = chaos_client_with(&svc, &plan, policy, format);
     let mut outcomes = Vec::new();
     let mut lease: Option<u64> = None;
     for round in 0..16u32 {
@@ -369,23 +401,60 @@ fn run_storm(seed: u64) -> (Vec<String>, Vec<&'static str>, u64) {
 #[test]
 fn same_seed_yields_bit_identical_outcome_sequences() {
     let seed = chaos_seed();
-    let (outcomes_a, injected_a, clock_a) = run_storm(seed);
-    let (outcomes_b, injected_b, clock_b) = run_storm(seed);
+    for format in [WireFormat::V1Json, WireFormat::V2Binary] {
+        let (outcomes_a, injected_a, clock_a) = run_storm(seed, format);
+        let (outcomes_b, injected_b, clock_b) = run_storm(seed, format);
+        let label = format.label();
+        assert_eq!(
+            injected_a, injected_b,
+            "fault schedules diverged for seed {seed:#x} over {label}"
+        );
+        assert_eq!(
+            clock_a, clock_b,
+            "virtual clocks diverged for seed {seed:#x} over {label}"
+        );
+        assert_eq!(
+            outcomes_a.len(),
+            outcomes_b.len(),
+            "outcome counts diverged for seed {seed:#x} over {label}"
+        );
+        for (i, (a, b)) in outcomes_a.iter().zip(&outcomes_b).enumerate() {
+            assert_eq!(a, b, "outcome {i} diverged for seed {seed:#x} over {label}");
+        }
+    }
+}
+
+/// The storm is also *format*-independent: the same fault schedule on
+/// the same seed must yield the same outcomes, injected-fault trace,
+/// and virtual clock whether the bytes on the wire were JSON lines or
+/// binary frames. Any divergence means a fault class one decoder
+/// survives differently from the other. The one legitimate difference
+/// is the decoder's own description of mangled bytes ("malformed
+/// response JSON" vs "truncated frame"), which [`decoder_agnostic`]
+/// cuts before comparing.
+fn decoder_agnostic(sig: &str) -> String {
+    match sig.find("garbled response:") {
+        Some(cut) => format!("{}garbled response", &sig[..cut]),
+        None => sig.to_string(),
+    }
+}
+
+#[test]
+fn same_seed_storms_agree_across_wire_formats() {
+    let seed = chaos_seed();
+    let v1 = run_storm(seed, WireFormat::V1Json);
+    let v2 = run_storm(seed, WireFormat::V2Binary);
     assert_eq!(
-        injected_a, injected_b,
-        "fault schedules diverged for seed {seed:#x}"
+        v1.1, v2.1,
+        "injected-fault traces diverged for seed {seed:#x}"
     );
-    assert_eq!(
-        clock_a, clock_b,
-        "virtual clocks diverged for seed {seed:#x}"
-    );
-    assert_eq!(
-        outcomes_a.len(),
-        outcomes_b.len(),
-        "outcome counts diverged for seed {seed:#x}"
-    );
-    for (i, (a, b)) in outcomes_a.iter().zip(&outcomes_b).enumerate() {
-        assert_eq!(a, b, "outcome {i} diverged for seed {seed:#x}");
+    assert_eq!(v1.2, v2.2, "virtual clocks diverged for seed {seed:#x}");
+    for (i, (a, b)) in v1.0.iter().zip(&v2.0).enumerate() {
+        assert_eq!(
+            decoder_agnostic(a),
+            decoder_agnostic(b),
+            "outcome {i} diverged between formats for seed {seed:#x}"
+        );
     }
 }
 
@@ -407,4 +476,276 @@ fn different_seeds_change_the_fault_schedule() {
         b.injected(),
         "seeds 1 and 2 produced identical injected-fault traces"
     );
+}
+
+// ------------------------------------------------- raw-socket chaos
+
+// The loopback chaos above exercises fault *semantics*; these
+// scenarios aim the same fault shapes at the real reactor: torn
+// frames on live sockets, writes split inside the length prefix,
+// garbage inside structurally valid frames, and hostile headers.
+
+fn bind_server() -> MappingServer {
+    MappingServer::bind(
+        MappingService::new(network(), ServiceConfig::default()),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback")
+}
+
+/// Read one whole response frame off a raw socket and decode it.
+fn read_response_frame(stream: &mut std::net::TcpStream) -> (u64, Response) {
+    use std::io::Read;
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    stream.read_exact(&mut header).expect("frame header");
+    let len = u32::from_le_bytes(header[11..15].try_into().unwrap()) as usize;
+    let mut whole = header.to_vec();
+    whole.resize(FRAME_HEADER_BYTES + len, 0);
+    stream
+        .read_exact(&mut whole[FRAME_HEADER_BYTES..])
+        .expect("frame payload");
+    WireFormat::decode_response(&whole).expect("decode response frame")
+}
+
+#[test]
+fn mid_frame_disconnect_leaves_the_server_serving() {
+    use std::io::Write;
+
+    let server = bind_server();
+    let addr = server.local_addr().to_string();
+    let timeout = Some(Duration::from_secs(30));
+
+    // A client dies after writing half a frame (header plus a partial
+    // payload): the reactor must simply drop the connection.
+    let wire = frame::encode_request(&Request::Map(reserve_request("torn")), 5);
+    {
+        let mut torn = std::net::TcpStream::connect(&addr).expect("connect");
+        torn.write_all(&wire[..wire.len() / 2]).expect("half write");
+        torn.flush().expect("flush");
+    } // dropped here, mid-frame
+
+    // The server keeps answering, and since the torn request never
+    // completed, no lease was ever created for it.
+    let mut client =
+        ServiceClient::connect_with(&addr, timeout, WireFormat::V2Binary).expect("connect");
+    match client
+        .map(plain_request("after-torn"))
+        .expect("map after torn frame")
+    {
+        Response::Map(m) => assert!(m.lease.is_none()),
+        other => panic!("map after torn frame: {other:?}"),
+    }
+    assert_eq!(server.service().inventory().active_leases(), 0);
+    assert_conserved(server.service(), "mid-frame disconnect");
+    client.shutdown("bye").expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn writes_split_inside_the_length_prefix_still_decode() {
+    use std::io::Write;
+
+    let server = bind_server();
+    let addr = server.local_addr().to_string();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).ok();
+
+    // Deliver one stats frame in three writes with pauses between:
+    // magic alone, then up to the middle of the length prefix, then
+    // the rest. The reactor must treat every prefix as Pending.
+    let wire = frame::encode_request(&Request::Stats { id: "split".into() }, 77);
+    for chunk in [&wire[..1], &wire[1..13], &wire[13..]] {
+        stream.write_all(chunk).expect("chunk write");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let (corr, response) = read_response_frame(&mut stream);
+    assert_eq!(corr, 77, "correlation id lost across split writes");
+    assert!(matches!(response, Response::Stats(_)), "{response:?}");
+
+    drop(stream);
+    let mut client =
+        ServiceClient::connect_with(&addr, Some(Duration::from_secs(30)), WireFormat::V2Binary)
+            .expect("connect");
+    client.shutdown("bye").expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn garbage_inside_a_valid_frame_is_an_error_and_the_connection_survives() {
+    use std::io::Write;
+
+    let server = bind_server();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+
+    // Structurally valid frame, nonsense payload: the reject must echo
+    // the correlation id and keep the connection usable.
+    let junk = Frame {
+        kind: frame::FrameKind::Request,
+        corr_id: 42,
+        payload: vec![0xFF; 33],
+    };
+    stream.write_all(&junk.encode()).expect("junk write");
+    let (corr, response) = read_response_frame(&mut stream);
+    assert_eq!(corr, 42, "reject must echo the offending frame's corr id");
+    match response {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest, "{e:?}"),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    // Same connection, now a well-formed request: still served.
+    stream
+        .write_all(&frame::encode_request(
+            &Request::Stats { id: "ok".into() },
+            43,
+        ))
+        .expect("stats write");
+    let (corr, response) = read_response_frame(&mut stream);
+    assert_eq!(corr, 43);
+    assert!(matches!(response, Response::Stats(_)), "{response:?}");
+
+    stream
+        .write_all(&frame::encode_request(
+            &Request::Shutdown { id: "bye".into() },
+            44,
+        ))
+        .expect("shutdown write");
+    let _ = read_response_frame(&mut stream);
+    server.join();
+}
+
+#[test]
+fn hostile_frame_headers_are_refused_and_the_connection_closed() {
+    use std::io::{Read, Write};
+
+    let server = bind_server();
+
+    // (declared length u32::MAX, expected code), (bad version, code)
+    let hostile: [(Vec<u8>, ErrorCode); 2] = [
+        (
+            {
+                let mut h = vec![FRAME_MAGIC, FRAME_VERSION, 1];
+                h.extend_from_slice(&9u64.to_le_bytes());
+                h.extend_from_slice(&u32::MAX.to_le_bytes());
+                h
+            },
+            ErrorCode::BadRequest,
+        ),
+        (
+            {
+                let mut h = vec![FRAME_MAGIC, 9, 1];
+                h.extend_from_slice(&9u64.to_le_bytes());
+                h.extend_from_slice(&0u32.to_le_bytes());
+                h
+            },
+            ErrorCode::UnsupportedVersion,
+        ),
+    ];
+    for (header, expected) in hostile {
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&header).expect("hostile write");
+        let (_, response) = read_response_frame(&mut stream);
+        match response {
+            Response::Error(e) => assert_eq!(e.code, expected, "{e:?}"),
+            other => panic!("expected {}, got {other:?}", expected.label()),
+        }
+        // A broken frame is fatal for the connection: EOF follows.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("read to eof");
+        assert!(rest.is_empty(), "server kept talking after a broken frame");
+    }
+    assert_conserved(server.service(), "hostile headers");
+
+    let mut client = ServiceClient::connect_with(
+        &server.local_addr().to_string(),
+        Some(Duration::from_secs(30)),
+        WireFormat::V2Binary,
+    )
+    .expect("connect");
+    client.shutdown("bye").expect("shutdown");
+    server.join();
+}
+
+/// The pipelined-pileup storm: many in-flight reserving requests per
+/// socket across a pool, twice (the second run replays every keyed
+/// response), then release everything. The ledger must balance after
+/// every phase and every response must answer its own request.
+#[test]
+fn pipelined_pileup_conserves_the_ledger() {
+    let server = bind_server();
+    let addr = server.local_addr().to_string();
+    let svc = Arc::clone(server.service());
+    let caps = svc.inventory().capacities();
+    let total: usize = caps.iter().sum();
+
+    let batch: Vec<Request> = (0..12)
+        .map(|i| {
+            Request::Map(MapRequest {
+                idempotency_key: Some(format!("pileup-{i}")),
+                ..reserve_request(&format!("pileup-{i}"))
+            })
+        })
+        .collect();
+
+    let mut pool = PooledClient::new(&addr, 4, Some(Duration::from_secs(30)));
+    let first = pool.pipeline(&batch).expect("first pileup");
+    assert_conserved(&svc, "first pileup");
+    let mut leases = Vec::new();
+    for (i, response) in first.iter().enumerate() {
+        match response {
+            Response::Map(m) => {
+                assert_eq!(
+                    m.id,
+                    format!("pileup-{i}"),
+                    "response answered the wrong request"
+                );
+                leases.push(m.lease.expect("reserving map grants a lease"));
+            }
+            Response::Error(e) => assert_eq!(
+                e.code,
+                ErrorCode::InsufficientNodes,
+                "unexpected pileup failure: {e:?}"
+            ),
+            other => panic!("pileup[{i}]: {other:?}"),
+        }
+    }
+    assert_eq!(
+        leases.len() * 4 + svc.inventory().free_nodes().iter().sum::<usize>(),
+        total,
+        "leases and free nodes disagree after the pileup"
+    );
+
+    // Replay: the same keyed batch must grant the *same* leases, not
+    // new ones — even when the requests race down four sockets.
+    let replayed = pool.pipeline(&batch).expect("replayed pileup");
+    assert_conserved(&svc, "replayed pileup");
+    for (a, b) in first.iter().zip(&replayed) {
+        assert_eq!(a, b, "a pipelined replay diverged from the original");
+    }
+    assert_eq!(svc.inventory().active_leases(), leases.len());
+
+    // Release every lease through the same pipelined path.
+    let releases: Vec<Request> = leases
+        .iter()
+        .enumerate()
+        .map(|(i, &lease)| Request::Release {
+            id: format!("free-{i}"),
+            lease,
+        })
+        .collect();
+    for response in pool.pipeline(&releases).expect("pipelined releases") {
+        assert!(matches!(response, Response::Release { .. }), "{response:?}");
+    }
+    assert_eq!(svc.inventory().active_leases(), 0);
+    assert_eq!(svc.inventory().free_nodes(), caps);
+    assert_conserved(&svc, "pipelined releases");
+
+    let mut client =
+        ServiceClient::connect_with(&addr, Some(Duration::from_secs(30)), WireFormat::V2Binary)
+            .expect("connect");
+    client.shutdown("bye").expect("shutdown");
+    server.join();
 }

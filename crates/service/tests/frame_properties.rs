@@ -1,0 +1,289 @@
+//! Property tests for the v2 binary frame layer.
+//!
+//! The decoder faces the network (any peer can hand the daemon
+//! arbitrary bytes), so the properties are adversarial: arbitrary bytes
+//! never panic it, truncation at *every* byte offset is a typed
+//! `Truncated` error, hostile declared lengths are `Oversized` before a
+//! single payload byte is buffered, and everything the encoder produces
+//! decodes back bit-identically — payload codec included.
+//!
+//! Case counts honor the `FRAME_PROPTEST_CASES` environment variable
+//! (falling back to `JSON_PROPTEST_CASES` so CI's reduced sweeps tune
+//! both layers with one knob); the vendored proptest has no shrinking
+//! but seeds deterministically per test, so any failure reproduces
+//! exactly on re-run.
+
+use geomap_service::frame::{
+    self, Frame, FrameError, FrameKind, FRAME_HEADER_BYTES, FRAME_MAGIC, FRAME_VERSION,
+    MAX_FRAME_BYTES,
+};
+use geomap_service::proto::{
+    CacheTier, CalibSpec, ErrorCode, ErrorResponse, MapRequest, MapResponse, Request, Response,
+    StatsResponse,
+};
+use geomap_service::wire::WireFormat;
+use proptest::prelude::*;
+
+/// Case count, overridable via `FRAME_PROPTEST_CASES` (CI smoke runs);
+/// `JSON_PROPTEST_CASES` works too so one knob tunes every sweep.
+fn cases(default: u32) -> u32 {
+    ["FRAME_PROPTEST_CASES", "JSON_PROPTEST_CASES"]
+        .iter()
+        .find_map(|var| std::env::var(var).ok()?.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A generated map request exercising every field (the same shape the
+/// JSON property sweep uses, so both protocols face the same corpus).
+#[allow(clippy::too_many_arguments)]
+fn build_map_request(
+    seed: u64,
+    ranks: usize,
+    kappa: usize,
+    samples: usize,
+    noise: f64,
+    loss: f64,
+    bits: u32,
+    deadline: u64,
+    ttl: u64,
+) -> MapRequest {
+    let mut m = MapRequest::new(
+        format!("id-{seed}-é\u{1F30D}"),
+        "src,dst,bytes,msgs\n0,1,5,2\n",
+    );
+    m.ranks = (ranks > 0).then_some(ranks);
+    m.constraints_csv = (bits & 1 != 0).then(|| "process,site\n0,1\n".to_string());
+    m.algorithm = ["geo", "greedy", "mpipp", "random"][(seed % 4) as usize].into();
+    m.seed = seed;
+    m.kappa = kappa;
+    m.samples = samples;
+    m.calibration = CalibSpec {
+        days: 1 + (seed % 9) as usize,
+        probes_per_day: 1 + (seed % 17) as usize,
+        noise_cv: noise,
+        loss_rate: loss,
+        seed,
+    };
+    m.deadline_ms = (bits & 2 != 0).then_some(deadline);
+    m.reserve = bits & 4 != 0;
+    m.lease_ttl_ms = (bits & 2 != 0).then_some(ttl);
+    m.use_result_cache = bits & 1 == 0;
+    m.idempotency_key = (bits & 4 != 0).then(|| format!("key-{seed}\"\\\u{0}"));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    /// Arbitrary bytes never panic the frame decoder — they decode or
+    /// they return a typed error.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        let _ = Frame::decode(&bytes);
+        let _ = Frame::peek_corr_id(&bytes);
+    }
+
+    /// Frame-flavored noise — a valid header prefix followed by
+    /// arbitrary bytes — exercises the payload codecs, which must also
+    /// never panic: a structurally valid frame with garbage inside is a
+    /// typed error, not a crash or a runaway allocation.
+    #[test]
+    fn garbage_payloads_are_typed_errors_not_panics(
+        payload in prop::collection::vec(0u8..=255, 0..128),
+        kind in 1u8..=2,
+        corr in 0u64..u64::MAX,
+    ) {
+        let frame = Frame {
+            kind: FrameKind::from_code(kind).unwrap(),
+            corr_id: corr,
+            payload: payload.clone(),
+        };
+        let wire = frame.encode();
+        let (back, used) = Frame::decode(&wire).expect("own encoding decodes");
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(&back.payload, &payload);
+        // The payload codecs on top face the same garbage.
+        let _ = frame::decode_request_payload(&payload);
+        let _ = frame::decode_response_payload(&payload);
+        let _ = WireFormat::decode_response(&wire);
+    }
+
+    /// Every proper prefix of a valid frame is `Truncated` (with an
+    /// honest byte count), never a panic, never a bogus success.
+    #[test]
+    fn truncation_at_any_offset_is_a_truncated_error(
+        payload in prop::collection::vec(0u8..=255, 0..64),
+        cut_seed in 0usize..4096,
+    ) {
+        let frame = Frame {
+            kind: FrameKind::Request,
+            corr_id: 7,
+            payload,
+        };
+        let wire = frame.encode();
+        let cut = cut_seed % wire.len(); // proper prefix: 0..len-1
+        match Frame::decode(&wire[..cut]) {
+            Err(FrameError::Truncated { have, need }) => {
+                prop_assert_eq!(have, cut);
+                prop_assert!(need > have, "need {} must exceed have {}", need, have);
+                prop_assert!(need <= wire.len());
+            }
+            other => prop_assert!(false, "cut at {}: expected Truncated, got {:?}", cut, other),
+        }
+    }
+
+    /// A declared payload length past `MAX_FRAME_BYTES` — up to the
+    /// full u32 range, the length-prefix-overflow case — is refused
+    /// from the header alone, before any payload arrives.
+    #[test]
+    fn hostile_declared_lengths_are_oversized_from_the_header(
+        declared in (MAX_FRAME_BYTES as u32 + 1)..=u32::MAX,
+        corr in 0u64..u64::MAX,
+    ) {
+        let mut wire = vec![FRAME_MAGIC, FRAME_VERSION, 1];
+        wire.extend_from_slice(&corr.to_le_bytes());
+        wire.extend_from_slice(&declared.to_le_bytes());
+        prop_assert_eq!(wire.len(), FRAME_HEADER_BYTES);
+        match Frame::decode(&wire) {
+            Err(FrameError::Oversized { len }) => prop_assert_eq!(len, declared as usize),
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    /// Requests with arbitrary (valid-range) field values survive the
+    /// binary payload codec bit-for-bit — the same corpus shape the v1
+    /// JSON sweep uses.
+    #[test]
+    fn map_requests_roundtrip_through_frames(
+        seed in 0u64..u64::MAX,
+        ranks in 0usize..512,
+        kappa in 1usize..64,
+        samples in 1usize..100_000,
+        rates in (0.0f64..1.0, 0.0f64..0.999),
+        flags in (0u32..8, 0u64..(1 << 62), 0u64..(1 << 62), 0u64..u64::MAX),
+    ) {
+        let (noise, loss) = rates;
+        let (bits, deadline, ttl, corr) = flags;
+        let m = build_map_request(seed, ranks, kappa, samples, noise, loss, bits, deadline, ttl);
+        let req = Request::Map(m);
+        let wire = frame::encode_request(&req, corr);
+        let (f, used) = Frame::decode(&wire).expect("own frame decodes");
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(f.kind, FrameKind::Request);
+        prop_assert_eq!(f.corr_id, corr);
+        let back = frame::decode_request_payload(&f.payload);
+        prop_assert!(back.is_ok(), "own request failed to decode: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), req);
+    }
+
+    /// The non-map request kinds roundtrip too (strings with every
+    /// awkward character frames must carry transparently).
+    #[test]
+    fn control_requests_roundtrip_through_frames(
+        lease in 0u64..u64::MAX,
+        pick in 0usize..3,
+        tail_bytes in prop::collection::vec(0u8..127, 0..24),
+    ) {
+        let tail = String::from_utf8_lossy(&tail_bytes);
+        let id = format!("id-\u{1F30D}-{tail}");
+        let req = match pick {
+            0 => Request::Release { id, lease },
+            1 => Request::Stats { id },
+            _ => Request::Shutdown { id },
+        };
+        let wire = frame::encode_request(&req, lease);
+        let (f, _) = Frame::decode(&wire).expect("own frame decodes");
+        prop_assert_eq!(frame::decode_request_payload(&f.payload).unwrap(), req);
+    }
+
+    /// Every response kind survives the frame codec with generated
+    /// payloads, including bit-exact floats, and the sniffing
+    /// `WireFormat::decode_response` agrees with the direct decode.
+    #[test]
+    fn responses_roundtrip_through_frames(
+        cost in -1.0e12f64..1.0e12,
+        lease in 0u64..u64::MAX,
+        counts in prop::collection::vec(0usize..(1 << 30), 1..6),
+        served in 0u64..u64::MAX,
+        staleness in 0u64..u64::MAX,
+        meta in (0usize..5, 0u64..u64::MAX),
+    ) {
+        let (pick, corr) = meta;
+        let response = match pick {
+            0 => Response::Map(MapResponse {
+                id: "p-é".into(),
+                mapping: counts.clone(),
+                cost,
+                cached: [CacheTier::Miss, CacheTier::Problem, CacheTier::Result]
+                    [(lease % 3) as usize],
+                queue_wait_s: cost.abs() / 1e6,
+                solve_s: cost * 3.0,
+                lease: (lease % 2 == 0).then_some(lease),
+                site_counts: counts.clone(),
+                free_nodes: counts.clone(),
+                degraded: staleness > 0,
+                staleness,
+            }),
+            1 => Response::Release {
+                id: "r".into(),
+                freed: counts.clone(),
+                free_nodes: counts.clone(),
+            },
+            2 => Response::Stats(StatsResponse {
+                id: "s".into(),
+                served,
+                result_hits: served / 2,
+                problem_hits: served / 3,
+                misses: served / 5,
+                rejected: served / 7,
+                replays: served / 11,
+                free_nodes: counts.clone(),
+                active_leases: lease % 100,
+            }),
+            3 => Response::Shutdown {
+                id: "q".into(),
+                draining: served,
+            },
+            _ => Response::Error(ErrorResponse {
+                id: "e".into(),
+                code: [
+                    ErrorCode::BadRequest,
+                    ErrorCode::OverCapacity,
+                    ErrorCode::Retryable,
+                    ErrorCode::Degraded,
+                ][(lease % 4) as usize],
+                message: format!("m\"\\\u{0}{cost}"),
+            }),
+        };
+        let wire = frame::encode_response(&response, corr);
+        let (f, _) = Frame::decode(&wire).expect("own frame decodes");
+        prop_assert_eq!(f.kind, FrameKind::Response);
+        prop_assert_eq!(
+            frame::decode_response_payload(&f.payload).expect("payload decodes"),
+            response.clone()
+        );
+        let (sniffed_corr, sniffed) =
+            WireFormat::decode_response(&wire).expect("sniffing decode");
+        prop_assert_eq!(sniffed_corr, corr);
+        prop_assert_eq!(sniffed, response);
+    }
+}
+
+/// `peek_corr_id` agrees with the full decode on every valid frame and
+/// never invents an id for bytes that aren't one.
+#[test]
+fn peek_corr_id_matches_decode() {
+    for corr in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+        let wire = frame::encode_request(&Request::Stats { id: "x".into() }, corr);
+        assert_eq!(Frame::peek_corr_id(&wire), Some(corr));
+        assert_eq!(Frame::peek_corr_id(&wire[..FRAME_HEADER_BYTES - 1]), None);
+    }
+    assert_eq!(Frame::peek_corr_id(b"{\"v\":1}"), None);
+    assert_eq!(Frame::peek_corr_id(&[]), None);
+}

@@ -7,7 +7,7 @@
 //!              [--pipelined-requests N]
 //! ```
 //!
-//! Starts a daemon on an ephemeral loopback port, then drives five
+//! Starts a daemon on an ephemeral loopback port, then drives six
 //! phases over real TCP connections:
 //!
 //! 1. **miss** — every request carries a distinct calibration seed, so
@@ -20,19 +20,25 @@
 //!    connection per client, one request in flight at a time;
 //! 5. **result-hit pipelined** — T pooled clients x P connections each
 //!    (T*P concurrent sockets), B binary-framed requests in flight per
-//!    pipeline call.
+//!    pipeline call;
+//! 6. **result-hit federated** — a fresh 3-daemon federation: distinct
+//!    problems primed through the consistent-hash router, then repeated
+//!    — every repeat must ride its ring home into a warm result cache
+//!    (shard-affinity hit rate, acceptance >= 0.8).
 //!
 //! Records throughput and p50/p95/p99 client-observed latency per
 //! phase to `BENCH_service.json`, including the result-hit vs miss
 //! median speedup (acceptance >= 5x) and the pipelined-vs-sequential
-//! result-hit throughput ratio (acceptance >= 10x).
+//! result-hit throughput ratio (acceptance >= 10x). Pipelined and
+//! federated p50s are *amortized per request* (one batch's wall clock
+//! spread over its requests), not a wire round-trip time.
 
 use commgraph::apps::AppKind;
 use geomap_service::json::{obj, Json};
 use geomap_service::proto::{CacheTier, Response};
 use geomap_service::{
-    MapRequest, MappingServer, MappingService, PooledClient, Request, ServiceClient, ServiceConfig,
-    WireFormat,
+    FederatedPool, MapRequest, MappingServer, MappingService, PooledClient, Request, ServiceClient,
+    ServiceConfig, WireFormat,
 };
 use geonet::{presets, InstanceType};
 use std::collections::BTreeMap;
@@ -190,6 +196,94 @@ fn run_pipelined_phase(
         latencies_ms,
         tiers,
     })
+}
+
+/// Phase 6 — the result-hit workload against a fresh 3-daemon
+/// federation. Distinct problems are primed through the consistent-hash
+/// router, then the same batch is repeated for `rounds`; the federated
+/// result-hit rate on the repeats is the shard-affinity metric (a
+/// repeat that lands on the wrong shard re-solves as a miss there).
+/// Latencies are amortized like the pipelined phase. Returns the phase
+/// plus the affinity hit rate.
+fn run_federated_phase(cfg: &Config, pattern_csv: &str) -> Result<(PhaseStats, f64), String> {
+    const SHARDS: usize = 3;
+    let mut servers = Vec::with_capacity(SHARDS);
+    let mut addrs = Vec::with_capacity(SHARDS);
+    for _ in 0..SHARDS {
+        let service = MappingService::new(
+            presets::paper_ec2_network(4, InstanceType::M4Xlarge, 42),
+            ServiceConfig {
+                workers: cfg.workers,
+                problem_cache_capacity: cfg.requests + 1,
+                result_cache_capacity: cfg.requests + 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let server =
+            MappingServer::bind(service, "127.0.0.1:0").map_err(|e| format!("bind shard: {e}"))?;
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+    let mut pool = FederatedPool::new(&addrs, cfg.pool, Some(Duration::from_secs(120)));
+
+    // Distinct problems: the solver seed is a problem-defining field,
+    // so each gets its own ring position and result-cache entry.
+    let problems = cfg.requests.max(1);
+    let make = |i: usize, id: &str| MapRequest {
+        seed: cfg.seed + i as u64,
+        ..MapRequest::new(format!("{id}-{i}"), pattern_csv)
+    };
+    let prime: Vec<MapRequest> = (0..problems).map(|i| make(i, "fed-prime")).collect();
+    for resp in pool.map_batch(&prime)? {
+        if let Response::Error(e) = resp {
+            return Err(format!("federated prime rejected: {e:?}"));
+        }
+    }
+    let hits_before: u64 = pool.stats()?.iter().map(|s| s.result_hits).sum();
+
+    let rounds = (cfg.pipelined_requests / problems).clamp(1, 64);
+    let started = Instant::now();
+    let mut latencies_ms = Vec::with_capacity(rounds * problems);
+    let mut tiers: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for round in 0..rounds {
+        let batch: Vec<MapRequest> = (0..problems)
+            .map(|i| MapRequest {
+                id: format!("fed-repeat-{round}-{i}"),
+                ..make(i, "fed-repeat")
+            })
+            .collect();
+        let t0 = Instant::now();
+        let responses = pool.map_batch(&batch)?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / problems as f64;
+        for resp in responses {
+            match resp {
+                Response::Map(m) => {
+                    latencies_ms.push(ms);
+                    *tiers.entry(m.cached.label()).or_insert(0) += 1;
+                }
+                other => return Err(format!("federated round {round}: {other:?}")),
+            }
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let hits_after: u64 = pool.stats()?.iter().map(|s| s.result_hits).sum();
+    let measured = (rounds * problems) as f64;
+    let affinity = (hits_after - hits_before) as f64 / measured;
+
+    pool.shutdown()?;
+    for server in servers {
+        server.join();
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Ok((
+        PhaseStats {
+            name: "result_hit_federated",
+            wall_s,
+            latencies_ms,
+            tiers,
+        },
+        affinity,
+    ))
 }
 
 fn phase_json(p: &PhaseStats) -> Json {
@@ -366,6 +460,16 @@ fn run() -> Result<String, String> {
         cfg.pipeline_threads * cfg.pool,
     );
 
+    // Phase 6 — the same result-hit workload across a fresh 3-shard
+    // federation, routed by consistent hashing.
+    let (federated, affinity) = run_federated_phase(&cfg, &pattern_csv)?;
+    eprintln!(
+        "  federated:   amortized p50 {:.3} ms ({:.0} rps over 3 shards, affinity {:.2})",
+        percentile(&federated.latencies_ms, 0.5),
+        federated.latencies_ms.len() as f64 / federated.wall_s,
+        affinity,
+    );
+
     let mut shutdown = ServiceClient::connect(&addr, Some(Duration::from_secs(10)))?;
     shutdown.shutdown("load-gen")?;
     let stats = server.service().stats("load-gen");
@@ -405,6 +509,15 @@ fn run() -> Result<String, String> {
                 phase_json(&result),
                 phase_json(&result_v2),
                 phase_json(&pipelined),
+                phase_json(&federated),
+            ]),
+        ),
+        (
+            "federation",
+            obj(vec![
+                ("shards", Json::Num(3.0)),
+                ("affinity_hit_rate", Json::Num(affinity)),
+                ("meets_affinity_target", Json::Bool(affinity >= 0.8)),
             ]),
         ),
         (
@@ -447,8 +560,16 @@ fn run() -> Result<String, String> {
              the sequential v1 baseline ({sequential_rps:.0} rps); target is 10x"
         ));
     }
+    // Affinity is routing correctness, not hardware throughput: the
+    // gate holds in quick mode too.
+    if affinity < 0.8 {
+        return Err(format!(
+            "federated shard-affinity hit rate {affinity:.2} below the 0.8 target: \
+             repeats are not landing on the shards that solved them"
+        ));
+    }
     Ok(format!(
-        "wrote {}: miss p50 {miss_p50:.2} ms, problem-hit p50 {problem_p50:.2} ms, result-hit p50 {result_p50:.2} ms ({speedup:.1}x); pipelined {pipelined_rps:.0} rps = {wire_speedup:.1}x sequential v1 ({sequential_rps:.0} rps)",
+        "wrote {}: miss p50 {miss_p50:.2} ms, problem-hit p50 {problem_p50:.2} ms, result-hit p50 {result_p50:.2} ms ({speedup:.1}x); pipelined {pipelined_rps:.0} rps = {wire_speedup:.1}x sequential v1 ({sequential_rps:.0} rps); federated affinity {affinity:.2}",
         cfg.out
     ))
 }

@@ -44,6 +44,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "evaluate" => commands::evaluate(&args),
         "serve" => service_cmd::serve(&args),
         "request" => service_cmd::request(&args),
+        "federate" => service_cmd::federate(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -82,6 +83,13 @@ commands:
             [--metrics FILE] [--trace FILE]
             run the mapping daemon (JSON-lines over TCP) until a client
             sends shutdown; drains the queue, then exits 0
+  federate  --network FILE [--shards N] [--requests K] [--ranks R]
+            [--pool P] [--timeout-ms T]
+            run an N-daemon federation on loopback: prime K problems
+            through the pooled router, repeat them to measure shard
+            cache affinity, reserve/release keyed leases through the
+            reconciling router, and verify every shard's ledger
+            returns to full capacity (exits non-zero otherwise)
   request   --addr HOST:PORT (--pattern FILE [--ranks N] [--constraints FILE]
             [--algorithm A] [--seed S] [--kappa K] [--samples K]
             [--calib-days D] [--calib-probes P] [--calib-noise CV]

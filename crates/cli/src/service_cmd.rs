@@ -21,8 +21,8 @@ use crate::files;
 use geomap_core::{JsonLinesSink, Metrics, StreamingSink, Trace};
 use geomap_service::proto::{CalibSpec, Response};
 use geomap_service::{
-    MapRequest, MappingServer, MappingService, PooledClient, Request, RetryPolicy, RetryingClient,
-    ServiceClient, ServiceConfig, TcpConnector, WireFormat,
+    FederatedPool, MapRequest, MappingServer, MappingService, PooledClient, Request, RetryPolicy,
+    RetryingClient, ServiceClient, ServiceConfig, ShardRouter, TcpConnector, WireFormat,
 };
 use geonet::io as netio;
 use std::sync::Arc;
@@ -74,6 +74,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
             .map(Duration::from_millis),
         metrics,
         trace,
+        clock: defaults.clock,
     };
     let summary = network.summary();
     let service = MappingService::new(network, config);
@@ -100,6 +101,182 @@ pub fn serve(args: &Args) -> Result<String, String> {
         stats.misses,
         stats.rejected,
         stats.active_leases,
+    ))
+}
+
+/// `geomap federate` — spin up an N-daemon federation on loopback,
+/// drive it through both federation clients, and verify the global
+/// ledger.
+///
+/// Three phases, mirroring the `service_load` bench and the chaos
+/// suite:
+///
+/// 1. **Affinity** (pooled pipelined v2): prime `--requests` distinct
+///    problems through the [`FederatedPool`], then repeat the batch —
+///    the repeats must land on the shards whose result caches already
+///    hold them, measured as the federation-wide result-hit rate.
+/// 2. **Reserve/reconcile** (retrying router): keyed reserving maps
+///    through the [`ShardRouter`], then release every granted lease
+///    and drain reconciliation to empty.
+/// 3. **Conservation**: scatter-gather stats and require every daemon
+///    back at full capacity with zero active leases.
+pub fn federate(args: &Args) -> Result<String, String> {
+    let network_csv = files::read(args.required("network")?)?;
+    let shards = args.parsed_or("shards", 3usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let requests = args.parsed_or("requests", 24usize)?;
+    if requests == 0 {
+        return Err("--requests must be at least 1".into());
+    }
+    let ranks = args.parsed_or("ranks", 8usize)?;
+    let pool = args.parsed_or("pool", 2usize)?;
+    let timeout = Duration::from_millis(args.parsed_or("timeout-ms", 60_000u64)?);
+
+    // One daemon per shard, each owning its own full-capacity copy of
+    // the network (shards are disjoint capacity pools).
+    let mut servers = Vec::with_capacity(shards);
+    let mut addrs = Vec::with_capacity(shards);
+    let caps = netio::from_csv(&network_csv)?.capacities();
+    for _ in 0..shards {
+        let network = netio::from_csv(&network_csv)?;
+        let server = MappingServer::bind(
+            MappingService::new(network, ServiceConfig::default()),
+            "127.0.0.1:0",
+        )
+        .map_err(|e| format!("cannot bind federation daemon: {e}"))?;
+        addrs.push(server.local_addr().to_string());
+        servers.push(server);
+    }
+
+    // Distinct problems: same pattern, distinct solver seeds (the seed
+    // is a problem-defining field, so each gets its own ring position
+    // and its own result-cache entry).
+    let pattern_csv = commgraph::apps::AppKind::parse("sp")
+        .expect("sp is a known app")
+        .workload(ranks)
+        .pattern()
+        .to_csv();
+    let batch: Vec<MapRequest> = (0..requests)
+        .map(|i| MapRequest {
+            ranks: Some(ranks),
+            seed: 0x5C17 + i as u64,
+            ..MapRequest::new(format!("fed-prime-{i}"), pattern_csv.clone())
+        })
+        .collect();
+
+    // Phase 1: prime, then repeat; affinity = result hits on repeat.
+    let mut fed_pool = FederatedPool::new(&addrs, pool, Some(timeout));
+    for response in fed_pool.map_batch(&batch)? {
+        if let Response::Error(e) = response {
+            return Err(format!(
+                "prime batch rejected: {}: {}",
+                e.code.label(),
+                e.message
+            ));
+        }
+    }
+    let hits_before: u64 = fed_pool.stats()?.iter().map(|s| s.result_hits).sum();
+    let repeats: Vec<MapRequest> = batch
+        .iter()
+        .enumerate()
+        .map(|(i, m)| MapRequest {
+            id: format!("fed-repeat-{i}"),
+            ..m.clone()
+        })
+        .collect();
+    for response in fed_pool.map_batch(&repeats)? {
+        if let Response::Error(e) = response {
+            return Err(format!(
+                "repeat batch rejected: {}: {}",
+                e.code.label(),
+                e.message
+            ));
+        }
+    }
+    let hits_after: u64 = fed_pool.stats()?.iter().map(|s| s.result_hits).sum();
+    let affinity = (hits_after - hits_before) as f64 / requests as f64;
+
+    // Phase 2: keyed reserving maps through the retrying router, then
+    // release everything and reconcile to quiescence.
+    let connectors: Vec<(String, TcpConnector)> = addrs
+        .iter()
+        .map(|a| {
+            (
+                a.clone(),
+                TcpConnector::new(a, Some(timeout)).with_format(WireFormat::V2Binary),
+            )
+        })
+        .collect();
+    let mut router = ShardRouter::new(connectors, RetryPolicy::default());
+    let reserving = requests.min(8);
+    for i in 0..reserving {
+        let request = MapRequest {
+            ranks: Some(ranks),
+            seed: 0x5C17 + i as u64,
+            reserve: true,
+            ..MapRequest::new(format!("fed-reserve-{i}"), pattern_csv.clone())
+        };
+        let routed = router
+            .map(request)
+            .map_err(|e| format!("reserving map {i}: {e}"))?;
+        // Reserve-then-release per round: several problems share a home
+        // shard, and one shard cannot hold many ranks-sized leases at
+        // once on a small network.
+        match &routed.response {
+            Response::Map(m) => {
+                let lease = m
+                    .lease
+                    .ok_or_else(|| format!("reserving map {i} granted no lease"))?;
+                router
+                    .release(routed.shard, lease)
+                    .map_err(|e| format!("release of lease {lease}: {e}"))?;
+            }
+            Response::Error(e) => {
+                return Err(format!(
+                    "reserving map {i} rejected: {}: {}",
+                    e.code.label(),
+                    e.message
+                ))
+            }
+            other => return Err(format!("reserving map {i}: unexpected {other:?}")),
+        }
+    }
+    let homes = router.home_answers();
+    let failovers = router.failovers();
+    let mut spins = 0;
+    while router.pending_reconciliations() > 0 {
+        router.reconcile();
+        spins += 1;
+        if spins > 32 {
+            return Err("journal reconciliation never settled".into());
+        }
+    }
+
+    // Phase 3: the global ledger must balance — every shard fully free.
+    let stats = router
+        .stats()
+        .map_err(|e| format!("federated stats: {e}"))?;
+    for (i, s) in stats.iter().enumerate() {
+        if s.active_leases != 0 || s.free_nodes != caps {
+            return Err(format!(
+                "shard {i} broke conservation: {} active leases, free {:?} vs capacity {:?}",
+                s.active_leases, s.free_nodes, caps
+            ));
+        }
+    }
+    let served: u64 = stats.iter().map(|s| s.served).sum();
+
+    fed_pool.shutdown()?;
+    for server in servers {
+        server.join();
+    }
+    Ok(format!(
+        "federated {shards} shards on loopback: {requests} problems primed + repeated, \
+         affinity hit rate {affinity:.2}, {reserving} reserving maps routed \
+         ({homes} home, {failovers} failover), {served} served total, \
+         all leases reconciled to zero, ledger conserved\n"
     ))
 }
 
@@ -265,6 +442,33 @@ mod tests {
         assert!(request(&argv("--addr 127.0.0.1:1"))
             .unwrap_err()
             .contains("--pattern"));
+    }
+
+    #[test]
+    fn federate_requires_a_network_and_sane_counts() {
+        assert!(federate(&argv("")).unwrap_err().contains("--network"));
+        let net_path = tmp("federate-zero-net.csv");
+        crate::commands::network(&argv(&format!("--provider ec2 --nodes 4 --out {net_path}")))
+            .unwrap();
+        assert!(federate(&argv(&format!("--network {net_path} --shards 0")))
+            .unwrap_err()
+            .contains("--shards"));
+    }
+
+    #[test]
+    fn federate_round_trip_on_loopback() {
+        let net_path = tmp("federate-net.csv");
+        crate::commands::network(&argv(&format!("--provider ec2 --nodes 4 --out {net_path}")))
+            .unwrap();
+        let out = federate(&argv(&format!(
+            "--network {net_path} --shards 3 --requests 9 --ranks 8 --pool 2"
+        )))
+        .unwrap();
+        assert!(out.contains("federated 3 shards"), "got {out}");
+        // Routing is deterministic, so every repeat rides straight into
+        // its home shard's result cache: perfect affinity.
+        assert!(out.contains("affinity hit rate 1.00"), "got {out}");
+        assert!(out.contains("ledger conserved"), "got {out}");
     }
 
     #[test]

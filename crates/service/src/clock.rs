@@ -1,0 +1,117 @@
+//! The clock seam: every time-dependent lease decision reads one
+//! injected [`Clock`] instead of calling `Instant::now()` inline.
+//!
+//! The PR 5 fault harness runs whole chaos storms on a *virtual*
+//! millisecond clock ([`crate::transport::FaultPlan`]) so a seeded run
+//! is a pure function of its seed — but lease expiry used to read the
+//! wall clock directly, which meant a storm could never deterministically
+//! expire a lease mid-scenario. Hoisting the clock behind this trait
+//! closes that gap: production services run on [`WallClock`] (zero
+//! overhead beyond a virtual call), deterministic tests share one
+//! [`VirtualClock`] between the inventory, the federation lease journal
+//! and the fault plan, and advance time explicitly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time. `Send + Sync` because one clock is
+/// shared by every worker thread of a service; `Debug` so configs that
+/// carry a clock stay debuggable.
+pub trait Clock: std::fmt::Debug + Send + Sync {
+    /// The current reading. Monotonic: successive calls never go
+    /// backwards (both impls guarantee this).
+    fn now(&self) -> Instant;
+}
+
+/// The production clock: `Instant::now()`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A deterministic clock: a base instant captured at construction plus
+/// an explicitly-advanced millisecond offset. Time only moves when a
+/// test says so, which makes lease expiry a scripted event instead of
+/// a race against the scheduler.
+#[derive(Debug)]
+pub struct VirtualClock {
+    base: Instant,
+    offset_ms: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at "now" with zero offset.
+    pub fn new() -> Self {
+        Self {
+            base: Instant::now(),
+            offset_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance virtual time by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.offset_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Move virtual time forward to `ms` milliseconds past the base
+    /// (never backwards — a smaller reading is ignored). Lets a test
+    /// sync this clock to a fault plan's own virtual clock between
+    /// chaos rounds.
+    pub fn set_ms(&self, ms: u64) {
+        self.offset_ms.fetch_max(ms, Ordering::SeqCst);
+    }
+
+    /// Milliseconds of virtual time elapsed since construction.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.offset_ms.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Instant {
+        self.base + Duration::from_millis(self.elapsed_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock;
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_advanced() {
+        let c = VirtualClock::new();
+        let t0 = c.now();
+        assert_eq!(c.now(), t0);
+        c.advance_ms(250);
+        assert_eq!(c.now(), t0 + Duration::from_millis(250));
+        assert_eq!(c.elapsed_ms(), 250);
+    }
+
+    #[test]
+    fn set_ms_never_rewinds() {
+        let c = VirtualClock::new();
+        c.set_ms(1_000);
+        c.set_ms(400);
+        assert_eq!(c.elapsed_ms(), 1_000);
+        c.set_ms(1_500);
+        assert_eq!(c.elapsed_ms(), 1_500);
+    }
+}

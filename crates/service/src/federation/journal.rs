@@ -1,0 +1,173 @@
+//! The shard-local lease journal: which idempotency key holds which
+//! lease on *this* daemon.
+//!
+//! PR 5's idempotency cache already replays a lost response so a retry
+//! against the *same* daemon never double-reserves. Federation breaks
+//! the single-daemon assumption: a retry may land on a sibling shard,
+//! succeed there, and leave the first shard holding a lease nobody
+//! knows about. The journal is the missing half of the protocol — a
+//! per-daemon key → lease record the router can query
+//! ([`Request::Journal`](crate::proto::Request)) and reconcile: any
+//! shard that holds a live lease for a key the client's final success
+//! did not come from gets an explicit release.
+//!
+//! Liveness is decided by the [`ClusterInventory`], not the journal:
+//! an entry whose lease has expired or been released is dead weight,
+//! and [`LeaseJournal::forget_lease`] / lazy eviction on lookup keep
+//! the map from accumulating it.
+//!
+//! [`ClusterInventory`]: crate::ClusterInventory
+
+use crate::clock::Clock;
+use crate::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One journaled reservation: the lease a key was granted here.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// The idempotency key the reservation arrived under.
+    pub key: String,
+    /// The granted lease id (shard-local).
+    pub lease: u64,
+    /// Per-site node counts the lease holds.
+    pub site_counts: Vec<usize>,
+    /// When the reservation was granted, on the service's clock.
+    pub granted_at: Instant,
+}
+
+/// Keyed reservations this daemon has granted and not yet seen
+/// released. All access is under one mutex — the journal is touched
+/// once per keyed reservation, release, or reconciliation query, never
+/// on the solve hot path.
+#[derive(Debug)]
+pub struct LeaseJournal {
+    clock: Arc<dyn Clock>,
+    entries: Mutex<HashMap<u64, JournalEntry>>,
+}
+
+impl LeaseJournal {
+    /// An empty journal stamping entries from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            clock,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn key_fp(key: &str) -> u64 {
+        Fingerprint::new().str(key).finish()
+    }
+
+    /// Journal a granted reservation. A key granted again (an
+    /// idempotent replay hands back the *same* lease, so this only
+    /// happens after the old lease died) overwrites the stale entry.
+    pub fn record(&self, key: &str, lease: u64, site_counts: &[usize]) {
+        let entry = JournalEntry {
+            key: key.to_string(),
+            lease,
+            site_counts: site_counts.to_vec(),
+            granted_at: self.clock.now(),
+        };
+        self.entries
+            .lock()
+            .expect("journal lock")
+            .insert(Self::key_fp(key), entry);
+    }
+
+    /// Drop whichever entry holds `lease` (called on explicit release;
+    /// a lease the inventory no longer knows has nothing to journal).
+    pub fn forget_lease(&self, lease: u64) {
+        let mut entries = self.entries.lock().expect("journal lock");
+        entries.retain(|_, e| e.lease != lease);
+    }
+
+    /// Drop the entry for `key`, if any (lazy eviction when a lookup
+    /// finds the lease expired).
+    pub fn forget_key(&self, key: &str) {
+        self.entries
+            .lock()
+            .expect("journal lock")
+            .remove(&Self::key_fp(key));
+    }
+
+    /// The journaled reservation for `key`, if one was recorded. The
+    /// caller still owns the liveness check against the inventory —
+    /// the journal remembers grants, the inventory decides expiry.
+    pub fn lookup(&self, key: &str) -> Option<JournalEntry> {
+        self.entries
+            .lock()
+            .expect("journal lock")
+            .get(&Self::key_fp(key))
+            .cloned()
+    }
+
+    /// Number of journaled entries (live or not yet evicted).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("journal lock").len()
+    }
+
+    /// True when nothing is journaled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn journal() -> LeaseJournal {
+        LeaseJournal::new(Arc::new(VirtualClock::new()))
+    }
+
+    #[test]
+    fn record_lookup_forget_roundtrip() {
+        let j = journal();
+        assert!(j.is_empty());
+        j.record("k1", 7, &[1, 0, 2]);
+        let e = j.lookup("k1").expect("recorded");
+        assert_eq!(e.lease, 7);
+        assert_eq!(e.site_counts, vec![1, 0, 2]);
+        assert_eq!(e.key, "k1");
+        assert!(j.lookup("k2").is_none());
+        j.forget_lease(7);
+        assert!(j.lookup("k1").is_none());
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn forget_key_evicts_only_that_key() {
+        let j = journal();
+        j.record("a", 1, &[1]);
+        j.record("b", 2, &[1]);
+        j.forget_key("a");
+        assert!(j.lookup("a").is_none());
+        assert_eq!(j.lookup("b").unwrap().lease, 2);
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn rerecording_a_key_replaces_the_stale_entry() {
+        let j = journal();
+        j.record("k", 1, &[2]);
+        j.record("k", 9, &[3]);
+        assert_eq!(j.len(), 1);
+        let e = j.lookup("k").unwrap();
+        assert_eq!(e.lease, 9);
+        assert_eq!(e.site_counts, vec![3]);
+    }
+
+    #[test]
+    fn granted_at_reads_the_injected_clock() {
+        let clock = Arc::new(VirtualClock::new());
+        let j = LeaseJournal::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        let t0 = clock.now();
+        clock.advance_ms(500);
+        j.record("k", 1, &[1]);
+        let e = j.lookup("k").unwrap();
+        assert_eq!(e.granted_at, t0 + std::time::Duration::from_millis(500));
+    }
+}

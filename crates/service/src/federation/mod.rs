@@ -1,0 +1,43 @@
+//! The federation layer: many daemons, each owning a disjoint
+//! [`ClusterInventory`](crate::ClusterInventory) shard, stitched into
+//! one logical mapping service.
+//!
+//! One daemon owning one inventory stops scaling the moment "millions
+//! of users" means more placements than one process can journal. The
+//! federation decomposes the fleet the same way the sparse-QAP mappers
+//! decompose their assignment problems: shard-local state, a thin
+//! global layer that only routes and reconciles.
+//!
+//! * [`shard_map`] — consistent hashing of problem fingerprints onto
+//!   shards, so identical problems keep landing on the daemon whose
+//!   caches are already warm (cache affinity), with a deterministic
+//!   failover order when the home shard is unreachable.
+//! * [`journal`] — the shard-local lease journal: every keyed
+//!   reservation a daemon grants is journaled under its idempotency
+//!   key, so the router can later ask "do you hold a live lease for
+//!   this key?" and get an authoritative answer.
+//! * [`router`] — [`ShardRouter`] fans requests out over the PR 5
+//!   retry clients, fails reserving maps over to sibling shards on
+//!   ambiguous errors, and reconciles the journals afterwards so a
+//!   retry that landed on two shards provably never keeps two leases.
+//!   [`FederatedPool`] is the throughput twin: per-shard
+//!   [`PooledClient`](crate::PooledClient)s pipelining v2 frames along
+//!   the same shard map.
+//!
+//! The correctness bar is the global conservation invariant
+//!
+//! ```text
+//! Σ_shards (free[j] + Σ leases[j]) == Σ_shards capacity[j]   ∀ sites j
+//! ```
+//!
+//! plus exactly-once reservation per idempotency key across the whole
+//! federation, both asserted after every chaos round in
+//! `tests/fault_matrix.rs`.
+
+pub mod journal;
+pub mod router;
+pub mod shard_map;
+
+pub use journal::{JournalEntry, LeaseJournal};
+pub use router::{FederatedPool, RoutedResponse, ShardRouter};
+pub use shard_map::ShardMap;

@@ -1,0 +1,422 @@
+//! The federation router: one front door over N shard daemons.
+//!
+//! [`ShardRouter`] owns a [`RetryingClient`] per shard and routes each
+//! map request to the shard whose caches should already hold it (the
+//! ring owner of the request's *affinity fingerprint* — the
+//! problem-defining fields only, so retries, different callers, and
+//! different lease options all land together). When the home shard
+//! fails ambiguously the router fails over along the ring's preference
+//! order, and afterwards **reconciles**: every shard the request
+//! touched without a definitive answer is asked for its lease journal
+//! entry under the request's idempotency key, and any live lease held
+//! by a shard other than the one that produced the final answer is
+//! released. That closes the cross-shard double-reservation window the
+//! single-daemon idempotency cache cannot see.
+//!
+//! [`FederatedPool`] is the throughput path: the same shard map over
+//! per-shard [`PooledClient`]s, pipelining v2 frames in bulk with no
+//! retry machinery — the load bench and read-mostly callers use it.
+
+use crate::client::{ClientError, PooledClient, RetryPolicy, RetryingClient};
+use crate::fingerprint::Fingerprint;
+use crate::proto::{MapRequest, Request, Response, StatsResponse};
+use crate::transport::Connector;
+use crate::wire::WireFormat;
+use std::time::Duration;
+
+use super::shard_map::ShardMap;
+
+/// The fields of a map request that define *which problem* it asks
+/// about — and therefore which shard's caches can answer it. Transport
+/// concerns (id, idempotency key, reservation flags, deadlines, cache
+/// bypass) are deliberately excluded: a retry or a differently-leased
+/// repeat of the same problem must hash to the same shard.
+pub fn affinity_fingerprint(m: &MapRequest) -> u64 {
+    Fingerprint::new()
+        .str(&m.pattern_csv)
+        .u64(m.ranks.is_some() as u64)
+        .u64(m.ranks.unwrap_or(0) as u64)
+        .u64(m.constraints_csv.is_some() as u64)
+        .str(m.constraints_csv.as_deref().unwrap_or(""))
+        .str(&m.algorithm)
+        .u64(m.seed)
+        .u64(m.kappa as u64)
+        .u64(m.samples as u64)
+        .u64(m.calibration.days as u64)
+        .u64(m.calibration.probes_per_day as u64)
+        .f64(m.calibration.noise_cv)
+        .f64(m.calibration.loss_rate)
+        .u64(m.calibration.seed)
+        .finish()
+}
+
+/// A map answer plus where it came from.
+#[derive(Debug)]
+pub struct RoutedResponse {
+    /// Shard index that produced the definitive answer.
+    pub shard: usize,
+    /// Ring owner of the request's affinity fingerprint.
+    pub home: usize,
+    /// The idempotency key the request traveled under (reserving
+    /// requests always carry one through the router).
+    pub key: Option<String>,
+    /// The answer itself (including non-retryable error responses —
+    /// those *are* definitive).
+    pub response: Response,
+}
+
+struct Shard<C: Connector> {
+    name: String,
+    client: RetryingClient<C>,
+}
+
+/// Routes requests across shards with cache affinity, failover, and
+/// journal reconciliation.
+pub struct ShardRouter<C: Connector> {
+    map: ShardMap,
+    shards: Vec<Shard<C>>,
+    /// `(shard, key)` pairs whose reservation outcome is unknown —
+    /// the shard failed ambiguously while a keyed reserving request
+    /// was in flight. Drained by [`ShardRouter::reconcile`].
+    pending: Vec<(usize, String)>,
+    /// Deterministic tag for router-generated idempotency keys.
+    key_tag: u64,
+    next_key: u64,
+    next_id: u64,
+    home_answers: u64,
+    failovers: u64,
+}
+
+impl<C: Connector> ShardRouter<C> {
+    /// A router over `shards` (name + connector per daemon). Each
+    /// shard's client gets the policy with a per-shard seed offset so
+    /// backoff jitter never synchronizes across the fleet.
+    pub fn new(shards: Vec<(String, C)>, policy: RetryPolicy) -> Self {
+        assert!(!shards.is_empty(), "a router needs at least one shard");
+        let names: Vec<String> = shards.iter().map(|(n, _)| n.clone()).collect();
+        let map = ShardMap::new(&names);
+        let key_tag = Fingerprint::new().u64(policy.seed).str("router").finish();
+        let shards = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, connector))| Shard {
+                name,
+                client: RetryingClient::new(
+                    connector,
+                    RetryPolicy {
+                        seed: policy.seed.wrapping_add(i as u64),
+                        ..policy.clone()
+                    },
+                ),
+            })
+            .collect();
+        Self {
+            map,
+            shards,
+            pending: Vec::new(),
+            key_tag,
+            next_key: 0,
+            next_id: 0,
+            home_answers: 0,
+            failovers: 0,
+        }
+    }
+
+    /// The shard map (tests assert routing against it).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Ring owner for a request (where its caches live).
+    pub fn home_for(&self, m: &MapRequest) -> usize {
+        self.map.shard_for(affinity_fingerprint(m))
+    }
+
+    /// Requests answered by their home shard so far.
+    pub fn home_answers(&self) -> u64 {
+        self.home_answers
+    }
+
+    /// Requests that had to fail over past their home shard.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// `(shard, key)` pairs still awaiting journal reconciliation.
+    pub fn pending_reconciliations(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn generate_key(&mut self) -> String {
+        self.next_key += 1;
+        format!("fed-{:016x}-{}", self.key_tag, self.next_key)
+    }
+
+    fn generate_id(&mut self, what: &str) -> String {
+        self.next_id += 1;
+        format!("router-{what}-{}", self.next_id)
+    }
+
+    /// Route one map request: home shard first, then siblings along
+    /// the ring on ambiguous failure. Reserving requests always travel
+    /// under an idempotency key (provided or router-generated), so a
+    /// shard that processed an attempt whose response was lost holds
+    /// exactly one journaled lease — which [`ShardRouter::reconcile`]
+    /// releases unless that shard produced the final answer.
+    ///
+    /// `Err` means every shard in the preference order failed; any
+    /// possibly-granted lease is queued for reconciliation, so after a
+    /// successful [`ShardRouter::reconcile`] the federation holds no
+    /// lease for this request at all (exactly-zero on failure,
+    /// exactly-once on success).
+    pub fn map(&mut self, mut request: MapRequest) -> Result<RoutedResponse, ClientError> {
+        if request.reserve && request.idempotency_key.is_none() {
+            request.idempotency_key = Some(self.generate_key());
+        }
+        let key = request.idempotency_key.clone();
+        let home = self.home_for(&request);
+        let order = self.map.preference(affinity_fingerprint(&request));
+        let mut ambiguous: Vec<usize> = Vec::new();
+        let mut last_error = None;
+        for shard in order {
+            match self.shards[shard].client.map(request.clone()) {
+                Ok(response) => {
+                    if shard == home {
+                        self.home_answers += 1;
+                    } else {
+                        self.failovers += 1;
+                    }
+                    // Every ambiguously-failed shard along the way may
+                    // hold a journaled lease for this key; the shard
+                    // that just answered definitively is the one shard
+                    // whose lease (if any) is legitimate.
+                    if let Some(key) = &key {
+                        for other in ambiguous.into_iter().filter(|&s| s != shard) {
+                            self.pending.push((other, key.clone()));
+                        }
+                        self.reconcile();
+                    }
+                    return Ok(RoutedResponse {
+                        shard,
+                        home,
+                        key,
+                        response,
+                    });
+                }
+                Err(e) => {
+                    // Any failure of a keyed reserving request leaves
+                    // this shard's reservation state unknown: the
+                    // attempt may have been processed with only the
+                    // response lost. Cheap to reconcile, unsafe to
+                    // assume.
+                    if request.reserve && key.is_some() {
+                        ambiguous.push(shard);
+                    }
+                    last_error = Some(e);
+                }
+            }
+        }
+        if let Some(key) = &key {
+            for shard in ambiguous {
+                self.pending.push((shard, key.clone()));
+            }
+        }
+        Err(last_error.expect("at least one shard was tried"))
+    }
+
+    /// Drain the pending reconciliation queue: ask each suspect shard's
+    /// journal for its lease under the key and release anything live.
+    /// Returns the number of leases released. Shards that stay
+    /// unreachable keep their entries queued for the next call — the
+    /// queue only shrinks on definitive answers.
+    pub fn reconcile(&mut self) -> usize {
+        let pending = std::mem::take(&mut self.pending);
+        let mut released = 0;
+        for (shard, key) in pending {
+            let id = self.generate_id("journal");
+            let outcome = self.shards[shard].client.send(&Request::Journal {
+                id,
+                key: key.clone(),
+            });
+            match outcome {
+                Ok(Response::Journal(j)) => {
+                    if !j.held {
+                        continue; // definitively no lease: settled
+                    }
+                    let lease = j.lease.expect("held journal entry carries its lease");
+                    let id = self.generate_id("release");
+                    match self.shards[shard].client.release(&id, lease) {
+                        Ok(Response::Release { .. }) => released += 1,
+                        // Any other answer (`unknown_lease`: it expired
+                        // or was released between lookup and now) is
+                        // settled — the lease is gone either way.
+                        Ok(_) => {}
+                        Err(_) => self.pending.push((shard, key)),
+                    }
+                }
+                // A non-journal answer (error response) is definitive:
+                // the shard is reachable and holds nothing under the
+                // key worth releasing.
+                Ok(_) => {}
+                // Unreachable: try again next round.
+                Err(_) => self.pending.push((shard, key)),
+            }
+        }
+        released
+    }
+
+    /// Scatter-gather the `stats` of every shard, in shard order.
+    pub fn stats(&mut self) -> Result<Vec<StatsResponse>, ClientError> {
+        let mut all = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            let id = self.generate_id("stats");
+            match self.shards[i].client.stats(&id)? {
+                Response::Stats(s) => all.push(s),
+                other => {
+                    return Err(ClientError::Fatal(format!(
+                        "shard {} answered stats with {other:?}",
+                        self.shards[i].name
+                    )))
+                }
+            }
+        }
+        Ok(all)
+    }
+
+    /// Release a lease on a specific shard (the one named by a
+    /// [`RoutedResponse`]).
+    pub fn release(&mut self, shard: usize, lease: u64) -> Result<Response, ClientError> {
+        let id = self.generate_id("release");
+        self.shards[shard].client.release(&id, lease)
+    }
+}
+
+impl<C: Connector> std::fmt::Debug for ShardRouter<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.map.names())
+            .field("pending", &self.pending.len())
+            .field("home_answers", &self.home_answers)
+            .field("failovers", &self.failovers)
+            .finish()
+    }
+}
+
+/// The federation's throughput client: per-shard [`PooledClient`]s
+/// pipelining v2 frames, requests grouped by home shard so cache
+/// affinity survives batching. No failover and no retries — like
+/// [`PooledClient::pipeline`], ambiguous partial batches are surfaced
+/// whole and the caller decides.
+#[derive(Debug)]
+pub struct FederatedPool {
+    map: ShardMap,
+    pools: Vec<PooledClient>,
+}
+
+impl FederatedPool {
+    /// Pools of `pool` v2 connections to each shard address.
+    pub fn new<S: AsRef<str>>(addrs: &[S], pool: usize, timeout: Option<Duration>) -> Self {
+        assert!(
+            !addrs.is_empty(),
+            "a federated pool needs at least one shard"
+        );
+        let map = ShardMap::new(addrs);
+        let pools = addrs
+            .iter()
+            .map(|a| PooledClient::with_format(a.as_ref(), pool, timeout, WireFormat::V2Binary))
+            .collect();
+        Self { map, pools }
+    }
+
+    /// The shard map (the bench asserts affinity against it).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Home shard of one request.
+    pub fn home_for(&self, m: &MapRequest) -> usize {
+        self.map.shard_for(affinity_fingerprint(m))
+    }
+
+    /// Pipeline a batch across the federation: requests are grouped by
+    /// home shard, each group rides one [`PooledClient::pipeline`]
+    /// call, and responses come back in submission order.
+    pub fn map_batch(&mut self, requests: &[MapRequest]) -> Result<Vec<Response>, String> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.pools.len()];
+        for (i, m) in requests.iter().enumerate() {
+            groups[self.home_for(m)].push(i);
+        }
+        let mut responses: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+        for (shard, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<Request> = group
+                .iter()
+                .map(|&i| Request::Map(requests[i].clone()))
+                .collect();
+            let answers = self.pools[shard]
+                .pipeline(&batch)
+                .map_err(|e| format!("shard {shard}: {e}"))?;
+            for (&i, response) in group.iter().zip(answers) {
+                responses[i] = Some(response);
+            }
+        }
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("every request was grouped onto a shard"))
+            .collect())
+    }
+
+    /// Scatter-gather every shard's stats, in shard order.
+    pub fn stats(&mut self) -> Result<Vec<StatsResponse>, String> {
+        let mut all = Vec::with_capacity(self.pools.len());
+        for (shard, pool) in self.pools.iter_mut().enumerate() {
+            let id = format!("fedpool-stats-{shard}");
+            let mut answers = pool.pipeline(&[Request::Stats { id }])?;
+            match answers.pop() {
+                Some(Response::Stats(s)) => all.push(s),
+                other => return Err(format!("shard {shard} answered stats with {other:?}")),
+            }
+        }
+        Ok(all)
+    }
+
+    /// Ask every shard to shut down (test/bench teardown).
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        for (shard, pool) in self.pools.iter_mut().enumerate() {
+            let id = format!("fedpool-shutdown-{shard}");
+            pool.pipeline(&[Request::Shutdown { id }])?;
+            let _ = shard;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_fingerprint_ignores_transport_fields() {
+        let mut a = MapRequest::new("id-1", "src,dst,bytes,msgs\n0,1,5,2\n");
+        let mut b = MapRequest::new("id-2", "src,dst,bytes,msgs\n0,1,5,2\n");
+        b.idempotency_key = Some("retry-key".into());
+        b.reserve = true;
+        b.lease_ttl_ms = Some(5_000);
+        b.deadline_ms = Some(100);
+        b.use_result_cache = false;
+        assert_eq!(affinity_fingerprint(&a), affinity_fingerprint(&b));
+        // …but problem-defining fields do change the route.
+        a.seed += 1;
+        assert_ne!(affinity_fingerprint(&a), affinity_fingerprint(&b));
+    }
+
+    #[test]
+    fn absent_ranks_and_zero_ranks_hash_apart() {
+        let a = MapRequest::new("a", "src,dst,bytes,msgs\n");
+        let mut b = MapRequest::new("b", "src,dst,bytes,msgs\n");
+        b.ranks = Some(0);
+        assert_ne!(affinity_fingerprint(&a), affinity_fingerprint(&b));
+    }
+}

@@ -1,0 +1,198 @@
+//! Consistent hashing of problem fingerprints onto shards.
+//!
+//! Cache affinity is the whole point of routing: a daemon that has
+//! already calibrated and solved a problem answers its repeats from
+//! the result tier in microseconds, so identical problems must keep
+//! landing on the same daemon. A plain `fp % N` would do that — until
+//! a shard joins or leaves and every key moves. The classic fix is a
+//! hash ring: each shard projects `VNODES` points onto the u64 circle,
+//! a fingerprint is owned by the first shard point at or after it, and
+//! membership changes only move the keys between a leaving/joining
+//! shard and its ring neighbors.
+//!
+//! [`ShardMap::preference`] extends ownership into a deterministic
+//! failover order — keep walking the ring, collecting each *distinct*
+//! shard once — which is what the router retries along when the home
+//! shard is partitioned away.
+
+use crate::fingerprint::Fingerprint;
+
+/// Virtual nodes per shard. 64 points per shard keeps the ring's
+/// load split within a few percent of uniform for small fleets
+/// (verified by the `ring_balance_is_reasonable` test) without making
+/// lookup tables noticeable.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// Finalizer over the FNV fingerprint (splitmix64's mixing rounds).
+/// Ring position is an *ordering* over the full u64 range, dominated
+/// by high bits — exactly where FNV-1a's avalanche is weakest, which
+/// skewed shard loads by ±50% before this mix.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The hash ring: shard names projected onto the u64 circle.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    names: Vec<String>,
+    /// `(ring point, shard index)`, sorted by point.
+    ring: Vec<(u64, usize)>,
+}
+
+impl ShardMap {
+    /// A ring over `names` with [`DEFAULT_VNODES`] points per shard.
+    pub fn new<S: AsRef<str>>(names: &[S]) -> Self {
+        Self::with_vnodes(names, DEFAULT_VNODES)
+    }
+
+    /// A ring with an explicit vnode count (tests shrink it to make
+    /// collisions and imbalance observable).
+    pub fn with_vnodes<S: AsRef<str>>(names: &[S], vnodes: usize) -> Self {
+        assert!(!names.is_empty(), "a shard map needs at least one shard");
+        assert!(vnodes > 0, "a shard needs at least one ring point");
+        let names: Vec<String> = names.iter().map(|s| s.as_ref().to_string()).collect();
+        let mut ring = Vec::with_capacity(names.len() * vnodes);
+        for (idx, name) in names.iter().enumerate() {
+            for vnode in 0..vnodes {
+                let point = mix(Fingerprint::new().str(name).u64(vnode as u64).finish());
+                ring.push((point, idx));
+            }
+        }
+        // Sort by point; ties (astronomically unlikely across distinct
+        // names, but cheap to make deterministic) break by shard index.
+        ring.sort_unstable();
+        Self { names, ring }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the ring has exactly one shard (no failover exists).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The shard names, in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The shard owning `fingerprint`: the first ring point at or
+    /// after it, wrapping at the top of the circle.
+    pub fn shard_for(&self, fingerprint: u64) -> usize {
+        let at = self.ring.partition_point(|&(point, _)| point < fingerprint);
+        self.ring[if at == self.ring.len() { 0 } else { at }].1
+    }
+
+    /// Every shard in failover order for `fingerprint`: the owner
+    /// first, then each further shard in the order its first ring
+    /// point appears walking clockwise. Deterministic, covers all
+    /// shards, and agrees with [`ShardMap::shard_for`] on the head.
+    pub fn preference(&self, fingerprint: u64) -> Vec<usize> {
+        let start = self.ring.partition_point(|&(point, _)| point < fingerprint);
+        let mut order = Vec::with_capacity(self.names.len());
+        let mut seen = vec![false; self.names.len()];
+        for i in 0..self.ring.len() {
+            let (_, shard) = self.ring[(start + i) % self.ring.len()];
+            if !seen[shard] {
+                seen[shard] = true;
+                order.push(shard);
+                if order.len() == self.names.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_heads_the_preference_order_and_covers_all_shards() {
+        let map = ShardMap::new(&["shard-0", "shard-1", "shard-2"]);
+        for fp in [0u64, 1, 0x5C17, u64::MAX, 0x8000_0000_0000_0000] {
+            let pref = map.preference(fp);
+            assert_eq!(pref[0], map.shard_for(fp), "fp {fp:#x}");
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "fp {fp:#x}: {pref:?}");
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let a = ShardMap::new(&["a", "b", "c"]);
+        let b = ShardMap::new(&["a", "b", "c"]);
+        for fp in (0..1000u64).map(|i| Fingerprint::new().u64(i).finish()) {
+            assert_eq!(a.shard_for(fp), b.shard_for(fp));
+            assert_eq!(a.preference(fp), b.preference(fp));
+        }
+    }
+
+    #[test]
+    fn ring_balance_is_reasonable() {
+        let map = ShardMap::new(&["alpha", "beta", "gamma"]);
+        let mut counts = [0usize; 3];
+        for i in 0..30_000u64 {
+            counts[map.shard_for(Fingerprint::new().u64(i).finish())] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            // Perfect balance is 10k each; consistent hashing with 64
+            // vnodes should stay within ±40% of it.
+            assert!(
+                (6_000..=14_000).contains(&c),
+                "shard {shard} owns {c} of 30000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_change_moves_few_keys() {
+        let three = ShardMap::new(&["a", "b", "c"]);
+        let four = ShardMap::new(&["a", "b", "c", "d"]);
+        let keys: Vec<u64> = (0..10_000u64)
+            .map(|i| Fingerprint::new().u64(i).finish())
+            .collect();
+        let moved = keys
+            .iter()
+            .filter(|&&fp| {
+                let old = three.shard_for(fp);
+                let new = four.shard_for(fp);
+                // Keys may only move *to* the new shard, never between
+                // the surviving three — that is the consistent-hashing
+                // contract `fp % N` breaks.
+                assert!(old == new || new == 3, "key {fp:#x} moved {old}->{new}");
+                old != new
+            })
+            .count();
+        // Expected churn is ~1/4 of keys; allow a generous band.
+        assert!(
+            (1_500..=3_500).contains(&moved),
+            "{moved} of 10000 keys moved"
+        );
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let map = ShardMap::new(&["only"]);
+        assert_eq!(map.shard_for(0), 0);
+        assert_eq!(map.shard_for(u64::MAX), 0);
+        assert_eq!(map.preference(42), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_shard_list_is_a_bug() {
+        ShardMap::new::<&str>(&[]);
+    }
+}

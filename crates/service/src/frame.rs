@@ -32,9 +32,15 @@
 //!
 //! [`proto`]: crate::proto
 
+// The decoder must stay cast-clean: a wire `u64` narrowed with `as`
+// silently wraps on 32-bit targets (and under hostile >2^32 values),
+// turning a malformed frame into a wrong-but-plausible request. Every
+// narrowing goes through `try_from` and errors as `Malformed`.
+#![deny(clippy::cast_possible_truncation)]
+
 use crate::proto::{
-    CacheTier, CalibSpec, ErrorCode, ErrorResponse, MapRequest, MapResponse, Request, Response,
-    StatsResponse,
+    CacheTier, CalibSpec, ErrorCode, ErrorResponse, JournalResponse, MapRequest, MapResponse,
+    Request, Response, StatsResponse,
 };
 
 /// First byte of every v2 frame; never the first byte of UTF-8 JSON.
@@ -151,7 +157,8 @@ impl Frame {
         out.push(FRAME_VERSION);
         out.push(self.kind.code());
         out.extend_from_slice(&self.corr_id.to_le_bytes());
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        let len = u32::try_from(self.payload.len()).expect("payload exceeds u32 length prefix");
+        out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(&self.payload);
         out
     }
@@ -268,7 +275,8 @@ impl Writer {
     }
 
     fn str(&mut self, s: &str) {
-        self.out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        let len = u32::try_from(s.len()).expect("string exceeds u32 length prefix");
+        self.out.extend_from_slice(&len.to_le_bytes());
         self.out.extend_from_slice(s.as_bytes());
     }
 
@@ -293,7 +301,8 @@ impl Writer {
     }
 
     fn usize_arr(&mut self, xs: &[usize]) {
-        self.out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+        let len = u32::try_from(xs.len()).expect("array exceeds u32 length prefix");
+        self.out.extend_from_slice(&len.to_le_bytes());
         for &x in xs {
             self.u64(x as u64);
         }
@@ -337,6 +346,11 @@ pub fn request_payload(request: &Request) -> Vec<u8> {
         Request::Shutdown { id } => {
             w.u8(4);
             w.str(id);
+        }
+        Request::Journal { id, key } => {
+            w.u8(5);
+            w.str(id);
+            w.str(key);
         }
     }
     w.out
@@ -392,6 +406,14 @@ pub fn response_payload(response: &Response) -> Vec<u8> {
             w.str(&e.id);
             w.u8(e.code.code());
             w.str(&e.message);
+        }
+        Response::Journal(j) => {
+            w.u8(6);
+            w.str(&j.id);
+            w.str(&j.key);
+            w.bool(j.held);
+            w.opt_u64(j.lease);
+            w.usize_arr(&j.site_counts);
         }
     }
     w.out
@@ -455,6 +477,17 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(self.u64(what)?))
     }
 
+    /// A wire `u64` that the decoded type holds as `usize`. Narrowing
+    /// is checked: a value past `usize::MAX` (possible on 32-bit
+    /// targets, or hostile on any) is `Malformed`, never a silent wrap.
+    fn usize64(&mut self, what: &str) -> Result<usize, FrameError> {
+        fit_usize(self.u64(what)?, what)
+    }
+
+    fn opt_usize64(&mut self, what: &str) -> Result<Option<usize>, FrameError> {
+        self.opt_u64(what)?.map(|v| fit_usize(v, what)).transpose()
+    }
+
     fn str(&mut self, what: &str) -> Result<String, FrameError> {
         let len = self.u32(what)? as usize;
         if len > self.remaining() {
@@ -497,7 +530,7 @@ impl<'a> Reader<'a> {
                 self.remaining()
             )));
         }
-        (0..count).map(|_| Ok(self.u64(what)? as usize)).collect()
+        (0..count).map(|_| self.usize64(what)).collect()
     }
 
     fn finish(self, what: &str) -> Result<(), FrameError> {
@@ -509,6 +542,15 @@ impl<'a> Reader<'a> {
         }
         Ok(())
     }
+}
+
+/// Checked `u64` → `usize` narrowing for decoded wire fields.
+fn fit_usize(v: u64, what: &str) -> Result<usize, FrameError> {
+    usize::try_from(v).map_err(|_| {
+        FrameError::Malformed(format!(
+            "{what}: value {v} does not fit usize on this target"
+        ))
+    })
 }
 
 /// Decode a request payload. Failures come back as a ready-to-send
@@ -541,15 +583,15 @@ fn decode_request_inner(payload: &[u8]) -> Result<Request, FrameError> {
             let id = r.str("map.id")?;
             let pattern_csv = r.str("map.pattern_csv")?;
             let mut m = MapRequest::new(id, pattern_csv);
-            m.ranks = r.opt_u64("map.ranks")?.map(|v| v as usize);
+            m.ranks = r.opt_usize64("map.ranks")?;
             m.constraints_csv = r.opt_str("map.constraints_csv")?;
             m.algorithm = r.str("map.algorithm")?;
             m.seed = r.u64("map.seed")?;
-            m.kappa = r.u64("map.kappa")? as usize;
-            m.samples = r.u64("map.samples")? as usize;
+            m.kappa = r.usize64("map.kappa")?;
+            m.samples = r.usize64("map.samples")?;
             m.calibration = CalibSpec {
-                days: r.u64("map.calibration.days")? as usize,
-                probes_per_day: r.u64("map.calibration.probes")? as usize,
+                days: r.usize64("map.calibration.days")?,
+                probes_per_day: r.usize64("map.calibration.probes")?,
                 noise_cv: r.f64("map.calibration.noise")?,
                 loss_rate: r.f64("map.calibration.loss")?,
                 seed: r.u64("map.calibration.seed")?,
@@ -590,6 +632,12 @@ fn decode_request_inner(payload: &[u8]) -> Result<Request, FrameError> {
             let id = r.str("shutdown.id")?;
             r.finish("shutdown request")?;
             Request::Shutdown { id }
+        }
+        5 => {
+            let id = r.str("journal.id")?;
+            let key = r.str("journal.key")?;
+            r.finish("journal request")?;
+            Request::Journal { id, key }
         }
         other => {
             return Err(FrameError::Malformed(format!(
@@ -682,6 +730,17 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, FrameError> {
             r.finish("error response")?;
             resp
         }
+        6 => {
+            let resp = Response::Journal(JournalResponse {
+                id: r.str("journal.id")?,
+                key: r.str("journal.key")?,
+                held: r.bool("journal.held")?,
+                lease: r.opt_u64("journal.lease")?,
+                site_counts: r.usize_arr("journal.site_counts")?,
+            });
+            r.finish("journal response")?;
+            resp
+        }
         other => {
             return Err(FrameError::Malformed(format!(
                 "unknown response tag {other}"
@@ -745,6 +804,10 @@ mod tests {
             },
             Request::Stats { id: "b".into() },
             Request::Shutdown { id: "c".into() },
+            Request::Journal {
+                id: "d".into(),
+                key: "client-7/42".into(),
+            },
         ] {
             let back = decode_request_payload(&request_payload(&req)).unwrap();
             assert_eq!(back, req);
@@ -752,9 +815,109 @@ mod tests {
     }
 
     #[test]
+    fn journal_responses_roundtrip_through_payload_codec() {
+        for resp in [
+            Response::Journal(JournalResponse {
+                id: "j1".into(),
+                key: "auto-00ff-3".into(),
+                held: true,
+                lease: Some(12),
+                site_counts: vec![2, 0, 1],
+            }),
+            Response::Journal(JournalResponse {
+                id: "j2".into(),
+                key: "gone".into(),
+                held: false,
+                lease: None,
+                site_counts: vec![],
+            }),
+        ] {
+            let back = decode_response_payload(&response_payload(&resp)).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    /// Writes a map-request payload whose `samples` field carries an
+    /// arbitrary raw u64 — bypassing `MapRequest`'s `usize` fields so
+    /// the decoder can be probed at (and past) the usize boundary.
+    fn map_payload_with_samples(samples: u64) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(1); // map request tag
+        w.str("edge");
+        w.str("src,dst,bytes,msgs\n");
+        w.u8(0); // ranks: absent
+        w.u8(0); // constraints: absent
+        w.str("geo");
+        w.u64(0x5C17); // seed
+        w.u64(4); // kappa
+        w.u64(samples);
+        let d = CalibSpec::default();
+        w.u64(d.days as u64);
+        w.u64(d.probes_per_day as u64);
+        w.f64(d.noise_cv);
+        w.f64(d.loss_rate);
+        w.u64(d.seed);
+        w.u8(0); // deadline: absent
+        w.bool(false); // reserve
+        w.u8(0); // lease_ttl: absent
+        w.bool(true); // cache
+        w.u8(0); // idem: absent
+        w.out
+    }
+
+    #[test]
+    fn u64_fields_decode_exactly_at_the_usize_boundary() {
+        // usize::MAX itself must decode without wrapping on every
+        // target — the old `as usize` path happened to be right here,
+        // but only because the test ran on 64-bit.
+        let max = usize::MAX as u64;
+        let Request::Map(m) = decode_request_payload(&map_payload_with_samples(max)).unwrap()
+        else {
+            panic!("not a map request")
+        };
+        assert_eq!(m.samples, usize::MAX);
+    }
+
+    #[test]
+    fn u64_fields_past_usize_are_malformed_not_wrapped() {
+        // On 32-bit targets usize::MAX + 1 exists as a u64 and used to
+        // silently wrap to 0; now it is a typed decode error. On 64-bit
+        // no such value exists and the check is vacuous (checked_add
+        // returns None), which is exactly the point: the error path is
+        // target-dependent, the no-wrap guarantee is not.
+        if let Some(over) = (usize::MAX as u64).checked_add(1) {
+            let err = decode_request_payload(&map_payload_with_samples(over)).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest);
+            assert!(
+                err.message.contains("does not fit usize"),
+                "{}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn array_entries_past_usize_are_malformed_not_wrapped() {
+        if usize::try_from(u64::MAX).is_ok() {
+            return; // 64-bit: every u64 fits, nothing to refuse
+        }
+        let mut w = Writer::new();
+        w.u8(2); // release response tag
+        w.str("id");
+        w.out.extend_from_slice(&1u32.to_le_bytes()); // freed: 1 entry
+        w.out.extend_from_slice(&u64::MAX.to_le_bytes());
+        w.usize_arr(&[]); // free_nodes
+        assert!(matches!(
+            decode_response_payload(&w.out),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn oversized_declared_payload_is_refused_without_buffering() {
         let mut bytes = encode_request(&Request::Stats { id: "s".into() }, 0);
-        bytes[11..15].copy_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+        let over = u32::try_from(MAX_FRAME_BYTES).expect("frame bound fits u32") + 1;
+        bytes[11..15].copy_from_slice(&over.to_le_bytes());
         assert!(matches!(
             Frame::decode(&bytes),
             Err(FrameError::Oversized { .. })

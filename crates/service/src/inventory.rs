@@ -17,8 +17,10 @@
 //! partially-applied reservation is impossible.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::clock::{Clock, WallClock};
 
 /// Why a reservation was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,11 +94,20 @@ impl Inner {
 #[derive(Debug)]
 pub struct ClusterInventory {
     inner: Mutex<Inner>,
+    clock: Arc<dyn Clock>,
 }
 
 impl ClusterInventory {
-    /// An inventory with every node free.
+    /// An inventory with every node free, expiring leases on wall time.
     pub fn new(capacities: Vec<usize>) -> Self {
+        Self::with_clock(capacities, Arc::new(WallClock))
+    }
+
+    /// An inventory whose implicit "now" (lease grant and expiry) is
+    /// read from `clock` — deterministic tests inject a
+    /// [`crate::clock::VirtualClock`] here. The `*_at` methods still
+    /// take an explicit instant and bypass the clock entirely.
+    pub fn with_clock(capacities: Vec<usize>, clock: Arc<dyn Clock>) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 free: capacities.clone(),
@@ -104,6 +115,7 @@ impl ClusterInventory {
                 leases: HashMap::new(),
                 next_lease: 1,
             }),
+            clock,
         }
     }
 
@@ -115,7 +127,7 @@ impl ClusterInventory {
         counts: &[usize],
         ttl: Option<Duration>,
     ) -> Result<u64, InsufficientNodes> {
-        self.reserve_at(counts, ttl, Instant::now())
+        self.reserve_at(counts, ttl, self.clock.now())
     }
 
     /// [`ClusterInventory::reserve`] with an explicit clock reading
@@ -160,7 +172,7 @@ impl ClusterInventory {
     /// Unknown (or already-expired) leases are an error.
     pub fn release(&self, lease: u64) -> Result<Vec<usize>, String> {
         let mut inner = self.inner.lock().expect("inventory lock");
-        inner.expire(Instant::now());
+        inner.expire(self.clock.now());
         let Some(l) = inner.leases.remove(&lease) else {
             return Err(format!("unknown lease {lease} (expired or never granted)"));
         };
@@ -173,7 +185,7 @@ impl ClusterInventory {
 
     /// Current free nodes per site (after expiring stale leases).
     pub fn free_nodes(&self) -> Vec<usize> {
-        self.free_nodes_at(Instant::now())
+        self.free_nodes_at(self.clock.now())
     }
 
     /// [`ClusterInventory::free_nodes`] with an explicit clock reading.
@@ -191,8 +203,17 @@ impl ClusterInventory {
     /// Number of live leases (after expiring stale ones).
     pub fn active_leases(&self) -> usize {
         let mut inner = self.inner.lock().expect("inventory lock");
-        inner.expire(Instant::now());
+        inner.expire(self.clock.now());
         inner.leases.len()
+    }
+
+    /// The per-site counts held by one live lease, or `None` if it is
+    /// unknown or has expired. The federation journal uses this to
+    /// answer "is this lease still held?" without mutating anything.
+    pub fn lease_counts(&self, lease: u64) -> Option<Vec<usize>> {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        inner.expire(self.clock.now());
+        inner.leases.get(&lease).map(|l| l.counts.clone())
     }
 
     /// Per-site node counts summed over live leases (after expiring
@@ -200,7 +221,24 @@ impl ClusterInventory {
     /// so release-build tests can assert
     /// `free[j] + leased[j] == capacity[j]` without debug assertions.
     pub fn leased_counts(&self) -> Vec<usize> {
-        self.leased_counts_at(Instant::now())
+        self.leased_counts_at(self.clock.now())
+    }
+
+    /// `(free, leased)` per site read under ONE lock acquisition.
+    /// Summing separate [`ClusterInventory::free_nodes`] and
+    /// [`ClusterInventory::leased_counts`] calls is not a consistent
+    /// view — a lease can expire (or a sibling thread reserve) between
+    /// the two reads, so conservation checks must use this snapshot.
+    pub fn ledger(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        inner.expire(self.clock.now());
+        let mut leased = vec![0usize; inner.free.len()];
+        for l in inner.leases.values() {
+            for (site, &n) in l.counts.iter().enumerate() {
+                leased[site] += n;
+            }
+        }
+        (inner.free.clone(), leased)
     }
 
     /// [`ClusterInventory::leased_counts`] with an explicit clock.
@@ -284,6 +322,23 @@ mod tests {
         assert!(inv
             .reserve_at(&[1], None, t0 + Duration::from_secs(2))
             .is_ok());
+    }
+
+    #[test]
+    fn virtual_clock_drives_implicit_expiry() {
+        use crate::clock::VirtualClock;
+        let clock = Arc::new(VirtualClock::new());
+        let inv = ClusterInventory::with_clock(vec![4], Arc::clone(&clock) as Arc<dyn Clock>);
+        let lease = inv.reserve(&[3], Some(Duration::from_millis(100))).unwrap();
+        assert_eq!(inv.free_nodes(), vec![1]);
+        assert_eq!(inv.lease_counts(lease), Some(vec![3]));
+        clock.advance_ms(99);
+        assert_eq!(inv.free_nodes(), vec![1]);
+        clock.advance_ms(1);
+        // Expiry exactly at the deadline, through the implicit-now paths.
+        assert_eq!(inv.free_nodes(), vec![4]);
+        assert_eq!(inv.lease_counts(lease), None);
+        assert!(inv.release(lease).is_err());
     }
 
     #[test]

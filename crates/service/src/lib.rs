@@ -43,6 +43,8 @@
 
 pub mod cache;
 pub mod client;
+pub mod clock;
+pub mod federation;
 pub mod fingerprint;
 pub mod frame;
 pub mod inventory;
@@ -54,6 +56,8 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{ClientError, PooledClient, RetryPolicy, RetryingClient, ServiceClient};
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use federation::{FederatedPool, LeaseJournal, RoutedResponse, ShardMap, ShardRouter};
 pub use frame::{Frame, FrameError, FrameKind, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_BYTES};
 pub use inventory::ClusterInventory;
 pub use proto::{ErrorCode, MapRequest, Request, Response, PROTOCOL_VERSION};

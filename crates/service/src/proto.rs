@@ -153,6 +153,16 @@ pub enum Request {
         /// Correlation id.
         id: String,
     },
+    /// Look up an idempotency key in the daemon's lease journal. The
+    /// federation router sends this to reconcile ambiguous failures: a
+    /// retried reservation may have landed on several shards, and only
+    /// the journal says which of them actually holds a live lease.
+    Journal {
+        /// Correlation id.
+        id: String,
+        /// The idempotency key to look up.
+        key: String,
+    },
 }
 
 /// Which cache tier satisfied a map request.
@@ -257,6 +267,22 @@ pub struct StatsResponse {
     pub free_nodes: Vec<usize>,
     /// Live (unexpired, unreleased) leases.
     pub active_leases: u64,
+}
+
+/// What the lease journal knows about one idempotency key.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct JournalResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// Echo of the queried idempotency key.
+    pub key: String,
+    /// True when this daemon granted a reservation under the key and
+    /// the lease is still live (journaled, unreleased, unexpired).
+    pub held: bool,
+    /// The live lease id, when `held`.
+    pub lease: Option<u64>,
+    /// Per-site node counts of the live lease (empty when not held).
+    pub site_counts: Vec<usize>,
 }
 
 /// A refused or failed request. `code` is stable for programmatic
@@ -404,6 +430,8 @@ pub enum Response {
         /// Requests still queued at the moment of acknowledgement.
         draining: u64,
     },
+    /// Lease-journal lookup result.
+    Journal(JournalResponse),
     /// A refusal or failure.
     Error(ErrorResponse),
 }
@@ -416,6 +444,7 @@ impl Response {
             Response::Release { id, .. } => id,
             Response::Stats(s) => &s.id,
             Response::Shutdown { id, .. } => id,
+            Response::Journal(j) => &j.id,
             Response::Error(e) => &e.id,
         }
     }
@@ -494,6 +523,12 @@ impl Request {
                 v,
                 ("kind", Json::Str("shutdown".into())),
                 ("id", Json::Str(id.clone())),
+            ]),
+            Request::Journal { id, key } => obj(vec![
+                v,
+                ("kind", Json::Str("journal".into())),
+                ("id", Json::Str(id.clone())),
+                ("key", Json::Str(key.clone())),
             ]),
         }
         .emit()
@@ -596,6 +631,14 @@ impl Request {
             }
             "stats" => Ok(Request::Stats { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
+            "journal" => {
+                let key = doc
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad(&id, "journal request needs a string \"key\"".into()))?
+                    .to_string();
+                Ok(Request::Journal { id, key })
+            }
             other => Err(bad(&id, format!("unknown request kind {other:?}"))),
         }
     }
@@ -650,6 +693,15 @@ impl Response {
                 ("kind", Json::Str("shutdown_response".into())),
                 ("id", Json::Str(id.clone())),
                 ("draining", Json::Num(*draining as f64)),
+            ]),
+            Response::Journal(j) => obj(vec![
+                v,
+                ("kind", Json::Str("journal_response".into())),
+                ("id", Json::Str(j.id.clone())),
+                ("key", Json::Str(j.key.clone())),
+                ("held", Json::Bool(j.held)),
+                ("lease", opt_u64(j.lease)),
+                ("site_counts", usize_arr(&j.site_counts)),
             ]),
             Response::Error(e) => obj(vec![
                 v,
@@ -739,6 +791,20 @@ impl Response {
                 id,
                 draining: u64_field("draining")?,
             }),
+            "journal_response" => Ok(Response::Journal(JournalResponse {
+                id,
+                key: doc
+                    .get("key")
+                    .and_then(Json::as_str)
+                    .ok_or("journal response missing \"key\"")?
+                    .to_string(),
+                held: doc
+                    .get("held")
+                    .and_then(Json::as_bool)
+                    .ok_or("journal response missing \"held\"")?,
+                lease: doc.get("lease").and_then(Json::as_u64),
+                site_counts: usizes("site_counts")?,
+            })),
             "error" => Ok(Response::Error(ErrorResponse {
                 id,
                 code: doc
@@ -809,9 +875,46 @@ mod tests {
             },
             Request::Stats { id: "b".into() },
             Request::Shutdown { id: "c".into() },
+            Request::Journal {
+                id: "d".into(),
+                key: "client-7/42".into(),
+            },
         ] {
             assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn journal_responses_roundtrip() {
+        for resp in [
+            Response::Journal(JournalResponse {
+                id: "j1".into(),
+                key: "auto-00ff-3".into(),
+                held: true,
+                lease: Some(12),
+                site_counts: vec![2, 0, 1],
+            }),
+            Response::Journal(JournalResponse {
+                id: "j2".into(),
+                key: "gone".into(),
+                held: false,
+                lease: None,
+                site_counts: vec![],
+            }),
+        ] {
+            assert_eq!(
+                Response::from_line(&resp.to_line()).unwrap(),
+                resp,
+                "{resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_request_without_key_is_bad_request() {
+        let err = Request::from_line(r#"{"v":1,"kind":"journal","id":"a"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("key"), "{}", err.message);
     }
 
     #[test]

@@ -23,10 +23,13 @@
 //! 5. optionally reserve the placement in the [`ClusterInventory`].
 
 use crate::cache::FingerprintCache;
+use crate::clock::{Clock, WallClock};
+use crate::federation::LeaseJournal;
 use crate::fingerprint::Fingerprint;
 use crate::inventory::ClusterInventory;
 use crate::proto::{
-    CacheTier, ErrorCode, ErrorResponse, MapRequest, MapResponse, Request, Response, StatsResponse,
+    CacheTier, ErrorCode, ErrorResponse, JournalResponse, MapRequest, MapResponse, Request,
+    Response, StatsResponse,
 };
 use baselines::{GreedyMapper, MonteCarlo, MpippMapper, RandomMapper};
 use commgraph::CommPattern;
@@ -68,6 +71,11 @@ pub struct ServiceConfig {
     /// Event tracing: the front-end opens one track per worker; the
     /// handle is also threaded into the mappers' own search spans.
     pub trace: Trace,
+    /// The clock lease expiry (inventory and journal) reads. Production
+    /// is [`WallClock`]; deterministic tests inject a
+    /// [`crate::clock::VirtualClock`] shared with the fault plan so
+    /// chaos storms can expire leases mid-scenario on schedule.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +90,7 @@ impl Default for ServiceConfig {
             default_lease_ttl: None,
             metrics: Metrics::off(),
             trace: Trace::off(),
+            clock: Arc::new(WallClock),
         }
     }
 }
@@ -176,6 +185,7 @@ pub struct MappingService {
     /// are memoized — error paths always re-derive their message.
     request_memo: FingerprintCache<(u64, u64)>,
     idempotent: FingerprintCache<Arc<IdemEntry>>,
+    journal: LeaseJournal,
     inflight: Inflight,
     last_good: Mutex<Option<LastGoodCalibration>>,
     calib_generation: AtomicU64,
@@ -195,7 +205,10 @@ impl MappingService {
     pub fn new(network: SiteNetwork, config: ServiceConfig) -> Self {
         let network_fp = Fingerprint::new().str(&netio::to_csv(&network)).finish();
         Self {
-            inventory: ClusterInventory::new(network.capacities()),
+            inventory: ClusterInventory::with_clock(
+                network.capacities(),
+                Arc::clone(&config.clock),
+            ),
             problems: FingerprintCache::new(config.problem_cache_capacity),
             results: FingerprintCache::new(config.result_cache_capacity),
             request_memo: FingerprintCache::new(
@@ -204,6 +217,7 @@ impl MappingService {
                     .max(config.problem_cache_capacity),
             ),
             idempotent: FingerprintCache::new(config.idempotency_cache_capacity),
+            journal: LeaseJournal::new(Arc::clone(&config.clock)),
             inflight: Inflight::default(),
             last_good: Mutex::new(None),
             calib_generation: AtomicU64::new(0),
@@ -236,6 +250,12 @@ impl MappingService {
         &self.inventory
     }
 
+    /// The shard-local lease journal (the federation router reconciles
+    /// through [`Request::Journal`]; tests inspect it directly).
+    pub fn journal(&self) -> &LeaseJournal {
+        &self.journal
+    }
+
     /// Ask the service to stop accepting new mapping work. In-flight
     /// and queued requests still complete (the front-end drains).
     pub fn begin_shutdown(&self) {
@@ -266,6 +286,7 @@ impl MappingService {
             }
             Request::Release { id, lease } => self.handle_release(id, *lease),
             Request::Stats { id } => Response::Stats(self.stats(id)),
+            Request::Journal { id, key } => self.handle_journal(id, key),
             Request::Shutdown { id } => {
                 self.begin_shutdown();
                 Response::Shutdown {
@@ -375,10 +396,15 @@ impl MappingService {
         // mid-solve retry can never reserve a second lease.
         let idem = m.idempotency_key.as_deref().map(|key| {
             let key_fp = Fingerprint::new().str(key).finish();
+            // The TTL is fingerprinted as (presence, value): folding
+            // absence into a sentinel value would make an explicit
+            // `lease_ttl_ms = <sentinel>` indistinguishable from "no
+            // TTL" and replay the wrong cached response.
             let request_fp = Fingerprint::new()
                 .u64(result_key)
                 .u64(m.reserve as u64)
-                .u64(m.lease_ttl_ms.unwrap_or(u64::MAX))
+                .u64(m.lease_ttl_ms.is_some() as u64)
+                .u64(m.lease_ttl_ms.unwrap_or(0))
                 .finish();
             (key_fp, request_fp)
         });
@@ -502,7 +528,15 @@ impl MappingService {
                 .map(Duration::from_millis)
                 .or(self.config.default_lease_ttl);
             match self.inventory.reserve(&site_counts, ttl) {
-                Ok(lease) => Some(lease),
+                Ok(lease) => {
+                    // Journal keyed reservations: the federation router
+                    // reconciles cross-shard retries by asking "which
+                    // lease does this key hold *here*?"
+                    if let Some(key) = m.idempotency_key.as_deref() {
+                        self.journal.record(key, lease, &site_counts);
+                    }
+                    Some(lease)
+                }
                 Err(e) => {
                     return self.reject(&m.id, ErrorCode::InsufficientNodes, e.to_string());
                 }
@@ -699,12 +733,53 @@ impl MappingService {
 
     fn handle_release(&self, id: &str, lease: u64) -> Response {
         match self.inventory.release(lease) {
-            Ok(freed) => Response::Release {
-                id: id.to_string(),
-                freed,
-                free_nodes: self.inventory.free_nodes(),
-            },
+            Ok(freed) => {
+                self.journal.forget_lease(lease);
+                Response::Release {
+                    id: id.to_string(),
+                    freed,
+                    free_nodes: self.inventory.free_nodes(),
+                }
+            }
             Err(message) => self.reject(id, ErrorCode::UnknownLease, message),
+        }
+    }
+
+    /// Answer a lease-journal lookup: does this daemon hold a *live*
+    /// lease granted under `key`? The journal remembers the grant, the
+    /// inventory decides liveness (released or TTL-expired leases
+    /// answer `held: false`, and their journal entries are evicted).
+    fn handle_journal(&self, id: &str, key: &str) -> Response {
+        let entry = self.journal.lookup(key);
+        match entry {
+            Some(e) => match self.inventory.lease_counts(e.lease) {
+                Some(site_counts) => Response::Journal(JournalResponse {
+                    id: id.to_string(),
+                    key: key.to_string(),
+                    held: true,
+                    lease: Some(e.lease),
+                    site_counts,
+                }),
+                None => {
+                    // The lease died since it was journaled (expired,
+                    // or released by lease id without a key in hand).
+                    self.journal.forget_key(key);
+                    Response::Journal(JournalResponse {
+                        id: id.to_string(),
+                        key: key.to_string(),
+                        held: false,
+                        lease: None,
+                        site_counts: Vec::new(),
+                    })
+                }
+            },
+            None => Response::Journal(JournalResponse {
+                id: id.to_string(),
+                key: key.to_string(),
+                held: false,
+                lease: None,
+                site_counts: Vec::new(),
+            }),
         }
     }
 

@@ -6,22 +6,31 @@
 //! the correct response or a *typed* retryable error — never a hang,
 //! never a duplicated lease. After every scenario the inventory must
 //! balance exactly (`free[j] + Σ leases[j] == capacity[j]`), checked in
-//! release builds through [`ClusterInventory::leased_counts`].
+//! release builds through the atomic `ClusterInventory::ledger`
+//! snapshot.
 //!
 //! The seeded retry-storm replays the same fault schedule twice on two
 //! fresh services and requires the full client-outcome sequence — the
 //! injected-fault trace and the virtual clock included — to be
 //! bit-identical. `CHAOS_SEED=n` reruns the storm on another schedule
 //! (CI's chaos-smoke job pins two).
+//!
+//! The federation section aims the same machinery at a 3-shard fleet
+//! behind a [`ShardRouter`]: a partitioned home shard whose lost
+//! attempts leave an orphaned lease, a total blackout that must settle
+//! to *zero* leases, and a seeded cross-shard storm that asserts the
+//! global invariant `Σ_shards (free + leases) == Σ_shards capacity`
+//! after every round.
 
 use commgraph::apps::AppKind;
+use geomap_service::federation::router::affinity_fingerprint;
 use geomap_service::frame::{self, Frame, FRAME_HEADER_BYTES, FRAME_MAGIC, FRAME_VERSION};
 use geomap_service::proto::{ErrorCode, Request, Response};
 use geomap_service::transport::{Fault, FaultPlan, FaultyConnector, LoopbackConnector};
 use geomap_service::wire::WireFormat;
 use geomap_service::{
-    ClientError, MapRequest, MappingServer, MappingService, PooledClient, RetryPolicy,
-    RetryingClient, ServiceClient, ServiceConfig,
+    ClientError, Clock, MapRequest, MappingServer, MappingService, PooledClient, RetryPolicy,
+    RetryingClient, ServiceClient, ServiceConfig, ShardMap, ShardRouter, VirtualClock,
 };
 use geonet::{presets, InstanceType, SiteNetwork};
 use std::sync::Arc;
@@ -85,11 +94,12 @@ fn plain_request(id: &str) -> MapRequest {
 }
 
 /// The conservation invariant, on release-build accessors: every node
-/// is either free or held by exactly one live lease.
+/// is either free or held by exactly one live lease. `ledger()` reads
+/// free and leased under one lock so TTL expiry cannot slip between
+/// the two sides of the sum.
 fn assert_conserved(svc: &MappingService, context: &str) {
     let caps = svc.inventory().capacities();
-    let free = svc.inventory().free_nodes();
-    let leased = svc.inventory().leased_counts();
+    let (free, leased) = svc.inventory().ledger();
     for j in 0..caps.len() {
         assert_eq!(
             free[j] + leased[j],
@@ -352,6 +362,10 @@ fn signature(outcome: &Result<Response, ClientError>) -> String {
             e.id,
             e.code.label(),
             e.message
+        ),
+        Ok(Response::Journal(j)) => format!(
+            "journal id={} key={} held={} lease={:?} counts={:?}",
+            j.id, j.key, j.held, j.lease, j.site_counts
         ),
         Err(e) => format!("client-error {e}"),
     }
@@ -748,4 +762,319 @@ fn pipelined_pileup_conserves_the_ledger() {
             .expect("connect");
     client.shutdown("bye").expect("shutdown");
     server.join();
+}
+
+// ------------------------------------------------- federation chaos
+
+type ChaosShard = FaultyConnector<LoopbackConnector>;
+
+/// A 3-shard federation over chaos loopbacks: one fresh service per
+/// plan, all sharing `clock` when given (so a virtual-time jump hits
+/// every shard's lease expiry at once).
+fn federation(
+    plans: &[Arc<FaultPlan>],
+    policy: RetryPolicy,
+    clock: Option<&Arc<VirtualClock>>,
+) -> (Vec<Arc<MappingService>>, ShardRouter<ChaosShard>) {
+    let services: Vec<Arc<MappingService>> = plans
+        .iter()
+        .map(|_| match clock {
+            Some(c) => Arc::new(MappingService::new(
+                network(),
+                ServiceConfig {
+                    clock: Arc::clone(c) as Arc<dyn Clock>,
+                    ..ServiceConfig::default()
+                },
+            )),
+            None => service(),
+        })
+        .collect();
+    let shards = services
+        .iter()
+        .zip(plans)
+        .enumerate()
+        .map(|(i, (svc, plan))| {
+            let connector = FaultyConnector::new(
+                LoopbackConnector::new(Arc::clone(svc)).with_format(WireFormat::V2Binary),
+                Arc::clone(plan),
+            )
+            .with_attempt_budget(Duration::from_secs(1));
+            (format!("shard-{i}"), connector)
+        })
+        .collect();
+    (services, ShardRouter::new(shards, policy))
+}
+
+/// The global invariant: per-shard conservation on an atomic ledger
+/// snapshot, plus `Σ_shards (free + leases) == Σ_shards capacity`.
+fn assert_federation_conserved(services: &[Arc<MappingService>], context: &str) {
+    let (mut total_free, mut total_leased, mut total_cap) = (0usize, 0usize, 0usize);
+    for (i, svc) in services.iter().enumerate() {
+        let caps = svc.inventory().capacities();
+        let (free, leased) = svc.inventory().ledger();
+        for j in 0..caps.len() {
+            assert_eq!(
+                free[j] + leased[j],
+                caps[j],
+                "conservation broken on shard {i} site {j} after {context}"
+            );
+        }
+        total_free += free.iter().sum::<usize>();
+        total_leased += leased.iter().sum::<usize>();
+        total_cap += caps.iter().sum::<usize>();
+    }
+    assert_eq!(
+        total_free + total_leased,
+        total_cap,
+        "global ledger broke after {context}"
+    );
+}
+
+fn federation_leases(services: &[Arc<MappingService>]) -> usize {
+    services.iter().map(|s| s.inventory().active_leases()).sum()
+}
+
+/// The headline scenario: the home shard is partitioned *after*
+/// processing — every attempt lands and reserves, every response is
+/// lost — so the retry fails over to a sibling and succeeds there. The
+/// router must notice the home's reservation state is unknown, probe
+/// its journal, and release the orphaned lease: exactly one lease in
+/// the whole federation, on the shard that actually answered.
+#[test]
+fn partitioned_home_shard_fails_over_and_reconciles_to_one_lease() {
+    let request = reserve_request("fed-partition");
+    let names = ["shard-0", "shard-1", "shard-2"];
+    let home = ShardMap::new(&names).shard_for(affinity_fingerprint(&request));
+
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let plans: Vec<Arc<FaultPlan>> = (0..names.len())
+        .map(|i| {
+            if i == home {
+                FaultPlan::script([Fault::ReadTimeout, Fault::ReadTimeout])
+            } else {
+                FaultPlan::script([])
+            }
+        })
+        .collect();
+    let (services, mut router) = federation(&plans, policy, None);
+
+    let routed = router.map(request).expect("failover must succeed");
+    assert_eq!(routed.home, home, "ring owner moved");
+    assert_ne!(
+        routed.shard, home,
+        "the partitioned home cannot have answered"
+    );
+    let Response::Map(m) = &routed.response else {
+        panic!("expected a map answer, got {:?}", routed.response);
+    };
+    let lease = m.lease.expect("reserving map grants a lease");
+    assert_eq!(router.home_answers(), 0);
+    assert_eq!(router.failovers(), 1);
+
+    // The home processed both lost attempts (idempotently: one lease)
+    // and journaled it; reconciliation inside `map` must already have
+    // probed the journal and released it.
+    assert_eq!(
+        router.pending_reconciliations(),
+        0,
+        "reconciliation left pending"
+    );
+    assert_eq!(
+        services[home].inventory().active_leases(),
+        0,
+        "home kept its orphaned lease"
+    );
+    assert!(
+        services[home].journal().is_empty(),
+        "released lease must leave the home journal"
+    );
+    assert_eq!(services[routed.shard].inventory().active_leases(), 1);
+    assert_eq!(
+        federation_leases(&services),
+        1,
+        "exactly-once broken across the federation"
+    );
+    assert_federation_conserved(&services, "partitioned home failover");
+
+    // Tear down through the router: back to a fully free federation.
+    match router.release(routed.shard, lease) {
+        Ok(Response::Release { .. }) => {}
+        other => panic!("release through the router failed: {other:?}"),
+    }
+    assert_eq!(federation_leases(&services), 0);
+    assert_federation_conserved(&services, "post-release");
+}
+
+/// Exactly-zero on total failure: every shard processes the keyed
+/// attempt and loses the response, the client runs out of shards, and
+/// the federation transiently holds three leases for one request.
+/// `reconcile` must claw back all of them.
+#[test]
+fn total_partition_reconciles_every_orphaned_lease_to_zero() {
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let plans: Vec<Arc<FaultPlan>> = (0..3)
+        .map(|_| FaultPlan::script([Fault::ReadTimeout, Fault::ReadTimeout]))
+        .collect();
+    let (services, mut router) = federation(&plans, policy, None);
+
+    let err = router
+        .map(reserve_request("fed-blackout"))
+        .expect_err("every shard was partitioned");
+    assert!(
+        matches!(err, ClientError::Retryable { .. }),
+        "keyed reserving maps must stay retryable, got {err:?}"
+    );
+
+    // Every shard processed a lost attempt: three orphans, all queued.
+    assert_eq!(federation_leases(&services), 3);
+    assert_eq!(router.pending_reconciliations(), 3);
+    assert_federation_conserved(&services, "blackout (pre-reconcile)");
+
+    // The partition "heals" (the scripts are exhausted): one reconcile
+    // round releases all three orphans.
+    assert_eq!(router.reconcile(), 3, "all three orphans must be released");
+    assert_eq!(router.pending_reconciliations(), 0);
+    assert_eq!(
+        federation_leases(&services),
+        0,
+        "exactly-zero broken: a failed request left a lease behind"
+    );
+    assert_federation_conserved(&services, "blackout (post-reconcile)");
+}
+
+/// One cross-shard storm: 12 keyed reserving rounds through per-shard
+/// seeded fault schedules, reconciling to quiescence and asserting the
+/// global invariant after every round. A mid-storm virtual-time jump
+/// expires every TTL'd lease in place on all shards at once. Returns
+/// the outcome signatures and per-shard injected-fault traces.
+fn run_federated_storm(seed: u64) -> (Vec<String>, Vec<Vec<&'static str>>) {
+    let clock = Arc::new(VirtualClock::new());
+    let plans: Vec<Arc<FaultPlan>> = (0..3)
+        .map(|i| FaultPlan::seeded(seed.wrapping_add(i as u64), 48, 0.5))
+        .collect();
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        seed: seed ^ 0xFEED,
+        ..RetryPolicy::default()
+    };
+    let (services, mut router) = federation(&plans, policy, Some(&clock));
+
+    let mut outcomes = Vec::new();
+    let mut granted: Vec<(usize, u64)> = Vec::new();
+    for round in 0..12u32 {
+        let ranks = [2usize, 4, 8][(round % 3) as usize];
+        let mut request = MapRequest {
+            ranks: Some(ranks),
+            reserve: true,
+            ..MapRequest::new(format!("fedstorm-{round}"), pattern_csv(ranks))
+        };
+        if round % 2 == 0 {
+            request.lease_ttl_ms = Some(5_000);
+        }
+        match router.map(request) {
+            Ok(routed) => {
+                if let Response::Map(m) = &routed.response {
+                    if let Some(lease) = m.lease {
+                        granted.push((routed.shard, lease));
+                        // Exactly-once, checked at the journals: the
+                        // answering shard is the only one holding a
+                        // *live* lease under this round's key.
+                        let key = routed.key.as_deref().expect("reserving rides a key");
+                        let holders: Vec<usize> = services
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| {
+                                s.journal()
+                                    .lookup(key)
+                                    .is_some_and(|e| s.inventory().lease_counts(e.lease).is_some())
+                            })
+                            .map(|(i, _)| i)
+                            .collect();
+                        assert_eq!(
+                            holders,
+                            vec![routed.shard],
+                            "round {round}: live lease holders diverged from the answer"
+                        );
+                    }
+                }
+                outcomes.push(format!(
+                    "shard={} home={} {}",
+                    routed.shard,
+                    routed.home,
+                    signature(&Ok(routed.response))
+                ));
+            }
+            Err(e) => outcomes.push(signature(&Err(e))),
+        }
+        if round == 5 {
+            // Jump past every TTL: leases expire in place, on every
+            // shard at once, mid-reconciliation-debt.
+            clock.advance_ms(10_000);
+        }
+        let mut spins = 0;
+        while router.pending_reconciliations() > 0 {
+            router.reconcile();
+            spins += 1;
+            assert!(spins < 64, "round {round}: reconciliation never settled");
+        }
+        assert_federation_conserved(&services, &format!("federated storm round {round}"));
+        clock.advance_ms(10);
+    }
+
+    // Drain: release everything granted (expired leases settle as
+    // unknown_lease responses; unreachable shards are retried until the
+    // finite fault schedules run dry).
+    for (shard, lease) in granted {
+        let mut attempts = 0;
+        loop {
+            match router.release(shard, lease) {
+                Ok(_) => break,
+                Err(_) => {
+                    attempts += 1;
+                    assert!(attempts < 16, "release of lease {lease} never settled");
+                }
+            }
+        }
+    }
+    let mut spins = 0;
+    while router.pending_reconciliations() > 0 {
+        router.reconcile();
+        spins += 1;
+        assert!(spins < 64, "post-storm reconciliation never settled");
+    }
+    for (i, svc) in services.iter().enumerate() {
+        assert_eq!(
+            svc.inventory().active_leases(),
+            0,
+            "shard {i} still holds leases after the drain"
+        );
+        assert_eq!(
+            svc.inventory().free_nodes(),
+            svc.inventory().capacities(),
+            "shard {i} did not return to fully free"
+        );
+    }
+    let injected = plans.iter().map(|p| p.injected()).collect();
+    (outcomes, injected)
+}
+
+#[test]
+fn federated_storm_conserves_and_replays_bit_identically() {
+    let seed = chaos_seed();
+    let (outcomes_a, injected_a) = run_federated_storm(seed);
+    let (outcomes_b, injected_b) = run_federated_storm(seed);
+    assert_eq!(
+        injected_a, injected_b,
+        "per-shard fault schedules diverged for seed {seed:#x}"
+    );
+    assert_eq!(outcomes_a.len(), outcomes_b.len());
+    for (i, (a, b)) in outcomes_a.iter().zip(&outcomes_b).enumerate() {
+        assert_eq!(a, b, "federated outcome {i} diverged for seed {seed:#x}");
+    }
 }

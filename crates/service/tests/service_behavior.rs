@@ -316,6 +316,149 @@ fn idempotent_retry_replays_the_same_lease_verbatim() {
     }
 }
 
+/// Regression (TTL sentinel collision): the request fingerprint used
+/// to fold `lease_ttl_ms: None` into a `u64::MAX` sentinel, so a key
+/// reused with an explicit `lease_ttl_ms: Some(u64::MAX)` — a
+/// *different* request — collided with the no-TTL original and
+/// replayed its response instead of being refused. Presence is now
+/// fingerprinted as its own discriminant, so every (None vs Some(v))
+/// pair is distinct, including the old sentinel and Some(0).
+#[test]
+fn ttl_presence_is_part_of_the_idempotent_request_identity() {
+    let svc = service();
+    let no_ttl = MapRequest {
+        ranks: Some(4),
+        reserve: true,
+        idempotency_key: Some("client-c/op-3".into()),
+        ..MapRequest::new("no-ttl", pattern_csv(4))
+    };
+    let first = svc.handle(&Request::Map(no_ttl.clone()));
+    assert!(matches!(first, Response::Map(_)), "{first:?}");
+
+    for ttl in [u64::MAX, 0] {
+        let reused = MapRequest {
+            id: format!("ttl-{ttl}"),
+            lease_ttl_ms: Some(ttl),
+            ..no_ttl.clone()
+        };
+        match svc.handle(&Request::Map(reused)) {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::BadRequest, "ttl {ttl}");
+                assert!(e.message.contains("idempotency"), "ttl {ttl}: {e:?}");
+            }
+            other => panic!("Some({ttl}) collided with None: replayed {other:?}"),
+        }
+    }
+
+    // A genuine retry — TTL field bit-identical — still replays.
+    let retry = MapRequest {
+        id: "no-ttl-retry".into(),
+        ..no_ttl
+    };
+    assert_eq!(svc.handle(&Request::Map(retry)), first);
+    assert_eq!(svc.inventory().active_leases(), 1);
+}
+
+// ---------------------------------------------------- lease journal
+
+/// The `journal` request is the federation router's reconciliation
+/// probe: "which lease does this idempotency key hold *here*?" It must
+/// answer held=true with the live lease, flip to held=false once the
+/// lease is released (or was never granted), and lazily evict stale
+/// journal entries on lookup.
+#[test]
+fn journal_requests_report_and_evict_keyed_leases() {
+    let svc = service();
+    let probe = |id: &str, key: &str| {
+        svc.handle(&Request::Journal {
+            id: id.into(),
+            key: key.into(),
+        })
+    };
+
+    // No reservation yet: definitively not held.
+    match probe("j0", "fed-key") {
+        Response::Journal(j) => {
+            assert!(!j.held);
+            assert_eq!(j.lease, None);
+        }
+        other => panic!("expected journal response, got {other:?}"),
+    }
+
+    let req = MapRequest {
+        ranks: Some(4),
+        reserve: true,
+        idempotency_key: Some("fed-key".into()),
+        ..MapRequest::new("keyed", pattern_csv(4))
+    };
+    let Response::Map(m) = svc.handle(&Request::Map(req)) else {
+        panic!("reserving request failed");
+    };
+    let lease = m.lease.expect("reservation grants a lease");
+
+    // Held, with the live lease and its current site counts.
+    match probe("j1", "fed-key") {
+        Response::Journal(j) => {
+            assert!(j.held);
+            assert_eq!(j.lease, Some(lease));
+            assert_eq!(j.site_counts, m.site_counts);
+            assert_eq!(j.key, "fed-key");
+        }
+        other => panic!("expected journal response, got {other:?}"),
+    }
+
+    // Release through the normal path: the journal entry goes with it.
+    match svc.handle(&Request::Release {
+        id: "rel".into(),
+        lease,
+    }) {
+        Response::Release { .. } => {}
+        other => panic!("release failed: {other:?}"),
+    }
+    assert!(svc.journal().is_empty(), "release must clear the journal");
+    match probe("j2", "fed-key") {
+        Response::Journal(j) => assert!(!j.held),
+        other => panic!("expected journal response, got {other:?}"),
+    }
+}
+
+/// A journaled lease whose TTL ran out is not held — and the lookup
+/// itself evicts the stale entry (the inventory decides liveness, the
+/// journal only remembers grants).
+#[test]
+fn journal_lookup_evicts_expired_leases() {
+    use geomap_service::{Clock, VirtualClock};
+    use std::sync::Arc;
+    let clock = Arc::new(VirtualClock::new());
+    let svc = MappingService::new(
+        network(),
+        ServiceConfig {
+            clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            ..ServiceConfig::default()
+        },
+    );
+    let req = MapRequest {
+        ranks: Some(4),
+        reserve: true,
+        lease_ttl_ms: Some(50),
+        idempotency_key: Some("ttl-key".into()),
+        ..MapRequest::new("keyed", pattern_csv(4))
+    };
+    assert!(matches!(svc.handle(&Request::Map(req)), Response::Map(_)));
+    assert_eq!(svc.journal().len(), 1);
+
+    clock.advance_ms(50);
+    match svc.handle(&Request::Journal {
+        id: "j".into(),
+        key: "ttl-key".into(),
+    }) {
+        Response::Journal(j) => assert!(!j.held, "expired lease reported held"),
+        other => panic!("expected journal response, got {other:?}"),
+    }
+    assert!(svc.journal().is_empty(), "stale entry must be evicted");
+    assert_eq!(svc.inventory().active_leases(), 0);
+}
+
 /// Regression (check-then-act replay): a duplicate that arrives while
 /// the original keyed request is still solving must not miss the replay
 /// cache and reserve a second lease. Single-flight admission parks it

@@ -83,13 +83,28 @@ impl LeaseJournal {
         entries.retain(|_, e| e.lease != lease);
     }
 
-    /// Drop the entry for `key`, if any (lazy eviction when a lookup
-    /// finds the lease expired).
+    /// Drop the entry for `key`, if any.
     pub fn forget_key(&self, key: &str) {
         self.entries
             .lock()
             .expect("journal lock")
             .remove(&Self::key_fp(key));
+    }
+
+    /// Drop the entry for `key` only if it still records `lease`. This
+    /// is the lazy-eviction form: between a lookup finding `lease` dead
+    /// and the eviction, a concurrent keyed re-reserve may have
+    /// journaled a fresh live lease under the same key — an
+    /// unconditional [`LeaseJournal::forget_key`] would delete that new
+    /// entry and hide a live lease from every future journal probe.
+    pub fn forget_if(&self, key: &str, lease: u64) {
+        use std::collections::hash_map::Entry;
+        let mut entries = self.entries.lock().expect("journal lock");
+        if let Entry::Occupied(e) = entries.entry(Self::key_fp(key)) {
+            if e.get().lease == lease {
+                e.remove();
+            }
+        }
     }
 
     /// The journaled reservation for `key`, if one was recorded. The
@@ -147,6 +162,21 @@ mod tests {
         assert!(j.lookup("a").is_none());
         assert_eq!(j.lookup("b").unwrap().lease, 2);
         assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn forget_if_only_evicts_the_matching_lease() {
+        let j = journal();
+        j.record("k", 1, &[1]);
+        // A stale eviction (decided against lease 2 that was already
+        // replaced) must not delete the current entry…
+        j.forget_if("k", 2);
+        assert_eq!(j.lookup("k").unwrap().lease, 1);
+        // …while a matching one evicts it, and a missing key is a no-op.
+        j.forget_if("k", 1);
+        assert!(j.lookup("k").is_none());
+        j.forget_if("absent", 1);
+        assert!(j.is_empty());
     }
 
     #[test]

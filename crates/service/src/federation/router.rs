@@ -189,8 +189,16 @@ impl<C: Connector> ShardRouter<C> {
                     // Every ambiguously-failed shard along the way may
                     // hold a journaled lease for this key; the shard
                     // that just answered definitively is the one shard
-                    // whose lease (if any) is legitimate.
+                    // whose lease (if any) is legitimate. That shard
+                    // may also appear in the queue from an *earlier*,
+                    // fully-failed attempt under the same key — and a
+                    // keyed replay hands back the same journaled lease,
+                    // so that stale entry now names the lease the
+                    // caller just received. Purge it before
+                    // reconciling, or reconcile would release a live,
+                    // client-held lease.
                     if let Some(key) = &key {
+                        self.pending.retain(|(s, k)| *s != shard || k != key);
                         for other in ambiguous.into_iter().filter(|&s| s != shard) {
                             self.pending.push((other, key.clone()));
                         }

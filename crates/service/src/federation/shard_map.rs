@@ -74,7 +74,9 @@ impl ShardMap {
         self.names.len()
     }
 
-    /// True when the ring has exactly one shard (no failover exists).
+    /// True when the shard list is empty — unreachable by construction
+    /// (the constructor asserts at least one shard), present so `len`
+    /// satisfies `clippy::len_without_is_empty`.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }

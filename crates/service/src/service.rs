@@ -763,7 +763,11 @@ impl MappingService {
                 None => {
                     // The lease died since it was journaled (expired,
                     // or released by lease id without a key in hand).
-                    self.journal.forget_key(key);
+                    // Evict conditionally: a concurrent keyed
+                    // re-reserve may have journaled a fresh live lease
+                    // under this key since the lookup above, and that
+                    // entry must stay findable.
+                    self.journal.forget_if(key, e.lease);
                     Response::Journal(JournalResponse {
                         id: id.to_string(),
                         key: key.to_string(),

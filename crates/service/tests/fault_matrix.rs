@@ -908,6 +908,69 @@ fn partitioned_home_shard_fails_over_and_reconciles_to_one_lease() {
     assert_federation_conserved(&services, "post-release");
 }
 
+/// Regression: a stale pending entry from an earlier, fully-failed
+/// attempt must not release the lease a same-key retry later wins.
+/// Round one is a total blackout — every shard journals an orphaned
+/// lease and all three `(shard, key)` pairs queue for reconciliation.
+/// The partition heals and the client retries under the same key; the
+/// answering shard idempotently replays the very lease its stale queue
+/// entry points at. The router must purge that entry instead of
+/// reconciling it, or the client would be handed an already-released
+/// lease and its nodes could be double-reserved.
+#[test]
+fn same_key_retry_after_blackout_keeps_the_winning_lease() {
+    let mut request = reserve_request("fed-stale-pending");
+    request.idempotency_key = Some("stale-pending-key".into());
+    let names = ["shard-0", "shard-1", "shard-2"];
+    let home = ShardMap::new(&names).shard_for(affinity_fingerprint(&request));
+
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
+    let plans: Vec<Arc<FaultPlan>> = (0..3)
+        .map(|_| FaultPlan::script([Fault::ReadTimeout, Fault::ReadTimeout]))
+        .collect();
+    let (services, mut router) = federation(&plans, policy, None);
+
+    router
+        .map(request.clone())
+        .expect_err("the blackout round must fail on every shard");
+    assert_eq!(federation_leases(&services), 3);
+    assert_eq!(router.pending_reconciliations(), 3);
+    assert_federation_conserved(&services, "stale-pending blackout");
+
+    // The partition heals (scripts exhausted); the same keyed request
+    // retries and the home answers by replaying its journaled lease.
+    let routed = router.map(request).expect("the healed retry must succeed");
+    assert_eq!(routed.shard, home, "the healed home answers its own key");
+    let Response::Map(m) = &routed.response else {
+        panic!("expected a map answer, got {:?}", routed.response);
+    };
+    let lease = m.lease.expect("reserving map grants a lease");
+
+    // The winner's lease stays live; only the two sibling orphans were
+    // reconciled away.
+    assert_eq!(router.pending_reconciliations(), 0);
+    assert!(
+        services[home].inventory().lease_counts(lease).is_some(),
+        "reconciliation released the lease the client now holds"
+    );
+    assert_eq!(services[home].inventory().active_leases(), 1);
+    assert_eq!(
+        federation_leases(&services),
+        1,
+        "exactly-once broken: expected only the client-held lease to survive"
+    );
+    assert_federation_conserved(&services, "same-key retry after blackout");
+
+    match router.release(routed.shard, lease) {
+        Ok(Response::Release { .. }) => {}
+        other => panic!("release through the router failed: {other:?}"),
+    }
+    assert_eq!(federation_leases(&services), 0);
+}
+
 /// Exactly-zero on total failure: every shard processes the keyed
 /// attempt and loses the response, the client runs out of shards, and
 /// the federation transiently holds three leases for one request.

@@ -472,8 +472,44 @@ fn run() -> Result<String, String> {
 
     let mut shutdown = ServiceClient::connect(&addr, Some(Duration::from_secs(10)))?;
     shutdown.shutdown("load-gen")?;
-    let stats = server.service().stats("load-gen");
+    // Detailed stats carry the server-side latency histograms — the
+    // daemon's own measurement of the same phases, immune to client
+    // scheduling noise and exact under bucket-wise merging.
+    let stats = server.service().stats("load-gen", true);
     server.join();
+    let server_hists: Vec<Json> = stats
+        .detail
+        .as_ref()
+        .map(|d| {
+            d.hists
+                .iter()
+                .filter(|h| h.count > 0)
+                .map(|h| {
+                    obj(vec![
+                        ("name", Json::Str(h.name.clone())),
+                        ("count", Json::Num(h.count as f64)),
+                        ("p50_ms", Json::Num(h.p50_us as f64 / 1e3)),
+                        ("p90_ms", Json::Num(h.p90_us as f64 / 1e3)),
+                        ("p99_ms", Json::Num(h.p99_us as f64 / 1e3)),
+                        ("p999_ms", Json::Num(h.p999_us as f64 / 1e3)),
+                        ("mean_ms", Json::Num(h.sum_us as f64 / h.count as f64 / 1e3)),
+                    ])
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if let Some(e2e) = stats
+        .detail
+        .as_ref()
+        .and_then(|d| d.hists.iter().find(|h| h.name == "map_e2e"))
+    {
+        eprintln!(
+            "  server-side: map e2e p50 {:.2} ms p99 {:.2} ms over {} requests (histogram read-back)",
+            e2e.p50_us as f64 / 1e3,
+            e2e.p99_us as f64 / 1e3,
+            e2e.count,
+        );
+    }
 
     let miss_p50 = percentile(&miss.latencies_ms, 0.5);
     let result_p50 = percentile(&result.latencies_ms, 0.5);
@@ -543,6 +579,10 @@ fn run() -> Result<String, String> {
                 ("rejected", Json::Num(stats.rejected as f64)),
             ]),
         ),
+        // Server-side histogram read-back (µs-bucketed, per request
+        // kind): the daemon's own latency record, kept alongside the
+        // client-observed per-phase percentiles above.
+        ("server_hists", Json::Arr(server_hists)),
     ]);
     std::fs::write(&cfg.out, format!("{}\n", doc.emit()))
         .map_err(|e| format!("cannot write {:?}: {e}", cfg.out))?;

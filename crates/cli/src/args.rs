@@ -10,8 +10,16 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 6] = [
-    "heatmap", "simulate", "reserve", "stats", "shutdown", "no-cache",
+const SWITCHES: [&str; 9] = [
+    "heatmap",
+    "simulate",
+    "reserve",
+    "stats",
+    "shutdown",
+    "no-cache",
+    "detail",
+    "prometheus",
+    "trace-dump",
 ];
 
 impl Args {

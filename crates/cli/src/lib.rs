@@ -24,6 +24,7 @@
 pub mod args;
 pub mod commands;
 pub mod files;
+pub mod observe_cmd;
 pub mod service_cmd;
 
 use args::Args;
@@ -45,6 +46,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "serve" => service_cmd::serve(&args),
         "request" => service_cmd::request(&args),
         "federate" => service_cmd::federate(&args),
+        "stats" => observe_cmd::stats(&args),
+        "observe" => observe_cmd::observe(&args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -80,7 +83,7 @@ commands:
   serve     --network FILE [--addr HOST:PORT] [--addr-file FILE]
             [--workers N] [--queue N] [--problem-cache N] [--result-cache N]
             [--idem-cache N] [--deadline-ms T] [--lease-ttl-ms T]
-            [--metrics FILE] [--trace FILE]
+            [--metrics FILE] [--trace FILE] [--trace-ring CAP]
             run the mapping daemon (JSON-lines over TCP) until a client
             sends shutdown; drains the queue, then exits 0
   federate  --network FILE [--shards N] [--requests K] [--ranks R]
@@ -90,12 +93,25 @@ commands:
             cache affinity, reserve/release keyed leases through the
             reconciling router, and verify every shard's ledger
             returns to full capacity (exits non-zero otherwise)
+  stats     --addr HOST:PORT[,HOST:PORT,..] [--prometheus] [--timeout-ms T]
+            scatter-gather detailed counters from one or more daemons,
+            merge the latency histograms bucket-wise (exact — never
+            percentile averaging), and print the merged stats JSON line
+            or a Prometheus text exposition
+  observe   --network FILE --out TRACE.json [--prom-out FILE] [--shards N]
+            [--ranks R] [--requests K] [--ring N] [--timeout-ms T]
+            capture a fleet timeline: run an N-daemon loopback
+            federation with per-daemon trace rings, drive one traced
+            request through the router (trace id propagated over the
+            wire), dump every ring via TraceDump, align clocks by
+            handshake offset, and merge everything into one
+            Chrome/Perfetto trace-event JSON
   request   --addr HOST:PORT (--pattern FILE [--ranks N] [--constraints FILE]
             [--algorithm A] [--seed S] [--kappa K] [--samples K]
             [--calib-days D] [--calib-probes P] [--calib-noise CV]
             [--calib-loss P] [--calib-seed S] [--deadline-ms T] [--reserve]
             [--lease-ttl-ms T] [--no-cache] [--idem KEY] [--out FILE]
-            | --stats | --shutdown | --release LEASE)
+            | --stats [--detail] | --trace-dump | --shutdown | --release LEASE)
             [--id ID] [--timeout-ms T] [--retries N] [--backoff-ms T]
             send one request to a running daemon; prints the raw JSON
             response line, exits non-zero on any rejection; --retries

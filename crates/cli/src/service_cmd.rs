@@ -18,7 +18,7 @@
 
 use crate::args::Args;
 use crate::files;
-use geomap_core::{JsonLinesSink, Metrics, StreamingSink, Trace};
+use geomap_core::{JsonLinesSink, Metrics, RingBufferSink, StreamingSink, Trace};
 use geomap_service::proto::{CalibSpec, Response};
 use geomap_service::{
     FederatedPool, MapRequest, MappingServer, MappingService, PooledClient, Request, RetryPolicy,
@@ -39,15 +39,31 @@ pub fn serve(args: &Args) -> Result<String, String> {
                 .map_err(|e| format!("cannot create metrics file {path:?}: {e}"))?,
         )),
     };
-    let trace = match args.optional("trace") {
-        None => Trace::off(),
-        Some(path) => {
-            let file = std::fs::File::create(path)
-                .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
-            Trace::new(Arc::new(StreamingSink::from_writer(
-                std::io::BufWriter::new(file),
-            )))
+    // --trace-ring CAP keeps the newest CAP events in memory and
+    // answers TraceDump requests (the fleet-timeline collector);
+    // --trace FILE streams every event to disk. Ring wins when both
+    // are given — a dumpable daemon is what `observe` needs.
+    let (trace, trace_ring) = match args.optional("trace-ring") {
+        Some(cap) => {
+            let cap: usize = cap
+                .parse()
+                .map_err(|e| format!("--trace-ring {cap:?}: {e}"))?;
+            let ring = Arc::new(RingBufferSink::new(cap.max(1)));
+            (Trace::new(ring.clone()), Some(ring))
         }
+        None => match args.optional("trace") {
+            None => (Trace::off(), None),
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
+                (
+                    Trace::new(Arc::new(StreamingSink::from_writer(
+                        std::io::BufWriter::new(file),
+                    ))),
+                    None,
+                )
+            }
+        },
     };
     let config = ServiceConfig {
         workers: args.parsed_or("workers", defaults.workers)?,
@@ -74,6 +90,8 @@ pub fn serve(args: &Args) -> Result<String, String> {
             .map(Duration::from_millis),
         metrics,
         trace,
+        trace_ring,
+        record_hists: defaults.record_hists,
         clock: defaults.clock,
     };
     let summary = network.summary();
@@ -90,7 +108,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
     while !server.service().is_shutting_down() {
         std::thread::sleep(Duration::from_millis(50));
     }
-    let stats = server.service().stats("serve-exit");
+    let stats = server.service().stats("serve-exit", false);
     server.join();
     Ok(format!(
         "served {} on {bound} until shutdown: {} mapped ({} result hits, {} problem hits, {} misses), {} rejected, {} leases still active\n",
@@ -286,8 +304,13 @@ pub fn request(args: &Args) -> Result<String, String> {
     let timeout = Duration::from_millis(args.parsed_or("timeout-ms", 60_000u64)?);
     let id = args.optional("id").unwrap_or("cli").to_string();
 
-    let request = if args.switch("stats") {
-        Request::Stats { id }
+    let request = if args.switch("stats") || args.switch("detail") {
+        Request::Stats {
+            id,
+            detail: args.switch("detail"),
+        }
+    } else if args.switch("trace-dump") {
+        Request::TraceDump { id }
     } else if args.switch("shutdown") {
         Request::Shutdown { id }
     } else if let Some(lease) = args.optional("release") {

@@ -104,7 +104,23 @@ impl ServiceClient {
 
     /// Shorthand: fetch server counters.
     pub fn stats(&mut self, id: &str) -> Result<Response, String> {
-        self.send(&Request::Stats { id: id.to_string() })
+        self.send(&Request::Stats {
+            id: id.to_string(),
+            detail: false,
+        })
+    }
+
+    /// Shorthand: fetch server counters with histogram/queue detail.
+    pub fn stats_detailed(&mut self, id: &str) -> Result<Response, String> {
+        self.send(&Request::Stats {
+            id: id.to_string(),
+            detail: true,
+        })
+    }
+
+    /// Shorthand: dump the daemon's trace ring.
+    pub fn trace_dump(&mut self, id: &str) -> Result<Response, String> {
+        self.send(&Request::TraceDump { id: id.to_string() })
     }
 
     /// Shorthand: ask the daemon to drain and exit.
@@ -257,7 +273,10 @@ impl<C: Connector> RetryingClient<C> {
 
     /// Shorthand: fetch server counters (read-only, always retry-safe).
     pub fn stats(&mut self, id: &str) -> Result<Response, ClientError> {
-        self.send(&Request::Stats { id: id.to_string() })
+        self.send(&Request::Stats {
+            id: id.to_string(),
+            detail: false,
+        })
     }
 
     /// Send one request with retries. Returns the server's response —

@@ -39,5 +39,5 @@ pub mod router;
 pub mod shard_map;
 
 pub use journal::{JournalEntry, LeaseJournal};
-pub use router::{FederatedPool, RoutedResponse, ShardRouter};
+pub use router::{merge_stats, FederatedPool, RoutedResponse, ShardRouter};
 pub use shard_map::ShardMap;

@@ -19,9 +19,11 @@
 
 use crate::client::{ClientError, PooledClient, RetryPolicy, RetryingClient};
 use crate::fingerprint::Fingerprint;
-use crate::proto::{MapRequest, Request, Response, StatsResponse};
+use crate::hist::Histogram;
+use crate::proto::{HistSummary, MapRequest, Request, Response, StatsDetail, StatsResponse};
 use crate::transport::Connector;
 use crate::wire::WireFormat;
+use geomap_core::{Trace, TrackId};
 use std::time::Duration;
 
 use super::shard_map::ShardMap;
@@ -85,6 +87,8 @@ pub struct ShardRouter<C: Connector> {
     next_id: u64,
     home_answers: u64,
     failovers: u64,
+    trace: Trace,
+    track: TrackId,
 }
 
 impl<C: Connector> ShardRouter<C> {
@@ -119,7 +123,16 @@ impl<C: Connector> ShardRouter<C> {
             next_id: 0,
             home_answers: 0,
             failovers: 0,
+            trace: Trace::off(),
+            track: TrackId::DISABLED,
         }
+    }
+
+    /// Record routing, failover and reconcile spans on a `router` track
+    /// of `trace` (the fleet-timeline collector's own ring, usually).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.track = trace.track("router", "router");
+        self.trace = trace;
     }
 
     /// The shard map (tests assert routing against it).
@@ -176,9 +189,30 @@ impl<C: Connector> ShardRouter<C> {
         let key = request.idempotency_key.clone();
         let home = self.home_for(&request);
         let order = self.map.preference(affinity_fingerprint(&request));
+        self.trace.span_begin(self.track, "route", self.trace.now());
+        if let Some(t) = request.trace.filter(|t| t.sampled) {
+            #[allow(clippy::cast_precision_loss)] // trace ids are 53-bit
+            self.trace
+                .counter(self.track, "trace", self.trace.now(), t.trace_id as f64);
+        }
+        let out = self.map_inner(request, home, order, key);
+        self.trace.span_end(self.track, "route", self.trace.now());
+        out
+    }
+
+    fn map_inner(
+        &mut self,
+        request: MapRequest,
+        home: usize,
+        order: Vec<usize>,
+        key: Option<String>,
+    ) -> Result<RoutedResponse, ClientError> {
         let mut ambiguous: Vec<usize> = Vec::new();
         let mut last_error = None;
         for shard in order {
+            if shard != home {
+                self.trace.instant(self.track, "failover", self.trace.now());
+            }
             match self.shards[shard].client.map(request.clone()) {
                 Ok(response) => {
                     if shard == home {
@@ -238,6 +272,10 @@ impl<C: Connector> ShardRouter<C> {
     /// unreachable keep their entries queued for the next call — the
     /// queue only shrinks on definitive answers.
     pub fn reconcile(&mut self) -> usize {
+        if !self.pending.is_empty() {
+            self.trace
+                .instant(self.track, "reconcile", self.trace.now());
+        }
         let pending = std::mem::take(&mut self.pending);
         let mut released = 0;
         for (shard, key) in pending {
@@ -275,10 +313,16 @@ impl<C: Connector> ShardRouter<C> {
 
     /// Scatter-gather the `stats` of every shard, in shard order.
     pub fn stats(&mut self) -> Result<Vec<StatsResponse>, ClientError> {
+        self.stats_with_detail(false)
+    }
+
+    /// Scatter-gather per-shard stats, optionally with histogram/queue
+    /// detail (merge with [`merge_stats`] for the fleet view).
+    pub fn stats_with_detail(&mut self, detail: bool) -> Result<Vec<StatsResponse>, ClientError> {
         let mut all = Vec::with_capacity(self.shards.len());
         for i in 0..self.shards.len() {
             let id = self.generate_id("stats");
-            match self.shards[i].client.stats(&id)? {
+            match self.shards[i].client.send(&Request::Stats { id, detail })? {
                 Response::Stats(s) => all.push(s),
                 other => {
                     return Err(ClientError::Fatal(format!(
@@ -289,6 +333,11 @@ impl<C: Connector> ShardRouter<C> {
             }
         }
         Ok(all)
+    }
+
+    /// One aggregated view over every shard (see [`merge_stats`]).
+    pub fn merged_stats(&mut self) -> Result<StatsResponse, ClientError> {
+        Ok(merge_stats(&self.stats_with_detail(true)?))
     }
 
     /// Release a lease on a specific shard (the one named by a
@@ -308,6 +357,79 @@ impl<C: Connector> std::fmt::Debug for ShardRouter<C> {
             .field("failovers", &self.failovers)
             .finish()
     }
+}
+
+/// Element-wise sum, padding the shorter side with zeros (shards may
+/// front clusters with different site counts).
+fn add_sites(into: &mut Vec<usize>, other: &[usize]) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (a, b) in into.iter_mut().zip(other) {
+        *a += b;
+    }
+}
+
+/// Merge per-shard stats into one federation-wide view: counters sum
+/// (`replays` included — a shard-level replay is a federation-level
+/// replay), per-site inventories sum element-wise, queue depths sum
+/// while the high-water mark takes the max, and latency histograms
+/// merge **bucket-wise under the shared schema** — percentiles are
+/// recomputed from the merged buckets, never averaged, so the fleet
+/// p99 is exactly the p99 of the union of every shard's samples (to
+/// bucket resolution). Shards without detail contribute counters only.
+pub fn merge_stats(all: &[StatsResponse]) -> StatsResponse {
+    let mut merged = StatsResponse {
+        id: "merged".to_string(),
+        ..StatsResponse::default()
+    };
+    let mut free_nodes = Vec::new();
+    let mut leased_nodes = Vec::new();
+    let mut hists: Vec<(String, Histogram)> = Vec::new();
+    let mut queue_depth = 0u64;
+    let mut max_queue_depth = 0u64;
+    let mut hist_schema = 0u64;
+    let mut shards = 0u64;
+    let mut any_detail = false;
+    for s in all {
+        merged.served += s.served;
+        merged.result_hits += s.result_hits;
+        merged.problem_hits += s.problem_hits;
+        merged.misses += s.misses;
+        merged.rejected += s.rejected;
+        merged.replays += s.replays;
+        merged.active_leases += s.active_leases;
+        add_sites(&mut free_nodes, &s.free_nodes);
+        let Some(d) = &s.detail else { continue };
+        any_detail = true;
+        hist_schema = d.hist_schema;
+        queue_depth += d.queue_depth;
+        max_queue_depth = max_queue_depth.max(d.max_queue_depth);
+        shards += d.shards;
+        add_sites(&mut leased_nodes, &d.leased_nodes);
+        for h in &d.hists {
+            let incoming = h.to_histogram().unwrap_or_default();
+            match hists.iter_mut().find(|(name, _)| *name == h.name) {
+                Some((_, merged)) => merged.merge(&incoming),
+                None => hists.push((h.name.clone(), incoming)),
+            }
+        }
+    }
+    merged.free_nodes = free_nodes;
+    if any_detail {
+        merged.detail = Some(StatsDetail {
+            hist_schema,
+            queue_depth,
+            max_queue_depth,
+            leased_nodes,
+            hists: hists
+                .iter()
+                .map(|(name, h)| HistSummary::from_histogram(name, h))
+                .collect(),
+            shards,
+        });
+    }
+    merged
 }
 
 /// The federation's throughput client: per-shard [`PooledClient`]s
@@ -378,16 +500,27 @@ impl FederatedPool {
 
     /// Scatter-gather every shard's stats, in shard order.
     pub fn stats(&mut self) -> Result<Vec<StatsResponse>, String> {
+        self.stats_with_detail(false)
+    }
+
+    /// Scatter-gather per-shard stats, optionally with histogram/queue
+    /// detail (merge with [`merge_stats`] for the fleet view).
+    pub fn stats_with_detail(&mut self, detail: bool) -> Result<Vec<StatsResponse>, String> {
         let mut all = Vec::with_capacity(self.pools.len());
         for (shard, pool) in self.pools.iter_mut().enumerate() {
             let id = format!("fedpool-stats-{shard}");
-            let mut answers = pool.pipeline(&[Request::Stats { id }])?;
+            let mut answers = pool.pipeline(&[Request::Stats { id, detail }])?;
             match answers.pop() {
                 Some(Response::Stats(s)) => all.push(s),
                 other => return Err(format!("shard {shard} answered stats with {other:?}")),
             }
         }
         Ok(all)
+    }
+
+    /// One aggregated view over every shard (see [`merge_stats`]).
+    pub fn merged_stats(&mut self) -> Result<StatsResponse, String> {
+        Ok(merge_stats(&self.stats_with_detail(true)?))
     }
 
     /// Ask every shard to shut down (test/bench teardown).

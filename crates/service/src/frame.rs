@@ -39,8 +39,9 @@
 #![deny(clippy::cast_possible_truncation)]
 
 use crate::proto::{
-    CacheTier, CalibSpec, ErrorCode, ErrorResponse, JournalResponse, MapRequest, MapResponse,
-    Request, Response, StatsResponse,
+    CacheTier, CalibSpec, ErrorCode, ErrorResponse, HistSummary, JournalResponse, MapRequest,
+    MapResponse, Request, Response, StatsDetail, StatsResponse, TraceContext, TraceDumpResponse,
+    WireTraceEvent, WireTrack,
 };
 
 /// First byte of every v2 frame; never the first byte of UTF-8 JSON.
@@ -266,6 +267,10 @@ impl Writer {
         self.out.push(u8::from(x));
     }
 
+    fn u32(&mut self, x: u32) {
+        self.out.extend_from_slice(&x.to_le_bytes());
+    }
+
     fn u64(&mut self, x: u64) {
         self.out.extend_from_slice(&x.to_le_bytes());
     }
@@ -333,15 +338,31 @@ pub fn request_payload(request: &Request) -> Vec<u8> {
             w.opt_u64(m.lease_ttl_ms);
             w.bool(m.use_result_cache);
             w.opt_str(m.idempotency_key.as_deref());
+            // Optional *trailing* extension: appended only when a trace
+            // context rides the request, so a trace-free payload is
+            // byte-identical to the pre-observability frame layout
+            // (pinned by the golden fixtures). Decoders accept both by
+            // checking `remaining()` before `finish`.
+            if let Some(t) = &m.trace {
+                w.u8(TRACE_EXT_MARKER);
+                w.u64(t.trace_id);
+                w.u64(t.parent_span);
+                w.bool(t.sampled);
+            }
         }
         Request::Release { id, lease } => {
             w.u8(2);
             w.str(id);
             w.u64(*lease);
         }
-        Request::Stats { id } => {
+        Request::Stats { id, detail } => {
             w.u8(3);
             w.str(id);
+            // Trailing opt-in flag, absent when false: a plain stats
+            // request (and its response) keeps the old byte layout.
+            if *detail {
+                w.bool(true);
+            }
         }
         Request::Shutdown { id } => {
             w.u8(4);
@@ -352,8 +373,47 @@ pub fn request_payload(request: &Request) -> Vec<u8> {
             w.str(id);
             w.str(key);
         }
+        Request::TraceDump { id } => {
+            w.u8(6);
+            w.str(id);
+        }
     }
     w.out
+}
+
+/// Marker byte opening the optional trailing trace-context extension
+/// on a v2 map-request payload.
+const TRACE_EXT_MARKER: u8 = 1;
+
+fn write_hist_summary(w: &mut Writer, h: &HistSummary) {
+    w.str(&h.name);
+    w.u64(h.count);
+    w.u64(h.sum_us);
+    w.opt_u64(h.min_us);
+    w.opt_u64(h.max_us);
+    w.u64(h.p50_us);
+    w.u64(h.p90_us);
+    w.u64(h.p99_us);
+    w.u64(h.p999_us);
+    let n = u32::try_from(h.buckets.len()).expect("bucket dump exceeds u32 length prefix");
+    w.u32(n);
+    for &(i, c) in &h.buckets {
+        w.u32(i);
+        w.u64(c);
+    }
+}
+
+fn write_stats_detail(w: &mut Writer, d: &StatsDetail) {
+    w.u64(d.hist_schema);
+    w.u64(d.queue_depth);
+    w.u64(d.max_queue_depth);
+    w.usize_arr(&d.leased_nodes);
+    let n = u32::try_from(d.hists.len()).expect("histogram set exceeds u32 length prefix");
+    w.u32(n);
+    for h in &d.hists {
+        write_hist_summary(w, h);
+    }
+    w.u64(d.shards);
 }
 
 /// The binary payload of a response (tag + fixed field order).
@@ -395,6 +455,12 @@ pub fn response_payload(response: &Response) -> Vec<u8> {
             w.u64(s.replays);
             w.usize_arr(&s.free_nodes);
             w.u64(s.active_leases);
+            // Trailing extension, present only when the request asked
+            // for detail — an uninvited extension would be trailing
+            // garbage to an old client's decoder.
+            if let Some(d) = &s.detail {
+                write_stats_detail(&mut w, d);
+            }
         }
         Response::Shutdown { id, draining } => {
             w.u8(4);
@@ -414,6 +480,28 @@ pub fn response_payload(response: &Response) -> Vec<u8> {
             w.bool(j.held);
             w.opt_u64(j.lease);
             w.usize_arr(&j.site_counts);
+        }
+        Response::TraceDump(t) => {
+            w.u8(7);
+            w.str(&t.id);
+            w.f64(t.now_s);
+            w.u64(t.dropped);
+            let n = u32::try_from(t.tracks.len()).expect("track list exceeds u32 length prefix");
+            w.u32(n);
+            for tr in &t.tracks {
+                w.u32(tr.track);
+                w.str(&tr.process);
+                w.str(&tr.name);
+            }
+            let n = u32::try_from(t.events.len()).expect("event list exceeds u32 length prefix");
+            w.u32(n);
+            for e in &t.events {
+                w.u32(e.track);
+                w.str(&e.name);
+                w.u8(e.kind);
+                w.f64(e.ts_s);
+                w.f64(e.value);
+            }
         }
     }
     w.out
@@ -601,6 +689,21 @@ fn decode_request_inner(payload: &[u8]) -> Result<Request, FrameError> {
             m.lease_ttl_ms = r.opt_u64("map.lease_ttl_ms")?;
             m.use_result_cache = r.bool("map.cache")?;
             m.idempotency_key = r.opt_str("map.idem")?;
+            // Optional trailing trace-context extension: old peers end
+            // the payload here, new peers may append one.
+            if r.remaining() > 0 {
+                let marker = r.u8("map.trace marker")?;
+                if marker != TRACE_EXT_MARKER {
+                    return Err(FrameError::Malformed(format!(
+                        "map.trace: unknown extension marker {marker}"
+                    )));
+                }
+                m.trace = Some(TraceContext {
+                    trace_id: r.u64("map.trace.id")?,
+                    parent_span: r.u64("map.trace.parent")?,
+                    sampled: r.bool("map.trace.sampled")?,
+                });
+            }
             r.finish("map request")?;
             // The same bounds v1 enforces at decode time, with the same
             // messages (the differential suite compares them verbatim).
@@ -625,8 +728,14 @@ fn decode_request_inner(payload: &[u8]) -> Result<Request, FrameError> {
         }
         3 => {
             let id = r.str("stats.id")?;
+            // Optional trailing detail flag (absent = false).
+            let detail = if r.remaining() > 0 {
+                r.bool("stats.detail")?
+            } else {
+                false
+            };
             r.finish("stats request")?;
-            Request::Stats { id }
+            Request::Stats { id, detail }
         }
         4 => {
             let id = r.str("shutdown.id")?;
@@ -638,6 +747,11 @@ fn decode_request_inner(payload: &[u8]) -> Result<Request, FrameError> {
             let key = r.str("journal.key")?;
             r.finish("journal request")?;
             Request::Journal { id, key }
+        }
+        6 => {
+            let id = r.str("trace_dump.id")?;
+            r.finish("trace dump request")?;
+            Request::TraceDump { id }
         }
         other => {
             return Err(FrameError::Malformed(format!(
@@ -694,7 +808,7 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, FrameError> {
             resp
         }
         3 => {
-            let resp = Response::Stats(StatsResponse {
+            let mut s = StatsResponse {
                 id: r.str("stats.id")?,
                 served: r.u64("stats.served")?,
                 result_hits: r.u64("stats.result_hits")?,
@@ -704,9 +818,14 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, FrameError> {
                 replays: r.u64("stats.replays")?,
                 free_nodes: r.usize_arr("stats.free_nodes")?,
                 active_leases: r.u64("stats.active_leases")?,
-            });
+                detail: None,
+            };
+            // Optional trailing extension, sent only when asked for.
+            if r.remaining() > 0 {
+                s.detail = Some(read_stats_detail(&mut r)?);
+            }
             r.finish("stats response")?;
-            resp
+            Response::Stats(s)
         }
         4 => {
             let resp = Response::Shutdown {
@@ -741,6 +860,58 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, FrameError> {
             r.finish("journal response")?;
             resp
         }
+        7 => {
+            let id = r.str("trace_dump.id")?;
+            let now_s = r.f64("trace_dump.now_s")?;
+            let dropped = r.u64("trace_dump.dropped")?;
+            let track_count = r.u32("trace_dump.tracks")? as usize;
+            // Smallest possible track entry: u32 id + two empty strings
+            // (4 bytes each) — refuse hostile counts before allocating.
+            if track_count > r.remaining() / 12 {
+                return Err(FrameError::Malformed(format!(
+                    "trace_dump.tracks: declared {track_count} entries exceed {} remaining bytes",
+                    r.remaining()
+                )));
+            }
+            let tracks = (0..track_count)
+                .map(|_| {
+                    Ok(WireTrack {
+                        track: r.u32("trace_dump.track.id")?,
+                        process: r.str("trace_dump.track.process")?,
+                        name: r.str("trace_dump.track.name")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, FrameError>>()?;
+            let event_count = r.u32("trace_dump.events")? as usize;
+            // Smallest event entry: u32 track + empty string (4) + kind
+            // byte + two f64s = 25 bytes.
+            if event_count > r.remaining() / 25 {
+                return Err(FrameError::Malformed(format!(
+                    "trace_dump.events: declared {event_count} entries exceed {} remaining bytes",
+                    r.remaining()
+                )));
+            }
+            let events = (0..event_count)
+                .map(|_| {
+                    Ok(WireTraceEvent {
+                        track: r.u32("trace_dump.event.track")?,
+                        name: r.str("trace_dump.event.name")?,
+                        kind: r.u8("trace_dump.event.kind")?,
+                        ts_s: r.f64("trace_dump.event.ts")?,
+                        value: r.f64("trace_dump.event.value")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, FrameError>>()?;
+            let resp = Response::TraceDump(TraceDumpResponse {
+                id,
+                now_s,
+                dropped,
+                tracks,
+                events,
+            });
+            r.finish("trace dump response")?;
+            resp
+        }
         other => {
             return Err(FrameError::Malformed(format!(
                 "unknown response tag {other}"
@@ -748,6 +919,72 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, FrameError> {
         }
     };
     Ok(response)
+}
+
+/// Read the trailing [`StatsDetail`] extension of a stats response.
+fn read_stats_detail(r: &mut Reader<'_>) -> Result<StatsDetail, FrameError> {
+    let hist_schema = r.u64("stats.detail.hist_schema")?;
+    let queue_depth = r.u64("stats.detail.queue_depth")?;
+    let max_queue_depth = r.u64("stats.detail.max_queue_depth")?;
+    let leased_nodes = r.usize_arr("stats.detail.leased_nodes")?;
+    let hist_count = r.u32("stats.detail.hists")? as usize;
+    // Smallest possible summary is well over 60 bytes; a loose 16-byte
+    // floor still refuses hostile counts before any allocation.
+    if hist_count > r.remaining() / 16 {
+        return Err(FrameError::Malformed(format!(
+            "stats.detail.hists: declared {hist_count} entries exceed {} remaining bytes",
+            r.remaining()
+        )));
+    }
+    let mut hists = Vec::with_capacity(hist_count);
+    for _ in 0..hist_count {
+        let name = r.str("stats.detail.hist.name")?;
+        let count = r.u64("stats.detail.hist.count")?;
+        let sum_us = r.u64("stats.detail.hist.sum")?;
+        let min_us = r.opt_u64("stats.detail.hist.min")?;
+        let max_us = r.opt_u64("stats.detail.hist.max")?;
+        let p50_us = r.u64("stats.detail.hist.p50")?;
+        let p90_us = r.u64("stats.detail.hist.p90")?;
+        let p99_us = r.u64("stats.detail.hist.p99")?;
+        let p999_us = r.u64("stats.detail.hist.p999")?;
+        let bucket_count = r.u32("stats.detail.hist.buckets")? as usize;
+        // Each bucket pair is 12 bytes on the wire.
+        if bucket_count > r.remaining() / 12 {
+            return Err(FrameError::Malformed(format!(
+                "stats.detail.hist.buckets: declared {bucket_count} entries exceed {} remaining bytes",
+                r.remaining()
+            )));
+        }
+        let buckets = (0..bucket_count)
+            .map(|_| {
+                Ok((
+                    r.u32("stats.detail.hist.bucket.index")?,
+                    r.u64("stats.detail.hist.bucket.count")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, FrameError>>()?;
+        hists.push(HistSummary {
+            name,
+            count,
+            sum_us,
+            min_us,
+            max_us,
+            p50_us,
+            p90_us,
+            p99_us,
+            p999_us,
+            buckets,
+        });
+    }
+    let shards = r.u64("stats.detail.shards")?;
+    Ok(StatsDetail {
+        hist_schema,
+        queue_depth,
+        max_queue_depth,
+        leased_nodes,
+        hists,
+        shards,
+    })
 }
 
 #[cfg(test)]
@@ -782,7 +1019,13 @@ mod tests {
 
     #[test]
     fn truncated_frames_say_how_much_they_need() {
-        let bytes = encode_request(&Request::Stats { id: "s".into() }, 7);
+        let bytes = encode_request(
+            &Request::Stats {
+                id: "s".into(),
+                detail: false,
+            },
+            7,
+        );
         for cut in 0..bytes.len() {
             match Frame::decode(&bytes[..cut]) {
                 Err(FrameError::Truncated { have, need }) => {
@@ -802,16 +1045,174 @@ mod tests {
                 id: "a".into(),
                 lease: 7,
             },
-            Request::Stats { id: "b".into() },
+            Request::Stats {
+                id: "b".into(),
+                detail: false,
+            },
+            Request::Stats {
+                id: "b2".into(),
+                detail: true,
+            },
             Request::Shutdown { id: "c".into() },
             Request::Journal {
                 id: "d".into(),
                 key: "client-7/42".into(),
             },
+            Request::TraceDump { id: "t".into() },
         ] {
             let back = decode_request_payload(&request_payload(&req)).unwrap();
             assert_eq!(back, req);
         }
+    }
+
+    #[test]
+    fn traced_map_request_roundtrips_and_extends_the_plain_bytes() {
+        let Request::Map(plain) = sample_map_request() else {
+            panic!("not a map request")
+        };
+        let mut traced = plain.clone();
+        traced.trace = Some(TraceContext {
+            trace_id: 0x1234_5678,
+            parent_span: 9,
+            sampled: false,
+        });
+        let plain_bytes = request_payload(&Request::Map(plain));
+        let traced_bytes = request_payload(&Request::Map(traced.clone()));
+        // The extension is strictly trailing: the traced payload begins
+        // with the byte-identical plain payload.
+        assert_eq!(&traced_bytes[..plain_bytes.len()], &plain_bytes[..]);
+        assert_eq!(traced_bytes.len(), plain_bytes.len() + 1 + 8 + 8 + 1);
+        let back = decode_request_payload(&traced_bytes).unwrap();
+        assert_eq!(back, Request::Map(traced));
+    }
+
+    #[test]
+    fn unknown_trace_extension_marker_is_malformed() {
+        let Request::Map(m) = sample_map_request() else {
+            panic!("not a map request")
+        };
+        let mut bytes = request_payload(&Request::Map(m));
+        bytes.push(42); // not TRACE_EXT_MARKER
+        let err = decode_request_payload(&bytes).unwrap_err();
+        assert!(err.message.contains("extension marker"), "{}", err.message);
+    }
+
+    #[test]
+    fn detailed_stats_response_roundtrips() {
+        let resp = Response::Stats(StatsResponse {
+            id: "s".into(),
+            served: 5,
+            misses: 5,
+            free_nodes: vec![3, 1],
+            active_leases: 2,
+            detail: Some(StatsDetail {
+                hist_schema: crate::hist::SCHEMA_VERSION,
+                queue_depth: 1,
+                max_queue_depth: 7,
+                leased_nodes: vec![0, 2],
+                hists: vec![
+                    HistSummary {
+                        name: "map_e2e".into(),
+                        count: 3,
+                        sum_us: 900,
+                        min_us: Some(100),
+                        max_us: Some(500),
+                        p50_us: 303,
+                        p90_us: 511,
+                        p99_us: 511,
+                        p999_us: 511,
+                        buckets: vec![(52, 1), (64, 2)],
+                    },
+                    HistSummary::default(),
+                ],
+                shards: 3,
+            }),
+            ..StatsResponse::default()
+        });
+        let back = decode_response_payload(&response_payload(&resp)).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn plain_stats_response_has_no_trailing_extension() {
+        let base = StatsResponse {
+            id: "s".into(),
+            served: 1,
+            free_nodes: vec![4],
+            ..StatsResponse::default()
+        };
+        let plain_bytes = response_payload(&Response::Stats(base.clone()));
+        let detailed = StatsResponse {
+            detail: Some(StatsDetail::default()),
+            ..base
+        };
+        let detailed_bytes = response_payload(&Response::Stats(detailed));
+        assert_eq!(&detailed_bytes[..plain_bytes.len()], &plain_bytes[..]);
+        assert!(detailed_bytes.len() > plain_bytes.len());
+    }
+
+    #[test]
+    fn trace_dump_response_roundtrips() {
+        let resp = Response::TraceDump(TraceDumpResponse {
+            id: "td".into(),
+            now_s: 2.25,
+            dropped: 1,
+            tracks: vec![
+                WireTrack {
+                    track: 0,
+                    process: "service".into(),
+                    name: "worker-0".into(),
+                },
+                WireTrack {
+                    track: 1,
+                    process: "solver".into(),
+                    name: "geo".into(),
+                },
+            ],
+            events: vec![
+                WireTraceEvent {
+                    track: 0,
+                    name: "request".into(),
+                    kind: WireTraceEvent::SPAN_BEGIN,
+                    ts_s: 0.5,
+                    value: 77.0,
+                },
+                WireTraceEvent {
+                    track: 0,
+                    name: "request".into(),
+                    kind: WireTraceEvent::SPAN_END,
+                    ts_s: 0.9,
+                    value: 0.0,
+                },
+            ],
+        });
+        let back = decode_response_payload(&response_payload(&resp)).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn hostile_trace_dump_counts_are_errors_not_allocations() {
+        let mut w = Writer::new();
+        w.u8(7); // trace dump response tag
+        w.str("id");
+        w.f64(0.0);
+        w.u64(0);
+        w.out.extend_from_slice(&u32::MAX.to_le_bytes()); // track count
+        assert!(matches!(
+            decode_response_payload(&w.out),
+            Err(FrameError::Malformed(_))
+        ));
+        let mut w = Writer::new();
+        w.u8(7);
+        w.str("id");
+        w.f64(0.0);
+        w.u64(0);
+        w.u32(0); // no tracks
+        w.out.extend_from_slice(&u32::MAX.to_le_bytes()); // event count
+        assert!(matches!(
+            decode_response_payload(&w.out),
+            Err(FrameError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -915,7 +1316,13 @@ mod tests {
 
     #[test]
     fn oversized_declared_payload_is_refused_without_buffering() {
-        let mut bytes = encode_request(&Request::Stats { id: "s".into() }, 0);
+        let mut bytes = encode_request(
+            &Request::Stats {
+                id: "s".into(),
+                detail: false,
+            },
+            0,
+        );
         let over = u32::try_from(MAX_FRAME_BYTES).expect("frame bound fits u32") + 1;
         bytes[11..15].copy_from_slice(&over.to_le_bytes());
         assert!(matches!(

@@ -47,6 +47,7 @@ pub mod clock;
 pub mod federation;
 pub mod fingerprint;
 pub mod frame;
+pub mod hist;
 pub mod inventory;
 pub mod json;
 pub mod proto;
@@ -59,8 +60,9 @@ pub use client::{ClientError, PooledClient, RetryPolicy, RetryingClient, Service
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use federation::{FederatedPool, LeaseJournal, RoutedResponse, ShardMap, ShardRouter};
 pub use frame::{Frame, FrameError, FrameKind, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_BYTES};
+pub use hist::{HistKind, HistSet, Histogram};
 pub use inventory::ClusterInventory;
-pub use proto::{ErrorCode, MapRequest, Request, Response, PROTOCOL_VERSION};
+pub use proto::{ErrorCode, MapRequest, Request, Response, TraceContext, PROTOCOL_VERSION};
 pub use server::MappingServer;
 pub use service::{MappingService, ServiceConfig};
 pub use transport::{

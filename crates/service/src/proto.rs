@@ -65,6 +65,43 @@ impl CalibSpec {
     }
 }
 
+/// Distributed trace context carried by a request: ties the spans a
+/// daemon emits (queue wait, worker dispatch, cache tier, reserve,
+/// solver) to one client-initiated trace across every hop —
+/// router, failover shard, home shard.
+///
+/// The field is **optional on the wire and absent by default**: a
+/// request without a trace context encodes bit-identically to the
+/// pre-observability protocol (pinned by the golden fixtures), so old
+/// and new peers interoperate as long as the feature is off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Client-generated trace id, nonzero. Kept below 2^53 so it
+    /// survives the f64-valued trace event payloads and JSON numbers
+    /// losslessly.
+    pub trace_id: u64,
+    /// Span id of the caller's enclosing span (0 = root).
+    pub parent_span: u64,
+    /// Whether the daemon should emit spans for this request. Carried
+    /// explicitly so a sampling decision made at the edge is honored
+    /// by every hop.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A sampled root context for `trace_id` (masked into the f64-safe
+    /// 53-bit range, never zero).
+    #[must_use]
+    pub fn root(trace_id: u64) -> Self {
+        let masked = trace_id & ((1 << 53) - 1);
+        Self {
+            trace_id: if masked == 0 { 1 } else { masked },
+            parent_span: 0,
+            sampled: true,
+        }
+    }
+}
+
 /// A mapping request: solve the pipeline for an embedded communication
 /// pattern against the cluster the daemon fronts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,6 +139,10 @@ pub struct MapRequest {
     /// can retry without double-reserving inventory. Reusing a key with
     /// a *different* request is a `bad_request`.
     pub idempotency_key: Option<String>,
+    /// Optional distributed trace context ([`TraceContext`]). Excluded
+    /// from every cache/affinity fingerprint: tracing a request must
+    /// not change where it routes or whether it hits.
+    pub trace: Option<TraceContext>,
 }
 
 impl MapRequest {
@@ -122,6 +163,7 @@ impl MapRequest {
             lease_ttl_ms: None,
             use_result_cache: true,
             idempotency_key: None,
+            trace: None,
         }
     }
 }
@@ -147,6 +189,13 @@ pub enum Request {
     Stats {
         /// Correlation id.
         id: String,
+        /// Ask for the extended [`StatsDetail`] section (latency
+        /// histograms, queue watermarks, per-site leases). Off by
+        /// default so the base exchange — and its wire bytes — stay
+        /// exactly as they were before observability existed; old
+        /// servers understand the request, old clients never see the
+        /// extension uninvited.
+        detail: bool,
     },
     /// Begin graceful shutdown: drain the queue, reject new work.
     Shutdown {
@@ -162,6 +211,13 @@ pub enum Request {
         id: String,
         /// The idempotency key to look up.
         key: String,
+    },
+    /// Dump the daemon's in-memory trace ring (tracks + events) so a
+    /// collector (`geomap observe`) can merge per-daemon rings into
+    /// one fleet timeline.
+    TraceDump {
+        /// Correlation id.
+        id: String,
     },
 }
 
@@ -245,6 +301,83 @@ pub struct MapResponse {
     pub staleness: u64,
 }
 
+/// Summary + sparse bucket dump of one latency histogram
+/// (`crate::hist`), carried inside [`StatsDetail`]. Quantiles are
+/// precomputed for display, but the bucket dump is authoritative: the
+/// federation router merges shards bucket-wise and recomputes
+/// quantiles from the merged distribution — percentiles are never
+/// averaged.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Stable histogram name (`hist::HistKind::label`).
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Saturating sum of samples (µs).
+    pub sum_us: u64,
+    /// Smallest sample (µs), absent when empty.
+    pub min_us: Option<u64>,
+    /// Largest sample (µs), absent when empty.
+    pub max_us: Option<u64>,
+    /// Median (µs; 0 when empty).
+    pub p50_us: u64,
+    /// 90th percentile (µs; 0 when empty).
+    pub p90_us: u64,
+    /// 99th percentile (µs; 0 when empty).
+    pub p99_us: u64,
+    /// 99.9th percentile (µs; 0 when empty).
+    pub p999_us: u64,
+    /// Sparse `(bucket index, count)` pairs in the fixed
+    /// `hist::SCHEMA_VERSION` schema, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistSummary {
+    /// Summarize a histogram under its wire name.
+    #[must_use]
+    pub fn from_histogram(name: &str, h: &crate::hist::Histogram) -> Self {
+        Self {
+            name: name.to_string(),
+            count: h.count(),
+            sum_us: h.sum(),
+            min_us: h.min(),
+            max_us: h.max(),
+            p50_us: h.quantile(0.50).unwrap_or(0),
+            p90_us: h.quantile(0.90).unwrap_or(0),
+            p99_us: h.quantile(0.99).unwrap_or(0),
+            p999_us: h.quantile(0.999).unwrap_or(0),
+            buckets: h.nonzero_buckets(),
+        }
+    }
+
+    /// Rebuild the histogram this summary was taken from (bucket
+    /// resolution).
+    pub fn to_histogram(&self) -> Result<crate::hist::Histogram, String> {
+        crate::hist::Histogram::from_parts(&self.buckets, self.sum_us, self.min_us, self.max_us)
+    }
+}
+
+/// The extended stats section, present only when the stats request
+/// asked for `detail` — which keeps the base `StatsResponse` bytes
+/// identical to the pre-observability wire format in both directions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatsDetail {
+    /// `hist::SCHEMA_VERSION` of the bucket schema in `hists`.
+    pub hist_schema: u64,
+    /// Admission-queue depth right now.
+    pub queue_depth: u64,
+    /// High-water mark of the admission queue since startup.
+    pub max_queue_depth: u64,
+    /// Leased nodes per site right now (complements the base
+    /// response's `free_nodes`; `free + leased == capacity` site-wise).
+    pub leased_nodes: Vec<usize>,
+    /// Per-kind latency histograms, in `hist::HistKind::ALL` order.
+    pub hists: Vec<HistSummary>,
+    /// Daemons folded into this response: 1 from a single daemon,
+    /// the shard count from a federation scatter-gather merge.
+    pub shards: u64,
+}
+
 /// Service counters and inventory state.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct StatsResponse {
@@ -267,6 +400,9 @@ pub struct StatsResponse {
     pub free_nodes: Vec<usize>,
     /// Live (unexpired, unreleased) leases.
     pub active_leases: u64,
+    /// Extended section (histograms, queue watermarks, leases per
+    /// site); only present when the request set `detail`.
+    pub detail: Option<StatsDetail>,
 }
 
 /// What the lease journal knows about one idempotency key.
@@ -283,6 +419,67 @@ pub struct JournalResponse {
     pub lease: Option<u64>,
     /// Per-site node counts of the live lease (empty when not held).
     pub site_counts: Vec<usize>,
+}
+
+/// One track definition from a daemon's trace ring (mirror of the
+/// in-memory `geomap_core::trace` track registry, with owned names so
+/// it can cross the wire).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WireTrack {
+    /// Daemon-local track id (unique per daemon only — the collector
+    /// namespaces by daemon when merging).
+    pub track: u32,
+    /// Process label (Perfetto process row).
+    pub process: String,
+    /// Thread/track label within the process.
+    pub name: String,
+}
+
+/// One trace event from a daemon's ring. `kind` uses the stable byte
+/// codes [`WireTraceEvent::SPAN_BEGIN`] … [`WireTraceEvent::COUNTER`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WireTraceEvent {
+    /// Daemon-local track id.
+    pub track: u32,
+    /// Event name (span or counter name).
+    pub name: String,
+    /// Event kind byte code.
+    pub kind: u8,
+    /// Seconds since the daemon's trace epoch.
+    pub ts_s: f64,
+    /// Counter value, or the trace id tagged onto a span (0 = untagged).
+    pub value: f64,
+}
+
+impl WireTraceEvent {
+    /// Chrome `"B"` — span begin.
+    pub const SPAN_BEGIN: u8 = 0;
+    /// Chrome `"E"` — span end.
+    pub const SPAN_END: u8 = 1;
+    /// Chrome `"i"` — instant.
+    pub const INSTANT: u8 = 2;
+    /// Chrome `"C"` — counter sample.
+    pub const COUNTER: u8 = 3;
+}
+
+/// A daemon's entire trace ring, with the clock metadata the collector
+/// needs to place it on the fleet-wide timeline.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceDumpResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// Seconds since this daemon's trace epoch at the moment the dump
+    /// was taken. The collector reads its own clock around the
+    /// request/response exchange and solves for the epoch offset
+    /// (handshake alignment; exact when both ends share a virtual
+    /// clock).
+    pub now_s: f64,
+    /// Events discarded because the ring was full.
+    pub dropped: u64,
+    /// Track definitions referenced by `events`.
+    pub tracks: Vec<WireTrack>,
+    /// Ring contents in recording order.
+    pub events: Vec<WireTraceEvent>,
 }
 
 /// A refused or failed request. `code` is stable for programmatic
@@ -432,6 +629,8 @@ pub enum Response {
     },
     /// Lease-journal lookup result.
     Journal(JournalResponse),
+    /// The daemon's trace ring.
+    TraceDump(TraceDumpResponse),
     /// A refusal or failure.
     Error(ErrorResponse),
 }
@@ -445,6 +644,7 @@ impl Response {
             Response::Stats(s) => &s.id,
             Response::Shutdown { id, .. } => id,
             Response::Journal(j) => &j.id,
+            Response::TraceDump(t) => &t.id,
             Response::Error(e) => &e.id,
         }
     }
@@ -470,55 +670,185 @@ fn usize_arr(xs: &[usize]) -> Json {
     Json::Arr(xs.iter().map(|&x| Json::Num(x as f64)).collect())
 }
 
+fn trace_ctx_json(t: &TraceContext) -> Json {
+    obj(vec![
+        ("id", Json::Num(t.trace_id as f64)),
+        ("parent", Json::Num(t.parent_span as f64)),
+        ("sampled", Json::Bool(t.sampled)),
+    ])
+}
+
+fn trace_ctx_from_json(doc: &Json) -> Option<TraceContext> {
+    let trace_id = doc.get("id").and_then(Json::as_u64)?;
+    Some(TraceContext {
+        trace_id,
+        parent_span: doc.get("parent").and_then(Json::as_u64).unwrap_or(0),
+        sampled: doc.get("sampled").and_then(Json::as_bool).unwrap_or(true),
+    })
+}
+
+fn hist_summary_json(h: &HistSummary) -> Json {
+    obj(vec![
+        ("name", Json::Str(h.name.clone())),
+        ("count", Json::Num(h.count as f64)),
+        ("sum_us", Json::Num(h.sum_us as f64)),
+        ("min_us", opt_u64(h.min_us)),
+        ("max_us", opt_u64(h.max_us)),
+        ("p50_us", Json::Num(h.p50_us as f64)),
+        ("p90_us", Json::Num(h.p90_us as f64)),
+        ("p99_us", Json::Num(h.p99_us as f64)),
+        ("p999_us", Json::Num(h.p999_us as f64)),
+        (
+            "buckets",
+            Json::Arr(
+                h.buckets
+                    .iter()
+                    .map(|&(i, c)| Json::Arr(vec![Json::Num(f64::from(i)), Json::Num(c as f64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn hist_summary_from_json(doc: &Json) -> Result<HistSummary, String> {
+    let buckets = doc
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram summary missing \"buckets\"")?
+        .iter()
+        .map(|pair| {
+            let xs = pair.as_arr()?;
+            if xs.len() != 2 {
+                return None;
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            Some((xs[0].as_u64()? as u32, xs[1].as_u64()?))
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or("malformed histogram bucket pair")?;
+    Ok(HistSummary {
+        name: doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("histogram summary missing \"name\"")?
+            .to_string(),
+        count: doc.get("count").and_then(Json::as_u64).unwrap_or(0),
+        sum_us: doc.get("sum_us").and_then(Json::as_u64).unwrap_or(0),
+        min_us: doc.get("min_us").and_then(Json::as_u64),
+        max_us: doc.get("max_us").and_then(Json::as_u64),
+        p50_us: doc.get("p50_us").and_then(Json::as_u64).unwrap_or(0),
+        p90_us: doc.get("p90_us").and_then(Json::as_u64).unwrap_or(0),
+        p99_us: doc.get("p99_us").and_then(Json::as_u64).unwrap_or(0),
+        p999_us: doc.get("p999_us").and_then(Json::as_u64).unwrap_or(0),
+        buckets,
+    })
+}
+
+fn stats_detail_json(d: &StatsDetail) -> Json {
+    obj(vec![
+        ("hist_schema", Json::Num(d.hist_schema as f64)),
+        ("queue_depth", Json::Num(d.queue_depth as f64)),
+        ("max_queue_depth", Json::Num(d.max_queue_depth as f64)),
+        ("leased_nodes", usize_arr(&d.leased_nodes)),
+        (
+            "hists",
+            Json::Arr(d.hists.iter().map(hist_summary_json).collect()),
+        ),
+        ("shards", Json::Num(d.shards as f64)),
+    ])
+}
+
+fn stats_detail_from_json(doc: &Json) -> Result<StatsDetail, String> {
+    let leased_nodes = doc
+        .get("leased_nodes")
+        .and_then(Json::as_arr)
+        .ok_or("stats detail missing \"leased_nodes\"")?
+        .iter()
+        .map(|v| v.as_u64().map(|x| x as usize))
+        .collect::<Option<Vec<_>>>()
+        .ok_or("non-integer entry in \"leased_nodes\"")?;
+    Ok(StatsDetail {
+        hist_schema: doc.get("hist_schema").and_then(Json::as_u64).unwrap_or(0),
+        queue_depth: doc.get("queue_depth").and_then(Json::as_u64).unwrap_or(0),
+        max_queue_depth: doc
+            .get("max_queue_depth")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        leased_nodes,
+        hists: doc
+            .get("hists")
+            .and_then(Json::as_arr)
+            .ok_or("stats detail missing \"hists\"")?
+            .iter()
+            .map(hist_summary_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        shards: doc.get("shards").and_then(Json::as_u64).unwrap_or(1),
+    })
+}
+
 impl Request {
     /// Encode as one JSON line (no trailing newline).
     pub fn to_line(&self) -> String {
         let v = ("v", Json::Num(PROTOCOL_VERSION as f64));
         match self {
-            Request::Map(m) => obj(vec![
-                v,
-                ("kind", Json::Str("map".into())),
-                ("id", Json::Str(m.id.clone())),
-                ("pattern_csv", Json::Str(m.pattern_csv.clone())),
-                ("ranks", opt_u64(m.ranks.map(|r| r as u64))),
-                (
-                    "constraints_csv",
-                    m.constraints_csv.clone().map_or(Json::Null, Json::Str),
-                ),
-                ("algorithm", Json::Str(m.algorithm.clone())),
-                ("seed", Json::Num(m.seed as f64)),
-                ("kappa", Json::Num(m.kappa as f64)),
-                ("samples", Json::Num(m.samples as f64)),
-                (
-                    "calibration",
-                    obj(vec![
-                        ("days", Json::Num(m.calibration.days as f64)),
-                        ("probes", Json::Num(m.calibration.probes_per_day as f64)),
-                        ("noise", Json::Num(m.calibration.noise_cv)),
-                        ("loss", Json::Num(m.calibration.loss_rate)),
-                        ("seed", Json::Num(m.calibration.seed as f64)),
-                    ]),
-                ),
-                ("deadline_ms", opt_u64(m.deadline_ms)),
-                ("reserve", Json::Bool(m.reserve)),
-                ("lease_ttl_ms", opt_u64(m.lease_ttl_ms)),
-                ("cache", Json::Bool(m.use_result_cache)),
-                (
-                    "idem",
-                    m.idempotency_key.clone().map_or(Json::Null, Json::Str),
-                ),
-            ]),
+            Request::Map(m) => {
+                let mut fields = vec![
+                    v,
+                    ("kind", Json::Str("map".into())),
+                    ("id", Json::Str(m.id.clone())),
+                    ("pattern_csv", Json::Str(m.pattern_csv.clone())),
+                    ("ranks", opt_u64(m.ranks.map(|r| r as u64))),
+                    (
+                        "constraints_csv",
+                        m.constraints_csv.clone().map_or(Json::Null, Json::Str),
+                    ),
+                    ("algorithm", Json::Str(m.algorithm.clone())),
+                    ("seed", Json::Num(m.seed as f64)),
+                    ("kappa", Json::Num(m.kappa as f64)),
+                    ("samples", Json::Num(m.samples as f64)),
+                    (
+                        "calibration",
+                        obj(vec![
+                            ("days", Json::Num(m.calibration.days as f64)),
+                            ("probes", Json::Num(m.calibration.probes_per_day as f64)),
+                            ("noise", Json::Num(m.calibration.noise_cv)),
+                            ("loss", Json::Num(m.calibration.loss_rate)),
+                            ("seed", Json::Num(m.calibration.seed as f64)),
+                        ]),
+                    ),
+                    ("deadline_ms", opt_u64(m.deadline_ms)),
+                    ("reserve", Json::Bool(m.reserve)),
+                    ("lease_ttl_ms", opt_u64(m.lease_ttl_ms)),
+                    ("cache", Json::Bool(m.use_result_cache)),
+                    (
+                        "idem",
+                        m.idempotency_key.clone().map_or(Json::Null, Json::Str),
+                    ),
+                ];
+                // Appended only when present: a trace-free request's
+                // bytes are exactly the pre-observability encoding.
+                if let Some(t) = &m.trace {
+                    fields.push(("trace", trace_ctx_json(t)));
+                }
+                obj(fields)
+            }
             Request::Release { id, lease } => obj(vec![
                 v,
                 ("kind", Json::Str("release".into())),
                 ("id", Json::Str(id.clone())),
                 ("lease", Json::Num(*lease as f64)),
             ]),
-            Request::Stats { id } => obj(vec![
-                v,
-                ("kind", Json::Str("stats".into())),
-                ("id", Json::Str(id.clone())),
-            ]),
+            Request::Stats { id, detail } => {
+                let mut fields = vec![
+                    v,
+                    ("kind", Json::Str("stats".into())),
+                    ("id", Json::Str(id.clone())),
+                ];
+                if *detail {
+                    fields.push(("detail", Json::Bool(true)));
+                }
+                obj(fields)
+            }
             Request::Shutdown { id } => obj(vec![
                 v,
                 ("kind", Json::Str("shutdown".into())),
@@ -529,6 +859,11 @@ impl Request {
                 ("kind", Json::Str("journal".into())),
                 ("id", Json::Str(id.clone())),
                 ("key", Json::Str(key.clone())),
+            ]),
+            Request::TraceDump { id } => obj(vec![
+                v,
+                ("kind", Json::Str("trace_dump".into())),
+                ("id", Json::Str(id.clone())),
             ]),
         }
         .emit()
@@ -620,6 +955,7 @@ impl Request {
                 m.lease_ttl_ms = doc.get("lease_ttl_ms").and_then(Json::as_u64);
                 m.use_result_cache = doc.get("cache").and_then(Json::as_bool).unwrap_or(true);
                 m.idempotency_key = doc.get("idem").and_then(Json::as_str).map(str::to_string);
+                m.trace = doc.get("trace").and_then(trace_ctx_from_json);
                 Ok(Request::Map(m))
             }
             "release" => {
@@ -629,7 +965,10 @@ impl Request {
                     .ok_or_else(|| bad(&id, "release request needs a numeric \"lease\"".into()))?;
                 Ok(Request::Release { id, lease })
             }
-            "stats" => Ok(Request::Stats { id }),
+            "stats" => Ok(Request::Stats {
+                id,
+                detail: doc.get("detail").and_then(Json::as_bool).unwrap_or(false),
+            }),
             "shutdown" => Ok(Request::Shutdown { id }),
             "journal" => {
                 let key = doc
@@ -639,6 +978,7 @@ impl Request {
                     .to_string();
                 Ok(Request::Journal { id, key })
             }
+            "trace_dump" => Ok(Request::TraceDump { id }),
             other => Err(bad(&id, format!("unknown request kind {other:?}"))),
         }
     }
@@ -675,19 +1015,27 @@ impl Response {
                 ("freed", usize_arr(freed)),
                 ("free_nodes", usize_arr(free_nodes)),
             ]),
-            Response::Stats(s) => obj(vec![
-                v,
-                ("kind", Json::Str("stats_response".into())),
-                ("id", Json::Str(s.id.clone())),
-                ("served", Json::Num(s.served as f64)),
-                ("result_hits", Json::Num(s.result_hits as f64)),
-                ("problem_hits", Json::Num(s.problem_hits as f64)),
-                ("misses", Json::Num(s.misses as f64)),
-                ("rejected", Json::Num(s.rejected as f64)),
-                ("replays", Json::Num(s.replays as f64)),
-                ("free_nodes", usize_arr(&s.free_nodes)),
-                ("active_leases", Json::Num(s.active_leases as f64)),
-            ]),
+            Response::Stats(s) => {
+                let mut fields = vec![
+                    v,
+                    ("kind", Json::Str("stats_response".into())),
+                    ("id", Json::Str(s.id.clone())),
+                    ("served", Json::Num(s.served as f64)),
+                    ("result_hits", Json::Num(s.result_hits as f64)),
+                    ("problem_hits", Json::Num(s.problem_hits as f64)),
+                    ("misses", Json::Num(s.misses as f64)),
+                    ("rejected", Json::Num(s.rejected as f64)),
+                    ("replays", Json::Num(s.replays as f64)),
+                    ("free_nodes", usize_arr(&s.free_nodes)),
+                    ("active_leases", Json::Num(s.active_leases as f64)),
+                ];
+                // Only when asked for: a plain stats exchange stays
+                // byte-identical to the pre-observability wire format.
+                if let Some(d) = &s.detail {
+                    fields.push(("detail", stats_detail_json(d)));
+                }
+                obj(fields)
+            }
             Response::Shutdown { id, draining } => obj(vec![
                 v,
                 ("kind", Json::Str("shutdown_response".into())),
@@ -702,6 +1050,45 @@ impl Response {
                 ("held", Json::Bool(j.held)),
                 ("lease", opt_u64(j.lease)),
                 ("site_counts", usize_arr(&j.site_counts)),
+            ]),
+            Response::TraceDump(t) => obj(vec![
+                v,
+                ("kind", Json::Str("trace_dump_response".into())),
+                ("id", Json::Str(t.id.clone())),
+                ("now_s", Json::Num(t.now_s)),
+                ("dropped", Json::Num(t.dropped as f64)),
+                (
+                    "tracks",
+                    Json::Arr(
+                        t.tracks
+                            .iter()
+                            .map(|tr| {
+                                obj(vec![
+                                    ("track", Json::Num(f64::from(tr.track))),
+                                    ("process", Json::Str(tr.process.clone())),
+                                    ("name", Json::Str(tr.name.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "events",
+                    Json::Arr(
+                        t.events
+                            .iter()
+                            .map(|e| {
+                                obj(vec![
+                                    ("track", Json::Num(f64::from(e.track))),
+                                    ("name", Json::Str(e.name.clone())),
+                                    ("kind", Json::Num(f64::from(e.kind))),
+                                    ("ts_s", Json::Num(e.ts_s)),
+                                    ("value", Json::Num(e.value)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
             Response::Error(e) => obj(vec![
                 v,
@@ -786,6 +1173,10 @@ impl Response {
                 replays: doc.get("replays").and_then(Json::as_u64).unwrap_or(0),
                 free_nodes: usizes("free_nodes")?,
                 active_leases: u64_field("active_leases")?,
+                detail: match doc.get("detail") {
+                    None => None,
+                    Some(d) => Some(stats_detail_from_json(d)?),
+                },
             })),
             "shutdown_response" => Ok(Response::Shutdown {
                 id,
@@ -805,6 +1196,47 @@ impl Response {
                 lease: doc.get("lease").and_then(Json::as_u64),
                 site_counts: usizes("site_counts")?,
             })),
+            "trace_dump_response" => {
+                let tracks = doc
+                    .get("tracks")
+                    .and_then(Json::as_arr)
+                    .ok_or("trace dump missing \"tracks\"")?
+                    .iter()
+                    .map(|tr| {
+                        #[allow(clippy::cast_possible_truncation)]
+                        Some(WireTrack {
+                            track: tr.get("track").and_then(Json::as_u64)? as u32,
+                            process: tr.get("process").and_then(Json::as_str)?.to_string(),
+                            name: tr.get("name").and_then(Json::as_str)?.to_string(),
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or("malformed trace dump track")?;
+                let events = doc
+                    .get("events")
+                    .and_then(Json::as_arr)
+                    .ok_or("trace dump missing \"events\"")?
+                    .iter()
+                    .map(|e| {
+                        #[allow(clippy::cast_possible_truncation)]
+                        Some(WireTraceEvent {
+                            track: e.get("track").and_then(Json::as_u64)? as u32,
+                            name: e.get("name").and_then(Json::as_str)?.to_string(),
+                            kind: e.get("kind").and_then(Json::as_u64)? as u8,
+                            ts_s: e.get("ts_s").and_then(Json::as_f64)?,
+                            value: e.get("value").and_then(Json::as_f64).unwrap_or(0.0),
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or("malformed trace dump event")?;
+                Ok(Response::TraceDump(TraceDumpResponse {
+                    id,
+                    now_s: doc.get("now_s").and_then(Json::as_f64).unwrap_or(0.0),
+                    dropped: doc.get("dropped").and_then(Json::as_u64).unwrap_or(0),
+                    tracks,
+                    events,
+                }))
+            }
             "error" => Ok(Response::Error(ErrorResponse {
                 id,
                 code: doc
@@ -873,15 +1305,61 @@ mod tests {
                 id: "a".into(),
                 lease: 7,
             },
-            Request::Stats { id: "b".into() },
+            Request::Stats {
+                id: "b".into(),
+                detail: false,
+            },
+            Request::Stats {
+                id: "b2".into(),
+                detail: true,
+            },
             Request::Shutdown { id: "c".into() },
             Request::Journal {
                 id: "d".into(),
                 key: "client-7/42".into(),
             },
+            Request::TraceDump { id: "t".into() },
         ] {
             assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn traced_map_request_roundtrips_and_absent_trace_is_unchanged() {
+        let plain = MapRequest::new("r1", "src,dst,bytes,msgs\n0,1,5,2\n");
+        let line = Request::Map(plain.clone()).to_line();
+        assert!(
+            !line.contains("trace"),
+            "untraced request leaked a trace key"
+        );
+        let mut traced = plain;
+        traced.trace = Some(TraceContext {
+            trace_id: 0xBEEF,
+            parent_span: 7,
+            sampled: true,
+        });
+        let req = Request::Map(traced);
+        assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
+    }
+
+    #[test]
+    fn plain_stats_request_has_no_detail_key() {
+        let line = Request::Stats {
+            id: "s".into(),
+            detail: false,
+        }
+        .to_line();
+        assert!(!line.contains("detail"), "{line}");
+    }
+
+    #[test]
+    fn root_trace_context_is_nonzero_and_f64_safe() {
+        assert_eq!(TraceContext::root(0).trace_id, 1);
+        assert_eq!(TraceContext::root(u64::MAX).trace_id, (1 << 53) - 1);
+        let t = TraceContext::root(42);
+        assert_eq!(t.trace_id, 42);
+        assert!(t.sampled);
+        assert_eq!(t.parent_span, 0);
     }
 
     #[test]
@@ -948,6 +1426,58 @@ mod tests {
                 replays: 2,
                 free_nodes: vec![1, 2],
                 active_leases: 2,
+                detail: None,
+            }),
+            Response::Stats(StatsResponse {
+                id: "s2".into(),
+                served: 3,
+                free_nodes: vec![4],
+                detail: Some(StatsDetail {
+                    hist_schema: crate::hist::SCHEMA_VERSION,
+                    queue_depth: 2,
+                    max_queue_depth: 9,
+                    leased_nodes: vec![1],
+                    hists: vec![HistSummary {
+                        name: "map_e2e".into(),
+                        count: 2,
+                        sum_us: 300,
+                        min_us: Some(100),
+                        max_us: Some(200),
+                        p50_us: 103,
+                        p90_us: 207,
+                        p99_us: 207,
+                        p999_us: 207,
+                        buckets: vec![(52, 1), (60, 1)],
+                    }],
+                    shards: 1,
+                }),
+                ..StatsResponse::default()
+            }),
+            Response::TraceDump(TraceDumpResponse {
+                id: "td".into(),
+                now_s: 1.5,
+                dropped: 3,
+                tracks: vec![WireTrack {
+                    track: 0,
+                    process: "service".into(),
+                    name: "worker-0".into(),
+                }],
+                events: vec![
+                    WireTraceEvent {
+                        track: 0,
+                        name: "request".into(),
+                        kind: WireTraceEvent::SPAN_BEGIN,
+                        ts_s: 0.25,
+                        value: 48879.0,
+                    },
+                    WireTraceEvent {
+                        track: 0,
+                        name: "request".into(),
+                        kind: WireTraceEvent::SPAN_END,
+                        ts_s: 0.75,
+                        value: 0.0,
+                    },
+                ],
             }),
             Response::Shutdown {
                 id: "q".into(),

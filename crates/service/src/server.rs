@@ -236,25 +236,28 @@ fn accept_loop(listener: TcpListener, service: &MappingService, queue: &Queue) {
                     stream,
                     accepted: Instant::now(),
                 };
-                if let Err(mut job) = queue.try_push(job) {
-                    // Backpressure: refuse right now, on the accept
-                    // thread, so the queue bound actually bounds memory
-                    // and latency instead of growing a buffer. The write
-                    // is best-effort and nonblocking — the accept loop
-                    // must never stall on a peer's receive window (the
-                    // one-line error fits a fresh send buffer anyway).
-                    let resp = service.reject(
-                        "",
-                        ErrorCode::OverCapacity,
-                        format!(
-                            "admission queue full ({} waiting); retry later",
-                            queue.capacity
-                        ),
-                    );
-                    let mut line = resp.to_line();
-                    line.push('\n');
-                    let _ = job.stream.write_all(line.as_bytes());
-                    let _ = job.stream.flush();
+                match queue.try_push(job) {
+                    Ok(()) => service.note_queue_depth(queue.len() as u64),
+                    Err(mut job) => {
+                        // Backpressure: refuse right now, on the accept
+                        // thread, so the queue bound actually bounds memory
+                        // and latency instead of growing a buffer. The write
+                        // is best-effort and nonblocking — the accept loop
+                        // must never stall on a peer's receive window (the
+                        // one-line error fits a fresh send buffer anyway).
+                        let resp = service.reject(
+                            "",
+                            ErrorCode::OverCapacity,
+                            format!(
+                                "admission queue full ({} waiting); retry later",
+                                queue.capacity
+                            ),
+                        );
+                        let mut line = resp.to_line();
+                        line.push('\n');
+                        let _ = job.stream.write_all(line.as_bytes());
+                        let _ = job.stream.flush();
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
@@ -434,17 +437,22 @@ fn reactor_loop(index: usize, conn_cap: usize, service: &MappingService, queue: 
         let mut progress = false;
         // Batch admission: adopt everything waiting, up to this
         // reactor's share of the bound, in one go.
+        let mut adopted = false;
         while conns.len() < conn_cap {
             match queue.try_pop() {
                 Some(job) => {
                     conns.push(Conn::adopt(job));
+                    adopted = true;
                     progress = true;
                 }
                 None => break,
             }
         }
+        if adopted {
+            service.note_queue_depth(queue.len() as u64);
+        }
         conns.retain_mut(|conn| {
-            let (keep, moved) = sweep(conn, service, queue, &scope);
+            let (keep, moved) = sweep(conn, service, queue, index, &scope);
             progress |= moved;
             keep
         });
@@ -477,6 +485,7 @@ fn sweep(
     conn: &mut Conn,
     service: &MappingService,
     queue: &Queue,
+    worker: usize,
     scope: &TraceScope<'_>,
 ) -> (bool, bool) {
     let mut progress = false;
@@ -491,7 +500,7 @@ fn sweep(
         Err(_) => return (false, true),
     }
     if conn.drain_remaining.is_none() && !conn.close_after_flush {
-        progress |= answer_buffered(conn, service, queue, scope);
+        progress |= answer_buffered(conn, service, queue, worker, scope);
     }
     match conn.flush(service) {
         Ok(drained) => {
@@ -530,6 +539,7 @@ fn answer_buffered(
     conn: &mut Conn,
     service: &MappingService,
     queue: &Queue,
+    worker: usize,
     scope: &TraceScope<'_>,
 ) -> bool {
     let mut pos = 0usize;
@@ -555,7 +565,7 @@ fn answer_buffered(
                     let line = String::from_utf8_lossy(&conn.inbuf[pos..]).into_owned();
                     pos = conn.inbuf.len();
                     progress = true;
-                    respond_line(conn, service, queue, scope, &line);
+                    respond_line(conn, service, queue, worker, scope, &line);
                 }
                 break;
             }
@@ -563,7 +573,7 @@ fn answer_buffered(
                 let line = String::from_utf8_lossy(&conn.inbuf[pos..pos + line_len]).into_owned();
                 pos += consumed;
                 progress = true;
-                respond_line(conn, service, queue, scope, &line);
+                respond_line(conn, service, queue, worker, scope, &line);
                 if conn.close_after_flush {
                     break;
                 }
@@ -589,7 +599,7 @@ fn answer_buffered(
                         continue;
                     }
                 };
-                let response = answer(conn, service, queue, scope, request);
+                let response = answer(conn, service, queue, worker, scope, request);
                 let shutdown_now = matches!(response, Response::Shutdown { .. });
                 push_frame(conn, &response, frame.corr_id);
                 if shutdown_now {
@@ -640,6 +650,7 @@ fn respond_line(
     conn: &mut Conn,
     service: &MappingService,
     queue: &Queue,
+    worker: usize,
     scope: &TraceScope<'_>,
     line: &str,
 ) {
@@ -648,7 +659,7 @@ fn respond_line(
     }
     let response = match Request::from_line(line) {
         Err(bad) => service.reject(&bad.id, bad.code, bad.message),
-        Ok(request) => answer(conn, service, queue, scope, request),
+        Ok(request) => answer(conn, service, queue, worker, scope, request),
     };
     let shutdown_now = matches!(response, Response::Shutdown { .. });
     push_line(conn, &response);
@@ -664,6 +675,7 @@ fn answer(
     conn: &mut Conn,
     service: &MappingService,
     queue: &Queue,
+    worker: usize,
     scope: &TraceScope<'_>,
     request: Request,
 ) -> Response {
@@ -697,13 +709,23 @@ fn answer(
                     ),
                 )
             } else {
+                if scope.enabled() {
+                    // The wait already happened (between accept and
+                    // adoption), so the span is backdated; the ring
+                    // export sorts by timestamp.
+                    let now = scope.trace.now();
+                    scope
+                        .trace
+                        .span_begin(scope.track, "queue_wait", now - queue_wait_s);
+                    scope.trace.span_end(scope.track, "queue_wait", now);
+                }
                 scope.span_begin("request");
-                let out = service.handle_map(&m, queue_wait_s);
+                let out = service.handle_map_on(&m, queue_wait_s, worker, *scope);
                 scope.span_end("request");
                 out
             }
         }
-        other => service.handle(&other),
+        other => service.handle_on(&other, worker, *scope),
     }
 }
 

@@ -26,15 +26,17 @@ use crate::cache::FingerprintCache;
 use crate::clock::{Clock, WallClock};
 use crate::federation::LeaseJournal;
 use crate::fingerprint::Fingerprint;
+use crate::hist::{HistKind, HistSet, SCHEMA_VERSION};
 use crate::inventory::ClusterInventory;
 use crate::proto::{
-    CacheTier, ErrorCode, ErrorResponse, JournalResponse, MapRequest, MapResponse, Request,
-    Response, StatsResponse,
+    CacheTier, ErrorCode, ErrorResponse, HistSummary, JournalResponse, MapRequest, MapResponse,
+    Request, Response, StatsDetail, StatsResponse, TraceDumpResponse, WireTraceEvent, WireTrack,
 };
 use baselines::{GreedyMapper, MonteCarlo, MpippMapper, RandomMapper};
 use commgraph::CommPattern;
 use geomap_core::{
-    cost, ConstraintVector, GeoMapper, Mapper, Mapping, MappingProblem, Metrics, Trace,
+    cost, ConstraintVector, GeoMapper, Mapper, Mapping, MappingProblem, Metrics, RingBufferSink,
+    Trace, TraceEventKind, TraceScope,
 };
 use geonet::{io as netio, Calibrator, SiteNetwork};
 use std::collections::HashSet;
@@ -71,6 +73,17 @@ pub struct ServiceConfig {
     /// Event tracing: the front-end opens one track per worker; the
     /// handle is also threaded into the mappers' own search spans.
     pub trace: Trace,
+    /// The ring behind `trace`, when the daemon should answer
+    /// [`Request::TraceDump`] — `geomap observe` collects these rings
+    /// fleet-wide and merges them into one timeline. `None` (the
+    /// default) rejects dump requests; the trace handle itself may
+    /// still stream elsewhere.
+    pub trace_ring: Option<Arc<RingBufferSink>>,
+    /// Record per-request-kind latency histograms (queue wait, solve,
+    /// end-to-end), sharded per worker and merged on `stats` reads.
+    /// The off path is a single bool check per request — the criterion
+    /// contract in `bench` pins its overhead.
+    pub record_hists: bool,
     /// The clock lease expiry (inventory and journal) reads. Production
     /// is [`WallClock`]; deterministic tests inject a
     /// [`crate::clock::VirtualClock`] shared with the fault plan so
@@ -90,6 +103,8 @@ impl Default for ServiceConfig {
             default_lease_ttl: None,
             metrics: Metrics::off(),
             trace: Trace::off(),
+            trace_ring: None,
+            record_hists: true,
             clock: Arc::new(WallClock),
         }
     }
@@ -190,6 +205,9 @@ pub struct MappingService {
     last_good: Mutex<Option<LastGoodCalibration>>,
     calib_generation: AtomicU64,
     metrics: Metrics,
+    hists: HistSet,
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
     served: AtomicU64,
     result_hits: AtomicU64,
     problem_hits: AtomicU64,
@@ -222,6 +240,13 @@ impl MappingService {
             last_good: Mutex::new(None),
             calib_generation: AtomicU64::new(0),
             metrics: config.metrics.scoped("service"),
+            hists: if config.record_hists {
+                HistSet::new(config.workers)
+            } else {
+                HistSet::off()
+            },
+            queue_depth: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
             network,
             network_fp,
             config,
@@ -273,7 +298,16 @@ impl MappingService {
     /// refused once shutdown began — the TCP front-end gates admission
     /// itself (at accept time) so already-queued requests still drain.
     pub fn handle(&self, request: &Request) -> Response {
-        match request {
+        self.handle_on(request, 0, TraceScope::off())
+    }
+
+    /// [`MappingService::handle`] with an explicit histogram shard (the
+    /// TCP front-end passes its worker index so recording never
+    /// contends across reactors) and a trace scope (the worker's track)
+    /// for request-internal spans.
+    pub fn handle_on(&self, request: &Request, shard: usize, scope: TraceScope<'_>) -> Response {
+        let start = self.hists.enabled().then(Instant::now);
+        let (response, kind) = match request {
             Request::Map(m) => {
                 if self.is_shutting_down() {
                     return self.reject(
@@ -282,19 +316,29 @@ impl MappingService {
                         "daemon is draining; not accepting new mapping requests".into(),
                     );
                 }
-                self.handle_map(m, 0.0)
+                return self.handle_map_on(m, 0.0, shard, scope);
             }
-            Request::Release { id, lease } => self.handle_release(id, *lease),
-            Request::Stats { id } => Response::Stats(self.stats(id)),
-            Request::Journal { id, key } => self.handle_journal(id, key),
+            Request::Release { id, lease } => {
+                (self.handle_release(id, *lease), HistKind::ReleaseE2e)
+            }
+            Request::Stats { id, detail } => {
+                (Response::Stats(self.stats(id, *detail)), HistKind::StatsE2e)
+            }
+            Request::TraceDump { id } => return self.trace_dump(id),
+            Request::Journal { id, key } => return self.handle_journal(id, key),
             Request::Shutdown { id } => {
                 self.begin_shutdown();
-                Response::Shutdown {
+                return Response::Shutdown {
                     id: id.clone(),
                     draining: 0,
-                }
+                };
             }
+        };
+        if let Some(start) = start {
+            self.hists
+                .record_secs(kind, shard, start.elapsed().as_secs_f64());
         }
+        response
     }
 
     /// Handle a `map` request that already waited `queue_wait_s` in an
@@ -302,6 +346,47 @@ impl MappingService {
     /// here: the caller decides admission, so a draining server can
     /// still finish what it admitted.
     pub fn handle_map(&self, m: &MapRequest, queue_wait_s: f64) -> Response {
+        self.handle_map_on(m, queue_wait_s, 0, TraceScope::off())
+    }
+
+    /// [`MappingService::handle_map`] with an explicit histogram shard
+    /// and the worker's trace scope. When the request carries a sampled
+    /// [`TraceContext`](crate::proto::TraceContext), the scope's track
+    /// is tagged with the trace id (a `trace` counter sample) so the
+    /// fleet-timeline merge can follow one request across daemons.
+    pub fn handle_map_on(
+        &self,
+        m: &MapRequest,
+        queue_wait_s: f64,
+        shard: usize,
+        scope: TraceScope<'_>,
+    ) -> Response {
+        let start = self.hists.enabled().then(Instant::now);
+        if scope.enabled() {
+            if let Some(t) = &m.trace {
+                if t.sampled {
+                    #[allow(clippy::cast_precision_loss)] // trace ids are 53-bit
+                    scope.counter("trace", t.trace_id as f64);
+                }
+            }
+        }
+        let response = self.handle_map_inner(m, queue_wait_s, shard, scope);
+        if let Some(start) = start {
+            let e2e = queue_wait_s + start.elapsed().as_secs_f64();
+            self.hists.record_secs(HistKind::MapE2e, shard, e2e);
+            self.hists
+                .record_secs(HistKind::MapQueueWait, shard, queue_wait_s);
+        }
+        response
+    }
+
+    fn handle_map_inner(
+        &self,
+        m: &MapRequest,
+        queue_wait_s: f64,
+        shard: usize,
+        scope: TraceScope<'_>,
+    ) -> Response {
         self.metrics.counter("requests", 1);
         self.metrics.timing("phase.queue_wait", queue_wait_s);
 
@@ -424,17 +509,20 @@ impl MappingService {
         {
             self.result_hits.fetch_add(1, Ordering::Relaxed);
             self.metrics.counter("cache.result_hit", 1);
+            scope.instant("cache.result_hit");
             (hit, CacheTier::Result)
         } else {
             let (prepared, tier) = match self.problems.get(problem_key) {
                 Some(p) => {
                     self.problem_hits.fetch_add(1, Ordering::Relaxed);
                     self.metrics.counter("cache.problem_hit", 1);
+                    scope.instant("cache.problem_hit");
                     (p, CacheTier::Problem)
                 }
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     self.metrics.counter("cache.miss", 1);
+                    scope.instant("cache.miss");
                     // A memo hit skipped the parse; a problem-cache miss
                     // is the one path that still needs the parsed
                     // pattern and constraints, so they materialize here
@@ -453,12 +541,14 @@ impl MappingService {
                     // report how many generations old that is.
                     let generation = self.calib_generation.fetch_add(1, Ordering::SeqCst) + 1;
                     let fallback = self.last_good.lock().expect("calibration lock").clone();
+                    scope.span_begin("calibrate");
                     let report = self.metrics.timed("phase.calibrate", || {
                         Calibrator::new(m.calibration.to_config()).calibrate_resilient(
                             &self.network,
                             fallback.as_ref().map(|g| &g.estimated),
                         )
                     });
+                    scope.span_end("calibrate");
                     let report = match report {
                         Ok(r) => r,
                         Err(e) => {
@@ -504,7 +594,10 @@ impl MappingService {
                     (prepared, CacheTier::Miss)
                 }
             };
-            match self.solve(m, &prepared) {
+            scope.span_begin("solve");
+            let outcome = self.solve(m, &prepared);
+            scope.span_end("solve");
+            match outcome {
                 Ok(solved) => {
                     let solved = Arc::new(solved);
                     self.results.insert(result_key, solved.clone());
@@ -516,7 +609,9 @@ impl MappingService {
         let solve_s = if tier == CacheTier::Result {
             0.0
         } else {
-            solve_start.elapsed().as_secs_f64()
+            let s = solve_start.elapsed().as_secs_f64();
+            self.hists.record_secs(HistKind::MapSolve, shard, s);
+            s
         };
         self.metrics.timing("phase.solve", solve_s);
 
@@ -527,7 +622,10 @@ impl MappingService {
                 .lease_ttl_ms
                 .map(Duration::from_millis)
                 .or(self.config.default_lease_ttl);
-            match self.inventory.reserve(&site_counts, ttl) {
+            scope.span_begin("reserve");
+            let reserved = self.inventory.reserve(&site_counts, ttl);
+            scope.span_end("reserve");
+            match reserved {
                 Ok(lease) => {
                     // Journal keyed reservations: the federation router
                     // reconciles cross-shard retries by asking "which
@@ -787,8 +885,25 @@ impl MappingService {
         }
     }
 
-    /// Current counters and inventory state.
-    pub fn stats(&self, id: &str) -> StatsResponse {
+    /// Current counters and inventory state. With `detail`, also the
+    /// admission-queue watermarks, the per-site lease ledger, and every
+    /// latency histogram (summaries + full bucket dumps, so a
+    /// federation router can merge them exactly).
+    pub fn stats(&self, id: &str, detail: bool) -> StatsResponse {
+        let detail = detail.then(|| {
+            let (_free, leased) = self.inventory.ledger();
+            StatsDetail {
+                hist_schema: SCHEMA_VERSION,
+                queue_depth: self.queue_depth.load(Ordering::Relaxed),
+                max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+                leased_nodes: leased,
+                hists: HistKind::ALL
+                    .iter()
+                    .map(|k| HistSummary::from_histogram(k.label(), &self.hists.merged(*k)))
+                    .collect(),
+                shards: 1,
+            }
+        });
         StatsResponse {
             id: id.to_string(),
             served: self.served.load(Ordering::Relaxed),
@@ -799,7 +914,67 @@ impl MappingService {
             replays: self.replays.load(Ordering::Relaxed),
             free_nodes: self.inventory.free_nodes(),
             active_leases: self.inventory.active_leases() as u64,
+            detail,
         }
+    }
+
+    /// Dump the daemon's trace ring for the fleet-timeline collector.
+    /// `now_s` is the daemon's trace clock at dump time — the collector
+    /// brackets the request with its own clock reads and aligns tracks
+    /// by the midpoint offset.
+    fn trace_dump(&self, id: &str) -> Response {
+        let Some(ring) = &self.config.trace_ring else {
+            return self.reject(
+                id,
+                ErrorCode::BadRequest,
+                "tracing ring is not enabled on this daemon".into(),
+            );
+        };
+        let tracks = ring
+            .tracks()
+            .into_iter()
+            .map(|t| WireTrack {
+                track: t.id.0,
+                process: t.process,
+                name: t.name,
+            })
+            .collect();
+        let events = ring
+            .snapshot()
+            .into_iter()
+            .map(|e| WireTraceEvent {
+                track: e.track.0,
+                name: e.name.to_string(),
+                kind: match e.kind {
+                    TraceEventKind::SpanBegin => WireTraceEvent::SPAN_BEGIN,
+                    TraceEventKind::SpanEnd => WireTraceEvent::SPAN_END,
+                    TraceEventKind::Instant => WireTraceEvent::INSTANT,
+                    TraceEventKind::Counter => WireTraceEvent::COUNTER,
+                },
+                ts_s: e.ts,
+                value: e.value,
+            })
+            .collect();
+        Response::TraceDump(TraceDumpResponse {
+            id: id.to_string(),
+            now_s: self.config.trace.now(),
+            dropped: ring.dropped(),
+            tracks,
+            events,
+        })
+    }
+
+    /// The latency histograms (bench read-back and tests).
+    pub fn hists(&self) -> &HistSet {
+        &self.hists
+    }
+
+    /// Note the admission queue's current depth (the TCP front-end
+    /// reports after every push/pop); `stats` detail exposes the
+    /// current value and the high-water mark.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Record a rejection and build the error response. The TCP

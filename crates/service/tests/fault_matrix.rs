@@ -233,7 +233,7 @@ fn lost_response_on_reserving_map_replays_the_same_lease() {
             "{} caused a duplicate reservation",
             fault.label()
         );
-        let stats = svc.stats("after");
+        let stats = svc.stats("after", false);
         assert_eq!(
             stats.replays,
             1,
@@ -262,7 +262,7 @@ fn exhausted_retry_budget_is_a_typed_retryable_error() {
         other => panic!("expected a typed retryable error, got {other:?}"),
     }
     // Nothing ever reached the service.
-    assert_eq!(svc.stats("s").served, 0);
+    assert_eq!(svc.stats("s", false).served, 0);
     assert_conserved(&svc, "exhausted budget");
 }
 
@@ -327,7 +327,7 @@ fn non_retryable_refusals_are_returned_not_retried() {
     }
     // One rejection recorded: the client did not burn retries on a
     // refusal that retrying cannot fix.
-    assert_eq!(svc.stats("s").rejected, 1);
+    assert_eq!(svc.stats("s", false).rejected, 1);
 }
 
 // ------------------------------------------------------------- storm
@@ -366,6 +366,13 @@ fn signature(outcome: &Result<Response, ClientError>) -> String {
         Ok(Response::Journal(j)) => format!(
             "journal id={} key={} held={} lease={:?} counts={:?}",
             j.id, j.key, j.held, j.lease, j.site_counts
+        ),
+        Ok(Response::TraceDump(d)) => format!(
+            "trace-dump id={} tracks={} events={} dropped={}",
+            d.id,
+            d.tracks.len(),
+            d.events.len(),
+            d.dropped
         ),
         Err(e) => format!("client-error {e}"),
     }
@@ -567,7 +574,13 @@ fn writes_split_inside_the_length_prefix_still_decode() {
     // Deliver one stats frame in three writes with pauses between:
     // magic alone, then up to the middle of the length prefix, then
     // the rest. The reactor must treat every prefix as Pending.
-    let wire = frame::encode_request(&Request::Stats { id: "split".into() }, 77);
+    let wire = frame::encode_request(
+        &Request::Stats {
+            id: "split".into(),
+            detail: false,
+        },
+        77,
+    );
     for chunk in [&wire[..1], &wire[1..13], &wire[13..]] {
         stream.write_all(chunk).expect("chunk write");
         stream.flush().expect("flush");
@@ -610,7 +623,10 @@ fn garbage_inside_a_valid_frame_is_an_error_and_the_connection_survives() {
     // Same connection, now a well-formed request: still served.
     stream
         .write_all(&frame::encode_request(
-            &Request::Stats { id: "ok".into() },
+            &Request::Stats {
+                id: "ok".into(),
+                detail: false,
+            },
             43,
         ))
         .expect("stats write");

@@ -69,6 +69,13 @@ fn build_map_request(
     m.lease_ttl_ms = (bits & 2 != 0).then_some(ttl);
     m.use_result_cache = bits & 1 == 0;
     m.idempotency_key = (bits & 4 != 0).then(|| format!("key-{seed}\"\\\u{0}"));
+    // The optional trace extension (PR 8): absent on half the corpus,
+    // so the sweep covers both the bare and the extended encodings.
+    m.trace = (bits & 8 != 0).then(|| geomap_service::TraceContext {
+        trace_id: seed & ((1 << 53) - 1),
+        parent_span: seed.rotate_left(17),
+        sampled: bits & 1 == 0,
+    });
     m
 }
 
@@ -166,7 +173,7 @@ proptest! {
         kappa in 1usize..64,
         samples in 1usize..100_000,
         rates in (0.0f64..1.0, 0.0f64..0.999),
-        flags in (0u32..8, 0u64..(1 << 62), 0u64..(1 << 62), 0u64..u64::MAX),
+        flags in (0u32..16, 0u64..(1 << 62), 0u64..(1 << 62), 0u64..u64::MAX),
     ) {
         let (noise, loss) = rates;
         let (bits, deadline, ttl, corr) = flags;
@@ -187,14 +194,18 @@ proptest! {
     #[test]
     fn control_requests_roundtrip_through_frames(
         lease in 0u64..u64::MAX,
-        pick in 0usize..3,
+        pick in 0usize..4,
         tail_bytes in prop::collection::vec(0u8..127, 0..24),
     ) {
         let tail = String::from_utf8_lossy(&tail_bytes);
         let id = format!("id-\u{1F30D}-{tail}");
         let req = match pick {
             0 => Request::Release { id, lease },
-            1 => Request::Stats { id },
+            1 => Request::Stats {
+                id,
+                detail: lease % 2 == 0,
+            },
+            2 => Request::TraceDump { id },
             _ => Request::Shutdown { id },
         };
         let wire = frame::encode_request(&req, lease);
@@ -245,6 +256,7 @@ proptest! {
                 replays: served / 11,
                 free_nodes: counts.clone(),
                 active_leases: lease % 100,
+                detail: None,
             }),
             3 => Response::Shutdown {
                 id: "q".into(),
@@ -280,7 +292,13 @@ proptest! {
 #[test]
 fn peek_corr_id_matches_decode() {
     for corr in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
-        let wire = frame::encode_request(&Request::Stats { id: "x".into() }, corr);
+        let wire = frame::encode_request(
+            &Request::Stats {
+                id: "x".into(),
+                detail: false,
+            },
+            corr,
+        );
         assert_eq!(Frame::peek_corr_id(&wire), Some(corr));
         assert_eq!(Frame::peek_corr_id(&wire[..FRAME_HEADER_BYTES - 1]), None);
     }

@@ -1,0 +1,228 @@
+//! Property tests for the log-linear latency histogram.
+//!
+//! The histogram is the unit of *exact* cross-shard aggregation: the
+//! federation router merges per-daemon bucket dumps and recomputes
+//! percentiles from the merged counts, never averaging percentiles.
+//! That is only sound if merging is a homomorphism (associative,
+//! commutative, identity = empty) and the bucketing keeps every
+//! recorded value within its bucket's bounds — exactly the properties
+//! swept here.
+//!
+//! Case counts honor `HIST_PROPTEST_CASES` (falling back to
+//! `JSON_PROPTEST_CASES` so CI's reduced sweeps tune every layer with
+//! one knob).
+
+use geomap_service::hist::{
+    bucket_bound, bucket_index, bucket_lower, bucket_width, HistKind, HistSet, Histogram, Sharded,
+    BUCKET_COUNT,
+};
+use proptest::prelude::*;
+
+fn cases(default: u32) -> u32 {
+    ["HIST_PROPTEST_CASES", "JSON_PROPTEST_CASES"]
+        .iter()
+        .find_map(|var| std::env::var(var).ok()?.parse().ok())
+        .unwrap_or(default)
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Bucket-level equality (the wire representation): counts, totals and
+/// extrema all agree.
+fn same(a: &Histogram, b: &Histogram) -> bool {
+    a.nonzero_buckets() == b.nonzero_buckets()
+        && a.count() == b.count()
+        && a.sum() == b.sum()
+        && a.min() == b.min()
+        && a.max() == b.max()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(128)))]
+
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)) on every
+    /// observable: bucket dump, count, sum, extrema.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..24),
+        b in prop::collection::vec(0u64..u64::MAX, 0..24),
+        c in prop::collection::vec(0u64..u64::MAX, 0..24),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert!(same(&left, &right));
+    }
+
+    /// merge(a, b) == merge(b, a), and merging the empty histogram is
+    /// the identity.
+    #[test]
+    fn merge_is_commutative_with_empty_identity(
+        a in prop::collection::vec(0u64..u64::MAX, 0..32),
+        b in prop::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert!(same(&ab, &ba));
+        let mut with_empty = ha.clone();
+        with_empty.merge(&Histogram::new());
+        prop_assert!(same(&with_empty, &ha));
+    }
+
+    /// Merging equals recording the concatenation — the property the
+    /// router's scatter-gather aggregation actually relies on.
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in prop::collection::vec(0u64..u64::MAX, 0..32),
+        b in prop::collection::vec(0u64..u64::MAX, 0..32),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert!(same(&merged, &hist_of(&concat)));
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        values in prop::collection::vec(0u64..u64::MAX, 1..64),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&values);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let (vlo, vhi) = (h.quantile(lo).unwrap(), h.quantile(hi).unwrap());
+        prop_assert!(vlo <= vhi, "q{lo} -> {vlo} > q{hi} -> {vhi}");
+        // The reported quantile can exceed max only by quantization
+        // (it is a bucket bound), never undershoot min's bucket.
+        prop_assert!(vhi <= bucket_bound(bucket_index(h.max().unwrap())));
+        prop_assert!(vlo >= bucket_lower(bucket_index(h.min().unwrap())));
+    }
+
+    /// Every value lands in the bucket whose bounds contain it, and
+    /// the relative quantization error is bounded by the bucket width.
+    #[test]
+    fn recorded_values_stay_within_their_bucket(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKET_COUNT);
+        // `bucket_bound` is the *inclusive* upper bound (Prometheus
+        // `le` semantics): bound = lower + width - 1.
+        let (lo, bound) = (bucket_lower(i), bucket_bound(i));
+        if i + 1 < BUCKET_COUNT {
+            prop_assert!(lo <= v && v <= bound, "{v} outside [{lo}, {bound}]");
+        } else {
+            prop_assert!(v >= lo, "{v} below the clamp bucket at {lo}");
+        }
+        prop_assert_eq!(bound - lo, bucket_width(i) - 1);
+        // A single-value histogram answers every quantile with that
+        // value's own bucket bound — error ≤ one bucket width.
+        let h = hist_of(&[v]);
+        let q = h.quantile(0.5).unwrap();
+        prop_assert!(q >= lo && q <= bound, "quantile {q} escaped [{lo}, {bound}]");
+    }
+}
+
+#[test]
+fn empty_histogram_answers_nothing() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.min(), None);
+    assert_eq!(h.max(), None);
+    assert_eq!(h.quantile(0.5), None);
+    assert!(h.nonzero_buckets().is_empty());
+}
+
+#[test]
+fn single_value_histogram_is_exact_in_the_exact_region() {
+    // Values below 2^SUB_BUCKET_BITS have unit-width buckets: every
+    // quantile is the value itself (bucket bound = v + 1 is the
+    // documented half-open convention, so the bound's lower edge).
+    for v in [0u64, 1, 7, 15] {
+        let h = hist_of(&[v]);
+        assert_eq!(h.min(), Some(v));
+        assert_eq!(h.max(), Some(v));
+        assert_eq!(h.count(), 1);
+        let q = h.quantile(0.999).unwrap();
+        assert!(
+            q == v || q == v + 1,
+            "exact-region value {v} answered quantile {q}"
+        );
+    }
+}
+
+/// Sixteen writer threads against one `Sharded` histogram while a
+/// reader snapshots concurrently: every snapshot is internally
+/// consistent (Σ bucket counts == count) and the final merge holds
+/// exactly the recorded population.
+#[test]
+fn concurrent_records_never_tear_snapshots() {
+    const THREADS: usize = 16;
+    const PER_THREAD: u64 = 2_000;
+    let sharded = Sharded::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let sharded = &sharded;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across the bucket range.
+                    sharded.record(t, (i * 7 + t as u64) % 1_000_000);
+                }
+            });
+        }
+        // Concurrent reader: merged snapshots mid-flight must be
+        // self-consistent even while counts are still climbing.
+        let sharded = &sharded;
+        scope.spawn(move || {
+            for _ in 0..50 {
+                let snap = sharded.merged();
+                let bucket_total: u64 = snap.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+                assert_eq!(
+                    bucket_total,
+                    snap.count(),
+                    "snapshot tore: bucket sum disagrees with count"
+                );
+                std::thread::yield_now();
+            }
+        });
+    });
+    let final_merge = sharded.merged();
+    assert_eq!(final_merge.count(), (THREADS as u64) * PER_THREAD);
+    let bucket_total: u64 = final_merge.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, final_merge.count());
+}
+
+/// The `HistSet` facade: off() records nothing and merges empty; new()
+/// routes every kind independently.
+#[test]
+fn hist_set_off_and_kind_routing() {
+    let off = HistSet::off();
+    assert!(!off.enabled());
+    off.record_secs(HistKind::MapE2e, 0, 0.5);
+    assert_eq!(off.merged(HistKind::MapE2e).count(), 0);
+
+    let on = HistSet::new(2);
+    assert!(on.enabled());
+    on.record_secs(HistKind::MapE2e, 0, 0.001);
+    on.record_secs(HistKind::MapE2e, 1, 0.002);
+    on.record_secs(HistKind::ReleaseE2e, 0, 0.003);
+    assert_eq!(on.merged(HistKind::MapE2e).count(), 2);
+    assert_eq!(on.merged(HistKind::ReleaseE2e).count(), 1);
+    assert_eq!(on.merged(HistKind::StatsE2e).count(), 0);
+    // 1 ms and 2 ms land in distinct buckets; the merge keeps both.
+    assert_eq!(on.merged(HistKind::MapE2e).nonzero_buckets().len(), 2);
+}

@@ -204,6 +204,7 @@ proptest! {
                 replays: served / 11,
                 free_nodes: counts.clone(),
                 active_leases: lease % 100,
+                detail: None,
             }),
             3 => Response::Shutdown {
                 id: "q".into(),

@@ -243,7 +243,7 @@ fn reserve_release_lifecycle_keeps_inventory_exact() {
         other => panic!("expected unknown_lease, got {other:?}"),
     }
 
-    let stats = svc.stats("s");
+    let stats = svc.stats("s", false);
     assert_eq!(stats.served, 1);
     assert_eq!(stats.rejected, 2); // insufficient_nodes + unknown_lease
     assert_eq!(stats.active_leases, 0);
@@ -296,7 +296,7 @@ fn idempotent_retry_replays_the_same_lease_verbatim() {
     assert_eq!(m2.lease, Some(lease));
 
     assert_eq!(svc.inventory().active_leases(), 1, "retry double-reserved");
-    let stats = svc.stats("s");
+    let stats = svc.stats("s", false);
     assert_eq!(stats.served, 1, "replay must not count as served");
     assert_eq!(stats.replays, 1);
 
@@ -502,7 +502,7 @@ fn concurrent_duplicates_of_one_key_reserve_exactly_once() {
         1,
         "a mid-solve retry reserved a second lease"
     );
-    let stats = svc.stats("s");
+    let stats = svc.stats("s", false);
     assert_eq!(stats.served, 1, "the solve must have run exactly once");
     assert_eq!(stats.replays, 7, "the other 7 must be replays");
 }

@@ -1,0 +1,224 @@
+//! Cross-version wire compatibility for the PR 8 observability
+//! extensions.
+//!
+//! The trace context (v2 map payload) and the stats detail flag are
+//! *trailing, opt-in* extensions. Two guarantees keep old and new
+//! peers interoperable:
+//!
+//! * **old client → new server**: bytes produced by the pre-extension
+//!   encoders — hand-built here, field by field, against the frozen
+//!   PR 7 layout — must decode on today's code, with the new fields at
+//!   their defaults (`trace: None`, `detail: false`), and must be
+//!   served end-to-end by a live daemon.
+//! * **new client → old server**: a new client that doesn't opt in
+//!   must emit bytes an old decoder accepts. Encoders can't be run
+//!   against old code, so the test pins the equivalent claim: the
+//!   default-encoded bytes are identical to the hand-built PR 7 bytes,
+//!   and the opted-in encodings differ only by a strictly trailing
+//!   suffix.
+
+use geomap_service::frame::{self, Frame, FrameKind};
+use geomap_service::proto::{MapRequest, Request, Response, TraceContext};
+use geomap_service::{MappingServer, MappingService, ServiceConfig};
+use geonet::{presets, InstanceType};
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// PR 7 v2 payload for `Stats { id }`: tag 3 + length-prefixed id,
+/// nothing else.
+fn pr7_stats_payload(id: &str) -> Vec<u8> {
+    let mut p = vec![3u8];
+    p.extend_from_slice(&(id.len() as u32).to_le_bytes());
+    p.extend_from_slice(id.as_bytes());
+    p
+}
+
+/// PR 7 v2 payload for a minimal map request: every field in the
+/// frozen order, no trailing trace extension.
+fn pr7_map_payload(m: &MapRequest) -> Vec<u8> {
+    assert!(m.trace.is_none(), "PR 7 payloads have no trace field");
+    let mut p = vec![1u8];
+    let put_str = |p: &mut Vec<u8>, s: &str| {
+        p.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        p.extend_from_slice(s.as_bytes());
+    };
+    let put_opt_u64 = |p: &mut Vec<u8>, x: Option<u64>| match x {
+        Some(v) => {
+            p.push(1);
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        None => p.push(0),
+    };
+    put_str(&mut p, &m.id);
+    put_str(&mut p, &m.pattern_csv);
+    put_opt_u64(&mut p, m.ranks.map(|r| r as u64));
+    match &m.constraints_csv {
+        Some(c) => {
+            p.push(1);
+            put_str(&mut p, c);
+        }
+        None => p.push(0),
+    }
+    put_str(&mut p, &m.algorithm);
+    p.extend_from_slice(&m.seed.to_le_bytes());
+    p.extend_from_slice(&(m.kappa as u64).to_le_bytes());
+    p.extend_from_slice(&(m.samples as u64).to_le_bytes());
+    p.extend_from_slice(&(m.calibration.days as u64).to_le_bytes());
+    p.extend_from_slice(&(m.calibration.probes_per_day as u64).to_le_bytes());
+    p.extend_from_slice(&m.calibration.noise_cv.to_bits().to_le_bytes());
+    p.extend_from_slice(&m.calibration.loss_rate.to_bits().to_le_bytes());
+    p.extend_from_slice(&m.calibration.seed.to_le_bytes());
+    put_opt_u64(&mut p, m.deadline_ms);
+    p.push(u8::from(m.reserve));
+    put_opt_u64(&mut p, m.lease_ttl_ms);
+    p.push(u8::from(m.use_result_cache));
+    match &m.idempotency_key {
+        Some(k) => {
+            p.push(1);
+            put_str(&mut p, k);
+        }
+        None => p.push(0),
+    }
+    p
+}
+
+fn minimal_map() -> MapRequest {
+    MapRequest::new("compat", "src,dst,bytes,msgs\n0,1,5,2\n1,0,7,3\n")
+}
+
+/// Old-client bytes decode on the new code with the extensions at
+/// their defaults; new-client default bytes are identical to them.
+#[test]
+fn pr7_payloads_decode_and_default_encodings_match_them() {
+    // Stats: old shape ⇒ detail: false, and vice versa.
+    let old = pr7_stats_payload("st");
+    let decoded = frame::decode_request_payload(&old).expect("old stats decodes");
+    assert_eq!(
+        decoded,
+        Request::Stats {
+            id: "st".into(),
+            detail: false
+        }
+    );
+    assert_eq!(frame::request_payload(&decoded), old, "stats bytes drifted");
+
+    // Map: old shape ⇒ trace: None, and vice versa.
+    let m = minimal_map();
+    let old = pr7_map_payload(&m);
+    let decoded = frame::decode_request_payload(&old).expect("old map decodes");
+    assert_eq!(decoded, Request::Map(m.clone()));
+    assert_eq!(frame::request_payload(&decoded), old, "map bytes drifted");
+}
+
+/// The opted-in encodings append strictly trailing bytes — the shared
+/// prefix is the exact PR 7 payload, so the extension can never shift
+/// a field an old peer reads.
+#[test]
+fn extensions_are_strictly_trailing() {
+    let detailed = frame::request_payload(&Request::Stats {
+        id: "st".into(),
+        detail: true,
+    });
+    let plain = pr7_stats_payload("st");
+    assert_eq!(&detailed[..plain.len()], &plain[..]);
+    assert_eq!(detailed.len(), plain.len() + 1, "detail flag is one bool");
+
+    let mut traced = minimal_map();
+    traced.trace = Some(TraceContext {
+        trace_id: 0xABCDE,
+        parent_span: 7,
+        sampled: true,
+    });
+    let traced_bytes = frame::request_payload(&Request::Map(traced));
+    let plain_bytes = pr7_map_payload(&minimal_map());
+    assert_eq!(&traced_bytes[..plain_bytes.len()], &plain_bytes[..]);
+    assert_eq!(
+        traced_bytes.len(),
+        plain_bytes.len() + 1 + 8 + 8 + 1,
+        "trace extension is marker + trace id + parent span + sampled"
+    );
+}
+
+/// v1 JSON: a PR 7-shape line (no `trace`, no `detail` keys) parses
+/// with the defaults, and a non-opted-in request emits no such keys.
+#[test]
+fn v1_lines_stay_compatible() {
+    let old_line = r#"{"v":1,"kind":"stats","id":"st"}"#;
+    let decoded = Request::from_line(old_line).expect("old v1 stats parses");
+    assert_eq!(
+        decoded,
+        Request::Stats {
+            id: "st".into(),
+            detail: false
+        }
+    );
+    assert!(!decoded.to_line().contains("detail"));
+
+    let map_line = Request::Map(minimal_map()).to_line();
+    assert!(!map_line.contains("trace"), "untraced map leaked a key");
+    assert_eq!(
+        Request::from_line(&map_line).expect("own line parses"),
+        Request::Map(minimal_map())
+    );
+}
+
+/// End-to-end: a live daemon serves raw hand-built PR 7 frames — an
+/// actual old client on the socket, not just the payload codec.
+#[test]
+fn old_client_round_trips_against_a_live_daemon() {
+    let service = MappingService::new(
+        presets::paper_ec2_network(4, InstanceType::M4Xlarge, 42),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let server = MappingServer::bind(service, "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let exchange = |payload: Vec<u8>, corr: u64| -> Response {
+        let frame = Frame {
+            kind: FrameKind::Request,
+            corr_id: corr,
+            payload,
+        };
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        stream.write_all(&frame.encode()).expect("write");
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "daemon closed before answering");
+            buf.extend_from_slice(&chunk[..n]);
+            match Frame::decode(&buf) {
+                Ok((f, _)) => {
+                    assert_eq!(f.corr_id, corr);
+                    return frame::decode_response_payload(&f.payload).expect("response decodes");
+                }
+                Err(frame::FrameError::Truncated { .. }) => continue,
+                Err(e) => panic!("bad response frame: {e:?}"),
+            }
+        }
+    };
+
+    match exchange(pr7_map_payload(&minimal_map()), 1) {
+        Response::Map(m) => assert_eq!(m.id, "compat"),
+        other => panic!("old-shape map got {other:?}"),
+    }
+    // An old stats response must come back without the detail section
+    // (the flag was never sent), in the old byte layout.
+    match exchange(pr7_stats_payload("st"), 2) {
+        Response::Stats(s) => {
+            assert_eq!(s.served, 1);
+            assert!(s.detail.is_none(), "unrequested detail leaked");
+        }
+        other => panic!("old-shape stats got {other:?}"),
+    }
+
+    let mut bye = geomap_service::ServiceClient::connect(&addr.to_string(), None).expect("client");
+    bye.shutdown("bye").expect("shutdown");
+    server.join();
+}

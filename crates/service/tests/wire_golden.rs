@@ -14,9 +14,11 @@
 //! — the diff then documents the change in review.
 
 use geomap_service::frame;
+use geomap_service::hist::{Histogram, SCHEMA_VERSION};
 use geomap_service::proto::{
-    CacheTier, CalibSpec, ErrorCode, ErrorResponse, MapRequest, MapResponse, Request, Response,
-    StatsResponse,
+    CacheTier, CalibSpec, ErrorCode, ErrorResponse, HistSummary, MapRequest, MapResponse, Request,
+    Response, StatsDetail, StatsResponse, TraceContext, TraceDumpResponse, WireTraceEvent,
+    WireTrack,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -59,9 +61,50 @@ fn request_corpus() -> Vec<(&'static str, u64, Request)> {
                 lease: 12345,
             },
         ),
-        ("stats", 4, Request::Stats { id: "st".into() }),
+        (
+            "stats",
+            4,
+            Request::Stats {
+                id: "st".into(),
+                detail: false,
+            },
+        ),
         ("shutdown", 5, Request::Shutdown { id: "bye".into() }),
+        // PR 8 extensions — appended so every pre-existing block above
+        // keeps its exact bytes (trace-free and detail-free encodings
+        // must stay bit-identical to the PR 7 fixtures).
+        (
+            "map traced",
+            6,
+            Request::Map(MapRequest {
+                trace: Some(TraceContext {
+                    trace_id: 0x000F_EED5_C0FF_EE42,
+                    parent_span: 77,
+                    sampled: true,
+                }),
+                ..MapRequest::new("traced", "src,dst,bytes,msgs\n0,1,1,1\n")
+            }),
+        ),
+        (
+            "stats detail",
+            7,
+            Request::Stats {
+                id: "st-d".into(),
+                detail: true,
+            },
+        ),
+        ("trace dump", 8, Request::TraceDump { id: "td".into() }),
     ]
+}
+
+/// A deterministic histogram summary for the detail-stats golden: three
+/// fixed samples through the real bucketing code.
+fn golden_hist() -> HistSummary {
+    let mut h = Histogram::default();
+    h.record(10); // exact bucket
+    h.record(1_000); // log-linear region
+    h.record(250_000);
+    HistSummary::from_histogram("map_e2e", &h)
 }
 
 fn response_corpus() -> Vec<(&'static str, u64, Response)> {
@@ -105,6 +148,7 @@ fn response_corpus() -> Vec<(&'static str, u64, Response)> {
                 replays: 3,
                 free_nodes: vec![16],
                 active_leases: 2,
+                detail: None,
             }),
         ),
         (
@@ -122,6 +166,67 @@ fn response_corpus() -> Vec<(&'static str, u64, Response)> {
                 id: "err".into(),
                 code: ErrorCode::OverCapacity,
                 message: "admission queue full (8 waiting); retry later".into(),
+            }),
+        ),
+        // PR 8 extensions — appended; blocks above stay byte-stable.
+        (
+            "stats detail",
+            6,
+            Response::Stats(StatsResponse {
+                id: "st-d".into(),
+                served: 100,
+                result_hits: 40,
+                problem_hits: 20,
+                misses: 40,
+                rejected: 5,
+                replays: 3,
+                free_nodes: vec![16],
+                active_leases: 2,
+                detail: Some(StatsDetail {
+                    hist_schema: SCHEMA_VERSION,
+                    queue_depth: 1,
+                    max_queue_depth: 4,
+                    leased_nodes: vec![2],
+                    hists: vec![golden_hist()],
+                    shards: 1,
+                }),
+            }),
+        ),
+        (
+            "trace dump",
+            7,
+            Response::TraceDump(TraceDumpResponse {
+                id: "td".into(),
+                now_s: 1.5,
+                dropped: 1,
+                tracks: vec![WireTrack {
+                    track: 0,
+                    process: "service".into(),
+                    name: "worker-0".into(),
+                }],
+                events: vec![
+                    WireTraceEvent {
+                        track: 0,
+                        name: "request".into(),
+                        kind: WireTraceEvent::SPAN_BEGIN,
+                        ts_s: 0.25,
+                        value: 0.0,
+                    },
+                    WireTraceEvent {
+                        track: 0,
+                        name: "trace".into(),
+                        kind: WireTraceEvent::COUNTER,
+                        ts_s: 0.25,
+                        value: 4503599627370495.0, // 2^52 - 1: f64-exact
+                    },
+                    WireTraceEvent {
+                        track: 0,
+                        name: "request".into(),
+                        kind: WireTraceEvent::SPAN_END,
+                        ts_s: 0.5,
+                        value: 0.0,
+                    },
+                ],
             }),
         ),
     ]

@@ -46,6 +46,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "serve" => service_cmd::serve(&args),
         "request" => service_cmd::request(&args),
         "federate" => service_cmd::federate(&args),
+        "churn" => service_cmd::churn(&args),
         "stats" => observe_cmd::stats(&args),
         "observe" => observe_cmd::observe(&args),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -93,11 +94,19 @@ commands:
             cache affinity, reserve/release keyed leases through the
             reconciling router, and verify every shard's ledger
             returns to full capacity (exits non-zero otherwise)
+  churn     --network FILE [--ranks N] [--rounds R] [--budget B] [--alpha A]
+            [--seed S] [--timeout-ms T]
+            drive a loopback daemon through a seeded drift scenario:
+            place a leased application, flip site capacities, let the
+            reconciler publish bounded-migration remap diffs (printed
+            as JSON lines), and verify budget/cost invariants end-to-end
   stats     --addr HOST:PORT[,HOST:PORT,..] [--prometheus] [--timeout-ms T]
             scatter-gather detailed counters from one or more daemons,
             merge the latency histograms bucket-wise (exact — never
             percentile averaging), and print the merged stats JSON line
-            or a Prometheus text exposition
+            or a Prometheus text exposition; unreachable daemons are
+            skipped, and the command exits non-zero when every daemon
+            is unreachable
   observe   --network FILE --out TRACE.json [--prom-out FILE] [--shards N]
             [--ranks R] [--requests K] [--ring N] [--timeout-ms T]
             capture a fleet timeline: run an N-daemon loopback

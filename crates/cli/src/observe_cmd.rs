@@ -23,15 +23,18 @@ use geomap_service::federation::merge_stats;
 use geomap_service::hist::{bucket_bound, HistKind};
 use geomap_service::proto::{Response, StatsResponse, TraceDumpResponse, WireTraceEvent};
 use geomap_service::{
-    FederatedPool, MapRequest, MappingServer, MappingService, RetryPolicy, ServiceClient,
-    ServiceConfig, ShardRouter, TcpConnector, TraceContext, WireFormat,
+    MapRequest, MappingServer, MappingService, RetryPolicy, ServiceClient, ServiceConfig,
+    ShardRouter, TcpConnector, TraceContext, WireFormat,
 };
 use geonet::io as netio;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// `geomap stats` — fetch and merge daemon counters.
+/// `geomap stats` — fetch and merge daemon counters. Unreachable
+/// daemons are skipped (noted as a comment in the Prometheus mode);
+/// when *every* address is unreachable the command fails with a
+/// one-line diagnostic instead of emitting an empty exposition.
 pub fn stats(args: &Args) -> Result<String, String> {
     let addrs: Vec<String> = args
         .required("addr")?
@@ -39,12 +42,41 @@ pub fn stats(args: &Args) -> Result<String, String> {
         .map(str::to_string)
         .collect();
     let timeout = Duration::from_millis(args.parsed_or("timeout-ms", 60_000u64)?);
-    let mut pool = FederatedPool::new(&addrs, 1, Some(timeout));
-    let merged = merge_stats(&pool.stats_with_detail(true)?);
+    let mut gathered = Vec::with_capacity(addrs.len());
+    let mut unreachable = Vec::new();
+    for addr in &addrs {
+        match fetch_stats(addr, timeout) {
+            Ok(s) => gathered.push(s),
+            Err(e) => unreachable.push(format!("{addr}: {e}")),
+        }
+    }
+    if gathered.is_empty() {
+        return Err(format!(
+            "stats: all {} daemon(s) unreachable — {}",
+            addrs.len(),
+            unreachable.join("; ")
+        ));
+    }
+    let merged = merge_stats(&gathered);
     if args.switch("prometheus") {
-        Ok(prometheus_text(&merged))
+        let mut out = String::new();
+        for miss in &unreachable {
+            let _ = writeln!(out, "# unreachable: {miss}");
+        }
+        out.push_str(&prometheus_text(&merged));
+        Ok(out)
     } else {
         Ok(format!("{}\n", Response::Stats(merged).to_line()))
+    }
+}
+
+/// One daemon's detailed stats over a fresh connection.
+fn fetch_stats(addr: &str, timeout: Duration) -> Result<StatsResponse, String> {
+    let mut client = ServiceClient::connect_with(addr, Some(timeout), WireFormat::V2Binary)?;
+    match client.stats_detailed("geomap-stats")? {
+        Response::Stats(s) => Ok(s),
+        Response::Error(e) => Err(format!("{}: {}", e.code.label(), e.message)),
+        other => Err(format!("unexpected stats answer: {other:?}")),
     }
 }
 
@@ -472,6 +504,19 @@ mod tests {
     #[test]
     fn stats_requires_an_addr() {
         assert!(stats(&argv("")).unwrap_err().contains("--addr"));
+    }
+
+    /// Satellite: when *every* address is unreachable, `stats` exits
+    /// non-zero with a one-line diagnostic instead of emitting an
+    /// empty exposition.
+    #[test]
+    fn stats_all_unreachable_is_a_one_line_error() {
+        let err = stats(&argv(
+            "--addr 127.0.0.1:9,127.0.0.1:13 --timeout-ms 300 --prometheus",
+        ))
+        .unwrap_err();
+        assert!(err.contains("all 2 daemon(s) unreachable"), "{err}");
+        assert!(!err.contains('\n'), "diagnostic must be one line: {err}");
     }
 
     #[test]

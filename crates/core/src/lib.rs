@@ -23,6 +23,9 @@
 //!   the site with its heaviest partners; keep the cheapest order.
 //! * [`pipeline`] — the end-to-end flow of Fig. 2: application profiling
 //!   → network calibration → grouping → mapping optimization.
+//! * [`remap`] — online repair under churn: bounded-migration local
+//!   search from the current (drifted) mapping, minimizing
+//!   `Eq3 + α·moved_ranks` on the Δ-cost engine.
 
 #![warn(missing_docs)]
 
@@ -36,6 +39,7 @@ pub mod metrics;
 pub mod multisite;
 pub mod pipeline;
 pub mod problem;
+pub mod remap;
 pub mod trace;
 
 pub use constraint::ConstraintVector;
@@ -54,6 +58,7 @@ pub use metrics::{
 };
 pub use multisite::{AllowedSites, GeoMapperMulti};
 pub use problem::MappingProblem;
+pub use remap::{cold_resolve, repair, repair_with_tables, RemapConfig, RemapOutcome};
 pub use trace::{
     NullTraceSink, RingBufferSink, StreamingSink, Trace, TraceEvent, TraceEventKind, TraceScope,
     TraceSink, TraceTrack, TrackId,

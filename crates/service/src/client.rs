@@ -94,6 +94,11 @@ impl ServiceClient {
         self.send(&Request::Map(request))
     }
 
+    /// Shorthand: send a bounded-migration `remap` request.
+    pub fn remap(&mut self, request: crate::proto::RemapRequest) -> Result<Response, String> {
+        self.send(&Request::Remap(request))
+    }
+
     /// Shorthand: release a lease.
     pub fn release(&mut self, id: &str, lease: u64) -> Result<Response, String> {
         self.send(&Request::Release {

@@ -39,5 +39,7 @@ pub mod router;
 pub mod shard_map;
 
 pub use journal::{JournalEntry, LeaseJournal};
-pub use router::{merge_stats, FederatedPool, RoutedResponse, ShardRouter};
+pub use router::{
+    merge_stats, remap_affinity_fingerprint, FederatedPool, RoutedResponse, ShardRouter,
+};
 pub use shard_map::ShardMap;

@@ -20,7 +20,9 @@
 use crate::client::{ClientError, PooledClient, RetryPolicy, RetryingClient};
 use crate::fingerprint::Fingerprint;
 use crate::hist::Histogram;
-use crate::proto::{HistSummary, MapRequest, Request, Response, StatsDetail, StatsResponse};
+use crate::proto::{
+    HistSummary, MapRequest, RemapRequest, Request, Response, StatsDetail, StatsResponse,
+};
 use crate::transport::Connector;
 use crate::wire::WireFormat;
 use geomap_core::{Trace, TrackId};
@@ -49,6 +51,22 @@ pub fn affinity_fingerprint(m: &MapRequest) -> u64 {
         .f64(m.calibration.noise_cv)
         .f64(m.calibration.loss_rate)
         .u64(m.calibration.seed)
+        .finish()
+}
+
+/// The problem-defining fields of a remap request, hashed the same way
+/// as [`affinity_fingerprint`]: a remap of a pattern lands on the shard
+/// whose caches already hold its calibrated problem.
+pub fn remap_affinity_fingerprint(r: &RemapRequest) -> u64 {
+    Fingerprint::new()
+        .str(&r.pattern_csv)
+        .u64(r.constraints_csv.is_some() as u64)
+        .str(r.constraints_csv.as_deref().unwrap_or(""))
+        .u64(r.calibration.days as u64)
+        .u64(r.calibration.probes_per_day as u64)
+        .f64(r.calibration.noise_cv)
+        .f64(r.calibration.loss_rate)
+        .u64(r.calibration.seed)
         .finish()
 }
 
@@ -345,6 +363,74 @@ impl<C: Connector> ShardRouter<C> {
     pub fn release(&mut self, shard: usize, lease: u64) -> Result<Response, ClientError> {
         let id = self.generate_id("release");
         self.shards[shard].client.release(&id, lease)
+    }
+
+    /// Ring owner for a remap request's problem caches.
+    pub fn remap_home_for(&self, r: &RemapRequest) -> usize {
+        self.map.shard_for(remap_affinity_fingerprint(r))
+    }
+
+    /// Route a **leased** remap to the shard that granted its lease —
+    /// the only inventory that can rebook it. No failover: a sibling
+    /// shard has never heard of the lease and would answer
+    /// `unknown_lease`, turning a transient outage into a false
+    /// eviction. This is the cross-shard lease-move discipline the
+    /// daemon-local reconciler defers to (it skips placements homed on
+    /// other shards; this is where those deferred moves are issued).
+    pub fn remap_on(
+        &mut self,
+        shard: usize,
+        request: RemapRequest,
+    ) -> Result<Response, ClientError> {
+        assert!(
+            shard < self.shards.len(),
+            "shard {shard} out of range ({} shards)",
+            self.shards.len()
+        );
+        self.shards[shard].client.send(&Request::Remap(request))
+    }
+
+    /// Route an **advisory** (lease-less) remap: home shard first for
+    /// cache affinity, then siblings along the ring on failure. Safe to
+    /// fail over because without a lease a remap touches no inventory —
+    /// every shard computes the same diff from the same request.
+    pub fn remap(&mut self, request: RemapRequest) -> Result<RoutedResponse, ClientError> {
+        assert!(
+            request.lease.is_none(),
+            "leased remaps are pinned to their granting shard; use remap_on"
+        );
+        let home = self.remap_home_for(&request);
+        let order = self.map.preference(remap_affinity_fingerprint(&request));
+        self.trace.span_begin(self.track, "route", self.trace.now());
+        let mut last_error = None;
+        let mut out = None;
+        for shard in order {
+            if shard != home {
+                self.trace.instant(self.track, "failover", self.trace.now());
+            }
+            match self.shards[shard]
+                .client
+                .send(&Request::Remap(request.clone()))
+            {
+                Ok(response) => {
+                    if shard == home {
+                        self.home_answers += 1;
+                    } else {
+                        self.failovers += 1;
+                    }
+                    out = Some(RoutedResponse {
+                        shard,
+                        home,
+                        key: None,
+                        response,
+                    });
+                    break;
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
+        self.trace.span_end(self.track, "route", self.trace.now());
+        out.ok_or_else(|| last_error.expect("at least one shard was tried"))
     }
 }
 

@@ -40,8 +40,8 @@
 
 use crate::proto::{
     CacheTier, CalibSpec, ErrorCode, ErrorResponse, HistSummary, JournalResponse, MapRequest,
-    MapResponse, Request, Response, StatsDetail, StatsResponse, TraceContext, TraceDumpResponse,
-    WireTraceEvent, WireTrack,
+    MapResponse, RemapDiffResponse, RemapRequest, Request, Response, StatsDetail, StatsResponse,
+    TraceContext, TraceDumpResponse, WireTraceEvent, WireTrack,
 };
 
 /// First byte of every v2 frame; never the first byte of UTF-8 JSON.
@@ -377,6 +377,21 @@ pub fn request_payload(request: &Request) -> Vec<u8> {
             w.u8(6);
             w.str(id);
         }
+        Request::Remap(r) => {
+            w.u8(7);
+            w.str(&r.id);
+            w.str(&r.pattern_csv);
+            w.usize_arr(&r.mapping);
+            w.opt_str(r.constraints_csv.as_deref());
+            w.opt_u64(r.budget);
+            w.f64(r.alpha);
+            w.u64(r.calibration.days as u64);
+            w.u64(r.calibration.probes_per_day as u64);
+            w.f64(r.calibration.noise_cv);
+            w.f64(r.calibration.loss_rate);
+            w.u64(r.calibration.seed);
+            w.opt_u64(r.lease);
+        }
     }
     w.out
 }
@@ -480,6 +495,17 @@ pub fn response_payload(response: &Response) -> Vec<u8> {
             w.bool(j.held);
             w.opt_u64(j.lease);
             w.usize_arr(&j.site_counts);
+        }
+        Response::RemapDiff(r) => {
+            w.u8(8);
+            w.str(&r.id);
+            w.usize_arr(&r.mapping);
+            w.usize_arr(&r.moved);
+            w.f64(r.old_cost);
+            w.f64(r.new_cost);
+            w.u64(r.migrations);
+            w.opt_u64(r.lease);
+            w.usize_arr(&r.free_nodes);
         }
         Response::TraceDump(t) => {
             w.u8(7);
@@ -753,6 +779,32 @@ fn decode_request_inner(payload: &[u8]) -> Result<Request, FrameError> {
             r.finish("trace dump request")?;
             Request::TraceDump { id }
         }
+        7 => {
+            let id = r.str("remap.id")?;
+            let pattern_csv = r.str("remap.pattern_csv")?;
+            let mapping = r.usize_arr("remap.mapping")?;
+            let mut m = RemapRequest::new(id, pattern_csv, mapping);
+            m.constraints_csv = r.opt_str("remap.constraints_csv")?;
+            m.budget = r.opt_u64("remap.budget")?;
+            m.alpha = r.f64("remap.alpha")?;
+            m.calibration = CalibSpec {
+                days: r.usize64("remap.calibration.days")?,
+                probes_per_day: r.usize64("remap.calibration.probes")?,
+                noise_cv: r.f64("remap.calibration.noise")?,
+                loss_rate: r.f64("remap.calibration.loss")?,
+                seed: r.u64("remap.calibration.seed")?,
+            };
+            m.lease = r.opt_u64("remap.lease")?;
+            r.finish("remap request")?;
+            // The same bounds the v1 decoder enforces, same messages.
+            if m.mapping.is_empty() {
+                return Err(bad_field(&m.id, "remap request needs a non-empty mapping"));
+            }
+            if !(m.alpha.is_finite() && m.alpha >= 0.0) {
+                return Err(bad_field(&m.id, "remap alpha must be finite and >= 0"));
+            }
+            Request::Remap(m)
+        }
         other => {
             return Err(FrameError::Malformed(format!(
                 "unknown request tag {other}"
@@ -910,6 +962,20 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<Response, FrameError> {
                 events,
             });
             r.finish("trace dump response")?;
+            resp
+        }
+        8 => {
+            let resp = Response::RemapDiff(RemapDiffResponse {
+                id: r.str("remap.id")?,
+                mapping: r.usize_arr("remap.mapping")?,
+                moved: r.usize_arr("remap.moved")?,
+                old_cost: r.f64("remap.old_cost")?,
+                new_cost: r.f64("remap.new_cost")?,
+                migrations: r.u64("remap.migrations")?,
+                lease: r.opt_u64("remap.lease")?,
+                free_nodes: r.usize_arr("remap.free_nodes")?,
+            });
+            r.finish("remap response")?;
             resp
         }
         other => {
@@ -1213,6 +1279,42 @@ mod tests {
             decode_response_payload(&w.out),
             Err(FrameError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn remap_messages_roundtrip_through_payload_codec() {
+        let mut req = RemapRequest::new("rm", "src,dst,bytes,msgs\n0,1,5,2\n", vec![0, 1, 1, 0]);
+        req.constraints_csv = Some("process,site\n0,0\n".into());
+        req.budget = Some(2);
+        req.alpha = 0.5;
+        req.lease = Some(9);
+        for request in [
+            Request::Remap(req),
+            Request::Remap(RemapRequest::new("rm2", "src,dst,bytes,msgs\n", vec![0])),
+        ] {
+            let back = decode_request_payload(&request_payload(&request)).unwrap();
+            assert_eq!(back, request);
+        }
+        let resp = Response::RemapDiff(RemapDiffResponse {
+            id: "rm".into(),
+            mapping: vec![1, 1, 0, 0],
+            moved: vec![0, 2],
+            old_cost: 9.5,
+            new_cost: 7.25,
+            migrations: 2,
+            lease: Some(3),
+            free_nodes: vec![2, 2],
+        });
+        let back = decode_response_payload(&response_payload(&resp)).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn remap_validation_failures_echo_the_decoded_id() {
+        let m = RemapRequest::new("rm-bad", "src,dst,bytes,msgs\n", vec![]);
+        let err = decode_request_payload(&request_payload(&Request::Remap(m))).unwrap_err();
+        assert_eq!(err.id, "rm-bad");
+        assert_eq!(err.message, "remap request needs a non-empty mapping");
     }
 
     #[test]

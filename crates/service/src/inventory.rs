@@ -43,6 +43,37 @@ impl std::fmt::Display for InsufficientNodes {
     }
 }
 
+/// Why a lease could not be rebooked onto new counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebookError {
+    /// The lease is unknown, expired, or was already released.
+    UnknownLease,
+    /// The *net* growth at some site does not fit its free nodes
+    /// (shrinking sites are credited before growing ones are checked).
+    Insufficient(InsufficientNodes),
+}
+
+impl std::fmt::Display for RebookError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebookError::UnknownLease => write!(f, "unknown lease (expired or never granted)"),
+            RebookError::Insufficient(e) => e.fmt(f),
+        }
+    }
+}
+
+/// Monotonic drift counters a reconciler watches: how often has the
+/// world shifted under the mappings this daemon handed out?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriftCounters {
+    /// Leases that hit their TTL and were reaped (their nodes went
+    /// back to the free pool — any mapping placed on them is stale).
+    pub expired_leases: u64,
+    /// Capacity edits via [`ClusterInventory::set_capacity`] (node
+    /// failures, scale-ups).
+    pub capacity_changes: u64,
+}
+
 /// A granted reservation.
 #[derive(Debug, Clone)]
 struct Lease {
@@ -56,6 +87,7 @@ struct Inner {
     free: Vec<usize>,
     leases: HashMap<u64, Lease>,
     next_lease: u64,
+    drift: DriftCounters,
 }
 
 impl Inner {
@@ -71,6 +103,7 @@ impl Inner {
             for (f, c) in self.free.iter_mut().zip(&lease.counts) {
                 *f += c;
             }
+            self.drift.expired_leases += 1;
         }
         self.check();
     }
@@ -114,6 +147,7 @@ impl ClusterInventory {
                 capacity: capacities,
                 leases: HashMap::new(),
                 next_lease: 1,
+                drift: DriftCounters::default(),
             }),
             clock,
         }
@@ -195,9 +229,86 @@ impl ClusterInventory {
         inner.free.clone()
     }
 
-    /// The configured capacities (immutable).
+    /// The configured capacities (as of the last
+    /// [`ClusterInventory::set_capacity`], if any).
     pub fn capacities(&self) -> Vec<usize> {
         self.inner.lock().expect("inventory lock").capacity.clone()
+    }
+
+    /// Change one site's capacity (node failure shrinks it, a scale-up
+    /// grows it) and return the capacity actually applied. The request
+    /// is clamped to the site's currently-leased node count — granted
+    /// leases are never revoked by a capacity edit, so conservation
+    /// (`free + leased == capacity`) holds by construction and `free`
+    /// absorbs the whole delta.
+    pub fn set_capacity(&self, site: usize, capacity: usize) -> usize {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        inner.expire(self.clock.now());
+        assert!(
+            site < inner.capacity.len(),
+            "site {site} out of range for {}-site cluster",
+            inner.capacity.len()
+        );
+        let leased: usize = inner.leases.values().map(|l| l.counts[site]).sum();
+        let applied = capacity.max(leased);
+        if applied != inner.capacity[site] {
+            inner.capacity[site] = applied;
+            inner.free[site] = applied - leased;
+            inner.drift.capacity_changes += 1;
+        }
+        inner.check();
+        applied
+    }
+
+    /// Atomically move a live lease onto new per-site counts (an online
+    /// remap migrating ranks between sites keeps its one lease id — the
+    /// exactly-once story never sees a release/reserve pair that could
+    /// half-fail). Shrinking sites are credited first, then growing
+    /// sites are checked against the resulting free pool; on any
+    /// refusal nothing changes. TTL and expiry instant are preserved.
+    pub fn rebook(&self, lease: u64, counts: &[usize]) -> Result<(), RebookError> {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        inner.expire(self.clock.now());
+        assert_eq!(
+            counts.len(),
+            inner.capacity.len(),
+            "placement covers {} sites, cluster has {}",
+            counts.len(),
+            inner.capacity.len()
+        );
+        let Some(old) = inner.leases.get(&lease).map(|l| l.counts.clone()) else {
+            return Err(RebookError::UnknownLease);
+        };
+        // Check the net move against free + what this lease returns.
+        for (site, (&new, &was)) in counts.iter().zip(&old).enumerate() {
+            let available = inner.free[site] + was;
+            if new > available {
+                return Err(RebookError::Insufficient(InsufficientNodes {
+                    site,
+                    wanted: new,
+                    free: available,
+                }));
+            }
+        }
+        for (site, (&new, &was)) in counts.iter().zip(&old).enumerate() {
+            inner.free[site] = inner.free[site] + was - new;
+        }
+        inner
+            .leases
+            .get_mut(&lease)
+            .expect("lease checked above")
+            .counts = counts.to_vec();
+        inner.check();
+        Ok(())
+    }
+
+    /// Snapshot of the monotonic [`DriftCounters`] (expiring stale
+    /// leases first, so a TTL that lapsed since the last call is
+    /// counted).
+    pub fn drift_counters(&self) -> DriftCounters {
+        let mut inner = self.inner.lock().expect("inventory lock");
+        inner.expire(self.clock.now());
+        inner.drift
     }
 
     /// Number of live leases (after expiring stale ones).
@@ -347,5 +458,70 @@ mod tests {
         ClusterInventory::new(vec![2, 2])
             .reserve(&[1], None)
             .unwrap();
+    }
+
+    #[test]
+    fn set_capacity_clamps_to_leased_and_preserves_conservation() {
+        let inv = ClusterInventory::new(vec![4, 4]);
+        inv.reserve(&[3, 0], None).unwrap();
+        // Shrink below the leased count: clamped to 3, nothing free.
+        assert_eq!(inv.set_capacity(0, 1), 3);
+        assert_eq!(inv.capacities(), vec![3, 4]);
+        assert_eq!(inv.free_nodes(), vec![0, 4]);
+        // Grow: the delta lands entirely in the free pool.
+        assert_eq!(inv.set_capacity(0, 6), 6);
+        assert_eq!(inv.free_nodes(), vec![3, 4]);
+        let (free, leased) = inv.ledger();
+        for ((f, l), c) in free.iter().zip(&leased).zip(inv.capacities()) {
+            assert_eq!(f + l, c);
+        }
+        assert_eq!(inv.drift_counters().capacity_changes, 2);
+        // A no-op edit is not drift.
+        assert_eq!(inv.set_capacity(0, 6), 6);
+        assert_eq!(inv.drift_counters().capacity_changes, 2);
+    }
+
+    #[test]
+    fn rebook_moves_a_lease_atomically() {
+        let inv = ClusterInventory::new(vec![4, 4]);
+        let lease = inv.reserve(&[3, 1], None).unwrap();
+        inv.rebook(lease, &[1, 3]).unwrap();
+        assert_eq!(inv.free_nodes(), vec![3, 1]);
+        assert_eq!(inv.lease_counts(lease), Some(vec![1, 3]));
+        assert_eq!(inv.active_leases(), 1);
+        // Growth past free + own holdings is refused with nothing taken.
+        let err = inv.rebook(lease, &[0, 5]).unwrap_err();
+        assert_eq!(
+            err,
+            RebookError::Insufficient(InsufficientNodes {
+                site: 1,
+                wanted: 5,
+                free: 4,
+            })
+        );
+        assert_eq!(inv.free_nodes(), vec![3, 1]);
+        assert_eq!(inv.lease_counts(lease), Some(vec![1, 3]));
+        assert_eq!(
+            inv.rebook(999, &[0, 0]).unwrap_err(),
+            RebookError::UnknownLease
+        );
+    }
+
+    #[test]
+    fn expired_leases_count_as_drift() {
+        use crate::clock::VirtualClock;
+        let clock = Arc::new(VirtualClock::new());
+        let inv = ClusterInventory::with_clock(vec![4], Arc::clone(&clock) as Arc<dyn Clock>);
+        inv.reserve(&[1], Some(Duration::from_millis(10))).unwrap();
+        inv.reserve(&[1], Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(inv.drift_counters().expired_leases, 0);
+        clock.advance_ms(15);
+        assert_eq!(inv.drift_counters().expired_leases, 1);
+        clock.advance_ms(15);
+        let drift = inv.drift_counters();
+        assert_eq!(drift.expired_leases, 2);
+        assert_eq!(drift.capacity_changes, 0);
+        // A rebook of an expired lease is refused.
+        assert_eq!(inv.rebook(1, &[1]).unwrap_err(), RebookError::UnknownLease);
     }
 }

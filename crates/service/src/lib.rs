@@ -51,6 +51,7 @@ pub mod hist;
 pub mod inventory;
 pub mod json;
 pub mod proto;
+pub mod reconciler;
 pub mod server;
 pub mod service;
 pub mod transport;
@@ -61,8 +62,12 @@ pub use clock::{Clock, VirtualClock, WallClock};
 pub use federation::{FederatedPool, LeaseJournal, RoutedResponse, ShardMap, ShardRouter};
 pub use frame::{Frame, FrameError, FrameKind, FRAME_MAGIC, FRAME_VERSION, MAX_FRAME_BYTES};
 pub use hist::{HistKind, HistSet, Histogram};
-pub use inventory::ClusterInventory;
-pub use proto::{ErrorCode, MapRequest, Request, Response, TraceContext, PROTOCOL_VERSION};
+pub use inventory::{ClusterInventory, DriftCounters, RebookError};
+pub use proto::{
+    ErrorCode, MapRequest, RemapDiffResponse, RemapRequest, Request, Response, TraceContext,
+    PROTOCOL_VERSION,
+};
+pub use reconciler::{Reconciler, ReconcilerConfig, TickReport, WatchedPlacement};
 pub use server::MappingServer;
 pub use service::{MappingService, ServiceConfig};
 pub use transport::{

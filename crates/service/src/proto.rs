@@ -168,6 +168,55 @@ impl MapRequest {
     }
 }
 
+/// An online-remap request: repair the caller's current (drifted)
+/// mapping with a bounded-migration local search instead of solving
+/// cold. The daemon runs `geomap_core::remap::repair` against the live
+/// inventory capacities, so the repaired mapping never lands on nodes
+/// another tenant holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemapRequest {
+    /// Caller-chosen correlation id, echoed on the response.
+    pub id: String,
+    /// The communication pattern as `src,dst,bytes,msgs` CSV (same
+    /// payload a map request carries — the daemon reuses its prepared
+    /// problem cache across map and remap).
+    pub pattern_csv: String,
+    /// The current process → site assignment to repair from. Its
+    /// length fixes the rank count.
+    pub mapping: Vec<usize>,
+    /// Optional data-movement constraints as `process,site` CSV; the
+    /// repair never moves a pinned rank.
+    pub constraints_csv: Option<String>,
+    /// Hard migration budget (`None`: unbounded — the repair degrades
+    /// to a warm-started cold re-solve).
+    pub budget: Option<u64>,
+    /// Per-migration cost penalty α in `Eq3 + α·moved_ranks`.
+    pub alpha: f64,
+    /// Calibration campaign to run (or reuse from cache).
+    pub calibration: CalibSpec,
+    /// A live lease to rebook onto the repaired mapping's site counts
+    /// (atomic: same lease id, new counts). `None` leaves inventory
+    /// untouched — the response is advisory.
+    pub lease: Option<u64>,
+}
+
+impl RemapRequest {
+    /// A request with protocol defaults for everything but the pattern
+    /// and the starting mapping.
+    pub fn new(id: impl Into<String>, pattern_csv: impl Into<String>, mapping: Vec<usize>) -> Self {
+        Self {
+            id: id.into(),
+            pattern_csv: pattern_csv.into(),
+            mapping,
+            constraints_csv: None,
+            budget: None,
+            alpha: 0.0,
+            calibration: CalibSpec::default(),
+            lease: None,
+        }
+    }
+}
+
 /// Every request kind a connection can submit.
 ///
 /// `Map` dwarfs the other variants, but requests are decoded once per
@@ -219,6 +268,9 @@ pub enum Request {
         /// Correlation id.
         id: String,
     },
+    /// Repair a drifted mapping in place (bounded-migration local
+    /// search from the caller's current assignment).
+    Remap(RemapRequest),
 }
 
 /// Which cache tier satisfied a map request.
@@ -482,6 +534,34 @@ pub struct TraceDumpResponse {
     pub events: Vec<WireTraceEvent>,
 }
 
+/// The result of an online remap: the repaired mapping plus the diff
+/// an orchestrator needs to execute the migration — which ranks moved,
+/// what the move bought (old vs. new Eq. 3 cost), and how many
+/// migrations it costs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RemapDiffResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// The repaired process → site assignment.
+    pub mapping: Vec<usize>,
+    /// Ranks whose site changed vs. the request's starting mapping,
+    /// ascending.
+    pub moved: Vec<usize>,
+    /// Eq. 3 cost of the starting mapping under the daemon's
+    /// calibrated estimate.
+    pub old_cost: f64,
+    /// Eq. 3 cost of the repaired mapping (never above `old_cost`).
+    pub new_cost: f64,
+    /// `moved.len()` on the wire as its own field so shallow
+    /// consumers (CI validators, dashboards) need not parse the list.
+    pub migrations: u64,
+    /// The rebooked lease id, when the request named one.
+    pub lease: Option<u64>,
+    /// Free nodes per site after any rebook (current inventory view
+    /// when no lease was named).
+    pub free_nodes: Vec<usize>,
+}
+
 /// A refused or failed request. `code` is stable for programmatic
 /// handling; `message` is the one-line human diagnostic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -631,6 +711,8 @@ pub enum Response {
     Journal(JournalResponse),
     /// The daemon's trace ring.
     TraceDump(TraceDumpResponse),
+    /// A repaired mapping with its migration diff.
+    RemapDiff(RemapDiffResponse),
     /// A refusal or failure.
     Error(ErrorResponse),
 }
@@ -645,6 +727,7 @@ impl Response {
             Response::Shutdown { id, .. } => id,
             Response::Journal(j) => &j.id,
             Response::TraceDump(t) => &t.id,
+            Response::RemapDiff(r) => &r.id,
             Response::Error(e) => &e.id,
         }
     }
@@ -865,6 +948,30 @@ impl Request {
                 ("kind", Json::Str("trace_dump".into())),
                 ("id", Json::Str(id.clone())),
             ]),
+            Request::Remap(r) => obj(vec![
+                v,
+                ("kind", Json::Str("remap".into())),
+                ("id", Json::Str(r.id.clone())),
+                ("pattern_csv", Json::Str(r.pattern_csv.clone())),
+                ("mapping", usize_arr(&r.mapping)),
+                (
+                    "constraints_csv",
+                    r.constraints_csv.clone().map_or(Json::Null, Json::Str),
+                ),
+                ("budget", opt_u64(r.budget)),
+                ("alpha", Json::Num(r.alpha)),
+                (
+                    "calibration",
+                    obj(vec![
+                        ("days", Json::Num(r.calibration.days as f64)),
+                        ("probes", Json::Num(r.calibration.probes_per_day as f64)),
+                        ("noise", Json::Num(r.calibration.noise_cv)),
+                        ("loss", Json::Num(r.calibration.loss_rate)),
+                        ("seed", Json::Num(r.calibration.seed as f64)),
+                    ]),
+                ),
+                ("lease", opt_u64(r.lease)),
+            ]),
         }
         .emit()
     }
@@ -979,6 +1086,55 @@ impl Request {
                 Ok(Request::Journal { id, key })
             }
             "trace_dump" => Ok(Request::TraceDump { id }),
+            "remap" => {
+                let pattern_csv = doc
+                    .get("pattern_csv")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad(&id, "remap request needs \"pattern_csv\"".into()))?
+                    .to_string();
+                let mapping = doc
+                    .get("mapping")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad(&id, "remap request needs a \"mapping\" array".into()))?
+                    .iter()
+                    .map(|v| v.as_u64().map(|x| x as usize))
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| bad(&id, "non-integer entry in \"mapping\"".into()))?;
+                if mapping.is_empty() {
+                    return Err(bad(&id, "remap request needs a non-empty mapping".into()));
+                }
+                let mut r = RemapRequest::new(id.clone(), pattern_csv, mapping);
+                r.constraints_csv = doc
+                    .get("constraints_csv")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                r.budget = doc.get("budget").and_then(Json::as_u64);
+                if let Some(a) = doc.get("alpha").and_then(Json::as_f64) {
+                    if !(a.is_finite() && a >= 0.0) {
+                        return Err(bad(&id, "remap alpha must be finite and >= 0".into()));
+                    }
+                    r.alpha = a;
+                }
+                if let Some(c) = doc.get("calibration") {
+                    let d = CalibSpec::default();
+                    r.calibration = CalibSpec {
+                        days: c
+                            .get("days")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(d.days as u64) as usize,
+                        probes_per_day: c
+                            .get("probes")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(d.probes_per_day as u64)
+                            as usize,
+                        noise_cv: c.get("noise").and_then(Json::as_f64).unwrap_or(d.noise_cv),
+                        loss_rate: c.get("loss").and_then(Json::as_f64).unwrap_or(d.loss_rate),
+                        seed: c.get("seed").and_then(Json::as_u64).unwrap_or(d.seed),
+                    };
+                }
+                r.lease = doc.get("lease").and_then(Json::as_u64);
+                Ok(Request::Remap(r))
+            }
             other => Err(bad(&id, format!("unknown request kind {other:?}"))),
         }
     }
@@ -1089,6 +1245,18 @@ impl Response {
                             .collect(),
                     ),
                 ),
+            ]),
+            Response::RemapDiff(r) => obj(vec![
+                v,
+                ("kind", Json::Str("remap_response".into())),
+                ("id", Json::Str(r.id.clone())),
+                ("mapping", usize_arr(&r.mapping)),
+                ("moved", usize_arr(&r.moved)),
+                ("old_cost", Json::Num(r.old_cost)),
+                ("new_cost", Json::Num(r.new_cost)),
+                ("migrations", Json::Num(r.migrations as f64)),
+                ("lease", opt_u64(r.lease)),
+                ("free_nodes", usize_arr(&r.free_nodes)),
             ]),
             Response::Error(e) => obj(vec![
                 v,
@@ -1237,6 +1405,22 @@ impl Response {
                     events,
                 }))
             }
+            "remap_response" => Ok(Response::RemapDiff(RemapDiffResponse {
+                id,
+                mapping: usizes("mapping")?,
+                moved: usizes("moved")?,
+                old_cost: doc
+                    .get("old_cost")
+                    .and_then(Json::as_f64)
+                    .ok_or("remap response missing \"old_cost\"")?,
+                new_cost: doc
+                    .get("new_cost")
+                    .and_then(Json::as_f64)
+                    .ok_or("remap response missing \"new_cost\"")?,
+                migrations: doc.get("migrations").and_then(Json::as_u64).unwrap_or(0),
+                lease: doc.get("lease").and_then(Json::as_u64),
+                free_nodes: usizes("free_nodes")?,
+            })),
             "error" => Ok(Response::Error(ErrorResponse {
                 id,
                 code: doc
@@ -1360,6 +1544,74 @@ mod tests {
         assert_eq!(t.trace_id, 42);
         assert!(t.sampled);
         assert_eq!(t.parent_span, 0);
+    }
+
+    #[test]
+    fn remap_request_roundtrips_with_all_fields() {
+        let mut r = RemapRequest::new("rm1", "src,dst,bytes,msgs\n0,1,5,2\n", vec![0, 1, 1, 0]);
+        r.constraints_csv = Some("process,site\n0,0\n".into());
+        r.budget = Some(2);
+        r.alpha = 0.125;
+        r.calibration = CalibSpec {
+            days: 1,
+            probes_per_day: 2,
+            noise_cv: 0.1,
+            loss_rate: 0.25,
+            seed: 7,
+        };
+        r.lease = Some(42);
+        let req = Request::Remap(r);
+        assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
+        let defaults = Request::Remap(RemapRequest::new("rm2", "src,dst,bytes,msgs\n", vec![0]));
+        assert_eq!(Request::from_line(&defaults.to_line()).unwrap(), defaults);
+    }
+
+    #[test]
+    fn remap_request_validation() {
+        let err = Request::from_line(r#"{"v":1,"kind":"remap","id":"a"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        let err = Request::from_line(
+            r#"{"v":1,"kind":"remap","id":"a","pattern_csv":"src,dst,bytes,msgs\n","mapping":[]}"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("non-empty"), "{}", err.message);
+        let err = Request::from_line(
+            r#"{"v":1,"kind":"remap","id":"a","pattern_csv":"s\n","mapping":[0],"alpha":-1.0}"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("alpha"), "{}", err.message);
+    }
+
+    #[test]
+    fn remap_responses_roundtrip() {
+        for resp in [
+            Response::RemapDiff(RemapDiffResponse {
+                id: "rm".into(),
+                mapping: vec![1, 1, 0, 0],
+                moved: vec![0, 2],
+                old_cost: 9.5,
+                new_cost: 7.25,
+                migrations: 2,
+                lease: Some(3),
+                free_nodes: vec![2, 2],
+            }),
+            Response::RemapDiff(RemapDiffResponse {
+                id: "noop".into(),
+                mapping: vec![0],
+                moved: vec![],
+                old_cost: 1.0,
+                new_cost: 1.0,
+                migrations: 0,
+                lease: None,
+                free_nodes: vec![4],
+            }),
+        ] {
+            assert_eq!(
+                Response::from_line(&resp.to_line()).unwrap(),
+                resp,
+                "{resp:?}"
+            );
+        }
     }
 
     #[test]

@@ -27,18 +27,19 @@ use crate::clock::{Clock, WallClock};
 use crate::federation::LeaseJournal;
 use crate::fingerprint::Fingerprint;
 use crate::hist::{HistKind, HistSet, SCHEMA_VERSION};
-use crate::inventory::ClusterInventory;
+use crate::inventory::{ClusterInventory, RebookError};
 use crate::proto::{
-    CacheTier, ErrorCode, ErrorResponse, HistSummary, JournalResponse, MapRequest, MapResponse,
-    Request, Response, StatsDetail, StatsResponse, TraceDumpResponse, WireTraceEvent, WireTrack,
+    CacheTier, CalibSpec, ErrorCode, ErrorResponse, HistSummary, JournalResponse, MapRequest,
+    MapResponse, RemapDiffResponse, RemapRequest, Request, Response, StatsDetail, StatsResponse,
+    TraceDumpResponse, WireTraceEvent, WireTrack,
 };
 use baselines::{GreedyMapper, MonteCarlo, MpippMapper, RandomMapper};
 use commgraph::CommPattern;
 use geomap_core::{
-    cost, ConstraintVector, GeoMapper, Mapper, Mapping, MappingProblem, Metrics, RingBufferSink,
-    Trace, TraceEventKind, TraceScope,
+    cost, repair_with_tables, ConstraintVector, CostModel, CostTables, GeoMapper, Mapper, Mapping,
+    MappingProblem, Metrics, RemapConfig, RingBufferSink, Trace, TraceEventKind, TraceScope,
 };
-use geonet::{io as netio, Calibrator, SiteNetwork};
+use geonet::{io as netio, Calibrator, SiteId, SiteNetwork};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -326,6 +327,16 @@ impl MappingService {
             }
             Request::TraceDump { id } => return self.trace_dump(id),
             Request::Journal { id, key } => return self.handle_journal(id, key),
+            Request::Remap(r) => {
+                if self.is_shutting_down() {
+                    return self.reject(
+                        &r.id,
+                        ErrorCode::ShuttingDown,
+                        "daemon is draining; not accepting new mapping requests".into(),
+                    );
+                }
+                return self.handle_remap(r, scope);
+            }
             Request::Shutdown { id } => {
                 self.begin_shutdown();
                 return Response::Shutdown {
@@ -437,7 +448,12 @@ impl MappingService {
         let (problem_key, result_key) = match self.request_memo.get(raw_fp) {
             Some(keys) => keys,
             None => {
-                let (pattern, constraints) = match self.parse_and_validate(n, m) {
+                let (pattern, constraints) = match self.parse_and_validate(
+                    &m.id,
+                    n,
+                    &m.pattern_csv,
+                    m.constraints_csv.as_deref(),
+                ) {
                     Ok(pc) => pc,
                     Err(resp) => return *resp,
                 };
@@ -530,66 +546,26 @@ impl MappingService {
                     // this re-parse cannot newly fail).
                     let (pattern, constraints) = match parsed.take() {
                         Some(pc) => pc,
-                        None => match self.parse_and_validate(n, m) {
+                        None => match self.parse_and_validate(
+                            &m.id,
+                            n,
+                            &m.pattern_csv,
+                            m.constraints_csv.as_deref(),
+                        ) {
                             Ok(pc) => pc,
                             Err(resp) => return *resp,
                         },
                     };
-                    // Each fresh campaign is a calibration generation;
-                    // lossy campaigns that starve a pair fall back to
-                    // the last generation that measured everything and
-                    // report how many generations old that is.
-                    let generation = self.calib_generation.fetch_add(1, Ordering::SeqCst) + 1;
-                    let fallback = self.last_good.lock().expect("calibration lock").clone();
-                    scope.span_begin("calibrate");
-                    let report = self.metrics.timed("phase.calibrate", || {
-                        Calibrator::new(m.calibration.to_config()).calibrate_resilient(
-                            &self.network,
-                            fallback.as_ref().map(|g| &g.estimated),
-                        )
-                    });
-                    scope.span_end("calibrate");
-                    let report = match report {
-                        Ok(r) => r,
-                        Err(e) => {
-                            return self.reject(
-                                &m.id,
-                                ErrorCode::Degraded,
-                                format!("calibration failed: {e}"),
-                            )
-                        }
+                    let prepared = match self.calibrate_prepare(
+                        &m.id,
+                        pattern,
+                        constraints,
+                        &m.calibration,
+                        scope,
+                    ) {
+                        Ok(p) => p,
+                        Err(resp) => return *resp,
                     };
-                    let staleness = if report.degraded {
-                        self.metrics.counter("calibration.degraded", 1);
-                        // Saturating: a concurrent request can take a
-                        // later generation, finish clean, and store a
-                        // last-good *newer* than this thread's
-                        // generation — staleness then floors at 0
-                        // instead of underflowing.
-                        fallback
-                            .as_ref()
-                            .map_or(0, |g| generation.saturating_sub(g.generation))
-                    } else {
-                        let mut good = self.last_good.lock().expect("calibration lock");
-                        let fresher = good.as_ref().is_none_or(|g| g.generation < generation);
-                        if fresher {
-                            *good = Some(LastGoodCalibration {
-                                estimated: report.estimated.clone(),
-                                generation,
-                            });
-                        }
-                        0
-                    };
-                    let prepared = Arc::new(PreparedProblem {
-                        problem: Arc::new(MappingProblem::new(
-                            pattern,
-                            report.estimated.clone(),
-                            constraints,
-                        )),
-                        calibration_probes: report.probes,
-                        degraded: report.degraded,
-                        staleness,
-                    });
                     self.problems.insert(problem_key, prepared.clone());
                     (prepared, CacheTier::Miss)
                 }
@@ -686,35 +662,98 @@ impl MappingService {
         response
     }
 
-    /// Parse and validate the CSV payloads a `map` request embeds;
-    /// every failure is a `bad_request`, never a panic (this is a
-    /// network-facing daemon).
+    /// Parse and validate the CSV payloads a `map` or `remap` request
+    /// embeds; every failure is a `bad_request`, never a panic (this is
+    /// a network-facing daemon).
     fn parse_and_validate(
         &self,
+        id: &str,
         n: usize,
-        m: &MapRequest,
+        pattern_csv: &str,
+        constraints_csv: Option<&str>,
     ) -> Result<(CommPattern, ConstraintVector), Box<Response>> {
-        let pattern = CommPattern::from_csv(n, &m.pattern_csv).map_err(|e| {
-            Box::new(self.reject(
-                &m.id,
-                ErrorCode::BadRequest,
-                format!("bad pattern CSV: {e}"),
-            ))
+        let pattern = CommPattern::from_csv(n, pattern_csv).map_err(|e| {
+            Box::new(self.reject(id, ErrorCode::BadRequest, format!("bad pattern CSV: {e}")))
         })?;
-        let constraints = match &m.constraints_csv {
+        let constraints = match constraints_csv {
             None => ConstraintVector::none(n),
             Some(csv) => crate::parse_constraints(n, csv).map_err(|e| {
                 Box::new(self.reject(
-                    &m.id,
+                    id,
                     ErrorCode::BadRequest,
                     format!("bad constraints CSV: {e}"),
                 ))
             })?,
         };
         if let Err(e) = self.feasible(&constraints) {
-            return Err(Box::new(self.reject(&m.id, ErrorCode::BadRequest, e)));
+            return Err(Box::new(self.reject(id, ErrorCode::BadRequest, e)));
         }
         Ok((pattern, constraints))
+    }
+
+    /// Run a calibration campaign and assemble the [`PreparedProblem`]
+    /// — the problem-cache miss path, shared by `map` and `remap` (both
+    /// key the same cache, so a remap for a pattern the daemon already
+    /// mapped skips the campaign entirely). Each fresh campaign is a
+    /// calibration generation; lossy campaigns that starve a pair fall
+    /// back to the last generation that measured everything and report
+    /// how many generations old that is.
+    fn calibrate_prepare(
+        &self,
+        id: &str,
+        pattern: CommPattern,
+        constraints: ConstraintVector,
+        calibration: &CalibSpec,
+        scope: TraceScope<'_>,
+    ) -> Result<Arc<PreparedProblem>, Box<Response>> {
+        let generation = self.calib_generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let fallback = self.last_good.lock().expect("calibration lock").clone();
+        scope.span_begin("calibrate");
+        let report = self.metrics.timed("phase.calibrate", || {
+            Calibrator::new(calibration.to_config())
+                .calibrate_resilient(&self.network, fallback.as_ref().map(|g| &g.estimated))
+        });
+        scope.span_end("calibrate");
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => {
+                return Err(Box::new(self.reject(
+                    id,
+                    ErrorCode::Degraded,
+                    format!("calibration failed: {e}"),
+                )))
+            }
+        };
+        let staleness = if report.degraded {
+            self.metrics.counter("calibration.degraded", 1);
+            // Saturating: a concurrent request can take a later
+            // generation, finish clean, and store a last-good *newer*
+            // than this thread's generation — staleness then floors at
+            // 0 instead of underflowing.
+            fallback
+                .as_ref()
+                .map_or(0, |g| generation.saturating_sub(g.generation))
+        } else {
+            let mut good = self.last_good.lock().expect("calibration lock");
+            let fresher = good.as_ref().is_none_or(|g| g.generation < generation);
+            if fresher {
+                *good = Some(LastGoodCalibration {
+                    estimated: report.estimated.clone(),
+                    generation,
+                });
+            }
+            0
+        };
+        Ok(Arc::new(PreparedProblem {
+            problem: Arc::new(MappingProblem::new(
+                pattern,
+                report.estimated.clone(),
+                constraints,
+            )),
+            calibration_probes: report.probes,
+            degraded: report.degraded,
+            staleness,
+        }))
     }
 
     /// Single-flight admission for an idempotency key: exactly one
@@ -883,6 +922,199 @@ impl MappingService {
                 site_counts: Vec::new(),
             }),
         }
+    }
+
+    /// Repair a drifted mapping online: bounded-migration local search
+    /// from the request's current assignment
+    /// ([`geomap_core::remap::repair_with_tables`]) against the *live*
+    /// inventory — the capacity offered to the repair at each site is
+    /// the free pool plus what the caller already holds there (its
+    /// named lease, or its current footprint when no lease is named),
+    /// so a migration never lands on nodes another tenant has leased.
+    /// When the request names a lease, the repaired placement is
+    /// rebooked onto it atomically (same lease id — the exactly-once
+    /// story never sees a release/reserve pair).
+    pub fn handle_remap(&self, r: &RemapRequest, scope: TraceScope<'_>) -> Response {
+        self.metrics.counter("remap.requests", 1);
+        let n = r.mapping.len();
+        let num_sites = self.network.num_sites();
+        if n == 0 {
+            return self.reject(
+                &r.id,
+                ErrorCode::BadRequest,
+                "remap needs a non-empty mapping".into(),
+            );
+        }
+        if let Some(&bad) = r.mapping.iter().find(|&&s| s >= num_sites) {
+            return self.reject(
+                &r.id,
+                ErrorCode::BadRequest,
+                format!("mapping references site {bad}, cluster has {num_sites} sites"),
+            );
+        }
+        if !(r.alpha.is_finite() && r.alpha >= 0.0) {
+            return self.reject(
+                &r.id,
+                ErrorCode::BadRequest,
+                "remap alpha must be finite and >= 0".into(),
+            );
+        }
+        let (pattern, constraints) =
+            match self.parse_and_validate(&r.id, n, &r.pattern_csv, r.constraints_csv.as_deref()) {
+                Ok(pc) => pc,
+                Err(resp) => return *resp,
+            };
+        let start_sites: Vec<SiteId> = r.mapping.iter().map(|&s| SiteId(s)).collect();
+        if !constraints.satisfied_by(&start_sites) {
+            return self.reject(
+                &r.id,
+                ErrorCode::BadRequest,
+                "starting mapping violates its pin constraints".into(),
+            );
+        }
+        let start = Mapping::new(start_sites);
+
+        // Problem cache shared with `map`: identical key derivation, so
+        // remapping a pattern the daemon already calibrated reuses the
+        // estimate and the assembled problem.
+        let problem_key = Fingerprint::new()
+            .u64(self.network_fp)
+            .u64(n as u64)
+            .u64(r.calibration.days as u64)
+            .u64(r.calibration.probes_per_day as u64)
+            .f64(r.calibration.noise_cv)
+            .f64(r.calibration.loss_rate)
+            .u64(r.calibration.seed)
+            .str(&pattern.to_csv())
+            .str(&crate::constraints_csv(&constraints))
+            .finish();
+        let prepared = match self.problems.get(problem_key) {
+            Some(p) => {
+                self.problem_hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.counter("cache.problem_hit", 1);
+                scope.instant("cache.problem_hit");
+                p
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.counter("cache.miss", 1);
+                scope.instant("cache.miss");
+                let p = match self.calibrate_prepare(
+                    &r.id,
+                    pattern,
+                    constraints,
+                    &r.calibration,
+                    scope,
+                ) {
+                    Ok(p) => p,
+                    Err(resp) => return *resp,
+                };
+                self.problems.insert(problem_key, p.clone());
+                p
+            }
+        };
+
+        // Live capacity view: the free pool plus the caller's own
+        // holdings (a site that is "full" counting the caller's current
+        // nodes is still a valid destination for the caller's ranks).
+        let own = if let Some(lease) = r.lease {
+            match self.inventory.lease_counts(lease) {
+                Some(counts) => counts,
+                None => {
+                    return self.reject(
+                        &r.id,
+                        ErrorCode::UnknownLease,
+                        format!("unknown lease {lease} (expired or never granted)"),
+                    )
+                }
+            }
+        } else {
+            start.site_counts(num_sites)
+        };
+        let capacities: Vec<usize> = self
+            .inventory
+            .free_nodes()
+            .iter()
+            .zip(&own)
+            .map(|(free, held)| free + held)
+            .collect();
+
+        let config = RemapConfig {
+            budget: r.budget.map(|b| usize::try_from(b).unwrap_or(usize::MAX)),
+            alpha: r.alpha,
+            ..RemapConfig::default()
+        };
+        scope.span_begin("remap");
+        let outcome = self.metrics.timed("phase.remap", || {
+            let tables = CostTables::build(&prepared.problem, CostModel::Full);
+            repair_with_tables(
+                &tables,
+                prepared.problem.constraints(),
+                &capacities,
+                &start,
+                &config,
+            )
+        });
+        scope.span_end("remap");
+
+        let lease = if let Some(lease) = r.lease {
+            let new_counts = outcome.mapping.site_counts(num_sites);
+            match self.inventory.rebook(lease, &new_counts) {
+                Ok(()) => Some(lease),
+                Err(RebookError::UnknownLease) => {
+                    return self.reject(
+                        &r.id,
+                        ErrorCode::UnknownLease,
+                        format!("lease {lease} expired during the remap"),
+                    )
+                }
+                Err(RebookError::Insufficient(e)) => {
+                    // The free pool shifted between the capacity read
+                    // and the rebook; nothing was taken, retrying sees
+                    // the new inventory.
+                    return self.reject(
+                        &r.id,
+                        ErrorCode::Retryable,
+                        format!("inventory shifted during the remap: {e}"),
+                    );
+                }
+            }
+        } else {
+            None
+        };
+
+        self.metrics
+            .counter("remap.migrations", outcome.moved.len() as u64);
+        Response::RemapDiff(RemapDiffResponse {
+            id: r.id.clone(),
+            mapping: outcome
+                .mapping
+                .as_slice()
+                .iter()
+                .map(|s| s.index())
+                .collect(),
+            moved: outcome.moved.clone(),
+            old_cost: outcome.old_cost,
+            new_cost: outcome.new_cost,
+            migrations: outcome.moved.len() as u64,
+            lease,
+            free_nodes: self.inventory.free_nodes(),
+        })
+    }
+
+    /// How many calibration generations the last fully-measured
+    /// campaign lags the newest one — nonzero means fresh mappings are
+    /// being cut against stale link estimates (a reconciler drift
+    /// signal).
+    pub fn calibration_staleness(&self) -> u64 {
+        let generation = self.calib_generation.load(Ordering::SeqCst);
+        let good = self
+            .last_good
+            .lock()
+            .expect("calibration lock")
+            .as_ref()
+            .map_or(generation, |g| g.generation);
+        generation.saturating_sub(good)
     }
 
     /// Current counters and inventory state. With `detail`, also the

@@ -374,6 +374,15 @@ fn signature(outcome: &Result<Response, ClientError>) -> String {
             d.events.len(),
             d.dropped
         ),
+        Ok(Response::RemapDiff(d)) => format!(
+            "remap id={} sites={:?} moved={:?} old={:016x} new={:016x} lease={:?}",
+            d.id,
+            d.mapping,
+            d.moved,
+            d.old_cost.to_bits(),
+            d.new_cost.to_bits(),
+            d.lease
+        ),
         Err(e) => format!("client-error {e}"),
     }
 }
@@ -1156,4 +1165,127 @@ fn federated_storm_conserves_and_replays_bit_identically() {
     for (i, (a, b)) in outcomes_a.iter().zip(&outcomes_b).enumerate() {
         assert_eq!(a, b, "federated outcome {i} diverged for seed {seed:#x}");
     }
+}
+
+// ------------------------------------------------- reconciler churn storm
+
+/// Churn storm: three leased placements under reconciler watch while a
+/// seeded schedule expires short-TTL leases and flips site capacities
+/// mid-round, with advisory remaps racing the reconciler's own repairs
+/// on separate threads. After every round the ledger must balance
+/// exactly, and at quiescence each placement's lease must exist exactly
+/// once with node counts matching the mapping the reconciler last
+/// published — a rebooked lease is the *same* lease moved, never a
+/// release/reserve pair that churn could interleave with.
+#[test]
+fn churn_storm_conserves_and_keeps_leases_exactly_once() {
+    use geomap_service::{Reconciler, ReconcilerConfig, WatchedPlacement};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    let clock = Arc::new(VirtualClock::new());
+    let svc = Arc::new(MappingService::new(
+        network(),
+        ServiceConfig {
+            clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            ..ServiceConfig::default()
+        },
+    ));
+    let caps = svc.inventory().capacities();
+    let sites = caps.len();
+    let rec = Reconciler::new(Arc::clone(&svc), ReconcilerConfig::default());
+
+    // Three 4-rank placements, one node per site each, on non-expiring
+    // leases (live applications; only explicit rebooks may move them).
+    let keys = ["app-a", "app-b", "app-c"];
+    let mut leases = Vec::new();
+    for key in keys {
+        let mapping: Vec<usize> = (0..4).map(|r| r % sites).collect();
+        let mut counts = vec![0usize; sites];
+        for &s in &mapping {
+            counts[s] += 1;
+        }
+        let lease = svc
+            .inventory()
+            .reserve(&counts, None)
+            .expect("placement fits the fresh cluster");
+        let mut placement = WatchedPlacement::new(key, pattern_csv(4), mapping);
+        placement.lease = Some(lease);
+        rec.watch(placement);
+        leases.push(lease);
+    }
+
+    let mut rng = StdRng::seed_from_u64(0xC1_1112);
+    for round in 0..12 {
+        // Churn: a short-TTL tenant lease that the next clock jump
+        // reaps (drift signal 1), or a capacity flip (drift signal 2).
+        if rng.random_range(0..2) == 0 {
+            let mut counts = vec![0usize; sites];
+            counts[rng.random_range(0..sites)] = 1;
+            // Insufficient is fine mid-storm; the churn is best-effort.
+            let _ = svc
+                .inventory()
+                .reserve(&counts, Some(Duration::from_millis(40)));
+        } else {
+            let site = rng.random_range(0..sites);
+            let cap = rng.random_range(3..=6usize);
+            svc.inventory().set_capacity(site, cap);
+        }
+        clock.advance_ms(60);
+
+        // The reconciler repairs while an advisory remap races it.
+        let tick = {
+            let rec = Arc::clone(&rec);
+            std::thread::spawn(move || rec.tick())
+        };
+        let advisory = {
+            let svc = Arc::clone(&svc);
+            let mapping: Vec<usize> = (0..4).map(|r| (r + round) % sites).collect();
+            let request = geomap_service::RemapRequest::new(
+                format!("advisory-{round}"),
+                pattern_csv(4),
+                mapping,
+            );
+            std::thread::spawn(move || svc.handle(&Request::Remap(request)))
+        };
+        tick.join().expect("reconciler tick");
+        match advisory.join().expect("advisory remap") {
+            Response::RemapDiff(d) => assert!(d.lease.is_none()),
+            Response::Error(e) => panic!("advisory remap failed: {e:?}"),
+            other => panic!("advisory remap answered {other:?}"),
+        }
+        assert_conserved(&svc, &format!("churn round {round}"));
+    }
+
+    // Quiescence: expire any straggling churn leases, then check
+    // exactly-once placement leases against the reconciler's view.
+    clock.advance_ms(100);
+    let (free, leased) = svc.inventory().ledger();
+    let caps = svc.inventory().capacities();
+    for j in 0..caps.len() {
+        assert_eq!(free[j] + leased[j], caps[j], "final ledger, site {j}");
+    }
+    assert_eq!(
+        svc.inventory().active_leases(),
+        keys.len(),
+        "exactly the three placement leases survive the storm"
+    );
+    for (key, &lease) in keys.iter().zip(&leases) {
+        let held = svc
+            .inventory()
+            .lease_counts(lease)
+            .unwrap_or_else(|| panic!("placement {key} lost its lease"));
+        let mapping = rec
+            .watched_mapping(key)
+            .unwrap_or_else(|| panic!("placement {key} fell off the watch list"));
+        let mut expect = vec![0usize; caps.len()];
+        for &s in &mapping {
+            expect[s] += 1;
+        }
+        assert_eq!(
+            held, expect,
+            "{key}: lease counts diverged from the reconciler's mapping"
+        );
+    }
+    assert!(rec.ticks() >= 12);
 }

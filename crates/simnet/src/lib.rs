@@ -11,7 +11,9 @@
 //! * [`stats::LinkStats`] — per-site-pair traffic, busy-time and peak
 //!   queue-depth accounting;
 //! * [`replay`] — closed-form aggregate replays of a communication
-//!   pattern under a mapping (sum-cost and bottleneck-link time).
+//!   pattern under a mapping (sum-cost and bottleneck-link time);
+//! * [`churn`] — two-epoch drift scenarios pricing a mid-run bounded
+//!   remap (migration stall included) against riding the drift out.
 //!
 //! The `mpirt` crate drives this simulator with per-rank programs to
 //! produce end-to-end execution times.
@@ -24,11 +26,13 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod links;
 pub mod queue;
 pub mod replay;
 pub mod stats;
 
+pub use churn::{replay_churn, ChurnOutcome, ChurnScenario};
 pub use links::{LinkConfig, LinkState};
 pub use queue::EventQueue;
 pub use replay::{bottleneck_time, sum_cost};

@@ -9,13 +9,14 @@ pub mod fig56;
 pub mod fig7;
 pub mod fig8;
 pub mod fig910;
+pub mod multilevel;
 pub mod robustness;
 pub mod tables;
 
 use crate::util::ExpContext;
 
 /// Every experiment id the `repro` binary accepts (besides `all`).
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "table1",
     "table2",
     "table3",
@@ -30,6 +31,7 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "ablations",
     "azure",
     "multicloud",
+    "multilevel",
     "robustness",
 ];
 
@@ -50,6 +52,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> bool {
         "ablations" => ablation::run(ctx),
         "azure" => ext_clouds::run_azure(ctx),
         "multicloud" => ext_clouds::run_multicloud(ctx),
+        "multilevel" => multilevel::run(ctx),
         "robustness" => robustness::run(ctx),
         _ => return false,
     }

@@ -10,7 +10,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 9] = [
+const SWITCHES: [&str; 10] = [
     "heatmap",
     "simulate",
     "reserve",
@@ -20,6 +20,7 @@ const SWITCHES: [&str; 9] = [
     "detail",
     "prometheus",
     "trace-dump",
+    "multilevel",
 ];
 
 impl Args {
@@ -100,6 +101,14 @@ mod tests {
         assert_eq!(a.parsed::<usize>("ranks").unwrap(), 64);
         assert!(a.switch("heatmap"));
         assert!(!a.switch("simulate"));
+    }
+
+    #[test]
+    fn multilevel_is_a_switch() {
+        let a = Args::parse(&argv("--pattern p.csv --multilevel --ml-cutoff 64")).unwrap();
+        assert!(a.switch("multilevel"));
+        assert_eq!(a.parsed_or("ml-cutoff", 1024usize).unwrap(), 64);
+        assert_eq!(a.required("pattern").unwrap(), "p.csv");
     }
 
     #[test]

@@ -7,7 +7,10 @@ use crate::files;
 use baselines::{GreedyMapper, MonteCarlo, MpippMapper, RandomMapper};
 use commgraph::apps::AppKind;
 use commgraph::CommPattern;
-use geomap_core::{cost, ConstraintVector, GeoMapper, Mapper, MappingProblem, Trace};
+use geomap_core::{
+    cost, ConstraintVector, GeoMapper, Mapper, MappingProblem, MultilevelConfig, MultilevelMapper,
+    Trace,
+};
 use geonet::presets::MultiCloud;
 use geonet::{io as netio, CalibrationConfig, Calibrator, InstanceType, SiteNetwork};
 
@@ -166,9 +169,27 @@ fn mapper_from(args: &Args, seed: u64, trace: &Trace) -> Result<Box<dyn Mapper>,
             trace: trace.clone(),
             ..MonteCarlo::new(args.parsed_or("samples", 10_000)?, seed)
         }),
+        "multilevel" => {
+            let defaults = MultilevelConfig::default();
+            Box::new(MultilevelMapper {
+                config: MultilevelConfig {
+                    coarsen_cutoff: args.parsed_or("ml-cutoff", defaults.coarsen_cutoff)?,
+                    match_rounds: args.parsed_or("ml-rounds", defaults.match_rounds)?,
+                    refine_passes: args.parsed_or("ml-passes", defaults.refine_passes)?,
+                },
+                inner: GeoMapper {
+                    seed,
+                    kappa: args.parsed_or("kappa", 4)?,
+                    trace: trace.clone(),
+                    ..GeoMapper::default()
+                },
+                trace: trace.clone(),
+                ..MultilevelMapper::default()
+            })
+        }
         other => {
             return Err(format!(
-                "unknown algorithm {other:?} (geo|greedy|mpipp|random|montecarlo)"
+                "unknown algorithm {other:?} (geo|greedy|mpipp|random|montecarlo|multilevel)"
             ))
         }
     })

@@ -19,7 +19,7 @@
 use crate::args::Args;
 use crate::files;
 use geomap_core::{JsonLinesSink, Metrics, RingBufferSink, StreamingSink, Trace};
-use geomap_service::proto::{CalibSpec, Response};
+use geomap_service::proto::{CalibSpec, MultilevelSpec, Response};
 use geomap_service::{
     FederatedPool, MapRequest, MappingServer, MappingService, PooledClient, Reconciler,
     ReconcilerConfig, RemapRequest, Request, RetryPolicy, RetryingClient, ServiceClient,
@@ -488,6 +488,24 @@ pub fn request(args: &Args) -> Result<String, String> {
         let pattern_csv = files::read(args.required("pattern")?)?;
         let constraints_csv = args.optional("constraints").map(files::read).transpose()?;
         let defaults = CalibSpec::default();
+        // `--multilevel` (or `--algorithm multilevel`) routes the solve
+        // through the coarsen–map–refine hierarchy; `--ml-cutoff`,
+        // `--ml-rounds` and `--ml-passes` tune it.
+        let algorithm = if args.switch("multilevel") {
+            "multilevel".to_string()
+        } else {
+            args.optional("algorithm").unwrap_or("geo").to_string()
+        };
+        let ml = MultilevelSpec::default();
+        let multilevel = (algorithm == "multilevel")
+            .then(|| -> Result<MultilevelSpec, String> {
+                Ok(MultilevelSpec {
+                    coarsen_cutoff: args.parsed_or("ml-cutoff", ml.coarsen_cutoff)?,
+                    match_rounds: args.parsed_or("ml-rounds", ml.match_rounds)?,
+                    refine_passes: args.parsed_or("ml-passes", ml.refine_passes)?,
+                })
+            })
+            .transpose()?;
         Request::Map(MapRequest {
             ranks: args
                 .optional("ranks")
@@ -497,7 +515,8 @@ pub fn request(args: &Args) -> Result<String, String> {
                 })
                 .transpose()?,
             constraints_csv,
-            algorithm: args.optional("algorithm").unwrap_or("geo").to_string(),
+            algorithm,
+            multilevel,
             seed: args.parsed_or("seed", 0x5C17u64)?,
             kappa: args.parsed_or("kappa", 4usize)?,
             samples: args.parsed_or("samples", 10_000usize)?,

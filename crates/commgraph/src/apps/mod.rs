@@ -21,7 +21,7 @@ mod synthetic;
 pub use extra::{Cg, Ft};
 pub use ml::{Dnn, KMeansApp};
 pub use npb::{Bt, Lu, Sp};
-pub use synthetic::{RandomGraph, Ring, Stencil2D, UniformAll2All};
+pub use synthetic::{ClusteredGraph, RandomGraph, Ring, Stencil2D, UniformAll2All};
 
 use crate::pattern::CommPattern;
 use crate::program::Program;

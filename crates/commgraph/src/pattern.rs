@@ -86,6 +86,30 @@ impl PatternBuilder {
         e.1 += count as f64;
     }
 
+    /// Record pre-aggregated traffic from `src` to `dst` — the entry
+    /// point for graph contraction, where summed coarse-edge weights
+    /// are already fractional-free `f64` totals rather than message
+    /// counts. Self-edges and empty transfers are ignored like
+    /// [`record_many`](Self::record_many); weights must be finite and
+    /// non-negative.
+    pub fn record_weighted(&mut self, src: usize, dst: usize, bytes: f64, msgs: f64) {
+        assert!(
+            src < self.n && dst < self.n,
+            "rank out of range ({src},{dst}) for n={}",
+            self.n
+        );
+        assert!(
+            bytes.is_finite() && msgs.is_finite() && bytes >= 0.0 && msgs >= 0.0,
+            "non-finite or negative edge weight ({bytes}, {msgs})"
+        );
+        if src == dst || (bytes == 0.0 && msgs == 0.0) {
+            return;
+        }
+        let e = self.rows[src].entry(dst).or_insert((0.0, 0.0));
+        e.0 += bytes;
+        e.1 += msgs;
+    }
+
     /// Freeze into an immutable pattern.
     pub fn build(self) -> CommPattern {
         let mut total_bytes = 0.0;
@@ -144,6 +168,57 @@ impl CommPattern {
             }
         }
         b.build()
+    }
+
+    /// Build a pattern directly from per-source out-edge lists, each
+    /// sorted by destination with at most one entry per destination —
+    /// the graph-contraction fast path. Coarsening produces rows in
+    /// exactly this shape, and the [`PatternBuilder`]'s per-edge
+    /// BTreeMap accumulation is measurably slower at millions of edges.
+    ///
+    /// # Panics
+    /// Panics if a row is unsorted or repeats a destination, an edge is
+    /// a self-loop or out of range, or a weight is negative, non-finite,
+    /// or entirely zero.
+    pub fn from_edge_lists(rows: Vec<Vec<Edge>>) -> Self {
+        let n = rows.len();
+        let mut total_bytes = 0.0;
+        let mut total_msgs = 0.0;
+        for (src, row) in rows.iter().enumerate() {
+            let mut prev: Option<usize> = None;
+            for e in row {
+                assert!(
+                    e.dst < n && e.dst != src,
+                    "bad edge ({src},{}) for n={n}",
+                    e.dst
+                );
+                assert!(
+                    prev.is_none_or(|p| p < e.dst),
+                    "row {src} not sorted/deduplicated at dst {}",
+                    e.dst
+                );
+                assert!(
+                    e.bytes.is_finite()
+                        && e.msgs.is_finite()
+                        && e.bytes >= 0.0
+                        && e.msgs >= 0.0
+                        && (e.bytes > 0.0 || e.msgs > 0.0),
+                    "bad edge weight ({src},{}): {} bytes, {} msgs",
+                    e.dst,
+                    e.bytes,
+                    e.msgs
+                );
+                total_bytes += e.bytes;
+                total_msgs += e.msgs;
+                prev = Some(e.dst);
+            }
+        }
+        CommPattern {
+            n,
+            out: rows,
+            total_bytes,
+            total_msgs,
+        }
     }
 
     /// Number of processes `N`.
@@ -525,6 +600,65 @@ mod tests {
         assert!(CommPattern::from_csv(2, "src,dst,bytes,msgs\n0,zz,5,1\n")
             .unwrap_err()
             .contains("bad dst"));
+    }
+
+    #[test]
+    fn from_edge_lists_matches_builder() {
+        let direct = CommPattern::from_edge_lists(vec![
+            vec![Edge {
+                dst: 1,
+                bytes: 200.0,
+                msgs: 2.0,
+            }],
+            vec![Edge {
+                dst: 0,
+                bytes: 50.0,
+                msgs: 1.0,
+            }],
+            vec![Edge {
+                dst: 3,
+                bytes: 75.0,
+                msgs: 1.0,
+            }],
+            vec![],
+        ]);
+        assert_eq!(direct, small());
+        assert_eq!(direct.total_bytes(), 325.0);
+        assert_eq!(direct.total_msgs(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn from_edge_lists_rejects_unsorted_rows() {
+        let e = |dst| Edge {
+            dst,
+            bytes: 1.0,
+            msgs: 1.0,
+        };
+        CommPattern::from_edge_lists(vec![vec![e(2), e(1)], vec![], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad edge (0,0)")]
+    fn from_edge_lists_rejects_self_loops() {
+        CommPattern::from_edge_lists(vec![vec![Edge {
+            dst: 0,
+            bytes: 1.0,
+            msgs: 1.0,
+        }]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad edge weight")]
+    fn from_edge_lists_rejects_non_finite_weights() {
+        CommPattern::from_edge_lists(vec![
+            vec![Edge {
+                dst: 1,
+                bytes: f64::NAN,
+                msgs: 1.0,
+            }],
+            vec![],
+        ]);
     }
 
     #[test]

@@ -104,6 +104,111 @@ impl Evaluation {
     }
 }
 
+/// Why [`CostTables::try_build`] rejected a problem. Every variant is a
+/// condition the search kernels cannot survive: non-finite components
+/// would poison `total_cmp` orderings, and an overflowing index space
+/// would silently truncate the `u32` CSR layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostTablesError {
+    /// The process count or the directed CSR entry count does not fit
+    /// the `u32` index space of the flat tables.
+    IndexOverflow {
+        /// Number of processes in the problem.
+        processes: usize,
+        /// Number of directed CSR entries the partner lists expand to.
+        entries: usize,
+    },
+    /// A folded communication component on an edge is NaN or infinite.
+    NonFiniteEdge {
+        /// Source process of the offending undirected edge.
+        from: usize,
+        /// Peer process of the offending undirected edge.
+        to: usize,
+        /// The folded component values, for the error message.
+        detail: String,
+    },
+    /// A network `LT` or `1/BT` entry is NaN or infinite.
+    NonFiniteNetwork {
+        /// Row site index.
+        from: usize,
+        /// Column site index.
+        to: usize,
+        /// Which entry and its value, for the error message.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for CostTablesError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CostTablesError::IndexOverflow { processes, entries } => write!(
+                f,
+                "CostTables: graph exceeds the u32 CSR index space \
+                 ({processes} processes, {entries} directed entries)"
+            ),
+            CostTablesError::NonFiniteEdge { from, to, detail } => write!(
+                f,
+                "CostTables: non-finite communication component on edge \
+                 {from}↔{to} ({detail}); reject bad profiles before mapping"
+            ),
+            CostTablesError::NonFiniteNetwork {
+                from: _,
+                to: _,
+                detail,
+            } => {
+                write!(f, "CostTables: non-finite {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostTablesError {}
+
+/// Pure index-space check for the flat CSR layout: `row_ptr` stores
+/// entry offsets and `peer` stores process ids, both as `u32`. Checked
+/// up front — with huge synthetic counts this is testable without
+/// allocating anything.
+fn csr_fits(processes: usize, entries: usize) -> Result<(), CostTablesError> {
+    if processes > u32::MAX as usize || entries > u32::MAX as usize {
+        return Err(CostTablesError::IndexOverflow { processes, entries });
+    }
+    Ok(())
+}
+
+/// Flatten a network into row-major `LT` and `1/BT` matrices, rejecting
+/// non-finite entries (shared by both table constructors).
+fn net_matrices(
+    net: &geonet::SiteNetwork,
+    m: usize,
+) -> Result<(Vec<f64>, Vec<f64>), CostTablesError> {
+    let mut lt = Vec::with_capacity(m * m);
+    let mut inv_bt = Vec::with_capacity(m * m);
+    for k in 0..m {
+        for l in 0..m {
+            let l_kl = net.latency(SiteId(k), SiteId(l));
+            let b_kl = net.bandwidth(SiteId(k), SiteId(l));
+            let inv = 1.0 / b_kl;
+            if !l_kl.is_finite() {
+                return Err(CostTablesError::NonFiniteNetwork {
+                    from: k,
+                    to: l,
+                    detail: format!("latency LT({k},{l}) = {l_kl}"),
+                });
+            }
+            if !inv.is_finite() {
+                return Err(CostTablesError::NonFiniteNetwork {
+                    from: k,
+                    to: l,
+                    detail: format!("1/BT({k},{l}) non-finite (BT = {b_kl})"),
+                });
+            }
+            lt.push(l_kl);
+            inv_bt.push(inv);
+        }
+    }
+    Ok((lt, inv_bt))
+}
+
 /// Immutable, model-folded flat tables for one `(problem, cost model)`
 /// pair: the communication pattern as a directed-split CSR over
 /// undirected partner edges, and the network as row-major `LT` and
@@ -139,16 +244,33 @@ impl CostTables {
     ///
     /// # Panics
     /// Panics if any folded communication component or network entry is
-    /// non-finite. Rejecting here — once per `map()` — is what lets the
-    /// downstream comparators use plain `total_cmp` orderings without
-    /// NaN ever reaching a search decision.
+    /// non-finite, or the graph exceeds the `u32` CSR index space.
+    /// Rejecting here — once per `map()` — is what lets the downstream
+    /// comparators use plain `total_cmp` orderings without NaN ever
+    /// reaching a search decision. [`CostTables::try_build`] is the
+    /// non-panicking form for callers fed untrusted problems.
     pub fn build(problem: &MappingProblem, model: CostModel) -> Self {
+        match Self::try_build(problem, model) {
+            Ok(tables) => tables,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`CostTables::build`] with every rejection as a typed error
+    /// instead of a panic: non-finite communication components or
+    /// network entries, and graphs whose process count or directed
+    /// CSR entry count would silently truncate the `u32` index space.
+    /// Degenerate problems — a single vertex, every rank pinned, or
+    /// zero-weight edges — build fine and evaluate to well-defined
+    /// (possibly zero) costs.
+    pub fn try_build(problem: &MappingProblem, model: CostModel) -> Result<Self, CostTablesError> {
         let n = problem.num_processes();
         let m = problem.num_sites();
         let pattern = problem.pattern();
         let partners = problem.partners();
 
         let entries: usize = partners.iter().map(Vec::len).sum();
+        csr_fits(n, entries)?;
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut peer = Vec::with_capacity(entries);
         let mut out_m = Vec::with_capacity(entries);
@@ -162,13 +284,15 @@ impl CostTables {
                 let om = pattern.msgs(i, p.peer);
                 let (fom, fob) = model_components(model, om, ob);
                 let (fim, fib) = model_components(model, p.msgs - om, p.bytes - ob);
-                assert!(
-                    fom.is_finite() && fob.is_finite() && fim.is_finite() && fib.is_finite(),
-                    "CostTables: non-finite communication component on edge \
-                     {i}↔{} (out msgs {fom}, out bytes {fob}, in msgs {fim}, \
-                     in bytes {fib}); reject bad profiles before mapping",
-                    p.peer
-                );
+                if !(fom.is_finite() && fob.is_finite() && fim.is_finite() && fib.is_finite()) {
+                    return Err(CostTablesError::NonFiniteEdge {
+                        from: i,
+                        to: p.peer,
+                        detail: format!(
+                            "out msgs {fom}, out bytes {fob}, in msgs {fim}, in bytes {fib}"
+                        ),
+                    });
+                }
                 peer.push(p.peer as u32);
                 out_m.push(fom);
                 out_b.push(fob);
@@ -178,28 +302,9 @@ impl CostTables {
             row_ptr.push(peer.len() as u32);
         }
 
-        let net = problem.network();
-        let mut lt = Vec::with_capacity(m * m);
-        let mut inv_bt = Vec::with_capacity(m * m);
-        for k in 0..m {
-            for l in 0..m {
-                let l_kl = net.latency(SiteId(k), SiteId(l));
-                let b_kl = net.bandwidth(SiteId(k), SiteId(l));
-                let inv = 1.0 / b_kl;
-                assert!(
-                    l_kl.is_finite(),
-                    "CostTables: non-finite latency LT({k},{l}) = {l_kl}"
-                );
-                assert!(
-                    inv.is_finite(),
-                    "CostTables: non-finite 1/BT({k},{l}) (BT = {b_kl})"
-                );
-                lt.push(l_kl);
-                inv_bt.push(inv);
-            }
-        }
+        let (lt, inv_bt) = net_matrices(problem.network(), m)?;
 
-        Self {
+        Ok(Self {
             n,
             m,
             row_ptr,
@@ -210,7 +315,134 @@ impl CostTables {
             in_b,
             lt,
             inv_bt,
+        })
+    }
+
+    /// [`CostTables::try_build_from_pattern`] with the standard
+    /// panic-on-rejection contract of [`CostTables::build`].
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`CostTables::build`].
+    pub fn build_from_pattern(
+        pattern: &commgraph::CommPattern,
+        net: &geonet::SiteNetwork,
+        model: CostModel,
+    ) -> Self {
+        match Self::try_build_from_pattern(pattern, net, model) {
+            Ok(tables) => tables,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Build tables directly from a pattern/network pair — the
+    /// multilevel refiner's fast path, which visits a freshly contracted
+    /// pattern at every level. Semantically equivalent to wrapping the
+    /// pair in a [`MappingProblem`] and calling
+    /// [`CostTables::try_build`] (up to float rounding in the folded
+    /// components), but the undirected partner rows come from one O(E)
+    /// sorted merge of the out- and in-adjacency instead of the
+    /// problem's BTreeMap partner cache plus per-entry binary searches.
+    pub fn try_build_from_pattern(
+        pattern: &commgraph::CommPattern,
+        net: &geonet::SiteNetwork,
+        model: CostModel,
+    ) -> Result<Self, CostTablesError> {
+        let n = pattern.n();
+        let m = net.num_sites();
+
+        // In-adjacency, with each row sorted by source because sources
+        // are visited in order.
+        let mut in_rows: Vec<Vec<commgraph::pattern::Edge>> = vec![Vec::new(); n];
+        for src in 0..n {
+            for e in pattern.out_edges(src) {
+                in_rows[e.dst].push(commgraph::pattern::Edge {
+                    dst: src,
+                    bytes: e.bytes,
+                    msgs: e.msgs,
+                });
+            }
+        }
+        let entries: usize = (0..n)
+            .map(|i| {
+                let (out, inr) = (pattern.out_edges(i), &in_rows[i]);
+                let (mut a, mut b, mut len) = (0usize, 0usize, 0usize);
+                while a < out.len() || b < inr.len() {
+                    if b >= inr.len() || (a < out.len() && out[a].dst <= inr[b].dst) {
+                        if b < inr.len() && out[a].dst == inr[b].dst {
+                            b += 1;
+                        }
+                        a += 1;
+                    } else {
+                        b += 1;
+                    }
+                    len += 1;
+                }
+                len
+            })
+            .sum();
+        csr_fits(n, entries)?;
+
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut peer = Vec::with_capacity(entries);
+        let mut out_m = Vec::with_capacity(entries);
+        let mut out_b = Vec::with_capacity(entries);
+        let mut in_m = Vec::with_capacity(entries);
+        let mut in_b = Vec::with_capacity(entries);
+        row_ptr.push(0u32);
+        for (i, inr) in in_rows.iter().enumerate() {
+            let out = pattern.out_edges(i);
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < out.len() || b < inr.len() {
+                // Merge the two sorted runs into one partner entry per
+                // peer: out components from i→peer, in from peer→i.
+                let (p, om, ob, im, ib) =
+                    if b >= inr.len() || (a < out.len() && out[a].dst < inr[b].dst) {
+                        let e = &out[a];
+                        a += 1;
+                        (e.dst, e.msgs, e.bytes, 0.0, 0.0)
+                    } else if a >= out.len() || inr[b].dst < out[a].dst {
+                        let e = &inr[b];
+                        b += 1;
+                        (e.dst, 0.0, 0.0, e.msgs, e.bytes)
+                    } else {
+                        let (eo, ei) = (&out[a], &inr[b]);
+                        a += 1;
+                        b += 1;
+                        (eo.dst, eo.msgs, eo.bytes, ei.msgs, ei.bytes)
+                    };
+                let (fom, fob) = model_components(model, om, ob);
+                let (fim, fib) = model_components(model, im, ib);
+                if !(fom.is_finite() && fob.is_finite() && fim.is_finite() && fib.is_finite()) {
+                    return Err(CostTablesError::NonFiniteEdge {
+                        from: i,
+                        to: p,
+                        detail: format!(
+                            "out msgs {fom}, out bytes {fob}, in msgs {fim}, in bytes {fib}"
+                        ),
+                    });
+                }
+                peer.push(p as u32);
+                out_m.push(fom);
+                out_b.push(fob);
+                in_m.push(fim);
+                in_b.push(fib);
+            }
+            row_ptr.push(peer.len() as u32);
+        }
+
+        let (lt, inv_bt) = net_matrices(net, m)?;
+        Ok(Self {
+            n,
+            m,
+            row_ptr,
+            peer,
+            out_m,
+            out_b,
+            in_m,
+            in_b,
+            lt,
+            inv_bt,
+        })
     }
 
     /// Number of processes.
@@ -990,6 +1222,166 @@ mod tests {
 
     fn round_robin(n: usize, m: usize) -> Vec<SiteId> {
         (0..n).map(|i| SiteId(i % m)).collect()
+    }
+
+    #[test]
+    fn csr_fits_rejects_u32_overflow_without_allocating() {
+        assert!(csr_fits(0, 0).is_ok());
+        assert!(csr_fits(u32::MAX as usize, u32::MAX as usize).is_ok());
+        let huge = u32::MAX as usize + 1;
+        assert_eq!(
+            csr_fits(huge, 8),
+            Err(CostTablesError::IndexOverflow {
+                processes: huge,
+                entries: 8
+            })
+        );
+        assert_eq!(
+            csr_fits(8, huge),
+            Err(CostTablesError::IndexOverflow {
+                processes: 8,
+                entries: huge
+            })
+        );
+        let msg = csr_fits(huge, 8).unwrap_err().to_string();
+        assert!(msg.contains("u32 CSR index space"), "{msg}");
+    }
+
+    #[test]
+    fn try_build_rejects_non_finite_network() {
+        use geonet::{GeoCoord, Site, SiteNetwork, SquareMatrix};
+        let pat = {
+            let mut b = commgraph::pattern::PatternBuilder::new(2);
+            b.record_many(0, 1, 1000, 1);
+            b.build()
+        };
+        let sites = vec![
+            Site::new("a", GeoCoord::new(0.0, 0.0), 2),
+            Site::new("b", GeoCoord::new(1.0, 0.0), 2),
+        ];
+        // A denormal bandwidth passes the network's own `> 0 && finite`
+        // gate but overflows the folded `1/BT` — exactly the class of
+        // poison the tables must reject with a typed error, not feed
+        // into `total_cmp` orderings.
+        let lt = SquareMatrix::from_fn(2, |_, _| 0.1);
+        let bt = SquareMatrix::from_fn(2, |k, l| if k == 0 && l == 1 { 5e-324 } else { 1e9 });
+        let p = MappingProblem::unconstrained(pat, SiteNetwork::new(sites, lt, bt));
+        match CostTables::try_build(&p, CostModel::Full) {
+            Err(CostTablesError::NonFiniteNetwork { from: 0, to: 1, .. }) => {}
+            other => panic!("expected NonFiniteNetwork, got {other:?}"),
+        }
+    }
+
+    /// Degenerate problems build fine and evaluate to well-defined
+    /// costs: a single vertex (no edges at all), every rank pinned, and
+    /// zero-weight edges pruned by the builder.
+    #[test]
+    fn try_build_accepts_degenerate_problems() {
+        use crate::constraint::ConstraintVector;
+
+        // Single-vertex graph: empty CSR, zero cost, no panics in the
+        // search entry points.
+        let single = {
+            let pat = commgraph::pattern::PatternBuilder::new(1).build();
+            let net = presets::paper_ec2_network(1, InstanceType::M4Xlarge, 1);
+            MappingProblem::unconstrained(pat, net)
+        };
+        let t = CostTables::try_build(&single, CostModel::Full).expect("single vertex builds");
+        let sites = vec![SiteId(0)];
+        assert_eq!(t.total(&sites), 0.0);
+        let eval = Evaluation::Incremental.evaluator(&t, sites);
+        assert_eq!(best_improving_swap(eval.as_ref(), &[0], -1e-12), None);
+
+        // All ranks pinned: nothing movable, polish is a no-op.
+        let p = problem(8, 11);
+        let pins =
+            ConstraintVector::from_pins((0..8).map(|i| Some(SiteId(i % p.num_sites()))).collect());
+        let pinned = p.with_constraints(pins);
+        let t = CostTables::try_build(&pinned, CostModel::Full).expect("all-pinned builds");
+        let start: Vec<SiteId> = (0..8).map(|i| SiteId(i % pinned.num_sites())).collect();
+        let mut mapping = Mapping::new(start.clone());
+        let pins_of = pinned.constraints().clone();
+        polish_with_tables(
+            &t,
+            Evaluation::Incremental,
+            &mut mapping,
+            4,
+            &|i| pins_of.pin_of(i).is_none(),
+            &|_, _| true,
+        );
+        assert_eq!(mapping.as_slice(), start.as_slice());
+
+        // Zero-weight edges: record_many with count 0 is pruned by the
+        // builder, so the tables see a well-formed (possibly empty)
+        // graph rather than 0/0 components.
+        let zero = {
+            let mut b = commgraph::pattern::PatternBuilder::new(4);
+            b.record_many(0, 1, 0, 1); // zero bytes, one message — kept
+            b.record_many(2, 3, 5_000, 0); // zero count — dropped
+            let net = presets::paper_ec2_network(1, InstanceType::M4Xlarge, 2);
+            MappingProblem::unconstrained(b.build(), net)
+        };
+        let t = CostTables::try_build(&zero, CostModel::Full).expect("zero-weight builds");
+        assert_eq!(t.num_entries(), 2);
+        let sites = round_robin(4, zero.num_sites());
+        assert!(t.total(&sites).is_finite());
+    }
+
+    #[test]
+    fn build_from_pattern_matches_problem_build() {
+        let p = problem(48, 41);
+        let sites = round_robin(48, p.num_sites());
+        for model in [
+            CostModel::Full,
+            CostModel::LatencyOnly,
+            CostModel::BandwidthOnly,
+        ] {
+            let via_problem = CostTables::build(&p, model);
+            let direct = CostTables::build_from_pattern(p.pattern(), p.network(), model);
+            assert_eq!(direct.num_processes(), via_problem.num_processes());
+            assert_eq!(direct.num_entries(), via_problem.num_entries());
+            let (a, b) = (direct.total(&sites), via_problem.total(&sites));
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "{model:?}: direct {a} vs via-problem {b}"
+            );
+            // Same partner structure, so the delta engines agree too.
+            let ed = CostEvaluator::new(&direct, sites.clone());
+            let ep = CostEvaluator::new(&via_problem, sites.clone());
+            for i in 0..48 {
+                let (da, db) = (
+                    ed.swap_delta(i, (i + 7) % 48),
+                    ep.swap_delta(i, (i + 7) % 48),
+                );
+                assert!(
+                    (da - db).abs() <= 1e-9 * db.abs().max(1.0),
+                    "{model:?} swap_delta({i}): {da} vs {db}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_from_pattern_rejects_non_finite_network() {
+        use geonet::{GeoCoord, Site, SiteNetwork, SquareMatrix};
+        let pat = {
+            let mut b = commgraph::pattern::PatternBuilder::new(2);
+            b.record_many(0, 1, 1000, 1);
+            b.build()
+        };
+        let sites = vec![
+            Site::new("a", GeoCoord::new(0.0, 0.0), 2),
+            Site::new("b", GeoCoord::new(1.0, 0.0), 2),
+        ];
+        // Same denormal-bandwidth poison as the try_build test: passes
+        // the network's own gate, overflows the folded 1/BT.
+        let lt = SquareMatrix::from_fn(2, |_, _| 0.1);
+        let bt = SquareMatrix::from_fn(2, |k, l| if k == 0 && l == 1 { 5e-324 } else { 1e9 });
+        let net = SiteNetwork::new(sites, lt, bt);
+        match CostTables::try_build_from_pattern(&pat, &net, CostModel::Full) {
+            Err(CostTablesError::NonFiniteNetwork { .. }) => {}
+            other => panic!("expected NonFiniteNetwork, got {other:?}"),
+        }
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   the site with its heaviest partners; keep the cheapest order.
 //! * [`pipeline`] — the end-to-end flow of Fig. 2: application profiling
 //!   → network calibration → grouping → mapping optimization.
+//! * [`multilevel`] — the coarsen–map–refine solver for 100k+ ranks:
+//!   heavy-edge matching contracts the commgraph level by level, the
+//!   coarsest graph goes to the direct solver, and the Δ-cost engine
+//!   refines each projection on the way back down.
 //! * [`remap`] — online repair under churn: bounded-migration local
 //!   search from the current (drifted) mapping, minimizing
 //!   `Eq3 + α·moved_ranks` on the Δ-cost engine.
@@ -36,6 +40,7 @@ pub mod geo;
 pub mod grouping;
 pub mod mapping;
 pub mod metrics;
+pub mod multilevel;
 pub mod multisite;
 pub mod pipeline;
 pub mod problem;
@@ -48,7 +53,7 @@ pub use delta::{
     best_improving_swap, best_improving_swap_counted, polish, polish_stats, polish_stats_traced,
     polish_with_tables, polish_with_tables_stats, polish_with_tables_traced, sweep_hill_climb,
     sweep_hill_climb_stats, sweep_hill_climb_traced, CostEval, CostEvaluator, CostTables,
-    Evaluation, FullRecomputeEval, SearchStats,
+    CostTablesError, Evaluation, FullRecomputeEval, SearchStats,
 };
 pub use geo::{GeoMapper, OrderSearch, Seeding};
 pub use grouping::group_sites;
@@ -56,6 +61,7 @@ pub use mapping::Mapping;
 pub use metrics::{
     JsonLinesSink, MemorySink, MetricKind, MetricRecord, Metrics, MetricsSink, NullSink,
 };
+pub use multilevel::{Hierarchy, Level, MultilevelConfig, MultilevelMapper};
 pub use multisite::{AllowedSites, GeoMapperMulti};
 pub use problem::MappingProblem;
 pub use remap::{cold_resolve, repair, repair_with_tables, RemapConfig, RemapOutcome};

@@ -13,6 +13,7 @@ use crate::cost::cost;
 use crate::geo::GeoMapper;
 use crate::mapping::Mapping;
 use crate::metrics::Metrics;
+use crate::multilevel::{MultilevelConfig, MultilevelMapper};
 use crate::problem::MappingProblem;
 use crate::Mapper;
 use commgraph::{CommPattern, Program};
@@ -31,6 +32,11 @@ pub struct PipelineConfig {
     /// switch so the ablation bench can measure its effect on profiling
     /// volume).
     pub compress_traces: bool,
+    /// When set, the optimization stage wraps `mapper` in the
+    /// [`MultilevelMapper`]: coarsen by heavy-edge matching, solve the
+    /// coarsest graph with `mapper`, refine on the way back up. `None`
+    /// (the default) keeps the direct solve.
+    pub multilevel: Option<MultilevelConfig>,
     /// Observability handle for the pipeline phases. Phase timings are
     /// emitted under the scope `pipeline` (`phase.profiling`,
     /// `phase.calibration`, `phase.optimization`); a mapper whose own
@@ -45,6 +51,7 @@ impl Default for PipelineConfig {
             calibration: CalibrationConfig::default(),
             mapper: GeoMapper::default(),
             compress_traces: true,
+            multilevel: None,
             metrics: Metrics::off(),
         }
     }
@@ -129,15 +136,27 @@ pub fn run_with_pattern(
     // A mapper without its own metrics handle inherits the pipeline's,
     // so grouping/order-search/packing/refinement timings land in the
     // same sink.
-    let inherited;
-    let mapper: &dyn Mapper = if metrics.enabled() && !config.mapper.metrics.enabled() {
-        inherited = GeoMapper {
+    let geo = if metrics.enabled() && !config.mapper.metrics.enabled() {
+        GeoMapper {
             metrics: config.metrics.clone(),
             ..config.mapper.clone()
-        };
-        &inherited
+        }
     } else {
-        &config.mapper
+        config.mapper.clone()
+    };
+    let multilevel_holder;
+    let direct_holder;
+    let mapper: &dyn Mapper = if let Some(ml) = config.multilevel {
+        multilevel_holder = MultilevelMapper {
+            config: ml,
+            metrics: geo.metrics.clone(),
+            trace: geo.trace.clone(),
+            inner: geo,
+        };
+        &multilevel_holder
+    } else {
+        direct_holder = geo;
+        &direct_holder
     };
     let problem = MappingProblem::new(pattern.clone(), calibration.estimated.clone(), constraints);
     let start = Instant::now();
@@ -210,6 +229,26 @@ mod tests {
         assert_eq!(on.pattern, off.pattern);
         assert!(on.compression_ratio > off.compression_ratio);
         assert_eq!(off.compression_ratio, 1.0);
+    }
+
+    #[test]
+    fn multilevel_config_flows_through() {
+        let truth = presets::paper_ec2_network(16, InstanceType::M4Xlarge, 7);
+        let program = AppKind::Lu.workload(64).program();
+        let result = run(
+            &program,
+            &truth,
+            ConstraintVector::none(64),
+            &PipelineConfig {
+                multilevel: Some(MultilevelConfig {
+                    coarsen_cutoff: 8,
+                    ..MultilevelConfig::default()
+                }),
+                ..PipelineConfig::default()
+            },
+        );
+        result.mapping.validate(&result.problem).unwrap();
+        assert!(result.estimated_cost > 0.0);
     }
 
     #[test]

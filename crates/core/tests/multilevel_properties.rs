@@ -1,0 +1,286 @@
+//! Property harness for the multilevel coarsen–map–refine solver.
+//!
+//! Laws, each over randomized problems and randomized multilevel
+//! configurations (proptest):
+//!
+//! 1. **Conservation** — coarsening loses nothing: at every level the
+//!    aggregated rank weights sum to the base rank count, and the
+//!    contracted edge traffic plus the internal (intra-vertex) traffic
+//!    sums to the base totals *exactly* (all quantities are
+//!    integer-valued `f64`s far below 2^53, so the sums are exact
+//!    whatever the summation order).
+//! 2. **Matching validity** — every coarse vertex absorbs one or two
+//!    finer vertices (a rank is matched at most once per level), the
+//!    projection is a total surjection, and pins never merge across
+//!    different pin targets: a coarse vertex's pin is exactly the pin
+//!    of each of its pinned members.
+//! 3. **Cost preservation** — the Eq. 3 cost of *any* coarse
+//!    assignment (contracted edges plus internal traffic charged at
+//!    each vertex's own site) equals the base Eq. 3 cost of its
+//!    projection, at every level, to float tolerance.
+//! 4. **Load preservation / feasibility** — per-site rank-unit loads
+//!    are identical before and after projection (so a feasible level
+//!    assignment projects to a feasible base assignment), and the full
+//!    solver's output mapping is feasible: capacities respected, every
+//!    pin honoured.
+//! 5. **Degenerate identity** — a coarsening cutoff at or above the
+//!    rank count makes the multilevel solver the direct solver, bit
+//!    for bit.
+
+use commgraph::pattern::PatternBuilder;
+use commgraph::CommPattern;
+use geomap_core::multilevel::Hierarchy;
+use geomap_core::{
+    cost, ConstraintVector, GeoMapper, Mapper, Mapping, MappingProblem, MultilevelConfig,
+    MultilevelMapper,
+};
+use geonet::{GeoCoord, Site, SiteId, SiteNetwork, SquareMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random problem: `n` processes over `m` sites with random directed
+/// traffic and random positive `LT`/`BT`; half the instances carry
+/// random pin constraints.
+fn random_problem(n: usize, m: usize, seed: u64) -> MappingProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = PatternBuilder::new(n);
+    for _ in 0..(n * 3).max(4) {
+        let src = rng.random_range(0..n);
+        let dst = rng.random_range(0..n);
+        if src == dst {
+            continue;
+        }
+        b.record_many(
+            src,
+            dst,
+            rng.random_range(1..2_000_000u64),
+            rng.random_range(1..64u64),
+        );
+    }
+    let pattern = ensure_nonempty(b.build(), n);
+    let per_site = n.div_ceil(m) + 1;
+    let sites: Vec<Site> = (0..m)
+        .map(|k| Site::new(format!("s{k}"), GeoCoord::new(k as f64, 0.0), per_site))
+        .collect();
+    let lt = SquareMatrix::from_fn(m, |k, l| {
+        if k == l {
+            rng.random_range(1e-5..1e-4)
+        } else {
+            rng.random_range(1e-3..0.2)
+        }
+    });
+    let bt = SquareMatrix::from_fn(m, |k, l| {
+        if k == l {
+            rng.random_range(1e9..1e10)
+        } else {
+            rng.random_range(1e6..1e8)
+        }
+    });
+    let net = SiteNetwork::new(sites, lt, bt);
+    let constraints = if rng.random_bool(0.5) {
+        ConstraintVector::random(
+            n,
+            rng.random_range(0.1..0.4),
+            &net.capacities(),
+            seed ^ 0xC1,
+        )
+    } else {
+        ConstraintVector::none(n)
+    };
+    MappingProblem::new(pattern, net, constraints)
+}
+
+fn ensure_nonempty(pattern: CommPattern, n: usize) -> CommPattern {
+    if (0..n).any(|i| !pattern.out_edges(i).is_empty()) {
+        return pattern;
+    }
+    let mut b = PatternBuilder::new(n);
+    for i in 0..n {
+        b.record_many(i, (i + 1) % n, 1000, 1);
+    }
+    b.build()
+}
+
+fn random_config(rng: &mut StdRng, n: usize) -> MultilevelConfig {
+    MultilevelConfig {
+        coarsen_cutoff: rng.random_range(4..(n / 2).max(5)),
+        match_rounds: rng.random_range(1..4usize),
+        refine_passes: rng.random_range(0..4usize),
+    }
+}
+
+/// Member lists of each coarse vertex at one level.
+fn members(coarse_of: &[usize], n_coarse: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![Vec::new(); n_coarse];
+    for (fine, &c) in coarse_of.iter().enumerate() {
+        m[c].push(fine);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Laws 1 and 2: exact conservation of rank weights and traffic,
+    /// matching validity, and pin merging rules — at every level.
+    #[test]
+    fn prop_conservation_and_matching_validity(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3117);
+        let n = rng.random_range(32..160usize);
+        let m = rng.random_range(2..6usize);
+        let problem = random_problem(n, m, seed);
+        let config = random_config(&mut rng, n);
+        let hierarchy = Hierarchy::coarsen(&problem, &config, seed ^ 0xAB);
+
+        let base_bytes = problem.pattern().total_bytes();
+        let base_msgs = problem.pattern().total_msgs();
+        // The pins of the finer side of each level, for the merge law.
+        let mut finer_pins: Vec<Option<SiteId>> =
+            (0..n).map(|i| problem.constraints().pin_of(i)).collect();
+        let mut finer_n = n;
+
+        for (k, lvl) in hierarchy.levels.iter().enumerate() {
+            // Rank weights: every base rank is in exactly one vertex.
+            let weight_sum: usize = lvl.weights.iter().sum();
+            prop_assert_eq!(weight_sum, n, "level {}: weights lost ranks", k);
+
+            // Traffic conservation — exact, not approximate.
+            let bytes = lvl.pattern.total_bytes()
+                + lvl.internal_bytes.iter().sum::<f64>();
+            let msgs = lvl.pattern.total_msgs()
+                + lvl.internal_msgs.iter().sum::<f64>();
+            prop_assert_eq!(bytes, base_bytes, "level {}: bytes not conserved", k);
+            prop_assert_eq!(msgs, base_msgs, "level {}: msgs not conserved", k);
+
+            // Matching validity: surjection, 1–2 members per vertex.
+            prop_assert_eq!(lvl.coarse_of.len(), finer_n, "level {}: wrong domain", k);
+            let mem = members(&lvl.coarse_of, lvl.n());
+            for (c, ms) in mem.iter().enumerate() {
+                prop_assert!(
+                    (1..=2).contains(&ms.len()),
+                    "level {k}: vertex {c} has {} members", ms.len()
+                );
+                // Pin merge law: pinned members all share one pin, and
+                // the coarse vertex carries exactly it.
+                let member_pins: Vec<Option<SiteId>> =
+                    ms.iter().map(|&u| finer_pins[u]).collect();
+                let coarse_pin = lvl.constraints.pin_of(c);
+                for &p in &member_pins {
+                    if p.is_some() {
+                        prop_assert_eq!(
+                            coarse_pin, p,
+                            "level {}: vertex {} merged across pins", k, c
+                        );
+                    }
+                }
+                if member_pins.iter().all(|p| p.is_none()) {
+                    prop_assert_eq!(coarse_pin, None);
+                }
+                // A pinned vertex never matches an unpinned one (the
+                // strict compatibility rule), so pins are uniform.
+                if ms.len() == 2 {
+                    prop_assert_eq!(member_pins[0], member_pins[1],
+                        "level {}: mixed-pin match at vertex {}", k, c);
+                }
+            }
+            finer_pins = (0..lvl.n()).map(|i| lvl.constraints.pin_of(i)).collect();
+            finer_n = lvl.n();
+        }
+        // Each level genuinely shrinks the graph.
+        let mut prev = n;
+        for lvl in &hierarchy.levels {
+            prop_assert!(lvl.n() < prev);
+            prev = lvl.n();
+        }
+    }
+
+    /// Laws 3 and 4: any coarse assignment's level cost equals the base
+    /// cost of its projection, and per-site rank loads survive
+    /// projection unchanged.
+    #[test]
+    fn prop_projection_preserves_cost_and_loads(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37);
+        let n = rng.random_range(32..128usize);
+        let m = rng.random_range(2..6usize);
+        let problem = random_problem(n, m, seed ^ 0xFACE);
+        let config = random_config(&mut rng, n);
+        let hierarchy = Hierarchy::coarsen(&problem, &config, seed ^ 0xCD);
+
+        for (k, lvl) in hierarchy.levels.iter().enumerate() {
+            // A random (not necessarily feasible) coarse assignment —
+            // the cost identity is pointwise, not just on optima.
+            let sites: Vec<SiteId> = (0..lvl.n())
+                .map(|i| lvl.constraints.pin_of(i)
+                    .unwrap_or_else(|| SiteId(rng.random_range(0..m))))
+                .collect();
+            let level_cost = hierarchy.cost_at(&problem, k, &sites);
+            let projected = hierarchy.project_to_base(k, &sites);
+            let base_cost = cost(&problem, &Mapping::new(projected.clone()));
+            prop_assert!(
+                (level_cost - base_cost).abs() <= 1e-9 * base_cost.abs().max(1.0),
+                "level {}: cost {} vs projected base cost {}", k, level_cost, base_cost
+            );
+
+            // Load preservation: site-by-site rank weight is invariant.
+            let mut level_load = vec![0usize; m];
+            for i in 0..lvl.n() {
+                level_load[sites[i].0] += lvl.weights[i];
+            }
+            let mut base_load = vec![0usize; m];
+            for &s in &projected {
+                base_load[s.0] += 1;
+            }
+            prop_assert_eq!(level_load, base_load, "level {}: loads changed", k);
+        }
+    }
+
+    /// Law 4 (end to end): the solver's mapping is feasible — validate
+    /// passes, every pin honoured, no site above capacity.
+    #[test]
+    fn prop_solver_output_is_feasible(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFEA5);
+        let n = rng.random_range(32..160usize);
+        let m = rng.random_range(2..6usize);
+        let problem = random_problem(n, m, seed ^ 0xB0B);
+        let mapper = MultilevelMapper {
+            config: random_config(&mut rng, n),
+            inner: GeoMapper { seed: seed ^ 0x17, ..GeoMapper::default() },
+            ..MultilevelMapper::default()
+        };
+        let mapping = mapper.map(&problem);
+        prop_assert!(mapping.validate(&problem).is_ok(),
+            "{:?}", mapping.validate(&problem));
+        prop_assert!(problem.constraints().satisfied_by(mapping.as_slice()));
+        let counts = mapping.site_counts(m);
+        let caps = problem.network().capacities();
+        for k in 0..m {
+            prop_assert!(counts[k] <= caps[k], "site {} over capacity", k);
+        }
+        // And the reported placement prices out to a finite Eq. 3 cost.
+        prop_assert!(cost(&problem, &mapping).is_finite());
+    }
+
+    /// Law 5: cutoff ≥ N degenerates to the direct solver bit for bit —
+    /// same RNG stream, identical mapping.
+    #[test]
+    fn prop_degenerate_cutoff_is_direct_solver(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDE6E);
+        let n = rng.random_range(8..64usize);
+        let m = rng.random_range(2..5usize);
+        let problem = random_problem(n, m, seed ^ 0xD1FF);
+        let inner = GeoMapper { seed: seed ^ 0x5C17, ..GeoMapper::default() };
+        let direct = inner.map(&problem);
+        let multilevel = MultilevelMapper {
+            config: MultilevelConfig {
+                coarsen_cutoff: n + rng.random_range(0..64usize),
+                ..MultilevelConfig::default()
+            },
+            inner,
+            ..MultilevelMapper::default()
+        }
+        .map(&problem);
+        prop_assert_eq!(multilevel.as_slice(), direct.as_slice(),
+            "degenerate multilevel diverged from the direct solver");
+    }
+}

@@ -211,6 +211,79 @@ pub fn azure_network(names: &[&str], nodes: usize, seed: u64) -> SiteNetwork {
     SynthNetworkBuilder::new(cfg).build(sites)
 }
 
+/// Ten more Azure regions extending [`AZURE_REGIONS`] to the 20-region
+/// footprint the multilevel scale benchmarks map onto. Kept separate so
+/// the 10-region preset (and every committed artifact built on it)
+/// stays byte-stable.
+pub const AZURE_REGIONS_EXTRA: [RegionInfo; 10] = [
+    RegionInfo {
+        name: "Central US",
+        lat: 41.59,
+        lon: -93.62,
+    },
+    RegionInfo {
+        name: "North Central US",
+        lat: 41.88,
+        lon: -87.63,
+    },
+    RegionInfo {
+        name: "South Central US",
+        lat: 29.42,
+        lon: -98.49,
+    },
+    RegionInfo {
+        name: "UK South",
+        lat: 51.51,
+        lon: -0.13,
+    },
+    RegionInfo {
+        name: "UK West",
+        lat: 51.48,
+        lon: -3.18,
+    },
+    RegionInfo {
+        name: "Canada Central",
+        lat: 43.65,
+        lon: -79.38,
+    },
+    RegionInfo {
+        name: "Canada East",
+        lat: 46.82,
+        lon: -71.22,
+    },
+    RegionInfo {
+        name: "Central India",
+        lat: 18.52,
+        lon: 73.86,
+    },
+    RegionInfo {
+        name: "Korea Central",
+        lat: 37.57,
+        lon: 126.98,
+    },
+    RegionInfo {
+        name: "Australia Southeast",
+        lat: -37.81,
+        lon: 144.96,
+    },
+];
+
+/// The Azure 20-region preset: [`AZURE_REGIONS`] plus
+/// [`AZURE_REGIONS_EXTRA`], `nodes` nodes per region, under the Azure
+/// synthetic calibration profile.
+pub fn azure20_network(nodes: usize, seed: u64) -> SiteNetwork {
+    let sites: Vec<Site> = AZURE_REGIONS
+        .iter()
+        .chain(AZURE_REGIONS_EXTRA.iter())
+        .map(|r| Site::new(r.name, GeoCoord::new(r.lat, r.lon), nodes))
+        .collect();
+    let cfg = SynthConfig {
+        seed,
+        ..SynthConfig::azure()
+    };
+    SynthNetworkBuilder::new(cfg).build(sites)
+}
+
 /// A multi-provider deployment — the paper's second piece of future work
 /// ("later consider the problem in the more complicated geo-distributed
 /// environment with multiple cloud providers").

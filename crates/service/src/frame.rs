@@ -40,8 +40,8 @@
 
 use crate::proto::{
     CacheTier, CalibSpec, ErrorCode, ErrorResponse, HistSummary, JournalResponse, MapRequest,
-    MapResponse, RemapDiffResponse, RemapRequest, Request, Response, StatsDetail, StatsResponse,
-    TraceContext, TraceDumpResponse, WireTraceEvent, WireTrack,
+    MapResponse, MultilevelSpec, RemapDiffResponse, RemapRequest, Request, Response, StatsDetail,
+    StatsResponse, TraceContext, TraceDumpResponse, WireTraceEvent, WireTrack,
 };
 
 /// First byte of every v2 frame; never the first byte of UTF-8 JSON.
@@ -338,16 +338,23 @@ pub fn request_payload(request: &Request) -> Vec<u8> {
             w.opt_u64(m.lease_ttl_ms);
             w.bool(m.use_result_cache);
             w.opt_str(m.idempotency_key.as_deref());
-            // Optional *trailing* extension: appended only when a trace
-            // context rides the request, so a trace-free payload is
-            // byte-identical to the pre-observability frame layout
-            // (pinned by the golden fixtures). Decoders accept both by
+            // Optional *trailing* extensions, each opened by a marker
+            // byte and appended only when present, in ascending marker
+            // order — a request using neither keeps the pre-extension
+            // frame layout byte for byte (pinned by the golden
+            // fixtures). Decoders accept any suffix of markers by
             // checking `remaining()` before `finish`.
             if let Some(t) = &m.trace {
                 w.u8(TRACE_EXT_MARKER);
                 w.u64(t.trace_id);
                 w.u64(t.parent_span);
                 w.bool(t.sampled);
+            }
+            if let Some(ml) = &m.multilevel {
+                w.u8(MULTILEVEL_EXT_MARKER);
+                w.u64(ml.coarsen_cutoff as u64);
+                w.u64(ml.match_rounds as u64);
+                w.u64(ml.refine_passes as u64);
             }
         }
         Request::Release { id, lease } => {
@@ -399,6 +406,10 @@ pub fn request_payload(request: &Request) -> Vec<u8> {
 /// Marker byte opening the optional trailing trace-context extension
 /// on a v2 map-request payload.
 const TRACE_EXT_MARKER: u8 = 1;
+
+/// Marker byte opening the optional trailing multilevel-solver
+/// extension on a v2 map-request payload.
+const MULTILEVEL_EXT_MARKER: u8 = 2;
 
 fn write_hist_summary(w: &mut Writer, h: &HistSummary) {
     w.str(&h.name);
@@ -715,22 +726,42 @@ fn decode_request_inner(payload: &[u8]) -> Result<Request, FrameError> {
             m.lease_ttl_ms = r.opt_u64("map.lease_ttl_ms")?;
             m.use_result_cache = r.bool("map.cache")?;
             m.idempotency_key = r.opt_str("map.idem")?;
-            // Optional trailing trace-context extension: old peers end
-            // the payload here, new peers may append one.
-            if r.remaining() > 0 {
-                let marker = r.u8("map.trace marker")?;
-                if marker != TRACE_EXT_MARKER {
-                    return Err(FrameError::Malformed(format!(
-                        "map.trace: unknown extension marker {marker}"
-                    )));
+            // Optional trailing extensions: old peers end the payload
+            // here, new peers may append any marker-led suffix.
+            while r.remaining() > 0 {
+                let marker = r.u8("map.ext marker")?;
+                match marker {
+                    TRACE_EXT_MARKER => {
+                        m.trace = Some(TraceContext {
+                            trace_id: r.u64("map.trace.id")?,
+                            parent_span: r.u64("map.trace.parent")?,
+                            sampled: r.bool("map.trace.sampled")?,
+                        });
+                    }
+                    MULTILEVEL_EXT_MARKER => {
+                        m.multilevel = Some(MultilevelSpec {
+                            coarsen_cutoff: r.usize64("map.multilevel.cutoff")?,
+                            match_rounds: r.usize64("map.multilevel.rounds")?,
+                            refine_passes: r.usize64("map.multilevel.passes")?,
+                        });
+                    }
+                    other => {
+                        return Err(FrameError::Malformed(format!(
+                            "map.trace: unknown extension marker {other}"
+                        )));
+                    }
                 }
-                m.trace = Some(TraceContext {
-                    trace_id: r.u64("map.trace.id")?,
-                    parent_span: r.u64("map.trace.parent")?,
-                    sampled: r.bool("map.trace.sampled")?,
-                });
             }
             r.finish("map request")?;
+            if let Some(ml) = &m.multilevel {
+                // Same bounds v1 enforces, with the same messages.
+                if ml.coarsen_cutoff == 0 {
+                    return Err(bad_field(&m.id, "multilevel cutoff must be >= 1"));
+                }
+                if ml.match_rounds == 0 {
+                    return Err(bad_field(&m.id, "multilevel rounds must be >= 1"));
+                }
+            }
             // The same bounds v1 enforces at decode time, with the same
             // messages (the differential suite compares them verbatim).
             if !(m.calibration.noise_cv.is_finite() && m.calibration.noise_cv >= 0.0) {

@@ -102,6 +102,32 @@ impl TraceContext {
     }
 }
 
+/// Multilevel solver knobs riding a map request. Present only when the
+/// caller selects the `multilevel` algorithm (or tunes it explicitly);
+/// absent, the request bytes are identical to the pre-multilevel
+/// encoding on both wire versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultilevelSpec {
+    /// Stop coarsening at this many vertices (≥ 1). A cutoff at or
+    /// above the rank count degenerates to the direct solver.
+    pub coarsen_cutoff: usize,
+    /// Randomized matchings tried per level (≥ 1).
+    pub match_rounds: usize,
+    /// Refinement passes per uncoarsening step.
+    pub refine_passes: usize,
+}
+
+impl Default for MultilevelSpec {
+    fn default() -> Self {
+        // Mirrors `geomap_core::MultilevelConfig::default()`.
+        Self {
+            coarsen_cutoff: 1024,
+            match_rounds: 2,
+            refine_passes: 2,
+        }
+    }
+}
+
 /// A mapping request: solve the pipeline for an embedded communication
 /// pattern against the cluster the daemon fronts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,7 +140,7 @@ pub struct MapRequest {
     pub ranks: Option<usize>,
     /// Optional data-movement constraints as `process,site` CSV.
     pub constraints_csv: Option<String>,
-    /// Mapper: `geo|greedy|mpipp|random|montecarlo`.
+    /// Mapper: `geo|greedy|mpipp|random|montecarlo|multilevel`.
     pub algorithm: String,
     /// Mapper seed.
     pub seed: u64,
@@ -143,6 +169,11 @@ pub struct MapRequest {
     /// from every cache/affinity fingerprint: tracing a request must
     /// not change where it routes or whether it hits.
     pub trace: Option<TraceContext>,
+    /// Multilevel solver knobs (used by the `multilevel` algorithm;
+    /// defaults apply when absent). Unlike `trace`, this *is* part of
+    /// the cache fingerprints — the same pattern solved direct and
+    /// multilevel are different results.
+    pub multilevel: Option<MultilevelSpec>,
 }
 
 impl MapRequest {
@@ -164,6 +195,7 @@ impl MapRequest {
             use_result_cache: true,
             idempotency_key: None,
             trace: None,
+            multilevel: None,
         }
     }
 }
@@ -908,10 +940,21 @@ impl Request {
                         m.idempotency_key.clone().map_or(Json::Null, Json::Str),
                     ),
                 ];
-                // Appended only when present: a trace-free request's
-                // bytes are exactly the pre-observability encoding.
+                // Appended only when present: a request without trace
+                // or multilevel extensions keeps its pre-extension
+                // bytes exactly.
                 if let Some(t) = &m.trace {
                     fields.push(("trace", trace_ctx_json(t)));
+                }
+                if let Some(ml) = &m.multilevel {
+                    fields.push((
+                        "multilevel",
+                        obj(vec![
+                            ("cutoff", Json::Num(ml.coarsen_cutoff as f64)),
+                            ("rounds", Json::Num(ml.match_rounds as f64)),
+                            ("passes", Json::Num(ml.refine_passes as f64)),
+                        ]),
+                    ));
                 }
                 obj(fields)
             }
@@ -1063,6 +1106,33 @@ impl Request {
                 m.use_result_cache = doc.get("cache").and_then(Json::as_bool).unwrap_or(true);
                 m.idempotency_key = doc.get("idem").and_then(Json::as_str).map(str::to_string);
                 m.trace = doc.get("trace").and_then(trace_ctx_from_json);
+                if let Some(ml) = doc.get("multilevel") {
+                    let d = MultilevelSpec::default();
+                    let spec = MultilevelSpec {
+                        coarsen_cutoff: ml
+                            .get("cutoff")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(d.coarsen_cutoff as u64)
+                            as usize,
+                        match_rounds: ml
+                            .get("rounds")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(d.match_rounds as u64)
+                            as usize,
+                        refine_passes: ml
+                            .get("passes")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(d.refine_passes as u64)
+                            as usize,
+                    };
+                    if spec.coarsen_cutoff == 0 {
+                        return Err(bad(&id, "multilevel cutoff must be >= 1".into()));
+                    }
+                    if spec.match_rounds == 0 {
+                        return Err(bad(&id, "multilevel rounds must be >= 1".into()));
+                    }
+                    m.multilevel = Some(spec);
+                }
                 Ok(Request::Map(m))
             }
             "release" => {

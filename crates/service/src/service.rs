@@ -37,7 +37,8 @@ use baselines::{GreedyMapper, MonteCarlo, MpippMapper, RandomMapper};
 use commgraph::CommPattern;
 use geomap_core::{
     cost, repair_with_tables, ConstraintVector, CostModel, CostTables, GeoMapper, Mapper, Mapping,
-    MappingProblem, Metrics, RemapConfig, RingBufferSink, Trace, TraceEventKind, TraceScope,
+    MappingProblem, Metrics, MultilevelConfig, MultilevelMapper, RemapConfig, RingBufferSink,
+    Trace, TraceEventKind, TraceScope,
 };
 use geonet::{io as netio, Calibrator, SiteId, SiteNetwork};
 use std::collections::HashSet;
@@ -443,6 +444,10 @@ impl MappingService {
             .u64(m.seed)
             .u64(m.kappa as u64)
             .u64(m.samples as u64)
+            .u64(m.multilevel.is_some() as u64)
+            .u64(m.multilevel.map_or(0, |ml| ml.coarsen_cutoff as u64))
+            .u64(m.multilevel.map_or(0, |ml| ml.match_rounds as u64))
+            .u64(m.multilevel.map_or(0, |ml| ml.refine_passes as u64))
             .finish();
         let mut parsed: Option<(CommPattern, ConstraintVector)> = None;
         let (problem_key, result_key) = match self.request_memo.get(raw_fp) {
@@ -474,12 +479,20 @@ impl MappingService {
                     .str(&pattern.to_csv())
                     .str(&crate::constraints_csv(&constraints))
                     .finish();
+                // The multilevel spec is fingerprinted as (presence,
+                // values): the same problem solved direct and
+                // multilevel — or with different knobs — are different
+                // results and must never share a cache entry.
                 let result_key = Fingerprint::new()
                     .u64(problem_key)
                     .str(&m.algorithm)
                     .u64(m.seed)
                     .u64(m.kappa as u64)
                     .u64(m.samples as u64)
+                    .u64(m.multilevel.is_some() as u64)
+                    .u64(m.multilevel.map_or(0, |ml| ml.coarsen_cutoff as u64))
+                    .u64(m.multilevel.map_or(0, |ml| ml.match_rounds as u64))
+                    .u64(m.multilevel.map_or(0, |ml| ml.refine_passes as u64))
                     .finish();
                 self.request_memo.insert(raw_fp, (problem_key, result_key));
                 parsed = Some((pattern, constraints));
@@ -828,11 +841,31 @@ impl MappingService {
                 trace: trace.clone(),
                 ..MonteCarlo::new(m.samples, m.seed)
             }),
+            "multilevel" => {
+                let spec = m.multilevel.unwrap_or_default();
+                Box::new(MultilevelMapper {
+                    config: MultilevelConfig {
+                        coarsen_cutoff: spec.coarsen_cutoff,
+                        match_rounds: spec.match_rounds,
+                        refine_passes: spec.refine_passes,
+                    },
+                    inner: GeoMapper {
+                        seed: m.seed,
+                        kappa: m.kappa,
+                        trace: trace.clone(),
+                        ..GeoMapper::default()
+                    },
+                    trace: trace.clone(),
+                    ..MultilevelMapper::default()
+                })
+            }
             other => {
                 return Err(Box::new(self.reject(
                     &m.id,
                     ErrorCode::BadRequest,
-                    format!("unknown algorithm {other:?} (geo|greedy|mpipp|random|montecarlo)"),
+                    format!(
+                        "unknown algorithm {other:?}                          (geo|greedy|mpipp|random|montecarlo|multilevel)"
+                    ),
                 )))
             }
         };

@@ -1,0 +1,188 @@
+//! Multilevel solves through the daemon: a large-N request over both
+//! wire formats (v1 JSON and v2 binary) must produce the same feasible
+//! mapping, and the multilevel knobs must be part of the result-cache
+//! identity — the same pattern solved direct and multilevel, or with
+//! different knobs, must never share a cache entry (the collision this
+//! guards against returned a direct-solver mapping to a multilevel
+//! caller before the fingerprint carried the spec).
+
+use commgraph::apps::{AppKind, ClusteredGraph, Workload};
+use geomap_service::proto::{CacheTier, MultilevelSpec, Response};
+use geomap_service::wire::WireFormat;
+use geomap_service::{
+    MapRequest, MappingServer, MappingService, Request, ServiceClient, ServiceConfig,
+};
+use geonet::{presets, InstanceType, SiteNetwork};
+use std::time::Duration;
+
+/// Four paper regions with enough nodes for the large-N run.
+fn network(nodes_per_region: usize) -> SiteNetwork {
+    presets::paper_ec2_network(nodes_per_region, InstanceType::M4Xlarge, 42)
+}
+
+fn ml_request(id: &str, csv: String, ranks: usize, spec: MultilevelSpec) -> MapRequest {
+    MapRequest {
+        ranks: Some(ranks),
+        algorithm: "multilevel".into(),
+        multilevel: Some(spec),
+        ..MapRequest::new(id, csv)
+    }
+}
+
+/// A 2048-rank clustered pattern mapped by the multilevel solver,
+/// submitted once over each wire format against one daemon. Both
+/// responses must decode, agree bit-for-bit, and describe a feasible
+/// placement (every rank mapped, no site over its capacity).
+#[test]
+fn large_multilevel_request_over_both_wires_is_feasible_and_identical() {
+    let n = 2048usize;
+    let net = network(n / 4 + 8);
+    let caps = net.capacities();
+    let server = MappingServer::bind(
+        MappingService::new(net, ServiceConfig::default()),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    let csv = ClusteredGraph {
+        n,
+        cluster: 64,
+        degree: 8,
+        locality: 0.8,
+        max_bytes: 1 << 20,
+        seed: 9,
+    }
+    .pattern()
+    .to_csv();
+    let spec = MultilevelSpec {
+        coarsen_cutoff: 256,
+        match_rounds: 2,
+        refine_passes: 1,
+    };
+
+    let mut responses = Vec::new();
+    for (wire, id) in [
+        (WireFormat::V1Json, "ml-v1"),
+        (WireFormat::V2Binary, "ml-v2"),
+    ] {
+        let mut client = ServiceClient::connect_with(&addr, Some(Duration::from_secs(300)), wire)
+            .expect("connect loopback");
+        let resp = client
+            .map(ml_request(id, csv.clone(), n, spec))
+            .expect("wire round-trip");
+        let Response::Map(resp) = resp else {
+            panic!("{id}: expected a map response, got {resp:?}");
+        };
+        assert_eq!(resp.id, id);
+        assert_eq!(resp.mapping.len(), n, "{id}: every rank must be placed");
+        let mut counts = vec![0usize; caps.len()];
+        for &site in &resp.mapping {
+            assert!(site < caps.len(), "{id}: site {site} out of range");
+            counts[site] += 1;
+        }
+        for (site, (&used, &cap)) in counts.iter().zip(&caps).enumerate() {
+            assert!(
+                used <= cap,
+                "{id}: site {site} holds {used} ranks over capacity {cap}"
+            );
+        }
+        assert!(
+            resp.cost.is_finite() && resp.cost > 0.0,
+            "{id}: cost {}",
+            resp.cost
+        );
+        responses.push(resp);
+    }
+
+    // The v2 request is byte-for-byte the same problem: it must hit the
+    // result cache (proving the v2 multilevel extension decodes to the
+    // identical spec) and replay the v1 mapping exactly.
+    assert_eq!(responses[0].cached, CacheTier::Miss);
+    assert_eq!(responses[1].cached, CacheTier::Result);
+    assert_eq!(responses[0].mapping, responses[1].mapping);
+    assert_eq!(responses[0].cost.to_bits(), responses[1].cost.to_bits());
+    server.stop();
+    server.join();
+}
+
+/// Regression test for the fingerprint collision: before the result key
+/// carried the multilevel spec, `algorithm = "multilevel"` requests with
+/// different knobs collided, and a direct-then-multilevel pair differed
+/// only in the algorithm string. All four identities below must stay
+/// distinct in the result tier while still sharing the problem tier.
+#[test]
+fn multilevel_spec_is_part_of_the_result_cache_identity() {
+    let svc = MappingService::new(network(4), ServiceConfig::default());
+    let csv = AppKind::parse("sp")
+        .unwrap()
+        .workload(16)
+        .pattern()
+        .to_csv();
+    let base = MapRequest::new("direct", csv.clone());
+
+    let Response::Map(direct) = svc.handle(&Request::Map(base.clone())) else {
+        panic!("direct solve failed");
+    };
+    assert_eq!(direct.cached, CacheTier::Miss);
+
+    // Same pattern, same seed, multilevel solver: shares the parsed
+    // problem + calibration, must NOT replay the direct mapping.
+    let spec8 = MultilevelSpec {
+        coarsen_cutoff: 8,
+        match_rounds: 2,
+        refine_passes: 2,
+    };
+    let Response::Map(ml8) = svc.handle(&Request::Map(MapRequest {
+        id: "ml8".into(),
+        algorithm: "multilevel".into(),
+        multilevel: Some(spec8),
+        ..base.clone()
+    })) else {
+        panic!("multilevel solve failed");
+    };
+    assert_eq!(
+        ml8.cached,
+        CacheTier::Problem,
+        "a multilevel request must reuse the problem tier but never the direct result"
+    );
+
+    // Different knobs, same algorithm string: a fresh result entry.
+    let Response::Map(ml4) = svc.handle(&Request::Map(MapRequest {
+        id: "ml4".into(),
+        algorithm: "multilevel".into(),
+        multilevel: Some(MultilevelSpec {
+            coarsen_cutoff: 4,
+            ..spec8
+        }),
+        ..base.clone()
+    })) else {
+        panic!("re-knobbed solve failed");
+    };
+    assert_eq!(
+        ml4.cached,
+        CacheTier::Problem,
+        "changing the coarsening cutoff must change the result key"
+    );
+
+    // Exact replays of each identity do hit their own entries.
+    for (id, algorithm, ml, want) in [
+        ("direct2", "geo", None, &direct.mapping),
+        ("ml8b", "multilevel", Some(spec8), &ml8.mapping),
+    ] {
+        let Response::Map(again) = svc.handle(&Request::Map(MapRequest {
+            id: id.into(),
+            algorithm: algorithm.into(),
+            multilevel: ml,
+            ..base.clone()
+        })) else {
+            panic!("{id} failed");
+        };
+        assert_eq!(
+            again.cached,
+            CacheTier::Result,
+            "{id} must replay its entry"
+        );
+        assert_eq!(&again.mapping, want, "{id} replayed the wrong mapping");
+    }
+}
